@@ -1,0 +1,86 @@
+//! Figures 5 & 6 — top-down micro-architecture breakdown per module,
+//! uplink and downlink.
+//!
+//! Paper anchors: frontend bound and bad speculation are negligible
+//! across all modules; the dominant stall is backend bound, exceeding
+//! 50 % for turbo decoding.
+
+use super::fig03_04::module_profiles;
+use crate::report::{Figure, Row};
+
+fn build(id: &str, title: &str, uplink: bool) -> Figure {
+    let mut f = Figure::new(
+        id,
+        title,
+        &["retiring", "frontend", "bad speculation", "backend"],
+    );
+    for m in module_profiles(uplink) {
+        let t = &m.report.topdown;
+        f.push(Row::new(m.name, vec![t.retiring, t.frontend, t.bad_speculation, t.backend()]));
+    }
+    f.note("paper: frontend and bad speculation negligible; backend bound dominates stalls");
+    f.note("paper: turbo decoding backend bound exceeds 50 %");
+    f
+}
+
+/// Figure 5 (uplink).
+pub fn uplink() -> Figure {
+    build("fig5", "Micro-architecture value for uplink", true)
+}
+
+/// Figure 6 (downlink).
+pub fn downlink() -> Figure {
+    build("fig6", "Micro-architecture value for downlink", false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontend_and_badspec_are_negligible() {
+        for f in [uplink(), downlink()] {
+            for r in &f.rows {
+                assert!(r.values[1] < 0.12, "{} {}: frontend {:.3}", f.id, r.label, r.values[1]);
+                assert!(
+                    r.values[2] < 0.15,
+                    "{} {}: bad speculation {:.3}",
+                    f.id,
+                    r.label,
+                    r.values[2]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decoding_is_the_backend_hotspot() {
+        // Paper: decoding backend bound >50 % on the wimpy testbed.
+        // Our K-scaled decoder trace is L1-resident, so the absolute
+        // level is lower (documented deviation in EXPERIMENTS.md);
+        // the *ordering* — decoding clearly the most backend-bound
+        // module — is the reproducible claim.
+        let f = uplink();
+        let dec = f.value("Turbo Decoding", "backend").unwrap();
+        for other in ["Scrambling", "OFDM", "DCI"] {
+            let o = f.value(other, "backend").unwrap();
+            assert!(dec > o, "decoding must out-stall {other}: {dec:.3} vs {o:.3}");
+        }
+        assert!(dec > 0.08, "decoding backend bound should be visible, got {dec:.3}");
+    }
+
+    #[test]
+    fn categories_sum_to_about_one() {
+        for f in [uplink(), downlink()] {
+            for r in &f.rows {
+                let s: f64 = r.values.iter().sum();
+                assert!(
+                    (0.85..1.02).contains(&s),
+                    "{} {}: top-down sum {s:.3}",
+                    f.id,
+                    r.label
+                );
+            }
+        }
+    }
+}

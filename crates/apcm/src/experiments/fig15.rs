@@ -1,0 +1,87 @@
+//! Figure 15 — top-down breakdown and IPC of the data arrangement
+//! process, original vs APCM, per register width.
+//!
+//! Paper anchors: retiring 55.6/52/48 % → 97/96/95 %; backend bound
+//! 44.4/48.2/52 % → 3/4/5 %; IPC 1.2/1.1/1.05 → 3.6/3.5/3.3.
+
+use crate::report::{Figure, Row};
+use vran_arrange::{ApcmVariant, ArrangeKernel, Mechanism};
+use vran_net::pipeline::synthetic_interleaved;
+use vran_simd::RegWidth;
+use vran_uarch::{CoreConfig, CoreSim};
+
+const K: usize = 6144;
+
+/// Run the experiment.
+pub fn run() -> Figure {
+    let mut f = Figure::new(
+        "fig15",
+        "Micro-architecture value under original mechanism and APCM",
+        &["retiring", "frontend", "bad speculation", "backend", "IPC"],
+    );
+    let sim = CoreSim::new(CoreConfig::beefy().warmed());
+    let input = synthetic_interleaved(K, 11);
+    for width in RegWidth::ALL {
+        for mech in [Mechanism::Baseline, Mechanism::Apcm(ApcmVariant::Shuffle)] {
+            let (_, trace) = ArrangeKernel::new(width, mech).arrange(&input, true);
+            let r = sim.run(&trace.expect("tracing"));
+            f.push(Row::new(
+                format!("{}/{}", width.name(), mech.name()),
+                vec![
+                    r.topdown.retiring,
+                    r.topdown.frontend,
+                    r.topdown.bad_speculation,
+                    r.topdown.backend(),
+                    r.ipc,
+                ],
+            ));
+        }
+    }
+    f.note("paper: backend 44.4/48.2/52 % → 3/4/5 %; IPC 1.2/1.1/1.05 → 3.6/3.5/3.3");
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_bound_collapses_under_apcm() {
+        let f = run();
+        for w in ["SSE128", "AVX256", "AVX512"] {
+            let orig = f.value(&format!("{w}/original"), "backend").unwrap();
+            let apcm = f.value(&format!("{w}/apcm"), "backend").unwrap();
+            assert!(orig > 0.3, "{w}: original backend ≈45-52 %, got {orig:.2}");
+            assert!(apcm < 0.25, "{w}: APCM backend ≈3-5 %, got {apcm:.2}");
+            assert!(apcm < orig / 2.0, "{w}: backbone claim, {orig:.2} → {apcm:.2}");
+        }
+    }
+
+    #[test]
+    fn ipc_soars_under_apcm() {
+        let f = run();
+        for w in ["SSE128", "AVX256", "AVX512"] {
+            let orig = f.value(&format!("{w}/original"), "IPC").unwrap();
+            let apcm = f.value(&format!("{w}/apcm"), "IPC").unwrap();
+            assert!(orig < 1.8, "{w}: original IPC ≈1.05-1.2, got {orig:.2}");
+            assert!(apcm > 2.4, "{w}: APCM IPC ≈3.3-3.6, got {apcm:.2}");
+        }
+    }
+
+    #[test]
+    fn retiring_rises_under_apcm() {
+        let f = run();
+        let orig = f.value("SSE128/original", "retiring").unwrap();
+        let apcm = f.value("SSE128/apcm", "retiring").unwrap();
+        assert!(orig < 0.7, "original retiring ≈55 %, got {orig:.2}");
+        assert!(apcm > 0.7, "APCM retiring ≈97 %, got {apcm:.2}");
+    }
+
+    #[test]
+    fn original_ipc_declines_with_width() {
+        let f = run();
+        let i128 = f.value("SSE128/original", "IPC").unwrap();
+        let i512 = f.value("AVX512/original", "IPC").unwrap();
+        assert!(i512 <= i128 + 0.05, "paper: 1.2 → 1.05 going wider");
+    }
+}

@@ -1,0 +1,30 @@
+//! Table 1 — cache sizes of the wimpy and beefy nodes.
+
+use crate::report::{Figure, Row};
+use crate::server::ServerProfile;
+
+/// Reproduce Table 1.
+pub fn run() -> Figure {
+    let mut f = Figure::new(
+        "table1",
+        "Cache size (KiB) in wimpy and beefy node",
+        &["L1 cache", "L2 cache", "L3 cache"],
+    );
+    for p in [ServerProfile::Wimpy, ServerProfile::Beefy] {
+        let [l1, l2, l3] = p.table1_kib();
+        f.push(Row::new(p.name(), vec![l1 as f64, l2 as f64, l3 as f64]));
+    }
+    f.note("paper Table 1: wimpy 384/1536/12288, beefy 1152/18432/25344 KiB");
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_reproduction() {
+        let f = super::run();
+        assert_eq!(f.value("wimpy", "L1 cache"), Some(384.0));
+        assert_eq!(f.value("beefy", "L2 cache"), Some(18432.0));
+        assert_eq!(f.value("beefy", "L3 cache"), Some(25344.0));
+    }
+}

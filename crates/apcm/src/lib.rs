@@ -1,0 +1,38 @@
+//! # apcm — top-level API and experiment runners
+//!
+//! Ties the workspace together and reproduces every table and figure of
+//! the paper's evaluation:
+//!
+//! | experiment | module |
+//! |---|---|
+//! | Fig 3/4 — per-module CPU share + IPC (uplink/downlink) | [`experiments::fig03_04`] |
+//! | Fig 5/6 — per-module top-down breakdown | [`experiments::fig05_06`] |
+//! | Table 1 — wimpy/beefy cache sizes | [`experiments::table1`] |
+//! | Fig 7 — per-instruction-class IPC / memory / core bound | [`experiments::fig07`] |
+//! | Fig 8 — arrangement memory-bandwidth utilization | [`experiments::fig08`] |
+//! | Fig 9 — SIMD module time vs register width | [`experiments::fig09`] |
+//! | Fig 13 — per-packet processing time (UDP/TCP × size) | [`experiments::fig13`] |
+//! | Fig 14 — arrangement vs calculation time @1500 B | [`experiments::fig14`] |
+//! | Fig 15 — arrangement top-down + IPC, original vs APCM | [`experiments::fig15`] |
+//! | Fig 16 — per-core bandwidth and cores for 300 Mbps | [`experiments::fig16`] |
+//!
+//! Regenerate everything with
+//! `cargo run --release -p apcm --bin figures -- all` (results land in
+//! `results/` as text, CSV and JSON) or a single one with e.g.
+//! `-- fig15`; `--bin check` prints the paper-vs-measured verdicts.
+//!
+//! # Example
+//!
+//! ```
+//! let fig15 = apcm::experiments::fig15::run();
+//! let orig = fig15.value("SSE128/original", "backend").unwrap();
+//! let apcm = fig15.value("SSE128/apcm", "backend").unwrap();
+//! assert!(orig > 0.35 && apcm < 0.10); // the paper's 45 % → 3 %
+//! ```
+
+pub mod experiments;
+pub mod report;
+pub mod server;
+pub mod workloads;
+
+pub use report::{Figure, Row};

@@ -1,0 +1,182 @@
+//! Figure/table result containers and rendering.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One labeled data row of a figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Row label (module name, packet size, width, …).
+    pub label: String,
+    /// One value per column.
+    pub values: Vec<f64>,
+}
+
+impl Row {
+    /// Construct from anything stringifiable.
+    pub fn new(label: impl Into<String>, values: Vec<f64>) -> Self {
+        Self { label: label.into(), values }
+    }
+}
+
+/// A reproduced figure or table: labeled rows under named columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure {
+    /// Identifier matching the paper ("fig15", "table1", …).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers (not counting the row label).
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Row>,
+    /// Free-form notes (what the paper reported, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    /// New empty figure.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row; panics if the arity disagrees with the header.
+    pub fn push(&mut self, row: Row) {
+        assert_eq!(row.values.len(), self.columns.len(), "row arity mismatch in {}", self.id);
+        self.rows.push(row);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Fetch a value by row label and column name (test helper).
+    pub fn value(&self, row_label: &str, column: &str) -> Option<f64> {
+        let c = self.columns.iter().position(|c| c == column)?;
+        let r = self.rows.iter().find(|r| r.label == row_label)?;
+        r.values.get(c).copied()
+    }
+
+    /// Render as CSV (header row, then one row per entry; the row
+    /// label occupies the first column).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "label,{}",
+            self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{},{}",
+                esc(&r.label),
+                r.values.iter().map(|v| format!("{v}")).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain([5])
+            .max()
+            .unwrap();
+        let col_w: Vec<usize> = self.columns.iter().map(|c| c.len().max(10)).collect();
+        let _ = write!(out, "{:label_w$}", "");
+        for (c, w) in self.columns.iter().zip(&col_w) {
+            let _ = write!(out, "  {c:>w$}");
+        }
+        let _ = writeln!(out);
+        for r in &self.rows {
+            let _ = write!(out, "{:label_w$}", r.label);
+            for (v, w) in r.values.iter().zip(&col_w) {
+                if v.abs() >= 1000.0 || (*v != 0.0 && v.abs() < 0.01) {
+                    let _ = write!(out, "  {v:>w$.3e}");
+                } else {
+                    let _ = write!(out, "  {v:>w$.3}");
+                }
+            }
+            let _ = writeln!(out);
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  * {n}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Figure {
+        let mut f = Figure::new("figX", "demo", &["ipc", "backend"]);
+        f.push(Row::new("baseline", vec![1.2, 0.45]));
+        f.push(Row::new("apcm", vec![3.6, 0.03]));
+        f.note("paper: 1.2→3.6");
+        f
+    }
+
+    #[test]
+    fn value_lookup() {
+        let f = sample();
+        assert_eq!(f.value("apcm", "ipc"), Some(3.6));
+        assert_eq!(f.value("apcm", "nope"), None);
+        assert_eq!(f.value("nope", "ipc"), None);
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let s = sample().render();
+        assert!(s.contains("figX"));
+        assert!(s.contains("baseline"));
+        assert!(s.contains("3.6"));
+        assert!(s.contains("paper: 1.2→3.6"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut f = Figure::new("f", "t", &["a"]);
+        f.push(Row::new("r", vec![1.0, 2.0]));
+    }
+
+    #[test]
+    fn csv_export() {
+        let mut f = Figure::new("f", "t", &["a,b", "c"]);
+        f.push(Row::new("row \"x\"", vec![1.5, -2.0]));
+        let csv = f.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("label,\"a,b\",c"));
+        assert_eq!(lines.next(), Some("\"row \"\"x\"\"\",1.5,-2"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let f = sample();
+        let s = serde_json::to_string(&f).unwrap();
+        let g: Figure = serde_json::from_str(&s).unwrap();
+        assert_eq!(f, g);
+    }
+}

@@ -1,0 +1,59 @@
+//! Server profiles: the paper's wimpy and beefy testbed nodes.
+
+use serde::{Deserialize, Serialize};
+use vran_uarch::CoreConfig;
+
+/// Which testbed node to model (paper §3.1 / §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServerProfile {
+    /// Intel Core i7-8700 @ 3.20 GHz, 16 GB — the vRAN host ("wimpy").
+    Wimpy,
+    /// Intel Xeon W-2195 @ 2.30 GHz, 128 GB — the "beefy" alternative.
+    Beefy,
+}
+
+impl ServerProfile {
+    /// Display name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            ServerProfile::Wimpy => "wimpy",
+            ServerProfile::Beefy => "beefy",
+        }
+    }
+
+    /// The core simulator configuration for this node.
+    pub fn core_config(self) -> CoreConfig {
+        match self {
+            ServerProfile::Wimpy => CoreConfig::wimpy(),
+            ServerProfile::Beefy => CoreConfig::beefy(),
+        }
+    }
+
+    /// Table 1 totals in KiB (L1/L2/L3 across the package, as the
+    /// paper reports them).
+    pub const fn table1_kib(self) -> [u64; 3] {
+        match self {
+            ServerProfile::Wimpy => [384, 1536, 12288],
+            ServerProfile::Beefy => [1152, 18432, 25344],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        assert_eq!(ServerProfile::Wimpy.table1_kib(), [384, 1536, 12288]);
+        assert_eq!(ServerProfile::Beefy.table1_kib(), [1152, 18432, 25344]);
+    }
+
+    #[test]
+    fn configs_are_distinct() {
+        let w = ServerProfile::Wimpy.core_config();
+        let b = ServerProfile::Beefy.core_config();
+        assert!(b.cache.l2.size_bytes > w.cache.l2.size_bytes);
+        assert!(w.freq_ghz > b.freq_ghz);
+    }
+}

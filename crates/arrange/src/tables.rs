@@ -1,0 +1,138 @@
+//! Mask, shuffle and permutation tables for the arrangement kernels.
+//!
+//! A "group" is three consecutive registers of `L = width.lanes()` i16
+//! lanes, holding `L` interleaved triples (`3L` elements). Element at
+//! global group position `p = j·L + i` (register `j`, lane `i`) belongs
+//! to cluster `p mod 3` (0 = S1, 1 = YP1, 2 = YP2) and triple `p / 3`.
+
+use vran_simd::{RegWidth, VecVal};
+
+/// Cluster-select mask for register `j` of a group: lane `i` is all-ones
+/// iff element `(j·L + i) mod 3 == cluster`. These are the `vpand`
+/// filter constants of the paper's Figure 10 step 2.
+pub fn cluster_mask(width: RegWidth, j: usize, cluster: usize) -> VecVal {
+    assert!(j < 3 && cluster < 3);
+    let l = width.lanes();
+    let lanes: Vec<i16> =
+        (0..l).map(|i| if (j * l + i) % 3 == cluster { -1 } else { 0 }).collect();
+    VecVal::from_lanes(width, &lanes)
+}
+
+/// The group-wise output order produced by mask-congregation: entry `i`
+/// is the triple index whose cluster element lands in lane `i` after
+/// OR-ing the three masked registers (before any rotation). For the
+/// cluster `c`, lane `i` receives the unique group position
+/// `p ∈ {i, L+i, 2L+i}` with `p ≡ c (mod 3)`; the triple is `p / 3`.
+pub fn congregated_order(width: RegWidth, cluster: usize) -> Vec<usize> {
+    let l = width.lanes();
+    (0..l)
+        .map(|i| {
+            let p = (0..3)
+                .map(|j| j * l + i)
+                .find(|p| p % 3 == cluster)
+                .expect("every residue is covered because L mod 3 ≠ 0");
+            p / 3
+        })
+        .collect()
+}
+
+/// Lanes to rotate cluster `c`'s congregated register left so that all
+/// three clusters share S1's order (paper Figure 10 step 4: "left
+/// rotate 16 bits" = 1 lane for YP1, "32 bits" = 2 lanes for YP2).
+pub fn alignment_rotation(width: RegWidth, cluster: usize) -> usize {
+    let s1 = congregated_order(width, 0);
+    let c = congregated_order(width, cluster);
+    let l = width.lanes();
+    (0..l)
+        .find(|&r| (0..l).all(|i| c[(i + r) % l] == s1[i]))
+        .expect("congregated orders are rotations of each other")
+}
+
+/// The shared group permutation after alignment: `perm[i]` = triple
+/// index held at output lane `i` (equals S1's congregated order).
+pub fn group_permutation(width: RegWidth) -> Vec<usize> {
+    congregated_order(width, 0)
+}
+
+/// Shuffle table for the natural-order APCM variant: for output
+/// register of `cluster` and source register `j`, `table[i]` selects
+/// the source lane holding triple `i`'s cluster element, or `None`
+/// (zero) when that element lives in another register.
+pub fn natural_shuffle(width: RegWidth, j: usize, cluster: usize) -> Vec<Option<u8>> {
+    let l = width.lanes();
+    (0..l)
+        .map(|i| {
+            let p = 3 * i + cluster; // global group position of triple i's element
+            (p / l == j).then_some((p % l) as u8)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_partition_each_register() {
+        for w in RegWidth::ALL {
+            for j in 0..3 {
+                let masks: Vec<VecVal> = (0..3).map(|c| cluster_mask(w, j, c)).collect();
+                for i in 0..w.lanes() {
+                    let set: Vec<usize> =
+                        (0..3).filter(|&c| masks[c].lane(i) == -1).collect();
+                    assert_eq!(set.len(), 1, "lane {i} of reg {j} must be in exactly one mask");
+                    assert_eq!(set[0], (j * w.lanes() + i) % 3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn congregated_order_matches_paper_figure10() {
+        // Figure 10 (xmm): S1 order [S1₁ S1₄ S1₇ S1₂ S1₅ S1₈ S1₃ S1₆]
+        // → 0-based triples [0,3,6,1,4,7,2,5].
+        assert_eq!(congregated_order(RegWidth::Sse128, 0), vec![0, 3, 6, 1, 4, 7, 2, 5]);
+        // YP1 congregated: [YP1₆ YP1₁ YP1₄ YP1₇ YP1₂ YP1₅ YP1₈ YP1₃]
+        assert_eq!(congregated_order(RegWidth::Sse128, 1), vec![5, 0, 3, 6, 1, 4, 7, 2]);
+        // YP2 congregated: [YP2₃ YP2₆ YP2₁ YP2₄ YP2₇ YP2₂ YP2₅ YP2₈]
+        assert_eq!(congregated_order(RegWidth::Sse128, 2), vec![2, 5, 0, 3, 6, 1, 4, 7]);
+    }
+
+    #[test]
+    fn alignment_rotations_match_paper() {
+        // Figure 10 step 4: YP1 rotates one lane (16 bits), YP2 two
+        // lanes (32 bits) — at every width.
+        for w in RegWidth::ALL {
+            assert_eq!(alignment_rotation(w, 0), 0, "{w}");
+            assert_eq!(alignment_rotation(w, 1), 1, "{w}");
+            assert_eq!(alignment_rotation(w, 2), 2, "{w}");
+        }
+    }
+
+    #[test]
+    fn group_permutation_is_a_permutation() {
+        for w in RegWidth::ALL {
+            let p = group_permutation(w);
+            let mut seen = vec![false; w.lanes()];
+            for &t in &p {
+                assert!(!seen[t]);
+                seen[t] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn natural_shuffles_cover_each_output_lane_once() {
+        for w in RegWidth::ALL {
+            for c in 0..3 {
+                let tables: Vec<Vec<Option<u8>>> =
+                    (0..3).map(|j| natural_shuffle(w, j, c)).collect();
+                for i in 0..w.lanes() {
+                    let hits: usize =
+                        tables.iter().filter(|t| t[i].is_some()).count();
+                    assert_eq!(hits, 1, "output lane {i} of cluster {c} covered once");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Batched multi-window decoding and the generalized stride kernels —
+//! wall-clock complements to the `abl-batch` and `gen-stride`
+//! experiments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vran_arrange::StrideKernel;
+use vran_bench::turbo_workload;
+use vran_phy::turbo::batch_decoder::BatchTurboDecoder;
+use vran_phy::turbo::simd_decoder::SimdTurboDecoder;
+use vran_simd::RegWidth;
+
+fn bench_batch_decoder(c: &mut Criterion) {
+    let k = 256;
+    let inputs: Vec<_> = (0..4).map(|g| turbo_workload(k, 30 + g).1).collect();
+    let mut g = c.benchmark_group("batch_decode_vm");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(k as u64));
+    g.bench_function("single_xmm", |b| {
+        let dec = SimdTurboDecoder::new(k, 1, RegWidth::Sse128);
+        b.iter(|| dec.decode_native(std::hint::black_box(&inputs[0])))
+    });
+    g.throughput(Throughput::Elements(4 * k as u64));
+    g.bench_function("batch4_zmm", |b| {
+        let dec = BatchTurboDecoder::new(k, 1, RegWidth::Avx512);
+        b.iter(|| dec.decode_native(std::hint::black_box(&inputs)))
+    });
+    g.finish();
+}
+
+fn bench_stride(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stride_deinterleave_vm");
+    g.sample_size(15);
+    for s in [2usize, 4, 8] {
+        let n = 4096;
+        let data: Vec<i16> = (0..s * n).map(|i| i as i16).collect();
+        g.throughput(Throughput::Elements((s * n) as u64));
+        for apcm in [false, true] {
+            let kern = StrideKernel::new(RegWidth::Sse128, s, apcm);
+            let label = if apcm { "apcm" } else { "original" };
+            g.bench_with_input(BenchmarkId::new(label, s), &data, |b, data| {
+                b.iter(|| kern.deinterleave(std::hint::black_box(data), false))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_batch_decoder, bench_stride
+}
+
+/// Short measurement windows keep `cargo bench --workspace` in CI
+/// territory; pass `--measurement-time` on the command line for
+/// higher-precision runs.
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(12)
+}
+
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Real-hardware arrangement: the `std::arch` kernels from
+//! `vran-arrange::native`, original (`pextrw` ladder) vs APCM
+//! (`pshufb`/`vpermi2w`), on whatever SIMD features the host exposes.
+//!
+//! This is the wall-clock demonstration of the paper's claim on actual
+//! silicon: the extract-based original saturates the store ports while
+//! APCM's ALU batching runs several times faster — and the AVX-512
+//! APCM widens the gap further, exactly the Figure 14 trend.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vran_arrange::native::{available, deinterleave};
+use vran_bench::interleaved_workload;
+
+fn bench_native(c: &mut Criterion) {
+    for k in [1504usize, 6144] {
+        let input = interleaved_workload(k, 3);
+        let mut g = c.benchmark_group(format!("native_arrange_k{k}"));
+        g.throughput(Throughput::Bytes((3 * k * 2) as u64));
+        for imp in available() {
+            g.bench_with_input(BenchmarkId::from_parameter(imp.name()), &input, |b, input| {
+                b.iter(|| deinterleave(imp, std::hint::black_box(&input.data), k))
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_native
+}
+
+/// Short measurement windows keep `cargo bench --workspace` in CI
+/// territory; pass `--measurement-time` on the command line for
+/// higher-precision runs.
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(12)
+}
+
+criterion_main!(benches);

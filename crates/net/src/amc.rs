@@ -1,0 +1,157 @@
+//! Adaptive modulation and coding (link adaptation).
+//!
+//! The eNB scheduler picks the modulation/rate pair from the UE's
+//! channel-quality report — the mechanism that keeps the paper's
+//! "300 Mbps station" (Figure 16) loaded with the highest rate the
+//! channel supports. The table below is a compact CQI→MCS mapping with
+//! SNR switching thresholds derived from this codebase's own waterfall
+//! measurements (the `ber` experiment): each entry's threshold leaves
+//! ≥1 dB margin over the SNR where that configuration decodes cleanly.
+
+use serde::{Deserialize, Serialize};
+use vran_phy::modulation::Modulation;
+
+/// One link-adaptation operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct McsEntry {
+    /// Modulation order.
+    pub modulation: Modulation,
+    /// Code rate ×1024 (as in `PipelineConfig::rate_x1024`:
+    /// coded bits per information bit ×1024 ⇒ 2048 = rate 1/2).
+    pub rate_x1024: u32,
+    /// Minimum Es/N0 (dB) at which this point operates with margin.
+    pub min_snr_db: f32,
+}
+
+impl McsEntry {
+    /// Information bits per modulation symbol at this operating point.
+    pub fn bits_per_symbol(&self) -> f64 {
+        self.modulation.bits_per_symbol() as f64 * 1024.0 / self.rate_x1024 as f64
+    }
+}
+
+/// The MCS table, lowest rate first.
+pub const MCS_TABLE: [McsEntry; 6] = [
+    McsEntry { modulation: Modulation::Qpsk, rate_x1024: 3072, min_snr_db: -1.0 }, // r=1/3
+    McsEntry { modulation: Modulation::Qpsk, rate_x1024: 2048, min_snr_db: 2.5 },  // r=1/2
+    McsEntry { modulation: Modulation::Qam16, rate_x1024: 3072, min_snr_db: 6.0 }, // r=1/3
+    McsEntry { modulation: Modulation::Qam16, rate_x1024: 2048, min_snr_db: 9.5 }, // r=1/2
+    McsEntry { modulation: Modulation::Qam64, rate_x1024: 2560, min_snr_db: 13.5 }, // r=2/5
+    McsEntry { modulation: Modulation::Qam64, rate_x1024: 2048, min_snr_db: 17.0 }, // r=1/2
+];
+
+/// Select the highest-throughput operating point for a reported SNR;
+/// `None` when even the most robust point lacks margin.
+pub fn select_mcs(snr_db: f32) -> Option<McsEntry> {
+    MCS_TABLE.iter().rev().find(|e| snr_db >= e.min_snr_db).copied()
+}
+
+/// Outer-loop link adaptation: nudge an SNR offset by decode outcomes
+/// (the classic 10 %-BLER target controller).
+#[derive(Debug, Clone, Copy)]
+pub struct OuterLoop {
+    offset_db: f32,
+    step_up: f32,
+    step_down: f32,
+}
+
+impl Default for OuterLoop {
+    fn default() -> Self {
+        // 10 % BLER target: down-step = 9 × up-step
+        Self { offset_db: 0.0, step_up: 0.1, step_down: 0.9 }
+    }
+}
+
+impl OuterLoop {
+    /// Effective SNR to feed [`select_mcs`].
+    pub fn adjusted(&self, measured_snr_db: f32) -> f32 {
+        measured_snr_db + self.offset_db
+    }
+
+    /// Report a decode outcome; the offset creeps up on success and
+    /// drops sharply on failure.
+    pub fn report(&mut self, ok: bool) {
+        if ok {
+            self.offset_db = (self.offset_db + self.step_up).min(3.0);
+        } else {
+            self.offset_db = (self.offset_db - self.step_down).max(-10.0);
+        }
+    }
+
+    /// Current offset (diagnostic).
+    pub fn offset_db(&self) -> f32 {
+        self.offset_db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{PacketBuilder, Transport};
+    use crate::pipeline::{PipelineConfig, UplinkPipeline};
+
+    #[test]
+    fn table_is_monotone_in_both_axes() {
+        for w in MCS_TABLE.windows(2) {
+            assert!(w[1].min_snr_db > w[0].min_snr_db, "thresholds must rise");
+            assert!(
+                w[1].bits_per_symbol() > w[0].bits_per_symbol(),
+                "throughput must rise with SNR"
+            );
+        }
+    }
+
+    #[test]
+    fn selection_picks_the_highest_feasible() {
+        assert_eq!(select_mcs(-5.0), None);
+        assert_eq!(select_mcs(0.0).unwrap().rate_x1024, 3072);
+        assert_eq!(select_mcs(0.0).unwrap().modulation, Modulation::Qpsk);
+        let top = select_mcs(30.0).unwrap();
+        assert_eq!(top.modulation, Modulation::Qam64);
+        assert_eq!(top.rate_x1024, 2048);
+        // boundary behavior
+        assert_eq!(select_mcs(9.5).unwrap().modulation, Modulation::Qam16);
+        assert_eq!(select_mcs(9.49).unwrap().rate_x1024, 3072);
+    }
+
+    #[test]
+    fn every_operating_point_decodes_at_its_threshold() {
+        // The table's promise, verified end-to-end: each entry decodes
+        // a real packet at exactly its threshold SNR.
+        let mut b = PacketBuilder::new(1, 2);
+        for e in MCS_TABLE {
+            let cfg = PipelineConfig {
+                modulation: e.modulation,
+                rate_x1024: e.rate_x1024,
+                snr_db: e.min_snr_db,
+                decoder_iterations: 8,
+                ..Default::default()
+            };
+            let p = b.build(Transport::Udp, 256).unwrap();
+            let r = UplinkPipeline::new(cfg).process(&p);
+            assert!(
+                r.ok,
+                "{} r={}/1024 must decode at {} dB: {r:?}",
+                e.modulation.name(),
+                e.rate_x1024,
+                e.min_snr_db
+            );
+        }
+    }
+
+    #[test]
+    fn outer_loop_backs_off_on_failures() {
+        let mut ol = OuterLoop::default();
+        for _ in 0..20 {
+            ol.report(true);
+        }
+        let up = ol.offset_db();
+        assert!(up > 1.0);
+        ol.report(false);
+        assert!(ol.offset_db() < up - 0.5, "one failure must bite hard");
+        for _ in 0..100 {
+            ol.report(false);
+        }
+        assert!(ol.offset_db() >= -10.0, "offset must be bounded");
+    }
+}

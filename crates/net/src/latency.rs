@@ -1,0 +1,294 @@
+//! Cycle-accounting latency and capacity models.
+//!
+//! Translates `vran-uarch` simulation reports into the paper's
+//! packet-level quantities:
+//!
+//! * per-packet processing time vs packet size and transport (Fig 13),
+//! * arrangement vs calculation split at 1500 B (Fig 14),
+//! * per-core bandwidth and core counts for 300 Mbps (Fig 16).
+//!
+//! ## Model structure (documented calibration, DESIGN.md §2)
+//!
+//! The decoder front end re-arranges its working set once per SISO
+//! pass (the extrinsic/a-priori streams are produced in interleaved
+//! order, Figure 8a), so for `I` iterations the arrangement kernel
+//! processes `2·I` passes over the block. The SIMD calculation cost is
+//! the traced max-log-MAP kernel itself. The remaining pipeline
+//! (CRC/encode bookkeeping, scrambling, OFDM, demapping) is scalar
+//! code the paper shows running near IPC 4 with negligible backend
+//! bound; it is charged at a fixed, documented cycles-per-bit rate
+//! rather than traced (`SCALAR_CYCLES_PER_BIT`).
+
+use crate::packet::Transport;
+use crate::pipeline::{synthetic_interleaved, UplinkPipeline};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use vran_arrange::{ArrangeKernel, Mechanism};
+use vran_phy::bits::random_bits;
+use vran_phy::llr::{bit_to_llr, TurboLlrs};
+use vran_phy::turbo::simd_decoder::SimdTurboDecoder;
+use vran_phy::turbo::TurboEncoder;
+use vran_simd::RegWidth;
+use vran_uarch::{CoreConfig, CoreSim, SimReport};
+
+/// Cycles per transport-block bit charged for the scalar pipeline
+/// stages (encode-side bookkeeping, scrambling, OFDM share per bit,
+/// demapping). Derived from the near-ideal-IPC scalar profile of
+/// Figures 5/6; see module docs.
+pub const SCALAR_CYCLES_PER_BIT: f64 = 11.0;
+
+/// Fixed per-packet cycles for the TCP reverse-path (ACK build +
+/// header processing), absent for UDP.
+pub const TCP_ACK_CYCLES: f64 = 9000.0;
+
+/// Reference block size used for kernel tracing; costs scale linearly
+/// in the number of triples (both kernels are streaming).
+const K_REF: usize = 1024;
+/// Reference decoder trace length.
+const K_REF_DEC: usize = 512;
+
+/// Per-packet time decomposition in microseconds.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PacketTime {
+    /// The data arrangement process (all SISO passes).
+    pub arrangement_us: f64,
+    /// SIMD calculation (max-log-MAP) time.
+    pub calculation_us: f64,
+    /// Scalar pipeline stages.
+    pub other_us: f64,
+    /// Transport extra (TCP ACK path).
+    pub transport_us: f64,
+}
+
+impl PacketTime {
+    /// Total per-packet processing time.
+    pub fn total_us(&self) -> f64 {
+        self.arrangement_us + self.calculation_us + self.other_us + self.transport_us
+    }
+
+    /// Arrangement share of the total.
+    pub fn arrangement_share(&self) -> f64 {
+        self.arrangement_us / self.total_us()
+    }
+}
+
+/// Cached cycle model over a fixed core configuration.
+pub struct LatencyModel {
+    core: CoreConfig,
+    iterations: usize,
+    arrange_cache: HashMap<(RegWidth, &'static str), SimReport>,
+    decode_cache: HashMap<RegWidth, SimReport>,
+}
+
+impl LatencyModel {
+    /// Model over `core`, with `iterations` full turbo iterations per
+    /// code block. The core is always run in steady-state (warm-cache)
+    /// mode: per-packet kernels execute back to back on resident data.
+    pub fn new(core: CoreConfig, iterations: usize) -> Self {
+        Self {
+            core: core.warmed(),
+            iterations,
+            arrange_cache: HashMap::new(),
+            decode_cache: HashMap::new(),
+        }
+    }
+
+    /// The core configuration.
+    pub fn core(&self) -> &CoreConfig {
+        &self.core
+    }
+
+    /// Simulated report for the arrangement kernel over `K_REF`
+    /// triples (cached).
+    pub fn arrangement_report(&mut self, width: RegWidth, mech: Mechanism) -> SimReport {
+        let core = self.core;
+        self.arrange_cache
+            .entry((width, mech.name()))
+            .or_insert_with(|| {
+                let input = synthetic_interleaved(K_REF, 7);
+                let (_, trace) = ArrangeKernel::new(width, mech).arrange(&input, true);
+                CoreSim::new(core).run(&trace.expect("tracing enabled"))
+            })
+            .clone()
+    }
+
+    /// Simulated report for one full decoder iteration over
+    /// `K_REF_DEC` steps (cached).
+    pub fn decoder_report(&mut self, width: RegWidth) -> SimReport {
+        let core = self.core;
+        self.decode_cache
+            .entry(width)
+            .or_insert_with(|| {
+                let k = K_REF_DEC;
+                let bits = random_bits(k, 99);
+                let cw = TurboEncoder::new(k).encode(&bits);
+                let d = cw.to_dstreams();
+                let soft: [Vec<i16>; 3] = d
+                    .iter()
+                    .map(|s| s.iter().map(|&b| bit_to_llr(b, 60)).collect())
+                    .collect::<Vec<_>>()
+                    .try_into()
+                    .unwrap();
+                let input = TurboLlrs::from_dstreams(&soft, k);
+                let dec = SimdTurboDecoder::new(k, 1, width);
+                let (_, trace) = dec.decode_traced(&input, 1);
+                CoreSim::new(core).run(&trace)
+            })
+            .clone()
+    }
+
+    /// Arrangement cycles for `triples` triples, one pass.
+    pub fn arrangement_cycles(&mut self, width: RegWidth, mech: Mechanism, triples: usize) -> f64 {
+        let rep = self.arrangement_report(width, mech);
+        rep.cycles as f64 * triples as f64 / K_REF as f64
+    }
+
+    /// Decoder calculation cycles for `steps` trellis steps over the
+    /// configured iterations (arrangement excluded — the traced decoder
+    /// consumes pre-arranged streams).
+    ///
+    /// Width scaling: the α/β state recursions always occupy one
+    /// 128-bit lane group (8 states × i16); production decoders (OAI,
+    /// FlexRAN) exploit wider registers by **batching decode windows**
+    /// — 2 windows per ymm, 4 per zmm. Batching is sub-linear (window
+    /// boundary metrics must be exchanged and the γ/extrinsic phases
+    /// gain bookkeeping), modeled as a √(lane groups) speedup: ×1.41
+    /// at 256 bits, ×2 at 512. This reproduces the paper's Figure 9/16
+    /// calculation-time scaling (total throughput 16.4→21.6→25.5
+    /// Mbps/core across widths under the original mechanism).
+    pub fn decoder_cycles(&mut self, width: RegWidth, steps: usize) -> f64 {
+        let rep = self.decoder_report(width);
+        let batch = (width.lanes128() as f64).sqrt();
+        rep.cycles as f64 * steps as f64 / K_REF_DEC as f64 * self.iterations as f64 / batch
+    }
+
+    /// Full per-packet decomposition for a wire-level packet.
+    pub fn packet_time(
+        &mut self,
+        width: RegWidth,
+        mech: Mechanism,
+        transport: Transport,
+        wire_len: usize,
+    ) -> PacketTime {
+        let triples = UplinkPipeline::arrangement_triples(wire_len);
+        // one arrangement pass per SISO pass (2 per iteration)
+        let passes = 2.0 * self.iterations as f64;
+        let arr = self.arrangement_cycles(width, mech, triples) * passes;
+        let dec = self.decoder_cycles(width, triples);
+        let other = wire_len as f64 * 8.0 * SCALAR_CYCLES_PER_BIT;
+        let tcp = match transport {
+            Transport::Udp => 0.0,
+            Transport::Tcp => TCP_ACK_CYCLES,
+        };
+        let freq_hz = self.core.freq_ghz * 1e9;
+        PacketTime {
+            arrangement_us: arr / freq_hz * 1e6,
+            calculation_us: dec / freq_hz * 1e6,
+            other_us: other / freq_hz * 1e6,
+            transport_us: tcp / freq_hz * 1e6,
+        }
+    }
+
+    /// Per-core goodput in Mbps at the standard 1500 B packet size
+    /// (Figure 16 left axis).
+    pub fn mbps_per_core(&mut self, width: RegWidth, mech: Mechanism) -> f64 {
+        let t = self.packet_time(width, mech, Transport::Udp, 1500);
+        1500.0 * 8.0 / t.total_us()
+    }
+
+    /// Cores needed to sustain `target_mbps` (Figure 16 right axis;
+    /// paper uses 300 Mbps for an eNodeB [19]).
+    pub fn cores_for(&mut self, width: RegWidth, mech: Mechanism, target_mbps: f64) -> usize {
+        (target_mbps / self.mbps_per_core(width, mech)).ceil() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> LatencyModel {
+        LatencyModel::new(CoreConfig::beefy(), 5)
+    }
+
+    #[test]
+    fn apcm_reduces_arrangement_cycles_sharply() {
+        let mut m = model();
+        for w in RegWidth::ALL {
+            let base = m.arrangement_cycles(w, Mechanism::Baseline, 6144);
+            let apcm =
+                m.arrangement_cycles(w, Mechanism::Apcm(vran_arrange::ApcmVariant::Shuffle), 6144);
+            let reduction = 1.0 - apcm / base;
+            assert!(
+                reduction > 0.55,
+                "{w}: APCM must cut arrangement time well past half: {reduction:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_gets_worse_with_width_apcm_gets_better() {
+        let mut m = model();
+        let b128 = m.arrangement_cycles(RegWidth::Sse128, Mechanism::Baseline, 6144);
+        let b512 = m.arrangement_cycles(RegWidth::Avx512, Mechanism::Baseline, 6144);
+        assert!(b512 >= b128 * 0.98, "original must not improve with width: {b128} → {b512}");
+        let apcm = Mechanism::Apcm(vran_arrange::ApcmVariant::Shuffle);
+        let a128 = m.arrangement_cycles(RegWidth::Sse128, apcm, 6144);
+        let a512 = m.arrangement_cycles(RegWidth::Avx512, apcm, 6144);
+        assert!(a512 < a128 * 0.5, "APCM must scale with width: {a128} → {a512}");
+    }
+
+    #[test]
+    fn packet_time_monotone_in_size() {
+        let mut m = model();
+        let mut t =
+            |s| m.packet_time(RegWidth::Sse128, Mechanism::Baseline, Transport::Udp, s).total_us();
+        assert!(t(256) < t(512));
+        assert!(t(512) < t(1024));
+        assert!(t(1024) < t(1500));
+    }
+
+    #[test]
+    fn tcp_costs_more_than_udp() {
+        let mut m = model();
+        let udp = m.packet_time(RegWidth::Avx256, Mechanism::Baseline, Transport::Udp, 1024);
+        let tcp = m.packet_time(RegWidth::Avx256, Mechanism::Baseline, Transport::Tcp, 1024);
+        assert!(tcp.total_us() > udp.total_us());
+        assert_eq!(udp.arrangement_us, tcp.arrangement_us);
+    }
+
+    #[test]
+    fn apcm_improves_total_packet_time_meaningfully() {
+        // Paper Figure 13: 12% (SSE128) to 20% (AVX512) reduction.
+        let mut m = model();
+        let apcm = Mechanism::Apcm(vran_arrange::ApcmVariant::Shuffle);
+        for (w, lo, hi) in [
+            (RegWidth::Sse128, 0.05, 0.35),
+            (RegWidth::Avx512, 0.08, 0.40),
+        ] {
+            let base = m.packet_time(w, Mechanism::Baseline, Transport::Udp, 1500).total_us();
+            let opt = m.packet_time(w, apcm, Transport::Udp, 1500).total_us();
+            let red = 1.0 - opt / base;
+            assert!(
+                (lo..hi).contains(&red),
+                "{w}: total reduction {red:.3} outside plausible band"
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_improves_and_cores_drop() {
+        let mut m = model();
+        let apcm = Mechanism::Apcm(vran_arrange::ApcmVariant::Shuffle);
+        for w in RegWidth::ALL {
+            let mb = m.mbps_per_core(w, Mechanism::Baseline);
+            let ma = m.mbps_per_core(w, apcm);
+            assert!(ma > mb, "{w}: APCM must raise per-core bandwidth");
+            let cb = m.cores_for(w, Mechanism::Baseline, 300.0);
+            let ca = m.cores_for(w, apcm, 300.0);
+            assert!(ca <= cb, "{w}: APCM must not need more cores");
+        }
+        // wider registers help capacity under APCM
+        assert!(m.mbps_per_core(RegWidth::Avx512, apcm) > m.mbps_per_core(RegWidth::Sse128, apcm));
+    }
+}

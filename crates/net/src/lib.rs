@@ -1,0 +1,50 @@
+//! # vran-net — packet path, userspace rings and the vRAN pipeline
+//!
+//! The synthetic stand-in for the paper's testbed network path
+//! (UE → USRP → eNB containers → EPC): real UDP/TCP framing over a
+//! DPDK-style single-producer/single-consumer ring into the full PHY
+//! pipeline from `vran-phy`, with the data arrangement step provided by
+//! `vran-arrange`.
+//!
+//! * [`packet`] — Ethernet/IPv4/UDP/TCP header construction and
+//!   parsing with real checksums (the workload generator for Figs 13
+//!   and 16).
+//! * [`ring`] — a lock-free SPSC ring buffer modeling the DPDK
+//!   kernel-bypass queue of Figure 2.
+//! * [`pipeline`] — transport block building, uplink (encode → channel
+//!   → demodulate → de-rate-match → **arrange** → turbo decode) and
+//!   downlink processing, parameterized by register width and
+//!   arrangement mechanism.
+//! * [`latency`] — the per-packet processing-time and capacity models
+//!   that turn `vran-uarch` cycle counts into Figure 13/14/16 numbers.
+//! * [`runner`] — a threaded source→PHY→sink driver for sustained
+//!   throughput measurements.
+//!
+//! # Example
+//!
+//! ```
+//! use vran_net::packet::{PacketBuilder, Transport};
+//! use vran_net::pipeline::{PipelineConfig, UplinkPipeline};
+//!
+//! let mut builder = PacketBuilder::new(5060, 5060);
+//! let packet = builder.build(Transport::Udp, 128).unwrap();
+//!
+//! let cfg = PipelineConfig { snr_db: 30.0, ..Default::default() };
+//! let result = UplinkPipeline::new(cfg).process(&packet);
+//! assert!(result.ok); // survived encode → OFDM → AWGN → arrange → decode
+//! ```
+
+pub mod amc;
+pub mod downlink;
+pub mod harq;
+pub mod l2;
+pub mod latency;
+pub mod packet;
+pub mod pipeline;
+pub mod ring;
+pub mod runner;
+pub mod scheduler;
+
+pub use packet::{Packet, Transport};
+pub use pipeline::{PipelineConfig, UplinkPipeline};
+pub use ring::SpscRing;

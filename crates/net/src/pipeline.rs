@@ -1,0 +1,459 @@
+//! The end-to-end uplink/downlink PHY pipeline.
+//!
+//! One packet's uplink journey (the paper's Figure 1 path, transmitter
+//! and receiver both simulated so the loop closes):
+//!
+//! ```text
+//! frame bytes → CRC24A → segmentation → turbo encode → rate match
+//!   → scramble → modulate → OFDM → AWGN → OFDM demod → soft demap
+//!   → descramble → de-rate-match → DATA ARRANGEMENT → turbo decode
+//!   → desegment → CRC check → frame bytes
+//! ```
+//!
+//! The data arrangement step runs through `vran-arrange` (native VM
+//! mode), so the mechanism under test is exercised functionally on
+//! every packet; decoding uses the scalar decoder, which is bit-exact
+//! with the SIMD kernels by construction.
+
+use crate::packet::Packet;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use vran_arrange::{ArrangeKernel, Mechanism};
+use vran_phy::bits::{pack_msb, unpack_msb};
+use vran_phy::channel::AwgnChannel;
+use vran_phy::crc::CRC24A;
+use vran_phy::llr::{InterleavedLlrs, Llr, TurboLlrs};
+use vran_phy::modulation::Modulation;
+use vran_phy::ofdm::OfdmConfig;
+use vran_phy::rate_match::RateMatcher;
+use vran_phy::scrambler::{descramble_llrs, scramble_bits, GoldSequence};
+use vran_phy::segmentation::Segmentation;
+use vran_phy::turbo::{TurboDecoder, TurboEncoder};
+use vran_simd::RegWidth;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// SIMD register width for the arrangement / decoder kernels.
+    pub width: RegWidth,
+    /// Arrangement mechanism under test.
+    pub mechanism: Mechanism,
+    /// Data-channel modulation.
+    pub modulation: Modulation,
+    /// Channel Es/N0 in dB.
+    pub snr_db: f32,
+    /// Turbo decoder iteration cap.
+    pub decoder_iterations: usize,
+    /// Coded bits per information bit ×1024 (1024 = rate 1; the spec's
+    /// circular buffer handles any value). Default 2048 → rate 1/2.
+    pub rate_x1024: u32,
+    /// Use the frequency-selective fading channel with pilot-based
+    /// estimation and ZF equalization instead of time-domain OFDM over
+    /// flat AWGN.
+    pub fading: bool,
+    /// Channel noise seed.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            width: RegWidth::Sse128,
+            mechanism: Mechanism::Baseline,
+            modulation: Modulation::Qam16,
+            snr_db: 14.0,
+            decoder_iterations: 6,
+            rate_x1024: 2048,
+            fading: false,
+            seed: 1,
+        }
+    }
+}
+
+/// Wall-clock nanoseconds per pipeline stage for one packet.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct StageNanos {
+    /// Encoder side: CRC + segmentation + turbo encoding + rate match.
+    pub encode: u64,
+    /// Scrambling + modulation + OFDM, both directions.
+    pub transport: u64,
+    /// Soft demapping + descrambling + de-rate-matching.
+    pub demap: u64,
+    /// The data arrangement process (the paper's subject).
+    pub arrangement: u64,
+    /// Turbo decoding (the "calculation" process).
+    pub decode: u64,
+}
+
+impl StageNanos {
+    /// Total across stages.
+    pub fn total(&self) -> u64 {
+        self.encode + self.transport + self.demap + self.arrangement + self.decode
+    }
+}
+
+/// Result of pushing one packet through the loop.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PacketResult {
+    /// Whether the reassembled frame matched the transmitted one.
+    pub ok: bool,
+    /// Transport-block size in bits (incl. CRC24A).
+    pub tb_bits: usize,
+    /// Code blocks the TB split into.
+    pub code_blocks: usize,
+    /// Total coded (rate-matched) bits on the air.
+    pub coded_bits: usize,
+    /// Decoder iterations used, summed over code blocks.
+    pub decoder_iterations: usize,
+    /// Per-stage wall-clock time.
+    pub nanos: StageNanos,
+}
+
+/// The uplink pipeline (shared by the downlink driver — the PHY chain
+/// is symmetric for our purposes; only the traffic direction and DCI
+/// handling differ in `runner`).
+#[derive(Debug, Clone)]
+pub struct UplinkPipeline {
+    cfg: PipelineConfig,
+    ofdm: OfdmConfig,
+    c_init: u32,
+}
+
+impl UplinkPipeline {
+    /// Build a pipeline.
+    pub fn new(cfg: PipelineConfig) -> Self {
+        Self { cfg, ofdm: OfdmConfig::lte5mhz(), c_init: GoldSequence::c_init_pxsch(0x1234, 0, 4, 42) }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// Process one framed packet through the complete loop.
+    pub fn process(&self, packet: &Packet) -> PacketResult {
+        let cfg = &self.cfg;
+        let mut nanos = StageNanos::default();
+
+        // ---- transmitter: L2 encapsulation, TB build, encode ----
+        let t0 = Instant::now();
+        // PDCP/RLC/MAC framing (per-packet bearer state; stream
+        // continuity is exercised by the l2 module's own tests)
+        let pdu = crate::l2::BearerTx::default()
+            .encapsulate(&packet.frame, packet.frame.len() + crate::l2::L2_OVERHEAD)
+            .expect("TB sized to fit");
+        let frame_bits = unpack_msb(&pdu, pdu.len() * 8);
+        let tb = CRC24A.attach(&frame_bits);
+        let seg = Segmentation::plan(tb.len());
+        let blocks = seg.segment(&tb);
+        let mut coded = Vec::new();
+        let mut block_e = Vec::with_capacity(blocks.len());
+        for blk in &blocks {
+            let k = blk.len();
+            let enc = TurboEncoder::new(k);
+            let cw = enc.encode(blk);
+            let rm = RateMatcher::new(k + 4);
+            let e = ((k as u64 * cfg.rate_x1024 as u64 / 1024) as usize)
+                .next_multiple_of(cfg.modulation.bits_per_symbol() * 2)
+                .min(3 * (k + 4) * 2); // cap repetition at 2×
+            let d = cw.to_dstreams();
+            coded.extend(rm.rate_match(&d, e, 0));
+            block_e.push(e);
+        }
+        nanos.encode = t0.elapsed().as_nanos() as u64;
+
+        // ---- scramble, modulate, OFDM, channel ----
+        let t0 = Instant::now();
+        let mut tx_bits = coded;
+        // pad to a whole number of symbols
+        let bps = cfg.modulation.bits_per_symbol();
+        let padded_len = tx_bits.len().next_multiple_of(bps);
+        tx_bits.resize(padded_len, 0);
+        scramble_bits(&mut tx_bits, self.c_init);
+        let symbols = cfg.modulation.modulate(&tx_bits);
+        let (rx_symbols, scale) = if cfg.fading {
+            self.fading_pass(&symbols)
+        } else {
+            let air = self.ofdm.modulate_stream(&symbols);
+            let mut channel = AwgnChannel::new(cfg.snr_db, cfg.seed);
+            let rx_air = channel.apply(&air);
+            let rx = self.ofdm.demodulate_stream(&rx_air, symbols.len());
+            (rx, (channel.llr_scale() / 8.0).clamp(0.25, 16.0))
+        };
+        nanos.transport = t0.elapsed().as_nanos() as u64;
+
+        // ---- demap, descramble, de-rate-match ----
+        let t0 = Instant::now();
+        let mut llrs = cfg.modulation.demodulate(&rx_symbols, scale);
+        llrs.truncate(padded_len);
+        descramble_llrs(&mut llrs, self.c_init);
+        nanos.demap = t0.elapsed().as_nanos() as u64;
+
+        // ---- per code block: de-rate-match, ARRANGE, decode ----
+        let mut decoded_blocks = Vec::with_capacity(blocks.len());
+        let mut iterations = 0;
+        let mut pos = 0;
+        let mut all_ok = true;
+        for (i, blk) in blocks.iter().enumerate() {
+            let k = blk.len();
+            let e = block_e[i];
+            let rm = RateMatcher::new(k + 4);
+            let t0 = Instant::now();
+            let dllrs = rm.de_rate_match(&llrs[pos..pos + e], 0);
+            pos += e;
+            let turbo_in = TurboLlrs::from_dstreams(&dllrs, k);
+            nanos.demap += t0.elapsed().as_nanos() as u64;
+
+            // The data arrangement process under test: the de-rate-
+            // matcher hands the decoder interleaved triples (Fig 8a);
+            // the kernel segregates them.
+            let t0 = Instant::now();
+            let interleaved = turbo_in.to_interleaved();
+            let kern = ArrangeKernel::new(cfg.width, cfg.mechanism);
+            let (arranged, _) = kern.arrange(&interleaved, false);
+            let arranged = kern.depermute(&arranged);
+            nanos.arrangement += t0.elapsed().as_nanos() as u64;
+
+            let t0 = Instant::now();
+            let dec_in = TurboLlrs { k, streams: arranged, tails: turbo_in.tails };
+            let dec = TurboDecoder::new(k, cfg.decoder_iterations);
+            let out = if blocks.len() > 1 {
+                dec.decode_with_crc(&dec_in, &vran_phy::crc::CRC24B)
+            } else {
+                dec.decode(&dec_in)
+            };
+            iterations += out.iterations_run;
+            nanos.decode += t0.elapsed().as_nanos() as u64;
+            if out.crc_ok == Some(false) {
+                all_ok = false;
+            }
+            decoded_blocks.push(out.bits);
+        }
+
+        // ---- reassemble, de-encapsulate & verify ----
+        let rx_tb = seg.desegment(&decoded_blocks);
+        let ok = all_ok
+            && match rx_tb {
+                Some(tb_bits) => match CRC24A.check(&tb_bits) {
+                    Some(payload) => crate::l2::BearerRx::default()
+                        .decapsulate(&pack_msb(payload))
+                        .map(|sdu| sdu == packet.frame.to_vec())
+                        .unwrap_or(false),
+                    None => false,
+                },
+                None => false,
+            };
+
+        PacketResult {
+            ok,
+            tb_bits: tb.len(),
+            code_blocks: blocks.len(),
+            coded_bits: pos,
+            decoder_iterations: iterations,
+            nanos,
+        }
+    }
+
+    /// Fading path: resource grids with scattered pilots, per-grid
+    /// channel estimation and ZF equalization (frequency-domain model,
+    /// matching the downlink pipeline).
+    fn fading_pass(&self, symbols: &[vran_phy::modulation::Cplx]) -> (Vec<vran_phy::modulation::Cplx>, f32) {
+        use vran_phy::equalizer::{Equalizer, FadingChannel};
+        const GRID: usize = 300;
+        let eq = Equalizer::lte();
+        let per_grid = GRID - eq.pilot_positions(GRID).len();
+        let mut chan = FadingChannel::new(GRID, self.cfg.snr_db, 3, self.cfg.seed);
+        let mut out = Vec::with_capacity(symbols.len());
+        for chunk in symbols.chunks(per_grid) {
+            let mut d = chunk.to_vec();
+            d.resize(per_grid, vran_phy::modulation::Cplx::default());
+            let (grid, _) = eq.insert_pilots(&d, GRID);
+            let rx = chan.apply(&grid);
+            let h = eq.estimate(&rx);
+            let (eq_syms, _w) = eq.equalize(&rx, &h);
+            out.extend_from_slice(&eq_syms[..chunk.len().min(eq_syms.len())]);
+        }
+        out.truncate(symbols.len());
+        (out, 1.0)
+    }
+
+    /// Interleaved LLR volume (triples) the arrangement must process
+    /// for a packet of `wire_len` bytes — the work-size input to the
+    /// `vran-uarch` latency model.
+    pub fn arrangement_triples(wire_len: usize) -> usize {
+        let b = (wire_len + crate::l2::L2_OVERHEAD) * 8 + CRC24A.width();
+        let seg = Segmentation::plan(b);
+        (0..seg.c).map(|i| seg.k_of(i)).sum()
+    }
+}
+
+/// LLR type re-export for downstream convenience.
+pub type SoftValue = Llr;
+
+/// Convenience: an interleaved workload of `k` triples with
+/// reproducible contents (for benches and experiments that don't need
+/// a real channel).
+pub fn synthetic_interleaved(k: usize, seed: u64) -> InterleavedLlrs {
+    let mut s = seed | 1;
+    let data: Vec<Llr> = (0..3 * k)
+        .map(|_| {
+            s ^= s >> 12;
+            s ^= s << 25;
+            s ^= s >> 27;
+            ((s.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 48) as i16) >> 4
+        })
+        .collect();
+    InterleavedLlrs { k, data }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{PacketBuilder, Transport};
+    use vran_arrange::ApcmVariant;
+
+    fn run(cfg: PipelineConfig, size: usize) -> PacketResult {
+        let mut b = PacketBuilder::new(1000, 2000);
+        let p = b.build(Transport::Udp, size).unwrap();
+        UplinkPipeline::new(cfg).process(&p)
+    }
+
+    #[test]
+    fn clean_channel_round_trips_small_packet() {
+        let cfg = PipelineConfig { snr_db: 30.0, ..Default::default() };
+        let r = run(cfg, 64);
+        assert!(r.ok, "{r:?}");
+        assert_eq!(r.code_blocks, 1);
+        assert_eq!(r.tb_bits, (64 + crate::l2::L2_OVERHEAD) * 8 + 24);
+    }
+
+    #[test]
+    fn full_mtu_packet_round_trips() {
+        let cfg = PipelineConfig { snr_db: 30.0, ..Default::default() };
+        let r = run(cfg, 1500);
+        assert!(r.ok, "{r:?}");
+        assert!(r.code_blocks >= 2, "1500 B TB must segment: {r:?}");
+    }
+
+    #[test]
+    fn moderate_snr_still_decodes() {
+        // QPSK at 8 dB with rate 1/2 turbo: comfortably decodable.
+        let cfg = PipelineConfig {
+            modulation: Modulation::Qpsk,
+            snr_db: 8.0,
+            ..Default::default()
+        };
+        let r = run(cfg, 256);
+        assert!(r.ok, "{r:?}");
+    }
+
+    #[test]
+    fn hopeless_snr_fails_cleanly() {
+        let cfg = PipelineConfig {
+            modulation: Modulation::Qam64,
+            snr_db: -10.0,
+            decoder_iterations: 2,
+            ..Default::default()
+        };
+        let r = run(cfg, 256);
+        assert!(!r.ok, "−10 dB 64-QAM must not decode");
+    }
+
+    #[test]
+    fn all_mechanisms_and_widths_produce_identical_outcomes() {
+        // The paper's functional-equivalence requirement: the
+        // arrangement mechanism must not change WHAT is computed.
+        let mut results = Vec::new();
+        for width in RegWidth::ALL {
+            for mech in [
+                Mechanism::Baseline,
+                Mechanism::Apcm(ApcmVariant::Shuffle),
+                Mechanism::Apcm(ApcmVariant::MaskRotate),
+            ] {
+                let cfg = PipelineConfig { width, mechanism: mech, snr_db: 12.0, ..Default::default() };
+                let r = run(cfg, 512);
+                results.push((width, mech.name(), r.ok, r.decoder_iterations));
+            }
+        }
+        let first = (results[0].2, results[0].3);
+        for (w, m, ok, iters) in &results {
+            assert_eq!((*ok, *iters), first, "{w} {m} diverged: {results:?}");
+        }
+        assert!(first.0, "the common outcome should be success at 12 dB");
+    }
+
+    #[test]
+    fn arrangement_volume_model_matches_pipeline() {
+        let cfg = PipelineConfig { snr_db: 30.0, ..Default::default() };
+        let mut b = PacketBuilder::new(1, 2);
+        let p = b.build(Transport::Udp, 300).unwrap();
+        let r = UplinkPipeline::new(cfg).process(&p);
+        assert!(r.ok);
+        let expect = UplinkPipeline::arrangement_triples(300);
+        // tb_bits + per-block CRCs + filler = sum of K
+        let seg = Segmentation::plan(r.tb_bits);
+        let sum_k: usize = (0..seg.c).map(|i| seg.k_of(i)).sum();
+        assert_eq!(expect, sum_k);
+    }
+
+    #[test]
+    fn stage_times_are_populated() {
+        let cfg = PipelineConfig { snr_db: 30.0, ..Default::default() };
+        let r = run(cfg, 256);
+        assert!(r.nanos.encode > 0);
+        assert!(r.nanos.transport > 0);
+        assert!(r.nanos.arrangement > 0);
+        assert!(r.nanos.decode > 0);
+        assert_eq!(
+            r.nanos.total(),
+            r.nanos.encode + r.nanos.transport + r.nanos.demap + r.nanos.arrangement + r.nanos.decode
+        );
+    }
+
+    #[test]
+    fn fading_uplink_closes_the_loop() {
+        let cfg = PipelineConfig {
+            fading: true,
+            modulation: Modulation::Qpsk,
+            snr_db: 22.0,
+            decoder_iterations: 8,
+            ..Default::default()
+        };
+        let r = run(cfg, 256);
+        assert!(r.ok, "equalized fading uplink must decode: {r:?}");
+    }
+
+    #[test]
+    fn fading_threshold_is_no_better_than_awgn() {
+        // Find the lowest SNR (1 dB grid) at which each channel first
+        // decodes; frequency-selective fading can only need more.
+        let threshold = |fading: bool| -> i32 {
+            for snr in 4..=20 {
+                let cfg = PipelineConfig {
+                    fading,
+                    modulation: Modulation::Qam16,
+                    snr_db: snr as f32,
+                    decoder_iterations: 6,
+                    ..Default::default()
+                };
+                if run(cfg, 256).ok {
+                    return snr;
+                }
+            }
+            99
+        };
+        let awgn = threshold(false);
+        let fade = threshold(true);
+        assert!(awgn < 99, "AWGN must decode somewhere below 20 dB");
+        assert!(fade >= awgn, "fading threshold ({fade} dB) below AWGN ({awgn} dB)?");
+    }
+
+    #[test]
+    fn synthetic_interleaved_is_deterministic() {
+        let a = synthetic_interleaved(96, 5);
+        let b = synthetic_interleaved(96, 5);
+        assert_eq!(a, b);
+        assert_ne!(a, synthetic_interleaved(96, 6));
+        assert_eq!(a.data.len(), 288);
+    }
+}

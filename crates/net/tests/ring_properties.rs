@@ -1,0 +1,73 @@
+//! Model-based testing of the SPSC ring: any single-threaded
+//! interleaving of pushes and pops must behave exactly like a bounded
+//! FIFO (`VecDeque` reference model).
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use vran_net::ring::SpscRing;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn behaves_like_a_bounded_fifo(ops in prop::collection::vec(any::<u8>(), 1..400), cap in 2usize..64) {
+        let (mut p, mut c) = SpscRing::with_capacity::<u32>(cap);
+        let real_cap = cap.next_power_of_two();
+        let mut model: VecDeque<u32> = VecDeque::new();
+        let mut counter = 0u32;
+        for op in ops {
+            if op % 2 == 0 {
+                counter += 1;
+                let pushed = p.push(counter).is_ok();
+                let model_ok = model.len() < real_cap;
+                prop_assert_eq!(pushed, model_ok, "push acceptance diverged at {}", counter);
+                if model_ok {
+                    model.push_back(counter);
+                }
+            } else {
+                let got = c.pop();
+                let want = model.pop_front();
+                prop_assert_eq!(got, want);
+            }
+            prop_assert_eq!(p.len(), model.len());
+            prop_assert_eq!(c.is_empty(), model.is_empty());
+        }
+        // drain and compare the tail
+        while let Some(v) = c.pop() {
+            prop_assert_eq!(Some(v), model.pop_front());
+        }
+        prop_assert!(model.is_empty());
+    }
+}
+
+#[test]
+fn concurrent_stress_preserves_order_and_count() {
+    const N: usize = 50_000;
+    for trial in 0..3 {
+        let (mut p, mut c) = SpscRing::with_capacity::<usize>(64);
+        let consumer = std::thread::spawn(move || {
+            let mut expected = 0;
+            while expected < N {
+                if let Some(v) = c.pop() {
+                    assert_eq!(v, expected, "trial {trial}: order violated");
+                    expected += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        for i in 0..N {
+            let mut item = i;
+            loop {
+                match p.push(item) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        item = back;
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+        }
+        consumer.join().unwrap();
+    }
+}

@@ -1,0 +1,85 @@
+//! Bit-vector helpers shared across the PHY chain.
+//!
+//! The 3GPP specs describe everything in terms of bit sequences; we keep
+//! bits as `u8 ∈ {0,1}` in `Vec<u8>` for clarity (the hot paths operate
+//! on LLRs, not bits, so this costs nothing that matters).
+
+/// Pack a `{0,1}` bit slice MSB-first into bytes (final partial byte is
+/// left-aligned, zero-padded).
+pub fn pack_msb(bits: &[u8]) -> Vec<u8> {
+    let mut out = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &b) in bits.iter().enumerate() {
+        debug_assert!(b <= 1, "non-binary bit {b}");
+        out[i / 8] |= (b & 1) << (7 - (i % 8));
+    }
+    out
+}
+
+/// Unpack bytes MSB-first into `n` bits.
+pub fn unpack_msb(bytes: &[u8], n: usize) -> Vec<u8> {
+    assert!(n <= bytes.len() * 8, "asked for {n} bits from {} bytes", bytes.len());
+    (0..n).map(|i| (bytes[i / 8] >> (7 - (i % 8))) & 1).collect()
+}
+
+/// XOR two equal-length bit slices into a fresh vector.
+pub fn xor_bits(a: &[u8], b: &[u8]) -> Vec<u8> {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x ^ y).collect()
+}
+
+/// Count positions where two bit slices differ.
+pub fn hamming_distance(a: &[u8], b: &[u8]) -> usize {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).filter(|(x, y)| x != y).count()
+}
+
+/// Deterministic pseudo-random bit vector (for workload generation).
+pub fn random_bits(n: usize, seed: u64) -> Vec<u8> {
+    // xorshift64*: reproducible across platforms, no dependency needed.
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..n)
+        .map(|_| {
+            s ^= s >> 12;
+            s ^= s << 25;
+            s ^= s >> 27;
+            ((s.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 63) & 1) as u8
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let bits: Vec<u8> = random_bits(77, 42);
+        let packed = pack_msb(&bits);
+        assert_eq!(packed.len(), 10);
+        assert_eq!(unpack_msb(&packed, 77), bits);
+    }
+
+    #[test]
+    fn pack_is_msb_first() {
+        assert_eq!(pack_msb(&[1, 0, 0, 0, 0, 0, 0, 1]), vec![0x81]);
+        assert_eq!(pack_msb(&[1]), vec![0x80]);
+    }
+
+    #[test]
+    fn xor_and_hamming() {
+        let a = [1, 0, 1, 1];
+        let b = [1, 1, 0, 1];
+        assert_eq!(xor_bits(&a, &b), vec![0, 1, 1, 0]);
+        assert_eq!(hamming_distance(&a, &b), 2);
+    }
+
+    #[test]
+    fn random_bits_deterministic_and_balanced() {
+        let a = random_bits(4096, 7);
+        let b = random_bits(4096, 7);
+        assert_eq!(a, b);
+        let ones: usize = a.iter().map(|&x| x as usize).sum();
+        assert!((1500..2600).contains(&ones), "biased bit source: {ones}/4096 ones");
+        assert_ne!(a, random_bits(4096, 8), "seed must matter");
+    }
+}

@@ -1,0 +1,339 @@
+//! PDCCH / DCI path: TS 36.212 §5.1.3.1 tail-biting convolutional code
+//! (rate 1/3, constraint length 7) and an exact tail-biting Viterbi
+//! decoder.
+//!
+//! The DCI module appears in the paper's Figures 3–6 as one of the
+//! profiled pipeline stages ("DCI", near-ideal IPC: its decoder is
+//! branchy scalar code with good port balance).
+
+/// Generator polynomials G0=133, G1=171, G2=165 (octal), taps over the
+/// current input + 6-bit state.
+const GENS: [u8; 3] = [0o133_u8, 0o171_u8, 0o165_u8];
+const MEM: usize = 6;
+const NSTATES: usize = 1 << MEM;
+
+/// Output bits for `input` entering `state` (state = previous 6 inputs,
+/// most recent in the MSB).
+#[inline]
+fn branch_output(state: u8, input: u8) -> [u8; 3] {
+    // register = [input, state bits newest→oldest]
+    let reg = ((input as u32) << MEM) | state as u32;
+    core::array::from_fn(|g| (((reg & GENS[g] as u32).count_ones()) & 1) as u8)
+}
+
+/// Next state after shifting `input` in.
+#[inline]
+fn step_state(state: u8, input: u8) -> u8 {
+    (((state as u32) >> 1) | ((input as u32) << (MEM - 1))) as u8
+}
+
+/// Tail-biting convolutional encoder: the shift register is initialized
+/// with the last 6 information bits, so the trellis starts and ends in
+/// the same state. Output is the three streams interleaved
+/// `g0 g1 g2 g0 g1 g2 …` (3·len bits).
+pub fn conv_encode(bits: &[u8]) -> Vec<u8> {
+    assert!(bits.len() >= MEM, "tail-biting needs at least {MEM} bits");
+    // Initial state = the state reached after shifting in the last 6
+    // information bits; the trellis then provably ends where it began.
+    let mut state: u8 = 0;
+    for &b in &bits[bits.len() - MEM..] {
+        state = step_state(state, b);
+    }
+    let mut out = Vec::with_capacity(bits.len() * 3);
+    for &b in bits {
+        out.extend(branch_output(state, b));
+        state = step_state(state, b);
+    }
+    out
+}
+
+/// Like [`conv_encode`] but returning the three generator streams
+/// separately (`d⁽⁰⁾ d⁽¹⁾ d⁽²⁾`), the form §5.1.4.2 rate matching
+/// consumes.
+pub fn conv_encode_streams(bits: &[u8]) -> [Vec<u8>; 3] {
+    let inter = conv_encode(bits);
+    let n = bits.len();
+    let mut out = [Vec::with_capacity(n), Vec::with_capacity(n), Vec::with_capacity(n)];
+    for (i, &b) in inter.iter().enumerate() {
+        out[i % 3].push(b);
+    }
+    out
+}
+
+/// Re-interleave per-stream LLRs into the `g0 g1 g2` triple order
+/// [`viterbi_decode_tb`] expects.
+pub fn llrs_from_streams(streams: &[Vec<i16>; 3]) -> Vec<i16> {
+    let n = streams[0].len();
+    assert!(streams.iter().all(|s| s.len() == n));
+    let mut out = Vec::with_capacity(3 * n);
+    for k in 0..n {
+        for s in streams {
+            out.push(s[k]);
+        }
+    }
+    out
+}
+
+/// Exact tail-biting Viterbi decoder over LLRs (positive → bit 0):
+/// runs a constrained Viterbi per candidate start state and keeps the
+/// best path whose end state equals its start state. DCI payloads are
+/// short (tens of bits), so the 64× loop is cheap and exact.
+pub fn viterbi_decode_tb(llrs: &[i16], nbits: usize) -> Vec<u8> {
+    assert_eq!(llrs.len(), nbits * 3, "need 3 LLRs per information bit");
+    let mut best: Option<(i64, Vec<u8>)> = None;
+    for start in 0..NSTATES as u8 {
+        if let Some((metric, bits)) = viterbi_fixed(llrs, nbits, start) {
+            if best.as_ref().map(|(m, _)| metric > *m).unwrap_or(true) {
+                best = Some((metric, bits));
+            }
+        }
+    }
+    best.expect("at least one start state must survive").1
+}
+
+/// Viterbi with fixed start == end state; returns (metric, bits).
+fn viterbi_fixed(llrs: &[i16], nbits: usize, start: u8) -> Option<(i64, Vec<u8>)> {
+    const DEAD: i64 = i64::MIN / 4;
+    let mut metric = [DEAD; NSTATES];
+    metric[start as usize] = 0;
+    // survivors[k][state] = (prev_state, input)
+    let mut surv = vec![[(0u8, 0u8); NSTATES]; nbits];
+    for k in 0..nbits {
+        let y = &llrs[3 * k..3 * k + 3];
+        let mut next = [DEAD; NSTATES];
+        for s in 0..NSTATES as u8 {
+            if metric[s as usize] <= DEAD {
+                continue;
+            }
+            for u in 0..2u8 {
+                let out = branch_output(s, u);
+                // correlate: bit 0 ↦ +LLR, bit 1 ↦ −LLR
+                let bm: i64 = out
+                    .iter()
+                    .zip(y)
+                    .map(|(&o, &l)| if o == 0 { l as i64 } else { -(l as i64) })
+                    .sum();
+                let ns = step_state(s, u) as usize;
+                let cand = metric[s as usize] + bm;
+                if cand > next[ns] {
+                    next[ns] = cand;
+                    surv[k][ns] = (s, u);
+                }
+            }
+        }
+        metric = next;
+    }
+    if metric[start as usize] <= DEAD {
+        return None;
+    }
+    // traceback from the tail-biting end state
+    let mut bits = vec![0u8; nbits];
+    let mut s = start;
+    for k in (0..nbits).rev() {
+        let (ps, u) = surv[k][s as usize];
+        bits[k] = u;
+        s = ps;
+    }
+    // the path is only valid if it truly started at `start`
+    (s == start).then_some((metric[start as usize], bits))
+}
+
+/// Wrap-around Viterbi (WAVA): the practical tail-biting decoder.
+///
+/// Instead of the exact 64-restart search of [`viterbi_decode_tb`],
+/// run an ordinary Viterbi over the circularly-extended sequence for
+/// `passes` wraps with all-equal initial metrics, then trace back from
+/// the best end state through the final copy. One wrap is usually
+/// enough at operating SNR; the exact decoder remains the oracle.
+pub fn viterbi_decode_tb_wava(llrs: &[i16], nbits: usize, passes: usize) -> Vec<u8> {
+    assert_eq!(llrs.len(), nbits * 3);
+    assert!(passes >= 1);
+    let total = nbits * (passes + 1);
+    let mut metric = [0i64; NSTATES];
+    let mut surv = vec![[(0u8, 0u8); NSTATES]; total];
+    for k in 0..total {
+        let pos = k % nbits;
+        let y = &llrs[3 * pos..3 * pos + 3];
+        let mut next = [i64::MIN / 4; NSTATES];
+        for s in 0..NSTATES as u8 {
+            for u in 0..2u8 {
+                let out = branch_output(s, u);
+                let bm: i64 = out
+                    .iter()
+                    .zip(y)
+                    .map(|(&o, &l)| if o == 0 { l as i64 } else { -(l as i64) })
+                    .sum();
+                let ns = step_state(s, u) as usize;
+                let cand = metric[s as usize] + bm;
+                if cand > next[ns] {
+                    next[ns] = cand;
+                    surv[k][ns] = (s, u);
+                }
+            }
+        }
+        // normalize to keep metrics bounded over many wraps
+        let best = *next.iter().max().expect("non-empty");
+        for m in next.iter_mut() {
+            *m -= best;
+        }
+        metric = next;
+    }
+    // best end state, trace back through the final copy
+    let mut s = (0..NSTATES as u8).max_by_key(|&s| metric[s as usize]).expect("non-empty");
+    let mut bits = vec![0u8; nbits];
+    for k in (total - nbits..total).rev() {
+        let (ps, u) = surv[k][s as usize];
+        bits[k - (total - nbits)] = u;
+        s = ps;
+    }
+    bits
+}
+
+/// A minimal DCI format-1A-style payload (the fields the pipeline
+/// exercises; exact field widths vary per bandwidth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dci {
+    /// Resource block assignment (11 bits here, 5 MHz).
+    pub rb_assignment: u16,
+    /// Modulation and coding scheme (5 bits).
+    pub mcs: u8,
+    /// HARQ process number (3 bits).
+    pub harq: u8,
+    /// New data indicator.
+    pub ndi: bool,
+    /// Redundancy version (2 bits).
+    pub rv: u8,
+}
+
+impl Dci {
+    /// Payload width in bits.
+    pub const BITS: usize = 22;
+
+    /// Pack to bits (MSB first per field).
+    pub fn to_bits(self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(Self::BITS);
+        let mut push = |val: u32, n: usize| {
+            for i in (0..n).rev() {
+                v.push(((val >> i) & 1) as u8);
+            }
+        };
+        push(self.rb_assignment as u32 & 0x7FF, 11);
+        push(self.mcs as u32 & 0x1F, 5);
+        push(self.harq as u32 & 0x7, 3);
+        push(self.ndi as u32, 1);
+        push(self.rv as u32 & 0x3, 2);
+        v
+    }
+
+    /// Unpack from bits.
+    pub fn from_bits(bits: &[u8]) -> Self {
+        assert_eq!(bits.len(), Self::BITS);
+        let mut pos = 0;
+        let mut take = |n: usize| {
+            let mut v = 0u32;
+            for _ in 0..n {
+                v = (v << 1) | bits[pos] as u32;
+                pos += 1;
+            }
+            v
+        };
+        Self {
+            rb_assignment: take(11) as u16,
+            mcs: take(5) as u8,
+            harq: take(3) as u8,
+            ndi: take(1) != 0,
+            rv: take(2) as u8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::random_bits;
+
+    #[test]
+    fn encoder_is_tail_biting() {
+        // Encoding a rotated message with a rotated start must produce a
+        // rotated codeword — the defining circulant property.
+        let bits = random_bits(40, 11);
+        let mut rot = bits.clone();
+        rot.rotate_left(1);
+        let c1 = conv_encode(&bits);
+        let mut c2 = conv_encode(&rot);
+        c2.rotate_right(3);
+        assert_eq!(c1, c2, "tail-biting code must be circulant");
+    }
+
+    #[test]
+    fn encode_decode_noiseless() {
+        for seed in 0..4 {
+            let bits = random_bits(30, seed);
+            let coded = conv_encode(&bits);
+            let llrs: Vec<i16> = coded.iter().map(|&b| if b == 0 { 100 } else { -100 }).collect();
+            assert_eq!(viterbi_decode_tb(&llrs, 30), bits, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn decoder_corrects_errors() {
+        let bits = random_bits(40, 5);
+        let coded = conv_encode(&bits);
+        let mut llrs: Vec<i16> =
+            coded.iter().map(|&b| if b == 0 { 100 } else { -100 }).collect();
+        // flip 8 scattered coded bits of 120
+        for i in [3usize, 17, 31, 45, 59, 73, 87, 101] {
+            llrs[i] = -llrs[i] / 2;
+        }
+        assert_eq!(viterbi_decode_tb(&llrs, 40), bits);
+    }
+
+    #[test]
+    fn all_zero_message_encodes_to_zero() {
+        let coded = conv_encode(&vec![0u8; 20]);
+        assert!(coded.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn rate_is_one_third() {
+        assert_eq!(conv_encode(&random_bits(22, 1)).len(), 66);
+    }
+
+    #[test]
+    fn wava_matches_exact_decoder_on_clean_input() {
+        for seed in 0..6 {
+            let bits = random_bits(40, seed + 20);
+            let coded = conv_encode(&bits);
+            let llrs: Vec<i16> = coded.iter().map(|&b| if b == 0 { 90 } else { -90 }).collect();
+            assert_eq!(viterbi_decode_tb_wava(&llrs, 40, 1), bits, "seed {seed}");
+            assert_eq!(viterbi_decode_tb_wava(&llrs, 40, 2), bits, "seed {seed} (2 passes)");
+        }
+    }
+
+    #[test]
+    fn wava_matches_exact_decoder_under_noise() {
+        let bits = random_bits(44, 9);
+        let coded = conv_encode(&bits);
+        let mut llrs: Vec<i16> = coded.iter().map(|&b| if b == 0 { 60 } else { -60 }).collect();
+        for i in (0..llrs.len()).step_by(11) {
+            llrs[i] = -llrs[i] / 2; // ~9 % inverted
+        }
+        let exact = viterbi_decode_tb(&llrs, 44);
+        let wava = viterbi_decode_tb_wava(&llrs, 44, 2);
+        assert_eq!(exact, bits);
+        assert_eq!(wava, exact, "two-wrap WAVA should match the exact search here");
+    }
+
+    #[test]
+    fn dci_round_trip() {
+        let d = Dci { rb_assignment: 0x35A, mcs: 17, harq: 5, ndi: true, rv: 2 };
+        assert_eq!(Dci::from_bits(&d.to_bits()), d);
+        let bits = d.to_bits();
+        assert_eq!(bits.len(), Dci::BITS);
+        // through the channel coding
+        let coded = conv_encode(&bits);
+        let llrs: Vec<i16> = coded.iter().map(|&b| if b == 0 { 90 } else { -90 }).collect();
+        let rx = viterbi_decode_tb(&llrs, Dci::BITS);
+        assert_eq!(Dci::from_bits(&rx), d);
+    }
+}

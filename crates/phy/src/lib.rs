@@ -1,0 +1,68 @@
+//! # vran-phy — LTE Layer-1 physical layer in Rust
+//!
+//! A from-scratch implementation of the OAI signal-processing chain the
+//! paper profiles (§3.1): CRC attachment, code-block segmentation, the
+//! 3GPP TS 36.212 rate-1/3 turbo code (QPP interleaver, 8-state RSC
+//! constituents, trellis termination), rate matching (sub-block
+//! interleaver + circular buffer), TS 36.211 Gold-sequence scrambling,
+//! QPSK/16-QAM/64-QAM mapping with max-log soft demapping, OFDM
+//! (radix-2 FFT + cyclic prefix) and the PDCCH convolutional code with a
+//! tail-biting Viterbi decoder (DCI path).
+//!
+//! Two execution styles coexist, mirroring DESIGN.md §5.1:
+//!
+//! * plain Rust implementations used by the end-to-end pipeline,
+//!   correctness tests and native wall-clock benches;
+//! * `vran-simd` VM kernels for the SIMD-accelerated hot paths (the
+//!   max-log-MAP decoder in [`turbo::simd_decoder`]) whose traces feed
+//!   the `vran-uarch` simulator — these *are* the functional
+//!   implementation when run in native mode, not a model.
+//!
+//! The data the paper's arrangement process shuffles — interleaved
+//! systematic/parity LLR triples — is produced here ([`llr`]) and
+//! consumed here (the decoder), so `vran-arrange` can be validated
+//! end-to-end: both arrangement mechanisms must yield bit-identical
+//! decoded transport blocks.
+//!
+//! # Example
+//!
+//! ```
+//! use vran_phy::bits::random_bits;
+//! use vran_phy::llr::{bit_to_llr, TurboLlrs};
+//! use vran_phy::turbo::{TurboDecoder, TurboEncoder};
+//!
+//! let bits = random_bits(104, 7);
+//! let codeword = TurboEncoder::new(104).encode(&bits);
+//!
+//! // hard-decision LLRs from the three output streams
+//! let d = codeword.to_dstreams();
+//! let soft: [Vec<i16>; 3] = d
+//!     .iter()
+//!     .map(|s| s.iter().map(|&b| bit_to_llr(b, 60)).collect())
+//!     .collect::<Vec<_>>()
+//!     .try_into()
+//!     .unwrap();
+//!
+//! let input = TurboLlrs::from_dstreams(&soft, 104);
+//! let out = TurboDecoder::new(104, 4).decode(&input);
+//! assert_eq!(out.bits, bits);
+//! ```
+
+pub mod bits;
+pub mod channel;
+pub mod crc;
+pub mod dci;
+pub mod equalizer;
+pub mod interleaver;
+pub mod llr;
+pub mod modulation;
+pub mod modulation_simd;
+pub mod ofdm;
+pub mod rate_match;
+pub mod scrambler;
+pub mod segmentation;
+pub mod turbo;
+
+pub use interleaver::QppInterleaver;
+pub use llr::{InterleavedLlrs, Llr};
+pub use turbo::{TurboDecoder, TurboEncoder};

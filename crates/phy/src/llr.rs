@@ -1,0 +1,245 @@
+//! Log-likelihood-ratio types and the interleaved-triple layout the
+//! data arrangement process operates on.
+//!
+//! **Sign convention**: `Llr > 0` means bit `0` is more likely
+//! (`L(b) = log P(b=0)/P(b=1)`), matching the mapping bit `0 → +1` used
+//! by the modulator.
+//!
+//! The paper's Figure 8a/10: the decoder front end receives a stream of
+//! *interleaved clusters* — `[S1ₖ YP1ₖ YP2ₖ]` triples for consecutive
+//! trellis steps `k` — and the **data arrangement process** must
+//! segregate them into three linear arrays (`systematic1`, `yparity1`,
+//! `yparity2`) "for the gamma, alpha, beta and ext calculations".
+//! [`InterleavedLlrs`] is that input; [`SoftStreams`] is the arranged
+//! output; `vran-arrange` provides the baseline and APCM kernels that
+//! map one to the other.
+
+use serde::{Deserialize, Serialize};
+
+/// Fixed-point LLR (Q format chosen by the demapper; the decoder is
+/// scale-invariant under max-log).
+pub type Llr = i16;
+
+// ---------------------------------------------------------------------
+// Fixed-point helpers mirroring the SIMD instruction semantics exactly
+// (`_mm_adds_epi16` etc.), so the scalar decoder is bit-exact with the
+// VM kernels.
+// ---------------------------------------------------------------------
+
+/// `_mm_adds_epi16` on scalars.
+#[inline]
+pub fn adds16(a: Llr, b: Llr) -> Llr {
+    a.saturating_add(b)
+}
+
+/// `_mm_subs_epi16` on scalars.
+#[inline]
+pub fn subs16(a: Llr, b: Llr) -> Llr {
+    a.saturating_sub(b)
+}
+
+/// `_mm_max_epi16` on scalars.
+#[inline]
+pub fn max16(a: Llr, b: Llr) -> Llr {
+    a.max(b)
+}
+
+/// `_mm_srai_epi16` on scalars.
+#[inline]
+pub fn srai16(a: Llr, imm: u32) -> Llr {
+    a >> imm.min(15)
+}
+
+/// The three arranged LLR streams, each of length `K` — the output of
+/// the data arrangement process and the decoder's working input.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SoftStreams {
+    /// Systematic LLRs (`systematic1` in the paper).
+    pub sys: Vec<Llr>,
+    /// First parity LLRs (`yparity1`).
+    pub p1: Vec<Llr>,
+    /// Second parity LLRs (`yparity2`).
+    pub p2: Vec<Llr>,
+}
+
+impl SoftStreams {
+    /// All-zero streams of length `k`.
+    pub fn zeros(k: usize) -> Self {
+        Self { sys: vec![0; k], p1: vec![0; k], p2: vec![0; k] }
+    }
+
+    /// Block length.
+    pub fn len(&self) -> usize {
+        self.sys.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.sys.is_empty()
+    }
+}
+
+/// Tail (termination) LLRs for both constituent trellises.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TailLlrs {
+    /// Encoder-1 systematic tail `x_K..x_{K+2}`.
+    pub sys1: [Llr; 3],
+    /// Encoder-1 parity tail `z_K..z_{K+2}`.
+    pub p1: [Llr; 3],
+    /// Encoder-2 systematic tail `x'_K..x'_{K+2}`.
+    pub sys2: [Llr; 3],
+    /// Encoder-2 parity tail `z'_K..z'_{K+2}`.
+    pub p2: [Llr; 3],
+}
+
+/// Complete decoder input for one code block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TurboLlrs {
+    /// Block size K.
+    pub k: usize,
+    /// Arranged data streams (length K each).
+    pub streams: SoftStreams,
+    /// Termination LLRs.
+    pub tails: TailLlrs,
+}
+
+impl TurboLlrs {
+    /// Split soft values laid out as the spec's `d⁽⁰⁾ d⁽¹⁾ d⁽²⁾` streams
+    /// (each `K + 4` LLRs, see [`crate::turbo::TurboCodeword::to_dstreams`])
+    /// back into systematic/parity/tail form.
+    pub fn from_dstreams(d: &[Vec<Llr>; 3], k: usize) -> Self {
+        let [d0, d1, d2] = d;
+        assert!(d0.len() == k + 4 && d1.len() == k + 4 && d2.len() == k + 4);
+        let streams = SoftStreams {
+            sys: d0[..k].to_vec(),
+            p1: d1[..k].to_vec(),
+            p2: d2[..k].to_vec(),
+        };
+        let tails = TailLlrs {
+            sys1: [d0[k], d2[k], d1[k + 1]],
+            p1: [d1[k], d0[k + 1], d2[k + 1]],
+            sys2: [d0[k + 2], d2[k + 2], d1[k + 3]],
+            p2: [d1[k + 2], d0[k + 3], d2[k + 3]],
+        };
+        Self { k, streams, tails }
+    }
+
+    /// Multiplex the data streams into the interleaved-triple layout the
+    /// arrangement process consumes (tails stay separate — the paper's
+    /// arrangement concerns the K-length hot streams).
+    pub fn to_interleaved(&self) -> InterleavedLlrs {
+        InterleavedLlrs::from_streams(&self.streams)
+    }
+}
+
+/// The arrangement input: `[S1ₖ YP1ₖ YP2ₖ]` triples for `k = 0..K`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterleavedLlrs {
+    /// Block size K (number of triples).
+    pub k: usize,
+    /// `3K` LLRs, triple-interleaved.
+    pub data: Vec<Llr>,
+}
+
+impl InterleavedLlrs {
+    /// Multiplex three arranged streams into triples.
+    pub fn from_streams(s: &SoftStreams) -> Self {
+        let k = s.len();
+        assert!(s.p1.len() == k && s.p2.len() == k);
+        let mut data = Vec::with_capacity(3 * k);
+        for i in 0..k {
+            data.push(s.sys[i]);
+            data.push(s.p1[i]);
+            data.push(s.p2[i]);
+        }
+        Self { k, data }
+    }
+
+    /// Scalar oracle de-interleave — the ground truth both arrangement
+    /// kernels must reproduce.
+    pub fn deinterleave_scalar(&self) -> SoftStreams {
+        let mut out = SoftStreams::zeros(self.k);
+        for i in 0..self.k {
+            out.sys[i] = self.data[3 * i];
+            out.p1[i] = self.data[3 * i + 1];
+            out.p2[i] = self.data[3 * i + 2];
+        }
+        out
+    }
+}
+
+/// Convert a transmitted bit to a noiseless LLR of magnitude `mag`
+/// (bit 0 → +mag).
+#[inline]
+pub fn bit_to_llr(bit: u8, mag: Llr) -> Llr {
+    if bit == 0 {
+        mag
+    } else {
+        -mag
+    }
+}
+
+/// Hard decision: LLR < 0 → bit 1.
+#[inline]
+pub fn llr_to_bit(l: Llr) -> u8 {
+    u8::from(l < 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturating_helpers_match_intrinsic_semantics() {
+        assert_eq!(adds16(i16::MAX, 1), i16::MAX);
+        assert_eq!(subs16(i16::MIN, 1), i16::MIN);
+        assert_eq!(max16(-5, 3), 3);
+        assert_eq!(srai16(-8, 1), -4);
+        assert_eq!(srai16(-1, 1), -1, "arithmetic shift keeps the sign");
+    }
+
+    #[test]
+    fn interleave_round_trip() {
+        let s = SoftStreams {
+            sys: vec![1, 2, 3, 4],
+            p1: vec![10, 20, 30, 40],
+            p2: vec![-1, -2, -3, -4],
+        };
+        let il = InterleavedLlrs::from_streams(&s);
+        assert_eq!(il.data, vec![1, 10, -1, 2, 20, -2, 3, 30, -3, 4, 40, -4]);
+        assert_eq!(il.deinterleave_scalar(), s);
+    }
+
+    #[test]
+    fn dstream_round_trip_via_encoder() {
+        use crate::bits::random_bits;
+        use crate::turbo::TurboEncoder;
+        let enc = TurboEncoder::new(40);
+        let bits = random_bits(40, 17);
+        let cw = enc.encode(&bits);
+        let d = cw.to_dstreams();
+        let soft: [Vec<Llr>; 3] = d
+            .iter()
+            .map(|s| s.iter().map(|&b| bit_to_llr(b, 100)).collect())
+            .collect::<Vec<_>>()
+            .try_into()
+            .unwrap();
+        let t = TurboLlrs::from_dstreams(&soft, 40);
+        // systematic stream decodes back to the input bits
+        let rx: Vec<u8> = t.streams.sys.iter().map(|&l| llr_to_bit(l)).collect();
+        assert_eq!(rx, bits);
+        // tails map back to the encoder's tail bits
+        for i in 0..3 {
+            assert_eq!(llr_to_bit(t.tails.sys1[i]), cw.tail_sys1[i]);
+            assert_eq!(llr_to_bit(t.tails.p1[i]), cw.tail_p1[i]);
+            assert_eq!(llr_to_bit(t.tails.sys2[i]), cw.tail_sys2[i]);
+            assert_eq!(llr_to_bit(t.tails.p2[i]), cw.tail_p2[i]);
+        }
+    }
+
+    #[test]
+    fn bit_llr_round_trip() {
+        assert_eq!(llr_to_bit(bit_to_llr(0, 50)), 0);
+        assert_eq!(llr_to_bit(bit_to_llr(1, 50)), 1);
+    }
+}

@@ -1,0 +1,257 @@
+//! TS 36.211 §7.1 modulation mappers and max-log soft demappers.
+//!
+//! Complex symbols are `(f32, f32)` pairs normalized to unit average
+//! energy. The demapper emits fixed-point LLRs in the decoder's
+//! convention (positive → bit 0) scaled by [`LLR_SCALE`].
+
+use serde::{Deserialize, Serialize};
+
+/// A complex baseband sample.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Cplx {
+    /// In-phase component.
+    pub re: f32,
+    /// Quadrature component.
+    pub im: f32,
+}
+
+// The inherent `add`/`sub`/`mul` are deliberate: `Cplx` is `Copy` data
+// used in tight loops and the by-value methods keep call sites free of
+// trait imports.
+#[allow(clippy::should_implement_trait)]
+impl Cplx {
+    /// Construct from parts.
+    pub const fn new(re: f32, im: f32) -> Self {
+        Self { re, im }
+    }
+
+    /// Complex addition.
+    pub fn add(self, o: Self) -> Self {
+        Self::new(self.re + o.re, self.im + o.im)
+    }
+
+    /// Complex subtraction.
+    pub fn sub(self, o: Self) -> Self {
+        Self::new(self.re - o.re, self.im - o.im)
+    }
+
+    /// Complex multiplication.
+    pub fn mul(self, o: Self) -> Self {
+        Self::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sq(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+/// Fixed-point scale applied to demapped LLRs (Q format: ±4·scale full
+/// range for 64-QAM).
+pub const LLR_SCALE: f32 = 64.0;
+
+/// Modulation orders used by LTE data channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Modulation {
+    /// 2 bits/symbol.
+    Qpsk,
+    /// 4 bits/symbol.
+    Qam16,
+    /// 6 bits/symbol.
+    Qam64,
+}
+
+impl Modulation {
+    /// All supported orders.
+    pub const ALL: [Modulation; 3] = [Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64];
+
+    /// Bits carried per symbol.
+    pub const fn bits_per_symbol(self) -> usize {
+        match self {
+            Modulation::Qpsk => 2,
+            Modulation::Qam16 => 4,
+            Modulation::Qam64 => 6,
+        }
+    }
+
+    /// Display name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Modulation::Qpsk => "QPSK",
+            Modulation::Qam16 => "16QAM",
+            Modulation::Qam64 => "64QAM",
+        }
+    }
+
+    /// Per-axis amplitude normalizer (unit average symbol energy).
+    fn norm(self) -> f32 {
+        match self {
+            Modulation::Qpsk => 1.0 / std::f32::consts::SQRT_2,
+            Modulation::Qam16 => 1.0 / 10.0f32.sqrt(),
+            Modulation::Qam64 => 1.0 / 42.0f32.sqrt(),
+        }
+    }
+
+    /// Gray-mapped per-axis level from the bits on one axis
+    /// (TS 36.211 tables; bit 0 ↦ positive).
+    fn axis_level(self, bits: &[u8]) -> f32 {
+        match self {
+            Modulation::Qpsk => {
+                if bits[0] == 0 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            }
+            Modulation::Qam16 => {
+                let sign = if bits[0] == 0 { 1.0 } else { -1.0 };
+                let mag = if bits[1] == 0 { 1.0 } else { 3.0 };
+                sign * mag
+            }
+            Modulation::Qam64 => {
+                // Gray magnitudes: (b1,b2) = 00→1, 01→3, 11→5, 10→7.
+                let sign = if bits[0] == 0 { 1.0 } else { -1.0 };
+                let mag = match (bits[1], bits[2]) {
+                    (0, 0) => 1.0,
+                    (0, 1) => 3.0,
+                    (1, 1) => 5.0,
+                    (1, 0) => 7.0,
+                    _ => unreachable!(),
+                };
+                sign * mag
+            }
+        }
+    }
+
+    /// Map bits (length divisible by `bits_per_symbol`) to symbols.
+    /// Bit-to-axis assignment per the spec: even-indexed bits drive I,
+    /// odd-indexed drive Q (interleaved per symbol).
+    pub fn modulate(self, bits: &[u8]) -> Vec<Cplx> {
+        let bps = self.bits_per_symbol();
+        assert_eq!(bits.len() % bps, 0, "bit count must be a multiple of {bps}");
+        let n = self.norm();
+        bits.chunks_exact(bps)
+            .map(|c| {
+                let half = bps / 2;
+                let ibits: Vec<u8> = (0..half).map(|j| c[2 * j]).collect();
+                let qbits: Vec<u8> = (0..half).map(|j| c[2 * j + 1]).collect();
+                Cplx::new(self.axis_level(&ibits) * n, self.axis_level(&qbits) * n)
+            })
+            .collect()
+    }
+
+    /// Max-log soft demapping of one axis value `y` (already scaled by
+    /// 1/norm) into per-bit LLRs for that axis.
+    fn axis_llrs(self, y: f32, out: &mut Vec<i16>) {
+        let q = |v: f32| (v * LLR_SCALE).clamp(i16::MIN as f32, i16::MAX as f32) as i16;
+        match self {
+            Modulation::Qpsk => out.push(q(2.0 * y)),
+            Modulation::Qam16 => {
+                // b0: sign; b1: |y| inner(1) vs outer(3)
+                out.push(q(2.0 * y));
+                out.push(q(2.0 * (2.0 - y.abs())));
+            }
+            Modulation::Qam64 => {
+                // b0: sign. b1 = 0 for |y| ∈ {1,3} → L ≈ 4 − |y|.
+                // b2 = 0 for |y| ∈ {1,7} → L ≈ ||y|−4| − 2.
+                out.push(q(y));
+                out.push(q(4.0 - y.abs()));
+                out.push(q((y.abs() - 4.0).abs() - 2.0));
+            }
+        }
+    }
+
+    /// Max-log soft demapper: symbols → interleaved per-bit LLRs
+    /// (positive → bit 0). `noise_scale` multiplies the output
+    /// (≈ 1/σ²; pass 1.0 when the decoder normalizes elsewhere).
+    pub fn demodulate(self, symbols: &[Cplx], noise_scale: f32) -> Vec<i16> {
+        let inv = 1.0 / self.norm();
+        let mut axis_i = Vec::new();
+        let mut axis_q = Vec::new();
+        let mut out = Vec::with_capacity(symbols.len() * self.bits_per_symbol());
+        for s in symbols {
+            axis_i.clear();
+            axis_q.clear();
+            self.axis_llrs(s.re * inv, &mut axis_i);
+            self.axis_llrs(s.im * inv, &mut axis_q);
+            for j in 0..axis_i.len() {
+                let scale = |v: i16| {
+                    ((v as f32 * noise_scale).clamp(i16::MIN as f32, i16::MAX as f32)) as i16
+                };
+                out.push(scale(axis_i[j]));
+                out.push(scale(axis_q[j]));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::random_bits;
+
+    #[test]
+    fn unit_average_energy() {
+        for m in Modulation::ALL {
+            let bits = random_bits(m.bits_per_symbol() * 4096, 5);
+            let syms = m.modulate(&bits);
+            let e: f32 = syms.iter().map(|s| s.norm_sq()).sum::<f32>() / syms.len() as f32;
+            assert!((e - 1.0).abs() < 0.05, "{}: energy {e}", m.name());
+        }
+    }
+
+    #[test]
+    fn noiseless_demap_recovers_bits() {
+        for m in Modulation::ALL {
+            let bits = random_bits(m.bits_per_symbol() * 500, 9);
+            let syms = m.modulate(&bits);
+            let llrs = m.demodulate(&syms, 1.0);
+            assert_eq!(llrs.len(), bits.len());
+            let rx: Vec<u8> = llrs.iter().map(|&l| u8::from(l < 0)).collect();
+            assert_eq!(rx, bits, "{} demap mismatch", m.name());
+        }
+    }
+
+    #[test]
+    fn qpsk_constellation_points() {
+        let s = Modulation::Qpsk.modulate(&[0, 0, 0, 1, 1, 0, 1, 1]);
+        let a = 1.0 / std::f32::consts::SQRT_2;
+        assert!((s[0].re - a).abs() < 1e-6 && (s[0].im - a).abs() < 1e-6);
+        assert!((s[1].re - a).abs() < 1e-6 && (s[1].im + a).abs() < 1e-6);
+        assert!((s[2].re + a).abs() < 1e-6 && (s[2].im - a).abs() < 1e-6);
+        assert!((s[3].re + a).abs() < 1e-6 && (s[3].im + a).abs() < 1e-6);
+    }
+
+    #[test]
+    fn qam16_has_sixteen_distinct_points() {
+        let mut pts = std::collections::HashSet::new();
+        for v in 0..16u8 {
+            let bits = [(v >> 3) & 1, (v >> 2) & 1, (v >> 1) & 1, v & 1];
+            let s = Modulation::Qam16.modulate(&bits)[0];
+            pts.insert((s.re.to_bits(), s.im.to_bits()));
+        }
+        assert_eq!(pts.len(), 16);
+    }
+
+    #[test]
+    fn qam64_has_sixtyfour_distinct_points() {
+        let mut pts = std::collections::HashSet::new();
+        for v in 0..64u8 {
+            let bits: Vec<u8> = (0..6).map(|i| (v >> (5 - i)) & 1).collect();
+            let s = Modulation::Qam64.modulate(&bits)[0];
+            pts.insert((s.re.to_bits(), s.im.to_bits()));
+        }
+        assert_eq!(pts.len(), 64);
+    }
+
+    #[test]
+    fn llr_magnitude_tracks_distance_from_decision_boundary() {
+        // A QPSK symbol near the axis should give weaker LLRs than one
+        // far from it.
+        let strong = Modulation::Qpsk.demodulate(&[Cplx::new(0.9, 0.9)], 1.0);
+        let weak = Modulation::Qpsk.demodulate(&[Cplx::new(0.05, 0.05)], 1.0);
+        assert!(strong[0] > weak[0]);
+        assert!(weak[0] > 0);
+    }
+}

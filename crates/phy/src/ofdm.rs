@@ -1,0 +1,244 @@
+//! OFDM modulation: radix-2 FFT, subcarrier mapping, cyclic prefix.
+//!
+//! Parameters mirror the paper's 5 MHz FDD configuration: 512-point
+//! FFT, 300 used subcarriers (25 RB × 12), normal CP. The FFT itself is
+//! the "do OFDM" scalar workload of Figure 7.
+
+use crate::modulation::Cplx;
+
+/// In-place iterative radix-2 decimation-in-time FFT.
+/// `inverse` selects the IFFT (includes the 1/N scale).
+pub fn fft(buf: &mut [Cplx], inverse: bool) {
+    let n = buf.len();
+    assert!(n.is_power_of_two() && n >= 2, "FFT length must be a power of two, got {n}");
+
+    // bit-reversal permutation
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f32::consts::PI / len as f32;
+        let wlen = Cplx::new(ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let mut w = Cplx::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let a = buf[start + k];
+                let b = buf[start + k + len / 2].mul(w);
+                buf[start + k] = a.add(b);
+                buf[start + k + len / 2] = a.sub(b);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let s = 1.0 / n as f32;
+        for v in buf.iter_mut() {
+            *v = Cplx::new(v.re * s, v.im * s);
+        }
+    }
+}
+
+/// OFDM modulator/demodulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OfdmConfig {
+    /// FFT size (512 for 5 MHz LTE).
+    pub fft_size: usize,
+    /// Used (data) subcarriers, mapped symmetrically around DC.
+    pub used_subcarriers: usize,
+    /// Cyclic-prefix length in samples.
+    pub cp_len: usize,
+}
+
+impl OfdmConfig {
+    /// The paper's testbed configuration: FDD, 5 MHz (25 RB).
+    pub const fn lte5mhz() -> Self {
+        Self { fft_size: 512, used_subcarriers: 300, cp_len: 36 }
+    }
+
+    /// Samples per OFDM symbol including CP.
+    pub const fn symbol_len(&self) -> usize {
+        self.fft_size + self.cp_len
+    }
+
+    /// Frequency-domain bin for data subcarrier `i` (DC skipped,
+    /// negative frequencies wrap to the top of the FFT input).
+    fn bin(&self, i: usize) -> usize {
+        let half = self.used_subcarriers / 2;
+        if i < half {
+            // negative frequencies: -half .. -1
+            self.fft_size - half + i
+        } else {
+            // positive frequencies: 1 .. half
+            i - half + 1
+        }
+    }
+
+    /// Modulate `used_subcarriers` frequency-domain symbols into one
+    /// time-domain OFDM symbol with CP.
+    ///
+    /// The transform pair is **unitary** (1/√N each direction): white
+    /// channel noise of per-axis variance σ² in the time domain stays
+    /// σ² per subcarrier, so the AWGN channel's configured SNR is the
+    /// SNR the demapper sees.
+    pub fn modulate(&self, symbols: &[Cplx]) -> Vec<Cplx> {
+        assert_eq!(symbols.len(), self.used_subcarriers);
+        let mut freq = vec![Cplx::default(); self.fft_size];
+        for (i, &s) in symbols.iter().enumerate() {
+            freq[self.bin(i)] = s;
+        }
+        fft(&mut freq, true);
+        let s = (self.fft_size as f32).sqrt(); // 1/N · √N = 1/√N net
+        for v in freq.iter_mut() {
+            *v = Cplx::new(v.re * s, v.im * s);
+        }
+        let mut out = Vec::with_capacity(self.symbol_len());
+        out.extend_from_slice(&freq[self.fft_size - self.cp_len..]);
+        out.extend_from_slice(&freq);
+        out
+    }
+
+    /// Demodulate one received OFDM symbol (with CP) back to
+    /// frequency-domain subcarrier symbols.
+    pub fn demodulate(&self, samples: &[Cplx]) -> Vec<Cplx> {
+        assert_eq!(samples.len(), self.symbol_len());
+        let mut freq: Vec<Cplx> = samples[self.cp_len..].to_vec();
+        fft(&mut freq, false);
+        let s = 1.0 / (self.fft_size as f32).sqrt();
+        for v in freq.iter_mut() {
+            *v = Cplx::new(v.re * s, v.im * s);
+        }
+        (0..self.used_subcarriers).map(|i| freq[self.bin(i)]).collect()
+    }
+
+    /// Modulate a stream of symbols into consecutive OFDM symbols,
+    /// zero-padding the final one.
+    pub fn modulate_stream(&self, symbols: &[Cplx]) -> Vec<Cplx> {
+        let mut out = Vec::new();
+        for chunk in symbols.chunks(self.used_subcarriers) {
+            let mut grid = chunk.to_vec();
+            grid.resize(self.used_subcarriers, Cplx::default());
+            out.extend(self.modulate(&grid));
+        }
+        out
+    }
+
+    /// Demodulate a stream produced by [`OfdmConfig::modulate_stream`],
+    /// returning `n_symbols` subcarrier symbols.
+    pub fn demodulate_stream(&self, samples: &[Cplx], n_symbols: usize) -> Vec<Cplx> {
+        let mut out = Vec::with_capacity(n_symbols);
+        for chunk in samples.chunks(self.symbol_len()) {
+            out.extend(self.demodulate(chunk));
+            if out.len() >= n_symbols {
+                break;
+            }
+        }
+        out.truncate(n_symbols);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::random_bits;
+    use crate::modulation::Modulation;
+
+    fn close(a: Cplx, b: Cplx, eps: f32) -> bool {
+        (a.re - b.re).abs() < eps && (a.im - b.im).abs() < eps
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut buf = vec![Cplx::default(); 64];
+        buf[0] = Cplx::new(1.0, 0.0);
+        fft(&mut buf, false);
+        assert!(buf.iter().all(|&v| close(v, Cplx::new(1.0, 0.0), 1e-4)));
+    }
+
+    #[test]
+    fn fft_of_single_tone_is_a_bin() {
+        let n = 128;
+        let k = 5;
+        let mut buf: Vec<Cplx> = (0..n)
+            .map(|i| {
+                let ph = 2.0 * std::f32::consts::PI * (k * i) as f32 / n as f32;
+                Cplx::new(ph.cos(), ph.sin())
+            })
+            .collect();
+        fft(&mut buf, false);
+        for (i, v) in buf.iter().enumerate() {
+            if i == k {
+                assert!(close(*v, Cplx::new(n as f32, 0.0), 1e-2), "bin {i}: {v:?}");
+            } else {
+                assert!(v.norm_sq() < 1e-4, "leakage at bin {i}: {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let mut buf: Vec<Cplx> = (0..256)
+            .map(|i| Cplx::new((i as f32 * 0.37).sin(), (i as f32 * 0.11).cos()))
+            .collect();
+        let orig = buf.clone();
+        fft(&mut buf, false);
+        fft(&mut buf, true);
+        for (a, b) in buf.iter().zip(&orig) {
+            assert!(close(*a, *b, 1e-4));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let mut buf: Vec<Cplx> =
+            (0..512).map(|i| Cplx::new((i as f32 * 0.7).sin(), (i as f32 * 1.3).sin())).collect();
+        let t_energy: f32 = buf.iter().map(|v| v.norm_sq()).sum();
+        fft(&mut buf, false);
+        let f_energy: f32 = buf.iter().map(|v| v.norm_sq()).sum::<f32>() / 512.0;
+        assert!((t_energy - f_energy).abs() / t_energy < 1e-3);
+    }
+
+    #[test]
+    fn ofdm_round_trip_is_transparent() {
+        let cfg = OfdmConfig::lte5mhz();
+        let bits = random_bits(cfg.used_subcarriers * 2, 7);
+        let syms = Modulation::Qpsk.modulate(&bits);
+        let tx = cfg.modulate(&syms);
+        assert_eq!(tx.len(), 548);
+        let rx = cfg.demodulate(&tx);
+        for (a, b) in rx.iter().zip(&syms) {
+            assert!(close(*a, *b, 1e-3), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn cp_really_is_a_prefix_copy() {
+        let cfg = OfdmConfig::lte5mhz();
+        let syms = Modulation::Qpsk.modulate(&random_bits(600, 8));
+        let tx = cfg.modulate(&syms[..300].to_vec());
+        assert_eq!(&tx[..cfg.cp_len], &tx[cfg.fft_size..]);
+    }
+
+    #[test]
+    fn stream_round_trip_with_padding() {
+        let cfg = OfdmConfig::lte5mhz();
+        let bits = random_bits(1450 * 2, 3);
+        let syms = Modulation::Qpsk.modulate(&bits);
+        let tx = cfg.modulate_stream(&syms);
+        assert_eq!(tx.len(), 5 * cfg.symbol_len()); // ceil(1450/300) = 5
+        let rx = cfg.demodulate_stream(&tx, syms.len());
+        assert_eq!(rx.len(), syms.len());
+        for (a, b) in rx.iter().zip(&syms) {
+            assert!(close(*a, *b, 1e-3));
+        }
+    }
+}

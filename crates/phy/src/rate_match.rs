@@ -1,0 +1,389 @@
+//! TS 36.212 §5.1.4.1 rate matching for turbo-coded transport channels.
+//!
+//! Each of the three encoder output streams `d⁽⁰⁾ d⁽¹⁾ d⁽²⁾` passes
+//! through the 32-column sub-block interleaver; the results are
+//! collected into the circular buffer `w` (systematic first, then the
+//! two parities bit-interlaced) and `E` bits are read out starting at
+//! the redundancy-version offset, skipping `<NULL>` padding.
+//!
+//! De-rate-matching inverts the readout into LLR space, *combining*
+//! repeated positions by saturating addition (chase combining) and
+//! leaving punctured positions at LLR 0.
+
+use crate::llr::{adds16, Llr};
+
+/// The spec's inter-column permutation pattern.
+pub const COL_PERM: [usize; 32] = [
+    0, 16, 8, 24, 4, 20, 12, 28, 2, 18, 10, 26, 6, 22, 14, 30, 1, 17, 9, 25, 5, 21, 13, 29, 3, 19,
+    11, 27, 7, 23, 15, 31,
+];
+
+const NCOLS: usize = 32;
+
+/// Position map for one stream: `perm[i]` is the index into the padded
+/// `R×32` matrix (row-major write order) read out at position `i`;
+/// positions pointing into the pad are `usize::MAX`.
+fn subblock_positions(d: usize, stream2: bool) -> Vec<usize> {
+    let rows = d.div_ceil(NCOLS);
+    let kp = rows * NCOLS;
+    let nd = kp - d; // leading <NULL> count
+    let mut out = Vec::with_capacity(kp);
+    if !stream2 {
+        // read column-wise in permuted column order
+        for &c in COL_PERM.iter() {
+            for r in 0..rows {
+                let idx = r * NCOLS + c; // row-major position in padded matrix
+                out.push(if idx < nd { usize::MAX } else { idx - nd });
+            }
+        }
+    } else {
+        // d⁽²⁾ uses the shifted formula π(k) = (P(⌊k/R⌋) + 32·(k mod R) + 1) mod Kp
+        for k in 0..kp {
+            let idx = (COL_PERM[k / rows] + NCOLS * (k % rows) + 1) % kp;
+            out.push(if idx < nd { usize::MAX } else { idx - nd });
+        }
+    }
+    out
+}
+
+/// The circular-buffer position map: `w[i]` gives the index into the
+/// concatenated `[d0 | d1 | d2]` (each of length `d`) for circular
+/// buffer position `i`, or `usize::MAX` for `<NULL>`.
+fn circular_buffer_map(d: usize) -> Vec<usize> {
+    let v0 = subblock_positions(d, false);
+    let v1 = subblock_positions(d, false);
+    let v2 = subblock_positions(d, true);
+    let kp = v0.len();
+    let mut w = Vec::with_capacity(3 * kp);
+    for &p in &v0 {
+        w.push(if p == usize::MAX { usize::MAX } else { p });
+    }
+    for j in 0..kp {
+        // interlace v1, v2
+        let p1 = v1[j];
+        w.push(if p1 == usize::MAX { usize::MAX } else { d + p1 });
+        let p2 = v2[j];
+        w.push(if p2 == usize::MAX { usize::MAX } else { 2 * d + p2 });
+    }
+    w
+}
+
+/// Rate matcher for one code block.
+#[derive(Debug, Clone)]
+pub struct RateMatcher {
+    d: usize,
+    wmap: Vec<usize>,
+}
+
+impl RateMatcher {
+    /// For per-stream length `d = K + 4`.
+    pub fn new(d: usize) -> Self {
+        Self { d, wmap: circular_buffer_map(d) }
+    }
+
+    /// Circular buffer length `Ncb = 3·Kp`.
+    pub fn ncb(&self) -> usize {
+        self.wmap.len()
+    }
+
+    /// Readout start offset `k0` for redundancy version `rv ∈ 0..4`.
+    pub fn k0(&self, rv: usize) -> usize {
+        assert!(rv < 4);
+        let rows = self.d.div_ceil(NCOLS);
+        rows * (2 * self.ncb().div_ceil(8 * rows) * rv + 2)
+    }
+
+    /// Select `e` output bits from the coded streams (bit domain).
+    pub fn rate_match(&self, d: &[Vec<u8>; 3], e: usize, rv: usize) -> Vec<u8> {
+        assert!(d.iter().all(|s| s.len() == self.d));
+        let ncb = self.ncb();
+        let flat: Vec<u8> = d.iter().flat_map(|s| s.iter().copied()).collect();
+        let mut out = Vec::with_capacity(e);
+        let mut k = self.k0(rv);
+        while out.len() < e {
+            let p = self.wmap[k % ncb];
+            if p != usize::MAX {
+                out.push(flat[p]);
+            }
+            k += 1;
+        }
+        out
+    }
+
+    /// Invert the readout in LLR space: returns three LLR streams of
+    /// length `d`, with repeats chase-combined and punctures at 0.
+    pub fn de_rate_match(&self, llrs: &[Llr], rv: usize) -> [Vec<Llr>; 3] {
+        let ncb = self.ncb();
+        let mut acc = vec![0 as Llr; 3 * self.d];
+        let mut k = self.k0(rv);
+        let mut consumed = 0;
+        while consumed < llrs.len() {
+            let p = self.wmap[k % ncb];
+            if p != usize::MAX {
+                acc[p] = adds16(acc[p], llrs[consumed]);
+                consumed += 1;
+            }
+            k += 1;
+        }
+        let d = self.d;
+        [acc[..d].to_vec(), acc[d..2 * d].to_vec(), acc[2 * d..].to_vec()]
+    }
+}
+
+/// TS 36.212 §5.1.4.2 rate matching for *convolutionally* coded
+/// channels (PDCCH/DCI, PBCH): same 32-column sub-block interleaver
+/// with a different column permutation, sequential (not interlaced)
+/// bit collection, and readout always from position 0 (no redundancy
+/// versions on control channels).
+pub mod conv {
+    use super::NCOLS;
+    use crate::llr::{adds16, Llr};
+
+    /// The §5.1.4.2 inter-column permutation.
+    pub const COL_PERM_CC: [usize; 32] = [
+        1, 17, 9, 25, 5, 21, 13, 29, 3, 19, 11, 27, 7, 23, 15, 31, 0, 16, 8, 24, 4, 20, 12, 28,
+        2, 18, 10, 26, 6, 22, 14, 30,
+    ];
+
+    fn positions(d: usize) -> Vec<usize> {
+        let rows = d.div_ceil(NCOLS);
+        let kp = rows * NCOLS;
+        let nd = kp - d;
+        let mut out = Vec::with_capacity(kp);
+        for &c in COL_PERM_CC.iter() {
+            for r in 0..rows {
+                let idx = r * NCOLS + c;
+                out.push(if idx < nd { usize::MAX } else { idx - nd });
+            }
+        }
+        out
+    }
+
+    /// Convolutional-channel rate matcher for per-stream length `d`.
+    #[derive(Debug, Clone)]
+    pub struct ConvRateMatcher {
+        d: usize,
+        wmap: Vec<usize>, // circular buffer → flat [d0|d1|d2] index
+    }
+
+    impl ConvRateMatcher {
+        /// New matcher for streams of `d` bits each.
+        pub fn new(d: usize) -> Self {
+            let pos = positions(d);
+            let kp = pos.len();
+            let mut wmap = Vec::with_capacity(3 * kp);
+            for stream in 0..3 {
+                for &p in &pos {
+                    wmap.push(if p == usize::MAX { usize::MAX } else { stream * d + p });
+                }
+            }
+            Self { d, wmap }
+        }
+
+        /// Select `e` coded bits.
+        pub fn rate_match(&self, d: &[Vec<u8>; 3], e: usize) -> Vec<u8> {
+            assert!(d.iter().all(|s| s.len() == self.d));
+            let flat: Vec<u8> = d.iter().flat_map(|s| s.iter().copied()).collect();
+            let ncb = self.wmap.len();
+            let mut out = Vec::with_capacity(e);
+            let mut k = 0usize;
+            while out.len() < e {
+                let p = self.wmap[k % ncb];
+                if p != usize::MAX {
+                    out.push(flat[p]);
+                }
+                k += 1;
+            }
+            out
+        }
+
+        /// Invert into LLR space with chase combining of repeats.
+        pub fn de_rate_match(&self, llrs: &[Llr]) -> [Vec<Llr>; 3] {
+            let ncb = self.wmap.len();
+            let mut acc = vec![0 as Llr; 3 * self.d];
+            let mut k = 0usize;
+            let mut used = 0;
+            while used < llrs.len() {
+                let p = self.wmap[k % ncb];
+                if p != usize::MAX {
+                    acc[p] = adds16(acc[p], llrs[used]);
+                    used += 1;
+                }
+                k += 1;
+            }
+            let d = self.d;
+            [acc[..d].to_vec(), acc[d..2 * d].to_vec(), acc[2 * d..].to_vec()]
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::bits::random_bits;
+
+        #[test]
+        fn cc_permutation_is_a_permutation_of_columns() {
+            let mut seen = [false; 32];
+            for &c in &COL_PERM_CC {
+                assert!(!seen[c]);
+                seen[c] = true;
+            }
+        }
+
+        #[test]
+        fn full_readout_covers_every_bit_once() {
+            let d = 66; // 22-bit DCI × 3
+            let rm = ConvRateMatcher::new(d);
+            let streams = [random_bits(d, 1), random_bits(d, 2), random_bits(d, 3)];
+            let out = rm.rate_match(&streams, 3 * d);
+            let mut ones_in = 0;
+            for s in &streams {
+                ones_in += s.iter().filter(|&&b| b == 1).count();
+            }
+            assert_eq!(out.iter().filter(|&&b| b == 1).count(), ones_in);
+        }
+
+        #[test]
+        fn repetition_combines() {
+            let d = 66;
+            let rm = ConvRateMatcher::new(d);
+            let streams = [random_bits(d, 4), random_bits(d, 5), random_bits(d, 6)];
+            let tx = rm.rate_match(&streams, 6 * d); // 2× repetition
+            let llrs: Vec<Llr> = tx.iter().map(|&b| if b == 0 { 40 } else { -40 }).collect();
+            let rx = rm.de_rate_match(&llrs);
+            for (s, got) in streams.iter().zip(&rx) {
+                for (i, (&b, &l)) in s.iter().zip(got).enumerate() {
+                    assert_eq!(l.abs(), 80, "position {i} combined twice");
+                    assert_eq!(u8::from(l < 0), b);
+                }
+            }
+        }
+
+        #[test]
+        fn puncturing_leaves_zero_llrs() {
+            let d = 66;
+            let rm = ConvRateMatcher::new(d);
+            let streams = [random_bits(d, 7), random_bits(d, 8), random_bits(d, 9)];
+            let e = 100; // < 198
+            let tx = rm.rate_match(&streams, e);
+            let llrs: Vec<Llr> = tx.iter().map(|&b| if b == 0 { 40 } else { -40 }).collect();
+            let rx = rm.de_rate_match(&llrs);
+            let filled: usize =
+                rx.iter().flat_map(|s| s.iter()).filter(|&&l| l != 0).count();
+            assert_eq!(filled, e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::random_bits;
+
+    fn dstreams(d: usize, seed: u64) -> [Vec<u8>; 3] {
+        [random_bits(d, seed), random_bits(d, seed + 1), random_bits(d, seed + 2)]
+    }
+
+    #[test]
+    fn subblock_positions_are_a_permutation() {
+        for d in [44usize, 108, 6148] {
+            for stream2 in [false, true] {
+                let pos = subblock_positions(d, stream2);
+                let kp = d.div_ceil(32) * 32;
+                assert_eq!(pos.len(), kp);
+                let nulls = pos.iter().filter(|&&p| p == usize::MAX).count();
+                assert_eq!(nulls, kp - d);
+                let mut seen = vec![false; d];
+                for &p in pos.iter().filter(|&&p| p != usize::MAX) {
+                    assert!(!seen[p], "duplicate position {p}");
+                    seen[p] = true;
+                }
+                assert!(seen.iter().all(|&s| s), "d={d} stream2={stream2} missing positions");
+            }
+        }
+    }
+
+    #[test]
+    fn full_buffer_readout_covers_every_bit() {
+        let d = 44;
+        let rm = RateMatcher::new(d);
+        let streams = dstreams(d, 5);
+        // Read exactly the number of real (non-null) bits from rv=0:
+        let out = rm.rate_match(&streams, 3 * d, 0);
+        assert_eq!(out.len(), 3 * d);
+        // All coded bits appear (as a multiset) since e = #real bits
+        // and the buffer wraps exactly once across nulls.
+        let mut count_in = [0usize; 2];
+        for s in &streams {
+            for &b in s {
+                count_in[b as usize] += 1;
+            }
+        }
+        let mut count_out = [0usize; 2];
+        for &b in &out {
+            count_out[b as usize] += 1;
+        }
+        assert_eq!(count_in, count_out);
+    }
+
+    #[test]
+    fn de_rate_match_inverts_puncturing() {
+        // e < total: punctured positions come back as 0-LLRs; surviving
+        // positions carry the right sign.
+        let d = 108;
+        let rm = RateMatcher::new(d);
+        let streams = dstreams(d, 9);
+        let e = 200; // < 324
+        let tx = rm.rate_match(&streams, e, 0);
+        let llrs: Vec<Llr> = tx.iter().map(|&b| if b == 0 { 80 } else { -80 }).collect();
+        let rx = rm.de_rate_match(&llrs, 0);
+        let flat_in: Vec<u8> = streams.iter().flat_map(|s| s.iter().copied()).collect();
+        let flat_out: Vec<Llr> =
+            rx.iter().flat_map(|s| s.iter().copied()).collect();
+        let mut seen_nonzero = 0;
+        for (i, &l) in flat_out.iter().enumerate() {
+            if l != 0 {
+                seen_nonzero += 1;
+                assert_eq!(u8::from(l < 0), flat_in[i], "sign mismatch at {i}");
+            }
+        }
+        assert_eq!(seen_nonzero, e, "exactly e positions must be filled");
+    }
+
+    #[test]
+    fn repetition_combines_llrs() {
+        // e > total real bits: wrapped positions accumulate.
+        let d = 44;
+        let rm = RateMatcher::new(d);
+        let streams = dstreams(d, 3);
+        let e = 3 * d * 2; // every bit transmitted exactly twice
+        let tx = rm.rate_match(&streams, e, 0);
+        let llrs: Vec<Llr> = tx.iter().map(|&b| if b == 0 { 50 } else { -50 }).collect();
+        let rx = rm.de_rate_match(&llrs, 0);
+        for s in &rx {
+            for &l in s {
+                assert_eq!(l.abs(), 100, "each position combined twice: {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn redundancy_versions_start_at_different_offsets() {
+        let rm = RateMatcher::new(108);
+        let k0s: Vec<usize> = (0..4).map(|rv| rm.k0(rv)).collect();
+        for w in k0s.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert!(k0s[3] < rm.ncb(), "k0 must stay within the buffer");
+    }
+
+    #[test]
+    fn different_rv_different_output() {
+        let d = 108;
+        let rm = RateMatcher::new(d);
+        let streams = dstreams(d, 1);
+        let a = rm.rate_match(&streams, 150, 0);
+        let b = rm.rate_match(&streams, 150, 2);
+        assert_ne!(a, b);
+    }
+}

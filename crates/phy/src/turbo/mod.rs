@@ -1,0 +1,27 @@
+//! TS 36.212 §5.1.3.2 rate-1/3 turbo code.
+//!
+//! Parallel-concatenated convolutional code: two identical 8-state RSC
+//! constituent encoders with transfer function
+//! `G(D) = [1, g1(D)/g0(D)]`, `g0 = 1 + D² + D³` (13 octal),
+//! `g1 = 1 + D + D³` (15 octal); the second encoder reads the block in
+//! QPP-interleaved order; both trellises are terminated with 3 tail
+//! bits (12 transmitted tail bits total).
+//!
+//! * [`trellis`] — the state-transition tables shared by encoder and
+//!   decoders (and the SIMD decoder's shuffle patterns).
+//! * [`encoder`] — bit-level encoder producing the spec's `d⁽⁰⁾ d⁽¹⁾ d⁽²⁾`
+//!   streams.
+//! * [`decoder`] — scalar fixed-point (i16 saturating) max-log-MAP
+//!   iterative decoder; the bit-exact oracle.
+//! * [`simd_decoder`] — the same arithmetic expressed as `vran-simd`
+//!   VM kernels (the OAI `_mm_adds/_mm_subs/_mm_max` style), usable in
+//!   native mode (functional) or tracing mode (feeds `vran-uarch`).
+
+pub mod batch_decoder;
+pub mod decoder;
+pub mod encoder;
+pub mod simd_decoder;
+pub mod trellis;
+
+pub use decoder::{DecodeOutcome, TurboDecoder};
+pub use encoder::{TurboCodeword, TurboEncoder};

@@ -1,0 +1,163 @@
+//! 8-state RSC trellis structure shared by the encoder and both
+//! decoders.
+//!
+//! State encoding: `s = (a₋₁ << 2) | (a₋₂ << 1) | a₋₃` where `aᵢ` are the
+//! most recent feedback-register bits (`a₋₁` newest). With
+//! `g0 = 1 + D² + D³` the feedback is `a = u ⊕ a₋₂ ⊕ a₋₃` and with
+//! `g1 = 1 + D + D³` the parity is `z = a ⊕ a₋₁ ⊕ a₋₃`.
+
+/// Number of trellis states (2³).
+pub const STATES: usize = 8;
+
+#[inline]
+fn bits(s: u8) -> (u8, u8, u8) {
+    ((s >> 2) & 1, (s >> 1) & 1, s & 1)
+}
+
+/// Feedback bit produced when input `u` enters state `s`.
+#[inline]
+pub fn feedback(s: u8, u: u8) -> u8 {
+    let (_, s1, s2) = bits(s);
+    u ^ s1 ^ s2
+}
+
+/// Parity (coded) bit for input `u` in state `s`.
+#[inline]
+pub fn parity(s: u8, u: u8) -> u8 {
+    let (s0, _, s2) = bits(s);
+    feedback(s, u) ^ s0 ^ s2
+}
+
+/// Next state for input `u` in state `s`.
+#[inline]
+pub fn next_state(s: u8, u: u8) -> u8 {
+    let (s0, s1, _) = bits(s);
+    (feedback(s, u) << 2) | (s0 << 1) | s1
+}
+
+/// The tail input that drives the feedback to zero (trellis
+/// termination, TS 36.212 §5.1.3.2.2: "taking the tail bits from the
+/// shift register feedback").
+#[inline]
+pub fn term_input(s: u8) -> u8 {
+    let (_, s1, s2) = bits(s);
+    s1 ^ s2
+}
+
+/// Unique predecessor of state `ns` under input `u` (the RSC trellis is
+/// a permutation per input bit).
+#[inline]
+pub fn pred_state(ns: u8, u: u8) -> u8 {
+    let a = (ns >> 2) & 1;
+    let b0 = (ns >> 1) & 1; // predecessor's s0
+    let b1 = ns & 1; // predecessor's s1
+    let s2 = a ^ u ^ b1; // from a = u ^ s1 ^ s2
+    (b0 << 2) | (b1 << 1) | s2
+}
+
+/// Lane-shuffle table for the SIMD α recursion: entry `ns` selects the
+/// predecessor state's lane under input `u`.
+pub fn pred_table(u: u8) -> [u8; STATES] {
+    core::array::from_fn(|ns| pred_state(ns as u8, u))
+}
+
+/// Lane-shuffle table for the SIMD β/extrinsic computations: entry `s`
+/// selects the successor state's lane under input `u`.
+pub fn next_table(u: u8) -> [u8; STATES] {
+    core::array::from_fn(|s| next_state(s as u8, u))
+}
+
+/// Per-predecessor-lane parity for the α recursion: parity of the
+/// transition `pred(ns,u) → ns`.
+pub fn pred_parity(u: u8) -> [u8; STATES] {
+    core::array::from_fn(|ns| parity(pred_state(ns as u8, u), u))
+}
+
+/// Per-source-lane parity for the β/extrinsic computations: parity of
+/// `s → next(s,u)`.
+pub fn next_parity(u: u8) -> [u8; STATES] {
+    core::array::from_fn(|s| parity(s as u8, u))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transitions_are_permutations_per_input() {
+        for u in 0..2u8 {
+            let mut seen = [false; STATES];
+            for s in 0..STATES as u8 {
+                let ns = next_state(s, u) as usize;
+                assert!(ns < STATES);
+                assert!(!seen[ns], "u={u}: state {ns} reached twice");
+                seen[ns] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn pred_inverts_next() {
+        for u in 0..2u8 {
+            for s in 0..STATES as u8 {
+                assert_eq!(pred_state(next_state(s, u), u), s);
+            }
+        }
+    }
+
+    #[test]
+    fn termination_reaches_zero_in_three_steps() {
+        for start in 0..STATES as u8 {
+            let mut s = start;
+            for _ in 0..3 {
+                let u = term_input(s);
+                assert_eq!(feedback(s, u), 0, "termination must zero the feedback");
+                s = next_state(s, u);
+            }
+            assert_eq!(s, 0, "start state {start} did not terminate");
+        }
+    }
+
+    #[test]
+    fn zero_state_zero_input_stays_put() {
+        assert_eq!(next_state(0, 0), 0);
+        assert_eq!(parity(0, 0), 0);
+        // and a 1 input from state 0 produces parity 1 (g1 has the a-tap)
+        assert_eq!(parity(0, 1), 1);
+        assert_eq!(next_state(0, 1), 4);
+    }
+
+    #[test]
+    fn impulse_response_matches_generators() {
+        // Feed 1 then zeros from state 0; the parity stream is the
+        // impulse response of g1/g0 = (1+D+D³)/(1+D²+D³). Hand
+        // derivation: feedback a = 1/(g0) = 1,0,1,1,1,0,0,1,…;
+        // z_k = a_k ⊕ a_{k−1} ⊕ a_{k−3} = 1,1,1,1,0,… — importantly it
+        // is NOT eventually zero (IIR feedback).
+        let mut s = 0u8;
+        let mut out = Vec::new();
+        for k in 0..8 {
+            let u = u8::from(k == 0);
+            out.push(parity(s, u));
+            s = next_state(s, u);
+        }
+        assert_eq!(&out[..5], &[1, 1, 1, 1, 0], "impulse response head");
+        assert!(out[5..].iter().any(|&b| b == 1), "feedback keeps the response alive");
+    }
+
+    #[test]
+    fn shuffle_tables_agree_with_scalar_functions() {
+        for u in 0..2u8 {
+            let pt = pred_table(u);
+            let pp = pred_parity(u);
+            let nt = next_table(u);
+            let np = next_parity(u);
+            for s in 0..STATES {
+                assert_eq!(pt[s], pred_state(s as u8, u));
+                assert_eq!(pp[s], parity(pred_state(s as u8, u), u));
+                assert_eq!(nt[s], next_state(s as u8, u));
+                assert_eq!(np[s], parity(s as u8, u));
+            }
+        }
+    }
+}

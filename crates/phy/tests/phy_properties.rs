@@ -1,0 +1,241 @@
+//! Property-based tests over the PHY substrate: structural invariants
+//! that must hold for arbitrary inputs, not just the fixtures the unit
+//! tests use.
+
+use proptest::prelude::*;
+use vran_phy::bits::{pack_msb, random_bits, unpack_msb};
+use vran_phy::crc::{CRC16, CRC24A, CRC24B, CRC8};
+use vran_phy::interleaver::{QppInterleaver, QPP_TABLE};
+use vran_phy::llr::{bit_to_llr, llr_to_bit, InterleavedLlrs, SoftStreams, TurboLlrs};
+use vran_phy::modulation::Modulation;
+use vran_phy::ofdm::fft;
+use vran_phy::rate_match::RateMatcher;
+use vran_phy::scrambler::{descramble_llrs, scramble_bits, GoldSequence};
+use vran_phy::segmentation::Segmentation;
+use vran_phy::turbo::{TurboDecoder, TurboEncoder};
+
+fn bits_strategy(n: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..2, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pack_unpack_identity(bits in prop::collection::vec(0u8..2, 0..256)) {
+        let n = bits.len();
+        prop_assert_eq!(unpack_msb(&pack_msb(&bits), n), bits);
+    }
+
+    #[test]
+    fn crc_linearity(a in bits_strategy(96), b in bits_strategy(96)) {
+        // CRC over GF(2) is linear: crc(a ⊕ b) = crc(a) ⊕ crc(b)
+        for crc in [CRC24A, CRC24B, CRC16, CRC8] {
+            let ca = crc.compute(&a);
+            let cb = crc.compute(&b);
+            let ab: Vec<u8> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
+            let cab = crc.compute(&ab);
+            let xor: Vec<u8> = ca.iter().zip(&cb).map(|(x, y)| x ^ y).collect();
+            prop_assert_eq!(cab, xor);
+        }
+    }
+
+    #[test]
+    fn crc_detects_any_single_flip(bits in bits_strategy(80), pos in 0usize..104) {
+        let coded = CRC24A.attach(&bits);
+        let mut bad = coded.clone();
+        bad[pos % coded.len()] ^= 1;
+        prop_assert!(CRC24A.check(&bad).is_none());
+    }
+
+    #[test]
+    fn qpp_interleave_roundtrip(k_idx in 0usize..188, seed in any::<u64>()) {
+        let k = QPP_TABLE[k_idx].k as usize;
+        let il = QppInterleaver::new(k);
+        let data = random_bits(k, seed);
+        prop_assert_eq!(il.deinterleave(&il.interleave(&data)), data.clone());
+        prop_assert_eq!(il.interleave(&il.deinterleave(&data)), data);
+    }
+
+    #[test]
+    fn scrambling_involution(bits in bits_strategy(200), c_init in 1u32..0x7FFF_FFFF) {
+        let mut b = bits.clone();
+        scramble_bits(&mut b, c_init);
+        scramble_bits(&mut b, c_init);
+        prop_assert_eq!(b, bits);
+    }
+
+    #[test]
+    fn llr_descramble_consistent_with_bit_scramble(bits in bits_strategy(150), c_init in 1u32..1_000_000) {
+        let mut tx = bits.clone();
+        scramble_bits(&mut tx, c_init);
+        let mut llrs: Vec<i16> = tx.iter().map(|&b| bit_to_llr(b, 90)).collect();
+        descramble_llrs(&mut llrs, c_init);
+        let rx: Vec<u8> = llrs.iter().map(|&l| llr_to_bit(l)).collect();
+        prop_assert_eq!(rx, bits);
+    }
+
+    #[test]
+    fn gold_sequences_differ_across_inits(a in 1u32..1_000_000, b in 1u32..1_000_000) {
+        prop_assume!(a != b);
+        prop_assert_ne!(GoldSequence::new(a).take(128), GoldSequence::new(b).take(128));
+    }
+
+    #[test]
+    fn modulation_roundtrip_all_orders(seed in any::<u64>(), m_idx in 0usize..3) {
+        let m = Modulation::ALL[m_idx];
+        let bits = random_bits(m.bits_per_symbol() * 64, seed);
+        let syms = m.modulate(&bits);
+        let rx: Vec<u8> = m.demodulate(&syms, 1.0).iter().map(|&l| llr_to_bit(l)).collect();
+        prop_assert_eq!(rx, bits);
+    }
+
+    #[test]
+    fn fft_linearity(seed in any::<u64>()) {
+        use vran_phy::modulation::Cplx;
+        let n = 64;
+        let mk = |s: u64| -> Vec<Cplx> {
+            let b = random_bits(2 * n, s);
+            (0..n).map(|i| Cplx::new(b[2 * i] as f32 - 0.5, b[2 * i + 1] as f32 - 0.5)).collect()
+        };
+        let (a, b) = (mk(seed), mk(seed ^ 0xABCD));
+        let sum: Vec<Cplx> = a.iter().zip(&b).map(|(x, y)| x.add(*y)).collect();
+        let f = |mut v: Vec<Cplx>| {
+            fft(&mut v, false);
+            v
+        };
+        let (fa, fb, fs) = (f(a), f(b), f(sum));
+        for i in 0..n {
+            let lin = fa[i].add(fb[i]);
+            prop_assert!(lin.sub(fs[i]).norm_sq() < 1e-4, "nonlinear at bin {i}");
+        }
+    }
+
+    #[test]
+    fn rate_match_full_rate_roundtrip(k_idx in 0usize..30, seed in any::<u64>()) {
+        // At e == number of real bits with rv 0, de-rate-matching the
+        // hard-decision LLRs recovers every d-stream exactly.
+        let k = QPP_TABLE[k_idx].k as usize;
+        let d = k + 4;
+        let rm = RateMatcher::new(d);
+        let streams = [random_bits(d, seed), random_bits(d, seed ^ 1), random_bits(d, seed ^ 2)];
+        let tx = rm.rate_match(&streams, 3 * d, 0);
+        let llrs: Vec<i16> = tx.iter().map(|&b| bit_to_llr(b, 70)).collect();
+        let rx = rm.de_rate_match(&llrs, 0);
+        for (s, got) in streams.iter().zip(&rx) {
+            let hard: Vec<u8> = got.iter().map(|&l| llr_to_bit(l)).collect();
+            prop_assert_eq!(&hard, s);
+            prop_assert!(got.iter().all(|&l| l != 0), "every position must be filled");
+        }
+    }
+
+    #[test]
+    fn segmentation_roundtrip(extra in 1usize..4000, mult in 1usize..8) {
+        let b = extra + mult * 3000;
+        let bits = random_bits(b, (b as u64) | 1);
+        let seg = Segmentation::plan(b);
+        let blocks = seg.segment(&bits);
+        prop_assert_eq!(blocks.len(), seg.c);
+        prop_assert_eq!(seg.desegment(&blocks), Some(bits));
+    }
+
+    #[test]
+    fn turbo_noiseless_roundtrip_any_small_k(k_idx in 0usize..12, seed in any::<u64>()) {
+        let k = QPP_TABLE[k_idx].k as usize;
+        let bits = random_bits(k, seed);
+        let cw = TurboEncoder::new(k).encode(&bits);
+        let d = cw.to_dstreams();
+        let soft: [Vec<i16>; 3] = d
+            .iter()
+            .map(|s| s.iter().map(|&b| bit_to_llr(b, 60)).collect())
+            .collect::<Vec<_>>()
+            .try_into()
+            .unwrap();
+        let input = TurboLlrs::from_dstreams(&soft, k);
+        let out = TurboDecoder::new(k, 4).decode(&input);
+        prop_assert_eq!(out.bits, bits);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(seed in any::<u64>(), k_idx in 0usize..8) {
+        // Arbitrary (even adversarial) LLR input must produce a
+        // well-formed outcome, never a panic or wrong-length output.
+        let k = QPP_TABLE[k_idx].k as usize;
+        let mk = |s: u64| -> Vec<i16> {
+            let mut x = s | 1;
+            (0..k)
+                .map(|_| {
+                    x ^= x >> 12;
+                    x ^= x << 25;
+                    x ^= x >> 27;
+                    (x >> 48) as i16
+                })
+                .collect()
+        };
+        let input = TurboLlrs {
+            k,
+            streams: SoftStreams { sys: mk(seed), p1: mk(seed ^ 1), p2: mk(seed ^ 2) },
+            tails: Default::default(),
+        };
+        let out = TurboDecoder::new(k, 2).decode(&input);
+        prop_assert_eq!(out.bits.len(), k);
+        prop_assert_eq!(out.iterations_run, 2);
+    }
+
+    #[test]
+    fn simd_and_scalar_decoders_agree_on_garbage(seed in any::<u64>()) {
+        // Bit-exactness must hold even on inputs that exercise
+        // saturation everywhere.
+        use vran_phy::turbo::simd_decoder::SimdTurboDecoder;
+        use vran_simd::RegWidth;
+        let k = 40;
+        let mk = |s: u64| -> Vec<i16> {
+            let mut x = s | 1;
+            (0..k)
+                .map(|_| {
+                    x ^= x >> 12;
+                    x ^= x << 25;
+                    x ^= x >> 27;
+                    (x >> 48) as i16
+                })
+                .collect()
+        };
+        let input = TurboLlrs {
+            k,
+            streams: SoftStreams { sys: mk(seed), p1: mk(seed ^ 3), p2: mk(seed ^ 7) },
+            tails: Default::default(),
+        };
+        let scalar = TurboDecoder::new(k, 2).decode(&input);
+        let simd = SimdTurboDecoder::new(k, 2, RegWidth::Sse128).decode_native(&input);
+        prop_assert_eq!(scalar.bits, simd.bits);
+    }
+
+    #[test]
+    fn viterbi_never_panics_on_garbage(seed in any::<u64>(), n in 8usize..64) {
+        use vran_phy::dci::viterbi_decode_tb;
+        let mut x = seed | 1;
+        let llrs: Vec<i16> = (0..3 * n)
+            .map(|_| {
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                (x >> 48) as i16
+            })
+            .collect();
+        let out = viterbi_decode_tb(&llrs, n);
+        prop_assert_eq!(out.len(), n);
+        prop_assert!(out.iter().all(|&b| b <= 1));
+    }
+
+    #[test]
+    fn interleaved_llrs_roundtrip(k in 1usize..300, seed in any::<u64>()) {
+        let vals = random_bits(3 * k, seed);
+        let s = SoftStreams {
+            sys: vals[..k].iter().map(|&b| b as i16 * 7 - 3).collect(),
+            p1: vals[k..2 * k].iter().map(|&b| b as i16 * 11 - 5).collect(),
+            p2: vals[2 * k..].iter().map(|&b| b as i16 * 13 - 6).collect(),
+        };
+        let il = InterleavedLlrs::from_streams(&s);
+        prop_assert_eq!(il.deinterleave_scalar(), s);
+    }
+}

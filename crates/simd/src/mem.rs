@@ -1,0 +1,160 @@
+//! Flat `i16` memory model for the virtual machine.
+//!
+//! Addresses are in **elements** (i16 units), not bytes; the trace layer
+//! converts to byte addresses (`addr * 2`) for the cache simulator. The
+//! arrangement kernels allocate their input (interleaved S1/YP1/YP2
+//! triples) and output (three segregated arrays) inside one [`Mem`], so
+//! the cache model sees realistic address streams.
+
+use crate::width::RegWidth;
+
+/// A reference to `len` contiguous i16 elements starting at `base`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRef {
+    /// Start offset in elements.
+    pub base: usize,
+    /// Length in elements.
+    pub len: usize,
+}
+
+impl MemRef {
+    /// New region covering `[base, base+len)`.
+    #[inline]
+    pub fn new(base: usize, len: usize) -> Self {
+        Self { base, len }
+    }
+
+    /// Sub-region at `offset` elements, `len` elements long.
+    #[inline]
+    pub fn slice(self, offset: usize, len: usize) -> Self {
+        assert!(
+            offset + len <= self.len,
+            "sub-slice [{offset}, {}) escapes region of len {}",
+            offset + len,
+            self.len
+        );
+        Self { base: self.base + offset, len }
+    }
+
+    /// Region holding exactly one register of `width` at `offset` elements.
+    #[inline]
+    pub fn reg_at(self, offset: usize, width: RegWidth) -> Self {
+        self.slice(offset, width.lanes())
+    }
+
+    /// Byte address of the first element (for the cache model).
+    #[inline]
+    pub fn byte_addr(self) -> u64 {
+        (self.base * 2) as u64
+    }
+
+    /// Size in bytes.
+    #[inline]
+    pub fn byte_len(self) -> u64 {
+        (self.len * 2) as u64
+    }
+}
+
+/// Flat element-addressed memory.
+#[derive(Debug, Clone, Default)]
+pub struct Mem {
+    data: Vec<i16>,
+}
+
+impl Mem {
+    /// Empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a zeroed region of `len` elements, returning its handle.
+    pub fn alloc(&mut self, len: usize) -> MemRef {
+        let base = self.data.len();
+        self.data.resize(base + len, 0);
+        MemRef { base, len }
+    }
+
+    /// Allocate a region initialized from `src`.
+    pub fn alloc_from(&mut self, src: &[i16]) -> MemRef {
+        let r = self.alloc(src.len());
+        self.data[r.base..r.base + r.len].copy_from_slice(src);
+        r
+    }
+
+    /// Read the region's contents.
+    pub fn read(&self, r: MemRef) -> &[i16] {
+        &self.data[r.base..r.base + r.len]
+    }
+
+    /// Mutable view of the region.
+    pub fn write(&mut self, r: MemRef) -> &mut [i16] {
+        &mut self.data[r.base..r.base + r.len]
+    }
+
+    /// Read one element.
+    #[inline]
+    pub fn get(&self, addr: usize) -> i16 {
+        self.data[addr]
+    }
+
+    /// Write one element.
+    #[inline]
+    pub fn set(&mut self, addr: usize, v: i16) {
+        self.data[addr] = v;
+    }
+
+    /// Total allocated elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_regions_are_disjoint() {
+        let mut m = Mem::new();
+        let a = m.alloc(10);
+        let b = m.alloc(6);
+        assert_eq!(a.base, 0);
+        assert_eq!(b.base, 10);
+        m.write(a).fill(1);
+        m.write(b).fill(2);
+        assert!(m.read(a).iter().all(|&x| x == 1));
+        assert!(m.read(b).iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn alloc_from_copies() {
+        let mut m = Mem::new();
+        let r = m.alloc_from(&[3, 1, 4, 1, 5]);
+        assert_eq!(m.read(r), &[3, 1, 4, 1, 5]);
+    }
+
+    #[test]
+    fn slice_and_reg_at() {
+        let mut m = Mem::new();
+        let r = m.alloc(64);
+        let s = r.slice(16, 8);
+        assert_eq!(s.base, 16);
+        let reg = r.reg_at(32, RegWidth::Sse128);
+        assert_eq!(reg.len, 8);
+        assert_eq!(reg.base, 32);
+        assert_eq!(reg.byte_addr(), 64);
+        assert_eq!(reg.byte_len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "escapes region")]
+    fn slice_out_of_bounds_panics() {
+        let r = MemRef::new(0, 8);
+        let _ = r.slice(4, 8);
+    }
+}

@@ -1,0 +1,441 @@
+//! Micro-op traces.
+//!
+//! Tracing execution lowers every architectural instruction the kernel
+//! issues into one or more [`MicroOp`]s. Dependencies are expressed in
+//! SSA form: every µop producing a value allocates a fresh [`RegId`];
+//! consumers name their source ids. The `vran-uarch` scheduler uses these
+//! ids to decide readiness, the [`OpKind`] to pick issue ports and
+//! latency, and `bytes`/`addr` for register↔L1 bandwidth and cache
+//! accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// SSA value id produced by a µop.
+pub type RegId = u32;
+
+/// Sentinel meaning "no source in this slot".
+pub const NO_SRC: RegId = u32::MAX;
+
+/// Broad port class of an operation, matching the paper's Figure 2
+/// decomposition of the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// SIMD calculation: issues on the vector ALU ports (paper: P0, P1, P2).
+    VecAlu,
+    /// Scalar ALU / address arithmetic (paper: P0..P3).
+    ScalarAlu,
+    /// Memory read into a register (paper: P4, P5).
+    Load,
+    /// Memory write / SIMD data movement to memory (paper: P6, P7).
+    Store,
+    /// Control flow (shares scalar ports; may trigger bad speculation).
+    Branch,
+}
+
+/// Fine-grained operation kind — one per architectural instruction the
+/// kernels use. The split matters because the paper reports per-
+/// instruction IPC (Fig 7: `_mm_adds`, `_mm_subs`, `_mm_max`,
+/// `_mm_extract`) and because widening penalties differ per kind
+/// (§5.2: `vextracti128`, `vextracti32x8`, `vmovdqa64`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    // --- vector ALU (SIMD calculation) ---
+    /// `_mm_adds_epi16` — saturating add.
+    VAdds,
+    /// `_mm_subs_epi16` — saturating subtract.
+    VSubs,
+    /// `_mm_max_epi16` — lane max.
+    VMax,
+    /// `_mm_min_epi16` — lane min.
+    VMin,
+    /// `_mm_add_epi16` — wrapping add.
+    VAdd,
+    /// `vpand`/`vpandd` — bitwise AND (APCM filtering).
+    VAnd,
+    /// `vpor`/`vpord` — bitwise OR (APCM combination).
+    VOr,
+    /// `_mm_xor_si128`.
+    VXor,
+    /// `_mm_andnot_si128`.
+    VAndnot,
+    /// `_mm_srai_epi16` — arithmetic shift right.
+    VSrai,
+    /// `_mm_slli_epi16` — logical shift left.
+    VSlli,
+    /// `pshufb`/`vpermw` — full lane shuffle (APCM congregation).
+    VShuffle,
+    /// `_mm_cmpeq_epi16`.
+    VCmpEq,
+    /// `_mm_set1_epi16` materialization.
+    VBroadcast,
+
+    // --- data movement ---
+    /// Full-register aligned load (`movdqa`/`vmovdqa`/`vmovdqa64`).
+    VLoad,
+    /// `vpbroadcastw m16`: load one 16-bit element and replicate it to
+    /// every lane (the γ phase of the SIMD decoder).
+    VBroadcastLoad,
+    /// Full-register aligned store.
+    VStore,
+    /// `pextrw`: move one 16-bit lane out of a vector register. With a
+    /// memory destination this expands to [`OpKind::ExtractLane`] +
+    /// [`OpKind::StoreLane`] µops.
+    ExtractLane,
+    /// The 2-byte store half of a `pextrw`-to-memory.
+    StoreLane,
+    /// `vextracti128`: move the upper xmm of a ymm down (paper §5.2 ymm
+    /// penalty).
+    Extract128,
+    /// `vextracti32x8`: move a 256-bit half of a zmm down, clobbering the
+    /// upper half (paper §5.2 zmm penalty: forces a reload via
+    /// [`OpKind::VLoad`]).
+    Extract256,
+
+    // --- scalar ---
+    /// Address arithmetic / loop bookkeeping.
+    SAlu,
+    /// Conditional branch.
+    SBranch,
+}
+
+impl OpKind {
+    /// The port class this kind issues to under the paper's model.
+    ///
+    /// Note the deliberate modeling decision, documented in DESIGN.md:
+    /// the paper treats *every* SIMD data-movement instruction — the
+    /// extracts included — as contending for the movement (load/store)
+    /// ports, and that contention is precisely the mechanism APCM
+    /// sidesteps. We therefore class `ExtractLane`, `Extract128` and
+    /// `Extract256` as `Store`-class.
+    pub fn class(self) -> OpClass {
+        use OpKind::*;
+        match self {
+            VAdds | VSubs | VMax | VMin | VAdd | VAnd | VOr | VXor | VAndnot | VSrai | VSlli
+            | VShuffle | VCmpEq | VBroadcast => OpClass::VecAlu,
+            VLoad | VBroadcastLoad => OpClass::Load,
+            VStore | ExtractLane | StoreLane | Extract128 | Extract256 => OpClass::Store,
+            SAlu => OpClass::ScalarAlu,
+            SBranch => OpClass::Branch,
+        }
+    }
+
+    /// Human-readable mnemonic (used in reports and bench IDs).
+    pub fn mnemonic(self) -> &'static str {
+        use OpKind::*;
+        match self {
+            VAdds => "padds",
+            VSubs => "psubs",
+            VMax => "pmaxsw",
+            VMin => "pminsw",
+            VAdd => "paddw",
+            VAnd => "vpand",
+            VOr => "vpor",
+            VXor => "vpxor",
+            VAndnot => "vpandn",
+            VSrai => "psraw",
+            VSlli => "psllw",
+            VShuffle => "vpermw",
+            VCmpEq => "pcmpeqw",
+            VBroadcast => "vpbroadcastw",
+            VLoad => "vmovdqa(load)",
+            VBroadcastLoad => "vpbroadcastw(mem)",
+            VStore => "vmovdqa(store)",
+            ExtractLane => "pextrw",
+            StoreLane => "mov16(store)",
+            Extract128 => "vextracti128",
+            Extract256 => "vextracti32x8",
+            SAlu => "lea/add",
+            SBranch => "jcc",
+        }
+    }
+}
+
+/// One micro-operation in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MicroOp {
+    /// Operation kind (determines ports + latency downstream).
+    pub kind: OpKind,
+    /// Destination SSA id, if the op produces a register value.
+    pub dst: Option<RegId>,
+    /// Source SSA ids; unused slots hold [`NO_SRC`].
+    pub srcs: [RegId; 3],
+    /// Bytes moved between the register file and L1 (loads/stores only).
+    pub bytes: u16,
+    /// Byte address touched (loads/stores only) for the cache model.
+    pub addr: Option<u64>,
+    /// True on the first µop of an architectural instruction; IPC in the
+    /// paper's figures counts instructions, while slot accounting counts
+    /// µops.
+    pub first_of_instr: bool,
+    /// For `SBranch`: whether this dynamic instance mispredicts.
+    pub mispredict: bool,
+}
+
+impl MicroOp {
+    /// Iterate over the real (non-sentinel) sources.
+    #[inline]
+    pub fn sources(&self) -> impl Iterator<Item = RegId> + '_ {
+        self.srcs.iter().copied().filter(|&s| s != NO_SRC)
+    }
+}
+
+/// A recorded µop stream plus summary counters.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// The µops in program order.
+    pub ops: Vec<MicroOp>,
+    next_reg: RegId,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a fresh SSA id.
+    pub fn fresh_reg(&mut self) -> RegId {
+        let r = self.next_reg;
+        self.next_reg = self.next_reg.checked_add(1).expect("SSA id overflow");
+        r
+    }
+
+    /// Append a µop.
+    pub fn push(&mut self, op: MicroOp) {
+        self.ops.push(op);
+    }
+
+    /// Number of µops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when no µops were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of architectural instructions (for IPC).
+    pub fn instr_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.first_of_instr).count()
+    }
+
+    /// µop count per class.
+    pub fn class_histogram(&self) -> ClassHistogram {
+        let mut h = ClassHistogram::default();
+        for op in &self.ops {
+            match op.kind.class() {
+                OpClass::VecAlu => h.vec_alu += 1,
+                OpClass::ScalarAlu => h.scalar_alu += 1,
+                OpClass::Load => h.load += 1,
+                OpClass::Store => h.store += 1,
+                OpClass::Branch => h.branch += 1,
+            }
+        }
+        h
+    }
+
+    /// Total bytes moved register→L1 (stores).
+    pub fn store_bytes(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o.kind.class(), OpClass::Store))
+            .map(|o| o.bytes as u64)
+            .sum()
+    }
+
+    /// Total bytes moved L1→register (loads).
+    pub fn load_bytes(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o.kind.class(), OpClass::Load))
+            .map(|o| o.bytes as u64)
+            .sum()
+    }
+
+    /// Render the first `limit` µops as a readable listing (mnemonic,
+    /// SSA destination/sources, memory operand) — a disassembly view
+    /// for debugging kernels and inspecting what the simulator will
+    /// schedule.
+    pub fn disassemble(&self, limit: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, op) in self.ops.iter().take(limit).enumerate() {
+            let cont = if op.first_of_instr { ' ' } else { '+' };
+            let _ = write!(out, "{i:>6}{cont} {:<18}", op.kind.mnemonic());
+            if let Some(d) = op.dst {
+                let _ = write!(out, " v{d:<5}");
+            } else {
+                let _ = write!(out, "       ");
+            }
+            let srcs: Vec<String> = op.sources().map(|s| format!("v{s}")).collect();
+            if !srcs.is_empty() {
+                let _ = write!(out, " ← {}", srcs.join(", "));
+            }
+            if let Some(a) = op.addr {
+                let _ = write!(out, "  [0x{a:x}; {}B]", op.bytes);
+            }
+            if op.mispredict {
+                let _ = write!(out, "  (mispredict)");
+            }
+            let _ = writeln!(out);
+        }
+        if self.ops.len() > limit {
+            let _ = writeln!(out, "  … {} more µops", self.ops.len() - limit);
+        }
+        out
+    }
+
+    /// Append all µops of `other`, remapping its SSA ids above ours so
+    /// traces of consecutive kernels can be concatenated safely.
+    pub fn extend_remapped(&mut self, other: &Trace) {
+        let offset = self.next_reg;
+        let remap = |r: RegId| if r == NO_SRC { NO_SRC } else { r + offset };
+        for op in &other.ops {
+            let mut o = *op;
+            o.dst = o.dst.map(remap);
+            for s in &mut o.srcs {
+                *s = remap(*s);
+            }
+            self.ops.push(o);
+        }
+        self.next_reg += other.next_reg;
+    }
+}
+
+/// Per-class µop counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassHistogram {
+    /// Vector-ALU µops.
+    pub vec_alu: u64,
+    /// Scalar-ALU µops.
+    pub scalar_alu: u64,
+    /// Load µops.
+    pub load: u64,
+    /// Store/movement µops.
+    pub store: u64,
+    /// Branch µops.
+    pub branch: u64,
+}
+
+impl ClassHistogram {
+    /// Total µops.
+    pub fn total(&self) -> u64 {
+        self.vec_alu + self.scalar_alu + self.load + self.store + self.branch
+    }
+
+    /// Fraction of µops that are data movement (load + store).
+    pub fn movement_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.load + self.store) as f64 / self.total() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(kind: OpKind, dst: Option<RegId>, srcs: [RegId; 3], first: bool) -> MicroOp {
+        MicroOp { kind, dst, srcs, bytes: 0, addr: None, first_of_instr: first, mispredict: false }
+    }
+
+    #[test]
+    fn fresh_regs_are_unique() {
+        let mut t = Trace::new();
+        let a = t.fresh_reg();
+        let b = t.fresh_reg();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn instr_count_counts_first_uops() {
+        let mut t = Trace::new();
+        t.push(mk(OpKind::ExtractLane, Some(0), [NO_SRC; 3], true));
+        t.push(mk(OpKind::StoreLane, None, [0, NO_SRC, NO_SRC], false));
+        t.push(mk(OpKind::VAdds, Some(1), [0, 0, NO_SRC], true));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.instr_count(), 2);
+    }
+
+    #[test]
+    fn histogram_classifies() {
+        let mut t = Trace::new();
+        t.push(mk(OpKind::VAnd, Some(0), [NO_SRC; 3], true));
+        t.push(mk(OpKind::VOr, Some(1), [0, NO_SRC, NO_SRC], true));
+        t.push(mk(OpKind::VLoad, Some(2), [NO_SRC; 3], true));
+        t.push(mk(OpKind::VStore, None, [1, NO_SRC, NO_SRC], true));
+        t.push(mk(OpKind::SAlu, None, [NO_SRC; 3], true));
+        let h = t.class_histogram();
+        assert_eq!(h.vec_alu, 2);
+        assert_eq!(h.load, 1);
+        assert_eq!(h.store, 1);
+        assert_eq!(h.scalar_alu, 1);
+        assert_eq!(h.total(), 5);
+        assert!((h.movement_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extract_kinds_are_store_class() {
+        // The crux of the paper's argument: extracts contend on the
+        // movement ports, not the ALU ports.
+        assert_eq!(OpKind::ExtractLane.class(), OpClass::Store);
+        assert_eq!(OpKind::Extract128.class(), OpClass::Store);
+        assert_eq!(OpKind::Extract256.class(), OpClass::Store);
+        assert_eq!(OpKind::VAnd.class(), OpClass::VecAlu);
+        assert_eq!(OpKind::VShuffle.class(), OpClass::VecAlu);
+    }
+
+    #[test]
+    fn extend_remapped_keeps_deps_internal() {
+        let mut a = Trace::new();
+        let r0 = a.fresh_reg();
+        a.push(mk(OpKind::VLoad, Some(r0), [NO_SRC; 3], true));
+
+        let mut b = Trace::new();
+        let s0 = b.fresh_reg();
+        b.push(mk(OpKind::VLoad, Some(s0), [NO_SRC; 3], true));
+        b.push(mk(OpKind::VStore, None, [s0, NO_SRC, NO_SRC], true));
+
+        a.extend_remapped(&b);
+        assert_eq!(a.len(), 3);
+        // b's load now produces id 1 (offset by a's next_reg == 1).
+        assert_eq!(a.ops[1].dst, Some(1));
+        assert_eq!(a.ops[2].srcs[0], 1);
+    }
+
+    #[test]
+    fn disassembly_is_readable() {
+        let mut t = Trace::new();
+        let mut ld = mk(OpKind::VLoad, Some(0), [NO_SRC; 3], true);
+        ld.bytes = 16;
+        ld.addr = Some(0x40);
+        t.push(ld);
+        t.push(mk(OpKind::VAdds, Some(1), [0, 0, NO_SRC], true));
+        t.push(mk(OpKind::StoreLane, None, [1, NO_SRC, NO_SRC], false));
+        let dis = t.disassemble(10);
+        assert!(dis.contains("vmovdqa(load)"));
+        assert!(dis.contains("v1"));
+        assert!(dis.contains("← v0, v0"));
+        assert!(dis.contains("[0x40; 16B]"));
+        // continuation µop marked
+        assert!(dis.lines().nth(2).unwrap().starts_with("     2+"));
+        // truncation notice
+        let short = t.disassemble(1);
+        assert!(short.contains("2 more µops"));
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut t = Trace::new();
+        let mut load = mk(OpKind::VLoad, Some(0), [NO_SRC; 3], true);
+        load.bytes = 16;
+        let mut st = mk(OpKind::StoreLane, None, [0, NO_SRC, NO_SRC], false);
+        st.bytes = 2;
+        t.push(load);
+        t.push(st);
+        assert_eq!(t.load_bytes(), 16);
+        assert_eq!(t.store_bytes(), 2);
+    }
+}

@@ -1,0 +1,360 @@
+//! Portable lane-model vector values.
+//!
+//! [`VecVal`] evaluates the semantics of every IR instruction on plain
+//! `i16` lanes. It is deliberately boring: correctness of the PHY
+//! pipeline and of both arrangement kernels is established against this
+//! model, so it must be an obviously-right transliteration of the Intel
+//! intrinsic semantics the OAI code uses (`_mm_adds_epi16`,
+//! `_mm_subs_epi16`, `_mm_max_epi16`, `_mm_and_si128`, `_mm_or_si128`,
+//! `_mm_shuffle_epi8`-style lane shuffles, …).
+
+use crate::width::{RegWidth, MAX_LANES};
+
+/// A vector register value: `width.lanes()` live `i16` lanes.
+///
+/// Stored inline (no heap) so the native executor stays allocation-free
+/// in hot loops, per the workspace performance guidelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VecVal {
+    lanes: [i16; MAX_LANES],
+    width: RegWidth,
+}
+
+impl VecVal {
+    /// All-zero register of the given width.
+    #[inline]
+    pub fn zero(width: RegWidth) -> Self {
+        Self { lanes: [0; MAX_LANES], width }
+    }
+
+    /// Broadcast a scalar into every lane (`_mm_set1_epi16`).
+    #[inline]
+    pub fn splat(width: RegWidth, v: i16) -> Self {
+        let mut lanes = [0; MAX_LANES];
+        lanes[..width.lanes()].fill(v);
+        Self { lanes, width }
+    }
+
+    /// Build from a slice; `src.len()` must equal `width.lanes()`.
+    pub fn from_lanes(width: RegWidth, src: &[i16]) -> Self {
+        assert_eq!(
+            src.len(),
+            width.lanes(),
+            "lane count mismatch: got {}, width {} needs {}",
+            src.len(),
+            width,
+            width.lanes()
+        );
+        let mut lanes = [0; MAX_LANES];
+        lanes[..src.len()].copy_from_slice(src);
+        Self { lanes, width }
+    }
+
+    /// The register width of this value.
+    #[inline]
+    pub fn width(&self) -> RegWidth {
+        self.width
+    }
+
+    /// Live lanes as a slice.
+    #[inline]
+    pub fn lanes(&self) -> &[i16] {
+        &self.lanes[..self.width.lanes()]
+    }
+
+    /// Read a single lane (`_mm_extract_epi16` evaluation).
+    #[inline]
+    pub fn lane(&self, i: usize) -> i16 {
+        assert!(i < self.width.lanes(), "lane {i} out of range for {}", self.width);
+        self.lanes[i]
+    }
+
+    /// Write a single lane (used only by test scaffolding).
+    #[inline]
+    pub fn set_lane(&mut self, i: usize, v: i16) {
+        assert!(i < self.width.lanes(), "lane {i} out of range for {}", self.width);
+        self.lanes[i] = v;
+    }
+
+    #[inline]
+    fn zip(self, rhs: Self, f: impl Fn(i16, i16) -> i16) -> Self {
+        assert_eq!(self.width, rhs.width, "width mismatch in vector op");
+        let mut out = Self::zero(self.width);
+        for i in 0..self.width.lanes() {
+            out.lanes[i] = f(self.lanes[i], rhs.lanes[i]);
+        }
+        out
+    }
+
+    /// Saturating lane-wise add (`_mm_adds_epi16`).
+    #[inline]
+    pub fn adds(self, rhs: Self) -> Self {
+        self.zip(rhs, i16::saturating_add)
+    }
+
+    /// Saturating lane-wise subtract (`_mm_subs_epi16`).
+    #[inline]
+    pub fn subs(self, rhs: Self) -> Self {
+        self.zip(rhs, i16::saturating_sub)
+    }
+
+    /// Lane-wise signed maximum (`_mm_max_epi16`).
+    #[inline]
+    pub fn max(self, rhs: Self) -> Self {
+        self.zip(rhs, i16::max)
+    }
+
+    /// Lane-wise signed minimum (`_mm_min_epi16`).
+    #[inline]
+    pub fn min(self, rhs: Self) -> Self {
+        self.zip(rhs, i16::min)
+    }
+
+    /// Bitwise AND (`_mm_and_si128` / `vpand` / `vpandd`).
+    #[inline]
+    pub fn and(self, rhs: Self) -> Self {
+        self.zip(rhs, |a, b| a & b)
+    }
+
+    /// Bitwise OR (`_mm_or_si128` / `vpor` / `vpord`).
+    #[inline]
+    pub fn or(self, rhs: Self) -> Self {
+        self.zip(rhs, |a, b| a | b)
+    }
+
+    /// Bitwise XOR (`_mm_xor_si128`).
+    #[inline]
+    pub fn xor(self, rhs: Self) -> Self {
+        self.zip(rhs, |a, b| a ^ b)
+    }
+
+    /// Bitwise AND-NOT: `(!self) & rhs` (`_mm_andnot_si128` operand order).
+    #[inline]
+    pub fn andnot(self, rhs: Self) -> Self {
+        self.zip(rhs, |a, b| !a & b)
+    }
+
+    /// Wrapping lane-wise add (`_mm_add_epi16`).
+    #[inline]
+    pub fn add_wrap(self, rhs: Self) -> Self {
+        self.zip(rhs, i16::wrapping_add)
+    }
+
+    /// Lane-wise arithmetic shift right by an immediate (`_mm_srai_epi16`).
+    #[inline]
+    pub fn srai(self, imm: u32) -> Self {
+        let sh = imm.min(15);
+        let mut out = Self::zero(self.width);
+        for i in 0..self.width.lanes() {
+            out.lanes[i] = self.lanes[i] >> sh;
+        }
+        out
+    }
+
+    /// Lane-wise logical shift left by an immediate (`_mm_slli_epi16`).
+    #[inline]
+    pub fn slli(self, imm: u32) -> Self {
+        let mut out = Self::zero(self.width);
+        if imm < 16 {
+            for i in 0..self.width.lanes() {
+                out.lanes[i] = ((self.lanes[i] as u16) << imm) as i16;
+            }
+        }
+        out
+    }
+
+    /// Arbitrary full-width lane permutation with zeroing.
+    ///
+    /// `table[i]` selects the source lane written to output lane `i`;
+    /// `None` zeroes the lane. Models `pshufb`-family shuffles (xmm) and
+    /// `vpermw` (ymm/zmm) — a single-instruction, vector-ALU-port lane
+    /// rearrangement. This is the workhorse of the natural-order APCM
+    /// variant (see `vran-arrange`).
+    pub fn shuffle(self, table: &[Option<u8>]) -> Self {
+        assert_eq!(table.len(), self.width.lanes(), "shuffle table length mismatch");
+        let mut out = Self::zero(self.width);
+        for (i, sel) in table.iter().enumerate() {
+            out.lanes[i] = match sel {
+                Some(s) => {
+                    assert!((*s as usize) < self.width.lanes(), "shuffle index out of range");
+                    self.lanes[*s as usize]
+                }
+                None => 0,
+            };
+        }
+        out
+    }
+
+    /// Rotate lanes left by `n` positions (lane 0 receives old lane `n`).
+    ///
+    /// The paper's Figure 10 step 4 "left rotate 16/32 bits" — expressed
+    /// on real hardware via the shifted-load mimic of Figure 12, but the
+    /// value semantics are a lane rotation.
+    pub fn rotate_lanes_left(self, n: usize) -> Self {
+        let l = self.width.lanes();
+        let n = n % l;
+        let mut out = Self::zero(self.width);
+        for i in 0..l {
+            out.lanes[i] = self.lanes[(i + n) % l];
+        }
+        out
+    }
+
+    /// Extract one 128-bit half/quarter as a fresh `Sse128` value
+    /// (`vextracti128` for ymm, composition for zmm).
+    pub fn extract128(self, idx: usize) -> VecVal {
+        assert!(idx < self.width.lanes128(), "128-bit lane {idx} out of range for {}", self.width);
+        let mut out = VecVal::zero(RegWidth::Sse128);
+        out.lanes[..8].copy_from_slice(&self.lanes[idx * 8..idx * 8 + 8]);
+        out
+    }
+
+    /// Extract a 256-bit half of a zmm register (`vextracti32x8`).
+    pub fn extract256(self, idx: usize) -> VecVal {
+        assert_eq!(self.width, RegWidth::Avx512, "extract256 requires a zmm source");
+        assert!(idx < 2);
+        let mut out = VecVal::zero(RegWidth::Avx256);
+        out.lanes[..16].copy_from_slice(&self.lanes[idx * 16..idx * 16 + 16]);
+        out
+    }
+
+    /// Lane-wise compare-equal: all-ones lane on equality (`_mm_cmpeq_epi16`).
+    #[inline]
+    pub fn cmpeq(self, rhs: Self) -> Self {
+        self.zip(rhs, |a, b| if a == b { -1 } else { 0 })
+    }
+
+    /// Horizontal maximum over live lanes (helper for decoder
+    /// normalization checks; not an x86 single instruction).
+    pub fn hmax(&self) -> i16 {
+        self.lanes().iter().copied().max().expect("non-empty lanes")
+    }
+}
+
+impl std::fmt::Display for VecVal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[", self.width.reg_name())?;
+        for (i, l) in self.lanes().iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(vals: &[i16]) -> VecVal {
+        VecVal::from_lanes(RegWidth::Sse128, vals)
+    }
+
+    #[test]
+    fn adds_saturates() {
+        let a = v(&[i16::MAX, i16::MIN, 100, -100, 0, 1, -1, 32000]);
+        let b = v(&[1, -1, 100, -100, 0, 1, -1, 1000]);
+        let c = a.adds(b);
+        assert_eq!(c.lanes(), &[i16::MAX, i16::MIN, 200, -200, 0, 2, -2, i16::MAX]);
+    }
+
+    #[test]
+    fn subs_saturates() {
+        let a = v(&[i16::MIN, i16::MAX, 0, 0, 5, -5, 7, -7]);
+        let b = v(&[1, -1, i16::MIN, i16::MAX, 2, 2, 7, -7]);
+        let c = a.subs(b);
+        // 0 - i16::MIN saturates to i16::MAX (note: -MIN overflows).
+        assert_eq!(c.lanes(), &[i16::MIN, i16::MAX, i16::MAX, -i16::MAX, 3, -7, 0, 0]);
+    }
+
+    #[test]
+    fn max_min_are_lanewise() {
+        let a = v(&[1, 5, -3, 0, 9, -9, 2, 2]);
+        let b = v(&[2, 4, -4, 0, -9, 9, 2, 3]);
+        assert_eq!(a.max(b).lanes(), &[2, 5, -3, 0, 9, 9, 2, 3]);
+        assert_eq!(a.min(b).lanes(), &[1, 4, -4, 0, -9, -9, 2, 2]);
+    }
+
+    #[test]
+    fn bitwise_ops_match_scalar() {
+        let a = v(&[0x0f0f, 0x00ff, -1, 0, 0x1234, 0x4321, 0x7fff, i16::MIN]);
+        let b = v(&[0x00ff, 0x0f0f, 0x5555, -1, 0x4321, 0x1234, 1, 1]);
+        for i in 0..8 {
+            assert_eq!(a.and(b).lane(i), a.lane(i) & b.lane(i));
+            assert_eq!(a.or(b).lane(i), a.lane(i) | b.lane(i));
+            assert_eq!(a.xor(b).lane(i), a.lane(i) ^ b.lane(i));
+            assert_eq!(a.andnot(b).lane(i), !a.lane(i) & b.lane(i));
+        }
+    }
+
+    #[test]
+    fn shuffle_moves_and_zeroes() {
+        let a = v(&[10, 11, 12, 13, 14, 15, 16, 17]);
+        let t = [Some(7u8), None, Some(0), Some(0), None, Some(3), Some(6), Some(1)];
+        let s = a.shuffle(&t);
+        assert_eq!(s.lanes(), &[17, 0, 10, 10, 0, 13, 16, 11]);
+    }
+
+    #[test]
+    fn rotate_lanes_left_wraps() {
+        let a = v(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(a.rotate_lanes_left(1).lanes(), &[1, 2, 3, 4, 5, 6, 7, 0]);
+        assert_eq!(a.rotate_lanes_left(2).lanes(), &[2, 3, 4, 5, 6, 7, 0, 1]);
+        assert_eq!(a.rotate_lanes_left(8).lanes(), a.lanes());
+    }
+
+    #[test]
+    fn extract_halves() {
+        let mut lanes = [0i16; 16];
+        for (i, l) in lanes.iter_mut().enumerate() {
+            *l = i as i16;
+        }
+        let y = VecVal::from_lanes(RegWidth::Avx256, &lanes);
+        assert_eq!(y.extract128(0).lanes(), &[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(y.extract128(1).lanes(), &[8, 9, 10, 11, 12, 13, 14, 15]);
+
+        let mut zl = [0i16; 32];
+        for (i, l) in zl.iter_mut().enumerate() {
+            *l = i as i16;
+        }
+        let z = VecVal::from_lanes(RegWidth::Avx512, &zl);
+        assert_eq!(z.extract256(1).lanes()[0], 16);
+        assert_eq!(z.extract256(0).lanes()[15], 15);
+        assert_eq!(z.extract128(3).lanes(), &[24, 25, 26, 27, 28, 29, 30, 31]);
+    }
+
+    #[test]
+    fn splat_fills_live_lanes_only() {
+        let s = VecVal::splat(RegWidth::Avx256, -7);
+        assert_eq!(s.lanes().len(), 16);
+        assert!(s.lanes().iter().all(|&x| x == -7));
+    }
+
+    #[test]
+    fn shifts_match_scalar() {
+        let a = v(&[-32768, -1, 1, 2, 4, 1024, -1024, 12345]);
+        for imm in 0..4 {
+            for i in 0..8 {
+                assert_eq!(a.srai(imm).lane(i), a.lane(i) >> imm);
+                assert_eq!(a.slli(imm).lane(i), ((a.lane(i) as u16) << imm) as i16);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn mixed_width_ops_panic() {
+        let a = VecVal::splat(RegWidth::Sse128, 1);
+        let b = VecVal::splat(RegWidth::Avx256, 1);
+        let _ = a.adds(b);
+    }
+
+    #[test]
+    fn cmpeq_produces_masks() {
+        let a = v(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let b = v(&[1, 0, 3, 0, 5, 0, 7, 0]);
+        assert_eq!(a.cmpeq(b).lanes(), &[-1, 0, -1, 0, -1, 0, -1, 0]);
+    }
+}

@@ -1,0 +1,517 @@
+//! The kernel virtual machine: evaluate + optionally trace.
+//!
+//! Kernels call intrinsic-shaped methods on [`Vm`]; every call evaluates
+//! the operation on the portable lane model and, in tracing mode, records
+//! the corresponding µop(s). Register handles ([`VReg`]) are opaque; each
+//! operation result is a fresh handle carrying a fresh SSA id, so traces
+//! express true data dependencies without write-after-write hazards (the
+//! hardware renames anyway).
+
+use crate::mem::{Mem, MemRef};
+use crate::trace::{MicroOp, OpKind, RegId, Trace, NO_SRC};
+use crate::value::VecVal;
+use crate::width::RegWidth;
+
+/// Execution mode of a [`Vm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmMode {
+    /// Evaluate only.
+    Native,
+    /// Evaluate and record a µop trace.
+    Tracing,
+}
+
+/// Opaque handle to a live vector register value inside a [`Vm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VReg(u32);
+
+#[derive(Debug, Clone)]
+struct Slot {
+    val: VecVal,
+    ssa: RegId,
+    /// Set when the architectural register backing this value has been
+    /// clobbered (`vextracti32x8` semantics, paper §5.2) and must be
+    /// reloaded before reuse.
+    dead: bool,
+}
+
+/// Virtual machine over vector registers and a flat [`Mem`].
+#[derive(Debug)]
+pub struct Vm {
+    mem: Mem,
+    slots: Vec<Slot>,
+    mode: VmMode,
+    trace: Trace,
+}
+
+impl Vm {
+    /// Native-mode VM over `mem`.
+    pub fn native(mem: Mem) -> Self {
+        Self { mem, slots: Vec::new(), mode: VmMode::Native, trace: Trace::new() }
+    }
+
+    /// Tracing-mode VM over `mem`.
+    pub fn tracing(mem: Mem) -> Self {
+        Self { mem, slots: Vec::new(), mode: VmMode::Tracing, trace: Trace::new() }
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> VmMode {
+        self.mode
+    }
+
+    /// Shared memory view.
+    pub fn mem(&self) -> &Mem {
+        &self.mem
+    }
+
+    /// Mutable memory view (for staging kernel inputs).
+    pub fn mem_mut(&mut self) -> &mut Mem {
+        &mut self.mem
+    }
+
+    /// Take the recorded trace, leaving an empty one behind.
+    pub fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Borrow the recorded trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Inspect a register's value (test/oracle use).
+    pub fn value(&self, r: VReg) -> VecVal {
+        let s = &self.slots[r.0 as usize];
+        assert!(!s.dead, "use of clobbered register {r:?} (reload required after vextracti32x8)");
+        s.val
+    }
+
+    fn ssa_of(&self, r: VReg) -> RegId {
+        self.slots[r.0 as usize].ssa
+    }
+
+    fn new_slot(&mut self, val: VecVal) -> (VReg, RegId) {
+        let ssa = self.trace.fresh_reg();
+        let idx = self.slots.len() as u32;
+        self.slots.push(Slot { val, ssa, dead: false });
+        (VReg(idx), ssa)
+    }
+
+    fn record(&mut self, op: MicroOp) {
+        if self.mode == VmMode::Tracing {
+            self.trace.push(op);
+        }
+    }
+
+    fn uop(kind: OpKind, dst: Option<RegId>, srcs: [RegId; 3], first: bool) -> MicroOp {
+        MicroOp { kind, dst, srcs, bytes: 0, addr: None, first_of_instr: first, mispredict: false }
+    }
+
+    // ---------------------------------------------------------------
+    // data movement
+    // ---------------------------------------------------------------
+
+    /// Full-register aligned load of one `width` register from `mr`.
+    /// `mr.len` must equal `width.lanes()`.
+    pub fn load(&mut self, width: RegWidth, mr: MemRef) -> VReg {
+        assert_eq!(mr.len, width.lanes(), "load region must be exactly one register");
+        let val = VecVal::from_lanes(width, self.mem.read(mr));
+        let (r, ssa) = self.new_slot(val);
+        let mut op = Self::uop(OpKind::VLoad, Some(ssa), [NO_SRC; 3], true);
+        op.bytes = width.bytes() as u16;
+        op.addr = Some(mr.byte_addr());
+        self.record(op);
+        r
+    }
+
+    /// `vpbroadcastw m16`: load the element at `addr` and replicate it
+    /// into every lane of a `width` register. The γ-phase idiom of the
+    /// SIMD decoder (`_mm_set1_epi16(input[k])` in OAI).
+    pub fn broadcast_load(&mut self, width: RegWidth, addr: usize) -> VReg {
+        let v = self.mem.get(addr);
+        let (r, ssa) = self.new_slot(VecVal::splat(width, v));
+        let mut op = Self::uop(OpKind::VBroadcastLoad, Some(ssa), [NO_SRC; 3], true);
+        op.bytes = 2;
+        op.addr = Some((addr * 2) as u64);
+        self.record(op);
+        r
+    }
+
+    /// Scalar 16-bit memory-to-memory copy (`movzx` + `mov`), used for
+    /// the interleaver gather/scatter phases between half-iterations.
+    pub fn copy16(&mut self, src: usize, dst: usize) {
+        let v = self.mem.get(src);
+        self.mem.set(dst, v);
+        let ld_ssa = self.trace.fresh_reg();
+        let mut ld = Self::uop(OpKind::VLoad, Some(ld_ssa), [NO_SRC; 3], true);
+        ld.bytes = 2;
+        ld.addr = Some((src * 2) as u64);
+        self.record(ld);
+        let mut st = Self::uop(OpKind::StoreLane, None, [ld_ssa, NO_SRC, NO_SRC], true);
+        st.bytes = 2;
+        st.addr = Some((dst * 2) as u64);
+        self.record(st);
+    }
+
+    /// Scalar 16-bit load → transform → store (`mov` + ALU + `mov`):
+    /// reads the element at `src`, applies `f`, writes it to `dst`, and
+    /// records load + scalar-ALU + store µops. Used for the extrinsic
+    /// scale/interleave phases between half-iterations.
+    pub fn scalar_map16(&mut self, src: usize, dst: usize, f: impl Fn(i16) -> i16) {
+        let v = f(self.mem.get(src));
+        self.mem.set(dst, v);
+        let ld_ssa = self.trace.fresh_reg();
+        let mut ld = Self::uop(OpKind::VLoad, Some(ld_ssa), [NO_SRC; 3], true);
+        ld.bytes = 2;
+        ld.addr = Some((src * 2) as u64);
+        self.record(ld);
+        let alu_ssa = self.trace.fresh_reg();
+        self.record(Self::uop(OpKind::SAlu, Some(alu_ssa), [ld_ssa, NO_SRC, NO_SRC], true));
+        let mut st = Self::uop(OpKind::StoreLane, None, [alu_ssa, NO_SRC, NO_SRC], true);
+        st.bytes = 2;
+        st.addr = Some((dst * 2) as u64);
+        self.record(st);
+    }
+
+    /// Indexed load: like [`Vm::load`], but the effective address
+    /// depends on a previously computed register (`idx_src`), as in the
+    /// turbo interleaver's table-driven gathers. The µop carries the
+    /// dependency, so the scheduler cannot overlap the access with the
+    /// index computation — cache latency becomes visible.
+    pub fn load_indexed(&mut self, width: RegWidth, mr: MemRef, idx_src: VReg) -> VReg {
+        assert_eq!(mr.len, width.lanes(), "load region must be exactly one register");
+        let val = VecVal::from_lanes(width, self.mem.read(mr));
+        let dep = self.ssa_of(idx_src);
+        let (r, ssa) = self.new_slot(val);
+        let mut op = Self::uop(OpKind::VLoad, Some(ssa), [dep, NO_SRC, NO_SRC], true);
+        op.bytes = width.bytes() as u16;
+        op.addr = Some(mr.byte_addr());
+        self.record(op);
+        r
+    }
+
+    /// Full-register aligned store of `r` to `mr`.
+    pub fn store(&mut self, r: VReg, mr: MemRef) {
+        let val = self.value(r);
+        assert_eq!(mr.len, val.width().lanes(), "store region must be exactly one register");
+        self.mem.write(mr).copy_from_slice(val.lanes());
+        let src = self.ssa_of(r);
+        let mut op = Self::uop(OpKind::VStore, None, [src, NO_SRC, NO_SRC], true);
+        op.bytes = val.width().bytes() as u16;
+        op.addr = Some(mr.byte_addr());
+        self.record(op);
+    }
+
+    /// `pextrw`-to-memory: move lane `lane` of `r` to element address
+    /// `addr`. This is the baseline arrangement's workhorse and expands
+    /// to two movement-class µops (extract + 2-byte store), both of
+    /// which contend on the store ports under the paper's port model.
+    pub fn extract_store(&mut self, r: VReg, lane: usize, addr: usize) {
+        let val = self.value(r);
+        let v = val.lane(lane);
+        self.mem.set(addr, v);
+        let src = self.ssa_of(r);
+        let ext_ssa = self.trace.fresh_reg();
+        let ext = Self::uop(OpKind::ExtractLane, Some(ext_ssa), [src, NO_SRC, NO_SRC], true);
+        self.record(ext);
+        let mut st = Self::uop(OpKind::StoreLane, None, [ext_ssa, NO_SRC, NO_SRC], false);
+        st.bytes = 2;
+        st.addr = Some((addr * 2) as u64);
+        self.record(st);
+    }
+
+    /// `vextracti128`: produce the 128-bit half `idx` of a ymm/zmm
+    /// register as a fresh xmm value. Non-destructive, but issues on the
+    /// movement ports (paper §5.2 ymm penalty path).
+    pub fn extract128(&mut self, r: VReg, idx: usize) -> VReg {
+        let val = self.value(r);
+        assert!(val.width() != RegWidth::Sse128, "extract128 requires a wider source");
+        let out = val.extract128(idx);
+        let src = self.ssa_of(r);
+        let (nr, ssa) = self.new_slot(out);
+        self.record(Self::uop(OpKind::Extract128, Some(ssa), [src, NO_SRC, NO_SRC], true));
+        nr
+    }
+
+    /// `vextracti32x8 $idx`: produce a 256-bit half of a zmm register.
+    ///
+    /// Models the paper's §5.2 semantics: after the extract, the source
+    /// zmm is **clobbered** ("the upper 256 bits in zmm will be
+    /// removed") and any further use panics until the kernel reloads it
+    /// with [`Vm::load`] (`vmovdqa64`). This is what makes the original
+    /// mechanism *slower* at 512 bits than at 256.
+    pub fn extract256_clobber(&mut self, r: VReg, idx: usize) -> VReg {
+        let val = self.value(r);
+        let out = val.extract256(idx);
+        let src = self.ssa_of(r);
+        self.slots[r.0 as usize].dead = true;
+        let (nr, ssa) = self.new_slot(out);
+        self.record(Self::uop(OpKind::Extract256, Some(ssa), [src, NO_SRC, NO_SRC], true));
+        nr
+    }
+
+    // ---------------------------------------------------------------
+    // vector ALU
+    // ---------------------------------------------------------------
+
+    fn bin(&mut self, kind: OpKind, a: VReg, b: VReg, f: impl Fn(VecVal, VecVal) -> VecVal) -> VReg {
+        let out = f(self.value(a), self.value(b));
+        let (sa, sb) = (self.ssa_of(a), self.ssa_of(b));
+        let (r, ssa) = self.new_slot(out);
+        self.record(Self::uop(kind, Some(ssa), [sa, sb, NO_SRC], true));
+        r
+    }
+
+    /// `_mm_adds_epi16`.
+    pub fn adds(&mut self, a: VReg, b: VReg) -> VReg {
+        self.bin(OpKind::VAdds, a, b, VecVal::adds)
+    }
+
+    /// `_mm_subs_epi16`.
+    pub fn subs(&mut self, a: VReg, b: VReg) -> VReg {
+        self.bin(OpKind::VSubs, a, b, VecVal::subs)
+    }
+
+    /// `_mm_max_epi16`.
+    pub fn max(&mut self, a: VReg, b: VReg) -> VReg {
+        self.bin(OpKind::VMax, a, b, VecVal::max)
+    }
+
+    /// `_mm_min_epi16`.
+    pub fn min(&mut self, a: VReg, b: VReg) -> VReg {
+        self.bin(OpKind::VMin, a, b, VecVal::min)
+    }
+
+    /// `_mm_add_epi16` (wrapping).
+    pub fn add_wrap(&mut self, a: VReg, b: VReg) -> VReg {
+        self.bin(OpKind::VAdd, a, b, VecVal::add_wrap)
+    }
+
+    /// `vpand`.
+    pub fn and(&mut self, a: VReg, b: VReg) -> VReg {
+        self.bin(OpKind::VAnd, a, b, VecVal::and)
+    }
+
+    /// `vpor`.
+    pub fn or(&mut self, a: VReg, b: VReg) -> VReg {
+        self.bin(OpKind::VOr, a, b, VecVal::or)
+    }
+
+    /// `vpxor`.
+    pub fn xor(&mut self, a: VReg, b: VReg) -> VReg {
+        self.bin(OpKind::VXor, a, b, VecVal::xor)
+    }
+
+    /// `vpandn`: `!a & b`.
+    pub fn andnot(&mut self, a: VReg, b: VReg) -> VReg {
+        self.bin(OpKind::VAndnot, a, b, VecVal::andnot)
+    }
+
+    /// `_mm_cmpeq_epi16`.
+    pub fn cmpeq(&mut self, a: VReg, b: VReg) -> VReg {
+        self.bin(OpKind::VCmpEq, a, b, VecVal::cmpeq)
+    }
+
+    /// `_mm_srai_epi16` by immediate.
+    pub fn srai(&mut self, a: VReg, imm: u32) -> VReg {
+        let out = self.value(a).srai(imm);
+        let sa = self.ssa_of(a);
+        let (r, ssa) = self.new_slot(out);
+        self.record(Self::uop(OpKind::VSrai, Some(ssa), [sa, NO_SRC, NO_SRC], true));
+        r
+    }
+
+    /// `_mm_slli_epi16` by immediate.
+    pub fn slli(&mut self, a: VReg, imm: u32) -> VReg {
+        let out = self.value(a).slli(imm);
+        let sa = self.ssa_of(a);
+        let (r, ssa) = self.new_slot(out);
+        self.record(Self::uop(OpKind::VSlli, Some(ssa), [sa, NO_SRC, NO_SRC], true));
+        r
+    }
+
+    /// `_mm_set1_epi16`: broadcast an immediate/scalar.
+    pub fn splat(&mut self, width: RegWidth, v: i16) -> VReg {
+        let (r, ssa) = self.new_slot(VecVal::splat(width, v));
+        self.record(Self::uop(OpKind::VBroadcast, Some(ssa), [NO_SRC; 3], true));
+        r
+    }
+
+    /// Materialize an arbitrary constant (mask registers etc.). Costs a
+    /// load µop: real kernels keep masks in memory and load them once.
+    pub fn const_vec(&mut self, val: VecVal) -> VReg {
+        let lanes: Vec<i16> = val.lanes().to_vec();
+        let mr = self.mem.alloc_from(&lanes);
+        self.load(val.width(), mr)
+    }
+
+    /// `pshufb`/`vpermw`: full lane permutation with zeroing. One
+    /// vector-ALU µop.
+    pub fn shuffle(&mut self, a: VReg, table: &[Option<u8>]) -> VReg {
+        let out = self.value(a).shuffle(table);
+        let sa = self.ssa_of(a);
+        let (r, ssa) = self.new_slot(out);
+        self.record(Self::uop(OpKind::VShuffle, Some(ssa), [sa, NO_SRC, NO_SRC], true));
+        r
+    }
+
+    /// Lane rotate-left expressed as a single shuffle-class ALU µop.
+    /// The memory-resident "rotation mimic" (paper Fig 12) is modeled in
+    /// `vran-arrange` with shifted loads instead; this variant is the
+    /// in-register form used by the decoder-facing APCM kernel.
+    pub fn rotate_lanes_left(&mut self, a: VReg, n: usize) -> VReg {
+        let out = self.value(a).rotate_lanes_left(n);
+        let sa = self.ssa_of(a);
+        let (r, ssa) = self.new_slot(out);
+        self.record(Self::uop(OpKind::VShuffle, Some(ssa), [sa, NO_SRC, NO_SRC], true));
+        r
+    }
+
+    // ---------------------------------------------------------------
+    // scalar / control
+    // ---------------------------------------------------------------
+
+    /// Emit `n` independent scalar-ALU µops (address arithmetic, loop
+    /// counters). They carry no vector dependencies.
+    pub fn scalar_ops(&mut self, n: usize) {
+        for _ in 0..n {
+            self.record(Self::uop(OpKind::SAlu, None, [NO_SRC; 3], true));
+        }
+    }
+
+    /// Emit a conditional branch µop; `mispredict` marks dynamic
+    /// instances the front-end will squash on (bad-speculation slots).
+    pub fn branch(&mut self, mispredict: bool) {
+        let mut op = Self::uop(OpKind::SBranch, None, [NO_SRC; 3], true);
+        op.mispredict = mispredict;
+        self.record(op);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::OpClass;
+
+    fn vm_with(vals: &[i16]) -> (Vm, MemRef) {
+        let mut mem = Mem::new();
+        let mr = mem.alloc_from(vals);
+        (Vm::tracing(mem), mr)
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        let (mut vm, mr) = vm_with(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let out = vm.mem_mut().alloc(8);
+        let r = vm.load(RegWidth::Sse128, mr);
+        vm.store(r, out);
+        assert_eq!(vm.mem().read(out), &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let t = vm.trace();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.load_bytes(), 16);
+        assert_eq!(t.store_bytes(), 16);
+        // store depends on load
+        assert_eq!(t.ops[1].srcs[0], t.ops[0].dst.unwrap());
+    }
+
+    #[test]
+    fn extract_store_emits_two_movement_uops() {
+        let (mut vm, mr) = vm_with(&[10, 20, 30, 40, 50, 60, 70, 80]);
+        let dst = vm.mem_mut().alloc(1);
+        let r = vm.load(RegWidth::Sse128, mr);
+        vm.extract_store(r, 3, dst.base);
+        assert_eq!(vm.mem().get(dst.base), 40);
+        let t = vm.trace();
+        assert_eq!(t.len(), 3); // load + extract + store16
+        assert_eq!(t.ops[1].kind, OpKind::ExtractLane);
+        assert_eq!(t.ops[2].kind, OpKind::StoreLane);
+        assert!(t.ops[1].first_of_instr);
+        assert!(!t.ops[2].first_of_instr);
+        assert_eq!(t.instr_count(), 2); // load + pextrw
+        assert_eq!(t.store_bytes(), 2);
+    }
+
+    #[test]
+    fn alu_ops_evaluate_and_link_deps() {
+        let (mut vm, mr) = vm_with(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let a = vm.load(RegWidth::Sse128, mr);
+        let b = vm.splat(RegWidth::Sse128, 10);
+        let c = vm.adds(a, b);
+        let d = vm.max(c, b);
+        assert_eq!(vm.value(d).lanes(), &[11, 12, 13, 14, 15, 16, 17, 18]);
+        let t = vm.trace();
+        let add = &t.ops[2];
+        assert_eq!(add.kind, OpKind::VAdds);
+        assert_eq!(add.srcs[0], t.ops[0].dst.unwrap());
+        assert_eq!(add.srcs[1], t.ops[1].dst.unwrap());
+    }
+
+    #[test]
+    fn extract256_clobbers_source() {
+        let mut mem = Mem::new();
+        let vals: Vec<i16> = (0..32).collect();
+        let mr = mem.alloc_from(&vals);
+        let mut vm = Vm::tracing(mem);
+        let z = vm.load(RegWidth::Avx512, mr);
+        let lo = vm.extract256_clobber(z, 0);
+        assert_eq!(vm.value(lo).lanes()[0], 0);
+        // Source is now dead: reading it must panic.
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| vm.value(z)));
+        assert!(res.is_err(), "clobbered zmm must not be readable");
+    }
+
+    #[test]
+    fn extract256_reload_path_works() {
+        let mut mem = Mem::new();
+        let vals: Vec<i16> = (100..132).collect();
+        let mr = mem.alloc_from(&vals);
+        let mut vm = Vm::tracing(mem);
+        let z = vm.load(RegWidth::Avx512, mr);
+        let _lo = vm.extract256_clobber(z, 0);
+        // Paper §5.2: reload with vmovdqa64, then take the upper half.
+        let z2 = vm.load(RegWidth::Avx512, mr);
+        let hi = vm.extract256_clobber(z2, 1);
+        assert_eq!(vm.value(hi).lanes()[0], 116);
+        let h = vm.trace().class_histogram();
+        assert_eq!(h.load, 2);
+        assert_eq!(h.store, 2); // the two extracts are movement-class
+    }
+
+    #[test]
+    fn native_mode_records_nothing() {
+        let mut mem = Mem::new();
+        let mr = mem.alloc_from(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut vm = Vm::native(mem);
+        let a = vm.load(RegWidth::Sse128, mr);
+        let b = vm.adds(a, a);
+        assert_eq!(vm.value(b).lanes(), &[2, 4, 6, 8, 10, 12, 14, 16]);
+        assert!(vm.trace().is_empty());
+    }
+
+    #[test]
+    fn shuffle_and_rotate_are_vec_alu() {
+        let (mut vm, mr) = vm_with(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let a = vm.load(RegWidth::Sse128, mr);
+        let t = [Some(1u8), Some(0), Some(3), Some(2), Some(5), Some(4), Some(7), Some(6)];
+        let s = vm.shuffle(a, &t);
+        assert_eq!(vm.value(s).lanes(), &[1, 0, 3, 2, 5, 4, 7, 6]);
+        let rr = vm.rotate_lanes_left(a, 2);
+        assert_eq!(vm.value(rr).lanes(), &[2, 3, 4, 5, 6, 7, 0, 1]);
+        for op in &vm.trace().ops[1..] {
+            assert_eq!(op.kind.class(), OpClass::VecAlu);
+        }
+    }
+
+    #[test]
+    fn scalar_and_branch_uops() {
+        let mut vm = Vm::tracing(Mem::new());
+        vm.scalar_ops(3);
+        vm.branch(true);
+        vm.branch(false);
+        let t = vm.trace();
+        assert_eq!(t.len(), 5);
+        assert!(t.ops[3].mispredict);
+        assert!(!t.ops[4].mispredict);
+    }
+}

@@ -1,0 +1,134 @@
+//! Register width model: SSE128 / AVX256 / AVX512.
+//!
+//! The paper evaluates every experiment at the three x86 vector register
+//! widths (xmm / ymm / zmm). All kernels in this workspace are generic
+//! over [`RegWidth`]; the lane type is fixed to `i16` because the OAI
+//! turbo decoder (and its data arrangement) operates on 16-bit fixed
+//! point LLRs — the paper's `pextrw` ("extract word") baseline moves
+//! exactly one such lane per instruction.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of `i16` lanes across all supported widths (zmm).
+pub const MAX_LANES: usize = 32;
+
+/// The three x86 SIMD register widths the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RegWidth {
+    /// 128-bit `xmm` registers (SSE2..SSE4.2 era). 8 × i16 lanes.
+    Sse128,
+    /// 256-bit `ymm` registers (AVX2). 16 × i16 lanes.
+    Avx256,
+    /// 512-bit `zmm` registers (AVX-512BW). 32 × i16 lanes.
+    Avx512,
+}
+
+impl RegWidth {
+    /// All widths in increasing order — iteration helper for sweeps.
+    pub const ALL: [RegWidth; 3] = [RegWidth::Sse128, RegWidth::Avx256, RegWidth::Avx512];
+
+    /// Register width in bits (128, 256 or 512).
+    #[inline]
+    pub const fn bits(self) -> u32 {
+        match self {
+            RegWidth::Sse128 => 128,
+            RegWidth::Avx256 => 256,
+            RegWidth::Avx512 => 512,
+        }
+    }
+
+    /// Register width in bytes (16, 32 or 64).
+    #[inline]
+    pub const fn bytes(self) -> u32 {
+        self.bits() / 8
+    }
+
+    /// Number of `i16` lanes held by one register (8, 16 or 32).
+    #[inline]
+    pub const fn lanes(self) -> usize {
+        (self.bits() / 16) as usize
+    }
+
+    /// Short display name used by figures and bench IDs.
+    pub const fn name(self) -> &'static str {
+        match self {
+            RegWidth::Sse128 => "SSE128",
+            RegWidth::Avx256 => "AVX256",
+            RegWidth::Avx512 => "AVX512",
+        }
+    }
+
+    /// The x86 register file name for this width.
+    pub const fn reg_name(self) -> &'static str {
+        match self {
+            RegWidth::Sse128 => "xmm",
+            RegWidth::Avx256 => "ymm",
+            RegWidth::Avx512 => "zmm",
+        }
+    }
+
+    /// Number of 128-bit halves/quarters ("sub-lanes" in x86 parlance).
+    #[inline]
+    pub const fn lanes128(self) -> usize {
+        (self.bits() / 128) as usize
+    }
+
+    /// The next narrower width, if any. Used by the baseline data
+    /// arrangement model: `vextracti128`/`vextracti32x8` step down one
+    /// width level at a time (paper §5.2).
+    pub const fn narrower(self) -> Option<RegWidth> {
+        match self {
+            RegWidth::Sse128 => None,
+            RegWidth::Avx256 => Some(RegWidth::Sse128),
+            RegWidth::Avx512 => Some(RegWidth::Avx256),
+        }
+    }
+}
+
+impl std::fmt::Display for RegWidth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_bytes_lanes_are_consistent() {
+        for w in RegWidth::ALL {
+            assert_eq!(w.bits(), w.bytes() * 8);
+            assert_eq!(w.lanes(), (w.bytes() / 2) as usize);
+            assert_eq!(w.lanes128() * 8, w.lanes());
+        }
+    }
+
+    #[test]
+    fn all_is_sorted_and_distinct() {
+        assert!(RegWidth::ALL.windows(2).all(|p| p[0] < p[1]));
+    }
+
+    #[test]
+    fn narrower_chain_terminates_at_sse() {
+        assert_eq!(RegWidth::Avx512.narrower(), Some(RegWidth::Avx256));
+        assert_eq!(RegWidth::Avx256.narrower(), Some(RegWidth::Sse128));
+        assert_eq!(RegWidth::Sse128.narrower(), None);
+    }
+
+    #[test]
+    fn lane_counts_match_paper() {
+        // Paper §4.2: "the data arrangement operations are 16 bits one
+        // time and thus the data arrangement operation times is 8 for
+        // 128 bits register", 16 for ymm, 32 for zmm.
+        assert_eq!(RegWidth::Sse128.lanes(), 8);
+        assert_eq!(RegWidth::Avx256.lanes(), 16);
+        assert_eq!(RegWidth::Avx512.lanes(), 32);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        assert_eq!(RegWidth::Sse128.to_string(), "SSE128");
+        assert_eq!(RegWidth::Avx512.reg_name(), "zmm");
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests: the lane model must match scalar `i16` semantics
+//! exactly for every operation the kernels rely on — this is the
+//! foundation of the bit-exactness contract between the scalar and
+//! SIMD decoders.
+
+use proptest::prelude::*;
+use vran_simd::{Mem, RegWidth, VecVal, Vm};
+
+fn lanes_strategy(w: RegWidth) -> impl Strategy<Value = Vec<i16>> {
+    prop::collection::vec(any::<i16>(), w.lanes())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn binary_ops_match_scalar(a in lanes_strategy(RegWidth::Sse128), b in lanes_strategy(RegWidth::Sse128)) {
+        let va = VecVal::from_lanes(RegWidth::Sse128, &a);
+        let vb = VecVal::from_lanes(RegWidth::Sse128, &b);
+        for i in 0..8 {
+            prop_assert_eq!(va.adds(vb).lane(i), a[i].saturating_add(b[i]));
+            prop_assert_eq!(va.subs(vb).lane(i), a[i].saturating_sub(b[i]));
+            prop_assert_eq!(va.max(vb).lane(i), a[i].max(b[i]));
+            prop_assert_eq!(va.min(vb).lane(i), a[i].min(b[i]));
+            prop_assert_eq!(va.add_wrap(vb).lane(i), a[i].wrapping_add(b[i]));
+            prop_assert_eq!(va.and(vb).lane(i), a[i] & b[i]);
+            prop_assert_eq!(va.or(vb).lane(i), a[i] | b[i]);
+            prop_assert_eq!(va.xor(vb).lane(i), a[i] ^ b[i]);
+            prop_assert_eq!(va.andnot(vb).lane(i), !a[i] & b[i]);
+            prop_assert_eq!(va.cmpeq(vb).lane(i), if a[i] == b[i] { -1 } else { 0 });
+        }
+    }
+
+    #[test]
+    fn shifts_match_scalar(a in lanes_strategy(RegWidth::Avx256), imm in 0u32..16) {
+        let v = VecVal::from_lanes(RegWidth::Avx256, &a);
+        for i in 0..16 {
+            prop_assert_eq!(v.srai(imm).lane(i), a[i] >> imm);
+            prop_assert_eq!(v.slli(imm).lane(i), ((a[i] as u16) << imm) as i16);
+        }
+    }
+
+    #[test]
+    fn rotate_composition(a in lanes_strategy(RegWidth::Sse128), n in 0usize..16, m in 0usize..16) {
+        let v = VecVal::from_lanes(RegWidth::Sse128, &a);
+        let lhs = v.rotate_lanes_left(n).rotate_lanes_left(m);
+        let rhs = v.rotate_lanes_left((n + m) % 8);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn shuffle_identity_and_inverse(a in lanes_strategy(RegWidth::Sse128), perm_seed in any::<u64>()) {
+        let v = VecVal::from_lanes(RegWidth::Sse128, &a);
+        // identity
+        let id: Vec<Option<u8>> = (0..8).map(|i| Some(i as u8)).collect();
+        prop_assert_eq!(v.shuffle(&id), v);
+        // a random permutation then its inverse restores the value
+        let mut p: Vec<u8> = (0..8).collect();
+        let mut s = perm_seed | 1;
+        for i in (1..8).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            p.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let fwd: Vec<Option<u8>> = p.iter().map(|&x| Some(x)).collect();
+        let mut inv = vec![0u8; 8];
+        for (i, &x) in p.iter().enumerate() {
+            inv[x as usize] = i as u8;
+        }
+        let back: Vec<Option<u8>> = inv.iter().map(|&x| Some(x)).collect();
+        prop_assert_eq!(v.shuffle(&fwd).shuffle(&back), v);
+    }
+
+    #[test]
+    fn extract_halves_partition(a in lanes_strategy(RegWidth::Avx512)) {
+        let z = VecVal::from_lanes(RegWidth::Avx512, &a);
+        let mut reassembled = Vec::new();
+        for q in 0..4 {
+            reassembled.extend_from_slice(z.extract128(q).lanes());
+        }
+        prop_assert_eq!(reassembled, a.clone());
+        let mut halves = Vec::new();
+        for h in 0..2 {
+            halves.extend_from_slice(z.extract256(h).lanes());
+        }
+        prop_assert_eq!(halves, a);
+    }
+
+    #[test]
+    fn vm_native_and_tracing_agree(vals in prop::collection::vec(any::<i16>(), 16)) {
+        let run = |tracing: bool| {
+            let mut mem = Mem::new();
+            let a = mem.alloc_from(&vals[..8]);
+            let b = mem.alloc_from(&vals[8..]);
+            let out = mem.alloc(8);
+            let mut vm = if tracing { Vm::tracing(mem) } else { Vm::native(mem) };
+            let ra = vm.load(RegWidth::Sse128, a);
+            let rb = vm.load(RegWidth::Sse128, b);
+            let s = vm.adds(ra, rb);
+            let m = vm.max(s, ra);
+            let r = vm.rotate_lanes_left(m, 3);
+            vm.store(r, out);
+            vm.mem().read(out).to_vec()
+        };
+        prop_assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn trace_dependencies_reference_earlier_ops(vals in prop::collection::vec(any::<i16>(), 8)) {
+        let mut mem = Mem::new();
+        let a = mem.alloc_from(&vals);
+        let mut vm = Vm::tracing(mem);
+        let r = vm.load(RegWidth::Sse128, a);
+        let x = vm.adds(r, r);
+        let y = vm.subs(x, r);
+        vm.extract_store(y, 0, a.base);
+        let t = vm.take_trace();
+        // SSA sanity: every source id was produced by an earlier op
+        let mut produced = std::collections::HashSet::new();
+        for op in &t.ops {
+            for s in op.sources() {
+                prop_assert!(produced.contains(&s), "use before def: {s}");
+            }
+            if let Some(d) = op.dst {
+                produced.insert(d);
+            }
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Three-level set-associative cache model.
+//!
+//! Used to reproduce the paper's Table 1 / Figure 7 experiment: moving
+//! from the "wimpy" desktop part (Core i7-8700) to the "beefy" server
+//! part (Xeon W-2195) eliminates the memory-bound component of backend
+//! bound, leaving core (port) bound exposed. The per-core capacities are
+//! derived from Table 1 totals divided by core count (6 cores wimpy,
+//! 18 cores beefy):
+//!
+//! |       | wimpy (per core) | beefy (per core) |
+//! |-------|------------------|------------------|
+//! | L1d   | 32 KiB           | 32 KiB           |
+//! | L2    | 256 KiB          | 1024 KiB         |
+//! | L3    | 12 MiB (shared)  | 25.3 MiB (shared)|
+//!
+//! Lines are 64 B; replacement is true LRU per set. Writes are
+//! write-allocate / write-back, but dirtiness is not tracked — only hit
+//! levels matter for the latency model.
+
+use serde::{Deserialize, Serialize};
+
+/// Cache line size in bytes (all modeled Intel parts).
+pub const LINE_BYTES: u64 = 64;
+
+/// Configuration for one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheLevelConfig {
+    /// Capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// *Extra* latency in cycles on a hit at this level, beyond the L1
+    /// load-to-use latency already charged by [`crate::latency`].
+    pub extra_latency: u32,
+}
+
+/// Configuration of the full hierarchy plus DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// L1 data cache.
+    pub l1: CacheLevelConfig,
+    /// Private L2.
+    pub l2: CacheLevelConfig,
+    /// Shared L3 (per-core slice view).
+    pub l3: CacheLevelConfig,
+    /// Extra latency for a DRAM access.
+    pub dram_extra_latency: u32,
+}
+
+impl CacheConfig {
+    /// Wimpy node (Core i7-8700, Coffee Lake): Table 1 column 1.
+    pub const fn wimpy() -> Self {
+        Self {
+            l1: CacheLevelConfig { size_bytes: 32 << 10, ways: 8, extra_latency: 0 },
+            l2: CacheLevelConfig { size_bytes: 256 << 10, ways: 4, extra_latency: 10 },
+            l3: CacheLevelConfig { size_bytes: 12 << 20, ways: 16, extra_latency: 38 },
+            dram_extra_latency: 180,
+        }
+    }
+
+    /// Beefy node (Xeon W-2195, Skylake-W): Table 1 column 2.
+    pub const fn beefy() -> Self {
+        Self {
+            l1: CacheLevelConfig { size_bytes: 32 << 10, ways: 8, extra_latency: 0 },
+            l2: CacheLevelConfig { size_bytes: 1 << 20, ways: 16, extra_latency: 10 },
+            l3: CacheLevelConfig { size_bytes: 25344 << 10, ways: 11, extra_latency: 50 },
+            dram_extra_latency: 180,
+        }
+    }
+}
+
+/// Which level serviced an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HitLevel {
+    /// Serviced by L1d.
+    L1,
+    /// Serviced by L2.
+    L2,
+    /// Serviced by L3.
+    L3,
+    /// Serviced by DRAM.
+    Dram,
+}
+
+/// Hit/access counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L3 hits.
+    pub l3_hits: u64,
+    /// DRAM accesses (misses everywhere).
+    pub dram: u64,
+}
+
+impl CacheStats {
+    /// L1 hit rate in [0,1]; 1.0 for an idle cache.
+    pub fn l1_hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            1.0
+        } else {
+            self.l1_hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// One set-associative level: per-set LRU stacks of line tags.
+#[derive(Debug, Clone)]
+struct Level {
+    sets: Vec<Vec<u64>>, // most-recently-used last
+    ways: usize,
+    set_mask: u64,
+}
+
+impl Level {
+    fn new(cfg: CacheLevelConfig) -> Self {
+        let lines = (cfg.size_bytes / LINE_BYTES).max(1);
+        let ways = cfg.ways.max(1) as u64;
+        let mut nsets = (lines / ways).max(1);
+        // round down to a power of two so the index is a mask
+        nsets = 1 << (63 - nsets.leading_zeros());
+        Self {
+            sets: vec![Vec::with_capacity(ways as usize); nsets as usize],
+            ways: ways as usize,
+            set_mask: nsets - 1,
+        }
+    }
+
+    /// Access a line; returns true on hit. Installs on miss.
+    fn access(&mut self, line: u64) -> bool {
+        let set = &mut self.sets[(line & self.set_mask) as usize];
+        let tag = line >> 1; // any injective function of the line works
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            let t = set.remove(pos);
+            set.push(t);
+            true
+        } else {
+            if set.len() == self.ways {
+                set.remove(0);
+            }
+            set.push(tag);
+            false
+        }
+    }
+}
+
+/// The simulated hierarchy.
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    l1: Level,
+    l2: Level,
+    l3: Level,
+    cfg: CacheConfig,
+    stats: CacheStats,
+}
+
+impl CacheSim {
+    /// New hierarchy from `cfg`, all levels cold.
+    pub fn new(cfg: CacheConfig) -> Self {
+        Self {
+            l1: Level::new(cfg.l1),
+            l2: Level::new(cfg.l2),
+            l3: Level::new(cfg.l3),
+            cfg,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Access `bytes` starting at byte address `addr`; returns the
+    /// worst (slowest) hit level across the touched lines and the extra
+    /// latency to charge.
+    pub fn access(&mut self, addr: u64, bytes: u64) -> (HitLevel, u32) {
+        let first = addr / LINE_BYTES;
+        let last = (addr + bytes.max(1) - 1) / LINE_BYTES;
+        let mut worst = HitLevel::L1;
+        let mut extra = 0u32;
+        for line in first..=last {
+            self.stats.accesses += 1;
+            let (lvl, e) = self.access_line(line);
+            if e >= extra {
+                extra = e;
+                worst = lvl;
+            }
+        }
+        (worst, extra)
+    }
+
+    fn access_line(&mut self, line: u64) -> (HitLevel, u32) {
+        if self.l1.access(line) {
+            self.stats.l1_hits += 1;
+            return (HitLevel::L1, self.cfg.l1.extra_latency);
+        }
+        if self.l2.access(line) {
+            self.stats.l2_hits += 1;
+            return (HitLevel::L2, self.cfg.l2.extra_latency);
+        }
+        if self.l3.access(line) {
+            self.stats.l3_hits += 1;
+            return (HitLevel::L3, self.cfg.l3.extra_latency);
+        }
+        self.stats.dram += 1;
+        (HitLevel::Dram, self.cfg.dram_extra_latency)
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Zero the counters (e.g. after a warm-up pass) without touching
+    /// cache contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits_l1() {
+        let mut c = CacheSim::new(CacheConfig::wimpy());
+        let (lvl, e) = c.access(0x1000, 16);
+        assert_eq!(lvl, HitLevel::Dram);
+        assert!(e >= 100);
+        let (lvl, e) = c.access(0x1000, 16);
+        assert_eq!(lvl, HitLevel::L1);
+        assert_eq!(e, 0);
+    }
+
+    #[test]
+    fn straddling_access_touches_two_lines() {
+        let mut c = CacheSim::new(CacheConfig::beefy());
+        c.access(60, 8); // bytes 60..68 span lines 0 and 1
+        assert_eq!(c.stats().accesses, 2);
+    }
+
+    #[test]
+    fn working_set_larger_than_l1_spills_to_l2() {
+        let cfg = CacheConfig::wimpy();
+        let mut c = CacheSim::new(cfg);
+        let ws = 64 << 10; // 64 KiB > 32 KiB L1, < 256 KiB L2
+        // two streaming passes
+        for pass in 0..2 {
+            for a in (0..ws).step_by(64) {
+                let (lvl, _) = c.access(a, 64);
+                if pass == 1 {
+                    assert_ne!(lvl, HitLevel::Dram, "second pass must hit in L2+");
+                    assert_ne!(lvl, HitLevel::L3, "64 KiB fits in L2");
+                }
+            }
+        }
+        let s = c.stats();
+        assert!(s.l2_hits > 0, "L1-overflowing set must produce L2 hits: {s:?}");
+    }
+
+    #[test]
+    fn beefy_l2_holds_what_wimpy_spills() {
+        // A 512 KiB working set: misses wimpy's 256 KiB L2 (goes to L3),
+        // fits beefy's 1 MiB L2. This is the Figure 7 mechanism.
+        let ws: u64 = 512 << 10;
+        let run = |cfg: CacheConfig| {
+            let mut c = CacheSim::new(cfg);
+            for _ in 0..3 {
+                for a in (0..ws).step_by(64) {
+                    c.access(a, 64);
+                }
+            }
+            c.stats()
+        };
+        let w = run(CacheConfig::wimpy());
+        let b = run(CacheConfig::beefy());
+        assert!(
+            b.l2_hits > w.l2_hits * 2,
+            "beefy L2 must absorb the working set (wimpy {w:?} vs beefy {b:?})"
+        );
+        assert!(w.l3_hits > b.l3_hits, "wimpy must lean on L3");
+    }
+
+    #[test]
+    fn small_working_set_all_l1_after_warmup() {
+        let mut c = CacheSim::new(CacheConfig::wimpy());
+        let ws = 8 << 10;
+        for a in (0..ws).step_by(64) {
+            c.access(a, 64);
+        }
+        let warm = c.stats();
+        for a in (0..ws).step_by(64) {
+            let (lvl, _) = c.access(a, 64);
+            assert_eq!(lvl, HitLevel::L1);
+        }
+        let after = c.stats();
+        assert_eq!(after.l1_hits - warm.l1_hits, (ws / 64) as u64);
+    }
+
+    #[test]
+    fn stats_sum_to_accesses() {
+        let mut c = CacheSim::new(CacheConfig::beefy());
+        for i in 0..1000u64 {
+            c.access(i * 128, 16);
+        }
+        let s = c.stats();
+        assert_eq!(s.accesses, s.l1_hits + s.l2_hits + s.l3_hits + s.dram);
+    }
+}

@@ -1,0 +1,105 @@
+//! Core simulator configuration and server presets.
+
+use crate::cache::CacheConfig;
+use crate::ports::PortModel;
+use serde::{Deserialize, Serialize};
+
+/// Full core configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Allocation/rename width — µop slots filled per cycle. 4 on all
+    /// modeled parts; this is the denominator of every top-down metric
+    /// and the paper's "ideal IPC value of 4".
+    pub issue_width: u32,
+    /// In-order retirement width (µops/cycle).
+    pub retire_width: u32,
+    /// Reorder-buffer capacity (Skylake: 224 entries).
+    pub rob_size: u32,
+    /// Port topology.
+    pub ports: PortModel,
+    /// Cache hierarchy.
+    pub cache: CacheConfig,
+    /// Core clock in GHz — converts cycles into the wall-clock figures
+    /// (Figs 9, 13, 14) and bandwidth figures (Fig 16).
+    pub freq_ghz: f64,
+    /// Inject one front-end fetch-bubble cycle every N cycles (0 =
+    /// never). Models the small, constant instruction-delivery overhead
+    /// the paper reports as "negligible frontend bound" (a few percent).
+    pub fetch_bubble_every: u32,
+    /// Cycles of allocation stall after a mispredicted branch executes
+    /// (pipeline refill depth).
+    pub mispredict_penalty: u32,
+    /// Pre-touch every address in the trace before simulating, so the
+    /// run measures steady-state behaviour (data cache-resident up to
+    /// capacity) rather than cold-start compulsory misses. This is how
+    /// the paper's long-running VTune profiles see the kernels.
+    pub warm_caches: bool,
+}
+
+impl CoreConfig {
+    /// Wimpy node: Intel Core i7-8700 @ 3.20 GHz (Coffee Lake desktop),
+    /// paper §3.1 "Hardware platform".
+    pub fn wimpy() -> Self {
+        Self {
+            issue_width: 4,
+            retire_width: 4,
+            rob_size: 224,
+            ports: PortModel::paper(),
+            cache: CacheConfig::wimpy(),
+            freq_ghz: 3.2,
+            fetch_bubble_every: 64,
+            mispredict_penalty: 15,
+            warm_caches: false,
+        }
+    }
+
+    /// Steady-state variant of this configuration (see
+    /// [`CoreConfig::warm_caches`]).
+    pub fn warmed(self) -> Self {
+        Self { warm_caches: true, ..self }
+    }
+
+    /// Beefy node: Intel Xeon W-2195 @ 2.30 GHz (Skylake-W), paper §4.1.
+    pub fn beefy() -> Self {
+        Self { cache: CacheConfig::beefy(), freq_ghz: 2.3, ..Self::wimpy() }
+    }
+
+    /// Beefy node with frontend-bubble injection disabled — used by
+    /// unit tests that need exact slot arithmetic.
+    pub fn ideal() -> Self {
+        Self { fetch_bubble_every: 0, ..Self::beefy() }
+    }
+
+    /// Convert a cycle count to microseconds at this core's frequency.
+    pub fn cycles_to_us(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.freq_ghz * 1e3)
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::beefy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_cache_and_clock() {
+        let w = CoreConfig::wimpy();
+        let b = CoreConfig::beefy();
+        assert_eq!(w.issue_width, 4);
+        assert!(w.freq_ghz > b.freq_ghz);
+        assert!(b.cache.l2.size_bytes > w.cache.l2.size_bytes);
+        assert_eq!(w.rob_size, 224);
+    }
+
+    #[test]
+    fn cycle_conversion() {
+        let b = CoreConfig::beefy();
+        // 2300 cycles at 2.3 GHz = 1 µs
+        assert!((b.cycles_to_us(2300) - 1.0).abs() < 1e-12);
+    }
+}

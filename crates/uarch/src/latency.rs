@@ -1,0 +1,79 @@
+//! Execution latencies per µop kind.
+//!
+//! Calibration sources (documented per DESIGN.md §2 — these are fixed
+//! structural constants, not per-experiment fits):
+//!
+//! * 1-cycle vector integer ALU ops (`padds*`, `pand`, `por`, `pmaxsw`,
+//!   shifts, in-lane shuffles): Skylake instruction tables.
+//! * `pextrw r32, xmm, imm` ≈ 3 cycles: it is internally a shuffle +
+//!   register-file crossing.
+//! * `vextracti128` / `vextracti32x8` ≈ 3 cycles: cross-lane movement.
+//! * L1 load-to-use ≈ 4 cycles; store data ≈ 1 cycle into the store
+//!   buffer (commit happens off the critical path).
+//!
+//! Cache-level *extra* latencies live in [`crate::cache`].
+
+use vran_simd::OpKind;
+
+/// Execution latency (cycles from dispatch to result availability) for a
+/// µop kind, excluding any cache-miss penalty.
+pub const fn latency_of(kind: OpKind) -> u32 {
+    use OpKind::*;
+    match kind {
+        // single-cycle vector integer ALU
+        VAdds | VSubs | VMax | VMin | VAdd | VAnd | VOr | VXor | VAndnot | VSrai | VSlli
+        | VCmpEq => 1,
+        // in-register permutes: 1 cycle on the shuffle-capable ALU port
+        VShuffle => 1,
+        // broadcast of an immediate/GPR: short pipeline through the ALU
+        VBroadcast => 1,
+        // L1 hit load-to-use
+        VLoad => 4,
+        // broadcast-load: L1 load + lane replication folded in
+        VBroadcastLoad => 5,
+        // store data into the store buffer
+        VStore | StoreLane => 1,
+        // vector→GPR lane extraction: shuffle + domain crossing
+        ExtractLane => 3,
+        // cross-lane half extraction
+        Extract128 | Extract256 => 3,
+        // scalar ALU
+        SAlu => 1,
+        // branch resolves in 1 cycle; misprediction cost is modeled as a
+        // front-end squash window in the scheduler, not as latency
+        SBranch => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_ops_are_single_cycle() {
+        for k in [
+            OpKind::VAdds,
+            OpKind::VSubs,
+            OpKind::VMax,
+            OpKind::VAnd,
+            OpKind::VOr,
+            OpKind::VShuffle,
+        ] {
+            assert_eq!(latency_of(k), 1, "{k:?}");
+        }
+    }
+
+    #[test]
+    fn movement_ops_are_multicycle() {
+        assert_eq!(latency_of(OpKind::VLoad), 4);
+        assert_eq!(latency_of(OpKind::ExtractLane), 3);
+        assert_eq!(latency_of(OpKind::Extract128), 3);
+        assert_eq!(latency_of(OpKind::Extract256), 3);
+    }
+
+    #[test]
+    fn stores_retire_fast() {
+        assert_eq!(latency_of(OpKind::VStore), 1);
+        assert_eq!(latency_of(OpKind::StoreLane), 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! Issue-port topology.
+//!
+//! The paper's Figure 2 describes a simplified Skylake/Coffee-Lake core:
+//! SIMD calculation instructions can issue on three ALU ports, scalar
+//! instructions on four, loads on two and stores/data-movement on two.
+//! That topology — and nothing finer-grained — is what the paper's
+//! argument rests on, so it is exactly what we model. [`PortModel`] makes
+//! the mapping configurable for ablation benches (e.g. "what if extracts
+//! could use the ALU ports?").
+
+use serde::{Deserialize, Serialize};
+use vran_simd::OpClass;
+
+/// An issue port P0..P7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Port(pub u8);
+
+impl Port {
+    /// Total number of ports in the model.
+    pub const COUNT: usize = 8;
+}
+
+/// A set of ports, as a bitmask over P0..P7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PortSet(pub u8);
+
+impl PortSet {
+    /// Empty set.
+    pub const EMPTY: PortSet = PortSet(0);
+
+    /// Build from explicit port indices.
+    pub const fn of(ports: &[u8]) -> PortSet {
+        let mut m = 0u8;
+        let mut i = 0;
+        while i < ports.len() {
+            m |= 1 << ports[i];
+            i += 1;
+        }
+        PortSet(m)
+    }
+
+    /// Whether `p` is a member.
+    #[inline]
+    pub fn contains(self, p: Port) -> bool {
+        self.0 & (1 << p.0) != 0
+    }
+
+    /// Number of member ports.
+    #[inline]
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// True when no port is a member.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterate over member ports, lowest index first.
+    pub fn iter(self) -> impl Iterator<Item = Port> {
+        (0..Port::COUNT as u8).filter(move |p| self.0 & (1 << p) != 0).map(Port)
+    }
+}
+
+/// Mapping from µop class to the ports it may issue on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortModel {
+    /// Ports for SIMD calculation µops.
+    pub vec_alu: PortSet,
+    /// Ports for scalar ALU µops.
+    pub scalar_alu: PortSet,
+    /// Ports for load µops.
+    pub load: PortSet,
+    /// Ports for store / SIMD data-movement µops.
+    pub store: PortSet,
+    /// Ports for branch µops.
+    pub branch: PortSet,
+}
+
+impl PortModel {
+    /// The paper's Figure 2 model: vector ALU {P0,P1,P2}, scalar ALU
+    /// {P0..P3}, loads {P4,P5}, stores {P6,P7}, branches on the
+    /// scalar-only port P3.
+    pub const fn paper() -> Self {
+        Self {
+            vec_alu: PortSet::of(&[0, 1, 2]),
+            scalar_alu: PortSet::of(&[0, 1, 2, 3]),
+            load: PortSet::of(&[4, 5]),
+            store: PortSet::of(&[6, 7]),
+            branch: PortSet::of(&[3]),
+        }
+    }
+
+    /// Ablation model: a hypothetical core where data-movement µops may
+    /// also borrow the vector ALU ports. Used by the ablation bench to
+    /// show APCM's software fix approximates this hardware fix.
+    pub const fn movement_on_alu() -> Self {
+        Self {
+            vec_alu: PortSet::of(&[0, 1, 2]),
+            scalar_alu: PortSet::of(&[0, 1, 2, 3]),
+            load: PortSet::of(&[4, 5]),
+            store: PortSet::of(&[0, 1, 2, 6, 7]),
+            branch: PortSet::of(&[3]),
+        }
+    }
+
+    /// Ports for a µop class.
+    #[inline]
+    pub fn ports_for(&self, class: OpClass) -> PortSet {
+        match class {
+            OpClass::VecAlu => self.vec_alu,
+            OpClass::ScalarAlu => self.scalar_alu,
+            OpClass::Load => self.load,
+            OpClass::Store => self.store,
+            OpClass::Branch => self.branch,
+        }
+    }
+
+    /// Maximum sustainable µops/cycle for a class (the paper's "ideal
+    /// IPC" per instruction family: 3 for SIMD calculation, 4 for
+    /// scalar, 2 for data movement).
+    pub fn ideal_ipc(&self, class: OpClass) -> u32 {
+        self.ports_for(class).len()
+    }
+}
+
+impl Default for PortModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn portset_membership() {
+        let s = PortSet::of(&[0, 2, 7]);
+        assert!(s.contains(Port(0)));
+        assert!(!s.contains(Port(1)));
+        assert!(s.contains(Port(7)));
+        assert_eq!(s.len(), 3);
+        let v: Vec<u8> = s.iter().map(|p| p.0).collect();
+        assert_eq!(v, vec![0, 2, 7]);
+    }
+
+    #[test]
+    fn paper_model_matches_figure2() {
+        let m = PortModel::paper();
+        // Paper §4.2: "the SIMD calculation instructions sustainable ALU
+        // ports are port 0, 1 and 2, while the general scalar ALU ports
+        // are port 0, 1, 2 and 3 ... port 4 and 5 hold the load
+        // instruction and port 6 and 7 hold the store instruction".
+        assert_eq!(m.ideal_ipc(OpClass::VecAlu), 3);
+        assert_eq!(m.ideal_ipc(OpClass::ScalarAlu), 4);
+        assert_eq!(m.ideal_ipc(OpClass::Load), 2);
+        assert_eq!(m.ideal_ipc(OpClass::Store), 2);
+    }
+
+    #[test]
+    fn vec_alu_is_subset_of_scalar() {
+        let m = PortModel::paper();
+        for p in m.vec_alu.iter() {
+            assert!(m.scalar_alu.contains(p));
+        }
+    }
+
+    #[test]
+    fn ablation_model_widens_store() {
+        let m = PortModel::movement_on_alu();
+        assert_eq!(m.ideal_ipc(OpClass::Store), 5);
+    }
+
+    #[test]
+    fn empty_set() {
+        assert!(PortSet::EMPTY.is_empty());
+        assert_eq!(PortSet::EMPTY.iter().count(), 0);
+    }
+}

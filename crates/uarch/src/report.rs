@@ -1,0 +1,119 @@
+//! Simulation reports: the metrics the paper's figures plot.
+
+use crate::cache::CacheStats;
+use crate::ports::Port;
+use serde::{Deserialize, Serialize};
+use vran_simd::ClassHistogram;
+
+/// Yasin top-down level-1 (+ backend level-2 split) slot fractions.
+/// All five fields are in `[0, 1]` and sum to ~1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TopDown {
+    /// Slots filled by µops that eventually retire.
+    pub retiring: f64,
+    /// Slots empty because the front end delivered no µops.
+    pub frontend: f64,
+    /// Slots lost to mispredicted-branch squash/refill.
+    pub bad_speculation: f64,
+    /// Backend-bound slots blocked on execution resources (ports, dep
+    /// chains) — the paper's "core bound".
+    pub backend_core: f64,
+    /// Backend-bound slots blocked on the memory subsystem — the
+    /// paper's "memory bound".
+    pub backend_mem: f64,
+    /// Level-2 split of `backend_mem` by where the blocking load hit:
+    /// `[L2, L3, DRAM]` (an L1 hit never blocks attribution). The
+    /// paper's §4.1: "most of the protocols suffer on the L1 and L2
+    /// cache bound".
+    pub mem_levels: [f64; 3],
+}
+
+impl TopDown {
+    /// Total backend bound (core + memory), the level-1 metric in
+    /// Figures 5/6/15.
+    pub fn backend(&self) -> f64 {
+        self.backend_core + self.backend_mem
+    }
+
+    /// Sum of all categories (≈1; exposed for invariant tests).
+    pub fn total(&self) -> f64 {
+        self.retiring + self.frontend + self.bad_speculation + self.backend()
+    }
+}
+
+/// One sampled cycle of execution (see `CoreSim::run_sampled`).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CycleSample {
+    /// Cycle index.
+    pub cycle: u64,
+    /// Whether each port dispatched a µop this cycle.
+    pub port_dispatch: [bool; Port::COUNT],
+    /// µops retired this cycle.
+    pub retired: u8,
+    /// µops allocated this cycle.
+    pub allocated: u8,
+}
+
+/// Everything the simulator measures for one trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Simulated cycles from first allocation to last retirement.
+    pub cycles: u64,
+    /// Retired µops.
+    pub uops: u64,
+    /// Retired architectural instructions.
+    pub instructions: u64,
+    /// Instructions per cycle — the figures' IPC.
+    pub ipc: f64,
+    /// µops per cycle (bounded by `issue_width`).
+    pub upc: f64,
+    /// Top-down slot breakdown.
+    pub topdown: TopDown,
+    /// Busy cycles per port P0..P7.
+    pub port_busy: [u64; Port::COUNT],
+    /// Utilization per port in `[0,1]`.
+    pub port_util: [f64; Port::COUNT],
+    /// Bytes stored register→L1.
+    pub store_bytes: u64,
+    /// Bytes loaded L1→register.
+    pub load_bytes: u64,
+    /// Average store-path bandwidth in bits/cycle (Figure 8b / §5.1's
+    /// "67 bits/cycle under APCM").
+    pub store_bw_bits_per_cycle: f64,
+    /// Average load-path bandwidth in bits/cycle.
+    pub load_bw_bits_per_cycle: f64,
+    /// Cache counters.
+    pub cache: CacheStats,
+    /// µop class mix of the input trace.
+    pub class_hist: ClassHistogram,
+    /// Wall-clock equivalent at the configured core frequency, in µs.
+    pub time_us: f64,
+}
+
+impl SimReport {
+    /// Store-path bandwidth utilization relative to a single register-
+    /// width store port (the paper's Figure 8b denominator: "the
+    /// bandwidth between xmm register and cache is 128 bits").
+    pub fn store_bw_utilization(&self, reg_bits: u32) -> f64 {
+        self.store_bw_bits_per_cycle / reg_bits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topdown_accessors() {
+        let td = TopDown {
+            retiring: 0.5,
+            frontend: 0.05,
+            bad_speculation: 0.05,
+            backend_core: 0.3,
+            backend_mem: 0.1,
+            mem_levels: [0.05, 0.03, 0.02],
+        };
+        assert!((td.backend() - 0.4).abs() < 1e-12);
+        assert!((td.total() - 1.0).abs() < 1e-12);
+    }
+}

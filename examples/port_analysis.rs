@@ -1,0 +1,65 @@
+//! A miniature "VTune": per-port utilization and top-down breakdown of
+//! the two arrangement mechanisms at every register width — the
+//! paper's core observation (idle ALU ports under the original
+//! mechanism) made visible.
+//!
+//! ```text
+//! cargo run --release -p apcm --example port_analysis
+//! ```
+
+use vran_arrange::{ApcmVariant, ArrangeKernel, Mechanism};
+use vran_net::pipeline::synthetic_interleaved;
+use vran_simd::RegWidth;
+use vran_uarch::{CoreConfig, CoreSim};
+
+fn bar(frac: f64) -> String {
+    let n = (frac * 20.0).round() as usize;
+    format!("{}{}", "█".repeat(n.min(20)), "░".repeat(20usize.saturating_sub(n)))
+}
+
+fn main() {
+    let input = synthetic_interleaved(6144, 9);
+    let sim = CoreSim::new(CoreConfig::beefy().warmed());
+    println!("port model: P0-P2 vector ALU, P0-P3 scalar ALU, P4-P5 load, P6-P7 store\n");
+    for width in RegWidth::ALL {
+        for mech in [Mechanism::Baseline, Mechanism::Apcm(ApcmVariant::Shuffle)] {
+            let (_, trace) = ArrangeKernel::new(width, mech).arrange(&input, true);
+            let r = sim.run(&trace.unwrap());
+            println!("=== {} / {} ===", width.name(), mech.name());
+            for (p, util) in r.port_util.iter().enumerate() {
+                let role = match p {
+                    0..=2 => "vec+scalar ALU",
+                    3 => "scalar ALU    ",
+                    4 | 5 => "load          ",
+                    _ => "store         ",
+                };
+                println!("  P{p} {role} {} {:5.1}%", bar(*util), util * 100.0);
+            }
+            let t = r.topdown;
+            println!(
+                "  IPC {:.2} | retiring {:.0}% frontend {:.0}% badspec {:.0}% backend {:.0}%\n",
+                r.ipc,
+                t.retiring * 100.0,
+                t.frontend * 100.0,
+                t.bad_speculation * 100.0,
+                t.backend() * 100.0
+            );
+        }
+    }
+    // ---- per-cycle timeline strip (first 64 cycles, xmm) ----
+    println!("timeline (one column per cycle; rows = ports; '█' = dispatched):");
+    for mech in [Mechanism::Baseline, Mechanism::Apcm(ApcmVariant::Shuffle)] {
+        let (_, trace) = ArrangeKernel::new(RegWidth::Sse128, mech).arrange(&input, true);
+        let (_, samples) = sim.run_sampled(&trace.unwrap(), 1, 64);
+        println!("  {}:", mech.name());
+        for p in 0..8 {
+            let row: String = samples
+                .iter()
+                .map(|s| if s.port_dispatch[p] { '█' } else { '·' })
+                .collect();
+            println!("    P{p} {row}");
+        }
+    }
+    println!("\nnote how the original mechanism saturates P6/P7 while P0-P2 idle —");
+    println!("APCM moves the batching onto those idle arithmetic ports.");
+}

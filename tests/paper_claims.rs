@@ -1,0 +1,147 @@
+//! The paper's headline claims, asserted end-to-end against the
+//! reproduction (bands per EXPERIMENTS.md — shape and magnitude, not
+//! testbed-exact absolutes).
+
+use apcm::experiments;
+
+/// Abstract claim 1: "decreases the data arrangement's backend bound
+/// from 45 % to 3 %".
+#[test]
+fn claim_backend_bound_collapse() {
+    let f = experiments::fig15::run();
+    let orig = f.value("SSE128/original", "backend").unwrap();
+    let apcm = f.value("SSE128/apcm", "backend").unwrap();
+    assert!((0.35..0.60).contains(&orig), "original backend ≈45 %, got {:.1}%", orig * 100.0);
+    assert!(apcm < 0.10, "APCM backend ≈3 %, got {:.1}%", apcm * 100.0);
+}
+
+/// Abstract claim 2: "promotes its memory bandwidth utilization by
+/// 4X-16X".
+#[test]
+fn claim_bandwidth_4x_to_16x() {
+    let f = experiments::fig08::run();
+    let s128 = f.value("SSE128/apcm", "speedup vs original").unwrap();
+    let s512 = f.value("AVX512/apcm", "speedup vs original").unwrap();
+    assert!(s128 >= 3.5, "≈4× at xmm, got {s128:.1}×");
+    assert!(s512 >= 14.0, "≈16× at zmm, got {s512:.1}×");
+}
+
+/// Abstract claim 3: "CPU time of the data arrangement process can be
+/// reduced by 67 % - 92 %".
+#[test]
+fn claim_arrangement_cpu_time_reduction() {
+    let f = experiments::fig14::run();
+    let r128 = f.value("SSE128", "reduction %").unwrap();
+    let r512 = f.value("AVX512", "reduction %").unwrap();
+    assert!((55.0..90.0).contains(&r128), "≈67 % at 128 bits, got {r128:.0}%");
+    assert!((85.0..99.0).contains(&r512), "≈92 % at 512 bits, got {r512:.0}%");
+}
+
+/// Abstract claim 4: "overall latency of the vRAN packet transmission
+/// is decreased by 12 % - 20 %".
+#[test]
+fn claim_packet_latency_reduction() {
+    let f = experiments::fig13::run();
+    // reductions at SSE128 (low end) and AVX512 (high end), 1500 B UDP
+    let r = f.rows.iter().find(|r| r.label == "UDP-1500B").unwrap();
+    let red128 = (1.0 - r.values[1] / r.values[0]) * 100.0;
+    let red512 = (1.0 - r.values[5] / r.values[4]) * 100.0;
+    assert!((7.0..18.0).contains(&red128), "≈12 % at SSE128, got {red128:.1}%");
+    assert!((15.0..28.0).contains(&red512), "≈20 % at AVX512, got {red512:.1}%");
+}
+
+/// §6 claim: "the IPC soar from 1.2, 1.1, and 1.05 to 3.6, 3.5, 3.3".
+#[test]
+fn claim_ipc_soars() {
+    let f = experiments::fig15::run();
+    for (w, o_hi, a_lo) in
+        [("SSE128", 1.5, 3.3), ("AVX256", 1.5, 3.3), ("AVX512", 1.5, 3.2)]
+    {
+        let orig = f.value(&format!("{w}/original"), "IPC").unwrap();
+        let apcm = f.value(&format!("{w}/apcm"), "IPC").unwrap();
+        assert!(orig < o_hi, "{w}: original IPC ≈1.0-1.2, got {orig:.2}");
+        assert!(apcm > a_lo, "{w}: APCM IPC ≈3.3-3.6, got {apcm:.2}");
+    }
+}
+
+/// §6 claim: "system utilization increase around 12 % to 29 %" and the
+/// core-count reductions for a 300 Mbps station.
+#[test]
+fn claim_capacity_gains() {
+    let f = experiments::fig16::run();
+    for w in ["SSE128", "AVX256", "AVX512"] {
+        let gain = f.value(w, "Mbps/core apcm").unwrap() / f.value(w, "Mbps/core orig").unwrap()
+            - 1.0;
+        assert!(
+            (0.06..0.40).contains(&gain),
+            "{w}: utilization gain ≈12-29 %, got {:.1}%",
+            gain * 100.0
+        );
+    }
+    let co = f.value("AVX512", "cores orig").unwrap();
+    let ca = f.value("AVX512", "cores apcm").unwrap();
+    assert!(co - ca >= 2.0, "AVX512 must save multiple cores (paper 12→9): {co}→{ca}");
+}
+
+/// §6 claim: under the original mechanism "2.2 % more CPU time is
+/// required for 256 bits registers" (and +6.4 % for 512): wider never
+/// helps the original arrangement.
+#[test]
+fn claim_original_regresses_with_width() {
+    let f = experiments::fig14::run();
+    let a = [
+        f.value("SSE128", "arrangement orig").unwrap(),
+        f.value("AVX256", "arrangement orig").unwrap(),
+        f.value("AVX512", "arrangement orig").unwrap(),
+    ];
+    assert!(a[1] >= a[0], "ymm must not beat xmm: {a:?}");
+    assert!(a[2] >= a[1], "zmm must not beat ymm: {a:?}");
+    // and the regression is in the single-digit-percent range
+    assert!(a[2] / a[0] < 1.25, "regression should be mild: {a:?}");
+}
+
+/// §6 claim: under APCM "the 256 bits registers' CPU time decreases
+/// 49 %" and 512 another 51 % — near-ideal width scaling.
+#[test]
+fn claim_apcm_scales_with_width() {
+    let f = experiments::fig14::run();
+    let a = [
+        f.value("SSE128", "arrangement apcm").unwrap(),
+        f.value("AVX256", "arrangement apcm").unwrap(),
+        f.value("AVX512", "arrangement apcm").unwrap(),
+    ];
+    let step1 = 1.0 - a[1] / a[0];
+    let step2 = 1.0 - a[2] / a[1];
+    assert!((0.35..0.65).contains(&step1), "≈49 % per doubling, got {:.0}%", step1 * 100.0);
+    assert!((0.35..0.65).contains(&step2), "≈51 % per doubling, got {:.0}%", step2 * 100.0);
+}
+
+/// §4.1 claim: the beefy server trades memory bound for core bound.
+#[test]
+fn claim_beefy_trades_memory_for_core_bound() {
+    let f = experiments::fig07::run();
+    let mut traded = 0;
+    for k in ["_mm_adds", "_mm_subs", "_mm_max"] {
+        let wm = f.value(&format!("wimpy/{k}"), "memory bound").unwrap();
+        let bm = f.value(&format!("beefy/{k}"), "memory bound").unwrap();
+        let wc = f.value(&format!("wimpy/{k}"), "core bound").unwrap();
+        let bc = f.value(&format!("beefy/{k}"), "core bound").unwrap();
+        if bm < wm && bc >= wc {
+            traded += 1;
+        }
+    }
+    assert!(traded >= 2, "most SIMD kernels must show the memory→core trade");
+}
+
+/// Figure 9 claim: "the operation time proportion of the data
+/// arrangement will become larger and larger" under the original
+/// mechanism as registers widen, and trivial under APCM.
+#[test]
+fn claim_arrangement_share_trend() {
+    let f = experiments::fig09::run();
+    let orig_share_128 = f.value("SSE128", "share orig %").unwrap();
+    let orig_share_512 = f.value("AVX512", "share orig %").unwrap();
+    let apcm_share_512 = f.value("AVX512", "share apcm %").unwrap();
+    assert!(orig_share_512 > orig_share_128, "original share must grow with width");
+    assert!(apcm_share_512 < 5.0, "APCM share at 512 bits ≈1.8 %, got {apcm_share_512:.1}%");
+}

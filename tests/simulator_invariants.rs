@@ -1,0 +1,136 @@
+//! Property-based invariants of the port-level core simulator: for any
+//! generated µop stream, the accounting identities the top-down method
+//! relies on must hold.
+
+use proptest::prelude::*;
+use vran_simd::{Mem, RegWidth, Trace, Vm};
+use vran_uarch::{CoreConfig, CoreSim, Port};
+
+/// Build a random-but-well-formed trace from a small op alphabet.
+fn arbitrary_trace(ops: &[u8], seed: u64) -> Trace {
+    let mut mem = Mem::new();
+    let buf = mem.alloc(4096);
+    let mut vm = Vm::tracing(mem);
+    let w = RegWidth::Sse128;
+    let l = w.lanes();
+    let mut regs = vec![vm.splat(w, 1), vm.splat(w, 2)];
+    let mut s = seed | 1;
+    let mut rnd = move || {
+        s ^= s >> 12;
+        s ^= s << 25;
+        s ^= s >> 27;
+        s
+    };
+    for &op in ops {
+        let a = regs[rnd() as usize % regs.len()];
+        let b = regs[rnd() as usize % regs.len()];
+        match op % 8 {
+            0 => regs.push(vm.adds(a, b)),
+            1 => regs.push(vm.max(a, b)),
+            2 => regs.push(vm.load(w, vran_simd::MemRef::new((rnd() as usize % 500) * l, l))),
+            3 => vm.store(a, vran_simd::MemRef::new((rnd() as usize % 500) * l, l)),
+            4 => vm.extract_store(a, rnd() as usize % l, buf.base + rnd() as usize % 4096),
+            5 => vm.scalar_ops(1 + rnd() as usize % 3),
+            6 => vm.branch(rnd() % 17 == 0),
+            _ => regs.push(vm.or(a, b)),
+        }
+        if regs.len() > 8 {
+            regs.drain(..regs.len() - 8);
+        }
+    }
+    // ensure non-empty
+    vm.scalar_ops(1);
+    vm.take_trace()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    // ≥60 µops: the final drain cycle's slots are uncharged by design
+    // (the kernel under test has ended), which only matters for
+    // toy-sized traces.
+    fn accounting_identities_hold(ops in prop::collection::vec(any::<u8>(), 60..400), seed in any::<u64>()) {
+        let trace = arbitrary_trace(&ops, seed);
+        let sim = CoreSim::new(CoreConfig::beefy().warmed());
+        let r = sim.run(&trace);
+
+        // every µop retires
+        prop_assert_eq!(r.uops, trace.len() as u64);
+        prop_assert_eq!(r.instructions, trace.instr_count() as u64);
+
+        // throughput bounds
+        prop_assert!(r.upc <= 4.0 + 1e-9, "µPC beyond issue width: {}", r.upc);
+        prop_assert!(r.cycles >= trace.len().div_ceil(4) as u64);
+
+        // top-down fractions are sane and complete
+        let t = r.topdown;
+        for v in [t.retiring, t.frontend, t.bad_speculation, t.backend_core, t.backend_mem] {
+            prop_assert!((0.0..=1.0).contains(&v), "fraction out of range: {t:?}");
+        }
+        prop_assert!(t.total() <= 1.0 + 1e-9, "over-accounted slots: {t:?}");
+        prop_assert!(t.total() >= 0.80, "under-accounted slots: {t:?}");
+
+        // port utilization bounded, and busy cycles consistent
+        for p in 0..Port::COUNT {
+            prop_assert!(r.port_util[p] <= 1.0 + 1e-9);
+            prop_assert_eq!(r.port_busy[p], (r.port_util[p] * r.cycles as f64).round() as u64);
+        }
+
+        // byte accounting matches the trace
+        prop_assert_eq!(r.store_bytes, trace.store_bytes());
+        prop_assert_eq!(r.load_bytes, trace.load_bytes());
+    }
+
+    #[test]
+    fn simulated_cycles_never_beat_the_analytic_bounds(
+        ops in prop::collection::vec(any::<u8>(), 1..300),
+        seed in any::<u64>(),
+    ) {
+        let trace = arbitrary_trace(&ops, seed);
+        let cfg = {
+            // no frontend bubbles or mispredict penalties: the bounds
+            // model pure dependency/port limits
+            let mut c = CoreConfig::beefy().warmed();
+            c.fetch_bubble_every = 0;
+            c.mispredict_penalty = 0;
+            c
+        };
+        let bounds = vran_uarch::bounds(&trace, &cfg);
+        let r = CoreSim::new(cfg).run(&trace);
+        prop_assert!(
+            r.cycles + 1 >= bounds.overall(),
+            "simulator beat its own lower bound: {} < {:?}",
+            r.cycles,
+            bounds
+        );
+    }
+
+    #[test]
+    fn simulation_is_deterministic(ops in prop::collection::vec(any::<u8>(), 1..200), seed in any::<u64>()) {
+        let trace = arbitrary_trace(&ops, seed);
+        let sim = CoreSim::new(CoreConfig::wimpy());
+        let a = sim.run(&trace);
+        let b = sim.run(&trace);
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.port_busy, b.port_busy);
+        prop_assert_eq!(a.cache, b.cache);
+    }
+
+    #[test]
+    fn warming_never_slows_a_trace(ops in prop::collection::vec(any::<u8>(), 1..200), seed in any::<u64>()) {
+        let trace = arbitrary_trace(&ops, seed);
+        let cold = CoreSim::new(CoreConfig::beefy()).run(&trace);
+        let warm = CoreSim::new(CoreConfig::beefy().warmed()).run(&trace);
+        prop_assert!(warm.cycles <= cold.cycles, "warm {} > cold {}", warm.cycles, cold.cycles);
+    }
+
+    #[test]
+    fn wider_issue_never_slows_a_trace(ops in prop::collection::vec(any::<u8>(), 1..150), seed in any::<u64>()) {
+        let trace = arbitrary_trace(&ops, seed);
+        let base = CoreConfig::beefy().warmed();
+        let narrow = CoreSim::new(base).run(&trace);
+        let wide = CoreSim::new(CoreConfig { issue_width: 8, retire_width: 8, ..base }).run(&trace);
+        prop_assert!(wide.cycles <= narrow.cycles);
+    }
+}

@@ -101,7 +101,11 @@ fn main() {
         hi: 99.0,
         unit: "%",
     });
-    let udp1500 = fig13.rows.iter().find(|r| r.label == "UDP-1500B").expect("row");
+    let udp1500 = fig13
+        .rows
+        .iter()
+        .find(|r| r.label == "UDP-1500B")
+        .expect("row");
     claims.push(Claim {
         what: "packet-time reduction, 1500 B UDP (128b)",
         paper: "12 %",
@@ -144,7 +148,10 @@ fn main() {
     });
 
     println!("== APCM reproduction report ==\n");
-    println!("{:<48} {:>24} {:>14}  verdict", "claim", "paper", "measured");
+    println!(
+        "{:<48} {:>24} {:>14}  verdict",
+        "claim", "paper", "measured"
+    );
     let mut failures = 0;
     for c in &claims {
         let ok = (c.lo..=c.hi).contains(&c.measured);

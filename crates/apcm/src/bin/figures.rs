@@ -25,24 +25,25 @@ fn main() {
         return;
     }
 
-    let selected: Vec<(&'static str, experiments::ExperimentFn)> = if args.iter().any(|a| a == "all") {
-        experiments::all()
-    } else {
-        args.iter()
-            .map(|a| {
-                let f = experiments::by_id(a).unwrap_or_else(|| {
-                    eprintln!("unknown experiment id: {a} (try --list)");
-                    std::process::exit(2);
-                });
-                let id = experiments::all()
-                    .into_iter()
-                    .find(|(k, _)| *k == a.as_str())
-                    .map(|(k, _)| k)
-                    .unwrap();
-                (id, f)
-            })
-            .collect()
-    };
+    let selected: Vec<(&'static str, experiments::ExperimentFn)> =
+        if args.iter().any(|a| a == "all") {
+            experiments::all()
+        } else {
+            args.iter()
+                .map(|a| {
+                    let f = experiments::by_id(a).unwrap_or_else(|| {
+                        eprintln!("unknown experiment id: {a} (try --list)");
+                        std::process::exit(2);
+                    });
+                    let id = experiments::all()
+                        .into_iter()
+                        .find(|(k, _)| *k == a.as_str())
+                        .map(|(k, _)| k)
+                        .unwrap();
+                    (id, f)
+                })
+                .collect()
+        };
 
     let outdir = Path::new("results");
     std::fs::create_dir_all(outdir).expect("create results/");
@@ -54,10 +55,6 @@ fn main() {
         println!("  [{} generated in {:.2?}]\n", id, t0.elapsed());
         std::fs::write(outdir.join(format!("{id}.txt")), &rendered).expect("write txt");
         std::fs::write(outdir.join(format!("{id}.csv")), fig.to_csv()).expect("write csv");
-        std::fs::write(
-            outdir.join(format!("{id}.json")),
-            serde_json::to_string_pretty(&fig).expect("serialize"),
-        )
-        .expect("write json");
+        std::fs::write(outdir.join(format!("{id}.json")), fig.to_json()).expect("write json");
     }
 }

@@ -107,8 +107,7 @@ fn build_trace(args: &Args) -> Trace {
         "stride" => {
             let data: Vec<i16> = (0..args.stride * args.k).map(|i| i as i16).collect();
             let apcm = !matches!(args.mech, Mechanism::Baseline);
-            let (_, t) =
-                StrideKernel::new(args.width, args.stride, apcm).deinterleave(&data, true);
+            let (_, t) = StrideKernel::new(args.width, args.stride, apcm).deinterleave(&data, true);
             t.expect("tracing")
         }
         "adds" => workloads::adds_kernel(workloads::LARGE_WS, 20_000),
@@ -131,22 +130,41 @@ fn main() {
     println!("workload        {}", args.workload);
     println!("µops            {}", r.uops);
     println!("instructions    {}", r.instructions);
-    println!("cycles          {}  ({:.2} µs @ {:.1} GHz)", r.cycles, r.time_us, args.server.freq_ghz);
+    println!(
+        "cycles          {}  ({:.2} µs @ {:.1} GHz)",
+        r.cycles, r.time_us, args.server.freq_ghz
+    );
     println!("IPC             {:.3}   (µPC {:.3})", r.ipc, r.upc);
     println!();
-    println!("top-down        retiring {:5.1}%  frontend {:4.1}%  badspec {:4.1}%  backend {:5.1}%",
-        t.retiring * 100.0, t.frontend * 100.0, t.bad_speculation * 100.0, t.backend() * 100.0);
-    println!("  backend       core {:5.1}%  memory {:5.1}%  (L2 {:4.1}% | L3 {:4.1}% | DRAM {:4.1}%)",
-        t.backend_core * 100.0, t.backend_mem * 100.0,
-        t.mem_levels[0] * 100.0, t.mem_levels[1] * 100.0, t.mem_levels[2] * 100.0);
+    println!(
+        "top-down        retiring {:5.1}%  frontend {:4.1}%  badspec {:4.1}%  backend {:5.1}%",
+        t.retiring * 100.0,
+        t.frontend * 100.0,
+        t.bad_speculation * 100.0,
+        t.backend() * 100.0
+    );
+    println!(
+        "  backend       core {:5.1}%  memory {:5.1}%  (L2 {:4.1}% | L3 {:4.1}% | DRAM {:4.1}%)",
+        t.backend_core * 100.0,
+        t.backend_mem * 100.0,
+        t.mem_levels[0] * 100.0,
+        t.mem_levels[1] * 100.0,
+        t.mem_levels[2] * 100.0
+    );
     println!();
     print!("port util      ");
     for (p, u) in r.port_util.iter().enumerate() {
         print!(" P{p} {:4.0}%", u * 100.0);
     }
     println!();
-    println!("store path      {:.1} bits/cycle ({} bytes total)", r.store_bw_bits_per_cycle, r.store_bytes);
-    println!("load path       {:.1} bits/cycle ({} bytes total)", r.load_bw_bits_per_cycle, r.load_bytes);
+    println!(
+        "store path      {:.1} bits/cycle ({} bytes total)",
+        r.store_bw_bits_per_cycle, r.store_bytes
+    );
+    println!(
+        "load path       {:.1} bits/cycle ({} bytes total)",
+        r.load_bw_bits_per_cycle, r.load_bytes
+    );
     println!();
     println!(
         "analytic bounds dependency {}  ports {}  frontend {}  → binding: {} \

@@ -35,14 +35,24 @@ pub fn ports() -> Figure {
         &["cycles", "IPC", "backend"],
     );
     let base = CoreConfig::beefy().warmed();
-    let hw_fix = CoreConfig { ports: PortModel::movement_on_alu(), ..base };
+    let hw_fix = CoreConfig {
+        ports: PortModel::movement_on_alu(),
+        ..base
+    };
     for (label, cfg, mech) in [
         ("original/paper-ports", base, Mechanism::Baseline),
         ("original/movement-on-alu", hw_fix, Mechanism::Baseline),
-        ("apcm/paper-ports", base, Mechanism::Apcm(ApcmVariant::Shuffle)),
+        (
+            "apcm/paper-ports",
+            base,
+            Mechanism::Apcm(ApcmVariant::Shuffle),
+        ),
     ] {
         let r = run_with(cfg, RegWidth::Sse128, mech);
-        f.push(Row::new(label, vec![r.cycles as f64, r.ipc, r.topdown.backend()]));
+        f.push(Row::new(
+            label,
+            vec![r.cycles as f64, r.ipc, r.topdown.backend()],
+        ));
     }
     f.note("the hypothetical hardware fix helps the original mechanism but cannot reach APCM:");
     f.note("per-element extraction still issues 2 µops per 16 bits regardless of which port takes them");
@@ -57,12 +67,20 @@ pub fn rob() -> Figure {
         &["original", "apcm"],
     );
     for rob in [16u32, 32, 64, 128, 224] {
-        let cfg = CoreConfig { rob_size: rob, ..CoreConfig::beefy().warmed() };
+        let cfg = CoreConfig {
+            rob_size: rob,
+            ..CoreConfig::beefy().warmed()
+        };
         let o = run_with(cfg, RegWidth::Sse128, Mechanism::Baseline);
         let a = run_with(cfg, RegWidth::Sse128, Mechanism::Apcm(ApcmVariant::Shuffle));
-        f.push(Row::new(format!("rob{rob}"), vec![o.cycles as f64, a.cycles as f64]));
+        f.push(Row::new(
+            format!("rob{rob}"),
+            vec![o.cycles as f64, a.cycles as f64],
+        ));
     }
-    f.note("both kernels are streaming; neither needs a deep window — the bottleneck is structural");
+    f.note(
+        "both kernels are streaming; neither needs a deep window — the bottleneck is structural",
+    );
     f
 }
 
@@ -74,7 +92,11 @@ pub fn issue_width() -> Figure {
         &["original IPC", "apcm IPC"],
     );
     for w in [2u32, 4, 6, 8] {
-        let cfg = CoreConfig { issue_width: w, retire_width: w, ..CoreConfig::beefy().warmed() };
+        let cfg = CoreConfig {
+            issue_width: w,
+            retire_width: w,
+            ..CoreConfig::beefy().warmed()
+        };
         let o = run_with(cfg, RegWidth::Sse128, Mechanism::Baseline);
         let a = run_with(cfg, RegWidth::Sse128, Mechanism::Apcm(ApcmVariant::Shuffle));
         f.push(Row::new(format!("issue{w}"), vec![o.ipc, a.ipc]));
@@ -97,7 +119,11 @@ pub fn width_projection() -> Figure {
     // anchors measured at xmm
     let base = CoreConfig::beefy().warmed();
     let orig = run_with(base, RegWidth::Sse128, Mechanism::Baseline);
-    let apcm = run_with(base, RegWidth::Sse128, Mechanism::Apcm(ApcmVariant::Shuffle));
+    let apcm = run_with(
+        base,
+        RegWidth::Sse128,
+        Mechanism::Apcm(ApcmVariant::Shuffle),
+    );
     let orig_bw = orig.store_bw_bits_per_cycle; // flat in width
     let apcm_cycles_per_group = apcm.cycles as f64 / (K as f64 / 8.0); // width-invariant
     for bits in [128u32, 256, 512, 1024, 2048, 4096] {
@@ -123,7 +149,10 @@ mod tests {
         let fixed = f.value("original/movement-on-alu", "cycles").unwrap();
         let apcm = f.value("apcm/paper-ports", "cycles").unwrap();
         assert!(fixed < orig, "extra ports must help the original");
-        assert!(apcm < fixed, "APCM must beat even the hardware fix (fewer µops per element)");
+        assert!(
+            apcm < fixed,
+            "APCM must beat even the hardware fix (fewer µops per element)"
+        );
     }
 
     #[test]
@@ -146,7 +175,10 @@ mod tests {
         let f = issue_width();
         let o4 = f.value("issue4", "original IPC").unwrap();
         let o8 = f.value("issue8", "original IPC").unwrap();
-        assert!(o8 < o4 * 1.3, "original is port-bound, not fetch-bound: {o4} → {o8}");
+        assert!(
+            o8 < o4 * 1.3,
+            "original is port-bound, not fetch-bound: {o4} → {o8}"
+        );
         let a4 = f.value("issue4", "apcm IPC").unwrap();
         assert!(a4 > 3.0);
     }
@@ -155,9 +187,16 @@ mod tests {
     fn projection_reproduces_measured_anchors_and_diverges() {
         let f = width_projection();
         let a128 = f.value("128b", "apcm").unwrap();
-        assert!((60.0..90.0).contains(&a128), "anchor ≈72 bits/cycle, got {a128:.0}");
+        assert!(
+            (60.0..90.0).contains(&a128),
+            "anchor ≈72 bits/cycle, got {a128:.0}"
+        );
         let o4096 = f.value("4096b", "original").unwrap();
         let a4096 = f.value("4096b", "apcm").unwrap();
-        assert!(a4096 / o4096 > 100.0, "GPU-width gap must be enormous: {:.0}×", a4096 / o4096);
+        assert!(
+            a4096 / o4096 > 100.0,
+            "GPU-width gap must be enormous: {:.0}×",
+            a4096 / o4096
+        );
     }
 }

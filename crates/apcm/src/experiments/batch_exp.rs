@@ -35,7 +35,8 @@ pub fn run() -> Figure {
         &["cycles/block", "speedup vs xmm", "model (sqrt B)"],
     );
     let sim = CoreSim::new(CoreConfig::beefy().warmed());
-    let (_, single_trace) = SimdTurboDecoder::new(K, 1, RegWidth::Sse128).decode_traced(&input(1), 1);
+    let (_, single_trace) =
+        SimdTurboDecoder::new(K, 1, RegWidth::Sse128).decode_traced(&input(1), 1);
     let single = sim.run(&single_trace).cycles as f64;
     f.push(Row::new("xmm x1", vec![single, 1.0, 1.0]));
     for width in [RegWidth::Avx256, RegWidth::Avx512] {
@@ -63,14 +64,23 @@ mod tests {
         let s2 = f.value("ymm x2", "speedup vs xmm").unwrap();
         let s4 = f.value("zmm x4", "speedup vs xmm").unwrap();
         assert!(s2 > 1.0 && s2 <= 2.2, "ymm batching speedup {s2:.2}");
-        assert!(s4 > s2, "zmm must batch better than ymm: {s2:.2} vs {s4:.2}");
+        assert!(
+            s4 > s2,
+            "zmm must batch better than ymm: {s2:.2} vs {s4:.2}"
+        );
         assert!(s4 <= 4.4, "cannot beat the lane advantage: {s4:.2}");
         // the √B model is the deliberately conservative floor (it also
         // absorbs end-to-end overheads the pure kernel doesn't pay);
         // the measured kernel must sit between the model and ideal
         let m2 = f.value("ymm x2", "model (sqrt B)").unwrap();
         let m4 = f.value("zmm x4", "model (sqrt B)").unwrap();
-        assert!(s2 >= m2 * 0.85, "B=2 kernel far below model: {s2:.2} vs {m2:.2}");
-        assert!(s4 >= m4 * 0.85, "B=4 kernel far below model: {s4:.2} vs {m4:.2}");
+        assert!(
+            s2 >= m2 * 0.85,
+            "B=2 kernel far below model: {s2:.2} vs {m2:.2}"
+        );
+        assert!(
+            s4 >= m4 * 0.85,
+            "B=4 kernel far below model: {s4:.2} vs {m4:.2}"
+        );
     }
 }

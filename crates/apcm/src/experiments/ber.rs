@@ -34,13 +34,20 @@ fn ber_at(snr_db: f32) -> (f64, f64) {
         let rx = ch.apply(&syms);
         let scale = (ch.llr_scale() / 8.0).clamp(0.25, 16.0);
         let llrs = Modulation::Qpsk.demodulate(&rx, scale);
-        raw_errs += llrs.iter().zip(&tx).filter(|(&l, &b)| llr_to_bit(l) != b).count();
+        raw_errs += llrs
+            .iter()
+            .zip(&tx)
+            .filter(|(&l, &b)| llr_to_bit(l) != b)
+            .count();
         raw_bits += tx.len();
         let d = rm.de_rate_match(&llrs, 0);
         let out = dec.decode(&TurboLlrs::from_dstreams(&d, K));
         coded_errs += out.bits.iter().zip(&bits).filter(|(a, b)| a != b).count();
     }
-    (coded_errs as f64 / (K * BLOCKS) as f64, raw_errs as f64 / raw_bits as f64)
+    (
+        coded_errs as f64 / (K * BLOCKS) as f64,
+        raw_errs as f64 / raw_bits as f64,
+    )
 }
 
 /// Run the experiment.
@@ -55,7 +62,9 @@ pub fn run() -> Figure {
         let (coded, raw) = ber_at(snr);
         f.push(Row::new(format!("{snr:+.1}dB"), vec![coded, raw]));
     }
-    f.note("substrate validation: the waterfall protects every latency figure built on the decoder");
+    f.note(
+        "substrate validation: the waterfall protects every latency figure built on the decoder",
+    );
     f
 }
 
@@ -70,9 +79,14 @@ mod tests {
         assert!(coded("-2.0dB") > 0.05, "{}", coded("-2.0dB"));
         // waterfall: clean by +2 dB while the raw channel still errs
         assert_eq!(coded("+2.0dB"), 0.0, "turbo must be clean at 2 dB");
-        assert!(raw("+2.0dB") > 0.01, "raw channel must still be noisy at 2 dB");
+        assert!(
+            raw("+2.0dB") > 0.01,
+            "raw channel must still be noisy at 2 dB"
+        );
         // monotone improvement across the sweep
-        let points = ["-2.0dB", "-1.0dB", "+0.0dB", "+0.5dB", "+1.0dB", "+1.5dB", "+2.0dB"];
+        let points = [
+            "-2.0dB", "-1.0dB", "+0.0dB", "+0.5dB", "+1.0dB", "+1.5dB", "+2.0dB",
+        ];
         for w in points.windows(2) {
             assert!(
                 coded(w[1]) <= coded(w[0]) + 1e-9,

@@ -41,11 +41,17 @@ pub mod components {
 /// Run the experiment.
 pub fn run() -> Figure {
     use components::*;
-    let fixed = FRAME_ALIGNMENT_US + SCHEDULING_US + HARQ_SHARE_US + CORE_NETWORK_US + UE_PROCESSING_US;
+    let fixed =
+        FRAME_ALIGNMENT_US + SCHEDULING_US + HARQ_SHARE_US + CORE_NETWORK_US + UE_PROCESSING_US;
     let mut f = Figure::new(
         "e2e",
         "End-to-end latency budget, 1500 B uplink packet (µs)",
-        &["fixed radio/stack", "eNB processing", "total", "vs original %"],
+        &[
+            "fixed radio/stack",
+            "eNB processing",
+            "total",
+            "vs original %",
+        ],
     );
     let mut m = LatencyModel::new(CoreConfig::beefy(), DECODER_ITERATIONS);
     let apcm = Mechanism::Apcm(ApcmVariant::Shuffle);
@@ -77,7 +83,10 @@ mod tests {
         let f = run();
         let fixed = f.value("original/SSE128", "fixed radio/stack").unwrap();
         let proc = f.value("original/SSE128", "eNB processing").unwrap();
-        assert!(fixed > proc, "fixed components dominate e2e: {fixed} vs {proc}");
+        assert!(
+            fixed > proc,
+            "fixed components dominate e2e: {fixed} vs {proc}"
+        );
     }
 
     #[test]
@@ -85,14 +94,20 @@ mod tests {
         let f = run();
         let red = f.value("apcm/AVX512", "vs original %").unwrap();
         assert!(red > 1.0, "APCM must shave visible e2e time: {red:.1}%");
-        assert!(red < 15.0, "e2e gain is bounded by the fixed components: {red:.1}%");
+        assert!(
+            red < 15.0,
+            "e2e gain is bounded by the fixed components: {red:.1}%"
+        );
     }
 
     #[test]
     fn totals_are_consistent() {
         let f = run();
         for r in &f.rows {
-            assert!((r.values[0] + r.values[1] - r.values[2]).abs() < 1e-9, "{r:?}");
+            assert!(
+                (r.values[0] + r.values[1] - r.values[2]).abs() < 1e-9,
+                "{r:?}"
+            );
         }
     }
 }

@@ -31,7 +31,11 @@ pub(crate) struct ModuleProfile {
 /// per-subframe volume (`factor`).
 fn profiled(name: &'static str, trace: vran_simd::Trace, factor: f64) -> ModuleProfile {
     let report = CoreSim::new(CoreConfig::beefy().warmed()).run(&trace);
-    ModuleProfile { name, cycles: report.cycles as f64 * factor, report }
+    ModuleProfile {
+        name,
+        cycles: report.cycles as f64 * factor,
+        report,
+    }
 }
 
 /// Per-module profiles for one subframe.
@@ -64,10 +68,9 @@ pub(crate) fn module_profiles(uplink: bool) -> Vec<ModuleProfile> {
         let mut m = LatencyModel::new(CoreConfig::beefy(), DECODER_ITERATIONS);
         let arr = m.arrangement_report(RegWidth::Sse128, Mechanism::Baseline);
         let dec = m.decoder_report(RegWidth::Sse128);
-        let arr_cycles =
-            m.arrangement_cycles(RegWidth::Sse128, Mechanism::Baseline, SUBFRAME_BITS)
-                * 2.0
-                * DECODER_ITERATIONS as f64;
+        let arr_cycles = m.arrangement_cycles(RegWidth::Sse128, Mechanism::Baseline, SUBFRAME_BITS)
+            * 2.0
+            * DECODER_ITERATIONS as f64;
         let dec_cycles = m.decoder_cycles(RegWidth::Sse128, SUBFRAME_BITS);
         // cycle-weighted fusion of the two reports
         let wa = arr_cycles / (arr_cycles + dec_cycles);
@@ -79,8 +82,7 @@ pub(crate) fn module_profiles(uplink: bool) -> Vec<ModuleProfile> {
                 frontend: arr.topdown.frontend * wa + dec.topdown.frontend * (1.0 - wa),
                 bad_speculation: arr.topdown.bad_speculation * wa
                     + dec.topdown.bad_speculation * (1.0 - wa),
-                backend_core: arr.topdown.backend_core * wa
-                    + dec.topdown.backend_core * (1.0 - wa),
+                backend_core: arr.topdown.backend_core * wa + dec.topdown.backend_core * (1.0 - wa),
                 backend_mem: arr.topdown.backend_mem * wa + dec.topdown.backend_mem * (1.0 - wa),
                 mem_levels: core::array::from_fn(|i| {
                     arr.topdown.mem_levels[i] * wa + dec.topdown.mem_levels[i] * (1.0 - wa)
@@ -130,7 +132,10 @@ fn build(id: &str, title: &str, uplink: bool) -> Figure {
     let mods = module_profiles(uplink);
     let total: f64 = mods.iter().map(|m| m.cycles).sum();
     for m in &mods {
-        f.push(Row::new(m.name, vec![m.cycles / total * 100.0, m.report.ipc]));
+        f.push(Row::new(
+            m.name,
+            vec![m.cycles / total * 100.0, m.report.ipc],
+        ));
     }
     f.note("paper: DCI / rate matching / scrambling near ideal IPC 4; turbo decoding ≈2.1");
     f.note("paper §5: decoding occupies more than 50 % of vRAN processing time");
@@ -155,7 +160,10 @@ mod tests {
     fn uplink_decoding_dominates() {
         let f = uplink();
         let share = f.value("Turbo Decoding", "CPU share %").unwrap();
-        assert!(share > 50.0, "paper: decoding >50 % of processing time, got {share:.1}");
+        assert!(
+            share > 50.0,
+            "paper: decoding >50 % of processing time, got {share:.1}"
+        );
     }
 
     #[test]
@@ -163,7 +171,12 @@ mod tests {
         for f in [uplink(), downlink()] {
             for m in ["Rate Matching", "Scrambling", "DCI"] {
                 let ipc = f.value(m, "IPC").unwrap();
-                assert!(ipc > 3.0, "{} ({}): near-ideal scalar IPC expected, got {ipc:.2}", m, f.id);
+                assert!(
+                    ipc > 3.0,
+                    "{} ({}): near-ideal scalar IPC expected, got {ipc:.2}",
+                    m,
+                    f.id
+                );
             }
         }
     }
@@ -173,7 +186,10 @@ mod tests {
         let f = uplink();
         let dec = f.value("Turbo Decoding", "IPC").unwrap();
         let scr = f.value("Scrambling", "IPC").unwrap();
-        assert!(dec < scr - 0.5, "decoding IPC must trail scalar modules: {dec:.2} vs {scr:.2}");
+        assert!(
+            dec < scr - 0.5,
+            "decoding IPC must trail scalar modules: {dec:.2} vs {scr:.2}"
+        );
         assert!(dec < 3.2, "paper shows ≈2.1, got {dec:.2}");
     }
 

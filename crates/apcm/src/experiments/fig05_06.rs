@@ -16,7 +16,10 @@ fn build(id: &str, title: &str, uplink: bool) -> Figure {
     );
     for m in module_profiles(uplink) {
         let t = &m.report.topdown;
-        f.push(Row::new(m.name, vec![t.retiring, t.frontend, t.bad_speculation, t.backend()]));
+        f.push(Row::new(
+            m.name,
+            vec![t.retiring, t.frontend, t.bad_speculation, t.backend()],
+        ));
     }
     f.note("paper: frontend and bad speculation negligible; backend bound dominates stalls");
     f.note("paper: turbo decoding backend bound exceeds 50 %");
@@ -41,7 +44,13 @@ mod tests {
     fn frontend_and_badspec_are_negligible() {
         for f in [uplink(), downlink()] {
             for r in &f.rows {
-                assert!(r.values[1] < 0.12, "{} {}: frontend {:.3}", f.id, r.label, r.values[1]);
+                assert!(
+                    r.values[1] < 0.12,
+                    "{} {}: frontend {:.3}",
+                    f.id,
+                    r.label,
+                    r.values[1]
+                );
                 assert!(
                     r.values[2] < 0.15,
                     "{} {}: bad speculation {:.3}",
@@ -64,9 +73,15 @@ mod tests {
         let dec = f.value("Turbo Decoding", "backend").unwrap();
         for other in ["Scrambling", "OFDM", "DCI"] {
             let o = f.value(other, "backend").unwrap();
-            assert!(dec > o, "decoding must out-stall {other}: {dec:.3} vs {o:.3}");
+            assert!(
+                dec > o,
+                "decoding must out-stall {other}: {dec:.3} vs {o:.3}"
+            );
         }
-        assert!(dec > 0.08, "decoding backend bound should be visible, got {dec:.3}");
+        assert!(
+            dec > 0.08,
+            "decoding backend bound should be visible, got {dec:.3}"
+        );
     }
 
     #[test]

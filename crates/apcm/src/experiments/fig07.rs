@@ -45,7 +45,9 @@ pub fn run() -> Figure {
             ));
         }
     }
-    f.note("paper: beefy eliminates memory bound, core bound deteriorates; overall backend similar");
+    f.note(
+        "paper: beefy eliminates memory bound, core bound deteriorates; overall backend similar",
+    );
     f.note("paper IPC anchors: adds 2.8, subs 2.7, max 2.2, extract ~1.5, do_OFDM 3.8");
     f
 }
@@ -60,7 +62,10 @@ mod tests {
         for k in ["_mm_adds", "_mm_extract"] {
             let wm = f.value(&format!("wimpy/{k}"), "memory bound").unwrap();
             let bm = f.value(&format!("beefy/{k}"), "memory bound").unwrap();
-            assert!(bm <= wm, "{k}: beefy memory bound must not exceed wimpy ({bm} vs {wm})");
+            assert!(
+                bm <= wm,
+                "{k}: beefy memory bound must not exceed wimpy ({bm} vs {wm})"
+            );
             let wc = f.value(&format!("wimpy/{k}"), "core bound").unwrap();
             let bc = f.value(&format!("beefy/{k}"), "core bound").unwrap();
             assert!(bc >= wc * 0.8, "{k}: core bound must not collapse on beefy");

@@ -9,8 +9,8 @@
 use crate::report::{Figure, Row};
 use vran_arrange::{ApcmVariant, ArrangeKernel, Mechanism};
 use vran_net::pipeline::synthetic_interleaved;
-use vran_uarch::{CoreConfig, CoreSim};
 use vran_simd::RegWidth;
+use vran_uarch::{CoreConfig, CoreSim};
 
 /// Triples per kernel run (one maximum-size code block).
 const K: usize = 6144;
@@ -35,7 +35,11 @@ pub fn run() -> Figure {
             }
             f.push(Row::new(
                 format!("{}/{}", width.name(), mech.name()),
-                vec![bw, r.store_bw_utilization(width.bits()) * 100.0, bw / base_bw],
+                vec![
+                    bw,
+                    r.store_bw_utilization(width.bits()) * 100.0,
+                    bw / base_bw,
+                ],
             ));
         }
     }
@@ -53,7 +57,10 @@ mod tests {
         let f = run();
         let s128 = f.value("SSE128/apcm", "speedup vs original").unwrap();
         let s512 = f.value("AVX512/apcm", "speedup vs original").unwrap();
-        assert!(s128 >= 3.0 && s128 <= 8.0, "xmm speedup ≈4×, got {s128:.1}");
+        assert!(
+            (3.0..=8.0).contains(&s128),
+            "xmm speedup ≈4×, got {s128:.1}"
+        );
         assert!(s512 >= 10.0, "zmm speedup ≈16×, got {s512:.1}");
         assert!(s512 > s128, "gain must grow with width");
     }
@@ -71,7 +78,10 @@ mod tests {
     fn apcm_bits_per_cycle_band() {
         let f = run();
         let b = f.value("SSE128/apcm", "store bits/cycle").unwrap();
-        assert!((40.0..110.0).contains(&b), "paper says ≈67 bits/cycle, got {b:.0}");
+        assert!(
+            (40.0..110.0).contains(&b),
+            "paper says ≈67 bits/cycle, got {b:.0}"
+        );
         let z = f.value("AVX512/apcm", "store bits/cycle").unwrap();
         assert!(z > 180.0, "paper says ≈270 bits/cycle at zmm, got {z:.0}");
     }

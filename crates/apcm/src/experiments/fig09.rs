@@ -59,13 +59,20 @@ mod tests {
     #[test]
     fn original_share_grows_with_width_apcm_share_shrinks() {
         let f = run();
-        let so: Vec<f64> =
-            ["SSE128", "AVX256", "AVX512"].iter().map(|w| f.value(w, "share orig %").unwrap()).collect();
-        let sa: Vec<f64> =
-            ["SSE128", "AVX256", "AVX512"].iter().map(|w| f.value(w, "share apcm %").unwrap()).collect();
+        let so: Vec<f64> = ["SSE128", "AVX256", "AVX512"]
+            .iter()
+            .map(|w| f.value(w, "share orig %").unwrap())
+            .collect();
+        let sa: Vec<f64> = ["SSE128", "AVX256", "AVX512"]
+            .iter()
+            .map(|w| f.value(w, "share apcm %").unwrap())
+            .collect();
         assert!(so[2] > so[0], "original share must grow with width: {so:?}");
         assert!(sa[2] < sa[0], "APCM share must shrink with width: {sa:?}");
-        assert!(sa.iter().zip(&so).all(|(a, o)| a < o), "APCM always below original");
+        assert!(
+            sa.iter().zip(&so).all(|(a, o)| a < o),
+            "APCM always below original"
+        );
     }
 
     #[test]
@@ -84,7 +91,10 @@ mod tests {
         let f = run();
         for w in ["SSE128", "AVX256", "AVX512"] {
             let s = f.value(w, "share apcm %").unwrap();
-            assert!(s < 15.0, "{w}: APCM arrangement share must be minor, got {s:.1}%");
+            assert!(
+                s < 15.0,
+                "{w}: APCM arrangement share must be minor, got {s:.1}%"
+            );
         }
     }
 }

@@ -36,7 +36,10 @@ pub fn run() -> Figure {
         for size in SIZES {
             let mut vals = Vec::new();
             for w in RegWidth::ALL {
-                vals.push(m.packet_time(w, Mechanism::Baseline, transport, size).total_us());
+                vals.push(
+                    m.packet_time(w, Mechanism::Baseline, transport, size)
+                        .total_us(),
+                );
                 vals.push(m.packet_time(w, apcm, transport, size).total_us());
             }
             let red = (1.0 - vals[5] / vals[4]) * 100.0;

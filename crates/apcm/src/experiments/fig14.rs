@@ -19,7 +19,13 @@ pub fn run() -> Figure {
     let mut f = Figure::new(
         "fig14",
         "Arrangement vs calculation time at 1500 B (µs)",
-        &["arrangement orig", "arrangement apcm", "reduction %", "calculation", "other"],
+        &[
+            "arrangement orig",
+            "arrangement apcm",
+            "reduction %",
+            "calculation",
+            "other",
+        ],
     );
     let mut m = LatencyModel::new(CoreConfig::beefy(), DECODER_ITERATIONS);
     let apcm = Mechanism::Apcm(ApcmVariant::Shuffle);
@@ -65,8 +71,14 @@ mod tests {
         let a128 = f.value("SSE128", "arrangement orig").unwrap();
         let a256 = f.value("AVX256", "arrangement orig").unwrap();
         let a512 = f.value("AVX512", "arrangement orig").unwrap();
-        assert!(a256 >= a128 * 0.97, "ymm must not beat xmm: {a128} vs {a256}");
-        assert!(a512 >= a256 * 0.97, "zmm must not beat ymm: {a256} vs {a512}");
+        assert!(
+            a256 >= a128 * 0.97,
+            "ymm must not beat xmm: {a128} vs {a256}"
+        );
+        assert!(
+            a512 >= a256 * 0.97,
+            "zmm must not beat ymm: {a256} vs {a512}"
+        );
     }
 
     #[test]

@@ -53,7 +53,10 @@ mod tests {
             let apcm = f.value(&format!("{w}/apcm"), "backend").unwrap();
             assert!(orig > 0.3, "{w}: original backend ≈45-52 %, got {orig:.2}");
             assert!(apcm < 0.25, "{w}: APCM backend ≈3-5 %, got {apcm:.2}");
-            assert!(apcm < orig / 2.0, "{w}: backbone claim, {orig:.2} → {apcm:.2}");
+            assert!(
+                apcm < orig / 2.0,
+                "{w}: backbone claim, {orig:.2} → {apcm:.2}"
+            );
         }
     }
 

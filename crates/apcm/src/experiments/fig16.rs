@@ -19,7 +19,12 @@ pub fn run() -> Figure {
     let mut f = Figure::new(
         "fig16",
         "Bandwidth per core and cores for 300 Mbps",
-        &["Mbps/core orig", "Mbps/core apcm", "cores orig", "cores apcm"],
+        &[
+            "Mbps/core orig",
+            "Mbps/core apcm",
+            "cores orig",
+            "cores apcm",
+        ],
     );
     let mut m = LatencyModel::new(CoreConfig::beefy(), DECODER_ITERATIONS);
     let apcm = Mechanism::Apcm(ApcmVariant::Shuffle);
@@ -61,9 +66,8 @@ mod tests {
     #[test]
     fn gain_grows_with_register_width() {
         let f = run();
-        let g = |w: &str| {
-            f.value(w, "Mbps/core apcm").unwrap() / f.value(w, "Mbps/core orig").unwrap()
-        };
+        let g =
+            |w: &str| f.value(w, "Mbps/core apcm").unwrap() / f.value(w, "Mbps/core orig").unwrap();
         assert!(g("AVX512") > g("SSE128"), "widest registers benefit most");
     }
 

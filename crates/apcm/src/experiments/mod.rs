@@ -8,7 +8,6 @@ pub mod batch_exp;
 pub mod ber;
 pub mod e2e;
 pub mod fig03_04;
-pub mod sched;
 pub mod fig05_06;
 pub mod fig07;
 pub mod fig08;
@@ -17,6 +16,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig16;
+pub mod sched;
 pub mod stride_exp;
 pub mod table1;
 
@@ -72,9 +72,10 @@ mod tests {
     #[test]
     fn registry_has_every_paper_artifact() {
         let ids: Vec<&str> = all().iter().map(|(k, _)| *k).collect();
-        for want in
-            ["fig3", "fig4", "fig5", "fig6", "table1", "fig7", "fig8", "fig9", "fig13", "fig14", "fig15", "fig16"]
-        {
+        for want in [
+            "fig3", "fig4", "fig5", "fig6", "table1", "fig7", "fig8", "fig9", "fig13", "fig14",
+            "fig15", "fig16",
+        ] {
             assert!(ids.contains(&want), "missing {want}");
         }
         assert!(by_id("fig15").is_some());

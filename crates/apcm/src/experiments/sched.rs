@@ -6,7 +6,9 @@ use vran_net::scheduler::{CellScheduler, Policy, UeContext};
 
 fn cell(policy: Policy) -> CellScheduler {
     // a 6-UE cell spanning center to edge
-    let ues = (0..6).map(|i| UeContext::new(i, 22.0 - 3.5 * i as f32)).collect();
+    let ues = (0..6)
+        .map(|i| UeContext::new(i, 22.0 - 3.5 * i as f32))
+        .collect();
     CellScheduler::new(ues, policy, 2024)
 }
 

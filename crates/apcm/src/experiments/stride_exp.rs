@@ -14,7 +14,12 @@ pub fn run() -> Figure {
     let mut f = Figure::new(
         "gen-stride",
         "APCM generalized to other de-interleave strides (SSE128)",
-        &["original cycles", "apcm cycles", "speedup", "apcm store bits/cycle"],
+        &[
+            "original cycles",
+            "apcm cycles",
+            "speedup",
+            "apcm store bits/cycle",
+        ],
     );
     let sim = CoreSim::new(CoreConfig::beefy().warmed());
     for s in 2..=8usize {

@@ -1,10 +1,10 @@
 //! Figure/table result containers and rendering.
 
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
+use vran_util::Json;
 
 /// One labeled data row of a figure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Row {
     /// Row label (module name, packet size, width, …).
     pub label: String,
@@ -15,12 +15,15 @@ pub struct Row {
 impl Row {
     /// Construct from anything stringifiable.
     pub fn new(label: impl Into<String>, values: Vec<f64>) -> Self {
-        Self { label: label.into(), values }
+        Self {
+            label: label.into(),
+            values,
+        }
     }
 }
 
 /// A reproduced figure or table: labeled rows under named columns.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Figure {
     /// Identifier matching the paper ("fig15", "table1", …).
     pub id: String,
@@ -48,7 +51,12 @@ impl Figure {
 
     /// Append a row; panics if the arity disagrees with the header.
     pub fn push(&mut self, row: Row) {
-        assert_eq!(row.values.len(), self.columns.len(), "row arity mismatch in {}", self.id);
+        assert_eq!(
+            row.values.len(),
+            self.columns.len(),
+            "row arity mismatch in {}",
+            self.id
+        );
         self.rows.push(row);
     }
 
@@ -78,17 +86,88 @@ impl Figure {
         let _ = writeln!(
             out,
             "label,{}",
-            self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            self.columns
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for r in &self.rows {
             let _ = writeln!(
                 out,
                 "{},{}",
                 esc(&r.label),
-                r.values.iter().map(|v| format!("{v}")).collect::<Vec<_>>().join(",")
+                r.values
+                    .iter()
+                    .map(|v| format!("{v}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
             );
         }
         out
+    }
+
+    /// Serialize to a JSON document (pretty, stable field order).
+    pub fn to_json(&self) -> String {
+        let strs = |v: &[String]| Json::Arr(v.iter().map(Json::str).collect());
+        Json::obj([
+            ("id", Json::str(&self.id)),
+            ("title", Json::str(&self.title)),
+            ("columns", strs(&self.columns)),
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("label", Json::str(&r.label)),
+                                (
+                                    "values",
+                                    Json::Arr(r.values.iter().map(|&v| Json::Num(v)).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("notes", strs(&self.notes)),
+        ])
+        .to_string_pretty()
+    }
+
+    /// Parse a document produced by [`Figure::to_json`].
+    pub fn from_json(text: &str) -> Option<Figure> {
+        let v = Json::parse(text).ok()?;
+        let strs = |field: &str| -> Option<Vec<String>> {
+            v.get(field)?
+                .as_arr()?
+                .iter()
+                .map(|s| s.as_str().map(str::to_string))
+                .collect()
+        };
+        let rows = v
+            .get("rows")?
+            .as_arr()?
+            .iter()
+            .map(|r| {
+                let label = r.get("label")?.as_str()?.to_string();
+                let values = r
+                    .get("values")?
+                    .as_arr()?
+                    .iter()
+                    .map(Json::as_f64)
+                    .collect::<Option<_>>()?;
+                Some(Row { label, values })
+            })
+            .collect::<Option<_>>()?;
+        Some(Figure {
+            id: v.get("id")?.as_str()?.to_string(),
+            title: v.get("title")?.as_str()?.to_string(),
+            columns: strs("columns")?,
+            rows,
+            notes: strs("notes")?,
+        })
     }
 
     /// Render as an aligned text table.
@@ -175,8 +254,14 @@ mod tests {
     #[test]
     fn json_round_trip() {
         let f = sample();
-        let s = serde_json::to_string(&f).unwrap();
-        let g: Figure = serde_json::from_str(&s).unwrap();
+        let s = f.to_json();
+        let g = Figure::from_json(&s).unwrap();
         assert_eq!(f, g);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        assert!(Figure::from_json("not json").is_none());
+        assert!(Figure::from_json("{\"id\": \"x\"}").is_none());
     }
 }

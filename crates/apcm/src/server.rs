@@ -1,10 +1,9 @@
 //! Server profiles: the paper's wimpy and beefy testbed nodes.
 
-use serde::{Deserialize, Serialize};
 use vran_uarch::CoreConfig;
 
 /// Which testbed node to model (paper §3.1 / §4.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServerProfile {
     /// Intel Core i7-8700 @ 3.20 GHz, 16 GB — the vRAN host ("wimpy").
     Wimpy,

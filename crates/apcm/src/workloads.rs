@@ -53,9 +53,21 @@ fn binary_alu_kernel(ws: usize, reps: usize, use_subs: bool) -> Trace {
     for i in 0..reps {
         // two serial accumulator chains plus an independent op per
         // step: ≈3 ALU instr + 0.25 loads per cycle steady state
-        a1 = if use_subs { vm.subs(a1, x) } else { vm.adds(a1, x) };
-        a2 = if use_subs { vm.subs(a2, y) } else { vm.adds(a2, y) };
-        let _ = if use_subs { vm.subs(x, y) } else { vm.adds(x, y) };
+        a1 = if use_subs {
+            vm.subs(a1, x)
+        } else {
+            vm.adds(a1, x)
+        };
+        a2 = if use_subs {
+            vm.subs(a2, y)
+        } else {
+            vm.adds(a2, y)
+        };
+        let _ = if use_subs {
+            vm.subs(x, y)
+        } else {
+            vm.adds(x, y)
+        };
         let off = ((i / 4) * 7 % span) * l;
         if i % 128 == 127 {
             // interleaver gather: the next address depends on computed
@@ -176,7 +188,10 @@ pub fn rate_match_twin(bits: usize, ws: usize) -> Trace {
         } else {
             vm.load(RegWidth::Sse128, buf.slice(off, l));
         }
-        vm.copy16(buf.base + (i % ws.max(64)), buf.base + ((i + 1) % ws.max(64)));
+        vm.copy16(
+            buf.base + (i % ws.max(64)),
+            buf.base + ((i + 1) % ws.max(64)),
+        );
     }
     vm.take_trace()
 }
@@ -248,7 +263,11 @@ mod tests {
     #[test]
     fn max_kernel_is_dependency_limited() {
         let r = beefy(&max_kernel(SMALL_WS, 4000));
-        assert!((1.7..2.6).contains(&r.ipc), "max chain IPC ≈ 2.2, got {}", r.ipc);
+        assert!(
+            (1.7..2.6).contains(&r.ipc),
+            "max chain IPC ≈ 2.2, got {}",
+            r.ipc
+        );
         let adds = beefy(&adds_kernel(SMALL_WS, 4000));
         assert!(r.ipc < adds.ipc, "max must trail adds (paper §4.2)");
     }
@@ -256,7 +275,11 @@ mod tests {
     #[test]
     fn extract_kernel_is_movement_bound() {
         let r = beefy(&extract_kernel(SMALL_WS, 1000));
-        assert!((1.0..1.9).contains(&r.ipc), "extract IPC ≈ 1.5, got {}", r.ipc);
+        assert!(
+            (1.0..1.9).contains(&r.ipc),
+            "extract IPC ≈ 1.5, got {}",
+            r.ipc
+        );
         assert!(
             r.topdown.backend() > 0.3,
             "movement kernel backend should dominate stalls (paper ≈55 %), got {:?}",
@@ -265,7 +288,11 @@ mod tests {
         // store ports hot, vector ALU ports nearly idle (only the
         // kernel's few scalar ops borrow P0-P3) — the paper's
         // idle-port observation
-        assert!(r.port_util[6] > 0.7 && r.port_util[7] > 0.7, "{:?}", r.port_util);
+        assert!(
+            r.port_util[6] > 0.7 && r.port_util[7] > 0.7,
+            "{:?}",
+            r.port_util
+        );
         assert!(r.port_util[2] < 0.2, "{:?}", r.port_util);
     }
 
@@ -278,9 +305,17 @@ mod tests {
 
     #[test]
     fn scalar_twins_have_high_retiring() {
-        for t in [scrambling_twin(10_000), turbo_encode_twin(5_000), dci_twin(2_000)] {
+        for t in [
+            scrambling_twin(10_000),
+            turbo_encode_twin(5_000),
+            dci_twin(2_000),
+        ] {
             let r = beefy(&t);
-            assert!(r.topdown.retiring > 0.6, "scalar twin retiring low: {:?}", r.topdown);
+            assert!(
+                r.topdown.retiring > 0.6,
+                "scalar twin retiring low: {:?}",
+                r.topdown
+            );
         }
     }
 

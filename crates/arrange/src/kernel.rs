@@ -1,12 +1,11 @@
 //! The arrangement kernels over the `vran-simd` VM.
 
 use crate::tables;
-use serde::{Deserialize, Serialize};
 use vran_phy::llr::{InterleavedLlrs, SoftStreams};
 use vran_simd::{Mem, MemRef, RegWidth, Trace, Vm};
 
 /// Which APCM formulation to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ApcmVariant {
     /// Paper-literal Figure 10/11: `vpand` filtering (9), `vpor`
     /// combination (6), lane rotation for alignment (2) — 17 vector-ALU
@@ -22,7 +21,7 @@ pub enum ApcmVariant {
 }
 
 /// The arrangement mechanism under test.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mechanism {
     /// Original extract-per-element process (paper §5.2), including the
     /// ymm `vextracti128` and zmm `vextracti32x8`+reload penalties.
@@ -181,8 +180,9 @@ impl ArrangeKernel {
                     .collect();
                 for g in 0..groups {
                     let gbase = g * 3 * l;
-                    let regs: Vec<_> =
-                        (0..3).map(|j| vm.load(w, input.slice(gbase + j * l, l))).collect();
+                    let regs: Vec<_> = (0..3)
+                        .map(|j| vm.load(w, input.slice(gbase + j * l, l)))
+                        .collect();
                     for (c, dst) in outs.iter().enumerate() {
                         let s0 = vm.shuffle(regs[0], &tbls[c][0]);
                         let s1 = vm.shuffle(regs[1], &tbls[c][1]);
@@ -198,13 +198,16 @@ impl ArrangeKernel {
                 // 9 vpand + 6 vpor + 2 rotations + 3 stores.
                 let masks: Vec<Vec<_>> = (0..3)
                     .map(|c| {
-                        (0..3).map(|j| vm.const_vec(tables::cluster_mask(w, j, c))).collect()
+                        (0..3)
+                            .map(|j| vm.const_vec(tables::cluster_mask(w, j, c)))
+                            .collect()
                     })
                     .collect();
                 for g in 0..groups {
                     let gbase = g * 3 * l;
-                    let regs: Vec<_> =
-                        (0..3).map(|j| vm.load(w, input.slice(gbase + j * l, l))).collect();
+                    let regs: Vec<_> = (0..3)
+                        .map(|j| vm.load(w, input.slice(gbase + j * l, l)))
+                        .collect();
                     for (c, dst) in outs.iter().enumerate() {
                         let m0 = vm.and(regs[0], masks[c][0]);
                         let m1 = vm.and(regs[1], masks[c][1]);
@@ -212,8 +215,11 @@ impl ArrangeKernel {
                         let o01 = vm.or(m0, m1);
                         let cong = vm.or(o01, m2);
                         let rot = tables::alignment_rotation(w, c);
-                        let aligned =
-                            if rot == 0 { cong } else { vm.rotate_lanes_left(cong, rot) };
+                        let aligned = if rot == 0 {
+                            cong
+                        } else {
+                            vm.rotate_lanes_left(cong, rot)
+                        };
                         vm.store(aligned, dst.slice(g * l, l));
                     }
                 }
@@ -235,7 +241,11 @@ impl ArrangeKernel {
         let sys = mem.alloc(k);
         let p1 = mem.alloc(k);
         let p2 = mem.alloc(k);
-        let mut vm = if tracing { Vm::tracing(mem) } else { Vm::native(mem) };
+        let mut vm = if tracing {
+            Vm::tracing(mem)
+        } else {
+            Vm::native(mem)
+        };
         self.run(&mut vm, input, OutRegions { sys, p1, p2 }, k);
         let streams = SoftStreams {
             sys: vm.mem().read(sys).to_vec(),
@@ -257,8 +267,8 @@ impl ArrangeKernel {
                 let mut out = SoftStreams::zeros(k);
                 let groups = k / l;
                 for g in 0..groups {
-                    for i in 0..l {
-                        let t = g * l + perm[i];
+                    for (i, &p) in perm.iter().enumerate().take(l) {
+                        let t = g * l + p;
                         out.sys[t] = streams.sys[g * l + i];
                         out.p1[t] = streams.p1[g * l + i];
                         out.p2[t] = streams.p2[g * l + i];
@@ -282,8 +292,9 @@ mod tests {
     use vran_simd::{OpClass, OpKind};
 
     fn sample(k: usize) -> InterleavedLlrs {
-        let data: Vec<i16> =
-            (0..3 * k).map(|i| ((i as i64 * 2654435761 + 12345) % 4001 - 2000) as i16).collect();
+        let data: Vec<i16> = (0..3 * k)
+            .map(|i| ((i as i64 * 2654435761 + 12345) % 4001 - 2000) as i16)
+            .collect();
         InterleavedLlrs { k, data }
     }
 
@@ -308,7 +319,13 @@ mod tests {
         for kern in all_kernels() {
             let (got, _) = kern.arrange(&input, false);
             let got = kern.depermute(&got);
-            assert_eq!(got, expect, "{:?} {} mismatch", kern.width, kern.mech.name());
+            assert_eq!(
+                got,
+                expect,
+                "{:?} {} mismatch",
+                kern.width,
+                kern.mech.name()
+            );
         }
     }
 
@@ -327,8 +344,8 @@ mod tests {
     #[test]
     fn baseline_is_movement_dominated_apcm_is_alu_dominated() {
         let input = sample(96);
-        let (_, bt) = ArrangeKernel::new(RegWidth::Sse128, Mechanism::Baseline)
-            .arrange(&input, true);
+        let (_, bt) =
+            ArrangeKernel::new(RegWidth::Sse128, Mechanism::Baseline).arrange(&input, true);
         let (_, at) = ArrangeKernel::new(RegWidth::Sse128, Mechanism::Apcm(ApcmVariant::Shuffle))
             .arrange(&input, true);
         let bh = bt.unwrap().class_histogram();
@@ -361,8 +378,7 @@ mod tests {
     fn baseline_zmm_pays_reload_penalty() {
         let input = sample(32); // one zmm group
         let run = |w| {
-            let (_, t) =
-                ArrangeKernel::new(w, Mechanism::Baseline).arrange(&sample(32), true);
+            let (_, t) = ArrangeKernel::new(w, Mechanism::Baseline).arrange(&sample(32), true);
             t.unwrap()
         };
         let _ = input;
@@ -371,12 +387,24 @@ mod tests {
         // 32 triples = 3 zmm registers, each loaded twice (reload after
         // vextracti32x8 clobber).
         assert_eq!(loads, 6);
-        let ex256 = t512.ops.iter().filter(|o| o.kind == OpKind::Extract256).count();
+        let ex256 = t512
+            .ops
+            .iter()
+            .filter(|o| o.kind == OpKind::Extract256)
+            .count();
         assert_eq!(ex256, 6);
-        let ex128 = t512.ops.iter().filter(|o| o.kind == OpKind::Extract128).count();
+        let ex128 = t512
+            .ops
+            .iter()
+            .filter(|o| o.kind == OpKind::Extract128)
+            .count();
         assert_eq!(ex128, 12);
         // the per-element extracts are unchanged: 96 pextrw
-        let pex = t512.ops.iter().filter(|o| o.kind == OpKind::ExtractLane).count();
+        let pex = t512
+            .ops
+            .iter()
+            .filter(|o| o.kind == OpKind::ExtractLane)
+            .count();
         assert_eq!(pex, 96);
     }
 
@@ -401,8 +429,8 @@ mod tests {
     fn apcm_instruction_count_shrinks_with_width_for_same_work() {
         let input = sample(96);
         let count = |w| {
-            let (_, t) = ArrangeKernel::new(w, Mechanism::Apcm(ApcmVariant::Shuffle))
-                .arrange(&input, true);
+            let (_, t) =
+                ArrangeKernel::new(w, Mechanism::Apcm(ApcmVariant::Shuffle)).arrange(&input, true);
             t.unwrap().instr_count()
         };
         let c128 = count(RegWidth::Sse128);
@@ -422,14 +450,17 @@ mod tests {
             let (_, t) = ArrangeKernel::new(RegWidth::Sse128, m).arrange(&input, true);
             t.unwrap().store_bytes()
         };
-        assert_eq!(payload(Mechanism::Baseline), payload(Mechanism::Apcm(ApcmVariant::Shuffle)));
+        assert_eq!(
+            payload(Mechanism::Baseline),
+            payload(Mechanism::Apcm(ApcmVariant::Shuffle))
+        );
     }
 
     #[test]
     fn trace_uop_classes_are_as_designed() {
         let input = sample(64);
-        let (_, t) = ArrangeKernel::new(RegWidth::Sse128, Mechanism::Baseline)
-            .arrange(&input, true);
+        let (_, t) =
+            ArrangeKernel::new(RegWidth::Sse128, Mechanism::Baseline).arrange(&input, true);
         for op in &t.unwrap().ops {
             assert!(
                 matches!(op.kind.class(), OpClass::Load | OpClass::Store),

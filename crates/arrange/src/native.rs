@@ -128,8 +128,11 @@ mod x86 {
     #[target_feature(enable = "sse2")]
     pub unsafe fn baseline_sse2(input: &[i16], k: usize, out: &mut SoftStreams) {
         let groups = k / 8;
-        let streams: [*mut i16; 3] =
-            [out.sys.as_mut_ptr(), out.p1.as_mut_ptr(), out.p2.as_mut_ptr()];
+        let streams: [*mut i16; 3] = [
+            out.sys.as_mut_ptr(),
+            out.p1.as_mut_ptr(),
+            out.p2.as_mut_ptr(),
+        ];
         for g in 0..groups {
             let gbase = g * 24;
             for j in 0..3 {
@@ -166,8 +169,11 @@ mod x86 {
                 *slot = _mm_loadu_si128(pshufb_control(&t).as_ptr() as *const __m128i);
             }
         }
-        let streams: [*mut i16; 3] =
-            [out.sys.as_mut_ptr(), out.p1.as_mut_ptr(), out.p2.as_mut_ptr()];
+        let streams: [*mut i16; 3] = [
+            out.sys.as_mut_ptr(),
+            out.p1.as_mut_ptr(),
+            out.p2.as_mut_ptr(),
+        ];
         for g in 0..groups {
             let gbase = g * 24;
             let r0 = _mm_loadu_si128(input.as_ptr().add(gbase) as *const __m128i);
@@ -187,8 +193,11 @@ mod x86 {
     #[target_feature(enable = "avx512bw", enable = "avx512f")]
     pub unsafe fn baseline_avx512(input: &[i16], k: usize, out: &mut SoftStreams) {
         let groups = k / 32;
-        let streams: [*mut i16; 3] =
-            [out.sys.as_mut_ptr(), out.p1.as_mut_ptr(), out.p2.as_mut_ptr()];
+        let streams: [*mut i16; 3] = [
+            out.sys.as_mut_ptr(),
+            out.p1.as_mut_ptr(),
+            out.p2.as_mut_ptr(),
+        ];
         for g in 0..groups {
             let gbase = g * 96;
             for j in 0..3 {
@@ -237,8 +246,11 @@ mod x86 {
                 }
             }
         }
-        let streams: [*mut i16; 3] =
-            [out.sys.as_mut_ptr(), out.p1.as_mut_ptr(), out.p2.as_mut_ptr()];
+        let streams: [*mut i16; 3] = [
+            out.sys.as_mut_ptr(),
+            out.p1.as_mut_ptr(),
+            out.p2.as_mut_ptr(),
+        ];
         let i1: Vec<__m512i> = (0..3)
             .map(|c| _mm512_loadu_si512(idx1[c].as_ptr() as *const _))
             .collect();
@@ -268,7 +280,9 @@ mod tests {
     use super::*;
 
     fn sample(k: usize) -> Vec<i16> {
-        (0..3 * k).map(|i| ((i as i64 * 40503 + 7) % 5000 - 2500) as i16).collect()
+        (0..3 * k)
+            .map(|i| ((i as i64 * 40503 + 7) % 5000 - 2500) as i16)
+            .collect()
     }
 
     #[test]

@@ -48,8 +48,15 @@ pub struct StrideKernel {
 impl StrideKernel {
     /// New kernel; `stride` must be in `2..=8`.
     pub fn new(width: RegWidth, stride: usize, apcm: bool) -> Self {
-        assert!((2..=8).contains(&stride), "stride {stride} out of the supported range");
-        Self { width, stride, apcm }
+        assert!(
+            (2..=8).contains(&stride),
+            "stride {stride} out of the supported range"
+        );
+        Self {
+            width,
+            stride,
+            apcm,
+        }
     }
 
     /// De-interleave `n` elements per stream from `input`
@@ -65,12 +72,17 @@ impl StrideKernel {
 
         if self.apcm {
             let tables: Vec<Vec<Vec<Option<u8>>>> = (0..s)
-                .map(|c| (0..s).map(|j| stride_shuffle(self.width, s, j, c)).collect())
+                .map(|c| {
+                    (0..s)
+                        .map(|j| stride_shuffle(self.width, s, j, c))
+                        .collect()
+                })
                 .collect();
             for g in 0..groups {
                 let gbase = g * s * l;
-                let regs: Vec<_> =
-                    (0..s).map(|j| vm.load(self.width, input.slice(gbase + j * l, l))).collect();
+                let regs: Vec<_> = (0..s)
+                    .map(|j| vm.load(self.width, input.slice(gbase + j * l, l)))
+                    .collect();
                 for (c, out) in outs.iter().enumerate() {
                     let mut acc = None;
                     for (j, &r) in regs.iter().enumerate() {
@@ -115,7 +127,11 @@ impl StrideKernel {
         let mut mem = Mem::new();
         let input = mem.alloc_from(data);
         let outs: Vec<MemRef> = (0..s).map(|_| mem.alloc(n)).collect();
-        let mut vm = if tracing { Vm::tracing(mem) } else { Vm::native(mem) };
+        let mut vm = if tracing {
+            Vm::tracing(mem)
+        } else {
+            Vm::native(mem)
+        };
         self.run(&mut vm, input, &outs, n);
         let streams = outs.iter().map(|o| vm.mem().read(*o).to_vec()).collect();
         let trace = tracing.then(|| vm.take_trace());
@@ -126,7 +142,9 @@ impl StrideKernel {
 /// Scalar oracle.
 pub fn deinterleave_scalar(data: &[i16], stride: usize) -> Vec<Vec<i16>> {
     let n = data.len() / stride;
-    (0..stride).map(|c| (0..n).map(|t| data[stride * t + c]).collect()).collect()
+    (0..stride)
+        .map(|c| (0..n).map(|t| data[stride * t + c]).collect())
+        .collect()
 }
 
 #[cfg(test)]
@@ -136,7 +154,9 @@ mod tests {
     use vran_uarch::{CoreConfig, CoreSim};
 
     fn sample(len: usize) -> Vec<i16> {
-        (0..len).map(|i| ((i as i64 * 31 + 17) % 3000 - 1500) as i16).collect()
+        (0..len)
+            .map(|i| ((i as i64 * 31 + 17) % 3000 - 1500) as i16)
+            .collect()
     }
 
     #[test]
@@ -209,8 +229,7 @@ mod tests {
         for s in [2usize, 4] {
             let l = RegWidth::Sse128.lanes();
             // count residues covered at lane 0: positions {0, l, 2l, …}
-            let covered: std::collections::HashSet<usize> =
-                (0..s).map(|j| (j * l) % s).collect();
+            let covered: std::collections::HashSet<usize> = (0..s).map(|j| (j * l) % s).collect();
             assert!(
                 covered.len() < s,
                 "stride {s} with 8 lanes must collide (gcd ≠ 1), covered {covered:?}"

@@ -13,8 +13,9 @@ use vran_simd::{RegWidth, VecVal};
 pub fn cluster_mask(width: RegWidth, j: usize, cluster: usize) -> VecVal {
     assert!(j < 3 && cluster < 3);
     let l = width.lanes();
-    let lanes: Vec<i16> =
-        (0..l).map(|i| if (j * l + i) % 3 == cluster { -1 } else { 0 }).collect();
+    let lanes: Vec<i16> = (0..l)
+        .map(|i| if (j * l + i) % 3 == cluster { -1 } else { 0 })
+        .collect();
     VecVal::from_lanes(width, &lanes)
 }
 
@@ -78,9 +79,12 @@ mod tests {
             for j in 0..3 {
                 let masks: Vec<VecVal> = (0..3).map(|c| cluster_mask(w, j, c)).collect();
                 for i in 0..w.lanes() {
-                    let set: Vec<usize> =
-                        (0..3).filter(|&c| masks[c].lane(i) == -1).collect();
-                    assert_eq!(set.len(), 1, "lane {i} of reg {j} must be in exactly one mask");
+                    let set: Vec<usize> = (0..3).filter(|&c| masks[c].lane(i) == -1).collect();
+                    assert_eq!(
+                        set.len(),
+                        1,
+                        "lane {i} of reg {j} must be in exactly one mask"
+                    );
                     assert_eq!(set[0], (j * w.lanes() + i) % 3);
                 }
             }
@@ -91,11 +95,20 @@ mod tests {
     fn congregated_order_matches_paper_figure10() {
         // Figure 10 (xmm): S1 order [S1₁ S1₄ S1₇ S1₂ S1₅ S1₈ S1₃ S1₆]
         // → 0-based triples [0,3,6,1,4,7,2,5].
-        assert_eq!(congregated_order(RegWidth::Sse128, 0), vec![0, 3, 6, 1, 4, 7, 2, 5]);
+        assert_eq!(
+            congregated_order(RegWidth::Sse128, 0),
+            vec![0, 3, 6, 1, 4, 7, 2, 5]
+        );
         // YP1 congregated: [YP1₆ YP1₁ YP1₄ YP1₇ YP1₂ YP1₅ YP1₈ YP1₃]
-        assert_eq!(congregated_order(RegWidth::Sse128, 1), vec![5, 0, 3, 6, 1, 4, 7, 2]);
+        assert_eq!(
+            congregated_order(RegWidth::Sse128, 1),
+            vec![5, 0, 3, 6, 1, 4, 7, 2]
+        );
         // YP2 congregated: [YP2₃ YP2₆ YP2₁ YP2₄ YP2₇ YP2₂ YP2₅ YP2₈]
-        assert_eq!(congregated_order(RegWidth::Sse128, 2), vec![2, 5, 0, 3, 6, 1, 4, 7]);
+        assert_eq!(
+            congregated_order(RegWidth::Sse128, 2),
+            vec![2, 5, 0, 3, 6, 1, 4, 7]
+        );
     }
 
     #[test]
@@ -128,8 +141,7 @@ mod tests {
                 let tables: Vec<Vec<Option<u8>>> =
                     (0..3).map(|j| natural_shuffle(w, j, c)).collect();
                 for i in 0..w.lanes() {
-                    let hits: usize =
-                        tables.iter().filter(|t| t[i].is_some()).count();
+                    let hits: usize = tables.iter().filter(|t| t[i].is_some()).count();
                     assert_eq!(hits, 1, "output lane {i} of cluster {c} covered once");
                 }
             }

@@ -2,8 +2,8 @@
 //! wall-clock complements to the `abl-batch` and `gen-stride`
 //! experiments.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use vran_arrange::StrideKernel;
+use vran_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use vran_bench::turbo_workload;
 use vran_phy::turbo::batch_decoder::BatchTurboDecoder;
 use vran_phy::turbo::simd_decoder::SimdTurboDecoder;

@@ -7,8 +7,8 @@
 //! APCM's ALU batching runs several times faster — and the AVX-512
 //! APCM widens the gap further, exactly the Figure 14 trend.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use vran_arrange::native::{available, deinterleave};
+use vran_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use vran_bench::interleaved_workload;
 
 fn bench_native(c: &mut Criterion) {
@@ -17,9 +17,11 @@ fn bench_native(c: &mut Criterion) {
         let mut g = c.benchmark_group(format!("native_arrange_k{k}"));
         g.throughput(Throughput::Bytes((3 * k * 2) as u64));
         for imp in available() {
-            g.bench_with_input(BenchmarkId::from_parameter(imp.name()), &input, |b, input| {
-                b.iter(|| deinterleave(imp, std::hint::black_box(&input.data), k))
-            });
+            g.bench_with_input(
+                BenchmarkId::from_parameter(imp.name()),
+                &input,
+                |b, input| b.iter(|| deinterleave(imp, std::hint::black_box(&input.data), k)),
+            );
         }
         g.finish();
     }

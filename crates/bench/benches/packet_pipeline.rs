@@ -2,8 +2,8 @@
 //! complete uplink pipeline, per packet size, transport and
 //! arrangement mechanism.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use vran_arrange::{ApcmVariant, Mechanism};
+use vran_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use vran_net::packet::{PacketBuilder, Transport};
 use vran_net::pipeline::{PipelineConfig, UplinkPipeline};
 use vran_simd::RegWidth;

@@ -2,7 +2,7 @@
 //! QPP interleaver, modulation, Viterbi — the per-module cost
 //! backdrop of Figures 3–6.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vran_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use vran_phy::bits::random_bits;
 use vran_phy::crc::CRC24A;
 use vran_phy::dci::{conv_encode, viterbi_decode_tb};
@@ -15,8 +15,9 @@ use vran_phy::scrambler::scramble_bits;
 fn bench_fft(c: &mut Criterion) {
     let mut g = c.benchmark_group("fft");
     for n in [512usize, 2048] {
-        let buf: Vec<Cplx> =
-            (0..n).map(|i| Cplx::new((i as f32 * 0.1).sin(), (i as f32 * 0.3).cos())).collect();
+        let buf: Vec<Cplx> = (0..n)
+            .map(|i| Cplx::new((i as f32 * 0.1).sin(), (i as f32 * 0.3).cos()))
+            .collect();
         g.throughput(Throughput::Elements(n as u64));
         g.bench_with_input(BenchmarkId::from_parameter(n), &buf, |b, buf| {
             b.iter(|| {
@@ -34,8 +35,12 @@ fn bench_ofdm_symbol(c: &mut Criterion) {
     let syms = Modulation::Qpsk.modulate(&random_bits(600, 1));
     let air = cfg.modulate(&syms);
     let mut g = c.benchmark_group("ofdm");
-    g.bench_function("modulate", |b| b.iter(|| cfg.modulate(std::hint::black_box(&syms))));
-    g.bench_function("demodulate", |b| b.iter(|| cfg.demodulate(std::hint::black_box(&air))));
+    g.bench_function("modulate", |b| {
+        b.iter(|| cfg.modulate(std::hint::black_box(&syms)))
+    });
+    g.bench_function("demodulate", |b| {
+        b.iter(|| cfg.demodulate(std::hint::black_box(&air)))
+    });
     g.finish();
 }
 
@@ -43,7 +48,9 @@ fn bench_crc(c: &mut Criterion) {
     let bits = random_bits(12_000, 2);
     let mut g = c.benchmark_group("crc24a");
     g.throughput(Throughput::Elements(12_000));
-    g.bench_function("attach_12k", |b| b.iter(|| CRC24A.attach(std::hint::black_box(&bits))));
+    g.bench_function("attach_12k", |b| {
+        b.iter(|| CRC24A.attach(std::hint::black_box(&bits)))
+    });
     g.finish();
 }
 
@@ -60,12 +67,18 @@ fn bench_scrambler(c: &mut Criterion) {
 fn bench_rate_match(c: &mut Criterion) {
     let k = 6144;
     let rm = RateMatcher::new(k + 4);
-    let d = [random_bits(k + 4, 1), random_bits(k + 4, 2), random_bits(k + 4, 3)];
+    let d = [
+        random_bits(k + 4, 1),
+        random_bits(k + 4, 2),
+        random_bits(k + 4, 3),
+    ];
     let tx = rm.rate_match(&d, 2 * k, 0);
     let llrs: Vec<i16> = tx.iter().map(|&b| if b == 0 { 50 } else { -50 }).collect();
     let mut g = c.benchmark_group("rate_match");
     g.throughput(Throughput::Elements(2 * k as u64));
-    g.bench_function("match_2k", |b| b.iter(|| rm.rate_match(std::hint::black_box(&d), 2 * k, 0)));
+    g.bench_function("match_2k", |b| {
+        b.iter(|| rm.rate_match(std::hint::black_box(&d), 2 * k, 0))
+    });
     g.bench_function("dematch_2k", |b| {
         b.iter(|| rm.de_rate_match(std::hint::black_box(&llrs), 0))
     });
@@ -100,7 +113,10 @@ fn bench_modulation(c: &mut Criterion) {
 fn bench_viterbi(c: &mut Criterion) {
     let bits = random_bits(44, 6);
     let coded = conv_encode(&bits);
-    let llrs: Vec<i16> = coded.iter().map(|&b| if b == 0 { 80 } else { -80 }).collect();
+    let llrs: Vec<i16> = coded
+        .iter()
+        .map(|&b| if b == 0 { 80 } else { -80 })
+        .collect();
     let mut g = c.benchmark_group("dci");
     g.sample_size(20);
     g.bench_function("viterbi_tb_44", |b| {

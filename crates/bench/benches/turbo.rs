@@ -2,7 +2,7 @@
 //! scalar fixed-point decoder (the pipeline's workhorse) and the
 //! encoder, plus one SIMD-decoder (VM) data point.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vran_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use vran_bench::turbo_workload;
 use vran_phy::bits::random_bits;
 use vran_phy::crc::CRC24B;
@@ -47,7 +47,11 @@ fn bench_decoder_early_stop(c: &mut Criterion) {
     let d = cw.to_dstreams();
     let soft: [Vec<i16>; 3] = d
         .iter()
-        .map(|s| s.iter().map(|&b| if b == 0 { 60i16 } else { -60 }).collect())
+        .map(|s| {
+            s.iter()
+                .map(|&b| if b == 0 { 60i16 } else { -60 })
+                .collect()
+        })
         .collect::<Vec<_>>()
         .try_into()
         .unwrap();

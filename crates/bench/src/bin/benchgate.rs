@@ -1,0 +1,258 @@
+//! `benchgate` — the perf-trajectory regression gate.
+//!
+//! Runs a pinned, deterministic suite — the arrangement kernels,
+//! original vs APCM, at all three register widths through the
+//! `vran-uarch` simulator, plus static pipeline invariants — and a
+//! wall-clock smoke run of the threaded packet pipeline. Writes
+//! `BENCH_current.json` and, with `--check`, compares the gated suites
+//! against `BENCH_baseline.json`, exiting non-zero on regression.
+//!
+//! ```text
+//! benchgate [--check] [--write-baseline]
+//!           [--baseline <path>] [--out <path>] [--quiet]
+//! ```
+
+use std::process::ExitCode;
+use vran_arrange::{ApcmVariant, ArrangeKernel, Mechanism};
+use vran_bench::gate::{compare, BenchReport, Suite};
+use vran_bench::interleaved_workload;
+use vran_net::metrics::{PipelineMetrics, RunnerMetrics, Stage, UarchMetrics};
+use vran_net::pipeline::PipelineConfig;
+use vran_net::runner::{run_throughput_metered, RING_CAPACITY};
+use vran_net::Transport;
+use vran_simd::RegWidth;
+use vran_uarch::{CoreConfig, CoreSim};
+
+/// Code-block size for the simulator suite (the paper's K = 6144).
+const SIM_K: usize = 6144;
+/// Workload seed — pinned so traces (and thus cycle counts) are stable.
+const SIM_SEED: u64 = 1;
+/// Packets pushed through the wall-clock smoke run.
+const SMOKE_PACKETS: usize = 16;
+/// Wire bytes per smoke packet.
+const SMOKE_WIRE_LEN: usize = 512;
+
+struct Args {
+    check: bool,
+    write_baseline: bool,
+    baseline: String,
+    out: String,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        check: false,
+        write_baseline: false,
+        baseline: "BENCH_baseline.json".into(),
+        out: "BENCH_current.json".into(),
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => args.check = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--baseline" => args.baseline = it.next().ok_or("--baseline needs a path")?,
+            "--out" => args.out = it.next().ok_or("--out needs a path")?,
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                return Err("usage: benchgate [--check] [--write-baseline] \
+                            [--baseline <path>] [--out <path>] [--quiet]"
+                    .into())
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Current commit, or "unknown" outside a git checkout.
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Gated: arrangement kernels original-vs-APCM at every width through
+/// the port-level simulator. Deterministic by construction.
+fn arrange_sim_suite() -> Suite {
+    let mut suite = Suite::new("arrange_sim", true);
+    let input = interleaved_workload(SIM_K, SIM_SEED);
+    let sim = CoreSim::new(CoreConfig::beefy().warmed());
+    for width in RegWidth::ALL {
+        let mut cycles_of = Vec::new();
+        for mech in [
+            Mechanism::Baseline,
+            Mechanism::Apcm(ApcmVariant::Shuffle),
+            Mechanism::Apcm(ApcmVariant::MaskRotate),
+        ] {
+            let kern = ArrangeKernel::new(width, mech);
+            let (_, trace) = kern.arrange(&input, true);
+            let report = sim.run(&trace.expect("trace requested"));
+            let m = UarchMetrics::new(true);
+            m.record_report(&report);
+            let prefix = format!("{}.{}", width.name(), mech.name());
+            suite.push(format!("{prefix}.cycles"), report.cycles as f64);
+            suite.push(format!("{prefix}.uops"), report.uops as f64);
+            suite.push(format!("{prefix}.upc"), m.upc());
+            for (p, pressure) in m.port_pressure().iter().enumerate() {
+                suite.push(format!("{prefix}.port{p}.pressure"), *pressure);
+            }
+            cycles_of.push((mech.name(), report.cycles));
+        }
+        let base = cycles_of[0].1 as f64;
+        for (name, cycles) in &cycles_of[1..] {
+            suite.push(
+                format!("{}.{}.speedup", width.name(), name),
+                base / *cycles as f64,
+            );
+        }
+    }
+    suite
+}
+
+/// Gated: host-independent outcomes of one pipeline run at a pinned
+/// seed — block structure and decoder effort must not drift.
+fn pipeline_static_suite(metrics: &PipelineMetrics) -> Suite {
+    let mut suite = Suite::new("pipeline_static", true);
+    suite.push("packets", metrics.packets.get() as f64);
+    suite.push("ok_packets", metrics.ok_packets.get() as f64);
+    suite.push("code_blocks", metrics.code_blocks.get() as f64);
+    suite.push(
+        "decoder_iterations",
+        metrics.decoder_iterations.get() as f64,
+    );
+    suite
+}
+
+/// Ungated: wall-clock smoke numbers from the threaded pipeline —
+/// recorded for trajectory plots, never gating CI.
+fn pipeline_wallclock_suite(
+    report: &vran_net::runner::ThroughputReport,
+    pm: &PipelineMetrics,
+    rm: &RunnerMetrics,
+) -> Suite {
+    let mut suite = Suite::new("pipeline_wallclock", false);
+    suite.push("mbps", report.mbps);
+    suite.push("elapsed_s", report.elapsed_s);
+    for s in Stage::ALL {
+        suite.push(format!("stage.{}.mean_ns", s.name()), pm.stage(s).mean());
+        suite.push(
+            format!("stage.{}.p90_ns", s.name()),
+            pm.stage(s).quantile_upper(0.9) as f64,
+        );
+    }
+    suite.push("ring.occupancy.mean", rm.ring_occupancy.mean());
+    suite.push("ring.push_stalls", rm.push_stalls.get() as f64);
+    suite.push("ring.pop_stalls", rm.pop_stalls.get() as f64);
+    suite
+}
+
+fn build_report() -> BenchReport {
+    let mut report = BenchReport::new(git_sha());
+    report.config = vec![
+        ("core".into(), "beefy+warmed".into()),
+        ("sim_k".into(), SIM_K.to_string()),
+        ("sim_seed".into(), SIM_SEED.to_string()),
+        ("smoke_packets".into(), SMOKE_PACKETS.to_string()),
+        ("smoke_wire_len".into(), SMOKE_WIRE_LEN.to_string()),
+    ];
+    report.suites.push(arrange_sim_suite());
+
+    let pm = std::sync::Arc::new(PipelineMetrics::new(true));
+    let rm = RunnerMetrics::new(true, RING_CAPACITY);
+    let cfg = PipelineConfig {
+        snr_db: 30.0,
+        ..Default::default()
+    };
+    let tp = run_throughput_metered(
+        cfg,
+        Transport::Udp,
+        SMOKE_WIRE_LEN,
+        SMOKE_PACKETS,
+        &rm,
+        Some(pm.clone()),
+    );
+    report.suites.push(pipeline_static_suite(&pm));
+    report.suites.push(pipeline_wallclock_suite(&tp, &pm, &rm));
+    report
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = build_report();
+    let json = report.to_json();
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("benchgate: cannot write {}: {e}", args.out);
+        return ExitCode::from(2);
+    }
+    if !args.quiet {
+        println!(
+            "benchgate: wrote {} ({} suites, commit {})",
+            args.out,
+            report.suites.len(),
+            report.git_sha
+        );
+    }
+
+    if args.write_baseline {
+        if let Err(e) = std::fs::write(&args.baseline, &json) {
+            eprintln!("benchgate: cannot write {}: {e}", args.baseline);
+            return ExitCode::from(2);
+        }
+        if !args.quiet {
+            println!("benchgate: baseline refreshed at {}", args.baseline);
+        }
+    }
+
+    if args.check {
+        let baseline_text = match std::fs::read_to_string(&args.baseline) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("benchgate: cannot read baseline {}: {e}", args.baseline);
+                return ExitCode::from(2);
+            }
+        };
+        let Some(baseline) = BenchReport::from_json(&baseline_text) else {
+            eprintln!(
+                "benchgate: {} is not a {} document",
+                args.baseline,
+                vran_bench::gate::SCHEMA
+            );
+            return ExitCode::from(2);
+        };
+        let regressions = compare(&baseline, &report);
+        if regressions.is_empty() {
+            if !args.quiet {
+                println!(
+                    "benchgate: PASS — gated suites match baseline {} within tolerance",
+                    baseline.git_sha
+                );
+            }
+        } else {
+            eprintln!(
+                "benchgate: FAIL — {} regression(s) vs baseline {}:",
+                regressions.len(),
+                baseline.git_sha
+            );
+            for r in &regressions {
+                eprintln!("  {}", r.describe());
+            }
+            return ExitCode::from(1);
+        }
+    }
+    ExitCode::SUCCESS
+}

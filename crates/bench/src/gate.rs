@@ -1,0 +1,402 @@
+//! The perf-trajectory regression gate.
+//!
+//! A [`BenchReport`] is the stable on-disk schema (`BENCH_current.json`
+//! / `BENCH_baseline.json`): suite name → metric name → value, plus
+//! the git SHA and the configuration the suite ran under. Suites are
+//! either **gated** — deterministic, simulator-backed, compared
+//! against the baseline with per-metric tolerance bands — or
+//! informational (wall-clock smoke numbers that vary with the host and
+//! are recorded but never gate CI).
+//!
+//! The comparison itself ([`compare`]) is pure data → data so the
+//! perturbation behavior is unit-testable without running a suite.
+
+use vran_util::Json;
+
+/// Schema identifier written into every report.
+pub const SCHEMA: &str = "vran-benchgate/1";
+
+/// One named metric set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Suite {
+    /// Suite name (`arrange_sim`, `pipeline_static`, …).
+    pub name: String,
+    /// Whether regressions in this suite fail the gate.
+    pub gated: bool,
+    /// Metric name → value, insertion-ordered.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl Suite {
+    /// New suite.
+    pub fn new(name: impl Into<String>, gated: bool) -> Self {
+        Self {
+            name: name.into(),
+            gated,
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Append one metric.
+    pub fn push(&mut self, metric: impl Into<String>, value: f64) {
+        self.metrics.push((metric.into(), value));
+    }
+
+    /// Look a metric up by name.
+    pub fn get(&self, metric: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(m, _)| m == metric)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// A full benchgate run: provenance plus suites.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Commit the numbers were produced at.
+    pub git_sha: String,
+    /// Free-form configuration description (`key: value` pairs).
+    pub config: Vec<(String, String)>,
+    /// The suites.
+    pub suites: Vec<Suite>,
+}
+
+impl BenchReport {
+    /// Empty report for the given commit.
+    pub fn new(git_sha: impl Into<String>) -> Self {
+        Self {
+            git_sha: git_sha.into(),
+            config: Vec::new(),
+            suites: Vec::new(),
+        }
+    }
+
+    /// Look a suite up by name.
+    pub fn suite(&self, name: &str) -> Option<&Suite> {
+        self.suites.iter().find(|s| s.name == name)
+    }
+
+    /// Serialize to the stable JSON schema.
+    pub fn to_json(&self) -> String {
+        Json::obj([
+            ("schema", Json::str(SCHEMA)),
+            ("git_sha", Json::str(&self.git_sha)),
+            (
+                "config",
+                Json::Obj(
+                    self.config
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::str(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "suites",
+                Json::Obj(
+                    self.suites
+                        .iter()
+                        .map(|s| {
+                            (
+                                s.name.clone(),
+                                Json::obj([
+                                    ("gated", Json::Bool(s.gated)),
+                                    (
+                                        "metrics",
+                                        Json::Obj(
+                                            s.metrics
+                                                .iter()
+                                                .map(|(m, v)| (m.clone(), Json::Num(*v)))
+                                                .collect(),
+                                        ),
+                                    ),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_string_pretty()
+    }
+
+    /// Parse a report; `None` on schema mismatch or malformed input.
+    pub fn from_json(text: &str) -> Option<BenchReport> {
+        let v = Json::parse(text).ok()?;
+        if v.get("schema")?.as_str()? != SCHEMA {
+            return None;
+        }
+        let config = v
+            .get("config")?
+            .as_obj()?
+            .iter()
+            .map(|(k, val)| Some((k.clone(), val.as_str()?.to_string())))
+            .collect::<Option<_>>()?;
+        let suites = v
+            .get("suites")?
+            .as_obj()?
+            .iter()
+            .map(|(name, s)| {
+                let metrics = s
+                    .get("metrics")?
+                    .as_obj()?
+                    .iter()
+                    .map(|(m, val)| Some((m.clone(), val.as_f64()?)))
+                    .collect::<Option<_>>()?;
+                Some(Suite {
+                    name: name.clone(),
+                    gated: matches!(s.get("gated")?, Json::Bool(true)),
+                    metrics,
+                })
+            })
+            .collect::<Option<_>>()?;
+        Some(BenchReport {
+            git_sha: v.get("git_sha")?.as_str()?.to_string(),
+            config,
+            suites,
+        })
+    }
+}
+
+/// Allowed deviation for one metric: `|cur − base| ≤ max(abs, rel·|base|)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Relative band (fraction of the baseline value).
+    pub rel: f64,
+    /// Absolute band floor.
+    pub abs: f64,
+}
+
+impl Tolerance {
+    /// The band for a metric, by naming convention:
+    ///
+    /// * `*.cycles`, `*.uops`, counts — simulator-exact integers; only
+    ///   float round-off is allowed.
+    /// * `*.upc`, `*.pressure`, ratios — derived from exact counts;
+    ///   a 0.1 % band absorbs division round-off.
+    /// * everything else — 2 %.
+    pub fn for_metric(metric: &str) -> Tolerance {
+        if metric.ends_with(".cycles")
+            || metric.ends_with(".uops")
+            || metric.ends_with(".instructions")
+            || metric.ends_with("_bits")
+            || metric.ends_with("_blocks")
+            || metric.ends_with("_iterations")
+        {
+            Tolerance { rel: 0.0, abs: 0.5 }
+        } else if metric.ends_with(".upc")
+            || metric.ends_with(".pressure")
+            || metric.ends_with(".speedup")
+        {
+            Tolerance {
+                rel: 1e-3,
+                abs: 1e-9,
+            }
+        } else {
+            Tolerance {
+                rel: 0.02,
+                abs: 1e-9,
+            }
+        }
+    }
+
+    /// Whether `current` sits inside the band around `baseline`.
+    pub fn accepts(&self, baseline: f64, current: f64) -> bool {
+        (current - baseline).abs() <= self.abs.max(self.rel * baseline.abs())
+    }
+}
+
+/// One gate violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Suite the metric belongs to.
+    pub suite: String,
+    /// Metric name.
+    pub metric: String,
+    /// Baseline value (`None` when the metric vanished).
+    pub baseline: Option<f64>,
+    /// Current value (`None` when the metric vanished).
+    pub current: Option<f64>,
+    /// The band that was applied.
+    pub tolerance: Tolerance,
+}
+
+impl Regression {
+    /// One-line description for gate output.
+    pub fn describe(&self) -> String {
+        match (self.baseline, self.current) {
+            (Some(b), Some(c)) => format!(
+                "{}/{}: {} -> {} (tolerance rel {:.1}% abs {})",
+                self.suite,
+                self.metric,
+                b,
+                c,
+                self.tolerance.rel * 100.0,
+                self.tolerance.abs
+            ),
+            (Some(b), None) => {
+                format!(
+                    "{}/{}: metric disappeared (baseline {})",
+                    self.suite, self.metric, b
+                )
+            }
+            (None, Some(_)) | (None, None) => {
+                format!(
+                    "{}/{}: gated suite missing from current run",
+                    self.suite, self.metric
+                )
+            }
+        }
+    }
+}
+
+/// Compare a current report against the baseline: every metric of
+/// every **gated** baseline suite must be present and inside its
+/// tolerance band. Metrics added since the baseline pass (they gate
+/// only after a baseline refresh); ungated suites never fail.
+pub fn compare(baseline: &BenchReport, current: &BenchReport) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for base_suite in baseline.suites.iter().filter(|s| s.gated) {
+        let Some(cur_suite) = current.suite(&base_suite.name) else {
+            out.push(Regression {
+                suite: base_suite.name.clone(),
+                metric: "*".into(),
+                baseline: None,
+                current: None,
+                tolerance: Tolerance { rel: 0.0, abs: 0.0 },
+            });
+            continue;
+        };
+        for (metric, base_v) in &base_suite.metrics {
+            let tolerance = Tolerance::for_metric(metric);
+            match cur_suite.get(metric) {
+                Some(cur_v) if tolerance.accepts(*base_v, cur_v) => {}
+                Some(cur_v) => out.push(Regression {
+                    suite: base_suite.name.clone(),
+                    metric: metric.clone(),
+                    baseline: Some(*base_v),
+                    current: Some(cur_v),
+                    tolerance,
+                }),
+                None => out.push(Regression {
+                    suite: base_suite.name.clone(),
+                    metric: metric.clone(),
+                    baseline: Some(*base_v),
+                    current: None,
+                    tolerance,
+                }),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> BenchReport {
+        let mut r = BenchReport::new("abc123");
+        r.config.push(("core".into(), "beefy".into()));
+        let mut s = Suite::new("arrange_sim", true);
+        s.push("SSE128.original.cycles", 2310.0);
+        s.push("SSE128.original.upc", 1.25);
+        r.suites.push(s);
+        let mut w = Suite::new("pipeline_wallclock", false);
+        w.push("mbps", 42.0);
+        r.suites.push(w);
+        r
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = report();
+        let s = r.to_json();
+        assert_eq!(BenchReport::from_json(&s).unwrap(), r);
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let s = report().to_json().replace(SCHEMA, "other/9");
+        assert!(BenchReport::from_json(&s).is_none());
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        assert!(compare(&report(), &report()).is_empty());
+    }
+
+    #[test]
+    fn perturbed_gated_metric_fails() {
+        let mut cur = report();
+        cur.suites[0].metrics[0].1 += 10.0; // cycles are exact
+        let regs = compare(&report(), &cur);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "SSE128.original.cycles");
+        assert!(regs[0].describe().contains("2310"));
+    }
+
+    #[test]
+    fn perturbation_within_band_passes() {
+        let mut cur = report();
+        cur.suites[0].metrics[1].1 *= 1.0005; // upc has a 0.1 % band
+        assert!(compare(&report(), &cur).is_empty());
+        cur.suites[0].metrics[1].1 *= 1.01; // …but 1 % is out
+        assert_eq!(compare(&report(), &cur).len(), 1);
+    }
+
+    #[test]
+    fn ungated_suite_never_fails() {
+        let mut cur = report();
+        cur.suites[1].metrics[0].1 *= 50.0;
+        assert!(compare(&report(), &cur).is_empty());
+    }
+
+    #[test]
+    fn missing_metric_and_suite_fail() {
+        let mut cur = report();
+        cur.suites[0].metrics.pop();
+        let regs = compare(&report(), &cur);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].current, None);
+
+        let mut cur = report();
+        cur.suites.remove(0);
+        let regs = compare(&report(), &cur);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "*");
+    }
+
+    #[test]
+    fn new_metrics_do_not_gate() {
+        let mut cur = report();
+        cur.suites[0].push("AVX512.apcm.cycles", 135.0);
+        assert!(compare(&report(), &cur).is_empty());
+    }
+
+    #[test]
+    fn tolerance_classes_by_name() {
+        assert_eq!(
+            Tolerance::for_metric("x.cycles"),
+            Tolerance { rel: 0.0, abs: 0.5 }
+        );
+        assert_eq!(
+            Tolerance::for_metric("x.upc"),
+            Tolerance {
+                rel: 1e-3,
+                abs: 1e-9
+            }
+        );
+        assert_eq!(
+            Tolerance::for_metric("tb_bits"),
+            Tolerance { rel: 0.0, abs: 0.5 }
+        );
+        assert_eq!(
+            Tolerance::for_metric("something"),
+            Tolerance {
+                rel: 0.02,
+                abs: 1e-9
+            }
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! A compact wall-clock benchmark harness.
+//!
+//! Implements the subset of the `criterion` crate's API the workspace's
+//! `benches/` targets use — `Criterion`, `benchmark_group`,
+//! `bench_function` / `bench_with_input`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros — so the hermetic
+//! build needs no external crates. Measurement is deliberately simple:
+//! after a warm-up window, each sample runs a calibrated number of
+//! iterations and the per-iteration median across samples is reported.
+//! No statistical analysis, plots, or baselines; the regression gate
+//! (`benchgate`) pins the *simulator-backed* metrics instead, which are
+//! deterministic.
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Time spent exercising the routine before measurement starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// A group of benchmarks sharing throughput and sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set per-iteration work for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let median = run_benchmark(self, |b| f(b));
+        self.report(&id, median);
+        self
+    }
+
+    /// Benchmark a closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let median = run_benchmark(self, |b| f(b, input));
+        self.report(&id, median);
+        self
+    }
+
+    /// Print the group trailer. (No-op beyond symmetry with criterion.)
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, per_iter: Duration) {
+        let ns = per_iter.as_secs_f64() * 1e9;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!(
+                    "  thrpt: {:>10.3} Melem/s",
+                    n as f64 / per_iter.as_secs_f64() / 1e6
+                )
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  thrpt: {:>10.3} MiB/s",
+                    n as f64 / per_iter.as_secs_f64() / (1024.0 * 1024.0)
+                )
+            }
+            None => String::new(),
+        };
+        println!(
+            "{:<44} time: {:>12.1} ns/iter{}",
+            format!("{}/{}", self.name, id.id),
+            ns,
+            rate
+        );
+    }
+}
+
+/// Passed to benchmark closures; times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` back-to-back calls of `f`.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Warm up, calibrate iterations per sample, then take samples and
+/// return the median per-iteration time.
+fn run_benchmark(g: &BenchmarkGroup<'_>, mut f: impl FnMut(&mut Bencher)) -> Duration {
+    // Warm-up: repeat single iterations until the window closes, and
+    // use the fastest observed run as the calibration estimate.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let mut best = Duration::MAX;
+    let warm_start = Instant::now();
+    loop {
+        f(&mut b);
+        best = best.min(b.elapsed.max(Duration::from_nanos(1)));
+        if warm_start.elapsed() >= g.warm_up {
+            break;
+        }
+    }
+
+    let per_sample = g.measurement.as_secs_f64() / g.sample_size as f64;
+    let iters = ((per_sample / best.as_secs_f64()).floor() as u64).clamp(1, 1 << 24);
+
+    let mut samples: Vec<Duration> = (0..g.sample_size)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed / iters as u32
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Bundle benchmark functions under a runner (`name = …; config = …;
+/// targets = …` form, matching criterion's).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::harness::Criterion = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::harness::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("kern", 128).id, "kern/128");
+        assert_eq!(BenchmarkId::from_parameter("avx2").id, "avx2");
+    }
+
+    #[test]
+    fn bencher_times_and_runs_requested_iters() {
+        let mut count = 0u64;
+        let mut b = Bencher {
+            iters: 37,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 37);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(3);
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Elements(4));
+        let mut calls = 0u64;
+        g.bench_function("noop", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert!(calls > 0);
+    }
+}

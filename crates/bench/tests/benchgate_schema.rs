@@ -1,0 +1,56 @@
+//! The checked-in `BENCH_baseline.json` must stay parseable and keep
+//! the metrics CI gates on — a stale or hand-mangled baseline should
+//! fail here, not mysteriously inside `benchgate --check`.
+
+use vran_bench::gate::{compare, BenchReport};
+
+fn baseline() -> BenchReport {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_baseline.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_baseline.json is checked in");
+    BenchReport::from_json(&text).expect("baseline parses under the current schema")
+}
+
+#[test]
+fn baseline_has_simulator_metrics_at_all_widths() {
+    let b = baseline();
+    let arrange = b.suite("arrange_sim").expect("arrange_sim suite");
+    assert!(arrange.gated);
+    for width in ["SSE128", "AVX256", "AVX512"] {
+        for mech in ["original", "apcm"] {
+            for metric in ["cycles", "uops", "upc"] {
+                let name = format!("{width}.{mech}.{metric}");
+                assert!(arrange.get(&name).is_some(), "baseline lost {name}");
+            }
+        }
+        let speedup = arrange
+            .get(&format!("{width}.apcm.speedup"))
+            .expect("speedup metric");
+        assert!(
+            speedup > 1.0,
+            "{width}: APCM must beat the original ({speedup})"
+        );
+    }
+}
+
+#[test]
+fn baseline_has_pipeline_suites() {
+    let b = baseline();
+    let stat = b.suite("pipeline_static").expect("pipeline_static suite");
+    assert!(stat.gated);
+    assert!(stat.get("ok_packets").unwrap_or(0.0) > 0.0);
+    let wall = b
+        .suite("pipeline_wallclock")
+        .expect("pipeline_wallclock suite");
+    assert!(!wall.gated, "wall-clock numbers must never gate CI");
+    assert!(wall.get("stage.arrange.mean_ns").is_some());
+}
+
+#[test]
+fn baseline_is_self_consistent() {
+    let b = baseline();
+    assert!(
+        compare(&b, &b).is_empty(),
+        "a report must pass against itself"
+    );
+    assert_ne!(b.git_sha, "");
+}

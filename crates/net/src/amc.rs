@@ -8,11 +8,10 @@
 //! measurements (the `ber` experiment): each entry's threshold leaves
 //! ≥1 dB margin over the SNR where that configuration decodes cleanly.
 
-use serde::{Deserialize, Serialize};
 use vran_phy::modulation::Modulation;
 
 /// One link-adaptation operating point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct McsEntry {
     /// Modulation order.
     pub modulation: Modulation,
@@ -32,18 +31,46 @@ impl McsEntry {
 
 /// The MCS table, lowest rate first.
 pub const MCS_TABLE: [McsEntry; 6] = [
-    McsEntry { modulation: Modulation::Qpsk, rate_x1024: 3072, min_snr_db: -1.0 }, // r=1/3
-    McsEntry { modulation: Modulation::Qpsk, rate_x1024: 2048, min_snr_db: 2.5 },  // r=1/2
-    McsEntry { modulation: Modulation::Qam16, rate_x1024: 3072, min_snr_db: 6.0 }, // r=1/3
-    McsEntry { modulation: Modulation::Qam16, rate_x1024: 2048, min_snr_db: 9.5 }, // r=1/2
-    McsEntry { modulation: Modulation::Qam64, rate_x1024: 2560, min_snr_db: 13.5 }, // r=2/5
-    McsEntry { modulation: Modulation::Qam64, rate_x1024: 2048, min_snr_db: 17.0 }, // r=1/2
+    McsEntry {
+        modulation: Modulation::Qpsk,
+        rate_x1024: 3072,
+        min_snr_db: -1.0,
+    }, // r=1/3
+    McsEntry {
+        modulation: Modulation::Qpsk,
+        rate_x1024: 2048,
+        min_snr_db: 2.5,
+    }, // r=1/2
+    McsEntry {
+        modulation: Modulation::Qam16,
+        rate_x1024: 3072,
+        min_snr_db: 6.0,
+    }, // r=1/3
+    McsEntry {
+        modulation: Modulation::Qam16,
+        rate_x1024: 2048,
+        min_snr_db: 9.5,
+    }, // r=1/2
+    McsEntry {
+        modulation: Modulation::Qam64,
+        rate_x1024: 2560,
+        min_snr_db: 13.5,
+    }, // r=2/5
+    McsEntry {
+        modulation: Modulation::Qam64,
+        rate_x1024: 2048,
+        min_snr_db: 17.0,
+    }, // r=1/2
 ];
 
 /// Select the highest-throughput operating point for a reported SNR;
 /// `None` when even the most robust point lacks margin.
 pub fn select_mcs(snr_db: f32) -> Option<McsEntry> {
-    MCS_TABLE.iter().rev().find(|e| snr_db >= e.min_snr_db).copied()
+    MCS_TABLE
+        .iter()
+        .rev()
+        .find(|e| snr_db >= e.min_snr_db)
+        .copied()
 }
 
 /// Outer-loop link adaptation: nudge an SNR offset by decode outcomes
@@ -58,7 +85,11 @@ pub struct OuterLoop {
 impl Default for OuterLoop {
     fn default() -> Self {
         // 10 % BLER target: down-step = 9 × up-step
-        Self { offset_db: 0.0, step_up: 0.1, step_down: 0.9 }
+        Self {
+            offset_db: 0.0,
+            step_up: 0.1,
+            step_down: 0.9,
+        }
     }
 }
 

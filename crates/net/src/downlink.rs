@@ -9,16 +9,15 @@
 //! whole subframe exactly as it would on air.
 
 use crate::packet::Packet;
-use serde::{Deserialize, Serialize};
 use vran_arrange::{ArrangeKernel, Mechanism};
 use vran_phy::bits::{pack_msb, unpack_msb};
+use vran_phy::channel::AwgnChannel;
 use vran_phy::crc::{CRC24A, CRC24B};
 use vran_phy::dci::{conv_encode_streams, llrs_from_streams, viterbi_decode_tb, Dci};
-use vran_phy::rate_match::conv::ConvRateMatcher;
 use vran_phy::equalizer::{Equalizer, FadingChannel};
 use vran_phy::llr::TurboLlrs;
 use vran_phy::modulation::{Cplx, Modulation};
-use vran_phy::channel::AwgnChannel;
+use vran_phy::rate_match::conv::ConvRateMatcher;
 use vran_phy::rate_match::RateMatcher;
 use vran_phy::scrambler::{descramble_llrs, scramble_bits};
 use vran_phy::segmentation::Segmentation;
@@ -26,7 +25,7 @@ use vran_phy::turbo::{TurboDecoder, TurboEncoder};
 use vran_simd::RegWidth;
 
 /// Downlink configuration.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct DownlinkConfig {
     /// Arrangement width.
     pub width: RegWidth,
@@ -63,7 +62,7 @@ impl Default for DownlinkConfig {
 }
 
 /// Outcome of one downlink subframe.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DownlinkResult {
     /// PDCCH decoded to the transmitted grant.
     pub dci_ok: bool,
@@ -105,7 +104,10 @@ const GRID: usize = 300;
 impl DownlinkPipeline {
     /// New pipeline.
     pub fn new(cfg: DownlinkConfig) -> Self {
-        Self { cfg, eq: Equalizer::lte() }
+        Self {
+            cfg,
+            eq: Equalizer::lte(),
+        }
     }
 
     /// Transmit symbols over the configured channel and return
@@ -188,7 +190,12 @@ impl DownlinkPipeline {
         let rx_grant = Dci::from_bits(&rx_bits);
         let dci_ok = rx_grant == grant;
         if !dci_ok {
-            return DownlinkResult { dci_ok, data_ok: false, code_blocks: blocks.len(), coded_bits: padded };
+            return DownlinkResult {
+                dci_ok,
+                data_ok: false,
+                code_blocks: blocks.len(),
+                coded_bits: padded,
+            };
         }
 
         // ---- UE: PDSCH with parameters FROM THE GRANT ----
@@ -216,7 +223,11 @@ impl DownlinkPipeline {
             let kern = ArrangeKernel::new(cfg.width, cfg.mechanism);
             let (streams, _) = kern.arrange(&turbo_in.to_interleaved(), false);
             let streams = kern.depermute(&streams);
-            let input = TurboLlrs { k, streams, tails: turbo_in.tails };
+            let input = TurboLlrs {
+                k,
+                streams,
+                tails: turbo_in.tails,
+            };
             let dec = TurboDecoder::new(k, cfg.decoder_iterations);
             let out = if blocks.len() > 1 {
                 let o = dec.decode_with_crc(&input, &CRC24B);
@@ -234,10 +245,19 @@ impl DownlinkPipeline {
             && decoded.len() == blocks.len()
             && seg
                 .desegment(&decoded)
-                .and_then(|tb_bits| CRC24A.check(&tb_bits).map(|p| pack_msb(p) == packet.frame.to_vec()))
+                .and_then(|tb_bits| {
+                    CRC24A
+                        .check(&tb_bits)
+                        .map(|p| pack_msb(p) == packet.frame.to_vec())
+                })
                 .unwrap_or(false);
 
-        DownlinkResult { dci_ok, data_ok, code_blocks: blocks.len(), coded_bits: padded }
+        DownlinkResult {
+            dci_ok,
+            data_ok,
+            code_blocks: blocks.len(),
+            coded_bits: padded,
+        }
     }
 }
 
@@ -248,12 +268,17 @@ mod tests {
     use vran_arrange::ApcmVariant;
 
     fn packet(size: usize) -> Packet {
-        PacketBuilder::new(80, 443).build(Transport::Udp, size).unwrap()
+        PacketBuilder::new(80, 443)
+            .build(Transport::Udp, size)
+            .unwrap()
     }
 
     #[test]
     fn awgn_downlink_closes_the_loop() {
-        let cfg = DownlinkConfig { snr_db: 25.0, ..Default::default() };
+        let cfg = DownlinkConfig {
+            snr_db: 25.0,
+            ..Default::default()
+        };
         let r = DownlinkPipeline::new(cfg).process(&packet(256));
         assert!(r.dci_ok, "{r:?}");
         assert!(r.data_ok, "{r:?}");
@@ -288,7 +313,11 @@ mod tests {
 
     #[test]
     fn destroyed_control_channel_fails_the_subframe() {
-        let cfg = DownlinkConfig { snr_db: -12.0, decoder_iterations: 2, ..Default::default() };
+        let cfg = DownlinkConfig {
+            snr_db: -12.0,
+            decoder_iterations: 2,
+            ..Default::default()
+        };
         let r = DownlinkPipeline::new(cfg).process(&packet(128));
         assert!(!r.data_ok, "data must not pass without a grant: {r:?}");
     }
@@ -297,7 +326,11 @@ mod tests {
     fn mechanism_transparent_on_downlink_too() {
         let mut outcomes = Vec::new();
         for mech in [Mechanism::Baseline, Mechanism::Apcm(ApcmVariant::Shuffle)] {
-            let cfg = DownlinkConfig { mechanism: mech, snr_db: 14.0, ..Default::default() };
+            let cfg = DownlinkConfig {
+                mechanism: mech,
+                snr_db: 14.0,
+                ..Default::default()
+            };
             let r = DownlinkPipeline::new(cfg).process(&packet(700));
             outcomes.push((r.dci_ok, r.data_ok, r.code_blocks));
         }

@@ -26,7 +26,11 @@ pub struct HarqTransmitter {
 impl HarqTransmitter {
     /// Wrap an encoded code block.
     pub fn new(cw: &TurboCodeword) -> Self {
-        Self { d: cw.to_dstreams(), rm: RateMatcher::new(cw.k + 4), attempt: 0 }
+        Self {
+            d: cw.to_dstreams(),
+            rm: RateMatcher::new(cw.k + 4),
+            attempt: 0,
+        }
     }
 
     /// Number of transmissions made so far.
@@ -98,7 +102,11 @@ impl HarqReceiver {
 
     /// Accumulated LLR magnitude (diagnostic: grows with combining).
     pub fn accumulated_energy(&self) -> u64 {
-        self.acc.iter().flat_map(|s| s.iter()).map(|&l| l.unsigned_abs() as u64).sum()
+        self.acc
+            .iter()
+            .flat_map(|s| s.iter())
+            .map(|&l| l.unsigned_abs() as u64)
+            .sum()
     }
 }
 
@@ -115,7 +123,7 @@ mod tests {
             .enumerate()
             .map(|(i, &b)| {
                 let v = if b == 0 { mag } else { -mag };
-                if (i + phase) % flip_every == 0 {
+                if (i + phase).is_multiple_of(flip_every) {
                     -v
                 } else {
                     v
@@ -165,7 +173,10 @@ mod tests {
         }
         let (got, attempts) = success.expect("HARQ must eventually decode");
         assert_eq!(got, bits);
-        assert!(attempts > 1, "first attempt should have failed (rate ~0.9, 17% flips)");
+        assert!(
+            attempts > 1,
+            "first attempt should have failed (rate ~0.9, 17% flips)"
+        );
     }
 
     #[test]

@@ -14,8 +14,6 @@
 //! sequence numbers, so corruption that somehow survived the PHY CRCs
 //! is still caught.
 
-use bytes::{BufMut, BytesMut};
-
 /// PDCP + RLC + MAC header overhead in bytes.
 pub const L2_OVERHEAD: usize = 2 + 2 + 3;
 
@@ -54,20 +52,20 @@ impl BearerTx {
         if tb_bytes < need || sdu.len() > 0xFFFF {
             return None;
         }
-        let mut out = BytesMut::with_capacity(tb_bytes);
+        let mut out: Vec<u8> = Vec::with_capacity(tb_bytes);
         // MAC subheader: LCID=3 (DTCH), F2=0, 16-bit length
-        out.put_u8(0x03);
-        out.put_u16((sdu.len() + 4) as u16); // RLC+PDCP PDU length
-        // RLC AM: D/C=1, P=0, FI=00, SN(10)
-        out.put_u16(0x8000 | (self.rlc_sn & 0x3FF));
+        out.push(0x03);
+        out.extend_from_slice(&((sdu.len() + 4) as u16).to_be_bytes()); // RLC+PDCP PDU length
+                                                                        // RLC AM: D/C=1, P=0, FI=00, SN(10)
+        out.extend_from_slice(&(0x8000 | (self.rlc_sn & 0x3FF)).to_be_bytes());
         self.rlc_sn = (self.rlc_sn + 1) & 0x3FF;
         // PDCP data PDU: D/C=1, SN(12)
-        out.put_u16(0x8000 | (self.pdcp_sn & 0xFFF));
+        out.extend_from_slice(&(0x8000 | (self.pdcp_sn & 0xFFF)).to_be_bytes());
         self.pdcp_sn = (self.pdcp_sn + 1) & 0xFFF;
-        out.put_slice(sdu);
+        out.extend_from_slice(sdu);
         // MAC padding
         out.resize(tb_bytes, 0);
-        Some(out.to_vec())
+        Some(out)
     }
 }
 
@@ -155,17 +153,24 @@ mod tests {
         let mut tx = BearerTx::default();
         let sdu = vec![9u8; 30];
         let pdu = tx.encapsulate(&sdu, 64).unwrap();
-        // header corruptions
-        for (i, err) in [(0usize, L2Error::BadHeader)] {
-            let mut bad = pdu.clone();
-            bad[i] ^= 0xFF;
-            assert_eq!(BearerRx::default().decapsulate(&bad), Err(err));
-        }
+        // header corruption
+        let mut bad = pdu.clone();
+        bad[0] ^= 0xFF;
+        assert_eq!(
+            BearerRx::default().decapsulate(&bad),
+            Err(L2Error::BadHeader)
+        );
         // padding corruption
         let mut bad = pdu.clone();
         *bad.last_mut().unwrap() = 1;
-        assert_eq!(BearerRx::default().decapsulate(&bad), Err(L2Error::BadLength));
+        assert_eq!(
+            BearerRx::default().decapsulate(&bad),
+            Err(L2Error::BadLength)
+        );
         // truncation
-        assert_eq!(BearerRx::default().decapsulate(&pdu[..4]), Err(L2Error::Truncated));
+        assert_eq!(
+            BearerRx::default().decapsulate(&pdu[..4]),
+            Err(L2Error::Truncated)
+        );
     }
 }

@@ -21,7 +21,6 @@
 
 use crate::packet::Transport;
 use crate::pipeline::{synthetic_interleaved, UplinkPipeline};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use vran_arrange::{ArrangeKernel, Mechanism};
 use vran_phy::bits::random_bits;
@@ -48,7 +47,7 @@ const K_REF: usize = 1024;
 const K_REF_DEC: usize = 512;
 
 /// Per-packet time decomposition in microseconds.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PacketTime {
     /// The data arrangement process (all SISO passes).
     pub arrangement_us: f64,
@@ -231,18 +230,26 @@ mod tests {
         let mut m = model();
         let b128 = m.arrangement_cycles(RegWidth::Sse128, Mechanism::Baseline, 6144);
         let b512 = m.arrangement_cycles(RegWidth::Avx512, Mechanism::Baseline, 6144);
-        assert!(b512 >= b128 * 0.98, "original must not improve with width: {b128} → {b512}");
+        assert!(
+            b512 >= b128 * 0.98,
+            "original must not improve with width: {b128} → {b512}"
+        );
         let apcm = Mechanism::Apcm(vran_arrange::ApcmVariant::Shuffle);
         let a128 = m.arrangement_cycles(RegWidth::Sse128, apcm, 6144);
         let a512 = m.arrangement_cycles(RegWidth::Avx512, apcm, 6144);
-        assert!(a512 < a128 * 0.5, "APCM must scale with width: {a128} → {a512}");
+        assert!(
+            a512 < a128 * 0.5,
+            "APCM must scale with width: {a128} → {a512}"
+        );
     }
 
     #[test]
     fn packet_time_monotone_in_size() {
         let mut m = model();
-        let mut t =
-            |s| m.packet_time(RegWidth::Sse128, Mechanism::Baseline, Transport::Udp, s).total_us();
+        let mut t = |s| {
+            m.packet_time(RegWidth::Sse128, Mechanism::Baseline, Transport::Udp, s)
+                .total_us()
+        };
         assert!(t(256) < t(512));
         assert!(t(512) < t(1024));
         assert!(t(1024) < t(1500));
@@ -266,7 +273,9 @@ mod tests {
             (RegWidth::Sse128, 0.05, 0.35),
             (RegWidth::Avx512, 0.08, 0.40),
         ] {
-            let base = m.packet_time(w, Mechanism::Baseline, Transport::Udp, 1500).total_us();
+            let base = m
+                .packet_time(w, Mechanism::Baseline, Transport::Udp, 1500)
+                .total_us();
             let opt = m.packet_time(w, apcm, Transport::Udp, 1500).total_us();
             let red = 1.0 - opt / base;
             assert!(

@@ -39,6 +39,7 @@ pub mod downlink;
 pub mod harq;
 pub mod l2;
 pub mod latency;
+pub mod metrics;
 pub mod packet;
 pub mod pipeline;
 pub mod ring;

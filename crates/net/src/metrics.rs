@@ -1,0 +1,669 @@
+//! Performance-trajectory metrics: monotonic counters and fixed-bucket
+//! latency histograms.
+//!
+//! Everything here is lock-free (relaxed atomics) so the threaded
+//! runner can record from every stage thread, and **near-zero overhead
+//! when disabled**: each registry carries an `enabled` flag checked
+//! before any atomic touch, and the pipeline skips even the
+//! `Instant::now()` calls when no registry is attached.
+//!
+//! Three registries mirror the three instrumented layers:
+//!
+//! * [`PipelineMetrics`] — per-stage latency histograms for the PHY
+//!   chain ([`Stage`]: CRC → segment → encode → rate-match → modulate
+//!   → OFDM → arrange → decode) plus packet counters, recorded by
+//!   [`crate::pipeline::UplinkPipeline`].
+//! * [`RunnerMetrics`] — ring occupancy and producer/consumer stall
+//!   spins from [`crate::runner`]'s threaded drivers.
+//! * [`UarchMetrics`] — cycle, µop and per-port pressure counters
+//!   accumulated from `vran-uarch` [`SimReport`]s, so simulator runs
+//!   land in the same snapshot namespace as wall-clock metrics.
+//!
+//! Every registry exports a flat `name → value` snapshot (and a
+//! [`Json`] document) — the stable schema `benchgate` compares across
+//! commits.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use vran_uarch::{Port, SimReport};
+use vran_util::Json;
+
+/// A monotonic event counter (wrapping on overflow, like hardware
+/// PMU counters).
+#[derive(Debug, Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// Zeroed counter.
+    pub const fn new() -> Self {
+        Self {
+            v: AtomicU64::new(0),
+        }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n` (wraps at `u64::MAX`).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram over fixed, strictly-increasing bucket upper bounds
+/// (inclusive), with an implicit overflow bucket; also tracks count
+/// and sum so means survive bucket quantization.
+#[derive(Debug)]
+pub struct Histogram {
+    edges: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: Counter,
+    sum: Counter,
+}
+
+impl Histogram {
+    /// Histogram over the given inclusive upper bounds. Panics if the
+    /// edges are empty or not strictly increasing.
+    pub fn new(edges: Vec<u64>) -> Self {
+        assert!(!edges.is_empty(), "histogram needs at least one edge");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must strictly increase"
+        );
+        let buckets = (0..=edges.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            edges,
+            buckets,
+            count: Counter::new(),
+            sum: Counter::new(),
+        }
+    }
+
+    /// Canonical latency grid: powers of two from 256 ns to ~8.4 ms.
+    /// Stage timings for one packet land well inside this range.
+    pub fn latency_ns() -> Self {
+        Self::new((8..24).map(|p| 1u64 << p).collect())
+    }
+
+    /// Occupancy grid for a ring of `capacity` slots: one bucket per
+    /// power of two up to the capacity.
+    pub fn occupancy(capacity: usize) -> Self {
+        let mut edges = vec![0u64];
+        let mut e = 1u64;
+        while e < capacity as u64 {
+            edges.push(e);
+            e *= 2;
+        }
+        edges.push(capacity as u64);
+        Self::new(edges)
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let i = self.edges.partition_point(|&e| e < v);
+        self.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.count.inc();
+        self.sum.add(v);
+    }
+
+    /// Bucket upper bounds (the overflow bucket has no bound).
+    pub fn edges(&self) -> &[u64] {
+        &self.edges
+    }
+
+    /// Per-bucket observation counts (`edges().len() + 1` entries; the
+    /// last is the overflow bucket).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.get()
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.get()
+    }
+
+    /// Mean observed value (0 if empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Upper edge of the bucket containing the `q`-quantile
+    /// (`0.0..=1.0`); `u64::MAX` when it lands in the overflow bucket,
+    /// 0 when empty.
+    pub fn quantile_upper(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return self.edges.get(i).copied().unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// The eight instrumented PHY stages, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Stage {
+    /// CRC24A attach (tx) and check (rx).
+    Crc,
+    /// Transport-block segmentation and desegmentation.
+    Segment,
+    /// Turbo encoding.
+    Encode,
+    /// Rate matching (tx) and de-rate-matching (rx).
+    RateMatch,
+    /// Scrambling + symbol mapping (tx), soft demap + descramble (rx).
+    Modulate,
+    /// OFDM modulation/demodulation and the channel model.
+    Ofdm,
+    /// The data-arrangement process (the paper's subject).
+    Arrange,
+    /// Turbo decoding.
+    Decode,
+}
+
+impl Stage {
+    /// Number of stages.
+    pub const COUNT: usize = 8;
+    /// All stages in pipeline order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::Crc,
+        Stage::Segment,
+        Stage::Encode,
+        Stage::RateMatch,
+        Stage::Modulate,
+        Stage::Ofdm,
+        Stage::Arrange,
+        Stage::Decode,
+    ];
+
+    /// Snake-case name used in snapshot keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Crc => "crc",
+            Stage::Segment => "segment",
+            Stage::Encode => "encode",
+            Stage::RateMatch => "rate_match",
+            Stage::Modulate => "modulate",
+            Stage::Ofdm => "ofdm",
+            Stage::Arrange => "arrange",
+            Stage::Decode => "decode",
+        }
+    }
+}
+
+/// Per-stage latency histograms and packet counters for the uplink
+/// pipeline.
+#[derive(Debug)]
+pub struct PipelineMetrics {
+    enabled: bool,
+    stages: [Histogram; Stage::COUNT],
+    /// Packets processed.
+    pub packets: Counter,
+    /// Packets that round-tripped bit-exactly.
+    pub ok_packets: Counter,
+    /// Turbo-decoder iterations, summed over code blocks.
+    pub decoder_iterations: Counter,
+    /// Code blocks processed.
+    pub code_blocks: Counter,
+}
+
+impl Default for PipelineMetrics {
+    fn default() -> Self {
+        Self::new(true)
+    }
+}
+
+impl PipelineMetrics {
+    /// New registry; `enabled = false` makes every record a no-op.
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            enabled,
+            stages: std::array::from_fn(|_| Histogram::latency_ns()),
+            packets: Counter::new(),
+            ok_packets: Counter::new(),
+            decoder_iterations: Counter::new(),
+            code_blocks: Counter::new(),
+        }
+    }
+
+    /// Whether recording is live.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one stage latency (no-op when disabled).
+    #[inline]
+    pub fn record_stage(&self, stage: Stage, nanos: u64) {
+        if self.enabled {
+            self.stages[stage as usize].record(nanos);
+        }
+    }
+
+    /// Record packet-level outcome (no-op when disabled).
+    pub fn record_packet(&self, ok: bool, code_blocks: usize, decoder_iterations: usize) {
+        if !self.enabled {
+            return;
+        }
+        self.packets.inc();
+        if ok {
+            self.ok_packets.inc();
+        }
+        self.code_blocks.add(code_blocks as u64);
+        self.decoder_iterations.add(decoder_iterations as u64);
+    }
+
+    /// The histogram behind one stage.
+    pub fn stage(&self, stage: Stage) -> &Histogram {
+        &self.stages[stage as usize]
+    }
+
+    /// Flat snapshot: stage means/p90s plus counters.
+    pub fn snapshot(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        for s in Stage::ALL {
+            let h = self.stage(s);
+            out.push((format!("stage.{}.mean_ns", s.name()), h.mean()));
+            out.push((format!("stage.{}.count", s.name()), h.count() as f64));
+        }
+        out.push(("packets".into(), self.packets.get() as f64));
+        out.push(("ok_packets".into(), self.ok_packets.get() as f64));
+        out.push(("code_blocks".into(), self.code_blocks.get() as f64));
+        out.push((
+            "decoder_iterations".into(),
+            self.decoder_iterations.get() as f64,
+        ));
+        out
+    }
+
+    /// Snapshot as a JSON object.
+    pub fn to_json(&self) -> Json {
+        snapshot_json(self.snapshot())
+    }
+}
+
+/// Ring-occupancy and stall metrics for the threaded runner.
+#[derive(Debug)]
+pub struct RunnerMetrics {
+    enabled: bool,
+    /// Uplink-ring occupancy sampled at each worker pop.
+    pub ring_occupancy: Histogram,
+    /// Producer spins on a full ring.
+    pub push_stalls: Counter,
+    /// Consumer spins on an empty ring.
+    pub pop_stalls: Counter,
+    /// Packets completing the pipeline.
+    pub packets: Counter,
+    /// Wire bytes completing the pipeline.
+    pub wire_bytes: Counter,
+}
+
+impl Default for RunnerMetrics {
+    fn default() -> Self {
+        Self::new(true, 256)
+    }
+}
+
+impl RunnerMetrics {
+    /// New registry for rings of `ring_capacity` slots.
+    pub fn new(enabled: bool, ring_capacity: usize) -> Self {
+        Self {
+            enabled,
+            ring_occupancy: Histogram::occupancy(ring_capacity),
+            push_stalls: Counter::new(),
+            pop_stalls: Counter::new(),
+            packets: Counter::new(),
+            wire_bytes: Counter::new(),
+        }
+    }
+
+    /// Whether recording is live.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Sample ring occupancy (no-op when disabled).
+    #[inline]
+    pub fn record_occupancy(&self, len: usize) {
+        if self.enabled {
+            self.ring_occupancy.record(len as u64);
+        }
+    }
+
+    /// Count one full-ring producer spin (no-op when disabled).
+    #[inline]
+    pub fn record_push_stall(&self) {
+        if self.enabled {
+            self.push_stalls.inc();
+        }
+    }
+
+    /// Count one empty-ring consumer spin (no-op when disabled).
+    #[inline]
+    pub fn record_pop_stall(&self) {
+        if self.enabled {
+            self.pop_stalls.inc();
+        }
+    }
+
+    /// Record one completed packet (no-op when disabled).
+    #[inline]
+    pub fn record_packet(&self, wire_len: usize) {
+        if self.enabled {
+            self.packets.inc();
+            self.wire_bytes.add(wire_len as u64);
+        }
+    }
+
+    /// Flat snapshot.
+    pub fn snapshot(&self) -> Vec<(String, f64)> {
+        vec![
+            ("ring.occupancy.mean".into(), self.ring_occupancy.mean()),
+            (
+                "ring.occupancy.samples".into(),
+                self.ring_occupancy.count() as f64,
+            ),
+            ("ring.push_stalls".into(), self.push_stalls.get() as f64),
+            ("ring.pop_stalls".into(), self.pop_stalls.get() as f64),
+            ("packets".into(), self.packets.get() as f64),
+            ("wire_bytes".into(), self.wire_bytes.get() as f64),
+        ]
+    }
+
+    /// Snapshot as a JSON object.
+    pub fn to_json(&self) -> Json {
+        snapshot_json(self.snapshot())
+    }
+}
+
+/// Cycle and port-pressure counters accumulated from `vran-uarch`
+/// simulator runs, so micro-architectural metrics share the snapshot
+/// namespace with wall-clock ones.
+#[derive(Debug)]
+pub struct UarchMetrics {
+    enabled: bool,
+    /// Simulator runs ingested.
+    pub runs: Counter,
+    /// Simulated core cycles.
+    pub cycles: Counter,
+    /// µops dispatched.
+    pub uops: Counter,
+    /// Instructions retired.
+    pub instructions: Counter,
+    /// Busy cycles per execution port.
+    pub port_busy: [Counter; Port::COUNT],
+}
+
+impl Default for UarchMetrics {
+    fn default() -> Self {
+        Self::new(true)
+    }
+}
+
+impl UarchMetrics {
+    /// New registry.
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            enabled,
+            runs: Counter::new(),
+            cycles: Counter::new(),
+            uops: Counter::new(),
+            instructions: Counter::new(),
+            port_busy: std::array::from_fn(|_| Counter::new()),
+        }
+    }
+
+    /// Whether recording is live.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Fold one simulator report into the totals (no-op when
+    /// disabled).
+    pub fn record_report(&self, r: &SimReport) {
+        if !self.enabled {
+            return;
+        }
+        self.runs.inc();
+        self.cycles.add(r.cycles);
+        self.uops.add(r.uops);
+        self.instructions.add(r.instructions);
+        for (c, &b) in self.port_busy.iter().zip(r.port_busy.iter()) {
+            c.add(b);
+        }
+    }
+
+    /// Aggregate µops per cycle across all ingested runs.
+    pub fn upc(&self) -> f64 {
+        let c = self.cycles.get();
+        if c == 0 {
+            0.0
+        } else {
+            self.uops.get() as f64 / c as f64
+        }
+    }
+
+    /// Port pressure: busy fraction of total cycles, per port.
+    pub fn port_pressure(&self) -> [f64; Port::COUNT] {
+        let c = self.cycles.get().max(1) as f64;
+        std::array::from_fn(|p| self.port_busy[p].get() as f64 / c)
+    }
+
+    /// Flat snapshot.
+    pub fn snapshot(&self) -> Vec<(String, f64)> {
+        let mut out = vec![
+            ("runs".into(), self.runs.get() as f64),
+            ("cycles".into(), self.cycles.get() as f64),
+            ("uops".into(), self.uops.get() as f64),
+            ("instructions".into(), self.instructions.get() as f64),
+            ("upc".into(), self.upc()),
+        ];
+        for (p, pressure) in self.port_pressure().iter().enumerate() {
+            out.push((format!("port{p}.pressure"), *pressure));
+        }
+        out
+    }
+
+    /// Snapshot as a JSON object.
+    pub fn to_json(&self) -> Json {
+        snapshot_json(self.snapshot())
+    }
+}
+
+/// Build an insertion-ordered JSON object from a flat snapshot.
+fn snapshot_json(entries: Vec<(String, f64)>) -> Json {
+    Json::Obj(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k, Json::Num(v)))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_and_wraps() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.add(u64::MAX);
+        assert_eq!(c.get(), 41, "hardware-counter wraparound, not saturation");
+    }
+
+    #[test]
+    fn histogram_bucket_edges_are_inclusive_upper_bounds() {
+        let h = Histogram::new(vec![10, 100, 1000]);
+        for v in [0, 10, 11, 100, 101, 1000, 1001, u64::MAX] {
+            h.record(v);
+        }
+        // buckets: ≤10, ≤100, ≤1000, overflow
+        assert_eq!(h.bucket_counts(), vec![2, 2, 2, 2]);
+        assert_eq!(h.count(), 8);
+    }
+
+    #[test]
+    fn histogram_mean_and_quantiles() {
+        let h = Histogram::new(vec![10, 100, 1000]);
+        assert_eq!(h.quantile_upper(0.5), 0, "empty histogram");
+        for v in [5, 5, 50, 500] {
+            h.record(v);
+        }
+        assert!((h.mean() - 140.0).abs() < 1e-9);
+        assert_eq!(h.quantile_upper(0.5), 10);
+        assert_eq!(h.quantile_upper(1.0), 1000);
+        h.record(5000);
+        assert_eq!(
+            h.quantile_upper(1.0),
+            u64::MAX,
+            "overflow bucket has no bound"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn histogram_rejects_unsorted_edges() {
+        Histogram::new(vec![10, 10]);
+    }
+
+    #[test]
+    fn latency_grid_covers_stage_timescales() {
+        let h = Histogram::latency_ns();
+        assert_eq!(h.edges().first(), Some(&256));
+        assert_eq!(h.edges().last(), Some(&(1 << 23)));
+    }
+
+    #[test]
+    fn occupancy_grid_reaches_capacity() {
+        let h = Histogram::occupancy(256);
+        assert_eq!(h.edges(), &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256]);
+    }
+
+    #[test]
+    fn disabled_registries_record_nothing() {
+        let p = PipelineMetrics::new(false);
+        p.record_stage(Stage::Decode, 999);
+        p.record_packet(true, 3, 12);
+        assert_eq!(p.stage(Stage::Decode).count(), 0);
+        assert_eq!(p.packets.get(), 0);
+
+        let r = RunnerMetrics::new(false, 256);
+        r.record_occupancy(7);
+        r.record_push_stall();
+        r.record_pop_stall();
+        r.record_packet(128);
+        assert_eq!(r.ring_occupancy.count(), 0);
+        assert_eq!(
+            r.push_stalls.get() + r.pop_stalls.get() + r.packets.get(),
+            0
+        );
+
+        let u = UarchMetrics::new(false);
+        u.record_report(&SimReport::default());
+        assert_eq!(u.runs.get(), 0);
+    }
+
+    #[test]
+    fn stage_names_are_unique_and_ordered() {
+        let names: Vec<_> = Stage::ALL.iter().map(|s| s.name()).collect();
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names.len(), Stage::COUNT);
+        assert_eq!(names, dedup);
+        assert_eq!(names[0], "crc");
+        assert_eq!(names[Stage::COUNT - 1], "decode");
+    }
+
+    #[test]
+    fn snapshots_flatten_to_numbers() {
+        let p = PipelineMetrics::new(true);
+        p.record_stage(Stage::Arrange, 512);
+        p.record_packet(true, 1, 4);
+        let snap = p.snapshot();
+        let get = |k: &str| snap.iter().find(|(n, _)| n == k).map(|(_, v)| *v);
+        assert_eq!(get("stage.arrange.count"), Some(1.0));
+        assert_eq!(get("stage.arrange.mean_ns"), Some(512.0));
+        assert_eq!(get("packets"), Some(1.0));
+        assert_eq!(get("ok_packets"), Some(1.0));
+        // JSON round-trips through the flattener benchgate uses.
+        let flat = p.to_json().flatten_numbers();
+        assert_eq!(flat.get("stage.arrange.count"), Some(&1.0));
+    }
+
+    #[test]
+    fn uarch_metrics_accumulate_reports() {
+        let u = UarchMetrics::new(true);
+        let mut port_busy = [0u64; Port::COUNT];
+        port_busy[0] = 80;
+        let rep = SimReport {
+            cycles: 100,
+            uops: 250,
+            instructions: 200,
+            port_busy,
+            ..Default::default()
+        };
+        u.record_report(&rep);
+        u.record_report(&rep);
+        assert_eq!(u.runs.get(), 2);
+        assert_eq!(u.cycles.get(), 200);
+        assert!((u.upc() - 2.5).abs() < 1e-12);
+        assert!((u.port_pressure()[0] - 0.8).abs() < 1e-12);
+        assert_eq!(u.port_pressure()[7], 0.0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::latency_ns();
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..1000 {
+                        h.record(i);
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        assert_eq!(c.get(), 4000);
+    }
+}

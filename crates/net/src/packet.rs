@@ -5,9 +5,6 @@
 //! sizes (and hence PHY work) are faithful to what the OAI testbed
 //! would carry.
 
-use bytes::{BufMut, Bytes, BytesMut};
-use serde::{Deserialize, Serialize};
-
 /// Ethernet header length.
 pub const ETH_LEN: usize = 14;
 /// IPv4 header length (no options).
@@ -18,7 +15,7 @@ pub const UDP_LEN: usize = 8;
 pub const TCP_LEN: usize = 20;
 
 /// Transport protocol of a generated flow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Transport {
     /// UDP datagrams.
     Udp,
@@ -57,7 +54,7 @@ impl Transport {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Packet {
     /// The raw frame bytes (Ethernet onward).
-    pub frame: Bytes,
+    pub frame: Vec<u8>,
     /// Transport protocol.
     pub transport: Transport,
     /// Application payload length.
@@ -110,29 +107,31 @@ impl PacketBuilder {
     pub fn build(&mut self, transport: Transport, wire_len: usize) -> Option<Packet> {
         let overhead = ETH_LEN + IPV4_LEN + transport.header_len();
         let payload_len = wire_len.checked_sub(overhead)?;
-        let payload: Vec<u8> = (0..payload_len).map(|i| (i as u8).wrapping_mul(31)).collect();
+        let payload: Vec<u8> = (0..payload_len)
+            .map(|i| (i as u8).wrapping_mul(31))
+            .collect();
         let ip_len = IPV4_LEN + transport.header_len() + payload_len;
 
-        let mut buf = BytesMut::with_capacity(wire_len);
+        let mut buf: Vec<u8> = Vec::with_capacity(wire_len);
         // Ethernet
-        buf.put_slice(&[0x02, 0, 0, 0, 0, 0x01]); // dst MAC
-        buf.put_slice(&[0x02, 0, 0, 0, 0, 0x02]); // src MAC
-        buf.put_u16(0x0800);
+        buf.extend_from_slice(&[0x02, 0, 0, 0, 0, 0x01]); // dst MAC
+        buf.extend_from_slice(&[0x02, 0, 0, 0, 0, 0x02]); // src MAC
+        buf.extend_from_slice(&0x0800u16.to_be_bytes());
         // IPv4
-        let mut ip = BytesMut::with_capacity(IPV4_LEN);
-        ip.put_u8(0x45);
-        ip.put_u8(0);
-        ip.put_u16(ip_len as u16);
-        ip.put_u16(self.ident);
-        ip.put_u16(0x4000); // DF
-        ip.put_u8(64);
-        ip.put_u8(transport.proto());
-        ip.put_u16(0); // checksum placeholder
-        ip.put_slice(&self.src_ip);
-        ip.put_slice(&self.dst_ip);
+        let mut ip: Vec<u8> = Vec::with_capacity(IPV4_LEN);
+        ip.push(0x45);
+        ip.push(0);
+        ip.extend_from_slice(&(ip_len as u16).to_be_bytes());
+        ip.extend_from_slice(&self.ident.to_be_bytes());
+        ip.extend_from_slice(&0x4000u16.to_be_bytes()); // DF
+        ip.push(64);
+        ip.push(transport.proto());
+        ip.extend_from_slice(&[0, 0]); // checksum placeholder
+        ip.extend_from_slice(&self.src_ip);
+        ip.extend_from_slice(&self.dst_ip);
         let csum = checksum16(&ip, 0);
         ip[10..12].copy_from_slice(&csum.to_be_bytes());
-        buf.put_slice(&ip);
+        buf.extend_from_slice(&ip);
         // L4
         let pseudo = {
             let mut p = 0u32;
@@ -145,36 +144,40 @@ impl PacketBuilder {
         };
         match transport {
             Transport::Udp => {
-                let mut udp = BytesMut::with_capacity(UDP_LEN + payload_len);
-                udp.put_u16(self.src_port);
-                udp.put_u16(self.dst_port);
-                udp.put_u16((UDP_LEN + payload_len) as u16);
-                udp.put_u16(0);
-                udp.put_slice(&payload);
+                let mut udp: Vec<u8> = Vec::with_capacity(UDP_LEN + payload_len);
+                udp.extend_from_slice(&self.src_port.to_be_bytes());
+                udp.extend_from_slice(&self.dst_port.to_be_bytes());
+                udp.extend_from_slice(&((UDP_LEN + payload_len) as u16).to_be_bytes());
+                udp.extend_from_slice(&[0, 0]); // checksum placeholder
+                udp.extend_from_slice(&payload);
                 let csum = checksum16(&udp, pseudo);
                 udp[6..8].copy_from_slice(&csum.to_be_bytes());
-                buf.put_slice(&udp);
+                buf.extend_from_slice(&udp);
             }
             Transport::Tcp => {
-                let mut tcp = BytesMut::with_capacity(TCP_LEN + payload_len);
-                tcp.put_u16(self.src_port);
-                tcp.put_u16(self.dst_port);
-                tcp.put_u32(self.seq);
-                tcp.put_u32(0); // ack
-                tcp.put_u8(0x50); // data offset 5
-                tcp.put_u8(0x18); // PSH|ACK
-                tcp.put_u16(0xFFFF); // window
-                tcp.put_u16(0); // checksum placeholder
-                tcp.put_u16(0); // urgent
-                tcp.put_slice(&payload);
+                let mut tcp: Vec<u8> = Vec::with_capacity(TCP_LEN + payload_len);
+                tcp.extend_from_slice(&self.src_port.to_be_bytes());
+                tcp.extend_from_slice(&self.dst_port.to_be_bytes());
+                tcp.extend_from_slice(&self.seq.to_be_bytes());
+                tcp.extend_from_slice(&0u32.to_be_bytes()); // ack
+                tcp.push(0x50); // data offset 5
+                tcp.push(0x18); // PSH|ACK
+                tcp.extend_from_slice(&0xFFFFu16.to_be_bytes()); // window
+                tcp.extend_from_slice(&[0, 0]); // checksum placeholder
+                tcp.extend_from_slice(&[0, 0]); // urgent
+                tcp.extend_from_slice(&payload);
                 let csum = checksum16(&tcp, pseudo);
                 tcp[16..18].copy_from_slice(&csum.to_be_bytes());
-                buf.put_slice(&tcp);
+                buf.extend_from_slice(&tcp);
                 self.seq = self.seq.wrapping_add(payload_len as u32);
             }
         }
         self.ident = self.ident.wrapping_add(1);
-        Some(Packet { frame: buf.freeze(), transport, payload_len })
+        Some(Packet {
+            frame: buf,
+            transport,
+            payload_len,
+        })
     }
 }
 
@@ -326,9 +329,16 @@ mod tests {
         let p1 = b.build(Transport::Tcp, 100).unwrap();
         let p2 = b.build(Transport::Tcp, 100).unwrap();
         let seq = |p: &Packet| {
-            u32::from_be_bytes(p.frame[ETH_LEN + IPV4_LEN + 4..ETH_LEN + IPV4_LEN + 8].try_into().unwrap())
+            u32::from_be_bytes(
+                p.frame[ETH_LEN + IPV4_LEN + 4..ETH_LEN + IPV4_LEN + 8]
+                    .try_into()
+                    .unwrap(),
+            )
         };
-        assert_eq!(seq(&p2) - seq(&p1), (100 - ETH_LEN - IPV4_LEN - TCP_LEN) as u32);
+        assert_eq!(
+            seq(&p2) - seq(&p1),
+            (100 - ETH_LEN - IPV4_LEN - TCP_LEN) as u32
+        );
     }
 
     #[test]
@@ -375,7 +385,7 @@ mod tests {
         assert_eq!(ParsedPacket::parse(&not_ip), Err(ParseError::NotIpv4));
         let mut bad_proto = p.clone();
         bad_proto[ETH_LEN + 9] = 47; // GRE
-        // fix the IP checksum so the protocol check is reached
+                                     // fix the IP checksum so the protocol check is reached
         bad_proto[ETH_LEN + 10] = 0;
         bad_proto[ETH_LEN + 11] = 0;
         let csum = {
@@ -389,7 +399,10 @@ mod tests {
             !(sum as u16)
         };
         bad_proto[ETH_LEN + 10..ETH_LEN + 12].copy_from_slice(&csum.to_be_bytes());
-        assert_eq!(ParsedPacket::parse(&bad_proto), Err(ParseError::UnknownProtocol));
+        assert_eq!(
+            ParsedPacket::parse(&bad_proto),
+            Err(ParseError::UnknownProtocol)
+        );
         let mut short = p.clone();
         short.pop();
         assert_eq!(ParsedPacket::parse(&short), Err(ParseError::BadLength));

@@ -15,8 +15,9 @@
 //! every packet; decoding uses the scalar decoder, which is bit-exact
 //! with the SIMD kernels by construction.
 
+use crate::metrics::{PipelineMetrics, Stage};
 use crate::packet::Packet;
-use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::Instant;
 use vran_arrange::{ArrangeKernel, Mechanism};
 use vran_phy::bits::{pack_msb, unpack_msb};
@@ -32,7 +33,7 @@ use vran_phy::turbo::{TurboDecoder, TurboEncoder};
 use vran_simd::RegWidth;
 
 /// Pipeline configuration.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PipelineConfig {
     /// SIMD register width for the arrangement / decoder kernels.
     pub width: RegWidth,
@@ -71,7 +72,7 @@ impl Default for PipelineConfig {
 }
 
 /// Wall-clock nanoseconds per pipeline stage for one packet.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct StageNanos {
     /// Encoder side: CRC + segmentation + turbo encoding + rate match.
     pub encode: u64,
@@ -93,7 +94,7 @@ impl StageNanos {
 }
 
 /// Result of pushing one packet through the loop.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PacketResult {
     /// Whether the reassembled frame matched the transmitted one.
     pub ok: bool,
@@ -117,12 +118,47 @@ pub struct UplinkPipeline {
     cfg: PipelineConfig,
     ofdm: OfdmConfig,
     c_init: u32,
+    metrics: Option<Arc<PipelineMetrics>>,
+}
+
+/// Run `f`, recording its latency under `stage` when a live metrics
+/// registry is attached. The `None` arm compiles to a plain call — no
+/// clock reads when metrics are off.
+#[inline]
+fn timed<T>(m: Option<&PipelineMetrics>, stage: Stage, f: impl FnOnce() -> T) -> T {
+    match m {
+        Some(m) => {
+            let t = Instant::now();
+            let r = f();
+            m.record_stage(stage, t.elapsed().as_nanos() as u64);
+            r
+        }
+        None => f(),
+    }
 }
 
 impl UplinkPipeline {
     /// Build a pipeline.
     pub fn new(cfg: PipelineConfig) -> Self {
-        Self { cfg, ofdm: OfdmConfig::lte5mhz(), c_init: GoldSequence::c_init_pxsch(0x1234, 0, 4, 42) }
+        Self {
+            cfg,
+            ofdm: OfdmConfig::lte5mhz(),
+            c_init: GoldSequence::c_init_pxsch(0x1234, 0, 4, 42),
+            metrics: None,
+        }
+    }
+
+    /// Build a pipeline that records per-stage latency histograms and
+    /// packet counters into `metrics`.
+    pub fn with_metrics(cfg: PipelineConfig, metrics: Arc<PipelineMetrics>) -> Self {
+        let mut p = Self::new(cfg);
+        p.metrics = Some(metrics);
+        p
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn metrics(&self) -> Option<&Arc<PipelineMetrics>> {
+        self.metrics.as_ref()
     }
 
     /// The configuration.
@@ -133,6 +169,7 @@ impl UplinkPipeline {
     /// Process one framed packet through the complete loop.
     pub fn process(&self, packet: &Packet) -> PacketResult {
         let cfg = &self.cfg;
+        let m = self.metrics.as_deref().filter(|m| m.is_enabled());
         let mut nanos = StageNanos::default();
 
         // ---- transmitter: L2 encapsulation, TB build, encode ----
@@ -143,21 +180,26 @@ impl UplinkPipeline {
             .encapsulate(&packet.frame, packet.frame.len() + crate::l2::L2_OVERHEAD)
             .expect("TB sized to fit");
         let frame_bits = unpack_msb(&pdu, pdu.len() * 8);
-        let tb = CRC24A.attach(&frame_bits);
-        let seg = Segmentation::plan(tb.len());
-        let blocks = seg.segment(&tb);
+        let tb = timed(m, Stage::Crc, || CRC24A.attach(&frame_bits));
+        let (seg, blocks) = timed(m, Stage::Segment, || {
+            let seg = Segmentation::plan(tb.len());
+            let blocks = seg.segment(&tb);
+            (seg, blocks)
+        });
         let mut coded = Vec::new();
         let mut block_e = Vec::with_capacity(blocks.len());
         for blk in &blocks {
             let k = blk.len();
             let enc = TurboEncoder::new(k);
-            let cw = enc.encode(blk);
+            let cw = timed(m, Stage::Encode, || enc.encode(blk));
             let rm = RateMatcher::new(k + 4);
             let e = ((k as u64 * cfg.rate_x1024 as u64 / 1024) as usize)
                 .next_multiple_of(cfg.modulation.bits_per_symbol() * 2)
                 .min(3 * (k + 4) * 2); // cap repetition at 2×
             let d = cw.to_dstreams();
-            coded.extend(rm.rate_match(&d, e, 0));
+            timed(m, Stage::RateMatch, || {
+                coded.extend(rm.rate_match(&d, e, 0))
+            });
             block_e.push(e);
         }
         nanos.encode = t0.elapsed().as_nanos() as u64;
@@ -169,24 +211,31 @@ impl UplinkPipeline {
         let bps = cfg.modulation.bits_per_symbol();
         let padded_len = tx_bits.len().next_multiple_of(bps);
         tx_bits.resize(padded_len, 0);
-        scramble_bits(&mut tx_bits, self.c_init);
-        let symbols = cfg.modulation.modulate(&tx_bits);
-        let (rx_symbols, scale) = if cfg.fading {
-            self.fading_pass(&symbols)
-        } else {
-            let air = self.ofdm.modulate_stream(&symbols);
-            let mut channel = AwgnChannel::new(cfg.snr_db, cfg.seed);
-            let rx_air = channel.apply(&air);
-            let rx = self.ofdm.demodulate_stream(&rx_air, symbols.len());
-            (rx, (channel.llr_scale() / 8.0).clamp(0.25, 16.0))
-        };
+        let symbols = timed(m, Stage::Modulate, || {
+            scramble_bits(&mut tx_bits, self.c_init);
+            cfg.modulation.modulate(&tx_bits)
+        });
+        let (rx_symbols, scale) = timed(m, Stage::Ofdm, || {
+            if cfg.fading {
+                self.fading_pass(&symbols)
+            } else {
+                let air = self.ofdm.modulate_stream(&symbols);
+                let mut channel = AwgnChannel::new(cfg.snr_db, cfg.seed);
+                let rx_air = channel.apply(&air);
+                let rx = self.ofdm.demodulate_stream(&rx_air, symbols.len());
+                (rx, (channel.llr_scale() / 8.0).clamp(0.25, 16.0))
+            }
+        });
         nanos.transport = t0.elapsed().as_nanos() as u64;
 
         // ---- demap, descramble, de-rate-match ----
         let t0 = Instant::now();
-        let mut llrs = cfg.modulation.demodulate(&rx_symbols, scale);
-        llrs.truncate(padded_len);
-        descramble_llrs(&mut llrs, self.c_init);
+        let llrs = timed(m, Stage::Modulate, || {
+            let mut llrs = cfg.modulation.demodulate(&rx_symbols, scale);
+            llrs.truncate(padded_len);
+            descramble_llrs(&mut llrs, self.c_init);
+            llrs
+        });
         nanos.demap = t0.elapsed().as_nanos() as u64;
 
         // ---- per code block: de-rate-match, ARRANGE, decode ----
@@ -199,7 +248,9 @@ impl UplinkPipeline {
             let e = block_e[i];
             let rm = RateMatcher::new(k + 4);
             let t0 = Instant::now();
-            let dllrs = rm.de_rate_match(&llrs[pos..pos + e], 0);
+            let dllrs = timed(m, Stage::RateMatch, || {
+                rm.de_rate_match(&llrs[pos..pos + e], 0)
+            });
             pos += e;
             let turbo_in = TurboLlrs::from_dstreams(&dllrs, k);
             nanos.demap += t0.elapsed().as_nanos() as u64;
@@ -208,20 +259,28 @@ impl UplinkPipeline {
             // matcher hands the decoder interleaved triples (Fig 8a);
             // the kernel segregates them.
             let t0 = Instant::now();
-            let interleaved = turbo_in.to_interleaved();
-            let kern = ArrangeKernel::new(cfg.width, cfg.mechanism);
-            let (arranged, _) = kern.arrange(&interleaved, false);
-            let arranged = kern.depermute(&arranged);
+            let arranged = timed(m, Stage::Arrange, || {
+                let interleaved = turbo_in.to_interleaved();
+                let kern = ArrangeKernel::new(cfg.width, cfg.mechanism);
+                let (arranged, _) = kern.arrange(&interleaved, false);
+                kern.depermute(&arranged)
+            });
             nanos.arrangement += t0.elapsed().as_nanos() as u64;
 
             let t0 = Instant::now();
-            let dec_in = TurboLlrs { k, streams: arranged, tails: turbo_in.tails };
-            let dec = TurboDecoder::new(k, cfg.decoder_iterations);
-            let out = if blocks.len() > 1 {
-                dec.decode_with_crc(&dec_in, &vran_phy::crc::CRC24B)
-            } else {
-                dec.decode(&dec_in)
+            let dec_in = TurboLlrs {
+                k,
+                streams: arranged,
+                tails: turbo_in.tails,
             };
+            let dec = TurboDecoder::new(k, cfg.decoder_iterations);
+            let out = timed(m, Stage::Decode, || {
+                if blocks.len() > 1 {
+                    dec.decode_with_crc(&dec_in, &vran_phy::crc::CRC24B)
+                } else {
+                    dec.decode(&dec_in)
+                }
+            });
             iterations += out.iterations_run;
             nanos.decode += t0.elapsed().as_nanos() as u64;
             if out.crc_ok == Some(false) {
@@ -231,10 +290,10 @@ impl UplinkPipeline {
         }
 
         // ---- reassemble, de-encapsulate & verify ----
-        let rx_tb = seg.desegment(&decoded_blocks);
+        let rx_tb = timed(m, Stage::Segment, || seg.desegment(&decoded_blocks));
         let ok = all_ok
             && match rx_tb {
-                Some(tb_bits) => match CRC24A.check(&tb_bits) {
+                Some(tb_bits) => match timed(m, Stage::Crc, || CRC24A.check(&tb_bits)) {
                     Some(payload) => crate::l2::BearerRx::default()
                         .decapsulate(&pack_msb(payload))
                         .map(|sdu| sdu == packet.frame.to_vec())
@@ -243,6 +302,10 @@ impl UplinkPipeline {
                 },
                 None => false,
             };
+
+        if let Some(m) = m {
+            m.record_packet(ok, blocks.len(), iterations);
+        }
 
         PacketResult {
             ok,
@@ -257,7 +320,10 @@ impl UplinkPipeline {
     /// Fading path: resource grids with scattered pilots, per-grid
     /// channel estimation and ZF equalization (frequency-domain model,
     /// matching the downlink pipeline).
-    fn fading_pass(&self, symbols: &[vran_phy::modulation::Cplx]) -> (Vec<vran_phy::modulation::Cplx>, f32) {
+    fn fading_pass(
+        &self,
+        symbols: &[vran_phy::modulation::Cplx],
+    ) -> (Vec<vran_phy::modulation::Cplx>, f32) {
         use vran_phy::equalizer::{Equalizer, FadingChannel};
         const GRID: usize = 300;
         let eq = Equalizer::lte();
@@ -320,7 +386,10 @@ mod tests {
 
     #[test]
     fn clean_channel_round_trips_small_packet() {
-        let cfg = PipelineConfig { snr_db: 30.0, ..Default::default() };
+        let cfg = PipelineConfig {
+            snr_db: 30.0,
+            ..Default::default()
+        };
         let r = run(cfg, 64);
         assert!(r.ok, "{r:?}");
         assert_eq!(r.code_blocks, 1);
@@ -329,7 +398,10 @@ mod tests {
 
     #[test]
     fn full_mtu_packet_round_trips() {
-        let cfg = PipelineConfig { snr_db: 30.0, ..Default::default() };
+        let cfg = PipelineConfig {
+            snr_db: 30.0,
+            ..Default::default()
+        };
         let r = run(cfg, 1500);
         assert!(r.ok, "{r:?}");
         assert!(r.code_blocks >= 2, "1500 B TB must segment: {r:?}");
@@ -370,7 +442,12 @@ mod tests {
                 Mechanism::Apcm(ApcmVariant::Shuffle),
                 Mechanism::Apcm(ApcmVariant::MaskRotate),
             ] {
-                let cfg = PipelineConfig { width, mechanism: mech, snr_db: 12.0, ..Default::default() };
+                let cfg = PipelineConfig {
+                    width,
+                    mechanism: mech,
+                    snr_db: 12.0,
+                    ..Default::default()
+                };
                 let r = run(cfg, 512);
                 results.push((width, mech.name(), r.ok, r.decoder_iterations));
             }
@@ -384,7 +461,10 @@ mod tests {
 
     #[test]
     fn arrangement_volume_model_matches_pipeline() {
-        let cfg = PipelineConfig { snr_db: 30.0, ..Default::default() };
+        let cfg = PipelineConfig {
+            snr_db: 30.0,
+            ..Default::default()
+        };
         let mut b = PacketBuilder::new(1, 2);
         let p = b.build(Transport::Udp, 300).unwrap();
         let r = UplinkPipeline::new(cfg).process(&p);
@@ -398,7 +478,10 @@ mod tests {
 
     #[test]
     fn stage_times_are_populated() {
-        let cfg = PipelineConfig { snr_db: 30.0, ..Default::default() };
+        let cfg = PipelineConfig {
+            snr_db: 30.0,
+            ..Default::default()
+        };
         let r = run(cfg, 256);
         assert!(r.nanos.encode > 0);
         assert!(r.nanos.transport > 0);
@@ -406,7 +489,11 @@ mod tests {
         assert!(r.nanos.decode > 0);
         assert_eq!(
             r.nanos.total(),
-            r.nanos.encode + r.nanos.transport + r.nanos.demap + r.nanos.arrangement + r.nanos.decode
+            r.nanos.encode
+                + r.nanos.transport
+                + r.nanos.demap
+                + r.nanos.arrangement
+                + r.nanos.decode
         );
     }
 
@@ -445,7 +532,52 @@ mod tests {
         let awgn = threshold(false);
         let fade = threshold(true);
         assert!(awgn < 99, "AWGN must decode somewhere below 20 dB");
-        assert!(fade >= awgn, "fading threshold ({fade} dB) below AWGN ({awgn} dB)?");
+        assert!(
+            fade >= awgn,
+            "fading threshold ({fade} dB) below AWGN ({awgn} dB)?"
+        );
+    }
+
+    #[test]
+    fn metrics_record_every_stage_for_one_packet() {
+        let metrics = std::sync::Arc::new(crate::metrics::PipelineMetrics::new(true));
+        let cfg = PipelineConfig {
+            snr_db: 30.0,
+            ..Default::default()
+        };
+        let mut b = PacketBuilder::new(1000, 2000);
+        let p = b.build(Transport::Udp, 256).unwrap();
+        let r = UplinkPipeline::with_metrics(cfg, metrics.clone()).process(&p);
+        assert!(r.ok);
+        for s in Stage::ALL {
+            assert!(
+                metrics.stage(s).count() > 0,
+                "stage {} recorded nothing",
+                s.name()
+            );
+        }
+        assert_eq!(metrics.packets.get(), 1);
+        assert_eq!(metrics.ok_packets.get(), 1);
+        assert_eq!(metrics.code_blocks.get(), r.code_blocks as u64);
+        assert_eq!(
+            metrics.decoder_iterations.get(),
+            r.decoder_iterations as u64
+        );
+    }
+
+    #[test]
+    fn disabled_metrics_leave_pipeline_behavior_unchanged() {
+        let metrics = std::sync::Arc::new(crate::metrics::PipelineMetrics::new(false));
+        let cfg = PipelineConfig {
+            snr_db: 30.0,
+            ..Default::default()
+        };
+        let mut b = PacketBuilder::new(1000, 2000);
+        let p = b.build(Transport::Udp, 128).unwrap();
+        let r = UplinkPipeline::with_metrics(cfg, metrics.clone()).process(&p);
+        assert!(r.ok);
+        assert_eq!(metrics.packets.get(), 0);
+        assert_eq!(metrics.stage(Stage::Decode).count(), 0);
     }
 
     #[test]

@@ -7,11 +7,11 @@
 //! acquire/release publication, per the workspace's concurrency
 //! guidelines (Rust Atomics and Locks, ch. 5).
 
-use crossbeam::utils::CachePadded;
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use vran_util::CachePadded;
 
 struct Inner<T> {
     buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
@@ -41,15 +41,21 @@ impl SpscRing {
     /// Create the ring, returning its two endpoints.
     pub fn with_capacity<T>(cap: usize) -> (Producer<T>, Consumer<T>) {
         let cap = cap.max(2).next_power_of_two();
-        let buf: Box<[UnsafeCell<MaybeUninit<T>>]> =
-            (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+        let buf: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
         let inner = Arc::new(Inner {
             buf,
             mask: cap - 1,
             head: CachePadded::new(AtomicUsize::new(0)),
             tail: CachePadded::new(AtomicUsize::new(0)),
         });
-        (Producer { inner: inner.clone() }, Consumer { inner })
+        (
+            Producer {
+                inner: inner.clone(),
+            },
+            Consumer { inner },
+        )
     }
 }
 

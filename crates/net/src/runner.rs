@@ -3,12 +3,17 @@
 //! paper's Figure 1 (each stage its own execution context, queues in
 //! userspace).
 
+use crate::metrics::{PipelineMetrics, RunnerMetrics};
 use crate::packet::{Packet, PacketBuilder, Transport};
 use crate::pipeline::{PacketResult, PipelineConfig, UplinkPipeline};
 use crate::ring::SpscRing;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::sync::Mutex;
 use std::time::Instant;
+
+/// Ring capacity used by the threaded drivers.
+pub const RING_CAPACITY: usize = 256;
 
 /// Sustained-throughput measurement result.
 #[derive(Debug, Clone)]
@@ -33,8 +38,30 @@ pub fn run_throughput(
     wire_len: usize,
     n_packets: usize,
 ) -> ThroughputReport {
-    let (mut tx_in, mut rx_in) = SpscRing::with_capacity::<Packet>(256);
-    let (mut tx_out, mut rx_out) = SpscRing::with_capacity::<PacketResult>(256);
+    run_throughput_metered(
+        cfg,
+        transport,
+        wire_len,
+        n_packets,
+        &RunnerMetrics::new(false, RING_CAPACITY),
+        None,
+    )
+}
+
+/// [`run_throughput`] with metrics attached: ring occupancy is sampled
+/// at every worker pop, producer/consumer spins are counted, and each
+/// completed packet lands in both the runner registry and (when given)
+/// the per-stage pipeline registry.
+pub fn run_throughput_metered(
+    cfg: PipelineConfig,
+    transport: Transport,
+    wire_len: usize,
+    n_packets: usize,
+    metrics: &RunnerMetrics,
+    pipeline_metrics: Option<Arc<PipelineMetrics>>,
+) -> ThroughputReport {
+    let (mut tx_in, mut rx_in) = SpscRing::with_capacity::<Packet>(RING_CAPACITY);
+    let (mut tx_out, mut rx_out) = SpscRing::with_capacity::<PacketResult>(RING_CAPACITY);
     let done = AtomicBool::new(false);
     let results = Mutex::new(Vec::with_capacity(n_packets));
 
@@ -51,6 +78,7 @@ pub fn run_throughput(
                         Ok(()) => break,
                         Err(back) => {
                             item = back;
+                            metrics.record_push_stall();
                             std::hint::spin_loop();
                         }
                     }
@@ -59,11 +87,15 @@ pub fn run_throughput(
         });
         // PHY worker
         s.spawn(|| {
-            let pipe = UplinkPipeline::new(cfg);
+            let pipe = match pipeline_metrics {
+                Some(pm) => UplinkPipeline::with_metrics(cfg, pm),
+                None => UplinkPipeline::new(cfg),
+            };
             let mut processed = 0;
             while processed < n_packets {
                 match rx_in.pop() {
                     Some(p) => {
+                        metrics.record_occupancy(rx_in.len());
                         let r = pipe.process(&p);
                         let mut item = r;
                         loop {
@@ -71,13 +103,17 @@ pub fn run_throughput(
                                 Ok(()) => break,
                                 Err(back) => {
                                     item = back;
+                                    metrics.record_push_stall();
                                     std::hint::spin_loop();
                                 }
                             }
                         }
                         processed += 1;
                     }
-                    None => std::hint::spin_loop(),
+                    None => {
+                        metrics.record_pop_stall();
+                        std::hint::spin_loop();
+                    }
                 }
             }
         });
@@ -87,10 +123,14 @@ pub fn run_throughput(
             while got < n_packets {
                 match rx_out.pop() {
                     Some(r) => {
-                        results.lock().push(r);
+                        metrics.record_packet(wire_len);
+                        results.lock().unwrap().push(r);
                         got += 1;
                     }
-                    None => std::hint::spin_loop(),
+                    None => {
+                        metrics.record_pop_stall();
+                        std::hint::spin_loop();
+                    }
                 }
             }
             done.store(true, Ordering::Release);
@@ -99,7 +139,7 @@ pub fn run_throughput(
     let elapsed = start.elapsed().as_secs_f64();
     assert!(done.load(Ordering::Acquire));
 
-    let results = results.into_inner();
+    let results = results.into_inner().unwrap();
     let ok = results.iter().filter(|r| r.ok).count();
     let wire_bytes = wire_len * results.len();
     ThroughputReport {
@@ -129,8 +169,9 @@ pub fn run_multicore(
         producers.push(p);
         consumers.push(c);
     }
-    let counts: Vec<usize> =
-        (0..workers).map(|w| n_packets / workers + usize::from(w < n_packets % workers)).collect();
+    let counts: Vec<usize> = (0..workers)
+        .map(|w| n_packets / workers + usize::from(w < n_packets % workers))
+        .collect();
     let results = Mutex::new(Vec::with_capacity(n_packets));
 
     let start = Instant::now();
@@ -162,7 +203,7 @@ pub fn run_multicore(
                     match rx.pop() {
                         Some(p) => {
                             let r = pipe.process(&p);
-                            results.lock().push(r);
+                            results.lock().unwrap().push(r);
                             done += 1;
                         }
                         None => std::hint::spin_loop(),
@@ -172,7 +213,7 @@ pub fn run_multicore(
         }
     });
     let elapsed = start.elapsed().as_secs_f64();
-    let results = results.into_inner();
+    let results = results.into_inner().unwrap();
     let ok = results.iter().filter(|r| r.ok).count();
     let wire_bytes = wire_len * results.len();
     ThroughputReport {
@@ -190,7 +231,10 @@ mod tests {
 
     #[test]
     fn threaded_pipeline_processes_all_packets() {
-        let cfg = PipelineConfig { snr_db: 30.0, ..Default::default() };
+        let cfg = PipelineConfig {
+            snr_db: 30.0,
+            ..Default::default()
+        };
         let rep = run_throughput(cfg, Transport::Udp, 128, 8);
         assert_eq!(rep.packets, 8);
         assert_eq!(rep.ok_packets, 8, "clean channel must decode everything");
@@ -200,14 +244,37 @@ mod tests {
 
     #[test]
     fn tcp_flow_also_flows() {
-        let cfg = PipelineConfig { snr_db: 30.0, ..Default::default() };
+        let cfg = PipelineConfig {
+            snr_db: 30.0,
+            ..Default::default()
+        };
         let rep = run_throughput(cfg, Transport::Tcp, 256, 4);
         assert_eq!(rep.ok_packets, 4);
     }
 
     #[test]
+    fn metered_run_populates_both_registries() {
+        let cfg = PipelineConfig {
+            snr_db: 30.0,
+            ..Default::default()
+        };
+        let rm = RunnerMetrics::new(true, RING_CAPACITY);
+        let pm = Arc::new(PipelineMetrics::new(true));
+        let rep = run_throughput_metered(cfg, Transport::Udp, 128, 6, &rm, Some(pm.clone()));
+        assert_eq!(rep.ok_packets, 6);
+        assert_eq!(rm.packets.get(), 6);
+        assert_eq!(rm.wire_bytes.get(), 6 * 128);
+        assert_eq!(rm.ring_occupancy.count(), 6, "one occupancy sample per pop");
+        assert_eq!(pm.packets.get(), 6);
+        assert!(pm.stage(crate::metrics::Stage::Decode).count() > 0);
+    }
+
+    #[test]
     fn multicore_distributes_and_loses_nothing() {
-        let cfg = PipelineConfig { snr_db: 30.0, ..Default::default() };
+        let cfg = PipelineConfig {
+            snr_db: 30.0,
+            ..Default::default()
+        };
         for workers in [1usize, 2, 3] {
             let rep = run_multicore(cfg, Transport::Udp, 128, 9, workers);
             assert_eq!(rep.packets, 9, "workers={workers}");
@@ -220,8 +287,14 @@ mod tests {
         // Scaling can only manifest with real hardware parallelism;
         // correctness is asserted unconditionally, speedup only when
         // the host has cores to scale onto.
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        let cfg = PipelineConfig { snr_db: 30.0, decoder_iterations: 4, ..Default::default() };
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let cfg = PipelineConfig {
+            snr_db: 30.0,
+            decoder_iterations: 4,
+            ..Default::default()
+        };
         let one = run_multicore(cfg, Transport::Udp, 512, 12, 1);
         let two = run_multicore(cfg, Transport::Udp, 512, 12, 2);
         assert_eq!(one.ok_packets, 12);

@@ -9,9 +9,7 @@
 //! ratio") allocation, and AMC via [`crate::amc`].
 
 use crate::amc::{select_mcs, McsEntry};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use vran_util::rng::SmallRng;
 
 /// Resource blocks per subframe at 5 MHz.
 pub const NUM_RBS: usize = 25;
@@ -20,7 +18,7 @@ pub const NUM_RBS: usize = 25;
 pub const RE_PER_RB: f64 = 150.0;
 
 /// One UE's scheduling state.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct UeContext {
     /// Identifier.
     pub id: u16,
@@ -37,12 +35,18 @@ pub struct UeContext {
 impl UeContext {
     /// New UE at the given average channel quality.
     pub fn new(id: u16, mean_snr_db: f32) -> Self {
-        Self { id, mean_snr_db, avg_rate: 1.0, served_bits: 0, scheduled_count: 0 }
+        Self {
+            id,
+            mean_snr_db,
+            avg_rate: 1.0,
+            served_bits: 0,
+            scheduled_count: 0,
+        }
     }
 }
 
 /// Scheduling policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Policy {
     /// Strict round robin, channel-blind.
     RoundRobin,
@@ -54,7 +58,7 @@ pub enum Policy {
 }
 
 /// One subframe's outcome.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SubframeResult {
     /// Which UE won the subframe.
     pub ue: u16,
@@ -79,7 +83,13 @@ impl CellScheduler {
     /// New cell with the given UEs.
     pub fn new(ues: Vec<UeContext>, policy: Policy, seed: u64) -> Self {
         assert!(!ues.is_empty());
-        Self { ues, policy, rng: SmallRng::seed_from_u64(seed), rr_next: 0, window: 100.0 }
+        Self {
+            ues,
+            policy,
+            rng: SmallRng::seed_from_u64(seed),
+            rr_next: 0,
+            window: 100.0,
+        }
     }
 
     /// The UE table.
@@ -90,9 +100,7 @@ impl CellScheduler {
     /// Rayleigh-ish instantaneous SNR draw around the UE's mean
     /// (log-normal shadowing, ±~6 dB swings).
     fn instantaneous_snr(&mut self, ue: usize) -> f32 {
-        let u1: f32 = self.rng.gen_range(1e-6..1.0f32);
-        let u2: f32 = self.rng.gen_range(0.0..1.0f32);
-        let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        let g = self.rng.gauss_f32();
         self.ues[ue].mean_snr_db + 3.0 * g
     }
 
@@ -142,7 +150,11 @@ impl CellScheduler {
         if bits > 0 {
             ue.scheduled_count += 1;
         }
-        SubframeResult { ue: ue.id, mcs, bits }
+        SubframeResult {
+            ue: ue.id,
+            mcs,
+            bits,
+        }
     }
 
     /// Run `n` subframes and return (cell throughput in Mbps, Jain
@@ -155,7 +167,11 @@ impl CellScheduler {
         let served: Vec<f64> = self.ues.iter().map(|u| u.served_bits as f64).collect();
         let sum: f64 = served.iter().sum();
         let sumsq: f64 = served.iter().map(|x| x * x).sum();
-        let jain = if sumsq > 0.0 { sum * sum / (served.len() as f64 * sumsq) } else { 0.0 };
+        let jain = if sumsq > 0.0 {
+            sum * sum / (served.len() as f64 * sumsq)
+        } else {
+            0.0
+        };
         (total as f64 / (n as f64 * 1e-3) / 1e6, jain)
     }
 }
@@ -180,8 +196,14 @@ mod tests {
         let (ci_tput, ci_fair) = cell(Policy::MaxCi).run(4000);
         // classic ordering: throughput CI ≥ PF ≥ RR; fairness RR ≈ PF > CI
         assert!(pf_tput > rr_tput, "PF {pf_tput:.1} vs RR {rr_tput:.1} Mbps");
-        assert!(ci_tput >= pf_tput, "maxC/I {ci_tput:.1} vs PF {pf_tput:.1} Mbps");
-        assert!(pf_fair > ci_fair, "PF fairness {pf_fair:.2} vs maxC/I {ci_fair:.2}");
+        assert!(
+            ci_tput >= pf_tput,
+            "maxC/I {ci_tput:.1} vs PF {pf_tput:.1} Mbps"
+        );
+        assert!(
+            pf_fair > ci_fair,
+            "PF fairness {pf_fair:.2} vs maxC/I {ci_fair:.2}"
+        );
         assert!(rr_fair > 0.5 && pf_fair > 0.5);
     }
 
@@ -223,6 +245,9 @@ mod tests {
         let mut c = CellScheduler::new(vec![UeContext::new(0, 30.0)], Policy::RoundRobin, 1);
         let r = c.tick();
         let m = r.mcs.expect("30 dB must be schedulable");
-        assert_eq!(r.bits, (NUM_RBS as f64 * RE_PER_RB * m.bits_per_symbol()) as u64);
+        assert_eq!(
+            r.bits,
+            (NUM_RBS as f64 * RE_PER_RB * m.bits_per_symbol()) as u64
+        );
     }
 }

@@ -2,9 +2,9 @@
 //! interleaving of pushes and pops must behave exactly like a bounded
 //! FIFO (`VecDeque` reference model).
 
-use proptest::prelude::*;
 use std::collections::VecDeque;
 use vran_net::ring::SpscRing;
+use vran_util::proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]

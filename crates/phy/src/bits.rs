@@ -17,8 +17,14 @@ pub fn pack_msb(bits: &[u8]) -> Vec<u8> {
 
 /// Unpack bytes MSB-first into `n` bits.
 pub fn unpack_msb(bytes: &[u8], n: usize) -> Vec<u8> {
-    assert!(n <= bytes.len() * 8, "asked for {n} bits from {} bytes", bytes.len());
-    (0..n).map(|i| (bytes[i / 8] >> (7 - (i % 8))) & 1).collect()
+    assert!(
+        n <= bytes.len() * 8,
+        "asked for {n} bits from {} bytes",
+        bytes.len()
+    );
+    (0..n)
+        .map(|i| (bytes[i / 8] >> (7 - (i % 8))) & 1)
+        .collect()
 }
 
 /// XOR two equal-length bit slices into a fresh vector.
@@ -79,7 +85,10 @@ mod tests {
         let b = random_bits(4096, 7);
         assert_eq!(a, b);
         let ones: usize = a.iter().map(|&x| x as usize).sum();
-        assert!((1500..2600).contains(&ones), "biased bit source: {ones}/4096 ones");
+        assert!(
+            (1500..2600).contains(&ones),
+            "biased bit source: {ones}/4096 ones"
+        );
         assert_ne!(a, random_bits(4096, 8), "seed must matter");
     }
 }

@@ -4,8 +4,7 @@
 //! with controllable SNR.
 
 use crate::modulation::Cplx;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use vran_util::rng::SmallRng;
 
 /// Additive white Gaussian noise channel with a fixed seed.
 #[derive(Debug, Clone)]
@@ -21,7 +20,10 @@ impl AwgnChannel {
         // Es/N0 = 1/(2σ²) per complex dimension → σ = sqrt(1/(2·SNR)).
         let snr = 10f32.powf(snr_db / 10.0);
         let sigma = (1.0 / (2.0 * snr)).sqrt();
-        Self { sigma, rng: SmallRng::seed_from_u64(seed) }
+        Self {
+            sigma,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Per-axis noise standard deviation.
@@ -34,19 +36,21 @@ impl AwgnChannel {
         1.0 / (self.sigma * self.sigma).max(1e-9)
     }
 
-    /// Draw one Gaussian sample (Box–Muller on uniform draws — keeps the
-    /// dependency surface at `rand` core only).
+    /// Draw one Gaussian sample (Box–Muller inside `vran-util`'s RNG).
     fn gauss(&mut self) -> f32 {
-        let u1: f32 = self.rng.gen_range(1e-7..1.0);
-        let u2: f32 = self.rng.gen_range(0.0..1.0);
-        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+        self.rng.gauss_f32()
     }
 
     /// Add noise to a symbol stream.
     pub fn apply(&mut self, symbols: &[Cplx]) -> Vec<Cplx> {
         symbols
             .iter()
-            .map(|s| Cplx::new(s.re + self.sigma * self.gauss(), s.im + self.sigma * self.gauss()))
+            .map(|s| {
+                Cplx::new(
+                    s.re + self.sigma * self.gauss(),
+                    s.im + self.sigma * self.gauss(),
+                )
+            })
             .collect()
     }
 }

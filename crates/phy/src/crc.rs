@@ -19,13 +19,25 @@ pub struct Crc {
 }
 
 /// Transport-block CRC (24 bits, `gCRC24A`).
-pub const CRC24A: Crc = Crc { poly: 0x86_4CFB, width: 24 };
+pub const CRC24A: Crc = Crc {
+    poly: 0x86_4CFB,
+    width: 24,
+};
 /// Code-block CRC (24 bits, `gCRC24B`).
-pub const CRC24B: Crc = Crc { poly: 0x80_0063, width: 24 };
+pub const CRC24B: Crc = Crc {
+    poly: 0x80_0063,
+    width: 24,
+};
 /// 16-bit CRC (`gCRC16`).
-pub const CRC16: Crc = Crc { poly: 0x1021, width: 16 };
+pub const CRC16: Crc = Crc {
+    poly: 0x1021,
+    width: 16,
+};
 /// 8-bit CRC (`gCRC8`).
-pub const CRC8: Crc = Crc { poly: 0x9B, width: 8 };
+pub const CRC8: Crc = Crc {
+    poly: 0x9B,
+    width: 8,
+};
 
 impl Crc {
     /// CRC width in bits.
@@ -38,7 +50,11 @@ impl Crc {
     pub fn compute(&self, bits: &[u8]) -> Vec<u8> {
         let mut reg: u32 = 0;
         let top = 1u32 << (self.width - 1);
-        let mask = if self.width == 32 { u32::MAX } else { (1u32 << self.width) - 1 };
+        let mask = if self.width == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.width) - 1
+        };
         for &b in bits {
             debug_assert!(b <= 1);
             let fb = ((reg & top) != 0) as u32 ^ b as u32;
@@ -47,7 +63,10 @@ impl Crc {
                 reg ^= self.poly;
             }
         }
-        (0..self.width).rev().map(|i| ((reg >> i) & 1) as u8).collect()
+        (0..self.width)
+            .rev()
+            .map(|i| ((reg >> i) & 1) as u8)
+            .collect()
     }
 
     /// Append this CRC to `bits` (TS 36.212 attachment).
@@ -94,7 +113,10 @@ mod tests {
         for i in 0..coded.len() {
             let mut bad = coded.clone();
             bad[i] ^= 1;
-            assert!(CRC24A.check(&bad).is_none(), "missed single-bit error at {i}");
+            assert!(
+                CRC24A.check(&bad).is_none(),
+                "missed single-bit error at {i}"
+            );
         }
     }
 
@@ -115,7 +137,7 @@ mod tests {
     #[test]
     fn zero_message_has_zero_crc() {
         // all-zero register + all-zero input → zero CRC (spec init is 0)
-        assert!(CRC24A.compute(&vec![0; 64]).iter().all(|&b| b == 0));
+        assert!(CRC24A.compute(&[0; 64]).iter().all(|&b| b == 0));
     }
 
     #[test]

@@ -53,7 +53,11 @@ pub fn conv_encode(bits: &[u8]) -> Vec<u8> {
 pub fn conv_encode_streams(bits: &[u8]) -> [Vec<u8>; 3] {
     let inter = conv_encode(bits);
     let n = bits.len();
-    let mut out = [Vec::with_capacity(n), Vec::with_capacity(n), Vec::with_capacity(n)];
+    let mut out = [
+        Vec::with_capacity(n),
+        Vec::with_capacity(n),
+        Vec::with_capacity(n),
+    ];
     for (i, &b) in inter.iter().enumerate() {
         out[i % 3].push(b);
     }
@@ -151,7 +155,7 @@ pub fn viterbi_decode_tb_wava(llrs: &[i16], nbits: usize, passes: usize) -> Vec<
     let total = nbits * (passes + 1);
     let mut metric = [0i64; NSTATES];
     let mut surv = vec![[(0u8, 0u8); NSTATES]; total];
-    for k in 0..total {
+    for (k, surv_k) in surv.iter_mut().enumerate() {
         let pos = k % nbits;
         let y = &llrs[3 * pos..3 * pos + 3];
         let mut next = [i64::MIN / 4; NSTATES];
@@ -167,7 +171,7 @@ pub fn viterbi_decode_tb_wava(llrs: &[i16], nbits: usize, passes: usize) -> Vec<
                 let cand = metric[s as usize] + bm;
                 if cand > next[ns] {
                     next[ns] = cand;
-                    surv[k][ns] = (s, u);
+                    surv_k[ns] = (s, u);
                 }
             }
         }
@@ -179,7 +183,9 @@ pub fn viterbi_decode_tb_wava(llrs: &[i16], nbits: usize, passes: usize) -> Vec<
         metric = next;
     }
     // best end state, trace back through the final copy
-    let mut s = (0..NSTATES as u8).max_by_key(|&s| metric[s as usize]).expect("non-empty");
+    let mut s = (0..NSTATES as u8)
+        .max_by_key(|&s| metric[s as usize])
+        .expect("non-empty");
     let mut bits = vec![0u8; nbits];
     for k in (total - nbits..total).rev() {
         let (ps, u) = surv[k][s as usize];
@@ -270,7 +276,10 @@ mod tests {
         for seed in 0..4 {
             let bits = random_bits(30, seed);
             let coded = conv_encode(&bits);
-            let llrs: Vec<i16> = coded.iter().map(|&b| if b == 0 { 100 } else { -100 }).collect();
+            let llrs: Vec<i16> = coded
+                .iter()
+                .map(|&b| if b == 0 { 100 } else { -100 })
+                .collect();
             assert_eq!(viterbi_decode_tb(&llrs, 30), bits, "seed {seed}");
         }
     }
@@ -279,8 +288,10 @@ mod tests {
     fn decoder_corrects_errors() {
         let bits = random_bits(40, 5);
         let coded = conv_encode(&bits);
-        let mut llrs: Vec<i16> =
-            coded.iter().map(|&b| if b == 0 { 100 } else { -100 }).collect();
+        let mut llrs: Vec<i16> = coded
+            .iter()
+            .map(|&b| if b == 0 { 100 } else { -100 })
+            .collect();
         // flip 8 scattered coded bits of 120
         for i in [3usize, 17, 31, 45, 59, 73, 87, 101] {
             llrs[i] = -llrs[i] / 2;
@@ -290,7 +301,7 @@ mod tests {
 
     #[test]
     fn all_zero_message_encodes_to_zero() {
-        let coded = conv_encode(&vec![0u8; 20]);
+        let coded = conv_encode(&[0u8; 20]);
         assert!(coded.iter().all(|&b| b == 0));
     }
 
@@ -304,9 +315,16 @@ mod tests {
         for seed in 0..6 {
             let bits = random_bits(40, seed + 20);
             let coded = conv_encode(&bits);
-            let llrs: Vec<i16> = coded.iter().map(|&b| if b == 0 { 90 } else { -90 }).collect();
+            let llrs: Vec<i16> = coded
+                .iter()
+                .map(|&b| if b == 0 { 90 } else { -90 })
+                .collect();
             assert_eq!(viterbi_decode_tb_wava(&llrs, 40, 1), bits, "seed {seed}");
-            assert_eq!(viterbi_decode_tb_wava(&llrs, 40, 2), bits, "seed {seed} (2 passes)");
+            assert_eq!(
+                viterbi_decode_tb_wava(&llrs, 40, 2),
+                bits,
+                "seed {seed} (2 passes)"
+            );
         }
     }
 
@@ -314,25 +332,40 @@ mod tests {
     fn wava_matches_exact_decoder_under_noise() {
         let bits = random_bits(44, 9);
         let coded = conv_encode(&bits);
-        let mut llrs: Vec<i16> = coded.iter().map(|&b| if b == 0 { 60 } else { -60 }).collect();
+        let mut llrs: Vec<i16> = coded
+            .iter()
+            .map(|&b| if b == 0 { 60 } else { -60 })
+            .collect();
         for i in (0..llrs.len()).step_by(11) {
             llrs[i] = -llrs[i] / 2; // ~9 % inverted
         }
         let exact = viterbi_decode_tb(&llrs, 44);
         let wava = viterbi_decode_tb_wava(&llrs, 44, 2);
         assert_eq!(exact, bits);
-        assert_eq!(wava, exact, "two-wrap WAVA should match the exact search here");
+        assert_eq!(
+            wava, exact,
+            "two-wrap WAVA should match the exact search here"
+        );
     }
 
     #[test]
     fn dci_round_trip() {
-        let d = Dci { rb_assignment: 0x35A, mcs: 17, harq: 5, ndi: true, rv: 2 };
+        let d = Dci {
+            rb_assignment: 0x35A,
+            mcs: 17,
+            harq: 5,
+            ndi: true,
+            rv: 2,
+        };
         assert_eq!(Dci::from_bits(&d.to_bits()), d);
         let bits = d.to_bits();
         assert_eq!(bits.len(), Dci::BITS);
         // through the channel coding
         let coded = conv_encode(&bits);
-        let llrs: Vec<i16> = coded.iter().map(|&b| if b == 0 { 90 } else { -90 }).collect();
+        let llrs: Vec<i16> = coded
+            .iter()
+            .map(|&b| if b == 0 { 90 } else { -90 })
+            .collect();
         let rx = viterbi_decode_tb(&llrs, Dci::BITS);
         assert_eq!(Dci::from_bits(&rx), d);
     }

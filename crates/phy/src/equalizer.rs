@@ -9,8 +9,7 @@
 //! with noise-variance-aware LLR weighting.
 
 use crate::modulation::Cplx;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use vran_util::rng::SmallRng;
 
 /// A frequency-selective block-fading channel: one complex gain per
 /// subcarrier, constant for the life of the struct.
@@ -31,11 +30,7 @@ impl FadingChannel {
         let mut rng = SmallRng::seed_from_u64(seed);
         let taps = delay_spread.clamp(1, 16);
         let gauss = {
-            let g = move |r: &mut SmallRng| {
-                let u1: f32 = r.gen_range(1e-7..1.0f32);
-                let u2: f32 = r.gen_range(0.0..1.0f32);
-                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
-            };
+            let g = move |r: &mut SmallRng| r.gauss_f32();
             let h: Vec<Cplx> = (0..taps)
                 .map(|_| {
                     let s = (2.0 * taps as f32).sqrt();
@@ -52,9 +47,15 @@ impl FadingChannel {
                 acc
             }
         };
-        let gains = (0..subcarriers).map(|k| gauss(k, subcarriers.max(64))).collect();
+        let gains = (0..subcarriers)
+            .map(|k| gauss(k, subcarriers.max(64)))
+            .collect();
         let snr = 10f32.powf(snr_db / 10.0);
-        Self { gains, sigma: (1.0 / (2.0 * snr)).sqrt(), rng }
+        Self {
+            gains,
+            sigma: (1.0 / (2.0 * snr)).sqrt(),
+            rng,
+        }
     }
 
     /// Per-axis noise standard deviation.
@@ -71,17 +72,16 @@ impl FadingChannel {
     /// values (frequency-domain model).
     pub fn apply(&mut self, symbols: &[Cplx]) -> Vec<Cplx> {
         assert_eq!(symbols.len(), self.gains.len());
-        let gauss = |r: &mut SmallRng| {
-            let u1: f32 = r.gen_range(1e-7..1.0f32);
-            let u2: f32 = r.gen_range(0.0..1.0f32);
-            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
-        };
+        let gauss = |r: &mut SmallRng| r.gauss_f32();
         symbols
             .iter()
             .zip(&self.gains)
             .map(|(s, h)| {
                 let y = s.mul(*h);
-                Cplx::new(y.re + self.sigma * gauss(&mut self.rng), y.im + self.sigma * gauss(&mut self.rng))
+                Cplx::new(
+                    y.re + self.sigma * gauss(&mut self.rng),
+                    y.im + self.sigma * gauss(&mut self.rng),
+                )
             })
             .collect()
     }
@@ -138,14 +138,21 @@ impl Equalizer {
         // H = Y * conj(P) / |P|^2 at pilot positions
         let h_at: Vec<Cplx> = pilots
             .iter()
-            .map(|&k| received[k].mul(Cplx::new(p.re, -p.im)).mul(Cplx::new(inv, 0.0)))
+            .map(|&k| {
+                received[k]
+                    .mul(Cplx::new(p.re, -p.im))
+                    .mul(Cplx::new(inv, 0.0))
+            })
             .collect();
         let mut h = vec![Cplx::default(); n];
         #[allow(clippy::needless_range_loop)] // k indexes pilots AND h
         for k in 0..n {
             // bracket k between pilots
             let idx = k / self.pilot_spacing;
-            let (k0, h0) = (pilots[idx.min(pilots.len() - 1)], h_at[idx.min(h_at.len() - 1)]);
+            let (k0, h0) = (
+                pilots[idx.min(pilots.len() - 1)],
+                h_at[idx.min(h_at.len() - 1)],
+            );
             if idx + 1 >= pilots.len() {
                 h[k] = h0;
                 continue;
@@ -191,8 +198,14 @@ mod tests {
         let g = ch.gains();
         // adjacent subcarriers nearly equal, far apart ones not
         let near: f32 = (0..299).map(|k| g[k].sub(g[k + 1]).norm_sq()).sum::<f32>() / 299.0;
-        let far: f32 = (0..150).map(|k| g[k].sub(g[k + 150]).norm_sq()).sum::<f32>() / 150.0;
-        assert!(near * 4.0 < far, "channel must be smooth in frequency: near {near}, far {far}");
+        let far: f32 = (0..150)
+            .map(|k| g[k].sub(g[k + 150]).norm_sq())
+            .sum::<f32>()
+            / 150.0;
+        assert!(
+            near * 4.0 < far,
+            "channel must be smooth in frequency: near {near}, far {far}"
+        );
     }
 
     #[test]
@@ -200,7 +213,8 @@ mod tests {
         let n = 300;
         let eq = Equalizer::lte();
         let mut ch = FadingChannel::new(n, 35.0, 3, 11);
-        let data = Modulation::Qpsk.modulate(&random_bits(2 * (n - eq.pilot_positions(n).len()), 1));
+        let data =
+            Modulation::Qpsk.modulate(&random_bits(2 * (n - eq.pilot_positions(n).len()), 1));
         let (grid, _) = eq.insert_pilots(&data, n);
         let rx = ch.apply(&grid);
         let h_est = eq.estimate(&rx);
@@ -229,10 +243,17 @@ mod tests {
         let (eq_syms, weights) = eq.equalize(&rx, &h);
         assert_eq!(eq_syms.len(), n_data);
         let llrs = Modulation::Qpsk.demodulate(&eq_syms, 1.0);
-        let errs = llrs.iter().zip(&bits).filter(|(&l, &b)| u8::from(l < 0) != b).count();
+        let errs = llrs
+            .iter()
+            .zip(&bits)
+            .filter(|(&l, &b)| u8::from(l < 0) != b)
+            .count();
         // Rayleigh deep fades can cost an isolated bit even at high
         // SNR (the reason the turbo code exists); demand quasi-clean.
-        assert!(errs <= 3, "25 dB equalized QPSK should be quasi-clean: {errs} errors");
+        assert!(
+            errs <= 3,
+            "25 dB equalized QPSK should be quasi-clean: {errs} errors"
+        );
         assert!(weights.iter().all(|&w| w > 0.0));
     }
 
@@ -249,10 +270,17 @@ mod tests {
         // demap directly, skipping equalization
         let raw: Vec<Cplx> = {
             let pilots = eq.pilot_positions(n);
-            (0..n).filter(|k| pilots.binary_search(k).is_err()).map(|k| rx[k]).collect()
+            (0..n)
+                .filter(|k| pilots.binary_search(k).is_err())
+                .map(|k| rx[k])
+                .collect()
         };
         let llrs = Modulation::Qpsk.demodulate(&raw, 1.0);
-        let errs = llrs.iter().zip(&bits).filter(|(&l, &b)| u8::from(l < 0) != b).count();
+        let errs = llrs
+            .iter()
+            .zip(&bits)
+            .filter(|(&l, &b)| u8::from(l < 0) != b)
+            .count();
         assert!(
             errs > n_data / 8,
             "random phases must scramble unequalized QPSK: only {errs} errors"

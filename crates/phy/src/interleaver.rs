@@ -242,8 +242,15 @@ impl QppInterleaver {
             forward[i as usize] = p as u32;
             inverse[p as usize] = i as u32;
         }
-        debug_assert!(inverse.iter().all(|&x| x != u32::MAX), "QPP not bijective for K={k}");
-        Self { k, forward, inverse }
+        debug_assert!(
+            inverse.iter().all(|&x| x != u32::MAX),
+            "QPP not bijective for K={k}"
+        );
+        Self {
+            k,
+            forward,
+            inverse,
+        }
     }
 
     /// Whether `k` is one of the 188 legal block sizes.

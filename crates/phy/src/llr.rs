@@ -14,8 +14,6 @@
 //! output; `vran-arrange` provides the baseline and APCM kernels that
 //! map one to the other.
 
-use serde::{Deserialize, Serialize};
-
 /// Fixed-point LLR (Q format chosen by the demapper; the decoder is
 /// scale-invariant under max-log).
 pub type Llr = i16;
@@ -52,7 +50,7 @@ pub fn srai16(a: Llr, imm: u32) -> Llr {
 
 /// The three arranged LLR streams, each of length `K` — the output of
 /// the data arrangement process and the decoder's working input.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SoftStreams {
     /// Systematic LLRs (`systematic1` in the paper).
     pub sys: Vec<Llr>,
@@ -65,7 +63,11 @@ pub struct SoftStreams {
 impl SoftStreams {
     /// All-zero streams of length `k`.
     pub fn zeros(k: usize) -> Self {
-        Self { sys: vec![0; k], p1: vec![0; k], p2: vec![0; k] }
+        Self {
+            sys: vec![0; k],
+            p1: vec![0; k],
+            p2: vec![0; k],
+        }
     }
 
     /// Block length.
@@ -80,7 +82,7 @@ impl SoftStreams {
 }
 
 /// Tail (termination) LLRs for both constituent trellises.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TailLlrs {
     /// Encoder-1 systematic tail `x_K..x_{K+2}`.
     pub sys1: [Llr; 3],
@@ -93,7 +95,7 @@ pub struct TailLlrs {
 }
 
 /// Complete decoder input for one code block.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TurboLlrs {
     /// Block size K.
     pub k: usize,
@@ -133,7 +135,7 @@ impl TurboLlrs {
 }
 
 /// The arrangement input: `[S1ₖ YP1ₖ YP2ₖ]` triples for `k = 0..K`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InterleavedLlrs {
     /// Block size K (number of triples).
     pub k: usize,

@@ -4,10 +4,8 @@
 //! energy. The demapper emits fixed-point LLRs in the decoder's
 //! convention (positive → bit 0) scaled by [`LLR_SCALE`].
 
-use serde::{Deserialize, Serialize};
-
 /// A complex baseband sample.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Cplx {
     /// In-phase component.
     pub re: f32,
@@ -37,7 +35,10 @@ impl Cplx {
 
     /// Complex multiplication.
     pub fn mul(self, o: Self) -> Self {
-        Self::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+        Self::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
     }
 
     /// Squared magnitude.
@@ -51,7 +52,7 @@ impl Cplx {
 pub const LLR_SCALE: f32 = 64.0;
 
 /// Modulation orders used by LTE data channels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Modulation {
     /// 2 bits/symbol.
     Qpsk,

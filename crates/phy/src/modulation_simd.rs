@@ -59,13 +59,7 @@ pub fn demap_qam16_scalar(iq: &[i16]) -> (Vec<i16>, Vec<i16>) {
 }
 
 /// SIMD 16-QAM demapper producing the inner-bit and outer-bit planes.
-pub fn demap_qam16_simd(
-    vm: &mut Vm,
-    iq: MemRef,
-    inner: MemRef,
-    outer: MemRef,
-    width: RegWidth,
-) {
+pub fn demap_qam16_simd(vm: &mut Vm, iq: MemRef, inner: MemRef, outer: MemRef, width: RegWidth) {
     assert!(inner.len == iq.len && outer.len == iq.len);
     let mut off = 0;
     for &w in &[width, RegWidth::Sse128] {
@@ -171,7 +165,10 @@ mod tests {
             .flat_map(|s| {
                 // undo the unit-energy normalization into Q11 integers
                 let inv = 10.0f32.sqrt();
-                [(s.re * inv * SCALE as f32) as i16, (s.im * inv * SCALE as f32) as i16]
+                [
+                    (s.re * inv * SCALE as f32) as i16,
+                    (s.im * inv * SCALE as f32) as i16,
+                ]
             })
             .collect();
         let (inner, outer) = demap_qam16_scalar(&iq);
@@ -200,6 +197,9 @@ mod tests {
     fn assemble_orders_per_symbol() {
         let inner = vec![10, 11, 20, 21];
         let outer = vec![30, 31, 40, 41];
-        assert_eq!(assemble_qam16_llrs(&inner, &outer), vec![10, 11, 30, 31, 20, 21, 40, 41]);
+        assert_eq!(
+            assemble_qam16_llrs(&inner, &outer),
+            vec![10, 11, 30, 31, 20, 21, 40, 41]
+        );
     }
 }

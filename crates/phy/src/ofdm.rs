@@ -10,7 +10,10 @@ use crate::modulation::Cplx;
 /// `inverse` selects the IFFT (includes the 1/N scale).
 pub fn fft(buf: &mut [Cplx], inverse: bool) {
     let n = buf.len();
-    assert!(n.is_power_of_two() && n >= 2, "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "FFT length must be a power of two, got {n}"
+    );
 
     // bit-reversal permutation
     let bits = n.trailing_zeros();
@@ -61,7 +64,11 @@ pub struct OfdmConfig {
 impl OfdmConfig {
     /// The paper's testbed configuration: FDD, 5 MHz (25 RB).
     pub const fn lte5mhz() -> Self {
-        Self { fft_size: 512, used_subcarriers: 300, cp_len: 36 }
+        Self {
+            fft_size: 512,
+            used_subcarriers: 300,
+            cp_len: 36,
+        }
     }
 
     /// Samples per OFDM symbol including CP.
@@ -116,7 +123,9 @@ impl OfdmConfig {
         for v in freq.iter_mut() {
             *v = Cplx::new(v.re * s, v.im * s);
         }
-        (0..self.used_subcarriers).map(|i| freq[self.bin(i)]).collect()
+        (0..self.used_subcarriers)
+            .map(|i| freq[self.bin(i)])
+            .collect()
     }
 
     /// Modulate a stream of symbols into consecutive OFDM symbols,
@@ -199,8 +208,9 @@ mod tests {
 
     #[test]
     fn parseval_energy_is_preserved() {
-        let mut buf: Vec<Cplx> =
-            (0..512).map(|i| Cplx::new((i as f32 * 0.7).sin(), (i as f32 * 1.3).sin())).collect();
+        let mut buf: Vec<Cplx> = (0..512)
+            .map(|i| Cplx::new((i as f32 * 0.7).sin(), (i as f32 * 1.3).sin()))
+            .collect();
         let t_energy: f32 = buf.iter().map(|v| v.norm_sq()).sum();
         fft(&mut buf, false);
         let f_energy: f32 = buf.iter().map(|v| v.norm_sq()).sum::<f32>() / 512.0;
@@ -224,7 +234,7 @@ mod tests {
     fn cp_really_is_a_prefix_copy() {
         let cfg = OfdmConfig::lte5mhz();
         let syms = Modulation::Qpsk.modulate(&random_bits(600, 8));
-        let tx = cfg.modulate(&syms[..300].to_vec());
+        let tx = cfg.modulate(&syms[..300]);
         assert_eq!(&tx[..cfg.cp_len], &tx[cfg.fft_size..]);
     }
 

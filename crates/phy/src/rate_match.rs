@@ -63,7 +63,11 @@ fn circular_buffer_map(d: usize) -> Vec<usize> {
         let p1 = v1[j];
         w.push(if p1 == usize::MAX { usize::MAX } else { d + p1 });
         let p2 = v2[j];
-        w.push(if p2 == usize::MAX { usize::MAX } else { 2 * d + p2 });
+        w.push(if p2 == usize::MAX {
+            usize::MAX
+        } else {
+            2 * d + p2
+        });
     }
     w
 }
@@ -78,7 +82,10 @@ pub struct RateMatcher {
 impl RateMatcher {
     /// For per-stream length `d = K + 4`.
     pub fn new(d: usize) -> Self {
-        Self { d, wmap: circular_buffer_map(d) }
+        Self {
+            d,
+            wmap: circular_buffer_map(d),
+        }
     }
 
     /// Circular buffer length `Ncb = 3·Kp`.
@@ -126,7 +133,11 @@ impl RateMatcher {
             k += 1;
         }
         let d = self.d;
-        [acc[..d].to_vec(), acc[d..2 * d].to_vec(), acc[2 * d..].to_vec()]
+        [
+            acc[..d].to_vec(),
+            acc[d..2 * d].to_vec(),
+            acc[2 * d..].to_vec(),
+        ]
     }
 }
 
@@ -141,8 +152,8 @@ pub mod conv {
 
     /// The §5.1.4.2 inter-column permutation.
     pub const COL_PERM_CC: [usize; 32] = [
-        1, 17, 9, 25, 5, 21, 13, 29, 3, 19, 11, 27, 7, 23, 15, 31, 0, 16, 8, 24, 4, 20, 12, 28,
-        2, 18, 10, 26, 6, 22, 14, 30,
+        1, 17, 9, 25, 5, 21, 13, 29, 3, 19, 11, 27, 7, 23, 15, 31, 0, 16, 8, 24, 4, 20, 12, 28, 2,
+        18, 10, 26, 6, 22, 14, 30,
     ];
 
     fn positions(d: usize) -> Vec<usize> {
@@ -174,7 +185,11 @@ pub mod conv {
             let mut wmap = Vec::with_capacity(3 * kp);
             for stream in 0..3 {
                 for &p in &pos {
-                    wmap.push(if p == usize::MAX { usize::MAX } else { stream * d + p });
+                    wmap.push(if p == usize::MAX {
+                        usize::MAX
+                    } else {
+                        stream * d + p
+                    });
                 }
             }
             Self { d, wmap }
@@ -212,7 +227,11 @@ pub mod conv {
                 k += 1;
             }
             let d = self.d;
-            [acc[..d].to_vec(), acc[d..2 * d].to_vec(), acc[2 * d..].to_vec()]
+            [
+                acc[..d].to_vec(),
+                acc[d..2 * d].to_vec(),
+                acc[2 * d..].to_vec(),
+            ]
         }
     }
 
@@ -268,8 +287,11 @@ pub mod conv {
             let tx = rm.rate_match(&streams, e);
             let llrs: Vec<Llr> = tx.iter().map(|&b| if b == 0 { 40 } else { -40 }).collect();
             let rx = rm.de_rate_match(&llrs);
-            let filled: usize =
-                rx.iter().flat_map(|s| s.iter()).filter(|&&l| l != 0).count();
+            let filled: usize = rx
+                .iter()
+                .flat_map(|s| s.iter())
+                .filter(|&&l| l != 0)
+                .count();
             assert_eq!(filled, e);
         }
     }
@@ -281,7 +303,11 @@ mod tests {
     use crate::bits::random_bits;
 
     fn dstreams(d: usize, seed: u64) -> [Vec<u8>; 3] {
-        [random_bits(d, seed), random_bits(d, seed + 1), random_bits(d, seed + 2)]
+        [
+            random_bits(d, seed),
+            random_bits(d, seed + 1),
+            random_bits(d, seed + 2),
+        ]
     }
 
     #[test]
@@ -298,7 +324,10 @@ mod tests {
                     assert!(!seen[p], "duplicate position {p}");
                     seen[p] = true;
                 }
-                assert!(seen.iter().all(|&s| s), "d={d} stream2={stream2} missing positions");
+                assert!(
+                    seen.iter().all(|&s| s),
+                    "d={d} stream2={stream2} missing positions"
+                );
             }
         }
     }
@@ -338,8 +367,7 @@ mod tests {
         let llrs: Vec<Llr> = tx.iter().map(|&b| if b == 0 { 80 } else { -80 }).collect();
         let rx = rm.de_rate_match(&llrs, 0);
         let flat_in: Vec<u8> = streams.iter().flat_map(|s| s.iter().copied()).collect();
-        let flat_out: Vec<Llr> =
-            rx.iter().flat_map(|s| s.iter().copied()).collect();
+        let flat_out: Vec<Llr> = rx.iter().flat_map(|s| s.iter().copied()).collect();
         let mut seen_nonzero = 0;
         for (i, &l) in flat_out.iter().enumerate() {
             if l != 0 {

@@ -4,7 +4,7 @@
 //! into code blocks, each receiving its own CRC24B; filler bits pad the
 //! first block up to the chosen QPP sizes.
 
-use crate::crc::{CRC24B};
+use crate::crc::CRC24B;
 use crate::interleaver::QppInterleaver;
 
 /// Maximum code block size Z.
@@ -49,7 +49,8 @@ impl Segmentation {
             // largest legal K < K+
             let k_minus = crate::interleaver::QPP_TABLE
                 .iter()
-                .map(|r| r.k as usize).rfind(|&k| k < k_plus)
+                .map(|r| r.k as usize)
+                .rfind(|&k| k < k_plus)
                 .unwrap_or(k_plus);
             let dk = k_plus - k_minus;
             match (c * k_plus - b_prime).checked_div(dk) {
@@ -58,7 +59,15 @@ impl Segmentation {
             }
         };
         let f = c_plus * k_plus + c_minus * k_minus - b_prime;
-        Self { b, c, k_plus, k_minus, c_minus, c_plus, f }
+        Self {
+            b,
+            c,
+            k_plus,
+            k_minus,
+            c_minus,
+            c_plus,
+            f,
+        }
     }
 
     /// Block size of code block `i` (K− blocks come first, per spec).

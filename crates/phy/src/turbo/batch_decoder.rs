@@ -22,7 +22,7 @@
 use super::decoder::{beta_init_from_tails, scale_extrinsic, DecodeOutcome, NEG_INF};
 use super::trellis::{self, STATES};
 use crate::interleaver::QppInterleaver;
-use crate::llr::{Llr, TurboLlrs, llr_to_bit};
+use crate::llr::{llr_to_bit, Llr, TurboLlrs};
 use vran_simd::{Mem, MemRef, RegWidth, Trace, VReg, VecVal, Vm};
 
 /// Replicate an 8-lane table across every 128-bit group of `width`,
@@ -31,8 +31,8 @@ fn group_table(width: RegWidth, table: [u8; STATES]) -> Vec<Option<u8>> {
     let groups = width.lanes128();
     let mut out = Vec::with_capacity(width.lanes());
     for g in 0..groups {
-        for i in 0..STATES {
-            out.push(Some((g * STATES) as u8 + table[i]));
+        for &t in &table {
+            out.push(Some((g * STATES) as u8 + t));
         }
     }
     out
@@ -42,7 +42,9 @@ fn group_table(width: RegWidth, table: [u8; STATES]) -> Vec<Option<u8>> {
 /// whole of group `g`.
 fn group_broadcast_table(width: RegWidth) -> Vec<Option<u8>> {
     let groups = width.lanes128();
-    (0..groups).flat_map(|g| std::iter::repeat_n(Some(g as u8), STATES)).collect()
+    (0..groups)
+        .flat_map(|g| std::iter::repeat_n(Some(g as u8), STATES))
+        .collect()
 }
 
 /// Per-group parity mask replicated across groups.
@@ -78,7 +80,11 @@ impl BatchTurboDecoder {
     /// Decoder for `width.lanes128()` parallel blocks of size `k`.
     pub fn new(k: usize, max_iterations: usize, width: RegWidth) -> Self {
         assert!(max_iterations >= 1);
-        Self { il: QppInterleaver::new(k), max_iterations, width }
+        Self {
+            il: QppInterleaver::new(k),
+            max_iterations,
+            width,
+        }
     }
 
     /// Number of blocks decoded per call.
@@ -99,7 +105,11 @@ impl BatchTurboDecoder {
     }
 
     /// Decode in tracing mode with an explicit iteration count.
-    pub fn decode_traced(&self, inputs: &[TurboLlrs], iterations: usize) -> (Vec<DecodeOutcome>, Trace) {
+    pub fn decode_traced(
+        &self,
+        inputs: &[TurboLlrs],
+        iterations: usize,
+    ) -> (Vec<DecodeOutcome>, Trace) {
         let (out, trace) = self.run(inputs, true, iterations);
         (out, trace.expect("tracing"))
     }
@@ -123,8 +133,8 @@ impl BatchTurboDecoder {
             let r = mem.alloc(k * b);
             for (g, input) in inputs.iter().enumerate() {
                 let src = f(input);
-                for step in 0..k {
-                    mem.set(r.base + step * b + g, src[step]);
+                for (step, &v) in src.iter().enumerate().take(k) {
+                    mem.set(r.base + step * b + g, v);
                 }
             }
             r
@@ -150,13 +160,19 @@ impl BatchTurboDecoder {
         let ext = mem.alloc(k * b);
         let post = mem.alloc(k * b);
 
-        let mut vm = if tracing { Vm::tracing(mem) } else { Vm::native(mem) };
+        let mut vm = if tracing {
+            Vm::tracing(mem)
+        } else {
+            Vm::native(mem)
+        };
 
         let mut bits = vec![vec![0u8; k]; b];
         let mut iterations_run = 0;
         for _ in 0..iterations {
             iterations_run += 1;
-            self.siso(&mut vm, sys, p1, la1, inputs, false, g0, gp, alpha_arr, ext, post);
+            self.siso(
+                &mut vm, sys, p1, la1, inputs, false, g0, gp, alpha_arr, ext, post,
+            );
             for g in 0..b {
                 for j in 0..k {
                     vm.scalar_map16(
@@ -166,7 +182,9 @@ impl BatchTurboDecoder {
                     );
                 }
             }
-            self.siso(&mut vm, sys_pi, p2, la2, inputs, true, g0, gp, alpha_arr, ext, post);
+            self.siso(
+                &mut vm, sys_pi, p2, la2, inputs, true, g0, gp, alpha_arr, ext, post,
+            );
             for g in 0..b {
                 for i in 0..k {
                     vm.scalar_map16(
@@ -184,7 +202,11 @@ impl BatchTurboDecoder {
         }
         let outcomes = bits
             .into_iter()
-            .map(|bits| DecodeOutcome { bits, iterations_run, crc_ok: None })
+            .map(|bits| DecodeOutcome {
+                bits,
+                iterations_run,
+                crc_ok: None,
+            })
             .collect();
         (outcomes, tracing.then(|| vm.take_trace()))
     }
@@ -243,8 +265,9 @@ impl BatchTurboDecoder {
         let bcast0 = group_rotate_table(w, 0); // lane g*8 broadcast helper below
         let _ = bcast0;
         // broadcast of each group's lane 0 across its group
-        let group_lane0: Vec<Option<u8>> =
-            (0..w.lanes()).map(|l| Some(((l / STATES) * STATES) as u8)).collect();
+        let group_lane0: Vec<Option<u8>> = (0..w.lanes())
+            .map(|l| Some(((l / STATES) * STATES) as u8))
+            .collect();
 
         let blend = |vm: &mut Vm, gpv: VReg, neg: VReg, mask: VReg| {
             let pos = vm.and(gpv, mask);
@@ -402,13 +425,15 @@ mod tests {
         let k = 64;
         let inputs: Vec<(Vec<u8>, TurboLlrs)> = (0..4).map(|g| make_input(k, 100 + g)).collect();
         let batch = BatchTurboDecoder::new(k, 3, RegWidth::Avx512);
-        let outs =
-            batch.decode_native(&inputs.iter().map(|(_, i)| i.clone()).collect::<Vec<_>>());
+        let outs = batch.decode_native(&inputs.iter().map(|(_, i)| i.clone()).collect::<Vec<_>>());
         assert_eq!(batch.batch(), 4);
         let scalar = TurboDecoder::new(k, 3);
         for (g, (bits, input)) in inputs.iter().enumerate() {
             let single = scalar.decode(input);
-            assert_eq!(outs[g].bits, single.bits, "block {g} diverged from scalar decode");
+            assert_eq!(
+                outs[g].bits, single.bits,
+                "block {g} diverged from scalar decode"
+            );
             assert_eq!(&outs[g].bits, bits, "block {g} must decode correctly");
         }
     }
@@ -418,8 +443,7 @@ mod tests {
         let k = 40;
         let inputs: Vec<(Vec<u8>, TurboLlrs)> = (0..2).map(|g| make_input(k, 77 + g)).collect();
         let batch = BatchTurboDecoder::new(k, 2, RegWidth::Avx256);
-        let outs =
-            batch.decode_native(&inputs.iter().map(|(_, i)| i.clone()).collect::<Vec<_>>());
+        let outs = batch.decode_native(&inputs.iter().map(|(_, i)| i.clone()).collect::<Vec<_>>());
         for (g, (bits, _)) in inputs.iter().enumerate() {
             assert_eq!(&outs[g].bits, bits);
         }
@@ -447,7 +471,10 @@ mod tests {
             "batched zmm decode must beat 4 serial xmm decodes: {speedup:.2}× \
              ({single} cycles single vs {batched} for 4 blocks)"
         );
-        assert!(speedup < 4.5, "speedup cannot exceed the lane advantage: {speedup:.2}×");
+        assert!(
+            speedup < 4.5,
+            "speedup cannot exceed the lane advantage: {speedup:.2}×"
+        );
     }
 
     #[test]

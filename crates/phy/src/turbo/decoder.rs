@@ -53,7 +53,10 @@ pub(crate) struct Gamma {
 impl Gamma {
     #[inline]
     pub(crate) fn new(ls: Llr, la: Llr, lp: Llr) -> Self {
-        Self { g0: srai16(adds16(ls, la), 1), gp: srai16(lp, 1) }
+        Self {
+            g0: srai16(adds16(ls, la), 1),
+            gp: srai16(lp, 1),
+        }
     }
 
     /// Metric of a transition carrying info bit `u` and parity bit `p`
@@ -110,7 +113,9 @@ pub(crate) fn siso(
     let k = sys.len();
     assert!(par.len() == k && apriori.len() == k);
 
-    let gammas: Vec<Gamma> = (0..k).map(|i| Gamma::new(sys[i], apriori[i], par[i])).collect();
+    let gammas: Vec<Gamma> = (0..k)
+        .map(|i| Gamma::new(sys[i], apriori[i], par[i]))
+        .collect();
 
     // Forward recursion, storing α for every step.
     let mut alphas: Vec<[Llr; STATES]> = Vec::with_capacity(k + 1);
@@ -197,7 +202,10 @@ impl TurboDecoder {
     /// iterations (OAI default territory: 5–8).
     pub fn new(k: usize, max_iterations: usize) -> Self {
         assert!(max_iterations >= 1);
-        Self { il: QppInterleaver::new(k), max_iterations }
+        Self {
+            il: QppInterleaver::new(k),
+            max_iterations,
+        }
     }
 
     /// Block size K.
@@ -241,8 +249,9 @@ impl TurboDecoder {
         for _ in 0..self.max_iterations {
             iterations_run += 1;
             let (e1, _) = siso(&s.sys, &s.p1, &la1, &input.tails.sys1, &input.tails.p1);
-            let la2: Vec<Llr> =
-                self.il.interleave(&e1.iter().map(|&e| scale_extrinsic(e)).collect::<Vec<_>>());
+            let la2: Vec<Llr> = self
+                .il
+                .interleave(&e1.iter().map(|&e| scale_extrinsic(e)).collect::<Vec<_>>());
             let (e2, post2) = siso(&sys_pi, &s.p2, &la2, &input.tails.sys2, &input.tails.p2);
             la1 = self
                 .il
@@ -261,7 +270,11 @@ impl TurboDecoder {
                 }
             }
         }
-        DecodeOutcome { bits, iterations_run, crc_ok }
+        DecodeOutcome {
+            bits,
+            iterations_run,
+            crc_ok,
+        }
     }
 }
 

@@ -38,9 +38,24 @@ impl TurboCodeword {
         let mut d0 = self.sys.clone();
         let mut d1 = self.p1.clone();
         let mut d2 = self.p2.clone();
-        d0.extend([self.tail_sys1[0], self.tail_p1[1], self.tail_sys2[0], self.tail_p2[1]]);
-        d1.extend([self.tail_p1[0], self.tail_sys1[2], self.tail_p2[0], self.tail_sys2[2]]);
-        d2.extend([self.tail_sys1[1], self.tail_p1[2], self.tail_sys2[1], self.tail_p2[2]]);
+        d0.extend([
+            self.tail_sys1[0],
+            self.tail_p1[1],
+            self.tail_sys2[0],
+            self.tail_p2[1],
+        ]);
+        d1.extend([
+            self.tail_p1[0],
+            self.tail_sys1[2],
+            self.tail_p2[0],
+            self.tail_sys2[2],
+        ]);
+        d2.extend([
+            self.tail_sys1[1],
+            self.tail_p1[2],
+            self.tail_sys2[1],
+            self.tail_p2[2],
+        ]);
         [d0, d1, d2]
     }
 
@@ -59,7 +74,9 @@ pub struct TurboEncoder {
 impl TurboEncoder {
     /// Encoder for block size `k` (must be a legal QPP size).
     pub fn new(k: usize) -> Self {
-        Self { il: QppInterleaver::new(k) }
+        Self {
+            il: QppInterleaver::new(k),
+        }
     }
 
     /// The interleaver in use (shared with the decoder).
@@ -141,7 +158,7 @@ mod tests {
         // Linear code: 0 → 0 (including tails: termination from state 0
         // is the zero transition).
         let enc = TurboEncoder::new(40);
-        let cw = enc.encode(&vec![0; 40]);
+        let cw = enc.encode(&[0; 40]);
         assert!(cw.p1.iter().all(|&b| b == 0));
         assert!(cw.p2.iter().all(|&b| b == 0));
         assert_eq!(cw.tail_sys1, [0; 3]);
@@ -169,8 +186,8 @@ mod tests {
         let cw = enc.encode(&random_bits(512, 5));
         assert_ne!(cw.p1, cw.p2, "interleaving must decorrelate the parities");
         // parity streams carry information (not constant)
-        assert!(cw.p1.iter().any(|&b| b == 1));
-        assert!(cw.p1.iter().any(|&b| b == 0));
+        assert!(cw.p1.contains(&1));
+        assert!(cw.p1.contains(&0));
     }
 
     #[test]
@@ -186,7 +203,10 @@ mod tests {
         let diff1: usize = ca.p1.iter().zip(&cb.p1).filter(|(x, y)| x != y).count();
         let diff2: usize = ca.p2.iter().zip(&cb.p2).filter(|(x, y)| x != y).count();
         assert!(diff1 > 4, "IIR parity must smear the impulse: {diff1}");
-        assert!(diff2 > 4, "interleaved parity must smear the impulse: {diff2}");
+        assert!(
+            diff2 > 4,
+            "interleaved parity must smear the impulse: {diff2}"
+        );
     }
 
     #[test]

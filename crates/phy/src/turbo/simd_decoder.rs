@@ -36,7 +36,10 @@ fn shuf(table: [u8; STATES]) -> [Option<u8>; STATES] {
 /// Mask vector: lane = all-ones where `parities[lane] == 0` (select
 /// `+γₚ`), zero otherwise.
 fn parity_mask(parities: [u8; STATES]) -> VecVal {
-    let lanes: Vec<i16> = parities.iter().map(|&p| if p == 0 { -1 } else { 0 }).collect();
+    let lanes: Vec<i16> = parities
+        .iter()
+        .map(|&p| if p == 0 { -1 } else { 0 })
+        .collect();
     VecVal::from_lanes(RegWidth::Sse128, &lanes)
 }
 
@@ -63,7 +66,11 @@ impl SimdTurboDecoder {
     /// always 8 × i16 = one xmm, like OAI).
     pub fn new(k: usize, max_iterations: usize, width: RegWidth) -> Self {
         assert!(max_iterations >= 1);
-        Self { il: QppInterleaver::new(k), max_iterations, width }
+        Self {
+            il: QppInterleaver::new(k),
+            max_iterations,
+            width,
+        }
     }
 
     /// Block size K.
@@ -84,7 +91,10 @@ impl SimdTurboDecoder {
         crc: Option<&Crc>,
     ) -> DecodeOutcome {
         let k = self.il.k();
-        assert!(sys.len == k && p1.len == k && p2.len == k, "stream regions must be length K");
+        assert!(
+            sys.len == k && p1.len == k && p2.len == k,
+            "stream regions must be length K"
+        );
 
         // Interleaved systematic stream for decoder 2 (built once).
         let sys_pi = vm.mem_mut().alloc(k);
@@ -107,7 +117,11 @@ impl SimdTurboDecoder {
             }
             self.siso(vm, sys_pi, p2, la2, &tails.sys2, &tails.p2, &s2);
             for i in 0..k {
-                vm.scalar_map16(s2.ext.base + self.il.pi_inv(i), la1.base + i, scale_extrinsic);
+                vm.scalar_map16(
+                    s2.ext.base + self.il.pi_inv(i),
+                    la1.base + i,
+                    scale_extrinsic,
+                );
             }
             for (i, b) in bits.iter_mut().enumerate() {
                 *b = llr_to_bit(vm.mem().get(s2.post.base + self.il.pi_inv(i)));
@@ -120,7 +134,11 @@ impl SimdTurboDecoder {
                 }
             }
         }
-        DecodeOutcome { bits, iterations_run, crc_ok }
+        DecodeOutcome {
+            bits,
+            iterations_run,
+            crc_ok,
+        }
     }
 
     /// Convenience: stage `input` into a fresh native-mode VM and
@@ -133,7 +151,11 @@ impl SimdTurboDecoder {
     /// Run `iterations` full iterations in tracing mode and return the
     /// outcome plus the recorded µop trace (for `vran-uarch`).
     pub fn decode_traced(&self, input: &TurboLlrs, iterations: usize) -> (DecodeOutcome, Trace) {
-        let capped = Self { il: QppInterleaver::new(self.il.k()), max_iterations: iterations, width: self.width };
+        let capped = Self {
+            il: QppInterleaver::new(self.il.k()),
+            max_iterations: iterations,
+            width: self.width,
+        };
         let (mut vm, (sys, p1, p2)) = capped.stage(input, true);
         let out = capped.decode_in_vm(&mut vm, sys, p1, p2, &input.tails, None);
         (out, vm.take_trace())
@@ -145,7 +167,11 @@ impl SimdTurboDecoder {
         let sys = mem.alloc_from(&input.streams.sys);
         let p1 = mem.alloc_from(&input.streams.p1);
         let p2 = mem.alloc_from(&input.streams.p2);
-        let vm = if tracing { Vm::tracing(mem) } else { Vm::native(mem) };
+        let vm = if tracing {
+            Vm::tracing(mem)
+        } else {
+            Vm::native(mem)
+        };
         (vm, (sys, p1, p2))
     }
 
@@ -317,7 +343,11 @@ mod tests {
                     .map(|&b| {
                         let mut v = bit_to_llr(b, mag) as i32;
                         for _ in 0..4 {
-                            v += if noise[idx] == 1 { noise_amp as i32 } else { -(noise_amp as i32) };
+                            v += if noise[idx] == 1 {
+                                noise_amp as i32
+                            } else {
+                                -(noise_amp as i32)
+                            };
                             idx += 1;
                         }
                         v.clamp(i16::MIN as i32, i16::MAX as i32) as Llr
@@ -396,10 +426,18 @@ mod tests {
         let (out, trace) = SimdTurboDecoder::new(k, 1, RegWidth::Sse128).decode_traced(&input, 1);
         assert_eq!(out.bits, bits);
         let h = trace.class_histogram();
-        assert!(h.vec_alu > h.store, "decoder is calculation-dominated: {h:?}");
+        assert!(
+            h.vec_alu > h.store,
+            "decoder is calculation-dominated: {h:?}"
+        );
         // the profile-relevant instruction kinds all appear
-        for kind in [OpKind::VAdds, OpKind::VSubs, OpKind::VMax, OpKind::VShuffle, OpKind::ExtractLane]
-        {
+        for kind in [
+            OpKind::VAdds,
+            OpKind::VSubs,
+            OpKind::VMax,
+            OpKind::VShuffle,
+            OpKind::ExtractLane,
+        ] {
             assert!(
                 trace.ops.iter().any(|o| o.kind == kind),
                 "{kind:?} missing from decoder trace"

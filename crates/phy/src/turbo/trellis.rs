@@ -142,7 +142,7 @@ mod tests {
             s = next_state(s, u);
         }
         assert_eq!(&out[..5], &[1, 1, 1, 1, 0], "impulse response head");
-        assert!(out[5..].iter().any(|&b| b == 1), "feedback keeps the response alive");
+        assert!(out[5..].contains(&1), "feedback keeps the response alive");
     }
 
     #[test]

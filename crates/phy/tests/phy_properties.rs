@@ -2,7 +2,6 @@
 //! that must hold for arbitrary inputs, not just the fixtures the unit
 //! tests use.
 
-use proptest::prelude::*;
 use vran_phy::bits::{pack_msb, random_bits, unpack_msb};
 use vran_phy::crc::{CRC16, CRC24A, CRC24B, CRC8};
 use vran_phy::interleaver::{QppInterleaver, QPP_TABLE};
@@ -13,6 +12,7 @@ use vran_phy::rate_match::RateMatcher;
 use vran_phy::scrambler::{descramble_llrs, scramble_bits, GoldSequence};
 use vran_phy::segmentation::Segmentation;
 use vran_phy::turbo::{TurboDecoder, TurboEncoder};
+use vran_util::proptest::prelude::*;
 
 fn bits_strategy(n: usize) -> impl Strategy<Value = Vec<u8>> {
     prop::collection::vec(0u8..2, n)

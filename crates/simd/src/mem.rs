@@ -33,7 +33,10 @@ impl MemRef {
             offset + len,
             self.len
         );
-        Self { base: self.base + offset, len }
+        Self {
+            base: self.base + offset,
+            len,
+        }
     }
 
     /// Region holding exactly one register of `width` at `offset` elements.

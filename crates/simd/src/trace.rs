@@ -8,8 +8,6 @@
 //! latency, and `bytes`/`addr` for register↔L1 bandwidth and cache
 //! accounting.
 
-use serde::{Deserialize, Serialize};
-
 /// SSA value id produced by a µop.
 pub type RegId = u32;
 
@@ -18,7 +16,7 @@ pub const NO_SRC: RegId = u32::MAX;
 
 /// Broad port class of an operation, matching the paper's Figure 2
 /// decomposition of the core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpClass {
     /// SIMD calculation: issues on the vector ALU ports (paper: P0, P1, P2).
     VecAlu,
@@ -37,7 +35,7 @@ pub enum OpClass {
 /// instruction IPC (Fig 7: `_mm_adds`, `_mm_subs`, `_mm_max`,
 /// `_mm_extract`) and because widening penalties differ per kind
 /// (§5.2: `vextracti128`, `vextracti32x8`, `vmovdqa64`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     // --- vector ALU (SIMD calculation) ---
     /// `_mm_adds_epi16` — saturating add.
@@ -151,7 +149,7 @@ impl OpKind {
 }
 
 /// One micro-operation in a trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MicroOp {
     /// Operation kind (determines ports + latency downstream).
     pub kind: OpKind,
@@ -180,7 +178,7 @@ impl MicroOp {
 }
 
 /// A recorded µop stream plus summary counters.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
     /// The µops in program order.
     pub ops: Vec<MicroOp>,
@@ -304,7 +302,7 @@ impl Trace {
 }
 
 /// Per-class µop counts.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ClassHistogram {
     /// Vector-ALU µops.
     pub vec_alu: u64,
@@ -338,7 +336,15 @@ mod tests {
     use super::*;
 
     fn mk(kind: OpKind, dst: Option<RegId>, srcs: [RegId; 3], first: bool) -> MicroOp {
-        MicroOp { kind, dst, srcs, bytes: 0, addr: None, first_of_instr: first, mispredict: false }
+        MicroOp {
+            kind,
+            dst,
+            srcs,
+            bytes: 0,
+            addr: None,
+            first_of_instr: first,
+            mispredict: false,
+        }
     }
 
     #[test]

@@ -24,7 +24,10 @@ impl VecVal {
     /// All-zero register of the given width.
     #[inline]
     pub fn zero(width: RegWidth) -> Self {
-        Self { lanes: [0; MAX_LANES], width }
+        Self {
+            lanes: [0; MAX_LANES],
+            width,
+        }
     }
 
     /// Broadcast a scalar into every lane (`_mm_set1_epi16`).
@@ -65,14 +68,22 @@ impl VecVal {
     /// Read a single lane (`_mm_extract_epi16` evaluation).
     #[inline]
     pub fn lane(&self, i: usize) -> i16 {
-        assert!(i < self.width.lanes(), "lane {i} out of range for {}", self.width);
+        assert!(
+            i < self.width.lanes(),
+            "lane {i} out of range for {}",
+            self.width
+        );
         self.lanes[i]
     }
 
     /// Write a single lane (used only by test scaffolding).
     #[inline]
     pub fn set_lane(&mut self, i: usize, v: i16) {
-        assert!(i < self.width.lanes(), "lane {i} out of range for {}", self.width);
+        assert!(
+            i < self.width.lanes(),
+            "lane {i} out of range for {}",
+            self.width
+        );
         self.lanes[i] = v;
     }
 
@@ -171,12 +182,19 @@ impl VecVal {
     /// rearrangement. This is the workhorse of the natural-order APCM
     /// variant (see `vran-arrange`).
     pub fn shuffle(self, table: &[Option<u8>]) -> Self {
-        assert_eq!(table.len(), self.width.lanes(), "shuffle table length mismatch");
+        assert_eq!(
+            table.len(),
+            self.width.lanes(),
+            "shuffle table length mismatch"
+        );
         let mut out = Self::zero(self.width);
         for (i, sel) in table.iter().enumerate() {
             out.lanes[i] = match sel {
                 Some(s) => {
-                    assert!((*s as usize) < self.width.lanes(), "shuffle index out of range");
+                    assert!(
+                        (*s as usize) < self.width.lanes(),
+                        "shuffle index out of range"
+                    );
                     self.lanes[*s as usize]
                 }
                 None => 0,
@@ -203,7 +221,11 @@ impl VecVal {
     /// Extract one 128-bit half/quarter as a fresh `Sse128` value
     /// (`vextracti128` for ymm, composition for zmm).
     pub fn extract128(self, idx: usize) -> VecVal {
-        assert!(idx < self.width.lanes128(), "128-bit lane {idx} out of range for {}", self.width);
+        assert!(
+            idx < self.width.lanes128(),
+            "128-bit lane {idx} out of range for {}",
+            self.width
+        );
         let mut out = VecVal::zero(RegWidth::Sse128);
         out.lanes[..8].copy_from_slice(&self.lanes[idx * 8..idx * 8 + 8]);
         out
@@ -211,7 +233,11 @@ impl VecVal {
 
     /// Extract a 256-bit half of a zmm register (`vextracti32x8`).
     pub fn extract256(self, idx: usize) -> VecVal {
-        assert_eq!(self.width, RegWidth::Avx512, "extract256 requires a zmm source");
+        assert_eq!(
+            self.width,
+            RegWidth::Avx512,
+            "extract256 requires a zmm source"
+        );
         assert!(idx < 2);
         let mut out = VecVal::zero(RegWidth::Avx256);
         out.lanes[..16].copy_from_slice(&self.lanes[idx * 16..idx * 16 + 16]);
@@ -257,7 +283,10 @@ mod tests {
         let a = v(&[i16::MAX, i16::MIN, 100, -100, 0, 1, -1, 32000]);
         let b = v(&[1, -1, 100, -100, 0, 1, -1, 1000]);
         let c = a.adds(b);
-        assert_eq!(c.lanes(), &[i16::MAX, i16::MIN, 200, -200, 0, 2, -2, i16::MAX]);
+        assert_eq!(
+            c.lanes(),
+            &[i16::MAX, i16::MIN, 200, -200, 0, 2, -2, i16::MAX]
+        );
     }
 
     #[test]
@@ -266,7 +295,10 @@ mod tests {
         let b = v(&[1, -1, i16::MIN, i16::MAX, 2, 2, 7, -7]);
         let c = a.subs(b);
         // 0 - i16::MIN saturates to i16::MAX (note: -MIN overflows).
-        assert_eq!(c.lanes(), &[i16::MIN, i16::MAX, i16::MAX, -i16::MAX, 3, -7, 0, 0]);
+        assert_eq!(
+            c.lanes(),
+            &[i16::MIN, i16::MAX, i16::MAX, -i16::MAX, 3, -7, 0, 0]
+        );
     }
 
     #[test]
@@ -292,7 +324,16 @@ mod tests {
     #[test]
     fn shuffle_moves_and_zeroes() {
         let a = v(&[10, 11, 12, 13, 14, 15, 16, 17]);
-        let t = [Some(7u8), None, Some(0), Some(0), None, Some(3), Some(6), Some(1)];
+        let t = [
+            Some(7u8),
+            None,
+            Some(0),
+            Some(0),
+            None,
+            Some(3),
+            Some(6),
+            Some(1),
+        ];
         let s = a.shuffle(&t);
         assert_eq!(s.lanes(), &[17, 0, 10, 10, 0, 13, 16, 11]);
     }

@@ -47,12 +47,22 @@ pub struct Vm {
 impl Vm {
     /// Native-mode VM over `mem`.
     pub fn native(mem: Mem) -> Self {
-        Self { mem, slots: Vec::new(), mode: VmMode::Native, trace: Trace::new() }
+        Self {
+            mem,
+            slots: Vec::new(),
+            mode: VmMode::Native,
+            trace: Trace::new(),
+        }
     }
 
     /// Tracing-mode VM over `mem`.
     pub fn tracing(mem: Mem) -> Self {
-        Self { mem, slots: Vec::new(), mode: VmMode::Tracing, trace: Trace::new() }
+        Self {
+            mem,
+            slots: Vec::new(),
+            mode: VmMode::Tracing,
+            trace: Trace::new(),
+        }
     }
 
     /// Current mode.
@@ -83,7 +93,10 @@ impl Vm {
     /// Inspect a register's value (test/oracle use).
     pub fn value(&self, r: VReg) -> VecVal {
         let s = &self.slots[r.0 as usize];
-        assert!(!s.dead, "use of clobbered register {r:?} (reload required after vextracti32x8)");
+        assert!(
+            !s.dead,
+            "use of clobbered register {r:?} (reload required after vextracti32x8)"
+        );
         s.val
     }
 
@@ -94,7 +107,11 @@ impl Vm {
     fn new_slot(&mut self, val: VecVal) -> (VReg, RegId) {
         let ssa = self.trace.fresh_reg();
         let idx = self.slots.len() as u32;
-        self.slots.push(Slot { val, ssa, dead: false });
+        self.slots.push(Slot {
+            val,
+            ssa,
+            dead: false,
+        });
         (VReg(idx), ssa)
     }
 
@@ -105,7 +122,15 @@ impl Vm {
     }
 
     fn uop(kind: OpKind, dst: Option<RegId>, srcs: [RegId; 3], first: bool) -> MicroOp {
-        MicroOp { kind, dst, srcs, bytes: 0, addr: None, first_of_instr: first, mispredict: false }
+        MicroOp {
+            kind,
+            dst,
+            srcs,
+            bytes: 0,
+            addr: None,
+            first_of_instr: first,
+            mispredict: false,
+        }
     }
 
     // ---------------------------------------------------------------
@@ -115,7 +140,11 @@ impl Vm {
     /// Full-register aligned load of one `width` register from `mr`.
     /// `mr.len` must equal `width.lanes()`.
     pub fn load(&mut self, width: RegWidth, mr: MemRef) -> VReg {
-        assert_eq!(mr.len, width.lanes(), "load region must be exactly one register");
+        assert_eq!(
+            mr.len,
+            width.lanes(),
+            "load region must be exactly one register"
+        );
         let val = VecVal::from_lanes(width, self.mem.read(mr));
         let (r, ssa) = self.new_slot(val);
         let mut op = Self::uop(OpKind::VLoad, Some(ssa), [NO_SRC; 3], true);
@@ -167,7 +196,12 @@ impl Vm {
         ld.addr = Some((src * 2) as u64);
         self.record(ld);
         let alu_ssa = self.trace.fresh_reg();
-        self.record(Self::uop(OpKind::SAlu, Some(alu_ssa), [ld_ssa, NO_SRC, NO_SRC], true));
+        self.record(Self::uop(
+            OpKind::SAlu,
+            Some(alu_ssa),
+            [ld_ssa, NO_SRC, NO_SRC],
+            true,
+        ));
         let mut st = Self::uop(OpKind::StoreLane, None, [alu_ssa, NO_SRC, NO_SRC], true);
         st.bytes = 2;
         st.addr = Some((dst * 2) as u64);
@@ -180,7 +214,11 @@ impl Vm {
     /// dependency, so the scheduler cannot overlap the access with the
     /// index computation — cache latency becomes visible.
     pub fn load_indexed(&mut self, width: RegWidth, mr: MemRef, idx_src: VReg) -> VReg {
-        assert_eq!(mr.len, width.lanes(), "load region must be exactly one register");
+        assert_eq!(
+            mr.len,
+            width.lanes(),
+            "load region must be exactly one register"
+        );
         let val = VecVal::from_lanes(width, self.mem.read(mr));
         let dep = self.ssa_of(idx_src);
         let (r, ssa) = self.new_slot(val);
@@ -194,7 +232,11 @@ impl Vm {
     /// Full-register aligned store of `r` to `mr`.
     pub fn store(&mut self, r: VReg, mr: MemRef) {
         let val = self.value(r);
-        assert_eq!(mr.len, val.width().lanes(), "store region must be exactly one register");
+        assert_eq!(
+            mr.len,
+            val.width().lanes(),
+            "store region must be exactly one register"
+        );
         self.mem.write(mr).copy_from_slice(val.lanes());
         let src = self.ssa_of(r);
         let mut op = Self::uop(OpKind::VStore, None, [src, NO_SRC, NO_SRC], true);
@@ -213,7 +255,12 @@ impl Vm {
         self.mem.set(addr, v);
         let src = self.ssa_of(r);
         let ext_ssa = self.trace.fresh_reg();
-        let ext = Self::uop(OpKind::ExtractLane, Some(ext_ssa), [src, NO_SRC, NO_SRC], true);
+        let ext = Self::uop(
+            OpKind::ExtractLane,
+            Some(ext_ssa),
+            [src, NO_SRC, NO_SRC],
+            true,
+        );
         self.record(ext);
         let mut st = Self::uop(OpKind::StoreLane, None, [ext_ssa, NO_SRC, NO_SRC], false);
         st.bytes = 2;
@@ -226,11 +273,19 @@ impl Vm {
     /// movement ports (paper §5.2 ymm penalty path).
     pub fn extract128(&mut self, r: VReg, idx: usize) -> VReg {
         let val = self.value(r);
-        assert!(val.width() != RegWidth::Sse128, "extract128 requires a wider source");
+        assert!(
+            val.width() != RegWidth::Sse128,
+            "extract128 requires a wider source"
+        );
         let out = val.extract128(idx);
         let src = self.ssa_of(r);
         let (nr, ssa) = self.new_slot(out);
-        self.record(Self::uop(OpKind::Extract128, Some(ssa), [src, NO_SRC, NO_SRC], true));
+        self.record(Self::uop(
+            OpKind::Extract128,
+            Some(ssa),
+            [src, NO_SRC, NO_SRC],
+            true,
+        ));
         nr
     }
 
@@ -247,7 +302,12 @@ impl Vm {
         let src = self.ssa_of(r);
         self.slots[r.0 as usize].dead = true;
         let (nr, ssa) = self.new_slot(out);
-        self.record(Self::uop(OpKind::Extract256, Some(ssa), [src, NO_SRC, NO_SRC], true));
+        self.record(Self::uop(
+            OpKind::Extract256,
+            Some(ssa),
+            [src, NO_SRC, NO_SRC],
+            true,
+        ));
         nr
     }
 
@@ -255,7 +315,13 @@ impl Vm {
     // vector ALU
     // ---------------------------------------------------------------
 
-    fn bin(&mut self, kind: OpKind, a: VReg, b: VReg, f: impl Fn(VecVal, VecVal) -> VecVal) -> VReg {
+    fn bin(
+        &mut self,
+        kind: OpKind,
+        a: VReg,
+        b: VReg,
+        f: impl Fn(VecVal, VecVal) -> VecVal,
+    ) -> VReg {
         let out = f(self.value(a), self.value(b));
         let (sa, sb) = (self.ssa_of(a), self.ssa_of(b));
         let (r, ssa) = self.new_slot(out);
@@ -318,7 +384,12 @@ impl Vm {
         let out = self.value(a).srai(imm);
         let sa = self.ssa_of(a);
         let (r, ssa) = self.new_slot(out);
-        self.record(Self::uop(OpKind::VSrai, Some(ssa), [sa, NO_SRC, NO_SRC], true));
+        self.record(Self::uop(
+            OpKind::VSrai,
+            Some(ssa),
+            [sa, NO_SRC, NO_SRC],
+            true,
+        ));
         r
     }
 
@@ -327,7 +398,12 @@ impl Vm {
         let out = self.value(a).slli(imm);
         let sa = self.ssa_of(a);
         let (r, ssa) = self.new_slot(out);
-        self.record(Self::uop(OpKind::VSlli, Some(ssa), [sa, NO_SRC, NO_SRC], true));
+        self.record(Self::uop(
+            OpKind::VSlli,
+            Some(ssa),
+            [sa, NO_SRC, NO_SRC],
+            true,
+        ));
         r
     }
 
@@ -352,7 +428,12 @@ impl Vm {
         let out = self.value(a).shuffle(table);
         let sa = self.ssa_of(a);
         let (r, ssa) = self.new_slot(out);
-        self.record(Self::uop(OpKind::VShuffle, Some(ssa), [sa, NO_SRC, NO_SRC], true));
+        self.record(Self::uop(
+            OpKind::VShuffle,
+            Some(ssa),
+            [sa, NO_SRC, NO_SRC],
+            true,
+        ));
         r
     }
 
@@ -364,7 +445,12 @@ impl Vm {
         let out = self.value(a).rotate_lanes_left(n);
         let sa = self.ssa_of(a);
         let (r, ssa) = self.new_slot(out);
-        self.record(Self::uop(OpKind::VShuffle, Some(ssa), [sa, NO_SRC, NO_SRC], true));
+        self.record(Self::uop(
+            OpKind::VShuffle,
+            Some(ssa),
+            [sa, NO_SRC, NO_SRC],
+            true,
+        ));
         r
     }
 
@@ -493,7 +579,16 @@ mod tests {
     fn shuffle_and_rotate_are_vec_alu() {
         let (mut vm, mr) = vm_with(&[0, 1, 2, 3, 4, 5, 6, 7]);
         let a = vm.load(RegWidth::Sse128, mr);
-        let t = [Some(1u8), Some(0), Some(3), Some(2), Some(5), Some(4), Some(7), Some(6)];
+        let t = [
+            Some(1u8),
+            Some(0),
+            Some(3),
+            Some(2),
+            Some(5),
+            Some(4),
+            Some(7),
+            Some(6),
+        ];
         let s = vm.shuffle(a, &t);
         assert_eq!(vm.value(s).lanes(), &[1, 0, 3, 2, 5, 4, 7, 6]);
         let rr = vm.rotate_lanes_left(a, 2);

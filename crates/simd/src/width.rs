@@ -7,13 +7,11 @@
 //! point LLRs — the paper's `pextrw` ("extract word") baseline moves
 //! exactly one such lane per instruction.
 
-use serde::{Deserialize, Serialize};
-
 /// Maximum number of `i16` lanes across all supported widths (zmm).
 pub const MAX_LANES: usize = 32;
 
 /// The three x86 SIMD register widths the paper evaluates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum RegWidth {
     /// 128-bit `xmm` registers (SSE2..SSE4.2 era). 8 × i16 lanes.
     Sse128,

@@ -3,8 +3,8 @@
 //! foundation of the bit-exactness contract between the scalar and
 //! SIMD decoders.
 
-use proptest::prelude::*;
 use vran_simd::{Mem, RegWidth, VecVal, Vm};
+use vran_util::proptest::prelude::*;
 
 fn lanes_strategy(w: RegWidth) -> impl Strategy<Value = Vec<i16>> {
     prop::collection::vec(any::<i16>(), w.lanes())
@@ -34,9 +34,9 @@ proptest! {
     #[test]
     fn shifts_match_scalar(a in lanes_strategy(RegWidth::Avx256), imm in 0u32..16) {
         let v = VecVal::from_lanes(RegWidth::Avx256, &a);
-        for i in 0..16 {
-            prop_assert_eq!(v.srai(imm).lane(i), a[i] >> imm);
-            prop_assert_eq!(v.slli(imm).lane(i), ((a[i] as u16) << imm) as i16);
+        for (i, &ai) in a.iter().enumerate().take(16) {
+            prop_assert_eq!(v.srai(imm).lane(i), ai >> imm);
+            prop_assert_eq!(v.slli(imm).lane(i), ((ai as u16) << imm) as i16);
         }
     }
 
@@ -62,7 +62,7 @@ proptest! {
             p.swap(i, (s >> 33) as usize % (i + 1));
         }
         let fwd: Vec<Option<u8>> = p.iter().map(|&x| Some(x)).collect();
-        let mut inv = vec![0u8; 8];
+        let mut inv = [0u8; 8];
         for (i, &x) in p.iter().enumerate() {
             inv[x as usize] = i as u8;
         }

@@ -17,13 +17,11 @@
 //! write-allocate / write-back, but dirtiness is not tracked — only hit
 //! levels matter for the latency model.
 
-use serde::{Deserialize, Serialize};
-
 /// Cache line size in bytes (all modeled Intel parts).
 pub const LINE_BYTES: u64 = 64;
 
 /// Configuration for one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheLevelConfig {
     /// Capacity in bytes.
     pub size_bytes: u64,
@@ -35,7 +33,7 @@ pub struct CacheLevelConfig {
 }
 
 /// Configuration of the full hierarchy plus DRAM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// L1 data cache.
     pub l1: CacheLevelConfig,
@@ -51,9 +49,21 @@ impl CacheConfig {
     /// Wimpy node (Core i7-8700, Coffee Lake): Table 1 column 1.
     pub const fn wimpy() -> Self {
         Self {
-            l1: CacheLevelConfig { size_bytes: 32 << 10, ways: 8, extra_latency: 0 },
-            l2: CacheLevelConfig { size_bytes: 256 << 10, ways: 4, extra_latency: 10 },
-            l3: CacheLevelConfig { size_bytes: 12 << 20, ways: 16, extra_latency: 38 },
+            l1: CacheLevelConfig {
+                size_bytes: 32 << 10,
+                ways: 8,
+                extra_latency: 0,
+            },
+            l2: CacheLevelConfig {
+                size_bytes: 256 << 10,
+                ways: 4,
+                extra_latency: 10,
+            },
+            l3: CacheLevelConfig {
+                size_bytes: 12 << 20,
+                ways: 16,
+                extra_latency: 38,
+            },
             dram_extra_latency: 180,
         }
     }
@@ -61,16 +71,28 @@ impl CacheConfig {
     /// Beefy node (Xeon W-2195, Skylake-W): Table 1 column 2.
     pub const fn beefy() -> Self {
         Self {
-            l1: CacheLevelConfig { size_bytes: 32 << 10, ways: 8, extra_latency: 0 },
-            l2: CacheLevelConfig { size_bytes: 1 << 20, ways: 16, extra_latency: 10 },
-            l3: CacheLevelConfig { size_bytes: 25344 << 10, ways: 11, extra_latency: 50 },
+            l1: CacheLevelConfig {
+                size_bytes: 32 << 10,
+                ways: 8,
+                extra_latency: 0,
+            },
+            l2: CacheLevelConfig {
+                size_bytes: 1 << 20,
+                ways: 16,
+                extra_latency: 10,
+            },
+            l3: CacheLevelConfig {
+                size_bytes: 25344 << 10,
+                ways: 11,
+                extra_latency: 50,
+            },
             dram_extra_latency: 180,
         }
     }
 }
 
 /// Which level serviced an access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HitLevel {
     /// Serviced by L1d.
     L1,
@@ -83,7 +105,7 @@ pub enum HitLevel {
 }
 
 /// Hit/access counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Total accesses.
     pub accesses: u64,
@@ -250,7 +272,7 @@ mod tests {
         let cfg = CacheConfig::wimpy();
         let mut c = CacheSim::new(cfg);
         let ws = 64 << 10; // 64 KiB > 32 KiB L1, < 256 KiB L2
-        // two streaming passes
+                           // two streaming passes
         for pass in 0..2 {
             for a in (0..ws).step_by(64) {
                 let (lvl, _) = c.access(a, 64);
@@ -261,7 +283,10 @@ mod tests {
             }
         }
         let s = c.stats();
-        assert!(s.l2_hits > 0, "L1-overflowing set must produce L2 hits: {s:?}");
+        assert!(
+            s.l2_hits > 0,
+            "L1-overflowing set must produce L2 hits: {s:?}"
+        );
     }
 
     #[test]
@@ -300,7 +325,7 @@ mod tests {
             assert_eq!(lvl, HitLevel::L1);
         }
         let after = c.stats();
-        assert_eq!(after.l1_hits - warm.l1_hits, (ws / 64) as u64);
+        assert_eq!(after.l1_hits - warm.l1_hits, ws / 64);
     }
 
     #[test]

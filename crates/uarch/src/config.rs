@@ -2,10 +2,9 @@
 
 use crate::cache::CacheConfig;
 use crate::ports::PortModel;
-use serde::{Deserialize, Serialize};
 
 /// Full core configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoreConfig {
     /// Allocation/rename width — µop slots filled per cycle. 4 on all
     /// modeled parts; this is the denominator of every top-down metric
@@ -56,18 +55,28 @@ impl CoreConfig {
     /// Steady-state variant of this configuration (see
     /// [`CoreConfig::warm_caches`]).
     pub fn warmed(self) -> Self {
-        Self { warm_caches: true, ..self }
+        Self {
+            warm_caches: true,
+            ..self
+        }
     }
 
     /// Beefy node: Intel Xeon W-2195 @ 2.30 GHz (Skylake-W), paper §4.1.
     pub fn beefy() -> Self {
-        Self { cache: CacheConfig::beefy(), freq_ghz: 2.3, ..Self::wimpy() }
+        Self {
+            cache: CacheConfig::beefy(),
+            freq_ghz: 2.3,
+            ..Self::wimpy()
+        }
     }
 
     /// Beefy node with frontend-bubble injection disabled — used by
     /// unit tests that need exact slot arithmetic.
     pub fn ideal() -> Self {
-        Self { fetch_bubble_every: 0, ..Self::beefy() }
+        Self {
+            fetch_bubble_every: 0,
+            ..Self::beefy()
+        }
     }
 
     /// Convert a cycle count to microseconds at this core's frequency.

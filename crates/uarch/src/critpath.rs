@@ -54,7 +54,13 @@ impl Bounds {
 /// steady-state floor.
 pub fn bounds(trace: &Trace, cfg: &CoreConfig) -> Bounds {
     // --- dependency bound: longest path over the SSA DAG ---
-    let max_ssa = trace.ops.iter().filter_map(|o| o.dst).max().map(|m| m as usize + 1).unwrap_or(0);
+    let max_ssa = trace
+        .ops
+        .iter()
+        .filter_map(|o| o.dst)
+        .max()
+        .map(|m| m as usize + 1)
+        .unwrap_or(0);
     // finish[ssa] = earliest cycle the value can be ready
     let mut finish = vec![0u64; max_ssa];
     let mut longest = 0u64;
@@ -71,7 +77,10 @@ pub fn bounds(trace: &Trace, cfg: &CoreConfig) -> Bounds {
     let h = trace.class_histogram();
     let per_class = [
         (h.vec_alu, cfg.ports.ports_for(OpClass::VecAlu).len() as u64),
-        (h.scalar_alu, cfg.ports.ports_for(OpClass::ScalarAlu).len() as u64),
+        (
+            h.scalar_alu,
+            cfg.ports.ports_for(OpClass::ScalarAlu).len() as u64,
+        ),
         (h.load, cfg.ports.ports_for(OpClass::Load).len() as u64),
         (h.store, cfg.ports.ports_for(OpClass::Store).len() as u64),
         (h.branch, cfg.ports.ports_for(OpClass::Branch).len() as u64),
@@ -87,7 +96,11 @@ pub fn bounds(trace: &Trace, cfg: &CoreConfig) -> Bounds {
 
     let frontend = (trace.len() as u64).div_ceil(cfg.issue_width as u64);
 
-    Bounds { dependency: longest, resource, frontend }
+    Bounds {
+        dependency: longest,
+        resource,
+        frontend,
+    }
 }
 
 #[cfg(test)]
@@ -113,9 +126,19 @@ mod tests {
         assert!(bd.dependency >= 500, "{bd:?}");
         assert_eq!(bd.binding(), "dependency");
         let r = CoreSim::new(cfg()).run(&t);
-        assert!(r.cycles >= bd.overall(), "sim {} below bound {}", r.cycles, bd.overall());
+        assert!(
+            r.cycles >= bd.overall(),
+            "sim {} below bound {}",
+            r.cycles,
+            bd.overall()
+        );
         // and reasonably tight for a pure chain
-        assert!(r.cycles <= bd.overall() + 16, "sim {} vs bound {}", r.cycles, bd.overall());
+        assert!(
+            r.cycles <= bd.overall() + 16,
+            "sim {} vs bound {}",
+            r.cycles,
+            bd.overall()
+        );
     }
 
     #[test]
@@ -129,7 +152,10 @@ mod tests {
         let t = vm.take_trace();
         let bd = bounds(&t, &cfg());
         assert_eq!(bd.binding(), "ports");
-        assert!(bd.resource >= 300, "900 independent vec ops over 3 ports: {bd:?}");
+        assert!(
+            bd.resource >= 300,
+            "900 independent vec ops over 3 ports: {bd:?}"
+        );
         let r = CoreSim::new(cfg()).run(&t);
         assert!(r.cycles >= bd.overall());
     }

@@ -8,11 +8,10 @@
 //! the mapping configurable for ablation benches (e.g. "what if extracts
 //! could use the ALU ports?").
 
-use serde::{Deserialize, Serialize};
 use vran_simd::OpClass;
 
 /// An issue port P0..P7.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Port(pub u8);
 
 impl Port {
@@ -21,7 +20,7 @@ impl Port {
 }
 
 /// A set of ports, as a bitmask over P0..P7.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PortSet(pub u8);
 
 impl PortSet {
@@ -59,12 +58,14 @@ impl PortSet {
 
     /// Iterate over member ports, lowest index first.
     pub fn iter(self) -> impl Iterator<Item = Port> {
-        (0..Port::COUNT as u8).filter(move |p| self.0 & (1 << p) != 0).map(Port)
+        (0..Port::COUNT as u8)
+            .filter(move |p| self.0 & (1 << p) != 0)
+            .map(Port)
     }
 }
 
 /// Mapping from µop class to the ports it may issue on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PortModel {
     /// Ports for SIMD calculation µops.
     pub vec_alu: PortSet,

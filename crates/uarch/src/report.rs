@@ -2,12 +2,11 @@
 
 use crate::cache::CacheStats;
 use crate::ports::Port;
-use serde::{Deserialize, Serialize};
 use vran_simd::ClassHistogram;
 
 /// Yasin top-down level-1 (+ backend level-2 split) slot fractions.
 /// All five fields are in `[0, 1]` and sum to ~1.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct TopDown {
     /// Slots filled by µops that eventually retire.
     pub retiring: f64,
@@ -42,7 +41,7 @@ impl TopDown {
 }
 
 /// One sampled cycle of execution (see `CoreSim::run_sampled`).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CycleSample {
     /// Cycle index.
     pub cycle: u64,
@@ -55,7 +54,7 @@ pub struct CycleSample {
 }
 
 /// Everything the simulator measures for one trace.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SimReport {
     /// Simulated cycles from first allocation to last retirement.
     pub cycles: u64,

@@ -83,7 +83,11 @@ impl DepGraph {
                 }
             }
         }
-        Self { offsets, edges, producer_of }
+        Self {
+            offsets,
+            edges,
+            producer_of,
+        }
     }
 
     fn dependents(&self, op: usize) -> &[u32] {
@@ -367,7 +371,7 @@ impl CoreSim {
             }
 
             if let Some((every, max)) = sampling {
-                if cycle % every == 0 && samples.len() < max {
+                if cycle.is_multiple_of(every) && samples.len() < max {
                     samples.push(crate::report::CycleSample {
                         cycle,
                         port_dispatch: cycle_ports,
@@ -452,20 +456,31 @@ mod tests {
         // front end delivers 4. This is the paper's "ideal IPC 3 for
         // SIMD calculation".
         let r = sim().run(&independent_alu_trace(3000));
-        assert!(r.ipc > 2.7 && r.ipc <= 3.05, "vec ALU IPC should approach 3, got {}", r.ipc);
+        assert!(
+            r.ipc > 2.7 && r.ipc <= 3.05,
+            "vec ALU IPC should approach 3, got {}",
+            r.ipc
+        );
         // ports 0..2 busy, others idle
         assert!(r.port_util[0] > 0.9);
         assert!(r.port_util[1] > 0.9);
         assert!(r.port_util[2] > 0.9);
         assert_eq!(r.port_busy[4], 0);
-        assert!(r.topdown.backend_core > 0.15, "port-bound kernel shows core bound");
+        assert!(
+            r.topdown.backend_core > 0.15,
+            "port-bound kernel shows core bound"
+        );
     }
 
     #[test]
     fn chained_alu_exposes_dependency_stalls() {
         let r = sim().run(&chained_alu_trace(2000));
         // Serial chain: ~1 µop/cycle regardless of port count.
-        assert!(r.ipc < 1.2, "dependent chain must be latency-bound, got {}", r.ipc);
+        assert!(
+            r.ipc < 1.2,
+            "dependent chain must be latency-bound, got {}",
+            r.ipc
+        );
         assert!(r.topdown.backend_core > 0.5);
     }
 
@@ -474,7 +489,11 @@ mod tests {
         let mut vm = Vm::tracing(Mem::new());
         vm.scalar_ops(4000);
         let r = sim().run(&vm.take_trace());
-        assert!(r.ipc > 3.7, "scalar code should approach ideal IPC 4, got {}", r.ipc);
+        assert!(
+            r.ipc > 3.7,
+            "scalar code should approach ideal IPC 4, got {}",
+            r.ipc
+        );
         assert!(r.topdown.retiring > 0.9);
         assert!(r.topdown.backend() < 0.1);
     }
@@ -492,9 +511,17 @@ mod tests {
         }
         let rep = sim().run(&vm.take_trace());
         // 2000 movement µops on 2 ports → ≥1000 cycles; µops/cycle ≈ 2.
-        assert!(rep.upc < 2.3, "store-port-bound kernel capped near 2 µops/cycle: {}", rep.upc);
+        assert!(
+            rep.upc < 2.3,
+            "store-port-bound kernel capped near 2 µops/cycle: {}",
+            rep.upc
+        );
         // IPC counts instructions (pextrw = 2 µops) → ≈ 1.
-        assert!(rep.ipc < 1.3, "baseline-style extraction IPC ≈ 1, got {}", rep.ipc);
+        assert!(
+            rep.ipc < 1.3,
+            "baseline-style extraction IPC ≈ 1, got {}",
+            rep.ipc
+        );
         assert!(
             rep.topdown.backend_core > 0.35,
             "movement-port saturation is backend-core bound: {:?}",
@@ -535,7 +562,11 @@ mod tests {
         let mut cfg = CoreConfig::ideal();
         cfg.fetch_bubble_every = 4; // one bubble cycle in four
         let r = CoreSim::new(cfg).run(&independent_alu_trace(2000));
-        assert!(r.topdown.frontend > 0.1, "bubbles must appear as frontend: {:?}", r.topdown);
+        assert!(
+            r.topdown.frontend > 0.1,
+            "bubbles must appear as frontend: {:?}",
+            r.topdown
+        );
     }
 
     #[test]
@@ -581,7 +612,7 @@ mod tests {
         // Interleave loads and full-register stores over a small, hot
         // region so everything after the first line hits L1.
         let mut mem = Mem::new();
-        let src = mem.alloc_from(&vec![1i16; 64]);
+        let src = mem.alloc_from(&[1i16; 64]);
         let dst = mem.alloc(64);
         let mut vm = Vm::tracing(mem);
         for i in 0..400 {
@@ -593,7 +624,11 @@ mod tests {
         assert_eq!(rep.load_bytes, 400 * 16);
         // Full-register stores keep the store path far above the 16
         // bits/cycle the extract-based baseline achieves.
-        assert!(rep.store_bw_bits_per_cycle > 100.0, "{}", rep.store_bw_bits_per_cycle);
+        assert!(
+            rep.store_bw_bits_per_cycle > 100.0,
+            "{}",
+            rep.store_bw_bits_per_cycle
+        );
     }
 
     #[test]
@@ -608,7 +643,11 @@ mod tests {
         let r = vm.load(RegWidth::Sse128, src);
         vm.store(r, dst);
         let rep = sim().run(&vm.take_trace());
-        assert!(rep.cycles > 150, "cold DRAM miss must dominate: {} cycles", rep.cycles);
+        assert!(
+            rep.cycles > 150,
+            "cold DRAM miss must dominate: {} cycles",
+            rep.cycles
+        );
         assert!(rep.topdown.backend_mem > 0.5, "{:?}", rep.topdown);
     }
 

@@ -1,7 +1,7 @@
 //! Property tests for the set-associative cache model.
 
-use proptest::prelude::*;
 use vran_uarch::cache::{CacheConfig, CacheSim, HitLevel};
+use vran_util::proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -93,5 +93,9 @@ fn capacity_eviction_is_lru_not_random() {
         c.access(a, 8); // MRU refresh
     }
     let (lvl, _) = c.access(a, 8);
-    assert_eq!(lvl, HitLevel::L1, "frequently-touched line must stay resident");
+    assert_eq!(
+        lvl,
+        HitLevel::L1,
+        "frequently-touched line must stay resident"
+    );
 }

@@ -16,7 +16,10 @@ use vran_phy::modulation::Modulation;
 fn main() {
     let mut b = PacketBuilder::new(443, 50000);
     println!("== downlink over block-fading Rayleigh + ZF equalization ==\n");
-    println!("{:>8}  {:>7}  {:>5}  {:>8}  {:>8}", "SNR dB", "mod", "rv", "DCI", "data");
+    println!(
+        "{:>8}  {:>7}  {:>5}  {:>8}  {:>8}",
+        "SNR dB", "mod", "rv", "DCI", "data"
+    );
     for (snr, modulation) in [
         (8.0, Modulation::Qpsk),
         (14.0, Modulation::Qpsk),

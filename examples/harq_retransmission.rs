@@ -21,7 +21,10 @@ fn main() {
     let e = 560; // rate ≈ 0.91 per attempt — too thin on its own
     let flip_every = 7; // ~14 % of coded bits arrive inverted
 
-    println!("== HARQ: K={k}, {e} coded bits/attempt (rate ≈ {:.2}), heavy noise ==\n", k as f64 / e as f64);
+    println!(
+        "== HARQ: K={k}, {e} coded bits/attempt (rate ≈ {:.2}), heavy noise ==\n",
+        k as f64 / e as f64
+    );
     let mut tx = HarqTransmitter::new(&cw);
     let mut rx = HarqReceiver::new(k, 6);
     for attempt in 0.. {

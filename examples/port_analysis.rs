@@ -14,7 +14,11 @@ use vran_uarch::{CoreConfig, CoreSim};
 
 fn bar(frac: f64) -> String {
     let n = (frac * 20.0).round() as usize;
-    format!("{}{}", "█".repeat(n.min(20)), "░".repeat(20usize.saturating_sub(n)))
+    format!(
+        "{}{}",
+        "█".repeat(n.min(20)),
+        "░".repeat(20usize.saturating_sub(n))
+    )
 }
 
 fn main() {

@@ -53,8 +53,15 @@ fn main() {
     println!("\narranged streams identical across mechanisms ✓");
 
     // 4. Decode from the arranged streams.
-    let dec_in = TurboLlrs { k, streams: streams.pop().unwrap(), tails: turbo_in.tails };
+    let dec_in = TurboLlrs {
+        k,
+        streams: streams.pop().unwrap(),
+        tails: turbo_in.tails,
+    };
     let out = TurboDecoder::new(k, 5).decode(&dec_in);
     assert_eq!(out.bits, bits);
-    println!("decoded {k} bits correctly in {} iterations ✓", out.iterations_run);
+    println!(
+        "decoded {k} bits correctly in {} iterations ✓",
+        out.iterations_run
+    );
 }

@@ -28,7 +28,8 @@ fn main() {
     for (s, label) in cases {
         let data: Vec<i16> = (0..s * n).map(|i| (i % 509) as i16 - 254).collect();
         let run = |apcm: bool| {
-            let (streams, t) = StrideKernel::new(RegWidth::Sse128, s, apcm).deinterleave(&data, true);
+            let (streams, t) =
+                StrideKernel::new(RegWidth::Sse128, s, apcm).deinterleave(&data, true);
             assert_eq!(streams.len(), s);
             sim.run(&t.unwrap()).cycles
         };

@@ -2,12 +2,12 @@
 //! contents and any legal block size, every mechanism at every width
 //! must reproduce the scalar oracle — and identical decoder outcomes.
 
-use proptest::prelude::*;
 use vran_arrange::{ApcmVariant, ArrangeKernel, Mechanism};
 use vran_phy::interleaver::QPP_TABLE;
 use vran_phy::llr::{InterleavedLlrs, TurboLlrs};
 use vran_phy::turbo::{TurboDecoder, TurboEncoder};
 use vran_simd::RegWidth;
+use vran_util::proptest::prelude::*;
 
 fn mechanisms() -> [Mechanism; 3] {
     [
@@ -88,7 +88,11 @@ fn decoder_is_blind_to_the_arrangement_mechanism() {
     let d = cw.to_dstreams();
     let mut soft: [Vec<i16>; 3] = d
         .iter()
-        .map(|s| s.iter().map(|&b| if b == 0 { 48i16 } else { -48 }).collect())
+        .map(|s| {
+            s.iter()
+                .map(|&b| if b == 0 { 48i16 } else { -48 })
+                .collect()
+        })
         .collect::<Vec<_>>()
         .try_into()
         .unwrap();
@@ -106,12 +110,22 @@ fn decoder_is_blind_to_the_arrangement_mechanism() {
             let kern = ArrangeKernel::new(width, mech);
             let (streams, _) = kern.arrange(&interleaved, false);
             let streams = kern.depermute(&streams);
-            let input = TurboLlrs { k, streams, tails: turbo_in.tails };
+            let input = TurboLlrs {
+                k,
+                streams,
+                tails: turbo_in.tails,
+            };
             outcomes.push(dec.decode(&input).bits);
         }
     }
     for o in &outcomes[1..] {
-        assert_eq!(o, &outcomes[0], "decoder outcome depends on arrangement mechanism");
+        assert_eq!(
+            o, &outcomes[0],
+            "decoder outcome depends on arrangement mechanism"
+        );
     }
-    assert_eq!(outcomes[0], bits, "the common outcome should be a correct decode");
+    assert_eq!(
+        outcomes[0], bits,
+        "the common outcome should be a correct decode"
+    );
 }

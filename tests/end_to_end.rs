@@ -8,7 +8,11 @@ use vran_net::runner::run_throughput;
 use vran_phy::modulation::Modulation;
 use vran_simd::RegWidth;
 
-fn process(cfg: PipelineConfig, transport: Transport, size: usize) -> vran_net::pipeline::PacketResult {
+fn process(
+    cfg: PipelineConfig,
+    transport: Transport,
+    size: usize,
+) -> vran_net::pipeline::PacketResult {
     let mut b = PacketBuilder::new(4000, 4001);
     let p = b.build(transport, size).unwrap();
     UplinkPipeline::new(cfg).process(&p)
@@ -17,9 +21,16 @@ fn process(cfg: PipelineConfig, transport: Transport, size: usize) -> vran_net::
 #[test]
 fn every_modulation_closes_the_loop_at_adequate_snr() {
     // Operating points with comfortable margin for rate-1/2 turbo.
-    for (m, snr) in [(Modulation::Qpsk, 6.0), (Modulation::Qam16, 13.0), (Modulation::Qam64, 20.0)]
-    {
-        let cfg = PipelineConfig { modulation: m, snr_db: snr, ..Default::default() };
+    for (m, snr) in [
+        (Modulation::Qpsk, 6.0),
+        (Modulation::Qam16, 13.0),
+        (Modulation::Qam64, 20.0),
+    ] {
+        let cfg = PipelineConfig {
+            modulation: m,
+            snr_db: snr,
+            ..Default::default()
+        };
         let r = process(cfg, Transport::Udp, 512);
         assert!(r.ok, "{} at {snr} dB must decode: {r:?}", m.name());
     }
@@ -41,7 +52,10 @@ fn snr_waterfall_is_monotone() {
         successes.push((snr, process(cfg, Transport::Udp, 256).ok));
     }
     let first_ok = successes.iter().position(|(_, ok)| *ok);
-    assert!(first_ok.is_some(), "16-QAM must decode somewhere below 20 dB: {successes:?}");
+    assert!(
+        first_ok.is_some(),
+        "16-QAM must decode somewhere below 20 dB: {successes:?}"
+    );
     for (snr, ok) in &successes[first_ok.unwrap()..] {
         assert!(ok, "non-monotone waterfall at {snr} dB: {successes:?}");
     }
@@ -78,7 +92,10 @@ fn mechanisms_are_functionally_transparent_at_the_packet_level() {
 #[test]
 fn segmented_transport_blocks_survive() {
     // 1500 B → multi-code-block TB with per-block CRC24B.
-    let cfg = PipelineConfig { snr_db: 25.0, ..Default::default() };
+    let cfg = PipelineConfig {
+        snr_db: 25.0,
+        ..Default::default()
+    };
     for transport in [Transport::Udp, Transport::Tcp] {
         let r = process(cfg, transport, 1500);
         assert!(r.ok, "{}: {r:?}", transport.name());
@@ -102,7 +119,10 @@ fn corrupted_channel_is_detected_not_miscorrected() {
 
 #[test]
 fn threaded_runner_matches_single_shot_results() {
-    let cfg = PipelineConfig { snr_db: 28.0, ..Default::default() };
+    let cfg = PipelineConfig {
+        snr_db: 28.0,
+        ..Default::default()
+    };
     let rep = run_throughput(cfg, Transport::Udp, 300, 6);
     assert_eq!(rep.packets, 6);
     assert_eq!(rep.ok_packets, 6);
@@ -113,7 +133,11 @@ fn threaded_runner_matches_single_shot_results() {
 #[test]
 fn packet_size_sweep_matches_figure13_grid() {
     // Every Figure 13 grid point must be processable.
-    let cfg = PipelineConfig { snr_db: 25.0, decoder_iterations: 4, ..Default::default() };
+    let cfg = PipelineConfig {
+        snr_db: 25.0,
+        decoder_iterations: 4,
+        ..Default::default()
+    };
     let pipe = UplinkPipeline::new(cfg);
     for size in [64usize, 256, 512, 1024, 1500] {
         for transport in [Transport::Udp, Transport::Tcp] {

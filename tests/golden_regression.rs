@@ -13,7 +13,9 @@ use vran_uarch::{CoreConfig, CoreSim};
 fn cycles(width: RegWidth, mech: Mechanism) -> u64 {
     let input = synthetic_interleaved(768, 42);
     let (_, trace) = ArrangeKernel::new(width, mech).arrange(&input, true);
-    CoreSim::new(CoreConfig::beefy().warmed()).run(&trace.unwrap()).cycles
+    CoreSim::new(CoreConfig::beefy().warmed())
+        .run(&trace.unwrap())
+        .cycles
 }
 
 #[test]
@@ -50,8 +52,8 @@ fn golden_trace_shapes() {
     assert_eq!(t.len(), 96 * 51);
     assert_eq!(t.instr_count(), 96 * 27);
 
-    let (_, t) =
-        ArrangeKernel::new(RegWidth::Sse128, Mechanism::Apcm(ApcmVariant::Shuffle)).arrange(&input, true);
+    let (_, t) = ArrangeKernel::new(RegWidth::Sse128, Mechanism::Apcm(ApcmVariant::Shuffle))
+        .arrange(&input, true);
     let t = t.unwrap();
     // per group: 3 loads + 9 shuffles + 6 ors + 3 stores = 21
     assert_eq!(t.len(), 96 * 21);

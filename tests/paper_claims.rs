@@ -11,7 +11,11 @@ fn claim_backend_bound_collapse() {
     let f = experiments::fig15::run();
     let orig = f.value("SSE128/original", "backend").unwrap();
     let apcm = f.value("SSE128/apcm", "backend").unwrap();
-    assert!((0.35..0.60).contains(&orig), "original backend ≈45 %, got {:.1}%", orig * 100.0);
+    assert!(
+        (0.35..0.60).contains(&orig),
+        "original backend ≈45 %, got {:.1}%",
+        orig * 100.0
+    );
     assert!(apcm < 0.10, "APCM backend ≈3 %, got {:.1}%", apcm * 100.0);
 }
 
@@ -33,8 +37,14 @@ fn claim_arrangement_cpu_time_reduction() {
     let f = experiments::fig14::run();
     let r128 = f.value("SSE128", "reduction %").unwrap();
     let r512 = f.value("AVX512", "reduction %").unwrap();
-    assert!((55.0..90.0).contains(&r128), "≈67 % at 128 bits, got {r128:.0}%");
-    assert!((85.0..99.0).contains(&r512), "≈92 % at 512 bits, got {r512:.0}%");
+    assert!(
+        (55.0..90.0).contains(&r128),
+        "≈67 % at 128 bits, got {r128:.0}%"
+    );
+    assert!(
+        (85.0..99.0).contains(&r512),
+        "≈92 % at 512 bits, got {r512:.0}%"
+    );
 }
 
 /// Abstract claim 4: "overall latency of the vRAN packet transmission
@@ -46,17 +56,25 @@ fn claim_packet_latency_reduction() {
     let r = f.rows.iter().find(|r| r.label == "UDP-1500B").unwrap();
     let red128 = (1.0 - r.values[1] / r.values[0]) * 100.0;
     let red512 = (1.0 - r.values[5] / r.values[4]) * 100.0;
-    assert!((7.0..18.0).contains(&red128), "≈12 % at SSE128, got {red128:.1}%");
-    assert!((15.0..28.0).contains(&red512), "≈20 % at AVX512, got {red512:.1}%");
+    assert!(
+        (7.0..18.0).contains(&red128),
+        "≈12 % at SSE128, got {red128:.1}%"
+    );
+    assert!(
+        (15.0..28.0).contains(&red512),
+        "≈20 % at AVX512, got {red512:.1}%"
+    );
 }
 
 /// §6 claim: "the IPC soar from 1.2, 1.1, and 1.05 to 3.6, 3.5, 3.3".
 #[test]
 fn claim_ipc_soars() {
     let f = experiments::fig15::run();
-    for (w, o_hi, a_lo) in
-        [("SSE128", 1.5, 3.3), ("AVX256", 1.5, 3.3), ("AVX512", 1.5, 3.2)]
-    {
+    for (w, o_hi, a_lo) in [
+        ("SSE128", 1.5, 3.3),
+        ("AVX256", 1.5, 3.3),
+        ("AVX512", 1.5, 3.2),
+    ] {
         let orig = f.value(&format!("{w}/original"), "IPC").unwrap();
         let apcm = f.value(&format!("{w}/apcm"), "IPC").unwrap();
         assert!(orig < o_hi, "{w}: original IPC ≈1.0-1.2, got {orig:.2}");
@@ -70,8 +88,8 @@ fn claim_ipc_soars() {
 fn claim_capacity_gains() {
     let f = experiments::fig16::run();
     for w in ["SSE128", "AVX256", "AVX512"] {
-        let gain = f.value(w, "Mbps/core apcm").unwrap() / f.value(w, "Mbps/core orig").unwrap()
-            - 1.0;
+        let gain =
+            f.value(w, "Mbps/core apcm").unwrap() / f.value(w, "Mbps/core orig").unwrap() - 1.0;
         assert!(
             (0.06..0.40).contains(&gain),
             "{w}: utilization gain ≈12-29 %, got {:.1}%",
@@ -80,7 +98,10 @@ fn claim_capacity_gains() {
     }
     let co = f.value("AVX512", "cores orig").unwrap();
     let ca = f.value("AVX512", "cores apcm").unwrap();
-    assert!(co - ca >= 2.0, "AVX512 must save multiple cores (paper 12→9): {co}→{ca}");
+    assert!(
+        co - ca >= 2.0,
+        "AVX512 must save multiple cores (paper 12→9): {co}→{ca}"
+    );
 }
 
 /// §6 claim: under the original mechanism "2.2 % more CPU time is
@@ -112,8 +133,16 @@ fn claim_apcm_scales_with_width() {
     ];
     let step1 = 1.0 - a[1] / a[0];
     let step2 = 1.0 - a[2] / a[1];
-    assert!((0.35..0.65).contains(&step1), "≈49 % per doubling, got {:.0}%", step1 * 100.0);
-    assert!((0.35..0.65).contains(&step2), "≈51 % per doubling, got {:.0}%", step2 * 100.0);
+    assert!(
+        (0.35..0.65).contains(&step1),
+        "≈49 % per doubling, got {:.0}%",
+        step1 * 100.0
+    );
+    assert!(
+        (0.35..0.65).contains(&step2),
+        "≈51 % per doubling, got {:.0}%",
+        step2 * 100.0
+    );
 }
 
 /// §4.1 claim: the beefy server trades memory bound for core bound.
@@ -130,7 +159,10 @@ fn claim_beefy_trades_memory_for_core_bound() {
             traded += 1;
         }
     }
-    assert!(traded >= 2, "most SIMD kernels must show the memory→core trade");
+    assert!(
+        traded >= 2,
+        "most SIMD kernels must show the memory→core trade"
+    );
 }
 
 /// Figure 9 claim: "the operation time proportion of the data
@@ -142,6 +174,12 @@ fn claim_arrangement_share_trend() {
     let orig_share_128 = f.value("SSE128", "share orig %").unwrap();
     let orig_share_512 = f.value("AVX512", "share orig %").unwrap();
     let apcm_share_512 = f.value("AVX512", "share apcm %").unwrap();
-    assert!(orig_share_512 > orig_share_128, "original share must grow with width");
-    assert!(apcm_share_512 < 5.0, "APCM share at 512 bits ≈1.8 %, got {apcm_share_512:.1}%");
+    assert!(
+        orig_share_512 > orig_share_128,
+        "original share must grow with width"
+    );
+    assert!(
+        apcm_share_512 < 5.0,
+        "APCM share at 512 bits ≈1.8 %, got {apcm_share_512:.1}%"
+    );
 }

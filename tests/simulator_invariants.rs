@@ -2,9 +2,9 @@
 //! generated µop stream, the accounting identities the top-down method
 //! relies on must hold.
 
-use proptest::prelude::*;
 use vran_simd::{Mem, RegWidth, Trace, Vm};
 use vran_uarch::{CoreConfig, CoreSim, Port};
+use vran_util::proptest::prelude::*;
 
 /// Build a random-but-well-formed trace from a small op alphabet.
 fn arbitrary_trace(ops: &[u8], seed: u64) -> Trace {

@@ -16,6 +16,7 @@
 //! `pshufb`) and 512 bits (AVX-512BW `vpermi2w`), the two clean points.
 
 use vran_phy::llr::SoftStreams;
+use vran_simd::host::{self, HostIsa};
 
 /// Available native kernel implementations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,47 +45,70 @@ impl NativeImpl {
             NativeImpl::ApcmAvx512 => "apcm-avx512",
         }
     }
+
+    /// The [`HostIsa`] level this implementation requires.
+    pub fn required_isa(self) -> HostIsa {
+        match self {
+            NativeImpl::Scalar => HostIsa::Scalar,
+            NativeImpl::BaselineSse2 => HostIsa::Sse2,
+            NativeImpl::ApcmSsse3 => HostIsa::Ssse3,
+            NativeImpl::BaselineAvx512 | NativeImpl::ApcmAvx512 => HostIsa::Avx512bw,
+        }
+    }
 }
 
 /// The implementations usable on this host, scalar first.
 pub fn available() -> Vec<NativeImpl> {
-    let mut v = vec![NativeImpl::Scalar];
-    #[cfg(target_arch = "x86_64")]
-    {
-        if std::arch::is_x86_feature_detected!("sse2") {
-            v.push(NativeImpl::BaselineSse2);
-        }
-        if std::arch::is_x86_feature_detected!("ssse3") {
-            v.push(NativeImpl::ApcmSsse3);
-        }
-        if std::arch::is_x86_feature_detected!("avx512bw") {
-            v.push(NativeImpl::BaselineAvx512);
-            v.push(NativeImpl::ApcmAvx512);
-        }
+    [
+        NativeImpl::Scalar,
+        NativeImpl::BaselineSse2,
+        NativeImpl::ApcmSsse3,
+        NativeImpl::BaselineAvx512,
+        NativeImpl::ApcmAvx512,
+    ]
+    .into_iter()
+    .filter(|imp| host::has(imp.required_isa()))
+    .collect()
+}
+
+/// The fastest arrangement (APCM) implementation the host supports.
+pub fn best_apcm() -> NativeImpl {
+    if host::has(HostIsa::Avx512bw) {
+        NativeImpl::ApcmAvx512
+    } else if host::has(HostIsa::Ssse3) {
+        NativeImpl::ApcmSsse3
+    } else {
+        NativeImpl::Scalar
     }
-    v
 }
 
 /// De-interleave `3k` triple-interleaved LLRs into three arrays using
 /// the chosen implementation. Panics if the host lacks the required
 /// feature (check [`available`] first).
 pub fn deinterleave(imp: NativeImpl, input: &[i16], k: usize) -> SoftStreams {
-    assert_eq!(input.len(), 3 * k);
     let mut out = SoftStreams::zeros(k);
-    match imp {
-        NativeImpl::Scalar => scalar(input, k, &mut out),
-        #[cfg(target_arch = "x86_64")]
-        NativeImpl::BaselineSse2 => unsafe { baseline_sse2(input, k, &mut out) },
-        #[cfg(target_arch = "x86_64")]
-        NativeImpl::ApcmSsse3 => unsafe { apcm_ssse3(input, k, &mut out) },
-        #[cfg(target_arch = "x86_64")]
-        NativeImpl::BaselineAvx512 => unsafe { baseline_avx512(input, k, &mut out) },
-        #[cfg(target_arch = "x86_64")]
-        NativeImpl::ApcmAvx512 => unsafe { apcm_avx512(input, k, &mut out) },
-        #[cfg(not(target_arch = "x86_64"))]
-        _ => scalar(input, k, &mut out),
-    }
+    deinterleave_into(imp, input, k, &mut out);
     out
+}
+
+/// Allocation-free variant of [`deinterleave`]: writes into `out`,
+/// which must already hold `k`-element streams.
+pub fn deinterleave_into(imp: NativeImpl, input: &[i16], k: usize, out: &mut SoftStreams) {
+    assert_eq!(input.len(), 3 * k);
+    assert!(out.sys.len() == k && out.p1.len() == k && out.p2.len() == k);
+    match imp {
+        NativeImpl::Scalar => scalar(input, k, out),
+        #[cfg(target_arch = "x86_64")]
+        NativeImpl::BaselineSse2 => unsafe { baseline_sse2(input, k, out) },
+        #[cfg(target_arch = "x86_64")]
+        NativeImpl::ApcmSsse3 => unsafe { apcm_ssse3(input, k, out) },
+        #[cfg(target_arch = "x86_64")]
+        NativeImpl::BaselineAvx512 => unsafe { baseline_avx512(input, k, out) },
+        #[cfg(target_arch = "x86_64")]
+        NativeImpl::ApcmAvx512 => unsafe { apcm_avx512(input, k, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar(input, k, out),
+    }
 }
 
 fn scalar(input: &[i16], k: usize, out: &mut SoftStreams) {
@@ -318,5 +342,31 @@ mod tests {
     fn names_are_distinct() {
         let names: std::collections::HashSet<_> = available().iter().map(|i| i.name()).collect();
         assert_eq!(names.len(), available().len());
+    }
+
+    #[test]
+    fn available_matches_host_isa_levels() {
+        for imp in available() {
+            assert!(host::has(imp.required_isa()), "{}", imp.name());
+        }
+    }
+
+    #[test]
+    fn deinterleave_into_reuses_buffers() {
+        let k = 96;
+        let input = sample(k);
+        let expect = deinterleave(NativeImpl::Scalar, &input, k);
+        let mut out = SoftStreams::zeros(k);
+        for imp in available() {
+            let ptr = out.sys.as_ptr();
+            deinterleave_into(imp, &input, k, &mut out);
+            assert_eq!(out, expect, "{}", imp.name());
+            assert_eq!(out.sys.as_ptr(), ptr, "{} must not reallocate", imp.name());
+        }
+    }
+
+    #[test]
+    fn best_apcm_is_available() {
+        assert!(available().contains(&best_apcm()));
     }
 }

@@ -7,6 +7,7 @@ use vran_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterio
 use vran_bench::turbo_workload;
 use vran_phy::turbo::batch_decoder::BatchTurboDecoder;
 use vran_phy::turbo::simd_decoder::SimdTurboDecoder;
+use vran_phy::turbo::{NativeBatchTurboDecoder, NativeTurboDecoder};
 use vran_simd::RegWidth;
 
 fn bench_batch_decoder(c: &mut Criterion) {
@@ -23,6 +24,30 @@ fn bench_batch_decoder(c: &mut Criterion) {
     g.bench_function("batch4_zmm", |b| {
         let dec = BatchTurboDecoder::new(k, 1, RegWidth::Avx512);
         b.iter(|| dec.decode_native(std::hint::black_box(&inputs)))
+    });
+    g.finish();
+}
+
+fn bench_native_batch(c: &mut Criterion) {
+    // Real-hardware pair decode: two blocks per ymm vs two sequential
+    // single-block native decodes on the same inputs.
+    let k = 6144;
+    let pair = [turbo_workload(k, 30).1, turbo_workload(k, 31).1];
+    let mut g = c.benchmark_group("batch_decode_native");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(2 * k as u64));
+    g.bench_function("single_x2", |b| {
+        let dec = NativeTurboDecoder::new(k, 4);
+        b.iter(|| {
+            (
+                dec.decode(std::hint::black_box(&pair[0])),
+                dec.decode(std::hint::black_box(&pair[1])),
+            )
+        })
+    });
+    g.bench_function("pair_ymm", |b| {
+        let dec = NativeBatchTurboDecoder::new(k, 4);
+        b.iter(|| dec.decode_pair(std::hint::black_box(&pair)))
     });
     g.finish();
 }
@@ -48,7 +73,7 @@ fn bench_stride(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = fast();
-    targets = bench_batch_decoder, bench_stride
+    targets = bench_batch_decoder, bench_native_batch, bench_stride
 }
 
 /// Short measurement windows keep `cargo bench --workspace` in CI

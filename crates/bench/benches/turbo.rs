@@ -7,7 +7,7 @@ use vran_bench::turbo_workload;
 use vran_phy::bits::random_bits;
 use vran_phy::crc::CRC24B;
 use vran_phy::turbo::simd_decoder::SimdTurboDecoder;
-use vran_phy::turbo::{TurboDecoder, TurboEncoder};
+use vran_phy::turbo::{DecodeScratch, DecoderIsa, NativeTurboDecoder, TurboDecoder, TurboEncoder};
 use vran_simd::RegWidth;
 
 fn bench_encoder(c: &mut Criterion) {
@@ -66,6 +66,37 @@ fn bench_decoder_early_stop(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_native_decoder(c: &mut Criterion) {
+    // The real-intrinsics fast path at every ISA level the host
+    // supports, on the allocation-free scratch entry point the uplink
+    // pipeline uses.
+    let k = 6144;
+    let (_, input) = turbo_workload(k, 11);
+    let mut g = c.benchmark_group("turbo_decode_native_4it");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(k as u64));
+    for isa in DecoderIsa::available() {
+        let dec = NativeTurboDecoder::with_isa(k, 4, isa);
+        let mut scratch = DecodeScratch::new();
+        let mut bits = Vec::new();
+        g.bench_function(isa.name(), |b| {
+            b.iter(|| {
+                let r = dec.decode_streams_into(
+                    std::hint::black_box(&input.streams.sys),
+                    &input.streams.p1,
+                    &input.streams.p2,
+                    &input.tails,
+                    None,
+                    &mut scratch,
+                    &mut bits,
+                );
+                std::hint::black_box(r)
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_simd_decoder_vm(c: &mut Criterion) {
     // The VM-evaluated SIMD decoder (native mode): slower wall-clock
     // than the scalar decoder (it is an emulator), but bit-exact; this
@@ -87,6 +118,7 @@ criterion_group! {
     targets = bench_encoder,
     bench_decoder,
     bench_decoder_early_stop,
+    bench_native_decoder,
     bench_simd_decoder_vm
 }
 

@@ -2,10 +2,13 @@
 //!
 //! Runs a pinned, deterministic suite — the arrangement kernels,
 //! original vs APCM, at all three register widths through the
-//! `vran-uarch` simulator, plus static pipeline invariants — and a
-//! wall-clock smoke run of the threaded packet pipeline. Writes
-//! `BENCH_current.json` and, with `--check`, compares the gated suites
-//! against `BENCH_baseline.json`, exiting non-zero on regression.
+//! `vran-uarch` simulator, plus static pipeline invariants — and two
+//! wall-clock (never gating) suites: a smoke run of the threaded
+//! packet pipeline and the native turbo-decoder fast path (scalar
+//! reference vs each runtime-dispatched ISA level, plus the AVX2
+//! two-block batch). Writes `BENCH_current.json` and, with `--check`,
+//! compares the gated suites against `BENCH_baseline.json`, exiting
+//! non-zero on regression.
 //!
 //! ```text
 //! benchgate [--check] [--write-baseline]
@@ -13,13 +16,17 @@
 //! ```
 
 use std::process::ExitCode;
+use std::time::Instant;
 use vran_arrange::{ApcmVariant, ArrangeKernel, Mechanism};
 use vran_bench::gate::{compare, BenchReport, Suite};
-use vran_bench::interleaved_workload;
+use vran_bench::{interleaved_workload, turbo_workload};
 use vran_net::metrics::{PipelineMetrics, RunnerMetrics, Stage, UarchMetrics};
 use vran_net::pipeline::PipelineConfig;
 use vran_net::runner::{run_throughput_metered, RING_CAPACITY};
 use vran_net::Transport;
+use vran_phy::turbo::{
+    DecodeScratch, DecoderIsa, NativeBatchTurboDecoder, NativeTurboDecoder, TurboDecoder,
+};
 use vran_simd::RegWidth;
 use vran_uarch::{CoreConfig, CoreSim};
 
@@ -31,6 +38,11 @@ const SIM_SEED: u64 = 1;
 const SMOKE_PACKETS: usize = 16;
 /// Wire bytes per smoke packet.
 const SMOKE_WIRE_LEN: usize = 512;
+/// Timed repetitions per decoder configuration (median taken).
+const DECODE_REPS: usize = 25;
+/// Decoder iterations for the fast-path suite — fixed, no CRC early
+/// stop, so every configuration does identical work.
+const DECODE_ITERS: usize = 4;
 
 struct Args {
     check: bool,
@@ -117,6 +129,77 @@ fn arrange_sim_suite() -> Suite {
     suite
 }
 
+/// Median-of-`reps` wall-clock nanoseconds for one call of `f`, after
+/// two warm-up calls.
+fn median_ns(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    f();
+    let mut samples: Vec<u64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2] as f64
+}
+
+/// Ungated: the turbo-decoder fast path — scalar reference vs the
+/// native kernels at every ISA level the host dispatches to, plus the
+/// AVX2 two-block batch, all on the pinned K = 6144 workload.
+fn decoder_native_suite() -> Suite {
+    let mut suite = Suite::new("decoder_native", false);
+    let (_, input) = turbo_workload(SIM_K, SIM_SEED);
+    // Information bits delivered per decode call.
+    let per_block_bits = SIM_K as f64;
+
+    let scalar = TurboDecoder::new(SIM_K, DECODE_ITERS);
+    let scalar_ns = median_ns(DECODE_REPS, || {
+        std::hint::black_box(scalar.decode(std::hint::black_box(&input)));
+    });
+    suite.push("scalar.ns_per_block", scalar_ns);
+    suite.push("scalar.bits_per_s", per_block_bits * 1e9 / scalar_ns);
+
+    for isa in DecoderIsa::available() {
+        let dec = NativeTurboDecoder::with_isa(SIM_K, DECODE_ITERS, isa);
+        let mut scratch = DecodeScratch::new();
+        let mut bits = Vec::new();
+        let ns = median_ns(DECODE_REPS, || {
+            let r = dec.decode_streams_into(
+                std::hint::black_box(&input.streams.sys),
+                &input.streams.p1,
+                &input.streams.p2,
+                &input.tails,
+                None,
+                &mut scratch,
+                &mut bits,
+            );
+            std::hint::black_box(r);
+        });
+        let p = format!("native.{}", isa.name());
+        suite.push(format!("{p}.ns_per_block"), ns);
+        suite.push(format!("{p}.bits_per_s"), per_block_bits * 1e9 / ns);
+        suite.push(format!("{p}.speedup"), scalar_ns / ns);
+    }
+
+    let pair = [
+        turbo_workload(SIM_K, SIM_SEED).1,
+        turbo_workload(SIM_K, SIM_SEED + 1).1,
+    ];
+    let batch = NativeBatchTurboDecoder::new(SIM_K, DECODE_ITERS);
+    let pair_ns = median_ns(DECODE_REPS, || {
+        std::hint::black_box(batch.decode_pair(std::hint::black_box(&pair)));
+    });
+    suite.push("batch2.ns_per_block", pair_ns / 2.0);
+    suite.push(
+        "batch2.accelerated",
+        f64::from(NativeBatchTurboDecoder::is_accelerated()),
+    );
+    suite.push("batch2.speedup", scalar_ns / (pair_ns / 2.0));
+    suite
+}
+
 /// Gated: host-independent outcomes of one pipeline run at a pinned
 /// seed — block structure and decoder effort must not drift.
 fn pipeline_static_suite(metrics: &PipelineMetrics) -> Suite {
@@ -162,8 +245,11 @@ fn build_report() -> BenchReport {
         ("sim_seed".into(), SIM_SEED.to_string()),
         ("smoke_packets".into(), SMOKE_PACKETS.to_string()),
         ("smoke_wire_len".into(), SMOKE_WIRE_LEN.to_string()),
+        ("decode_reps".into(), DECODE_REPS.to_string()),
+        ("decode_iters".into(), DECODE_ITERS.to_string()),
     ];
     report.suites.push(arrange_sim_suite());
+    report.suites.push(decoder_native_suite());
 
     let pm = std::sync::Arc::new(PipelineMetrics::new(true));
     let rm = RunnerMetrics::new(true, RING_CAPACITY);

@@ -13,8 +13,10 @@
 
 use vran_util::Json;
 
-/// Schema identifier written into every report.
-pub const SCHEMA: &str = "vran-benchgate/1";
+/// Schema identifier written into every report. Bumped to `/2` when
+/// the native-decoder fast-path suite and the pipeline scratch
+/// counters landed; older baselines must be regenerated, not compared.
+pub const SCHEMA: &str = "vran-benchgate/2";
 
 /// One named metric set.
 #[derive(Debug, Clone, PartialEq)]

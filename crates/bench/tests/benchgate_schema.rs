@@ -54,3 +54,25 @@ fn baseline_is_self_consistent() {
     );
     assert_ne!(b.git_sha, "");
 }
+
+#[test]
+fn baseline_has_native_decoder_suite() {
+    let b = baseline();
+    let dn = b.suite("decoder_native").expect("decoder_native suite");
+    assert!(!dn.gated, "wall-clock decoder numbers must never gate CI");
+    assert!(dn.get("scalar.ns_per_block").unwrap_or(0.0) > 0.0);
+    // The scalar fallback of the native decoder is always measured;
+    // wider ISA rows depend on the recording host.
+    assert!(dn.get("native.scalar.ns_per_block").is_some());
+    let best = dn
+        .metrics
+        .iter()
+        .filter(|(name, _)| name.ends_with(".speedup"))
+        .map(|&(_, value)| value)
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        best > 1.0,
+        "recorded native fast path must beat the scalar decoder ({best})"
+    );
+    assert!(dn.get("batch2.ns_per_block").is_some());
+}

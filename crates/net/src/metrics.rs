@@ -238,6 +238,12 @@ pub struct PipelineMetrics {
     pub decoder_iterations: Counter,
     /// Code blocks processed.
     pub code_blocks: Counter,
+    /// Decoder-scratch buffer growths (heap allocations in the hot
+    /// decode loop).
+    pub decode_scratch_allocs: Counter,
+    /// Decoder-scratch acquisitions served entirely from retained
+    /// capacity (heap allocations avoided).
+    pub decode_scratch_reuses: Counter,
 }
 
 impl Default for PipelineMetrics {
@@ -256,6 +262,8 @@ impl PipelineMetrics {
             ok_packets: Counter::new(),
             decoder_iterations: Counter::new(),
             code_blocks: Counter::new(),
+            decode_scratch_allocs: Counter::new(),
+            decode_scratch_reuses: Counter::new(),
         }
     }
 
@@ -286,6 +294,16 @@ impl PipelineMetrics {
         self.decoder_iterations.add(decoder_iterations as u64);
     }
 
+    /// Record decoder-scratch acquisition outcomes for one packet
+    /// (no-op when disabled).
+    pub fn record_scratch(&self, allocs: u64, reuses: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.decode_scratch_allocs.add(allocs);
+        self.decode_scratch_reuses.add(reuses);
+    }
+
     /// The histogram behind one stage.
     pub fn stage(&self, stage: Stage) -> &Histogram {
         &self.stages[stage as usize]
@@ -305,6 +323,14 @@ impl PipelineMetrics {
         out.push((
             "decoder_iterations".into(),
             self.decoder_iterations.get() as f64,
+        ));
+        out.push((
+            "decode_scratch_allocs".into(),
+            self.decode_scratch_allocs.get() as f64,
+        ));
+        out.push((
+            "decode_scratch_reuses".into(),
+            self.decode_scratch_reuses.get() as f64,
         ));
         out
     }

@@ -10,27 +10,49 @@
 //!   → desegment → CRC check → frame bytes
 //! ```
 //!
-//! The data arrangement step runs through `vran-arrange` (native VM
-//! mode), so the mechanism under test is exercised functionally on
-//! every packet; decoding uses the scalar decoder, which is bit-exact
-//! with the SIMD kernels by construction.
+//! The receive side runs one of two [`DecoderBackend`]s: `Native`
+//! (default) uses real-intrinsics arrangement and turbo-decode kernels
+//! with runtime ISA dispatch and per-pipeline scratch reuse — the
+//! wall-clock fast path; `Scalar` runs the arrangement through the
+//! `vran-arrange` VM kernels and the scalar reference decoder — the
+//! functional-model path. Both are bit-exact by construction, so the
+//! backend never changes WHAT is computed, only how fast.
 
 use crate::metrics::{PipelineMetrics, Stage};
 use crate::packet::Packet;
+use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::Instant;
 use vran_arrange::{ArrangeKernel, Mechanism};
 use vran_phy::bits::{pack_msb, unpack_msb};
 use vran_phy::channel::AwgnChannel;
-use vran_phy::crc::CRC24A;
-use vran_phy::llr::{InterleavedLlrs, Llr, TurboLlrs};
+use vran_phy::crc::{CRC24A, CRC24B};
+use vran_phy::llr::{InterleavedLlrs, Llr, SoftStreams, TailLlrs, TurboLlrs};
 use vran_phy::modulation::Modulation;
 use vran_phy::ofdm::OfdmConfig;
 use vran_phy::rate_match::RateMatcher;
 use vran_phy::scrambler::{descramble_llrs, scramble_bits, GoldSequence};
 use vran_phy::segmentation::Segmentation;
-use vran_phy::turbo::{TurboDecoder, TurboEncoder};
+use vran_phy::turbo::{DecodeScratch, NativeTurboDecoder, TurboDecoder, TurboEncoder};
 use vran_simd::RegWidth;
+
+/// Which decoder implementation the receive path runs.
+///
+/// Both backends compute bit-identical results (the native kernels use
+/// the same saturating i16 operations in the same order as the scalar
+/// reference, enforced by `vran-phy`'s property tests); they differ
+/// only in wall-clock cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DecoderBackend {
+    /// Scalar max-log-MAP reference plus the VM arrangement kernel
+    /// selected by `width`/`mechanism` — the functional-model path.
+    Scalar,
+    /// Real-intrinsics fast path: native APCM arrangement and the
+    /// runtime-dispatched [`NativeTurboDecoder`], with per-pipeline
+    /// scratch reuse (allocation-free per code block after warm-up).
+    #[default]
+    Native,
+}
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, Copy)]
@@ -39,6 +61,8 @@ pub struct PipelineConfig {
     pub width: RegWidth,
     /// Arrangement mechanism under test.
     pub mechanism: Mechanism,
+    /// Receive-side decoder implementation.
+    pub backend: DecoderBackend,
     /// Data-channel modulation.
     pub modulation: Modulation,
     /// Channel Es/N0 in dB.
@@ -61,6 +85,7 @@ impl Default for PipelineConfig {
         Self {
             width: RegWidth::Sse128,
             mechanism: Mechanism::Baseline,
+            backend: DecoderBackend::Native,
             modulation: Modulation::Qam16,
             snr_db: 14.0,
             decoder_iterations: 6,
@@ -110,6 +135,70 @@ pub struct PacketResult {
     pub nanos: StageNanos,
 }
 
+/// Receive-side working state reused across packets so the per-code-
+/// block hot loop performs no heap allocation after warm-up: cached
+/// per-K decoders and rate matchers (QPP/wmap table construction is
+/// itself allocation-heavy) plus staging buffers that retain capacity.
+///
+/// Lives behind a `RefCell` because `process` takes `&self`; pipelines
+/// are per-worker (the threaded runner builds one per thread), so the
+/// single-threaded interior mutability is sufficient.
+#[derive(Debug, Clone, Default)]
+struct HotState {
+    /// Native decoders, keyed by block size K.
+    natives: Vec<NativeTurboDecoder>,
+    /// Scalar decoders, keyed by block size K.
+    scalars: Vec<(usize, TurboDecoder)>,
+    /// Rate matchers, keyed by per-stream length `d = K + 4`.
+    rms: Vec<(usize, RateMatcher)>,
+    /// De-rate-matcher output staging (`d⁽⁰⁾ d⁽¹⁾ d⁽²⁾`, length K+4).
+    dllr: [Vec<Llr>; 3],
+    /// Interleaved-triple staging for the arrangement step (3K LLRs).
+    inter: Vec<Llr>,
+    /// Arranged streams the native decoder reads.
+    arranged: SoftStreams,
+    /// Native-decoder working buffers.
+    scratch: DecodeScratch,
+    /// Decoded-bit buffers, one per code-block index, reused across
+    /// packets and handed to desegmentation as a slice.
+    bits_pool: Vec<Vec<u8>>,
+}
+
+impl HotState {
+    /// Index of the cached native decoder for block size `k`.
+    fn native_index(&mut self, k: usize, iterations: usize) -> usize {
+        match self.natives.iter().position(|d| d.k() == k) {
+            Some(i) => i,
+            None => {
+                self.natives.push(NativeTurboDecoder::new(k, iterations));
+                self.natives.len() - 1
+            }
+        }
+    }
+
+    /// Index of the cached scalar decoder for block size `k`.
+    fn scalar_index(&mut self, k: usize, iterations: usize) -> usize {
+        match self.scalars.iter().position(|(dk, _)| *dk == k) {
+            Some(i) => i,
+            None => {
+                self.scalars.push((k, TurboDecoder::new(k, iterations)));
+                self.scalars.len() - 1
+            }
+        }
+    }
+
+    /// Index of the cached rate matcher for stream length `d`.
+    fn rm_index(&mut self, d: usize) -> usize {
+        match self.rms.iter().position(|(rd, _)| *rd == d) {
+            Some(i) => i,
+            None => {
+                self.rms.push((d, RateMatcher::new(d)));
+                self.rms.len() - 1
+            }
+        }
+    }
+}
+
 /// The uplink pipeline (shared by the downlink driver — the PHY chain
 /// is symmetric for our purposes; only the traffic direction and DCI
 /// handling differ in `runner`).
@@ -119,6 +208,7 @@ pub struct UplinkPipeline {
     ofdm: OfdmConfig,
     c_init: u32,
     metrics: Option<Arc<PipelineMetrics>>,
+    hot: RefCell<HotState>,
 }
 
 /// Run `f`, recording its latency under `stage` when a live metrics
@@ -145,6 +235,7 @@ impl UplinkPipeline {
             ofdm: OfdmConfig::lte5mhz(),
             c_init: GoldSequence::c_init_pxsch(0x1234, 0, 4, 42),
             metrics: None,
+            hot: RefCell::new(HotState::default()),
         }
     }
 
@@ -239,58 +330,119 @@ impl UplinkPipeline {
         nanos.demap = t0.elapsed().as_nanos() as u64;
 
         // ---- per code block: de-rate-match, ARRANGE, decode ----
-        let mut decoded_blocks = Vec::with_capacity(blocks.len());
+        let hot = &mut *self.hot.borrow_mut();
+        let scratch_allocs0 = hot.scratch.allocations();
+        let scratch_reuses0 = hot.scratch.reuses();
+        if hot.bits_pool.len() < blocks.len() {
+            hot.bits_pool.resize_with(blocks.len(), Vec::new);
+        }
         let mut iterations = 0;
         let mut pos = 0;
         let mut all_ok = true;
         for (i, blk) in blocks.iter().enumerate() {
             let k = blk.len();
             let e = block_e[i];
-            let rm = RateMatcher::new(k + 4);
+            let rmi = hot.rm_index(k + 4);
             let t0 = Instant::now();
-            let dllrs = timed(m, Stage::RateMatch, || {
-                rm.de_rate_match(&llrs[pos..pos + e], 0)
+            timed(m, Stage::RateMatch, || {
+                hot.rms[rmi]
+                    .1
+                    .de_rate_match_into(&llrs[pos..pos + e], 0, &mut hot.dllr)
             });
             pos += e;
-            let turbo_in = TurboLlrs::from_dstreams(&dllrs, k);
+            let tails = TailLlrs::from_dstreams(&hot.dllr, k);
             nanos.demap += t0.elapsed().as_nanos() as u64;
 
-            // The data arrangement process under test: the de-rate-
-            // matcher hands the decoder interleaved triples (Fig 8a);
-            // the kernel segregates them.
-            let t0 = Instant::now();
-            let arranged = timed(m, Stage::Arrange, || {
-                let interleaved = turbo_in.to_interleaved();
-                let kern = ArrangeKernel::new(cfg.width, cfg.mechanism);
-                let (arranged, _) = kern.arrange(&interleaved, false);
-                kern.depermute(&arranged)
-            });
-            nanos.arrangement += t0.elapsed().as_nanos() as u64;
+            match cfg.backend {
+                DecoderBackend::Native => {
+                    // The data arrangement process under test, native
+                    // flavor: multiplex the streams into the triples
+                    // the de-rate-matcher hands the decoder (Fig 8a),
+                    // then segregate them with the best real-intrinsics
+                    // APCM kernel the host supports.
+                    let t0 = Instant::now();
+                    timed(m, Stage::Arrange, || {
+                        hot.inter.resize(3 * k, 0);
+                        for j in 0..k {
+                            hot.inter[3 * j] = hot.dllr[0][j];
+                            hot.inter[3 * j + 1] = hot.dllr[1][j];
+                            hot.inter[3 * j + 2] = hot.dllr[2][j];
+                        }
+                        hot.arranged.sys.resize(k, 0);
+                        hot.arranged.p1.resize(k, 0);
+                        hot.arranged.p2.resize(k, 0);
+                        vran_arrange::native::deinterleave_into(
+                            vran_arrange::native::best_apcm(),
+                            &hot.inter,
+                            k,
+                            &mut hot.arranged,
+                        );
+                    });
+                    nanos.arrangement += t0.elapsed().as_nanos() as u64;
 
-            let t0 = Instant::now();
-            let dec_in = TurboLlrs {
-                k,
-                streams: arranged,
-                tails: turbo_in.tails,
-            };
-            let dec = TurboDecoder::new(k, cfg.decoder_iterations);
-            let out = timed(m, Stage::Decode, || {
-                if blocks.len() > 1 {
-                    dec.decode_with_crc(&dec_in, &vran_phy::crc::CRC24B)
-                } else {
-                    dec.decode(&dec_in)
+                    let t0 = Instant::now();
+                    let di = hot.native_index(k, cfg.decoder_iterations);
+                    let crc = (blocks.len() > 1).then_some(&CRC24B);
+                    let (iters, crc_ok) = timed(m, Stage::Decode, || {
+                        hot.natives[di].decode_streams_into(
+                            &hot.arranged.sys,
+                            &hot.arranged.p1,
+                            &hot.arranged.p2,
+                            &tails,
+                            crc,
+                            &mut hot.scratch,
+                            &mut hot.bits_pool[i],
+                        )
+                    });
+                    iterations += iters;
+                    nanos.decode += t0.elapsed().as_nanos() as u64;
+                    if crc_ok == Some(false) {
+                        all_ok = false;
+                    }
                 }
-            });
-            iterations += out.iterations_run;
-            nanos.decode += t0.elapsed().as_nanos() as u64;
-            if out.crc_ok == Some(false) {
-                all_ok = false;
+                DecoderBackend::Scalar => {
+                    let turbo_in = TurboLlrs::from_dstreams(&hot.dllr, k);
+
+                    // The data arrangement process under test, VM
+                    // flavor: the configured mechanism/width kernel
+                    // segregates the interleaved triples.
+                    let t0 = Instant::now();
+                    let arranged = timed(m, Stage::Arrange, || {
+                        let interleaved = turbo_in.to_interleaved();
+                        let kern = ArrangeKernel::new(cfg.width, cfg.mechanism);
+                        let (arranged, _) = kern.arrange(&interleaved, false);
+                        kern.depermute(&arranged)
+                    });
+                    nanos.arrangement += t0.elapsed().as_nanos() as u64;
+
+                    let t0 = Instant::now();
+                    let dec_in = TurboLlrs {
+                        k,
+                        streams: arranged,
+                        tails: turbo_in.tails,
+                    };
+                    let si = hot.scalar_index(k, cfg.decoder_iterations);
+                    let out = timed(m, Stage::Decode, || {
+                        if blocks.len() > 1 {
+                            hot.scalars[si].1.decode_with_crc(&dec_in, &CRC24B)
+                        } else {
+                            hot.scalars[si].1.decode(&dec_in)
+                        }
+                    });
+                    iterations += out.iterations_run;
+                    nanos.decode += t0.elapsed().as_nanos() as u64;
+                    if out.crc_ok == Some(false) {
+                        all_ok = false;
+                    }
+                    hot.bits_pool[i] = out.bits;
+                }
             }
-            decoded_blocks.push(out.bits);
         }
 
         // ---- reassemble, de-encapsulate & verify ----
-        let rx_tb = timed(m, Stage::Segment, || seg.desegment(&decoded_blocks));
+        let rx_tb = timed(m, Stage::Segment, || {
+            seg.desegment(&hot.bits_pool[..blocks.len()])
+        });
         let ok = all_ok
             && match rx_tb {
                 Some(tb_bits) => match timed(m, Stage::Crc, || CRC24A.check(&tb_bits)) {
@@ -305,6 +457,10 @@ impl UplinkPipeline {
 
         if let Some(m) = m {
             m.record_packet(ok, blocks.len(), iterations);
+            m.record_scratch(
+                hot.scratch.allocations() - scratch_allocs0,
+                hot.scratch.reuses() - scratch_reuses0,
+            );
         }
 
         PacketResult {
@@ -445,6 +601,7 @@ mod tests {
                 let cfg = PipelineConfig {
                     width,
                     mechanism: mech,
+                    backend: DecoderBackend::Scalar,
                     snr_db: 12.0,
                     ..Default::default()
                 };
@@ -457,6 +614,76 @@ mod tests {
             assert_eq!((*ok, *iters), first, "{w} {m} diverged: {results:?}");
         }
         assert!(first.0, "the common outcome should be success at 12 dB");
+        // ... and neither must the native fast path.
+        let native = run(
+            PipelineConfig {
+                snr_db: 12.0,
+                ..Default::default()
+            },
+            512,
+        );
+        assert_eq!((native.ok, native.decoder_iterations), first);
+    }
+
+    #[test]
+    fn native_and_scalar_backends_agree() {
+        // The fast path's bit-exactness contract, observed end to end:
+        // identical outcomes, iteration counts and coded-bit volumes
+        // across packet sizes (1 and ≥2 code blocks) and channel
+        // qualities, including a failing one.
+        for (size, snr) in [(64usize, 30.0f32), (256, 8.0), (1500, 30.0), (256, 2.0)] {
+            let results: Vec<PacketResult> = [DecoderBackend::Scalar, DecoderBackend::Native]
+                .into_iter()
+                .map(|backend| {
+                    run(
+                        PipelineConfig {
+                            backend,
+                            snr_db: snr,
+                            ..Default::default()
+                        },
+                        size,
+                    )
+                })
+                .collect();
+            let (s, n) = (&results[0], &results[1]);
+            assert_eq!(s.ok, n.ok, "{size} B at {snr} dB");
+            assert_eq!(s.tb_bits, n.tb_bits);
+            assert_eq!(s.code_blocks, n.code_blocks);
+            assert_eq!(s.coded_bits, n.coded_bits);
+            assert_eq!(
+                s.decoder_iterations, n.decoder_iterations,
+                "{size} B at {snr} dB: early-stop behavior diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn hot_loop_allocations_stop_after_warmup() {
+        // The zero-allocation claim for the native per-code-block
+        // loop: the first packet may grow the scratch buffers; a
+        // second identical packet must be served entirely from
+        // retained capacity.
+        let metrics = std::sync::Arc::new(crate::metrics::PipelineMetrics::new(true));
+        let cfg = PipelineConfig {
+            snr_db: 30.0,
+            ..Default::default()
+        };
+        let pipe = UplinkPipeline::with_metrics(cfg, metrics.clone());
+        let mut b = PacketBuilder::new(1000, 2000);
+        let p = b.build(Transport::Udp, 1500).unwrap();
+        assert!(pipe.process(&p).ok);
+        let allocs_warm = metrics.decode_scratch_allocs.get();
+        assert!(allocs_warm > 0, "first packet must warm the scratch up");
+        assert!(pipe.process(&p).ok);
+        assert_eq!(
+            metrics.decode_scratch_allocs.get(),
+            allocs_warm,
+            "warm packet allocated in the hot decode loop"
+        );
+        assert!(
+            metrics.decode_scratch_reuses.get() > 0,
+            "warm packet must reuse retained scratch capacity"
+        );
     }
 
     #[test]

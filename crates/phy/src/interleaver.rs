@@ -275,6 +275,20 @@ impl QppInterleaver {
         self.forward[i] as usize
     }
 
+    /// The full forward permutation table (`table[i] = π(i)`), for hot
+    /// loops that iterate it rather than calling [`Self::pi`] per
+    /// element.
+    #[inline]
+    pub fn pi_table(&self) -> &[u32] {
+        &self.forward
+    }
+
+    /// The full inverse permutation table (`table[π(i)] = i`).
+    #[inline]
+    pub fn pi_inv_table(&self) -> &[u32] {
+        &self.inverse
+    }
+
     /// Inverse-permuted index: π⁻¹(j).
     #[inline]
     pub fn pi_inv(&self, j: usize) -> usize {

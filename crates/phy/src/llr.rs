@@ -50,7 +50,7 @@ pub fn srai16(a: Llr, imm: u32) -> Llr {
 
 /// The three arranged LLR streams, each of length `K` — the output of
 /// the data arrangement process and the decoder's working input.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SoftStreams {
     /// Systematic LLRs (`systematic1` in the paper).
     pub sys: Vec<Llr>,
@@ -94,6 +94,23 @@ pub struct TailLlrs {
     pub p2: [Llr; 3],
 }
 
+impl TailLlrs {
+    /// Extract just the termination LLRs from `d⁽⁰⁾ d⁽¹⁾ d⁽²⁾` streams
+    /// of length `K + 4` — the allocation-free companion of
+    /// [`TurboLlrs::from_dstreams`] for callers that stage the hot
+    /// `K`-length streams elsewhere.
+    pub fn from_dstreams(d: &[Vec<Llr>; 3], k: usize) -> Self {
+        let [d0, d1, d2] = d;
+        assert!(d0.len() == k + 4 && d1.len() == k + 4 && d2.len() == k + 4);
+        Self {
+            sys1: [d0[k], d2[k], d1[k + 1]],
+            p1: [d1[k], d0[k + 1], d2[k + 1]],
+            sys2: [d0[k + 2], d2[k + 2], d1[k + 3]],
+            p2: [d1[k + 2], d0[k + 3], d2[k + 3]],
+        }
+    }
+}
+
 /// Complete decoder input for one code block.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TurboLlrs {
@@ -117,12 +134,7 @@ impl TurboLlrs {
             p1: d1[..k].to_vec(),
             p2: d2[..k].to_vec(),
         };
-        let tails = TailLlrs {
-            sys1: [d0[k], d2[k], d1[k + 1]],
-            p1: [d1[k], d0[k + 1], d2[k + 1]],
-            sys2: [d0[k + 2], d2[k + 2], d1[k + 3]],
-            p2: [d1[k + 2], d0[k + 3], d2[k + 3]],
-        };
+        let tails = TailLlrs::from_dstreams(d, k);
         Self { k, streams, tails }
     }
 

@@ -120,24 +120,32 @@ impl RateMatcher {
     /// Invert the readout in LLR space: returns three LLR streams of
     /// length `d`, with repeats chase-combined and punctures at 0.
     pub fn de_rate_match(&self, llrs: &[Llr], rv: usize) -> [Vec<Llr>; 3] {
+        let mut out = [Vec::new(), Vec::new(), Vec::new()];
+        self.de_rate_match_into(llrs, rv, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`RateMatcher::de_rate_match`]:
+    /// resizes each stream of `out` to length `d` (a no-op once the
+    /// buffers have warmed up) and accumulates in place.
+    pub fn de_rate_match_into(&self, llrs: &[Llr], rv: usize, out: &mut [Vec<Llr>; 3]) {
+        let d = self.d;
+        for s in out.iter_mut() {
+            s.resize(d, 0);
+            s.fill(0);
+        }
         let ncb = self.ncb();
-        let mut acc = vec![0 as Llr; 3 * self.d];
         let mut k = self.k0(rv);
         let mut consumed = 0;
         while consumed < llrs.len() {
             let p = self.wmap[k % ncb];
             if p != usize::MAX {
-                acc[p] = adds16(acc[p], llrs[consumed]);
+                let slot = &mut out[p / d][p % d];
+                *slot = adds16(*slot, llrs[consumed]);
                 consumed += 1;
             }
             k += 1;
         }
-        let d = self.d;
-        [
-            acc[..d].to_vec(),
-            acc[d..2 * d].to_vec(),
-            acc[2 * d..].to_vec(),
-        ]
     }
 }
 

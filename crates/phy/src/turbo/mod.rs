@@ -17,11 +17,19 @@
 //!   VM kernels (the OAI `_mm_adds/_mm_subs/_mm_max` style), usable in
 //!   native mode (functional) or tracing mode (feeds `vran-uarch`).
 
+//! * [`native_decoder`] — the same arithmetic as real `std::arch`
+//!   intrinsics with runtime ISA dispatch: the wall-clock fast path
+//!   used by the uplink pipeline.
+
 pub mod batch_decoder;
 pub mod decoder;
 pub mod encoder;
+pub mod native_batch;
+pub mod native_decoder;
 pub mod simd_decoder;
 pub mod trellis;
 
 pub use decoder::{DecodeOutcome, TurboDecoder};
 pub use encoder::{TurboCodeword, TurboEncoder};
+pub use native_batch::NativeBatchTurboDecoder;
+pub use native_decoder::{DecodeScratch, DecoderIsa, NativeTurboDecoder};

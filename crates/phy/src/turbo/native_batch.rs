@@ -1,0 +1,467 @@
+//! AVX2 two-blocks-per-register native batch turbo decoding.
+//!
+//! The real-hardware counterpart of [`super::batch_decoder`]: the
+//! 8-state α/β recursions cannot widen, so a ymm register carries
+//! *two* independent code blocks, one per 128-bit lane. AVX2's
+//! `_mm256_shuffle_epi8`, `_mm256_srli_si256` and the `shufflelo/hi`
+//! family all operate per-128-bit-lane — exactly the per-block state
+//! gathers the recursion needs, with zero cross-block traffic.
+//!
+//! Each 128-bit lane performs precisely the instruction sequence of
+//! the single-block SSSE3 kernel in [`super::native_decoder`], so a
+//! batched decode is bit-identical to two separate decodes (and to
+//! the scalar oracle). Matching [`super::batch_decoder`]'s semantics,
+//! batched decoding runs a fixed iteration count with no CRC early
+//! stop (`crc_ok: None`).
+
+use super::decoder::{beta_init_from_tails, scale_extrinsic, DecodeOutcome, NEG_INF};
+use super::trellis::STATES;
+use crate::interleaver::QppInterleaver;
+use crate::llr::{llr_to_bit, Llr, TurboLlrs};
+use vran_simd::host::{self, HostIsa};
+
+/// Number of blocks decoded per ymm pass.
+pub const BATCH: usize = 2;
+
+/// Batched decoder: two equal-size blocks per pass on AVX2 hardware,
+/// falling back to two sequential single-block native decodes when the
+/// host lacks AVX2 (identical outputs either way).
+#[derive(Debug, Clone)]
+pub struct NativeBatchTurboDecoder {
+    il: QppInterleaver,
+    max_iterations: usize,
+    use_avx2: bool,
+}
+
+impl NativeBatchTurboDecoder {
+    /// Whether the ymm fast path is usable on this host.
+    pub fn is_accelerated() -> bool {
+        cfg!(target_arch = "x86_64") && host::has(HostIsa::Avx2)
+    }
+
+    /// Decoder for two parallel blocks of size `k`.
+    pub fn new(k: usize, max_iterations: usize) -> Self {
+        assert!(max_iterations >= 1);
+        Self {
+            il: QppInterleaver::new(k),
+            max_iterations,
+            use_avx2: Self::is_accelerated(),
+        }
+    }
+
+    /// Block size K.
+    pub fn k(&self) -> usize {
+        self.il.k()
+    }
+
+    /// Blocks per call.
+    pub fn batch(&self) -> usize {
+        BATCH
+    }
+
+    /// Decode two blocks; runs all configured iterations (no CRC early
+    /// stop, matching [`super::batch_decoder::BatchTurboDecoder`]).
+    pub fn decode_pair(&self, inputs: &[TurboLlrs; BATCH]) -> [DecodeOutcome; BATCH] {
+        let k = self.il.k();
+        for input in inputs.iter() {
+            assert_eq!(input.k, k, "both blocks in a batch share K");
+        }
+        if !self.use_avx2 {
+            // Portable path: two single-block native decodes have
+            // identical semantics (fixed iterations, no CRC).
+            let single = super::native_decoder::NativeTurboDecoder::new(k, self.max_iterations);
+            return [single.decode(&inputs[0]), single.decode(&inputs[1])];
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            self.decode_pair_avx2(inputs)
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        unreachable!("use_avx2 implies x86_64")
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn decode_pair_avx2(&self, inputs: &[TurboLlrs; BATCH]) -> [DecodeOutcome; BATCH] {
+        let k = self.il.k();
+        let n = BATCH * k;
+
+        // Block-major staging: [0..k) = block 0, [k..2k) = block 1.
+        let stage = |f: fn(&TurboLlrs) -> &[Llr]| -> Vec<Llr> {
+            let mut v = Vec::with_capacity(n);
+            v.extend_from_slice(f(&inputs[0]));
+            v.extend_from_slice(f(&inputs[1]));
+            v
+        };
+        let sys = stage(|i| &i.streams.sys);
+        let p1 = stage(|i| &i.streams.p1);
+        let p2 = stage(|i| &i.streams.p2);
+        let mut sys_pi = vec![0 as Llr; n];
+        for (g, input) in inputs.iter().enumerate() {
+            for j in 0..k {
+                sys_pi[g * k + j] = input.streams.sys[self.il.pi(j)];
+            }
+        }
+        let binit = |second: bool| -> [Llr; BATCH * STATES] {
+            let mut b = [0 as Llr; BATCH * STATES];
+            for (g, input) in inputs.iter().enumerate() {
+                let (ts, tp) = if second {
+                    (&input.tails.sys2, &input.tails.p2)
+                } else {
+                    (&input.tails.sys1, &input.tails.p1)
+                };
+                b[g * STATES..(g + 1) * STATES].copy_from_slice(&beta_init_from_tails(ts, tp));
+            }
+            b
+        };
+        let binit1 = binit(false);
+        let binit2 = binit(true);
+
+        // `g0`/`gp`/`ext` are *pair-interleaved* (`[2*step + block]`)
+        // so the kernel can broadcast both blocks' branch metric with
+        // one dword load; `post` is dword-stride like the single-block
+        // kernel's (low 16 bits per entry are the payload).
+        let mut g0 = vec![0 as Llr; n];
+        let mut gp = vec![0 as Llr; n];
+        let mut alpha = vec![0 as Llr; (k + 1) * BATCH * STATES];
+        let mut ext = vec![0 as Llr; n];
+        let mut post = vec![0i32; n];
+        let mut la1 = vec![0 as Llr; n];
+        let mut la2 = vec![0 as Llr; n];
+        let mut bits = [vec![0u8; k], vec![0u8; k]];
+
+        let mut iterations_run = 0;
+        for _ in 0..self.max_iterations {
+            iterations_run += 1;
+            unsafe {
+                x86::siso_pair_avx2(
+                    &sys, &p1, &la1, &binit1, &mut g0, &mut gp, &mut alpha, &mut ext, &mut post,
+                );
+            }
+            for g in 0..BATCH {
+                for j in 0..k {
+                    la2[g * k + j] = scale_extrinsic(ext[BATCH * self.il.pi(j) + g]);
+                }
+            }
+            unsafe {
+                x86::siso_pair_avx2(
+                    &sys_pi, &p2, &la2, &binit2, &mut g0, &mut gp, &mut alpha, &mut ext, &mut post,
+                );
+            }
+            for g in 0..BATCH {
+                for i in 0..k {
+                    la1[g * k + i] = scale_extrinsic(ext[BATCH * self.il.pi_inv(i) + g]);
+                }
+            }
+            for (g, blk) in bits.iter_mut().enumerate() {
+                for (i, bit) in blk.iter_mut().enumerate() {
+                    *bit = llr_to_bit(post[BATCH * self.il.pi_inv(i) + g] as Llr);
+                }
+            }
+        }
+        let [b0, b1] = bits;
+        [
+            DecodeOutcome {
+                bits: b0,
+                iterations_run,
+                crc_ok: None,
+            },
+            DecodeOutcome {
+                bits: b1,
+                iterations_run,
+                crc_ok: None,
+            },
+        ]
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::super::trellis;
+    use super::*;
+    use std::arch::x86_64::*;
+
+    /// Byte-level shuffle control for one 128-bit lane, from a
+    /// lane-level i16 gather table.
+    fn lane_ctrl(table: [u8; STATES]) -> [i8; 16] {
+        let mut c = [0i8; 16];
+        for (i, &s) in table.iter().enumerate() {
+            c[2 * i] = (2 * s) as i8;
+            c[2 * i + 1] = (2 * s + 1) as i8;
+        }
+        c
+    }
+
+    fn sign_vec(par: [u8; STATES]) -> [i16; STATES] {
+        core::array::from_fn(|i| if par[i] == 0 { 1 } else { -1 })
+    }
+
+    struct Ctl {
+        pred0: __m256i,
+        pred1: __m256i,
+        next0: __m256i,
+        next1: __m256i,
+        bcast0: __m256i,
+        pairsel: __m256i,
+        sgn_pp0: __m256i,
+        sgn_pp1: __m256i,
+        sgn_np0: __m256i,
+        sgn_np1: __m256i,
+        floor: __m256i,
+    }
+
+    /// Replicate a 16-byte control into both 128-bit lanes —
+    /// `_mm256_shuffle_epi8` indexes are lane-local, which is exactly
+    /// the per-block state gather.
+    #[inline(always)]
+    unsafe fn dup_ctrl(a: [i8; 16]) -> __m256i {
+        let x = _mm_loadu_si128(a.as_ptr() as *const __m128i);
+        _mm256_set_m128i(x, x)
+    }
+
+    #[inline(always)]
+    unsafe fn dup_mask(a: [i16; 8]) -> __m256i {
+        let x = _mm_loadu_si128(a.as_ptr() as *const __m128i);
+        _mm256_set_m128i(x, x)
+    }
+
+    #[inline(always)]
+    unsafe fn make_ctl() -> Ctl {
+        // Shuffle controls go through `black_box` for the same reason
+        // as the single-block kernel's: LLVM otherwise re-expands the
+        // constant-control `pshufb`s into multi-µop shuffle chains.
+        use core::hint::black_box;
+        // Low lane selects block 0's i16 (bytes 0-1 of the broadcast
+        // dword), high lane block 1's (bytes 2-3).
+        let mut pairsel = [0i8; 32];
+        for (i, b) in pairsel.iter_mut().enumerate() {
+            *b = if i < 16 {
+                (i % 2) as i8
+            } else {
+                (2 + i % 2) as i8
+            };
+        }
+        Ctl {
+            pred0: black_box(dup_ctrl(lane_ctrl(trellis::pred_table(0)))),
+            pred1: black_box(dup_ctrl(lane_ctrl(trellis::pred_table(1)))),
+            next0: black_box(dup_ctrl(lane_ctrl(trellis::next_table(0)))),
+            next1: black_box(dup_ctrl(lane_ctrl(trellis::next_table(1)))),
+            bcast0: black_box(dup_ctrl([0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1])),
+            pairsel: black_box(_mm256_loadu_si256(pairsel.as_ptr() as *const __m256i)),
+            sgn_pp0: dup_mask(sign_vec(trellis::pred_parity(0))),
+            sgn_pp1: dup_mask(sign_vec(trellis::pred_parity(1))),
+            sgn_np0: dup_mask(sign_vec(trellis::next_parity(0))),
+            sgn_np1: dup_mask(sign_vec(trellis::next_parity(1))),
+            floor: _mm256_set1_epi16(NEG_INF),
+        }
+    }
+
+    /// Both blocks' branch metric at `step` in one shot: a dword
+    /// broadcast of the interleaved pair, then a lane-local byte
+    /// shuffle fans block 0's i16 across the low lane and block 1's
+    /// across the high lane.
+    #[inline(always)]
+    unsafe fn pair_bcast(buf: &[Llr], step: usize, sel: __m256i) -> __m256i {
+        let d = (buf.as_ptr().add(BATCH * step) as *const i32).read_unaligned();
+        _mm256_shuffle_epi8(_mm256_set1_epi32(d), sel)
+    }
+
+    /// `±γ₀ ± γₚ` for both hypotheses; `vpsignw` with a ±1 mask equals
+    /// `subs16(0, ·)` because `|γ| ≤ 2¹⁴` after the `>>1` halving.
+    #[inline(always)]
+    unsafe fn gammas(
+        g0b: __m256i,
+        gpb: __m256i,
+        sgn0: __m256i,
+        sgn1: __m256i,
+    ) -> (__m256i, __m256i) {
+        let ng0 = _mm256_subs_epi16(_mm256_setzero_si256(), g0b);
+        (
+            _mm256_adds_epi16(g0b, _mm256_sign_epi16(gpb, sgn0)),
+            _mm256_adds_epi16(ng0, _mm256_sign_epi16(gpb, sgn1)),
+        )
+    }
+
+    /// One fused SISO pass over two blocks. `sys`/`par`/`apriori` are
+    /// block-major (`[0..k)` = block 0, `[k..2k)` = block 1); `g0`,
+    /// `gp` and `ext` are written pair-interleaved (`[2*step+block]`),
+    /// `post` is dword-stride pair-interleaved; `alpha` holds
+    /// `(K+1) × 16` lanes, `binit` the two blocks' β terminations.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn siso_pair_avx2(
+        sys: &[Llr],
+        par: &[Llr],
+        apriori: &[Llr],
+        binit: &[Llr; BATCH * STATES],
+        g0: &mut [Llr],
+        gp: &mut [Llr],
+        alpha: &mut [Llr],
+        ext: &mut [Llr],
+        post: &mut [i32],
+    ) {
+        let n = sys.len();
+        let k = n / BATCH;
+        debug_assert!(k.is_multiple_of(STATES) && par.len() == n && apriori.len() == n);
+        debug_assert!(g0.len() == n && gp.len() == n);
+        debug_assert!(ext.len() == n && post.len() == n);
+        debug_assert!(alpha.len() == (k + 1) * BATCH * STATES);
+        let ctl = make_ctl();
+        let lanes = BATCH * STATES;
+
+        // γ phase: per-block metrics in xmm halves, stored interleaved
+        // so the recursions can broadcast a step's pair with one dword
+        // load.
+        let mut i = 0;
+        while i < k {
+            let pair = |buf: &[Llr]| {
+                (
+                    _mm_loadu_si128(buf.as_ptr().add(i) as *const __m128i),
+                    _mm_loadu_si128(buf.as_ptr().add(k + i) as *const __m128i),
+                )
+            };
+            let (ls0, ls1) = pair(sys);
+            let (la0, la1) = pair(apriori);
+            let (lp0, lp1) = pair(par);
+            let g0a = _mm_srai_epi16(_mm_adds_epi16(ls0, la0), 1);
+            let g0b = _mm_srai_epi16(_mm_adds_epi16(ls1, la1), 1);
+            let gpa = _mm_srai_epi16(lp0, 1);
+            let gpb = _mm_srai_epi16(lp1, 1);
+            let at = |v: &mut [Llr], off: usize| v.as_mut_ptr().add(off) as *mut __m128i;
+            _mm_storeu_si128(at(g0, BATCH * i), _mm_unpacklo_epi16(g0a, g0b));
+            _mm_storeu_si128(at(g0, BATCH * i + 8), _mm_unpackhi_epi16(g0a, g0b));
+            _mm_storeu_si128(at(gp, BATCH * i), _mm_unpacklo_epi16(gpa, gpb));
+            _mm_storeu_si128(at(gp, BATCH * i + 8), _mm_unpackhi_epi16(gpa, gpb));
+            i += 8;
+        }
+
+        // Forward α: blocks 0 and 1 each own a 128-bit half.
+        let mut a0init = [NEG_INF; 16];
+        a0init[0] = 0;
+        a0init[STATES] = 0;
+        let mut a = _mm256_loadu_si256(a0init.as_ptr() as *const __m256i);
+        _mm256_storeu_si256(alpha.as_mut_ptr() as *mut __m256i, a);
+        for step in 0..k {
+            let g0b = pair_bcast(g0, step, ctl.pairsel);
+            let gpb = pair_bcast(gp, step, ctl.pairsel);
+            let (gam0, gam1) = gammas(g0b, gpb, ctl.sgn_pp0, ctl.sgn_pp1);
+            let p0 = _mm256_shuffle_epi8(a, ctl.pred0);
+            let p1 = _mm256_shuffle_epi8(a, ctl.pred1);
+            let c0 = _mm256_adds_epi16(p0, gam0);
+            let c1 = _mm256_adds_epi16(p1, gam1);
+            let m = _mm256_max_epi16(_mm256_max_epi16(c0, c1), ctl.floor);
+            let norm = _mm256_shuffle_epi8(m, ctl.bcast0);
+            a = _mm256_subs_epi16(m, norm);
+            _mm256_storeu_si256(
+                alpha.as_mut_ptr().add((step + 1) * lanes) as *mut __m256i,
+                a,
+            );
+        }
+
+        // Backward β fused with the posterior; the joint interleaved
+        // reduction and the dword-stride posterior store mirror the
+        // single-block kernel (`srli`/`unpack` are lane-local, so each
+        // block reduces inside its own half).
+        let mut b = _mm256_loadu_si256(binit.as_ptr() as *const __m256i);
+        for step in (0..k).rev() {
+            let g0b = pair_bcast(g0, step, ctl.pairsel);
+            let gpb = pair_bcast(gp, step, ctl.pairsel);
+            let (gam0, gam1) = gammas(g0b, gpb, ctl.sgn_np0, ctl.sgn_np1);
+            let b0 = _mm256_shuffle_epi8(b, ctl.next0);
+            let b1 = _mm256_shuffle_epi8(b, ctl.next1);
+            let av = _mm256_loadu_si256(alpha.as_ptr().add(step * lanes) as *const __m256i);
+            let t0 = _mm256_adds_epi16(_mm256_adds_epi16(av, gam0), b0);
+            let t1 = _mm256_adds_epi16(_mm256_adds_epi16(av, gam1), b1);
+            let y = _mm256_max_epi16(_mm256_unpacklo_epi16(t0, t1), _mm256_unpackhi_epi16(t0, t1));
+            let z = _mm256_max_epi16(y, _mm256_srli_si256(y, 8));
+            let w = _mm256_max_epi16(z, _mm256_srli_si256(z, 4));
+            let wf = _mm256_max_epi16(w, ctl.floor);
+            let lv = _mm256_subs_epi16(wf, _mm256_srli_si256(wf, 2));
+            // Both blocks' posteriors with one 8-byte store: dword 0
+            // of each half, low 16 bits the payload.
+            let pd =
+                _mm_unpacklo_epi32(_mm256_castsi256_si128(lv), _mm256_extracti128_si256(lv, 1));
+            _mm_storel_epi64(post.as_mut_ptr().add(BATCH * step) as *mut __m128i, pd);
+            let c0 = _mm256_adds_epi16(b0, gam0);
+            let c1 = _mm256_adds_epi16(b1, gam1);
+            let m = _mm256_max_epi16(_mm256_max_epi16(c0, c1), ctl.floor);
+            let norm = _mm256_shuffle_epi8(m, ctl.bcast0);
+            b = _mm256_subs_epi16(m, norm);
+        }
+
+        // Extrinsic peel-off, sixteen interleaved entries per pass:
+        // `ext = L − 2·γ₀`, the oracle's ops on the oracle's values.
+        // The `permute4x64` undoes `packs_epi32`'s lane-wise ordering;
+        // the pack itself is exact because every lane is an in-range
+        // i16 after the sign-extending shift pair.
+        let mut i = 0;
+        while i < n {
+            let p0 = _mm256_loadu_si256(post.as_ptr().add(i) as *const __m256i);
+            let p1 = _mm256_loadu_si256(post.as_ptr().add(i + 8) as *const __m256i);
+            let w0 = _mm256_srai_epi32(_mm256_slli_epi32(p0, 16), 16);
+            let w1 = _mm256_srai_epi32(_mm256_slli_epi32(p1, 16), 16);
+            let pv = _mm256_permute4x64_epi64(_mm256_packs_epi32(w0, w1), 0b11011000);
+            let g0v = _mm256_loadu_si256(g0.as_ptr().add(i) as *const __m256i);
+            let ev = _mm256_subs_epi16(pv, _mm256_adds_epi16(g0v, g0v));
+            _mm256_storeu_si256(ext.as_mut_ptr().add(i) as *mut __m256i, ev);
+            i += 16;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::random_bits;
+    use crate::llr::bit_to_llr;
+    use crate::turbo::{NativeTurboDecoder, TurboDecoder, TurboEncoder};
+
+    fn make_input(k: usize, seed: u64) -> (Vec<u8>, TurboLlrs) {
+        let bits = random_bits(k, seed);
+        let cw = TurboEncoder::new(k).encode(&bits);
+        let soft: [Vec<Llr>; 3] = cw
+            .to_dstreams()
+            .iter()
+            .map(|s| s.iter().map(|&b| bit_to_llr(b, 50)).collect())
+            .collect::<Vec<_>>()
+            .try_into()
+            .unwrap();
+        (bits, TurboLlrs::from_dstreams(&soft, k))
+    }
+
+    #[test]
+    fn pair_decode_equals_two_scalar_decodes() {
+        for k in [40usize, 64, 512] {
+            let (bits_a, in_a) = make_input(k, 11 + k as u64);
+            let (bits_b, in_b) = make_input(k, 29 + k as u64);
+            let batch = NativeBatchTurboDecoder::new(k, 3);
+            let [out_a, out_b] = batch.decode_pair(&[in_a.clone(), in_b.clone()]);
+            let scalar = TurboDecoder::new(k, 3);
+            assert_eq!(out_a.bits, scalar.decode(&in_a).bits, "K={k} block 0");
+            assert_eq!(out_b.bits, scalar.decode(&in_b).bits, "K={k} block 1");
+            assert_eq!(out_a.bits, bits_a);
+            assert_eq!(out_b.bits, bits_b);
+            assert_eq!(out_a.iterations_run, 3);
+            assert_eq!(out_a.crc_ok, None, "batch path has no CRC early stop");
+        }
+    }
+
+    #[test]
+    fn pair_decode_equals_single_native_decodes() {
+        let k = 256;
+        let (_, in_a) = make_input(k, 3);
+        let (_, in_b) = make_input(k, 4);
+        let batch = NativeBatchTurboDecoder::new(k, 2);
+        let single = NativeTurboDecoder::new(k, 2);
+        let [out_a, out_b] = batch.decode_pair(&[in_a.clone(), in_b.clone()]);
+        assert_eq!(out_a.bits, single.decode(&in_a).bits);
+        assert_eq!(out_b.bits, single.decode(&in_b).bits);
+    }
+
+    #[test]
+    #[should_panic(expected = "share K")]
+    fn mismatched_block_sizes_panic() {
+        let (_, in_a) = make_input(40, 1);
+        let (_, in_b) = make_input(48, 2);
+        let _ = NativeBatchTurboDecoder::new(40, 1).decode_pair(&[in_a, in_b]);
+    }
+}

@@ -1,0 +1,1188 @@
+//! Real-intrinsics max-log-MAP turbo decoder for the host CPU.
+//!
+//! The VM kernel in [`super::simd_decoder`] is an *instrument*: it
+//! interprets the decoder's SIMD instruction stream so `vran-uarch`
+//! can account ports and µops. This module is the *fast path*: the
+//! same algorithm, phase for phase, written against `std::arch` so
+//! the uplink pipeline decodes on the host's actual vector units.
+//!
+//! Mirrored structure (and the bit-exactness contract with
+//! [`super::decoder`]):
+//!
+//! * **γ phase** — lane-parallel over the arranged `S1`/`YP1`/`YP2`
+//!   streams: `γ₀ = (Lₛ + Lₐ) >> 1` and `γₚ = Lₚ >> 1`, eight trellis
+//!   steps per `_mm_adds_epi16`/`_mm_srai_epi16`.
+//! * **α phase** — all 8 trellis states live in one xmm register; the
+//!   per-input-bit predecessor gather is a lane shuffle
+//!   (`_mm_shuffle_epi8` under SSSE3, a
+//!   `_mm_shufflelo_epi16`/`_mm_shufflehi_epi16`/`_mm_shuffle_epi32`
+//!   decomposition under bare SSE2), followed by saturating add, max
+//!   against the `NEG_INF` floor, and a broadcast-lane-0 normalize.
+//! * **β + extrinsic phase** — fused like the scalar reference: the
+//!   successor gather, a horizontal-max tree
+//!   (`_mm_srli_si128`/`_mm_max_epi16`) per bit hypothesis, and the
+//!   `L − 2·γ₀` extrinsic, then the β update reusing the same gathered
+//!   registers.
+//!
+//! Every arithmetic instruction is a saturating i16 op applied to the
+//! same operands in the same order as the scalar oracle, and `max` on
+//! i16 is exact, associative and commutative — so decoded bits,
+//! extrinsics, posteriors *and* iteration counts are identical on
+//! every ISA level (enforced by the property tests below).
+//!
+//! Dispatch is by [`std::arch::is_x86_feature_detected!`] via
+//! [`vran_simd::host`], with a portable scalar fallback, following
+//! `vran-arrange`'s native kernels.
+
+use super::decoder::{beta_init_from_tails, scale_extrinsic, DecodeOutcome, NEG_INF};
+use super::trellis::{self, STATES};
+use crate::crc::Crc;
+use crate::interleaver::QppInterleaver;
+use crate::llr::{adds16, llr_to_bit, max16, srai16, subs16, Llr, TailLlrs, TurboLlrs};
+use vran_simd::host::{self, HostIsa};
+
+/// ISA level a [`NativeTurboDecoder`] runs its SISO kernel at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DecoderIsa {
+    /// Portable scalar lanes — always available, the dispatch floor.
+    Scalar,
+    /// 128-bit kernel with `shufflelo/hi + shuffle_epi32` state gathers.
+    Sse2,
+    /// 128-bit kernel with single-µop `pshufb` state gathers.
+    Ssse3,
+    /// 128-bit kernel, VEX-encoded: `pshufb` gathers plus
+    /// `vpbroadcastw` γ broadcasts straight from memory, which moves
+    /// the per-step broadcasts off the shuffle port entirely.
+    Avx2,
+}
+
+impl DecoderIsa {
+    /// Stable lowercase label for bench metrics and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            DecoderIsa::Scalar => "scalar",
+            DecoderIsa::Sse2 => "sse2",
+            DecoderIsa::Ssse3 => "ssse3",
+            DecoderIsa::Avx2 => "avx2",
+        }
+    }
+
+    /// The [`HostIsa`] feature level this kernel requires.
+    pub fn required_isa(self) -> HostIsa {
+        match self {
+            DecoderIsa::Scalar => HostIsa::Scalar,
+            DecoderIsa::Sse2 => HostIsa::Sse2,
+            DecoderIsa::Ssse3 => HostIsa::Ssse3,
+            DecoderIsa::Avx2 => HostIsa::Avx2,
+        }
+    }
+
+    /// Levels usable on this host, ascending; `Scalar` always first.
+    pub fn available() -> Vec<DecoderIsa> {
+        [
+            DecoderIsa::Scalar,
+            DecoderIsa::Sse2,
+            DecoderIsa::Ssse3,
+            DecoderIsa::Avx2,
+        ]
+        .into_iter()
+        .filter(|isa| host::has(isa.required_isa()))
+        .collect()
+    }
+
+    /// The most capable level the host supports.
+    pub fn best() -> DecoderIsa {
+        *DecoderIsa::available()
+            .last()
+            .expect("scalar always present")
+    }
+}
+
+/// Reusable decode working memory: branch metrics, the α trellis,
+/// extrinsic/a-priori buffers. Owned by long-lived callers (the uplink
+/// pipeline) so the per-code-block hot loop performs no heap
+/// allocations after warm-up; the allocation/reuse counters make that
+/// claim checkable.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeScratch {
+    g0: Vec<Llr>,
+    gp: Vec<Llr>,
+    alpha: Vec<Llr>,
+    ext: Vec<Llr>,
+    post: Vec<i32>,
+    la1: Vec<Llr>,
+    la2: Vec<Llr>,
+    sys_pi: Vec<Llr>,
+    allocations: u64,
+    reuses: u64,
+}
+
+impl DecodeScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Size every buffer for block length `k`, growing only when the
+    /// retained capacity is insufficient.
+    fn ensure(&mut self, k: usize) {
+        let mut grew = false;
+        {
+            let mut fit = |v: &mut Vec<Llr>, n: usize| {
+                grew |= v.capacity() < n;
+                v.resize(n, 0);
+            };
+            fit(&mut self.g0, k);
+            fit(&mut self.gp, k);
+            fit(&mut self.alpha, (k + 1) * STATES);
+            fit(&mut self.ext, k);
+            fit(&mut self.la1, k);
+            fit(&mut self.la2, k);
+            fit(&mut self.sys_pi, k);
+        }
+        grew |= self.post.capacity() < k;
+        self.post.resize(k, 0);
+        if grew {
+            self.allocations += 1;
+        } else {
+            self.reuses += 1;
+        }
+    }
+
+    /// Times `ensure` had to grow at least one buffer.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Times `ensure` was served entirely from retained capacity
+    /// (i.e. heap allocations avoided).
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+}
+
+/// Iterative turbo decoder running real SIMD kernels, bit-exact with
+/// [`super::decoder::TurboDecoder`].
+#[derive(Debug, Clone)]
+pub struct NativeTurboDecoder {
+    il: QppInterleaver,
+    max_iterations: usize,
+    isa: DecoderIsa,
+}
+
+impl NativeTurboDecoder {
+    /// Decoder for block size `k` dispatching to the best ISA level the
+    /// host supports.
+    pub fn new(k: usize, max_iterations: usize) -> Self {
+        Self::with_isa(k, max_iterations, DecoderIsa::best())
+    }
+
+    /// Decoder pinned to a specific ISA level (for A/B testing and
+    /// reproducibility). Panics if the host lacks the feature — check
+    /// [`DecoderIsa::available`] first.
+    pub fn with_isa(k: usize, max_iterations: usize, isa: DecoderIsa) -> Self {
+        assert!(max_iterations >= 1);
+        assert!(
+            host::has(isa.required_isa()),
+            "host lacks {} support",
+            isa.name()
+        );
+        Self {
+            il: QppInterleaver::new(k),
+            max_iterations,
+            isa,
+        }
+    }
+
+    /// Block size K.
+    pub fn k(&self) -> usize {
+        self.il.k()
+    }
+
+    /// Configured iteration cap.
+    pub fn max_iterations(&self) -> usize {
+        self.max_iterations
+    }
+
+    /// The ISA level this decoder dispatches to.
+    pub fn isa(&self) -> DecoderIsa {
+        self.isa
+    }
+
+    /// Decode; runs all configured iterations.
+    pub fn decode(&self, input: &TurboLlrs) -> DecodeOutcome {
+        self.decode_scratch(input, None, &mut DecodeScratch::new())
+    }
+
+    /// Decode with CRC-based early stopping (see
+    /// [`super::decoder::TurboDecoder::decode_with_crc`]).
+    pub fn decode_with_crc(&self, input: &TurboLlrs, crc: &Crc) -> DecodeOutcome {
+        self.decode_scratch(input, Some(crc), &mut DecodeScratch::new())
+    }
+
+    /// Decode reusing caller-owned scratch (allocation-free after
+    /// warm-up, except the returned bit vector).
+    pub fn decode_scratch(
+        &self,
+        input: &TurboLlrs,
+        crc: Option<&Crc>,
+        scratch: &mut DecodeScratch,
+    ) -> DecodeOutcome {
+        assert_eq!(input.k, self.il.k(), "input block size mismatch");
+        let mut bits = Vec::new();
+        let (iterations_run, crc_ok) = self.decode_streams_into(
+            &input.streams.sys,
+            &input.streams.p1,
+            &input.streams.p2,
+            &input.tails,
+            crc,
+            scratch,
+            &mut bits,
+        );
+        DecodeOutcome {
+            bits,
+            iterations_run,
+            crc_ok,
+        }
+    }
+
+    /// Lowest-level entry: decode from raw arranged streams into a
+    /// caller-owned bit buffer. Performs no heap allocation once
+    /// `scratch` and `bits` have warmed up to this block size.
+    #[allow(clippy::too_many_arguments)]
+    pub fn decode_streams_into(
+        &self,
+        sys: &[Llr],
+        p1: &[Llr],
+        p2: &[Llr],
+        tails: &TailLlrs,
+        crc: Option<&Crc>,
+        scratch: &mut DecodeScratch,
+        bits: &mut Vec<u8>,
+    ) -> (usize, Option<bool>) {
+        let k = self.il.k();
+        assert!(sys.len() == k && p1.len() == k && p2.len() == k);
+        assert_eq!(k % STATES, 0, "legal QPP sizes are multiples of 8");
+        scratch.ensure(k);
+        bits.resize(k, 0);
+        let DecodeScratch {
+            g0,
+            gp,
+            alpha,
+            ext,
+            post,
+            la1,
+            la2,
+            sys_pi,
+            ..
+        } = scratch;
+        let pi = self.il.pi_table();
+        let pi_inv = self.il.pi_inv_table();
+        // Safety for the unchecked gathers below: both tables are
+        // permutations of `0..k` by construction (the interleaver
+        // round-trip tests lock that down), and every gathered buffer
+        // was just sized to `k` by `ensure`.
+        debug_assert!(pi.len() == k && pi_inv.len() == k);
+
+        for (s, &p) in sys_pi.iter_mut().zip(pi) {
+            *s = unsafe { *sys.get_unchecked(p as usize) };
+        }
+        la1.fill(0);
+        let mut iterations_run = 0;
+        let mut crc_ok = None;
+
+        for it in 0..self.max_iterations {
+            iterations_run += 1;
+            siso_into(
+                self.isa,
+                sys,
+                p1,
+                la1,
+                &tails.sys1,
+                &tails.p1,
+                g0,
+                gp,
+                alpha,
+                ext,
+                post,
+            );
+            // The oracle scales the whole extrinsic array and then
+            // permutes; scaling is element-wise, so fusing it into the
+            // gather is value-identical and saves a pass.
+            for (l, &p) in la2.iter_mut().zip(pi) {
+                *l = scale_extrinsic(unsafe { *ext.get_unchecked(p as usize) });
+            }
+            siso_into(
+                self.isa,
+                sys_pi,
+                p2,
+                la2,
+                &tails.sys2,
+                &tails.p2,
+                g0,
+                gp,
+                alpha,
+                ext,
+                post,
+            );
+            for (l, &p) in la1.iter_mut().zip(pi_inv) {
+                *l = scale_extrinsic(unsafe { *ext.get_unchecked(p as usize) });
+            }
+            // Hard decisions are observable only through the CRC check
+            // and the final output, so without a CRC the de-permuting
+            // bit pass runs once, after the last iteration.
+            if crc.is_some() || it + 1 == self.max_iterations {
+                for (b, &p) in bits.iter_mut().zip(pi_inv) {
+                    *b = llr_to_bit(unsafe { *post.get_unchecked(p as usize) } as Llr);
+                }
+            }
+            if let Some(c) = crc {
+                let ok = c.check(bits).is_some();
+                crc_ok = Some(ok);
+                if ok {
+                    break;
+                }
+            }
+        }
+        (iterations_run, crc_ok)
+    }
+}
+
+/// One SISO pass at the chosen ISA level, writing into caller buffers.
+/// `g0`/`gp` receive the halved branch metrics, `alpha` the full
+/// `(K+1)×8` forward trellis, `ext`/`post` the extrinsic and posterior
+/// LLRs.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn siso_into(
+    isa: DecoderIsa,
+    sys: &[Llr],
+    par: &[Llr],
+    apriori: &[Llr],
+    tail_sys: &[Llr; 3],
+    tail_par: &[Llr; 3],
+    g0: &mut [Llr],
+    gp: &mut [Llr],
+    alpha: &mut [Llr],
+    ext: &mut [Llr],
+    post: &mut [i32],
+) {
+    match isa {
+        DecoderIsa::Scalar => siso_scalar(
+            sys, par, apriori, tail_sys, tail_par, g0, gp, alpha, ext, post,
+        ),
+        #[cfg(target_arch = "x86_64")]
+        DecoderIsa::Sse2 => unsafe {
+            x86::siso_sse2(
+                sys, par, apriori, tail_sys, tail_par, g0, gp, alpha, ext, post,
+            )
+        },
+        #[cfg(target_arch = "x86_64")]
+        DecoderIsa::Ssse3 => unsafe {
+            x86::siso_ssse3(
+                sys, par, apriori, tail_sys, tail_par, g0, gp, alpha, ext, post,
+            )
+        },
+        #[cfg(target_arch = "x86_64")]
+        DecoderIsa::Avx2 => unsafe {
+            x86::siso_avx2(
+                sys, par, apriori, tail_sys, tail_par, g0, gp, alpha, ext, post,
+            )
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => siso_scalar(
+            sys, par, apriori, tail_sys, tail_par, g0, gp, alpha, ext, post,
+        ),
+    }
+}
+
+/// `±γ₀ then ±γₚ` — the exact op pairing of
+/// [`super::decoder::Gamma::branch`], kept scalar here for the fallback
+/// kernel.
+#[inline]
+fn branch(g0: Llr, gp: Llr, u: u8, p: u8) -> Llr {
+    let g0s = if u == 0 { g0 } else { subs16(0, g0) };
+    let gps = if p == 0 { gp } else { subs16(0, gp) };
+    adds16(g0s, gps)
+}
+
+/// Portable fallback: the scalar reference algorithm writing into the
+/// scratch buffers (no per-call allocation), op-for-op identical to
+/// [`super::decoder::siso`].
+#[allow(clippy::too_many_arguments)]
+fn siso_scalar(
+    sys: &[Llr],
+    par: &[Llr],
+    apriori: &[Llr],
+    tail_sys: &[Llr; 3],
+    tail_par: &[Llr; 3],
+    g0: &mut [Llr],
+    gp: &mut [Llr],
+    alpha: &mut [Llr],
+    ext: &mut [Llr],
+    post: &mut [i32],
+) {
+    let k = sys.len();
+    for i in 0..k {
+        g0[i] = srai16(adds16(sys[i], apriori[i]), 1);
+        gp[i] = srai16(par[i], 1);
+    }
+
+    let mut a = [NEG_INF; STATES];
+    a[0] = 0;
+    alpha[..STATES].copy_from_slice(&a);
+    for i in 0..k {
+        let mut next = [NEG_INF; STATES];
+        for (ns, nb) in next.iter_mut().enumerate() {
+            let mut best = NEG_INF;
+            for u in 0..2u8 {
+                let s = trellis::pred_state(ns as u8, u) as usize;
+                let p = trellis::parity(s as u8, u);
+                best = max16(best, adds16(a[s], branch(g0[i], gp[i], u, p)));
+            }
+            *nb = best;
+        }
+        let n = next[0];
+        for nb in &mut next {
+            *nb = subs16(*nb, n);
+        }
+        a = next;
+        alpha[(i + 1) * STATES..(i + 2) * STATES].copy_from_slice(&a);
+    }
+
+    let mut beta = beta_init_from_tails(tail_sys, tail_par);
+    for i in (0..k).rev() {
+        let av = &alpha[i * STATES..(i + 1) * STATES];
+        let mut m = [NEG_INF; 2];
+        #[allow(clippy::needless_range_loop)] // s is a trellis state id
+        for s in 0..STATES {
+            for u in 0..2u8 {
+                let p = trellis::parity(s as u8, u);
+                let ns = trellis::next_state(s as u8, u) as usize;
+                let metric = adds16(adds16(av[s], branch(g0[i], gp[i], u, p)), beta[ns]);
+                m[u as usize] = max16(m[u as usize], metric);
+            }
+        }
+        let l = subs16(m[0], m[1]);
+        post[i] = l as i32;
+        ext[i] = subs16(l, adds16(g0[i], g0[i]));
+        let mut prev = [NEG_INF; STATES];
+        for (s, pb) in prev.iter_mut().enumerate() {
+            let mut best = NEG_INF;
+            for u in 0..2u8 {
+                let p = trellis::parity(s as u8, u);
+                let ns = trellis::next_state(s as u8, u) as usize;
+                best = max16(best, adds16(beta[ns], branch(g0[i], gp[i], u, p)));
+            }
+            *pb = best;
+        }
+        let n = prev[0];
+        for pb in &mut prev {
+            *pb = subs16(*pb, n);
+        }
+        beta = prev;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::*;
+    use std::arch::x86_64::*;
+
+    /// Byte-level `pshufb` control replicating a lane-level i16 gather.
+    fn lane_ctrl(table: [u8; STATES]) -> [i8; 16] {
+        let mut c = [0i8; 16];
+        for (i, &s) in table.iter().enumerate() {
+            c[2 * i] = (2 * s) as i8;
+            c[2 * i + 1] = (2 * s + 1) as i8;
+        }
+        c
+    }
+
+    /// All-ones lanes where the transition parity is 0 (keep `+γₚ`),
+    /// zero lanes where it is 1 (select `−γₚ`).
+    fn parity_mask(par: [u8; STATES]) -> [i16; STATES] {
+        core::array::from_fn(|i| if par[i] == 0 { -1 } else { 0 })
+    }
+
+    /// `+1` lanes where the transition parity keeps `+γₚ`, `−1` where
+    /// it selects `−γₚ` — the `_mm_sign_epi16` control equivalent of
+    /// [`parity_mask`].
+    fn sign_vec(par: [u8; STATES]) -> [i16; STATES] {
+        core::array::from_fn(|i| if par[i] == 0 { 1 } else { -1 })
+    }
+
+    struct Ctl {
+        pred0: __m128i,
+        pred1: __m128i,
+        next0: __m128i,
+        next1: __m128i,
+        bcast0: __m128i,
+        /// Per-lane broadcast controls (`bcast[j]` replicates lane `j`).
+        bcast: [__m128i; STATES],
+        m_pp0: __m128i,
+        m_pp1: __m128i,
+        m_np0: __m128i,
+        m_np1: __m128i,
+        sgn_pp0: __m128i,
+        sgn_pp1: __m128i,
+        sgn_np0: __m128i,
+        sgn_np1: __m128i,
+        floor: __m128i,
+    }
+
+    #[inline(always)]
+    unsafe fn load_i8x16(a: [i8; 16]) -> __m128i {
+        _mm_loadu_si128(a.as_ptr() as *const __m128i)
+    }
+
+    #[inline(always)]
+    unsafe fn load_i16x8(a: [i16; 8]) -> __m128i {
+        _mm_loadu_si128(a.as_ptr() as *const __m128i)
+    }
+
+    #[inline(always)]
+    unsafe fn make_ctl() -> Ctl {
+        // The pshufb controls go through `black_box` so LLVM keeps the
+        // single-µop `pshufb` the kernel was scheduled around: with the
+        // control visible as a constant, the x86 shuffle lowering
+        // re-expands each gather into a 3-deep
+        // `pshufd`+`pshuflw`+`pshufhw` chain, which is three
+        // shuffle-port µops (and +2 cycles of recurrence latency) per
+        // trellis step. One opaque register copy per SISO call buys
+        // that back everywhere.
+        use core::hint::black_box;
+        let mut bcast = [_mm_setzero_si128(); STATES];
+        for (j, c) in bcast.iter_mut().enumerate() {
+            *c = black_box(load_i8x16(lane_ctrl([j as u8; STATES])));
+        }
+        Ctl {
+            pred0: black_box(load_i8x16(lane_ctrl(trellis::pred_table(0)))),
+            pred1: black_box(load_i8x16(lane_ctrl(trellis::pred_table(1)))),
+            next0: black_box(load_i8x16(lane_ctrl(trellis::next_table(0)))),
+            next1: black_box(load_i8x16(lane_ctrl(trellis::next_table(1)))),
+            bcast0: black_box(load_i8x16([0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1])),
+            bcast,
+            m_pp0: load_i16x8(parity_mask(trellis::pred_parity(0))),
+            m_pp1: load_i16x8(parity_mask(trellis::pred_parity(1))),
+            m_np0: load_i16x8(parity_mask(trellis::next_parity(0))),
+            m_np1: load_i16x8(parity_mask(trellis::next_parity(1))),
+            sgn_pp0: load_i16x8(sign_vec(trellis::pred_parity(0))),
+            sgn_pp1: load_i16x8(sign_vec(trellis::pred_parity(1))),
+            sgn_np0: load_i16x8(sign_vec(trellis::next_parity(0))),
+            sgn_np1: load_i16x8(sign_vec(trellis::next_parity(1))),
+            floor: _mm_set1_epi16(NEG_INF),
+        }
+    }
+
+    /// `(a & m) | (b & !m)` — full-lane mask select.
+    #[inline(always)]
+    unsafe fn blend_mask(a: __m128i, b: __m128i, m: __m128i) -> __m128i {
+        _mm_or_si128(_mm_and_si128(a, m), _mm_andnot_si128(m, b))
+    }
+
+    // The four trellis lane gathers. Under SSSE3 each is one `pshufb`;
+    // under bare SSE2 each decomposes into `shufflelo/hi` (within
+    // 64-bit halves) plus `shuffle_epi32` steps, with a two-path mask
+    // blend where the gather crosses halves per 32-bit pair. The
+    // immediates are derived from `trellis::pred_table`/`next_table`
+    // and locked down by `sse2_gathers_match_trellis_tables` below.
+
+    /// Gather `pred_table(0) = [0,3,4,7,1,2,5,6]`.
+    #[inline(always)]
+    unsafe fn perm_pred0<const PSHUFB: bool>(x: __m128i, c: __m128i) -> __m128i {
+        if PSHUFB {
+            _mm_shuffle_epi8(x, c)
+        } else {
+            let t = _mm_shufflehi_epi16(_mm_shufflelo_epi16(x, 0x9C), 0x9C);
+            _mm_shuffle_epi32(t, 0xD8)
+        }
+    }
+
+    /// Gather `pred_table(1) = [1,2,5,6,0,3,4,7]`.
+    #[inline(always)]
+    unsafe fn perm_pred1<const PSHUFB: bool>(x: __m128i, c: __m128i) -> __m128i {
+        if PSHUFB {
+            _mm_shuffle_epi8(x, c)
+        } else {
+            let t = _mm_shufflehi_epi16(_mm_shufflelo_epi16(x, 0xC9), 0xC9);
+            _mm_shuffle_epi32(t, 0xD8)
+        }
+    }
+
+    const M_NEXT0: [i16; 8] = [-1, 0, 0, -1, 0, -1, -1, 0];
+    const M_NEXT1: [i16; 8] = [0, -1, -1, 0, -1, 0, 0, -1];
+
+    /// Gather `next_table(0) = [0,4,5,1,2,6,7,3]`.
+    #[inline(always)]
+    unsafe fn perm_next0<const PSHUFB: bool>(x: __m128i, c: __m128i) -> __m128i {
+        if PSHUFB {
+            _mm_shuffle_epi8(x, c)
+        } else {
+            let a = _mm_shufflehi_epi16(_mm_shufflelo_epi16(x, 0x40), 0x38);
+            let xs = _mm_shuffle_epi32(x, 0x4E);
+            let b = _mm_shufflehi_epi16(_mm_shufflelo_epi16(xs, 0x10), 0xC2);
+            blend_mask(a, b, load_i16x8(M_NEXT0))
+        }
+    }
+
+    /// Gather `next_table(1) = [4,0,1,5,6,2,3,7]`.
+    #[inline(always)]
+    unsafe fn perm_next1<const PSHUFB: bool>(x: __m128i, c: __m128i) -> __m128i {
+        if PSHUFB {
+            _mm_shuffle_epi8(x, c)
+        } else {
+            let a = _mm_shufflehi_epi16(_mm_shufflelo_epi16(x, 0x10), 0xC2);
+            let xs = _mm_shuffle_epi32(x, 0x4E);
+            let b = _mm_shufflehi_epi16(_mm_shufflelo_epi16(xs, 0x40), 0x38);
+            blend_mask(a, b, load_i16x8(M_NEXT1))
+        }
+    }
+
+    /// Broadcast lane 0 to all lanes (for the state-0 normalize).
+    #[inline(always)]
+    unsafe fn bcast_lane0<const PSHUFB: bool>(x: __m128i, c: __m128i) -> __m128i {
+        if PSHUFB {
+            _mm_shuffle_epi8(x, c)
+        } else {
+            _mm_shuffle_epi32(_mm_shufflelo_epi16(x, 0x00), 0x00)
+        }
+    }
+
+    /// Broadcast lane `j` of a group register to all lanes — the γ
+    /// broadcast for step `base + j`, fed from one 8-step group load
+    /// instead of a per-step scalar load. Under SSSE3 one `pshufb`;
+    /// under SSE2 a two-shuffle pair whose immediates constant-fold
+    /// once the fixed 8-step inner loops unroll.
+    #[inline(always)]
+    unsafe fn bcast_lane<const PSHUFB: bool>(
+        g: __m128i,
+        j: usize,
+        ctls: &[__m128i; STATES],
+    ) -> __m128i {
+        if PSHUFB {
+            _mm_shuffle_epi8(g, ctls[j])
+        } else {
+            match j {
+                0 => _mm_shuffle_epi32(_mm_shufflelo_epi16(g, 0x00), 0x00),
+                1 => _mm_shuffle_epi32(_mm_shufflelo_epi16(g, 0x55), 0x00),
+                2 => _mm_shuffle_epi32(_mm_shufflelo_epi16(g, 0xAA), 0x00),
+                3 => _mm_shuffle_epi32(_mm_shufflelo_epi16(g, 0xFF), 0x00),
+                4 => _mm_shuffle_epi32(_mm_shufflehi_epi16(g, 0x00), 0xAA),
+                5 => _mm_shuffle_epi32(_mm_shufflehi_epi16(g, 0x55), 0xAA),
+                6 => _mm_shuffle_epi32(_mm_shufflehi_epi16(g, 0xAA), 0xAA),
+                _ => _mm_shuffle_epi32(_mm_shufflehi_epi16(g, 0xFF), 0xAA),
+            }
+        }
+    }
+
+    /// γ broadcast for step `base + j`: lane `j` of the 8-step group
+    /// register under SSE2/SSSE3, or — under `MEMB` — a
+    /// `vpbroadcastw m16` straight from the metric buffer, a pure load
+    /// µop on AVX2 hosts. Caller guarantees `step < buf.len()`.
+    #[inline(always)]
+    unsafe fn gamma_bcast<const PSHUFB: bool, const MEMB: bool>(
+        buf: &[Llr],
+        step: usize,
+        grp: __m128i,
+        j: usize,
+        ctls: &[__m128i; STATES],
+    ) -> __m128i {
+        if MEMB {
+            _mm_set1_epi16(*buf.get_unchecked(step))
+        } else {
+            bcast_lane::<PSHUFB>(grp, j, ctls)
+        }
+    }
+
+    /// The branch-metric pair `(γ(u=0), γ(u=1))` for one trellis step,
+    /// preserving the scalar op pairing `adds16(±γ₀, ±γₚ)`. The SSSE3
+    /// arm negates `γₚ` with `sign_epi16`; that is exact here because
+    /// `|γ| ≤ 2¹⁴` after the `>>1` halving, so the non-saturating
+    /// negate equals `subs16(0, ·)` on every reachable input.
+    #[inline(always)]
+    unsafe fn gammas<const PSHUFB: bool>(
+        g0b: __m128i,
+        gpb: __m128i,
+        keep0: __m128i,
+        keep1: __m128i,
+        sgn0: __m128i,
+        sgn1: __m128i,
+    ) -> (__m128i, __m128i) {
+        let zero = _mm_setzero_si128();
+        let ng0 = _mm_subs_epi16(zero, g0b);
+        if PSHUFB {
+            (
+                _mm_adds_epi16(g0b, _mm_sign_epi16(gpb, sgn0)),
+                _mm_adds_epi16(ng0, _mm_sign_epi16(gpb, sgn1)),
+            )
+        } else {
+            let ngp = _mm_subs_epi16(zero, gpb);
+            (
+                _mm_adds_epi16(g0b, blend_mask(gpb, ngp, keep0)),
+                _mm_adds_epi16(ng0, blend_mask(gpb, ngp, keep1)),
+            )
+        }
+    }
+
+    /// Joint horizontal max of two hypothesis metric vectors: returns
+    /// a register with `max lanes of t0` in lane 0 and
+    /// `max lanes of t1` in lane 1, so both reductions share a single
+    /// shuffle/max tree. Interleaving the inputs first makes every
+    /// later max combine a `t0` partial in the even lanes and a `t1`
+    /// partial in the odd lanes; `max_epi16` is lane-wise, so the two
+    /// reductions never mix.
+    #[inline(always)]
+    unsafe fn hmax2x8(t0: __m128i, t1: __m128i) -> __m128i {
+        let y = _mm_max_epi16(_mm_unpacklo_epi16(t0, t1), _mm_unpackhi_epi16(t0, t1));
+        let z = _mm_max_epi16(y, _mm_srli_si128(y, 8));
+        _mm_max_epi16(z, _mm_srli_si128(z, 4))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn siso_sse2(
+        sys: &[Llr],
+        par: &[Llr],
+        apriori: &[Llr],
+        tail_sys: &[Llr; 3],
+        tail_par: &[Llr; 3],
+        g0: &mut [Llr],
+        gp: &mut [Llr],
+        alpha: &mut [Llr],
+        ext: &mut [Llr],
+        post: &mut [i32],
+    ) {
+        siso_body::<false, false>(
+            sys, par, apriori, tail_sys, tail_par, g0, gp, alpha, ext, post,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "ssse3")]
+    pub unsafe fn siso_ssse3(
+        sys: &[Llr],
+        par: &[Llr],
+        apriori: &[Llr],
+        tail_sys: &[Llr; 3],
+        tail_par: &[Llr; 3],
+        g0: &mut [Llr],
+        gp: &mut [Llr],
+        alpha: &mut [Llr],
+        ext: &mut [Llr],
+        post: &mut [i32],
+    ) {
+        siso_body::<true, false>(
+            sys, par, apriori, tail_sys, tail_par, g0, gp, alpha, ext, post,
+        )
+    }
+
+    /// Same 128-bit kernel, VEX-encoded: under AVX2 the `MEMB` arm
+    /// turns each per-step γ broadcast into a `vpbroadcastw m16`,
+    /// which is a pure load µop — the broadcasts leave the shuffle
+    /// port to the four trellis gathers and the normalize.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn siso_avx2(
+        sys: &[Llr],
+        par: &[Llr],
+        apriori: &[Llr],
+        tail_sys: &[Llr; 3],
+        tail_par: &[Llr; 3],
+        g0: &mut [Llr],
+        gp: &mut [Llr],
+        alpha: &mut [Llr],
+        ext: &mut [Llr],
+        post: &mut [i32],
+    ) {
+        siso_body::<true, true>(
+            sys, par, apriori, tail_sys, tail_par, g0, gp, alpha, ext, post,
+        )
+    }
+
+    const ALPHA0: [i16; 8] = [
+        0, NEG_INF, NEG_INF, NEG_INF, NEG_INF, NEG_INF, NEG_INF, NEG_INF,
+    ];
+
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    unsafe fn siso_body<const PSHUFB: bool, const MEMB: bool>(
+        sys: &[Llr],
+        par: &[Llr],
+        apriori: &[Llr],
+        tail_sys: &[Llr; 3],
+        tail_par: &[Llr; 3],
+        g0: &mut [Llr],
+        gp: &mut [Llr],
+        alpha: &mut [Llr],
+        ext: &mut [Llr],
+        post: &mut [i32],
+    ) {
+        let k = sys.len();
+        debug_assert!(k.is_multiple_of(STATES) && par.len() == k && apriori.len() == k);
+        debug_assert!(g0.len() == k && gp.len() == k);
+        debug_assert!(ext.len() == k && post.len() == k);
+        debug_assert!(alpha.len() == (k + 1) * STATES);
+        let ctl = make_ctl();
+
+        // γ phase: eight trellis steps per register over the arranged
+        // streams — this is what the data arrangement process feeds.
+        // The MEMB path also stages the doubled metric `2·γ₀` the
+        // extrinsic needs, so the β loop can broadcast it from memory
+        // instead of re-deriving it in (and spilling to) scalar
+        // registers.
+        let mut i = 0;
+        while i < k {
+            let ls = _mm_loadu_si128(sys.as_ptr().add(i) as *const __m128i);
+            let lav = _mm_loadu_si128(apriori.as_ptr().add(i) as *const __m128i);
+            let lp = _mm_loadu_si128(par.as_ptr().add(i) as *const __m128i);
+            let g0v = _mm_srai_epi16(_mm_adds_epi16(ls, lav), 1);
+            let gpv = _mm_srai_epi16(lp, 1);
+            _mm_storeu_si128(g0.as_mut_ptr().add(i) as *mut __m128i, g0v);
+            _mm_storeu_si128(gp.as_mut_ptr().add(i) as *mut __m128i, gpv);
+            i += 8;
+        }
+
+        // Forward α: 8 states in one xmm; the per-step γ broadcasts
+        // come out of one group load per 8 steps.
+        let mut a = load_i16x8(ALPHA0);
+        _mm_storeu_si128(alpha.as_mut_ptr() as *mut __m128i, a);
+        let mut base = 0;
+        while base < k {
+            // Dead (and eliminated) under MEMB — the broadcasts read
+            // straight from memory there.
+            let g0g = _mm_loadu_si128(g0.as_ptr().add(base) as *const __m128i);
+            let gpg = _mm_loadu_si128(gp.as_ptr().add(base) as *const __m128i);
+            for j in 0..STATES {
+                let g0b = gamma_bcast::<PSHUFB, MEMB>(g0, base + j, g0g, j, &ctl.bcast);
+                let gpb = gamma_bcast::<PSHUFB, MEMB>(gp, base + j, gpg, j, &ctl.bcast);
+                let (gam0, gam1) =
+                    gammas::<PSHUFB>(g0b, gpb, ctl.m_pp0, ctl.m_pp1, ctl.sgn_pp0, ctl.sgn_pp1);
+                let a0 = perm_pred0::<PSHUFB>(a, ctl.pred0);
+                let a1 = perm_pred1::<PSHUFB>(a, ctl.pred1);
+                let c0 = _mm_adds_epi16(a0, gam0);
+                let c1 = _mm_adds_epi16(a1, gam1);
+                let m = _mm_max_epi16(_mm_max_epi16(c0, c1), ctl.floor);
+                let n = bcast_lane0::<PSHUFB>(m, ctl.bcast0);
+                a = _mm_subs_epi16(m, n);
+                _mm_storeu_si128(
+                    alpha.as_mut_ptr().add((base + j + 1) * STATES) as *mut __m128i,
+                    a,
+                );
+            }
+            base += STATES;
+        }
+
+        // Backward β fused with the extrinsic.
+        let binit = beta_init_from_tails(tail_sys, tail_par);
+        let mut b = _mm_loadu_si128(binit.as_ptr() as *const __m128i);
+        let mut base = k;
+        while base > 0 {
+            base -= STATES;
+            let g0g = _mm_loadu_si128(g0.as_ptr().add(base) as *const __m128i);
+            let gpg = _mm_loadu_si128(gp.as_ptr().add(base) as *const __m128i);
+            for j in (0..STATES).rev() {
+                let step = base + j;
+                let g0b = gamma_bcast::<PSHUFB, MEMB>(g0, step, g0g, j, &ctl.bcast);
+                let gpb = gamma_bcast::<PSHUFB, MEMB>(gp, step, gpg, j, &ctl.bcast);
+                let (gam0, gam1) =
+                    gammas::<PSHUFB>(g0b, gpb, ctl.m_np0, ctl.m_np1, ctl.sgn_np0, ctl.sgn_np1);
+                let b0 = perm_next0::<PSHUFB>(b, ctl.next0);
+                let b1 = perm_next1::<PSHUFB>(b, ctl.next1);
+                let av = _mm_loadu_si128(alpha.as_ptr().add(step * STATES) as *const __m128i);
+                // Per-source-state path metric (α + γ) + β[next], per
+                // bit hypothesis; horizontal max then the NEG_INF fold
+                // floor.
+                let t0 = _mm_adds_epi16(_mm_adds_epi16(av, gam0), b0);
+                let t1 = _mm_adds_epi16(_mm_adds_epi16(av, gam1), b1);
+                // Reduction, NEG_INF fold floor, hypothesis
+                // subtraction and extrinsic all stay in lane 0 of
+                // vector registers — i16 max is order-free and the
+                // lane-wise saturating ops are the scalar ops, so this
+                // equals the oracle's per-state fold exactly. (A
+                // scalar `max16`/`subs16` tail lowers to ~20 µops of
+                // cmp/cmov saturation per step and forces `g0[step]`
+                // out of the broadcast register.)
+                let lv = if MEMB {
+                    // SSE4.1 `phminposuw` runs the whole 8-lane
+                    // reduction in one port-0 µop. Signed order maps
+                    // to unsigned order under `x ^ 0x7FFF` with
+                    // min/max swapped, so
+                    // `max_i16(x) = minpos_u16(x ^ 0x7FFF) ^ 0x7FFF`
+                    // — exact on every input. (Lanes 1..8 of the
+                    // minpos result hold the index and zeros; only
+                    // lane 0 is consumed.)
+                    let k7 = _mm_set1_epi16(0x7FFF);
+                    let m0 = _mm_xor_si128(_mm_minpos_epu16(_mm_xor_si128(t0, k7)), k7);
+                    let m1 = _mm_xor_si128(_mm_minpos_epu16(_mm_xor_si128(t1, k7)), k7);
+                    _mm_subs_epi16(_mm_max_epi16(m0, ctl.floor), _mm_max_epi16(m1, ctl.floor))
+                } else {
+                    let wf = _mm_max_epi16(hmax2x8(t0, t1), ctl.floor);
+                    _mm_subs_epi16(wf, _mm_srli_si128(wf, 2))
+                };
+                // In-bounds by the debug_asserts above (`step < k` and
+                // every buffer is `k` long). Only the posterior is
+                // stored here; the extrinsic peels off lane-parallel
+                // after the loop, which keeps `g0b` single-use so the
+                // broadcast stays a memory-operand `vpbroadcastw`.
+                *post.get_unchecked_mut(step) = _mm_cvtsi128_si32(lv);
+                // β update reusing the gathered successors.
+                let c0 = _mm_adds_epi16(b0, gam0);
+                let c1 = _mm_adds_epi16(b1, gam1);
+                let m = _mm_max_epi16(_mm_max_epi16(c0, c1), ctl.floor);
+                let n = bcast_lane0::<PSHUFB>(m, ctl.bcast0);
+                b = _mm_subs_epi16(m, n);
+            }
+        }
+
+        // Extrinsic peel-off, eight steps per register:
+        // `ext = L − 2·γ₀`. The same saturating ops on the same values
+        // as the oracle's in-loop subtraction — hoisting it out of the
+        // β recurrence costs nothing in exactness (each lane is an
+        // independent scalar computation) and keeps the hot loop free
+        // of a second per-step store.
+        let mut i = 0;
+        while i < k {
+            // Recover the i16 posterior from each dword's low half:
+            // shift-up/shift-down sign-extends, and the saturating
+            // pack is exact because every lane is an in-range i16.
+            let p0 = _mm_loadu_si128(post.as_ptr().add(i) as *const __m128i);
+            let p1 = _mm_loadu_si128(post.as_ptr().add(i + 4) as *const __m128i);
+            let w0 = _mm_srai_epi32(_mm_slli_epi32(p0, 16), 16);
+            let w1 = _mm_srai_epi32(_mm_slli_epi32(p1, 16), 16);
+            let pv = _mm_packs_epi32(w0, w1);
+            let g0v = _mm_loadu_si128(g0.as_ptr().add(i) as *const __m128i);
+            let evv = _mm_subs_epi16(pv, _mm_adds_epi16(g0v, g0v));
+            _mm_storeu_si128(ext.as_mut_ptr().add(i) as *mut __m128i, evv);
+            i += 8;
+        }
+    }
+
+    /// Test hook: run every lane gather on `[0..8]` so the shuffle
+    /// immediates can be checked against the trellis tables.
+    #[cfg(test)]
+    pub mod probe {
+        use super::*;
+
+        unsafe fn run<const PSHUFB: bool>() -> [[i16; 8]; 5] {
+            let ctl = make_ctl();
+            let x = load_i16x8([0, 1, 2, 3, 4, 5, 6, 7]);
+            let mut out = [[0i16; 8]; 5];
+            let regs = [
+                perm_pred0::<PSHUFB>(x, ctl.pred0),
+                perm_pred1::<PSHUFB>(x, ctl.pred1),
+                perm_next0::<PSHUFB>(x, ctl.next0),
+                perm_next1::<PSHUFB>(x, ctl.next1),
+                bcast_lane0::<PSHUFB>(x, ctl.bcast0),
+            ];
+            for (o, r) in out.iter_mut().zip(regs) {
+                _mm_storeu_si128(o.as_mut_ptr() as *mut __m128i, r);
+            }
+            out
+        }
+
+        #[target_feature(enable = "sse2")]
+        pub unsafe fn gathers_sse2() -> [[i16; 8]; 5] {
+            run::<false>()
+        }
+
+        #[target_feature(enable = "ssse3")]
+        pub unsafe fn gathers_ssse3() -> [[i16; 8]; 5] {
+            run::<true>()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::random_bits;
+    use crate::crc::CRC24B;
+    use crate::interleaver::QPP_TABLE;
+    use crate::llr::bit_to_llr;
+    use crate::turbo::decoder::{siso, TurboDecoder};
+    use crate::turbo::TurboEncoder;
+    use vran_util::proptest::prelude::*;
+    use vran_util::rng::SmallRng;
+
+    /// Encode random bits at size `k`, map to LLRs of magnitude `mag`,
+    /// then perturb every LLR with uniform noise in `±noise`.
+    fn noisy_input(k: usize, mag: Llr, noise: i16, seed: u64) -> (Vec<u8>, TurboLlrs) {
+        let bits = random_bits(k, seed);
+        let cw = TurboEncoder::new(k).encode(&bits);
+        let d = cw.to_dstreams();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37);
+        let soft: [Vec<Llr>; 3] = d
+            .iter()
+            .map(|st| {
+                st.iter()
+                    .map(|&b| {
+                        let n = if noise > 0 {
+                            (rng.next_u64() % (2 * noise as u64 + 1)) as i16 - noise
+                        } else {
+                            0
+                        };
+                        adds16(bit_to_llr(b, mag), n)
+                    })
+                    .collect()
+            })
+            .collect::<Vec<_>>()
+            .try_into()
+            .unwrap();
+        (bits, TurboLlrs::from_dstreams(&soft, k))
+    }
+
+    #[test]
+    fn available_isas_start_with_scalar() {
+        let isas = DecoderIsa::available();
+        assert_eq!(isas[0], DecoderIsa::Scalar);
+        assert!(isas.windows(2).all(|w| w[0] < w[1]));
+        assert!(isas.contains(&DecoderIsa::best()));
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn sse2_gathers_match_trellis_tables() {
+        let expect = |t: [u8; STATES]| -> [i16; 8] { core::array::from_fn(|i| t[i] as i16) };
+        let tables = [
+            expect(trellis::pred_table(0)),
+            expect(trellis::pred_table(1)),
+            expect(trellis::next_table(0)),
+            expect(trellis::next_table(1)),
+            [0i16; 8],
+        ];
+        for isa in DecoderIsa::available() {
+            let got = match isa {
+                DecoderIsa::Sse2 => unsafe { x86::probe::gathers_sse2() },
+                // The Avx2 kernel runs the same pshufb gather arm.
+                DecoderIsa::Ssse3 | DecoderIsa::Avx2 => unsafe { x86::probe::gathers_ssse3() },
+                DecoderIsa::Scalar => continue,
+            };
+            assert_eq!(got, tables, "{}", isa.name());
+        }
+    }
+
+    #[test]
+    fn noiseless_block_decodes_exactly_on_every_isa() {
+        for k in [40usize, 104, 512] {
+            let (bits, input) = noisy_input(k, 100, 0, k as u64);
+            for isa in DecoderIsa::available() {
+                let out = NativeTurboDecoder::with_isa(k, 4, isa).decode(&input);
+                assert_eq!(out.bits, bits, "{} K={k}", isa.name());
+                assert_eq!(out.iterations_run, 4);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_scalar_oracle_across_block_sizes() {
+        // K ∈ {40 .. 6144}: smallest, a mid-size, and the largest QPP
+        // sizes, under enough noise that iterations do real work.
+        for k in [40usize, 496, 2048, 6144] {
+            let (_, input) = noisy_input(k, 24, 20, 3 * k as u64 + 1);
+            let reference = TurboDecoder::new(k, 3).decode(&input);
+            for isa in DecoderIsa::available() {
+                let out = NativeTurboDecoder::with_isa(k, 3, isa).decode(&input);
+                assert_eq!(out, reference, "{} K={k}", isa.name());
+            }
+        }
+    }
+
+    #[test]
+    fn crc_early_stop_matches_scalar_iteration_count() {
+        let k = 104;
+        let payload = random_bits(k - 24, 5);
+        let block = CRC24B.attach(&payload);
+        let cw = TurboEncoder::new(k).encode(&block);
+        let soft: [Vec<Llr>; 3] = cw
+            .to_dstreams()
+            .iter()
+            .map(|st| st.iter().map(|&b| bit_to_llr(b, 100)).collect())
+            .collect::<Vec<_>>()
+            .try_into()
+            .unwrap();
+        let input = TurboLlrs::from_dstreams(&soft, k);
+        let reference = TurboDecoder::new(k, 8).decode_with_crc(&input, &CRC24B);
+        assert_eq!(reference.crc_ok, Some(true));
+        for isa in DecoderIsa::available() {
+            let out = NativeTurboDecoder::with_isa(k, 8, isa).decode_with_crc(&input, &CRC24B);
+            assert_eq!(out, reference, "{}", isa.name());
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_allocates_once_per_block_size() {
+        let k = 256;
+        let (_, input) = noisy_input(k, 30, 10, 9);
+        let dec = NativeTurboDecoder::new(k, 2);
+        let mut scratch = DecodeScratch::new();
+        let first = dec.decode_scratch(&input, None, &mut scratch);
+        assert_eq!(scratch.allocations(), 1);
+        assert_eq!(scratch.reuses(), 0);
+        for _ in 0..3 {
+            let again = dec.decode_scratch(&input, None, &mut scratch);
+            assert_eq!(again, first);
+        }
+        assert_eq!(scratch.allocations(), 1, "warm scratch must not grow");
+        assert_eq!(scratch.reuses(), 3);
+    }
+
+    #[test]
+    fn scratch_shrinks_without_reallocating() {
+        let mut scratch = DecodeScratch::new();
+        scratch.ensure(512);
+        scratch.ensure(40);
+        scratch.ensure(512);
+        assert_eq!(scratch.allocations(), 1);
+        assert_eq!(scratch.reuses(), 2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn siso_bit_exact_with_scalar_reference(
+            sys in prop::collection::vec(-700i16..700, 40),
+            par in prop::collection::vec(-700i16..700, 40),
+            la in prop::collection::vec(-700i16..700, 40),
+            t in prop::collection::vec(-700i16..700, 6),
+        ) {
+            let tail_sys = [t[0], t[1], t[2]];
+            let tail_par = [t[3], t[4], t[5]];
+            let (ext_ref, post_ref) = siso(&sys, &par, &la, &tail_sys, &tail_par);
+            let k = sys.len();
+            let (mut g0, mut gp) = (vec![0; k], vec![0; k]);
+            let mut alpha = vec![0; (k + 1) * STATES];
+            let (mut ext, mut post) = (vec![0 as Llr; k], vec![0i32; k]);
+            for isa in DecoderIsa::available() {
+                siso_into(
+                    isa, &sys, &par, &la, &tail_sys, &tail_par,
+                    &mut g0, &mut gp, &mut alpha, &mut ext, &mut post,
+                );
+                prop_assert_eq!(&ext, &ext_ref, "extrinsic diverged on {}", isa.name());
+                let post_lo: Vec<Llr> = post.iter().map(|&p| p as Llr).collect();
+                prop_assert_eq!(&post_lo, &post_ref, "posterior diverged on {}", isa.name());
+            }
+        }
+
+        #[test]
+        fn decode_bit_exact_across_random_sizes_and_noise(
+            row in 0usize..QPP_TABLE.len(),
+            mag in 8i16..60,
+            noise in 0i16..48,
+            seed in 1u64..1_000_000,
+        ) {
+            let k = QPP_TABLE[row].k as usize;
+            prop_assume!(k <= 1024); // keep the property-run time bounded
+            let (_, input) = noisy_input(k, mag, noise, seed);
+            let reference = TurboDecoder::new(k, 2).decode(&input);
+            for isa in DecoderIsa::available() {
+                let out = NativeTurboDecoder::with_isa(k, 2, isa).decode(&input);
+                prop_assert_eq!(
+                    &out.bits, &reference.bits,
+                    "bits diverged on {} K={}", isa.name(), k
+                );
+                prop_assert_eq!(out.iterations_run, reference.iterations_run);
+            }
+        }
+    }
+}

@@ -211,6 +211,64 @@ proptest! {
     }
 
     #[test]
+    fn native_decoder_matches_scalar_on_garbage(seed in any::<u64>(), k_idx in 0usize..8) {
+        // Every runtime-dispatched native ISA level must be bit-exact
+        // with the scalar oracle, including on saturating inputs.
+        use vran_phy::turbo::{DecoderIsa, NativeTurboDecoder};
+        let k = QPP_TABLE[k_idx].k as usize;
+        let mk = |s: u64| -> Vec<i16> {
+            let mut x = s | 1;
+            (0..k)
+                .map(|_| {
+                    x ^= x >> 12;
+                    x ^= x << 25;
+                    x ^= x >> 27;
+                    (x >> 48) as i16
+                })
+                .collect()
+        };
+        let input = TurboLlrs {
+            k,
+            streams: SoftStreams { sys: mk(seed), p1: mk(seed ^ 3), p2: mk(seed ^ 7) },
+            tails: Default::default(),
+        };
+        let oracle = TurboDecoder::new(k, 2).decode(&input);
+        for isa in DecoderIsa::available() {
+            let native = NativeTurboDecoder::with_isa(k, 2, isa).decode(&input);
+            prop_assert_eq!(&native.bits, &oracle.bits, "ISA {} diverged", isa.name());
+        }
+    }
+
+    #[test]
+    fn native_batch_matches_scalar_on_garbage(seed in any::<u64>(), k_idx in 0usize..8) {
+        // The two-block batch kernel decodes both lanes bit-exactly.
+        use vran_phy::turbo::NativeBatchTurboDecoder;
+        let k = QPP_TABLE[k_idx].k as usize;
+        let mk = |s: u64| -> Vec<i16> {
+            let mut x = s | 1;
+            (0..k)
+                .map(|_| {
+                    x ^= x >> 12;
+                    x ^= x << 25;
+                    x ^= x >> 27;
+                    (x >> 48) as i16
+                })
+                .collect()
+        };
+        let block = |s: u64| TurboLlrs {
+            k,
+            streams: SoftStreams { sys: mk(s), p1: mk(s ^ 3), p2: mk(s ^ 7) },
+            tails: Default::default(),
+        };
+        let pair = [block(seed), block(seed ^ 0x9E37)];
+        let dec = TurboDecoder::new(k, 2);
+        let got = NativeBatchTurboDecoder::new(k, 2).decode_pair(&pair);
+        for (g, input) in got.iter().zip(&pair) {
+            prop_assert_eq!(&g.bits, &dec.decode(input).bits);
+        }
+    }
+
+    #[test]
     fn viterbi_never_panics_on_garbage(seed in any::<u64>(), n in 8usize..64) {
         use vran_phy::dci::viterbi_decode_tb;
         let mut x = seed | 1;

@@ -58,12 +58,14 @@
 //! assert_eq!(trace.store_bytes(), 16);
 //! ```
 
+pub mod host;
 pub mod mem;
 pub mod trace;
 pub mod value;
 pub mod vm;
 pub mod width;
 
+pub use host::HostIsa;
 pub use mem::{Mem, MemRef};
 pub use trace::{ClassHistogram, MicroOp, OpClass, OpKind, RegId, Trace};
 pub use value::VecVal;

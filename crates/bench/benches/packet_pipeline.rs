@@ -30,7 +30,7 @@ fn bench_pipeline(c: &mut Criterion) {
                 |bch, p| {
                     bch.iter(|| {
                         let r = pipe.process(std::hint::black_box(p));
-                        assert!(r.ok);
+                        assert!(r.is_ok());
                         r
                     })
                 },

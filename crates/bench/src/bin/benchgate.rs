@@ -2,7 +2,8 @@
 //!
 //! Runs a pinned, deterministic suite — the arrangement kernels,
 //! original vs APCM, at all three register widths through the
-//! `vran-uarch` simulator, plus static pipeline invariants — and two
+//! `vran-uarch` simulator, static pipeline invariants, and the
+//! fault-injection classification counts — and two
 //! wall-clock (never gating) suites: a smoke run of the threaded
 //! packet pipeline and the native turbo-decoder fast path (scalar
 //! reference vs each runtime-dispatched ISA level, plus the AVX2
@@ -20,8 +21,11 @@ use std::time::Instant;
 use vran_arrange::{ApcmVariant, ArrangeKernel, Mechanism};
 use vran_bench::gate::{compare, BenchReport, Suite};
 use vran_bench::{interleaved_workload, turbo_workload};
+use vran_net::error::ErrorCategory;
+use vran_net::faultinject::{FaultInjector, FaultKind};
 use vran_net::metrics::{PipelineMetrics, RunnerMetrics, Stage, UarchMetrics};
-use vran_net::pipeline::PipelineConfig;
+use vran_net::packet::PacketBuilder;
+use vran_net::pipeline::{DecoderBackend, PipelineConfig, UplinkPipeline};
 use vran_net::runner::{run_throughput_metered, RING_CAPACITY};
 use vran_net::Transport;
 use vran_phy::turbo::{
@@ -43,6 +47,11 @@ const DECODE_REPS: usize = 25;
 /// Decoder iterations for the fast-path suite — fixed, no CRC early
 /// stop, so every configuration does identical work.
 const DECODE_ITERS: usize = 4;
+/// Packets per backend pushed through the fault-classification suite.
+const FAULT_PACKETS: usize = 240;
+/// Fault-injector seeds (match the fault-soak test family).
+const FAULT_SEED_SCALAR: u64 = 17;
+const FAULT_SEED_NATIVE: u64 = 18;
 
 struct Args {
     check: bool,
@@ -214,6 +223,62 @@ fn pipeline_static_suite(metrics: &PipelineMetrics) -> Suite {
     suite
 }
 
+/// Gated: deterministic fault-injection classification. Pushes the
+/// standard soak mix through both decoder backends at pinned seeds and
+/// pins every typed-error category count (`.count` metrics gate
+/// exactly): drift here means the error taxonomy, the injector's
+/// deterministic draw/mutation stream, or a backend's bit-exactness
+/// changed.
+fn pipeline_faults_suite() -> Suite {
+    let mut suite = Suite::new("pipeline_faults", true);
+    for (backend, seed) in [
+        (DecoderBackend::Scalar, FAULT_SEED_SCALAR),
+        (DecoderBackend::Native, FAULT_SEED_NATIVE),
+    ] {
+        let pm = std::sync::Arc::new(PipelineMetrics::new(true));
+        let cfg = PipelineConfig {
+            backend,
+            snr_db: 30.0,
+            decoder_iterations: 4,
+            ..Default::default()
+        };
+        let mut pipe = UplinkPipeline::with_metrics(cfg, pm.clone());
+        pipe.set_fault_injector(FaultInjector::new(seed));
+        let mut b = PacketBuilder::new(1000, 2000);
+        for i in 0..FAULT_PACKETS {
+            let transport = if i % 3 == 0 {
+                Transport::Tcp
+            } else {
+                Transport::Udp
+            };
+            let sizes = [64usize, 128, 300, 900];
+            let p = b.build(transport, sizes[i % sizes.len()]).expect("valid");
+            let _ = pipe.process(&p);
+        }
+        let prefix = match backend {
+            DecoderBackend::Scalar => "scalar",
+            DecoderBackend::Native => "native",
+        };
+        suite.push(format!("{prefix}.ok.count"), pm.ok_packets.get() as f64);
+        for cat in ErrorCategory::ALL {
+            suite.push(
+                format!("{prefix}.errors.{}.count", cat.name()),
+                pm.error_count(cat) as f64,
+            );
+        }
+        let injected = pipe.fault_counts().expect("injector attached");
+        for kind in FaultKind::ALL {
+            if injected[kind as usize] > 0 {
+                suite.push(
+                    format!("{prefix}.drawn.{}.count", kind.name()),
+                    injected[kind as usize] as f64,
+                );
+            }
+        }
+    }
+    suite
+}
+
 /// Ungated: wall-clock smoke numbers from the threaded pipeline —
 /// recorded for trajectory plots, never gating CI.
 fn pipeline_wallclock_suite(
@@ -247,6 +312,7 @@ fn build_report() -> BenchReport {
         ("smoke_wire_len".into(), SMOKE_WIRE_LEN.to_string()),
         ("decode_reps".into(), DECODE_REPS.to_string()),
         ("decode_iters".into(), DECODE_ITERS.to_string()),
+        ("fault_packets".into(), FAULT_PACKETS.to_string()),
     ];
     report.suites.push(arrange_sim_suite());
     report.suites.push(decoder_native_suite());
@@ -266,6 +332,7 @@ fn build_report() -> BenchReport {
         Some(pm.clone()),
     );
     report.suites.push(pipeline_static_suite(&pm));
+    report.suites.push(pipeline_faults_suite());
     report.suites.push(pipeline_wallclock_suite(&tp, &pm, &rm));
     report
 }

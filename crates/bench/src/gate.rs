@@ -184,6 +184,7 @@ impl Tolerance {
             || metric.ends_with("_bits")
             || metric.ends_with("_blocks")
             || metric.ends_with("_iterations")
+            || metric.ends_with(".count")
         {
             Tolerance { rel: 0.0, abs: 0.5 }
         } else if metric.ends_with(".upc")

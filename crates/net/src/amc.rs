@@ -161,7 +161,7 @@ mod tests {
             let p = b.build(Transport::Udp, 256).unwrap();
             let r = UplinkPipeline::new(cfg).process(&p);
             assert!(
-                r.ok,
+                r.is_ok(),
                 "{} r={}/1024 must decode at {} dB: {r:?}",
                 e.modulation.name(),
                 e.rate_x1024,

@@ -7,6 +7,7 @@
 //! retransmission machinery an operational eNodeB runs — and stresses
 //! the de-rate-matcher's combining path far harder than a single shot.
 
+use crate::error::{FrameFault, PipelineError};
 use vran_phy::crc::CRC24B;
 use vran_phy::llr::{adds16, Llr, TurboLlrs};
 use vran_phy::rate_match::RateMatcher;
@@ -83,7 +84,22 @@ impl HarqReceiver {
 
     /// Combine one received transmission (LLRs for `e` coded bits at
     /// redundancy version `rv`) and attempt a decode.
-    pub fn receive(&mut self, llrs: &[Llr], rv: usize) -> HarqOutcome {
+    ///
+    /// A redundancy version outside the standard's 0..4 range, or an
+    /// empty LLR buffer, rejects as [`PipelineError::MalformedFrame`]
+    /// without touching the accumulator — a lying retransmission must
+    /// not poison the soft-combining state.
+    pub fn receive(&mut self, llrs: &[Llr], rv: usize) -> Result<HarqOutcome, PipelineError> {
+        if rv >= 4 {
+            return Err(PipelineError::MalformedFrame {
+                reason: FrameFault::RedundancyVersion(rv),
+            });
+        }
+        if llrs.is_empty() {
+            return Err(PipelineError::MalformedFrame {
+                reason: FrameFault::Empty,
+            });
+        }
         self.attempts += 1;
         let d = self.rm.de_rate_match(llrs, rv);
         for (acc, new) in self.acc.iter_mut().zip(&d) {
@@ -93,11 +109,11 @@ impl HarqReceiver {
         }
         let input = TurboLlrs::from_dstreams(&self.acc, self.k);
         let out = self.decoder.decode_with_crc(&input, &CRC24B);
-        HarqOutcome {
+        Ok(HarqOutcome {
             ok: out.crc_ok == Some(true),
             bits: out.bits,
             attempts: self.attempts,
-        }
+        })
     }
 
     /// Accumulated LLR magnitude (diagnostic: grows with combining).
@@ -146,7 +162,9 @@ mod tests {
         let mut rx = HarqReceiver::new(104, 6);
         let (rv, coded) = tx.next_transmission(160).unwrap();
         assert_eq!(rv, 0);
-        let out = rx.receive(&noisy_llrs(&coded, 60, usize::MAX, 0), rv);
+        let out = rx
+            .receive(&noisy_llrs(&coded, 60, usize::MAX, 0), rv)
+            .unwrap();
         assert!(out.ok);
         assert_eq!(out.bits, bits);
         assert_eq!(out.attempts, 1);
@@ -165,7 +183,9 @@ mod tests {
         let mut success = None;
         for phase in 0..4 {
             let (rv, coded) = tx.next_transmission(e).unwrap();
-            let out = rx.receive(&noisy_llrs(&coded, 24, 6, phase * 3 + 1), rv);
+            let out = rx
+                .receive(&noisy_llrs(&coded, 24, 6, phase * 3 + 1), rv)
+                .unwrap();
             if out.ok {
                 success = Some((out.bits, out.attempts));
                 break;
@@ -199,11 +219,41 @@ mod tests {
         let mut last = 0;
         for _ in 0..3 {
             let (rv, coded) = tx.next_transmission(150).unwrap();
-            rx.receive(&noisy_llrs(&coded, 20, 9, 0), rv);
+            rx.receive(&noisy_llrs(&coded, 20, 9, 0), rv).unwrap();
             let e = rx.accumulated_energy();
             assert!(e > last, "chase combining must accumulate: {e} vs {last}");
             last = e;
         }
+    }
+
+    #[test]
+    fn out_of_range_rv_rejects_without_poisoning_state() {
+        use crate::error::ErrorCategory;
+        let (bits, cw) = block(104, 6);
+        let mut tx = HarqTransmitter::new(&cw);
+        let mut rx = HarqReceiver::new(104, 6);
+        let energy0 = rx.accumulated_energy();
+
+        for bad_rv in [4usize, 5, usize::MAX] {
+            let e = rx
+                .receive(&[10; 160], bad_rv)
+                .expect_err("rv ≥ 4 must be rejected");
+            assert_eq!(e.category(), ErrorCategory::MalformedFrame);
+        }
+        let e = rx.receive(&[], 0).expect_err("empty LLRs must be rejected");
+        assert_eq!(e.category(), ErrorCategory::MalformedFrame);
+
+        // Rejected attempts left the accumulator and counters alone…
+        assert_eq!(rx.attempts, 0);
+        assert_eq!(rx.accumulated_energy(), energy0);
+        // …so a subsequent honest transmission still decodes.
+        let (rv, coded) = tx.next_transmission(160).unwrap();
+        let out = rx
+            .receive(&noisy_llrs(&coded, 60, usize::MAX, 0), rv)
+            .unwrap();
+        assert!(out.ok);
+        assert_eq!(out.bits, bits);
+        assert_eq!(out.attempts, 1);
     }
 
     #[test]

@@ -18,7 +18,11 @@
 //! * [`latency`] — the per-packet processing-time and capacity models
 //!   that turn `vran-uarch` cycle counts into Figure 13/14/16 numbers.
 //! * [`runner`] — a threaded source→PHY→sink driver for sustained
-//!   throughput measurements.
+//!   throughput measurements, with panic-isolated multicore workers.
+//! * [`error`] — the typed fault taxonomy ([`error::PipelineError`])
+//!   every receive-path failure classifies into.
+//! * [`faultinject`] — deterministic, seeded fault injection for soak
+//!   testing the above.
 //!
 //! # Example
 //!
@@ -31,11 +35,13 @@
 //!
 //! let cfg = PipelineConfig { snr_db: 30.0, ..Default::default() };
 //! let result = UplinkPipeline::new(cfg).process(&packet);
-//! assert!(result.ok); // survived encode → OFDM → AWGN → arrange → decode
+//! assert!(result.is_ok()); // survived encode → OFDM → AWGN → arrange → decode
 //! ```
 
 pub mod amc;
 pub mod downlink;
+pub mod error;
+pub mod faultinject;
 pub mod harq;
 pub mod l2;
 pub mod latency;
@@ -46,6 +52,7 @@ pub mod ring;
 pub mod runner;
 pub mod scheduler;
 
+pub use error::{ErrorCategory, PipelineError};
 pub use packet::{Packet, Transport};
 pub use pipeline::{PipelineConfig, UplinkPipeline};
 pub use ring::SpscRing;

@@ -23,6 +23,7 @@
 //! [`Json`] document) — the stable schema `benchgate` compares across
 //! commits.
 
+use crate::error::ErrorCategory;
 use std::sync::atomic::{AtomicU64, Ordering};
 use vran_uarch::{Port, SimReport};
 use vran_util::Json;
@@ -244,6 +245,20 @@ pub struct PipelineMetrics {
     /// Decoder-scratch acquisitions served entirely from retained
     /// capacity (heap allocations avoided).
     pub decode_scratch_reuses: Counter,
+    /// Failed packets by [`ErrorCategory`] (indexed by discriminant).
+    pub errors: [Counter; ErrorCategory::COUNT],
+    /// Code blocks whose decoder iteration budget was clamped by the
+    /// per-packet deadline.
+    pub deadline_clamps: Counter,
+    /// Native→Scalar backend degradations after repeated decode
+    /// failures.
+    pub backend_degradations: Counter,
+    /// Degraded pipelines restored to the Native backend after
+    /// sustained success.
+    pub backend_restorations: Counter,
+    /// Packets that requested the Native backend but ran the scalar
+    /// SISO kernel because no SIMD ISA level was available.
+    pub native_simd_fallbacks: Counter,
 }
 
 impl Default for PipelineMetrics {
@@ -264,6 +279,11 @@ impl PipelineMetrics {
             code_blocks: Counter::new(),
             decode_scratch_allocs: Counter::new(),
             decode_scratch_reuses: Counter::new(),
+            errors: std::array::from_fn(|_| Counter::new()),
+            deadline_clamps: Counter::new(),
+            backend_degradations: Counter::new(),
+            backend_restorations: Counter::new(),
+            native_simd_fallbacks: Counter::new(),
         }
     }
 
@@ -304,6 +324,20 @@ impl PipelineMetrics {
         self.decode_scratch_reuses.add(reuses);
     }
 
+    /// Count one failed packet under its error category (no-op when
+    /// disabled).
+    #[inline]
+    pub fn record_error(&self, category: ErrorCategory) {
+        if self.enabled {
+            self.errors[category as usize].inc();
+        }
+    }
+
+    /// Failed-packet count for one category.
+    pub fn error_count(&self, category: ErrorCategory) -> u64 {
+        self.errors[category as usize].get()
+    }
+
     /// The histogram behind one stage.
     pub fn stage(&self, stage: Stage) -> &Histogram {
         &self.stages[stage as usize]
@@ -332,6 +366,22 @@ impl PipelineMetrics {
             "decode_scratch_reuses".into(),
             self.decode_scratch_reuses.get() as f64,
         ));
+        for c in ErrorCategory::ALL {
+            out.push((format!("error.{}", c.name()), self.error_count(c) as f64));
+        }
+        out.push(("deadline_clamps".into(), self.deadline_clamps.get() as f64));
+        out.push((
+            "backend_degradations".into(),
+            self.backend_degradations.get() as f64,
+        ));
+        out.push((
+            "backend_restorations".into(),
+            self.backend_restorations.get() as f64,
+        ));
+        out.push((
+            "native_simd_fallbacks".into(),
+            self.native_simd_fallbacks.get() as f64,
+        ));
         out
     }
 
@@ -355,6 +405,11 @@ pub struct RunnerMetrics {
     pub packets: Counter,
     /// Wire bytes completing the pipeline.
     pub wire_bytes: Counter,
+    /// Worker restarts after an isolated panic (each restart rebuilds
+    /// the worker's pipeline state).
+    pub worker_restarts: Counter,
+    /// Packets quarantined because processing them panicked.
+    pub quarantined: Counter,
 }
 
 impl Default for RunnerMetrics {
@@ -373,6 +428,8 @@ impl RunnerMetrics {
             pop_stalls: Counter::new(),
             packets: Counter::new(),
             wire_bytes: Counter::new(),
+            worker_restarts: Counter::new(),
+            quarantined: Counter::new(),
         }
     }
 
@@ -415,6 +472,24 @@ impl RunnerMetrics {
         }
     }
 
+    /// Record one worker restart after an isolated panic (no-op when
+    /// disabled).
+    #[inline]
+    pub fn record_worker_restart(&self) {
+        if self.enabled {
+            self.worker_restarts.inc();
+        }
+    }
+
+    /// Record one quarantined (panic-inducing) packet (no-op when
+    /// disabled).
+    #[inline]
+    pub fn record_quarantine(&self) {
+        if self.enabled {
+            self.quarantined.inc();
+        }
+    }
+
     /// Flat snapshot.
     pub fn snapshot(&self) -> Vec<(String, f64)> {
         vec![
@@ -427,6 +502,8 @@ impl RunnerMetrics {
             ("ring.pop_stalls".into(), self.pop_stalls.get() as f64),
             ("packets".into(), self.packets.get() as f64),
             ("wire_bytes".into(), self.wire_bytes.get() as f64),
+            ("worker_restarts".into(), self.worker_restarts.get() as f64),
+            ("quarantined".into(), self.quarantined.get() as f64),
         ]
     }
 
@@ -652,6 +729,37 @@ mod tests {
         // JSON round-trips through the flattener benchgate uses.
         let flat = p.to_json().flatten_numbers();
         assert_eq!(flat.get("stage.arrange.count"), Some(&1.0));
+    }
+
+    #[test]
+    fn error_counters_track_categories_independently() {
+        let p = PipelineMetrics::new(true);
+        p.record_error(ErrorCategory::MalformedFrame);
+        p.record_error(ErrorCategory::MalformedFrame);
+        p.record_error(ErrorCategory::DecoderDiverged);
+        assert_eq!(p.error_count(ErrorCategory::MalformedFrame), 2);
+        assert_eq!(p.error_count(ErrorCategory::DecoderDiverged), 1);
+        assert_eq!(p.error_count(ErrorCategory::DeadlineExceeded), 0);
+        let snap = p.snapshot();
+        let get = |k: &str| snap.iter().find(|(n, _)| n == k).map(|(_, v)| *v);
+        assert_eq!(get("error.malformed_frame"), Some(2.0));
+        assert_eq!(get("error.decoder_diverged"), Some(1.0));
+        assert_eq!(get("deadline_clamps"), Some(0.0));
+        assert_eq!(get("backend_degradations"), Some(0.0));
+        assert_eq!(get("native_simd_fallbacks"), Some(0.0));
+
+        // Disabled registry records nothing.
+        let off = PipelineMetrics::new(false);
+        off.record_error(ErrorCategory::CrcMismatch);
+        assert_eq!(off.error_count(ErrorCategory::CrcMismatch), 0);
+
+        let r = RunnerMetrics::new(true, 16);
+        r.record_worker_restart();
+        r.record_quarantine();
+        let snap = r.snapshot();
+        let get = |k: &str| snap.iter().find(|(n, _)| n == k).map(|(_, v)| *v);
+        assert_eq!(get("worker_restarts"), Some(1.0));
+        assert_eq!(get("quarantined"), Some(1.0));
     }
 
     #[test]

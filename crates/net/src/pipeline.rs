@@ -17,9 +17,35 @@
 //! `vran-arrange` VM kernels and the scalar reference decoder — the
 //! functional-model path. Both are bit-exact by construction, so the
 //! backend never changes WHAT is computed, only how fast.
+//!
+//! # Fault tolerance
+//!
+//! [`UplinkPipeline::process`] returns `Result<PacketResult,
+//! PipelineError>`: every receive-path failure classifies into one
+//! [`crate::error::ErrorCategory`] instead of panicking or silently
+//! reporting `ok = false`. Three robustness mechanisms hang off the
+//! same path:
+//!
+//! * **Ingress validation** — frames are re-parsed
+//!   ([`crate::packet::ParsedPacket::parse`]) before any PHY work, so
+//!   truncated or corrupted headers are rejected as
+//!   [`PipelineError::MalformedFrame`] rather than fed downstream.
+//! * **Deadline-aware degradation** — an optional per-packet time
+//!   budget ([`PipelineConfig::deadline_ns`]) first halves the decoder
+//!   iteration cap when the packet has spent half its budget, then
+//!   aborts with [`PipelineError::DeadlineExceeded`] once the budget is
+//!   gone.
+//! * **Backend degradation ladder** — after [`DEGRADE_AFTER`]
+//!   consecutive decode failures a `Native` pipeline falls back to the
+//!   `Scalar` reference backend (bit-exact, so behavior-neutral —
+//!   this models falling off a suspect fast path), and restores after
+//!   [`RESTORE_AFTER`] consecutive successes. Both transitions are
+//!   observable in [`crate::metrics::PipelineMetrics`].
 
+use crate::error::{DecodeFailure, ErrorCategory, FrameFault, PipelineError, SegFault};
+use crate::faultinject::{FaultInjector, FaultKind};
 use crate::metrics::{PipelineMetrics, Stage};
-use crate::packet::Packet;
+use crate::packet::{Packet, ParsedPacket};
 use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::Instant;
@@ -33,8 +59,22 @@ use vran_phy::ofdm::OfdmConfig;
 use vran_phy::rate_match::RateMatcher;
 use vran_phy::scrambler::{descramble_llrs, scramble_bits, GoldSequence};
 use vran_phy::segmentation::Segmentation;
-use vran_phy::turbo::{DecodeScratch, NativeTurboDecoder, TurboDecoder, TurboEncoder};
+use vran_phy::turbo::{DecodeScratch, DecoderIsa, NativeTurboDecoder, TurboDecoder, TurboEncoder};
 use vran_simd::RegWidth;
+
+/// Maximum code blocks per transport block the receive path accepts;
+/// plans beyond this classify as
+/// [`PipelineError::SegmentationOverflow`]. LTE category-4 uplink TBs
+/// stay well under this at our 5 MHz configuration.
+pub const MAX_CODE_BLOCKS: usize = 8;
+
+/// Consecutive decode failures (CRC mismatch / divergence) before a
+/// `Native` pipeline degrades to the `Scalar` reference backend.
+pub const DEGRADE_AFTER: u32 = 8;
+
+/// Consecutive successes while degraded before the `Native` backend is
+/// restored.
+pub const RESTORE_AFTER: u32 = 32;
 
 /// Which decoder implementation the receive path runs.
 ///
@@ -78,6 +118,12 @@ pub struct PipelineConfig {
     pub fading: bool,
     /// Channel noise seed.
     pub seed: u64,
+    /// Per-packet processing budget in nanoseconds. `None` disables
+    /// deadline handling. When half the budget is spent before a code
+    /// block's decode, the decoder iteration cap is halved (recorded as
+    /// a `deadline_clamps` metrics event); once the budget is exhausted
+    /// the packet aborts with [`PipelineError::DeadlineExceeded`].
+    pub deadline_ns: Option<u64>,
 }
 
 impl Default for PipelineConfig {
@@ -92,6 +138,7 @@ impl Default for PipelineConfig {
             rate_x1024: 2048,
             fading: false,
             seed: 1,
+            deadline_ns: None,
         }
     }
 }
@@ -118,11 +165,11 @@ impl StageNanos {
     }
 }
 
-/// Result of pushing one packet through the loop.
+/// Result of pushing one packet through the loop. Produced only when
+/// the frame survived the complete path (any failure is a typed
+/// [`PipelineError`] instead).
 #[derive(Debug, Clone)]
 pub struct PacketResult {
-    /// Whether the reassembled frame matched the transmitted one.
-    pub ok: bool,
     /// Transport-block size in bits (incl. CRC24A).
     pub tb_bits: usize,
     /// Code blocks the TB split into.
@@ -162,6 +209,12 @@ struct HotState {
     /// Decoded-bit buffers, one per code-block index, reused across
     /// packets and handed to desegmentation as a slice.
     bits_pool: Vec<Vec<u8>>,
+    /// Degradation ladder: consecutive decode-failure packets.
+    consecutive_failures: u32,
+    /// Degradation ladder: consecutive successes while degraded.
+    consecutive_successes: u32,
+    /// Whether the Native backend is currently degraded to Scalar.
+    degraded: bool,
 }
 
 impl HotState {
@@ -209,6 +262,7 @@ pub struct UplinkPipeline {
     c_init: u32,
     metrics: Option<Arc<PipelineMetrics>>,
     hot: RefCell<HotState>,
+    faults: RefCell<Option<FaultInjector>>,
 }
 
 /// Run `f`, recording its latency under `stage` when a live metrics
@@ -236,6 +290,7 @@ impl UplinkPipeline {
             c_init: GoldSequence::c_init_pxsch(0x1234, 0, 4, 42),
             metrics: None,
             hot: RefCell::new(HotState::default()),
+            faults: RefCell::new(None),
         }
     }
 
@@ -245,6 +300,31 @@ impl UplinkPipeline {
         let mut p = Self::new(cfg);
         p.metrics = Some(metrics);
         p
+    }
+
+    /// Build a pipeline with a deterministic fault injector attached:
+    /// one [`FaultKind`] decision is drawn per packet and applied at
+    /// the matching stage.
+    pub fn with_faults(cfg: PipelineConfig, injector: FaultInjector) -> Self {
+        let mut p = Self::new(cfg);
+        p.faults = RefCell::new(Some(injector));
+        p
+    }
+
+    /// Attach (or replace) the fault injector on an existing pipeline.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.faults = RefCell::new(Some(injector));
+    }
+
+    /// Per-kind injected-fault counts, when an injector is attached.
+    pub fn fault_counts(&self) -> Option<[u64; FaultKind::COUNT]> {
+        self.faults.borrow().as_ref().map(|f| *f.injected())
+    }
+
+    /// Whether the degradation ladder currently forces the scalar
+    /// backend.
+    pub fn is_degraded(&self) -> bool {
+        self.hot.borrow().degraded
     }
 
     /// The attached metrics registry, if any.
@@ -258,25 +338,122 @@ impl UplinkPipeline {
     }
 
     /// Process one framed packet through the complete loop.
-    pub fn process(&self, packet: &Packet) -> PacketResult {
-        let cfg = &self.cfg;
+    ///
+    /// Every failure classifies into a [`PipelineError`]; malformed or
+    /// hostile input must never panic (the fault-injection soak pushes
+    /// tens of thousands of corrupted packets through here to enforce
+    /// that).
+    pub fn process(&self, packet: &Packet) -> Result<PacketResult, PipelineError> {
         let m = self.metrics.as_deref().filter(|m| m.is_enabled());
+        let fault = match self.faults.borrow_mut().as_mut() {
+            Some(f) => f.next_kind(),
+            None => FaultKind::Clean,
+        };
+        let result = self.process_with_fault(packet, fault, m);
+        self.settle(&result, m);
+        result
+    }
+
+    /// Post-packet bookkeeping: metrics counters and the degradation
+    /// ladder.
+    fn settle(&self, result: &Result<PacketResult, PipelineError>, m: Option<&PipelineMetrics>) {
+        let hot = &mut *self.hot.borrow_mut();
+        match result {
+            Ok(r) => {
+                if let Some(m) = m {
+                    m.record_packet(true, r.code_blocks, r.decoder_iterations);
+                }
+                hot.consecutive_failures = 0;
+                if hot.degraded {
+                    hot.consecutive_successes += 1;
+                    if hot.consecutive_successes >= RESTORE_AFTER {
+                        hot.degraded = false;
+                        hot.consecutive_successes = 0;
+                        if let Some(m) = m {
+                            m.backend_restorations.inc();
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                if let Some(m) = m {
+                    m.record_error(e.category());
+                    let f = e.decode_failure().copied().unwrap_or_default();
+                    m.record_packet(false, f.code_blocks, f.decoder_iterations);
+                }
+                // Only decode-quality failures climb the ladder; a
+                // malformed frame or a blown deadline says nothing
+                // about the decoder backend.
+                if matches!(
+                    e.category(),
+                    ErrorCategory::CrcMismatch | ErrorCategory::DecoderDiverged
+                ) {
+                    hot.consecutive_successes = 0;
+                    hot.consecutive_failures += 1;
+                    if !hot.degraded
+                        && self.cfg.backend == DecoderBackend::Native
+                        && hot.consecutive_failures >= DEGRADE_AFTER
+                    {
+                        hot.degraded = true;
+                        hot.consecutive_failures = 0;
+                        if let Some(m) = m {
+                            m.backend_degradations.inc();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn process_with_fault(
+        &self,
+        packet: &Packet,
+        fault: FaultKind,
+        m: Option<&PipelineMetrics>,
+    ) -> Result<PacketResult, PipelineError> {
+        let cfg = &self.cfg;
+        let start = Instant::now();
         let mut nanos = StageNanos::default();
+
+        if fault == FaultKind::WorkerPanic {
+            // Deliberately violent: exercises the runner's per-worker
+            // catch_unwind isolation, not the error taxonomy.
+            panic!("fault injection: deliberate worker panic");
+        }
+
+        // ---- ingress: frame-level faults, then header validation ----
+        let mutated = self
+            .faults
+            .borrow_mut()
+            .as_mut()
+            .and_then(|f| f.mutate_frame(fault, &packet.frame));
+        let frame: &[u8] = mutated.as_deref().unwrap_or(&packet.frame);
+        if frame.is_empty() {
+            return Err(PipelineError::MalformedFrame {
+                reason: FrameFault::Empty,
+            });
+        }
+        ParsedPacket::parse(frame)?;
 
         // ---- transmitter: L2 encapsulation, TB build, encode ----
         let t0 = Instant::now();
         // PDCP/RLC/MAC framing (per-packet bearer state; stream
         // continuity is exercised by the l2 module's own tests)
         let pdu = crate::l2::BearerTx::default()
-            .encapsulate(&packet.frame, packet.frame.len() + crate::l2::L2_OVERHEAD)
+            .encapsulate(frame, frame.len() + crate::l2::L2_OVERHEAD)
             .expect("TB sized to fit");
         let frame_bits = unpack_msb(&pdu, pdu.len() * 8);
         let tb = timed(m, Stage::Crc, || CRC24A.attach(&frame_bits));
-        let (seg, blocks) = timed(m, Stage::Segment, || {
-            let seg = Segmentation::plan(tb.len());
-            let blocks = seg.segment(&tb);
-            (seg, blocks)
-        });
+        let seg = timed(m, Stage::Segment, || Segmentation::try_plan(tb.len()))?;
+        if seg.c > MAX_CODE_BLOCKS {
+            return Err(PipelineError::SegmentationOverflow {
+                detail: SegFault::TooManyBlocks {
+                    blocks: seg.c,
+                    max: MAX_CODE_BLOCKS,
+                },
+            });
+        }
+        let blocks = timed(m, Stage::Segment, || seg.try_segment(&tb))?;
         let mut coded = Vec::new();
         let mut block_e = Vec::with_capacity(blocks.len());
         for blk in &blocks {
@@ -321,7 +498,7 @@ impl UplinkPipeline {
 
         // ---- demap, descramble, de-rate-match ----
         let t0 = Instant::now();
-        let llrs = timed(m, Stage::Modulate, || {
+        let mut llrs = timed(m, Stage::Modulate, || {
             let mut llrs = cfg.modulation.demodulate(&rx_symbols, scale);
             llrs.truncate(padded_len);
             descramble_llrs(&mut llrs, self.c_init);
@@ -329,8 +506,29 @@ impl UplinkPipeline {
         });
         nanos.demap = t0.elapsed().as_nanos() as u64;
 
+        // receive-side LLR faults model a corrupted fronthaul buffer
+        if matches!(fault, FaultKind::FlipLlrSigns | FaultKind::SaturateLlrs) {
+            if let Some(f) = self.faults.borrow_mut().as_mut() {
+                f.mutate_llrs(fault, &mut llrs);
+            }
+        }
+
         // ---- per code block: de-rate-match, ARRANGE, decode ----
         let hot = &mut *self.hot.borrow_mut();
+        let backend = if hot.degraded && cfg.backend == DecoderBackend::Native {
+            DecoderBackend::Scalar
+        } else {
+            cfg.backend
+        };
+        if let Some(m) = m {
+            if backend == DecoderBackend::Native && DecoderIsa::best() == DecoderIsa::Scalar {
+                // The fast path is selected but the host (or the test
+                // ISA ceiling) offers no SIMD: the native decoder runs
+                // its scalar kernels. Worth observing — it means the
+                // deployment lost its SIMD speedup.
+                m.native_simd_fallbacks.inc();
+            }
+        }
         let scratch_allocs0 = hot.scratch.allocations();
         let scratch_reuses0 = hot.scratch.reuses();
         if hot.bits_pool.len() < blocks.len() {
@@ -338,7 +536,7 @@ impl UplinkPipeline {
         }
         let mut iterations = 0;
         let mut pos = 0;
-        let mut all_ok = true;
+        let mut failed_blocks = 0usize;
         for (i, blk) in blocks.iter().enumerate() {
             let k = blk.len();
             let e = block_e[i];
@@ -347,13 +545,32 @@ impl UplinkPipeline {
             timed(m, Stage::RateMatch, || {
                 hot.rms[rmi]
                     .1
-                    .de_rate_match_into(&llrs[pos..pos + e], 0, &mut hot.dllr)
-            });
+                    .try_de_rate_match_into(&llrs[pos..pos + e], 0, &mut hot.dllr)
+            })?;
             pos += e;
             let tails = TailLlrs::from_dstreams(&hot.dllr, k);
             nanos.demap += t0.elapsed().as_nanos() as u64;
 
-            match cfg.backend {
+            // Deadline gate before the expensive decode: abort when the
+            // budget is gone, halve the iteration cap when half is.
+            let mut iter_cap = cfg.decoder_iterations;
+            if let Some(budget) = cfg.deadline_ns {
+                let elapsed = start.elapsed().as_nanos() as u64;
+                if elapsed >= budget {
+                    return Err(PipelineError::DeadlineExceeded {
+                        budget_ns: budget,
+                        elapsed_ns: elapsed,
+                    });
+                }
+                if elapsed.saturating_mul(2) >= budget {
+                    iter_cap = (cfg.decoder_iterations / 2).max(1);
+                    if let Some(m) = m {
+                        m.deadline_clamps.inc();
+                    }
+                }
+            }
+
+            match backend {
                 DecoderBackend::Native => {
                     // The data arrangement process under test, native
                     // flavor: multiplex the streams into the triples
@@ -384,11 +601,12 @@ impl UplinkPipeline {
                     let di = hot.native_index(k, cfg.decoder_iterations);
                     let crc = (blocks.len() > 1).then_some(&CRC24B);
                     let (iters, crc_ok) = timed(m, Stage::Decode, || {
-                        hot.natives[di].decode_streams_into(
+                        hot.natives[di].decode_streams_capped_into(
                             &hot.arranged.sys,
                             &hot.arranged.p1,
                             &hot.arranged.p2,
                             &tails,
+                            iter_cap,
                             crc,
                             &mut hot.scratch,
                             &mut hot.bits_pool[i],
@@ -397,7 +615,7 @@ impl UplinkPipeline {
                     iterations += iters;
                     nanos.decode += t0.elapsed().as_nanos() as u64;
                     if crc_ok == Some(false) {
-                        all_ok = false;
+                        failed_blocks += 1;
                     }
                 }
                 DecoderBackend::Scalar => {
@@ -422,55 +640,70 @@ impl UplinkPipeline {
                         tails: turbo_in.tails,
                     };
                     let si = hot.scalar_index(k, cfg.decoder_iterations);
+                    let crc = (blocks.len() > 1).then_some(&CRC24B);
                     let out = timed(m, Stage::Decode, || {
-                        if blocks.len() > 1 {
-                            hot.scalars[si].1.decode_with_crc(&dec_in, &CRC24B)
-                        } else {
-                            hot.scalars[si].1.decode(&dec_in)
-                        }
+                        hot.scalars[si].1.decode_capped(&dec_in, iter_cap, crc)
                     });
                     iterations += out.iterations_run;
                     nanos.decode += t0.elapsed().as_nanos() as u64;
                     if out.crc_ok == Some(false) {
-                        all_ok = false;
+                        failed_blocks += 1;
                     }
                     hot.bits_pool[i] = out.bits;
                 }
             }
         }
 
-        // ---- reassemble, de-encapsulate & verify ----
-        let rx_tb = timed(m, Stage::Segment, || {
-            seg.desegment(&hot.bits_pool[..blocks.len()])
-        });
-        let ok = all_ok
-            && match rx_tb {
-                Some(tb_bits) => match timed(m, Stage::Crc, || CRC24A.check(&tb_bits)) {
-                    Some(payload) => crate::l2::BearerRx::default()
-                        .decapsulate(&pack_msb(payload))
-                        .map(|sdu| sdu == packet.frame.to_vec())
-                        .unwrap_or(false),
-                    None => false,
-                },
-                None => false,
-            };
-
         if let Some(m) = m {
-            m.record_packet(ok, blocks.len(), iterations);
             m.record_scratch(
                 hot.scratch.allocations() - scratch_allocs0,
                 hot.scratch.reuses() - scratch_reuses0,
             );
         }
 
-        PacketResult {
-            ok,
+        // ---- reassemble, de-encapsulate & verify ----
+        let decoded = &hot.bits_pool[..blocks.len()];
+        let presented: &[Vec<u8>] = if fault == FaultKind::CodeBlockCountLie {
+            // Hand desegmentation a block count that contradicts the
+            // plan — must classify, not panic or mis-assemble.
+            &decoded[..blocks.len() - 1]
+        } else {
+            decoded
+        };
+        let rx_tb = timed(m, Stage::Segment, || seg.try_desegment(presented))?;
+
+        let failure = DecodeFailure {
+            tb_bits: tb.len(),
+            code_blocks: blocks.len(),
+            failed_blocks,
+            decoder_iterations: iterations,
+        };
+        if failed_blocks > 0 {
+            return Err(PipelineError::DecoderDiverged(failure));
+        }
+        let rx_tb = match rx_tb {
+            Some(t) => t,
+            None => return Err(PipelineError::CrcMismatch(failure)),
+        };
+        let payload = match timed(m, Stage::Crc, || CRC24A.check(&rx_tb)) {
+            Some(p) => p,
+            None => return Err(PipelineError::CrcMismatch(failure)),
+        };
+        let delivered = crate::l2::BearerRx::default()
+            .decapsulate(&pack_msb(payload))
+            .map(|sdu| sdu.as_slice() == frame)
+            .unwrap_or(false);
+        if !delivered {
+            return Err(PipelineError::CrcMismatch(failure));
+        }
+
+        Ok(PacketResult {
             tb_bits: tb.len(),
             code_blocks: blocks.len(),
             coded_bits: pos,
             decoder_iterations: iterations,
             nanos,
-        }
+        })
     }
 
     /// Fading path: resource grids with scattered pilots, per-grid
@@ -531,13 +764,25 @@ pub fn synthetic_interleaved(k: usize, seed: u64) -> InterleavedLlrs {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faultinject::FaultMix;
     use crate::packet::{PacketBuilder, Transport};
     use vran_arrange::ApcmVariant;
 
-    fn run(cfg: PipelineConfig, size: usize) -> PacketResult {
+    fn run(cfg: PipelineConfig, size: usize) -> Result<PacketResult, PipelineError> {
         let mut b = PacketBuilder::new(1000, 2000);
         let p = b.build(Transport::Udp, size).unwrap();
         UplinkPipeline::new(cfg).process(&p)
+    }
+
+    /// Comparable outcome signature across Ok/Err results.
+    fn signature(r: &Result<PacketResult, PipelineError>) -> (bool, usize, usize, usize) {
+        match r {
+            Ok(p) => (true, p.tb_bits, p.code_blocks, p.decoder_iterations),
+            Err(e) => {
+                let f = e.decode_failure().copied().unwrap_or_default();
+                (false, f.tb_bits, f.code_blocks, f.decoder_iterations)
+            }
+        }
     }
 
     #[test]
@@ -546,8 +791,7 @@ mod tests {
             snr_db: 30.0,
             ..Default::default()
         };
-        let r = run(cfg, 64);
-        assert!(r.ok, "{r:?}");
+        let r = run(cfg, 64).expect("clean channel must decode");
         assert_eq!(r.code_blocks, 1);
         assert_eq!(r.tb_bits, (64 + crate::l2::L2_OVERHEAD) * 8 + 24);
     }
@@ -558,8 +802,7 @@ mod tests {
             snr_db: 30.0,
             ..Default::default()
         };
-        let r = run(cfg, 1500);
-        assert!(r.ok, "{r:?}");
+        let r = run(cfg, 1500).expect("clean channel must decode");
         assert!(r.code_blocks >= 2, "1500 B TB must segment: {r:?}");
     }
 
@@ -571,8 +814,7 @@ mod tests {
             snr_db: 8.0,
             ..Default::default()
         };
-        let r = run(cfg, 256);
-        assert!(r.ok, "{r:?}");
+        run(cfg, 256).expect("QPSK at 8 dB must decode");
     }
 
     #[test]
@@ -583,8 +825,18 @@ mod tests {
             decoder_iterations: 2,
             ..Default::default()
         };
-        let r = run(cfg, 256);
-        assert!(!r.ok, "−10 dB 64-QAM must not decode");
+        let e = run(cfg, 256).expect_err("−10 dB 64-QAM must not decode");
+        assert!(
+            matches!(
+                e.category(),
+                ErrorCategory::CrcMismatch | ErrorCategory::DecoderDiverged
+            ),
+            "noise failure must classify as a decode-quality error: {e}"
+        );
+        let f = e
+            .decode_failure()
+            .expect("decode-stage error carries stats");
+        assert!(f.decoder_iterations > 0, "the decoder did run");
     }
 
     #[test]
@@ -606,12 +858,12 @@ mod tests {
                     ..Default::default()
                 };
                 let r = run(cfg, 512);
-                results.push((width, mech.name(), r.ok, r.decoder_iterations));
+                results.push((width, mech.name(), signature(&r)));
             }
         }
-        let first = (results[0].2, results[0].3);
-        for (w, m, ok, iters) in &results {
-            assert_eq!((*ok, *iters), first, "{w} {m} diverged: {results:?}");
+        let first = results[0].2;
+        for (w, m, sig) in &results {
+            assert_eq!(*sig, first, "{w} {m} diverged: {results:?}");
         }
         assert!(first.0, "the common outcome should be success at 12 dB");
         // ... and neither must the native fast path.
@@ -622,7 +874,7 @@ mod tests {
             },
             512,
         );
-        assert_eq!((native.ok, native.decoder_iterations), first);
+        assert_eq!(signature(&native), first);
     }
 
     #[test]
@@ -632,28 +884,25 @@ mod tests {
         // across packet sizes (1 and ≥2 code blocks) and channel
         // qualities, including a failing one.
         for (size, snr) in [(64usize, 30.0f32), (256, 8.0), (1500, 30.0), (256, 2.0)] {
-            let results: Vec<PacketResult> = [DecoderBackend::Scalar, DecoderBackend::Native]
-                .into_iter()
-                .map(|backend| {
-                    run(
-                        PipelineConfig {
-                            backend,
-                            snr_db: snr,
-                            ..Default::default()
-                        },
-                        size,
-                    )
-                })
-                .collect();
+            let results: Vec<Result<PacketResult, PipelineError>> =
+                [DecoderBackend::Scalar, DecoderBackend::Native]
+                    .into_iter()
+                    .map(|backend| {
+                        run(
+                            PipelineConfig {
+                                backend,
+                                snr_db: snr,
+                                ..Default::default()
+                            },
+                            size,
+                        )
+                    })
+                    .collect();
             let (s, n) = (&results[0], &results[1]);
-            assert_eq!(s.ok, n.ok, "{size} B at {snr} dB");
-            assert_eq!(s.tb_bits, n.tb_bits);
-            assert_eq!(s.code_blocks, n.code_blocks);
-            assert_eq!(s.coded_bits, n.coded_bits);
-            assert_eq!(
-                s.decoder_iterations, n.decoder_iterations,
-                "{size} B at {snr} dB: early-stop behavior diverged"
-            );
+            assert_eq!(signature(s), signature(n), "{size} B at {snr} dB diverged");
+            if let (Ok(s), Ok(n)) = (s, n) {
+                assert_eq!(s.coded_bits, n.coded_bits, "{size} B at {snr} dB");
+            }
         }
     }
 
@@ -671,10 +920,10 @@ mod tests {
         let pipe = UplinkPipeline::with_metrics(cfg, metrics.clone());
         let mut b = PacketBuilder::new(1000, 2000);
         let p = b.build(Transport::Udp, 1500).unwrap();
-        assert!(pipe.process(&p).ok);
+        assert!(pipe.process(&p).is_ok());
         let allocs_warm = metrics.decode_scratch_allocs.get();
         assert!(allocs_warm > 0, "first packet must warm the scratch up");
-        assert!(pipe.process(&p).ok);
+        assert!(pipe.process(&p).is_ok());
         assert_eq!(
             metrics.decode_scratch_allocs.get(),
             allocs_warm,
@@ -694,8 +943,7 @@ mod tests {
         };
         let mut b = PacketBuilder::new(1, 2);
         let p = b.build(Transport::Udp, 300).unwrap();
-        let r = UplinkPipeline::new(cfg).process(&p);
-        assert!(r.ok);
+        let r = UplinkPipeline::new(cfg).process(&p).expect("clean channel");
         let expect = UplinkPipeline::arrangement_triples(300);
         // tb_bits + per-block CRCs + filler = sum of K
         let seg = Segmentation::plan(r.tb_bits);
@@ -709,7 +957,7 @@ mod tests {
             snr_db: 30.0,
             ..Default::default()
         };
-        let r = run(cfg, 256);
+        let r = run(cfg, 256).unwrap();
         assert!(r.nanos.encode > 0);
         assert!(r.nanos.transport > 0);
         assert!(r.nanos.arrangement > 0);
@@ -734,7 +982,7 @@ mod tests {
             ..Default::default()
         };
         let r = run(cfg, 256);
-        assert!(r.ok, "equalized fading uplink must decode: {r:?}");
+        assert!(r.is_ok(), "equalized fading uplink must decode: {r:?}");
     }
 
     #[test]
@@ -750,7 +998,7 @@ mod tests {
                     decoder_iterations: 6,
                     ..Default::default()
                 };
-                if run(cfg, 256).ok {
+                if run(cfg, 256).is_ok() {
                     return snr;
                 }
             }
@@ -774,8 +1022,9 @@ mod tests {
         };
         let mut b = PacketBuilder::new(1000, 2000);
         let p = b.build(Transport::Udp, 256).unwrap();
-        let r = UplinkPipeline::with_metrics(cfg, metrics.clone()).process(&p);
-        assert!(r.ok);
+        let r = UplinkPipeline::with_metrics(cfg, metrics.clone())
+            .process(&p)
+            .expect("clean channel");
         for s in Stage::ALL {
             assert!(
                 metrics.stage(s).count() > 0,
@@ -802,7 +1051,7 @@ mod tests {
         let mut b = PacketBuilder::new(1000, 2000);
         let p = b.build(Transport::Udp, 128).unwrap();
         let r = UplinkPipeline::with_metrics(cfg, metrics.clone()).process(&p);
-        assert!(r.ok);
+        assert!(r.is_ok());
         assert_eq!(metrics.packets.get(), 0);
         assert_eq!(metrics.stage(Stage::Decode).count(), 0);
     }
@@ -814,5 +1063,195 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, synthetic_interleaved(96, 6));
         assert_eq!(a.data.len(), 288);
+    }
+
+    // ---- robustness: typed errors, faults, deadlines, degradation ----
+
+    #[test]
+    fn corrupted_ingress_frame_is_typed_not_panicking() {
+        let cfg = PipelineConfig {
+            snr_db: 30.0,
+            ..Default::default()
+        };
+        let pipe = UplinkPipeline::new(cfg);
+        let mut b = PacketBuilder::new(1000, 2000);
+        let mut p = b.build(Transport::Udp, 128).unwrap();
+        p.frame[20] ^= 0xff; // deep inside the IPv4 header
+        let e = pipe.process(&p).expect_err("corrupt header must reject");
+        assert_eq!(e.category(), ErrorCategory::MalformedFrame);
+
+        // Truncated below the minimum header stack, including empty.
+        for keep in [0usize, 1, 13, 41] {
+            let mut p = b.build(Transport::Udp, 128).unwrap();
+            p.frame.truncate(keep);
+            let e = pipe
+                .process(&p)
+                .expect_err("truncated frame must reject cleanly");
+            assert_eq!(e.category(), ErrorCategory::MalformedFrame, "keep={keep}");
+        }
+    }
+
+    #[test]
+    fn injected_faults_classify_into_expected_categories() {
+        let mut b = PacketBuilder::new(1000, 2000);
+        let p = b.build(Transport::Udp, 256).unwrap();
+        let expect = [
+            (FaultKind::CorruptFrame, vec![ErrorCategory::MalformedFrame]),
+            (
+                FaultKind::TruncateFrame,
+                vec![ErrorCategory::MalformedFrame],
+            ),
+            (
+                FaultKind::CodeBlockCountLie,
+                vec![ErrorCategory::SegmentationOverflow],
+            ),
+        ];
+        for (kind, categories) in expect {
+            let cfg = PipelineConfig {
+                snr_db: 30.0,
+                ..Default::default()
+            };
+            let pipe =
+                UplinkPipeline::with_faults(cfg, FaultInjector::with_mix(42, FaultMix::only(kind)));
+            for _ in 0..10 {
+                let e = pipe
+                    .process(&p)
+                    .expect_err("every packet carries this fault");
+                assert!(
+                    categories.contains(&e.category()),
+                    "{}: got {e}",
+                    kind.name()
+                );
+            }
+        }
+        // LLR faults land in a decode-quality category (or, rarely,
+        // the decoder still pulls the block through).
+        for kind in [FaultKind::FlipLlrSigns, FaultKind::SaturateLlrs] {
+            let cfg = PipelineConfig {
+                snr_db: 30.0,
+                ..Default::default()
+            };
+            let pipe =
+                UplinkPipeline::with_faults(cfg, FaultInjector::with_mix(42, FaultMix::only(kind)));
+            for _ in 0..10 {
+                if let Err(e) = pipe.process(&p) {
+                    assert!(
+                        matches!(
+                            e.category(),
+                            ErrorCategory::CrcMismatch | ErrorCategory::DecoderDiverged
+                        ),
+                        "{}: got {e}",
+                        kind.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_deadline_aborts_with_budget_accounting() {
+        let metrics = std::sync::Arc::new(crate::metrics::PipelineMetrics::new(true));
+        let cfg = PipelineConfig {
+            snr_db: 30.0,
+            deadline_ns: Some(1), // gone before the first decode
+            ..Default::default()
+        };
+        let pipe = UplinkPipeline::with_metrics(cfg, metrics.clone());
+        let mut b = PacketBuilder::new(1000, 2000);
+        let p = b.build(Transport::Udp, 128).unwrap();
+        let e = pipe.process(&p).expect_err("1 ns budget cannot hold");
+        match e {
+            PipelineError::DeadlineExceeded {
+                budget_ns,
+                elapsed_ns,
+            } => {
+                assert_eq!(budget_ns, 1);
+                assert!(elapsed_ns >= budget_ns);
+            }
+            other => panic!("expected DeadlineExceeded, got {other}"),
+        }
+        assert_eq!(metrics.error_count(ErrorCategory::DeadlineExceeded), 1);
+        assert_eq!(metrics.packets.get(), 1);
+        assert_eq!(metrics.ok_packets.get(), 0);
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        let base = run(
+            PipelineConfig {
+                snr_db: 12.0,
+                ..Default::default()
+            },
+            512,
+        );
+        let budgeted = run(
+            PipelineConfig {
+                snr_db: 12.0,
+                deadline_ns: Some(u64::MAX),
+                ..Default::default()
+            },
+            512,
+        );
+        assert_eq!(signature(&base), signature(&budgeted));
+    }
+
+    #[test]
+    fn degradation_ladder_swaps_to_scalar_and_restores() {
+        let metrics = std::sync::Arc::new(crate::metrics::PipelineMetrics::new(true));
+        let cfg = PipelineConfig {
+            snr_db: 30.0,
+            ..Default::default() // Native backend
+        };
+        let mut pipe = UplinkPipeline::with_metrics(cfg, metrics.clone());
+        pipe.set_fault_injector(FaultInjector::with_mix(
+            11,
+            FaultMix::only(FaultKind::FlipLlrSigns),
+        ));
+        let mut b = PacketBuilder::new(1000, 2000);
+        let p = b.build(Transport::Udp, 256).unwrap();
+
+        // Hammer with LLR sign-flips until the ladder trips.
+        let mut tries = 0;
+        while !pipe.is_degraded() {
+            assert!(tries < 100, "ladder never tripped in {tries} packets");
+            let _ = pipe.process(&p);
+            tries += 1;
+        }
+        assert!(tries >= DEGRADE_AFTER as usize, "tripped early: {tries}");
+        assert_eq!(metrics.backend_degradations.get(), 1);
+        assert_eq!(metrics.backend_restorations.get(), 0);
+
+        // Degraded pipeline still decodes clean traffic (bit-exact
+        // scalar path), and restores after enough successes.
+        pipe.set_fault_injector(FaultInjector::with_mix(1, FaultMix::only(FaultKind::Clean)));
+        for i in 0..RESTORE_AFTER {
+            assert!(
+                pipe.process(&p).is_ok(),
+                "clean packet {i} failed while degraded"
+            );
+        }
+        assert!(
+            !pipe.is_degraded(),
+            "ladder must restore after {RESTORE_AFTER} successes"
+        );
+        assert_eq!(metrics.backend_restorations.get(), 1);
+    }
+
+    #[test]
+    fn fault_decisions_are_deterministic_per_seed() {
+        let cfg = PipelineConfig {
+            snr_db: 30.0,
+            ..Default::default()
+        };
+        let mut b = PacketBuilder::new(1000, 2000);
+        let p = b.build(Transport::Udp, 128).unwrap();
+        let outcomes = |seed: u64| -> Vec<Option<ErrorCategory>> {
+            let pipe = UplinkPipeline::with_faults(cfg, FaultInjector::new(seed));
+            (0..40)
+                .map(|_| pipe.process(&p).err().map(|e| e.category()))
+                .collect()
+        };
+        assert_eq!(outcomes(3), outcomes(3));
+        assert_ne!(outcomes(3), outcomes(4), "different seed, different faults");
     }
 }

@@ -2,23 +2,39 @@
 //! SPSC ring → sink, mirroring the containerized eNB layout of the
 //! paper's Figure 1 (each stage its own execution context, queues in
 //! userspace).
+//!
+//! The multicore driver isolates worker panics: each packet is
+//! processed under `catch_unwind`, and a panicking worker quarantines
+//! its (possibly inconsistent) pipeline state, rebuilds a fresh one,
+//! backs off exponentially, and keeps draining its ring. One poisoned
+//! packet therefore costs one packet, not a core.
 
+use crate::error::PipelineError;
+use crate::faultinject::{FaultInjector, FaultMix};
 use crate::metrics::{PipelineMetrics, RunnerMetrics};
 use crate::packet::{Packet, PacketBuilder, Transport};
 use crate::pipeline::{PacketResult, PipelineConfig, UplinkPipeline};
 use crate::ring::SpscRing;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Ring capacity used by the threaded drivers.
 pub const RING_CAPACITY: usize = 256;
 
+/// Base back-off a quarantined worker sleeps after a panic; doubles
+/// per consecutive panic up to [`BACKOFF_CAP`].
+const BACKOFF_BASE: Duration = Duration::from_millis(1);
+
+/// Ceiling on the per-panic restart back-off.
+const BACKOFF_CAP: Duration = Duration::from_millis(64);
+
 /// Sustained-throughput measurement result.
 #[derive(Debug, Clone)]
 pub struct ThroughputReport {
-    /// Packets completed.
+    /// Packets completed (lost to worker panics excluded).
     pub packets: usize,
     /// Packets that decoded correctly end-to-end.
     pub ok_packets: usize,
@@ -28,6 +44,20 @@ pub struct ThroughputReport {
     pub elapsed_s: f64,
     /// Goodput in Mbps over wire bytes.
     pub mbps: f64,
+    /// Worker panic-restarts absorbed by the multicore driver (always
+    /// 0 for the single-worker drivers, which do not isolate).
+    pub worker_restarts: usize,
+}
+
+/// Per-worker fault plan for [`run_multicore_metered`]: worker `w`
+/// draws from a [`FaultInjector`] seeded `seed + w`, so the fleet-wide
+/// fault sequence is deterministic but workers do not march in step.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Base injector seed.
+    pub seed: u64,
+    /// Fault mix every worker draws from.
+    pub mix: FaultMix,
 }
 
 /// Drive `n_packets` of `wire_len` bytes through the threaded pipeline
@@ -61,7 +91,8 @@ pub fn run_throughput_metered(
     pipeline_metrics: Option<Arc<PipelineMetrics>>,
 ) -> ThroughputReport {
     let (mut tx_in, mut rx_in) = SpscRing::with_capacity::<Packet>(RING_CAPACITY);
-    let (mut tx_out, mut rx_out) = SpscRing::with_capacity::<PacketResult>(RING_CAPACITY);
+    let (mut tx_out, mut rx_out) =
+        SpscRing::with_capacity::<Result<PacketResult, PipelineError>>(RING_CAPACITY);
     let done = AtomicBool::new(false);
     let results = Mutex::new(Vec::with_capacity(n_packets));
 
@@ -140,7 +171,7 @@ pub fn run_throughput_metered(
     assert!(done.load(Ordering::Acquire));
 
     let results = results.into_inner().unwrap();
-    let ok = results.iter().filter(|r| r.ok).count();
+    let ok = results.iter().filter(|r| r.is_ok()).count();
     let wire_bytes = wire_len * results.len();
     ThroughputReport {
         packets: results.len(),
@@ -148,6 +179,7 @@ pub fn run_throughput_metered(
         wire_bytes,
         elapsed_s: elapsed,
         mbps: wire_bytes as f64 * 8.0 / elapsed / 1e6,
+        worker_restarts: 0,
     }
 }
 
@@ -161,11 +193,38 @@ pub fn run_multicore(
     n_packets: usize,
     workers: usize,
 ) -> ThroughputReport {
+    run_multicore_metered(
+        cfg,
+        transport,
+        wire_len,
+        n_packets,
+        workers,
+        &RunnerMetrics::new(false, RING_CAPACITY),
+        None,
+    )
+}
+
+/// [`run_multicore`] with runner metrics and an optional per-worker
+/// fault plan. Workers are panic-isolated: a panic mid-packet (real or
+/// injected via [`crate::faultinject::FaultKind::WorkerPanic`])
+/// quarantines the worker's pipeline, rebuilds it, and resumes after
+/// an exponential back-off. The panicked packet is consumed (it counts
+/// against the worker's quota but produces no result), so the driver
+/// always terminates.
+pub fn run_multicore_metered(
+    cfg: PipelineConfig,
+    transport: Transport,
+    wire_len: usize,
+    n_packets: usize,
+    workers: usize,
+    metrics: &RunnerMetrics,
+    faults: Option<FaultPlan>,
+) -> ThroughputReport {
     assert!(workers >= 1);
     let mut producers = Vec::new();
     let mut consumers = Vec::new();
     for _ in 0..workers {
-        let (p, c) = SpscRing::with_capacity::<Packet>(256);
+        let (p, c) = SpscRing::with_capacity::<Packet>(RING_CAPACITY);
         producers.push(p);
         consumers.push(c);
     }
@@ -173,6 +232,7 @@ pub fn run_multicore(
         .map(|w| n_packets / workers + usize::from(w < n_packets % workers))
         .collect();
     let results = Mutex::new(Vec::with_capacity(n_packets));
+    let restarts = AtomicUsize::new(0);
 
     let start = Instant::now();
     std::thread::scope(|s| {
@@ -194,19 +254,63 @@ pub fn run_multicore(
                 }
             }
         });
-        for (mut rx, quota) in consumers.into_iter().zip(counts) {
+        for (w, (mut rx, quota)) in consumers.into_iter().zip(counts).enumerate() {
             let results = &results;
+            let restarts = &restarts;
             s.spawn(move || {
-                let pipe = UplinkPipeline::new(cfg);
+                let build = |generation: u64| -> UplinkPipeline {
+                    match faults {
+                        Some(plan) => UplinkPipeline::with_faults(
+                            cfg,
+                            // Re-seed per generation so a rebuilt worker
+                            // does not replay the fault that killed it
+                            // in lock-step.
+                            FaultInjector::with_mix(
+                                plan.seed
+                                    .wrapping_add(w as u64)
+                                    .wrapping_add(generation.wrapping_mul(0x9e37_79b9)),
+                                plan.mix,
+                            ),
+                        ),
+                        None => UplinkPipeline::new(cfg),
+                    }
+                };
+                let mut pipe = build(0);
+                let mut generation = 0u64;
+                let mut consecutive_panics = 0u32;
                 let mut done = 0;
                 while done < quota {
                     match rx.pop() {
                         Some(p) => {
-                            let r = pipe.process(&p);
-                            results.lock().unwrap().push(r);
+                            metrics.record_occupancy(rx.len());
+                            match catch_unwind(AssertUnwindSafe(|| pipe.process(&p))) {
+                                Ok(r) => {
+                                    consecutive_panics = 0;
+                                    metrics.record_packet(wire_len);
+                                    results.lock().unwrap().push(r);
+                                }
+                                Err(_) => {
+                                    // Quarantine: the unwound pipeline's
+                                    // interior state is suspect — drop it
+                                    // wholesale and restart fresh.
+                                    metrics.record_quarantine();
+                                    metrics.record_worker_restart();
+                                    restarts.fetch_add(1, Ordering::Relaxed);
+                                    generation += 1;
+                                    pipe = build(generation);
+                                    let backoff = BACKOFF_BASE
+                                        .saturating_mul(1 << consecutive_panics.min(6))
+                                        .min(BACKOFF_CAP);
+                                    consecutive_panics += 1;
+                                    std::thread::sleep(backoff);
+                                }
+                            }
                             done += 1;
                         }
-                        None => std::hint::spin_loop(),
+                        None => {
+                            metrics.record_pop_stall();
+                            std::hint::spin_loop();
+                        }
                     }
                 }
             });
@@ -214,7 +318,7 @@ pub fn run_multicore(
     });
     let elapsed = start.elapsed().as_secs_f64();
     let results = results.into_inner().unwrap();
-    let ok = results.iter().filter(|r| r.ok).count();
+    let ok = results.iter().filter(|r| r.is_ok()).count();
     let wire_bytes = wire_len * results.len();
     ThroughputReport {
         packets: results.len(),
@@ -222,12 +326,14 @@ pub fn run_multicore(
         wire_bytes,
         elapsed_s: elapsed,
         mbps: wire_bytes as f64 * 8.0 / elapsed / 1e6,
+        worker_restarts: restarts.into_inner(),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faultinject::FaultKind;
 
     #[test]
     fn threaded_pipeline_processes_all_packets() {
@@ -240,6 +346,7 @@ mod tests {
         assert_eq!(rep.ok_packets, 8, "clean channel must decode everything");
         assert!(rep.mbps > 0.0);
         assert_eq!(rep.wire_bytes, 8 * 128);
+        assert_eq!(rep.worker_restarts, 0);
     }
 
     #[test]
@@ -279,6 +386,7 @@ mod tests {
             let rep = run_multicore(cfg, Transport::Udp, 128, 9, workers);
             assert_eq!(rep.packets, 9, "workers={workers}");
             assert_eq!(rep.ok_packets, 9, "workers={workers}");
+            assert_eq!(rep.worker_restarts, 0, "workers={workers}");
         }
     }
 
@@ -307,5 +415,34 @@ mod tests {
                 two.mbps
             );
         }
+    }
+
+    #[test]
+    fn multicore_survives_injected_worker_panics() {
+        // 1-in-8 packets panic mid-decode; every worker must absorb
+        // its panics, restart, and still drain its quota.
+        let cfg = PipelineConfig {
+            snr_db: 30.0,
+            ..Default::default()
+        };
+        let plan = FaultPlan {
+            seed: 99,
+            mix: FaultMix::only(FaultKind::Clean)
+                .with_weight(FaultKind::WorkerPanic, 1)
+                .with_weight(FaultKind::Clean, 7),
+        };
+        let rm = RunnerMetrics::new(true, RING_CAPACITY);
+        let n = 48;
+        let rep = run_multicore_metered(cfg, Transport::Udp, 128, n, 2, &rm, Some(plan));
+        assert!(rep.worker_restarts > 0, "the plan must have fired: {rep:?}");
+        assert_eq!(
+            rep.packets + rep.worker_restarts,
+            n,
+            "every packet either completes or is accounted to a panic"
+        );
+        assert_eq!(rep.ok_packets, rep.packets, "survivors are clean traffic");
+        assert!(rep.mbps > 0.0, "throughput must survive the panics");
+        assert_eq!(rm.worker_restarts.get(), rep.worker_restarts as u64);
+        assert_eq!(rm.quarantined.get(), rep.worker_restarts as u64);
     }
 }

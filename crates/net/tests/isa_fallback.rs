@@ -1,0 +1,57 @@
+//! Scalar-fallback coverage: simulate a SIMD-less host via the
+//! `vran-simd` ISA ceiling and prove the Native pipeline still decodes
+//! bit-exactly — while flagging the lost speedup as a
+//! `native_simd_fallbacks` metrics event.
+//!
+//! Lives in its own integration-test binary (= its own process)
+//! because the ceiling is process-global: unit tests elsewhere assume
+//! the host's full capability set.
+
+use std::sync::Arc;
+use vran_net::metrics::PipelineMetrics;
+use vran_net::packet::{PacketBuilder, Transport};
+use vran_net::pipeline::{DecoderBackend, PipelineConfig, UplinkPipeline};
+use vran_simd::host::{set_isa_ceiling, HostIsa};
+
+#[test]
+fn native_backend_degrades_to_scalar_kernels_without_simd() {
+    let cfg = PipelineConfig {
+        backend: DecoderBackend::Native,
+        snr_db: 12.0,
+        ..Default::default()
+    };
+    let mut b = PacketBuilder::new(1000, 2000);
+    let p = b.build(Transport::Udp, 512).unwrap();
+
+    // Reference outcome with the host's real capabilities.
+    let native = UplinkPipeline::new(cfg).process(&p).expect("12 dB decodes");
+
+    // Mask every SIMD tier: the same pipeline must still decode — via
+    // the native decoder's scalar kernels — and report the fallback.
+    set_isa_ceiling(Some(HostIsa::Scalar));
+    let metrics = Arc::new(PipelineMetrics::new(true));
+    let masked_pipe = UplinkPipeline::with_metrics(cfg, metrics.clone());
+    let masked = masked_pipe.process(&p).expect("scalar fallback decodes");
+    set_isa_ceiling(None);
+
+    assert_eq!(masked.tb_bits, native.tb_bits);
+    assert_eq!(masked.code_blocks, native.code_blocks);
+    assert_eq!(masked.coded_bits, native.coded_bits);
+    assert_eq!(
+        masked.decoder_iterations, native.decoder_iterations,
+        "scalar kernels must be bit-exact with the SIMD path"
+    );
+    assert_eq!(
+        metrics.native_simd_fallbacks.get(),
+        1,
+        "the lost SIMD speedup must be observable"
+    );
+    let snap = metrics.snapshot();
+    assert_eq!(
+        snap.iter()
+            .find(|(name, _)| name == "native_simd_fallbacks")
+            .map(|(_, v)| *v),
+        Some(1.0),
+        "fallback events must appear in snapshots: {snap:?}"
+    );
+}

@@ -20,6 +20,38 @@ pub const COL_PERM: [usize; 32] = [
 
 const NCOLS: usize = 32;
 
+/// Structural errors from the typed (non-panicking) rate-match API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RateMatchError {
+    /// Redundancy version outside the spec's `0..4`.
+    InvalidRv {
+        /// The offending rv.
+        rv: usize,
+    },
+    /// An encoder stream whose length differs from the matcher's `d`.
+    WrongStreamLength {
+        /// Configured per-stream length.
+        expected: usize,
+        /// Actual stream length.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for RateMatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RateMatchError::InvalidRv { rv } => {
+                write!(f, "redundancy version {rv} outside 0..4")
+            }
+            RateMatchError::WrongStreamLength { expected, got } => {
+                write!(f, "stream length {got} != configured d {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RateMatchError {}
+
 /// Position map for one stream: `perm[i]` is the index into the padded
 /// `R×32` matrix (row-major write order) read out at position `i`;
 /// positions pointing into the pad are `usize::MAX`.
@@ -95,18 +127,43 @@ impl RateMatcher {
 
     /// Readout start offset `k0` for redundancy version `rv ∈ 0..4`.
     pub fn k0(&self, rv: usize) -> usize {
-        assert!(rv < 4);
+        self.try_k0(rv).expect("rv in 0..4")
+    }
+
+    /// Non-panicking [`RateMatcher::k0`]: out-of-range redundancy
+    /// versions are an `Err` instead of an assert.
+    pub fn try_k0(&self, rv: usize) -> Result<usize, RateMatchError> {
+        if rv >= 4 {
+            return Err(RateMatchError::InvalidRv { rv });
+        }
         let rows = self.d.div_ceil(NCOLS);
-        rows * (2 * self.ncb().div_ceil(8 * rows) * rv + 2)
+        Ok(rows * (2 * self.ncb().div_ceil(8 * rows) * rv + 2))
     }
 
     /// Select `e` output bits from the coded streams (bit domain).
     pub fn rate_match(&self, d: &[Vec<u8>; 3], e: usize, rv: usize) -> Vec<u8> {
-        assert!(d.iter().all(|s| s.len() == self.d));
+        self.try_rate_match(d, e, rv)
+            .expect("streams sized to d and rv in 0..4")
+    }
+
+    /// Non-panicking [`RateMatcher::rate_match`]: validates stream
+    /// lengths and the redundancy version.
+    pub fn try_rate_match(
+        &self,
+        d: &[Vec<u8>; 3],
+        e: usize,
+        rv: usize,
+    ) -> Result<Vec<u8>, RateMatchError> {
+        if let Some(s) = d.iter().find(|s| s.len() != self.d) {
+            return Err(RateMatchError::WrongStreamLength {
+                expected: self.d,
+                got: s.len(),
+            });
+        }
         let ncb = self.ncb();
         let flat: Vec<u8> = d.iter().flat_map(|s| s.iter().copied()).collect();
         let mut out = Vec::with_capacity(e);
-        let mut k = self.k0(rv);
+        let mut k = self.try_k0(rv)?;
         while out.len() < e {
             let p = self.wmap[k % ncb];
             if p != usize::MAX {
@@ -114,7 +171,7 @@ impl RateMatcher {
             }
             k += 1;
         }
-        out
+        Ok(out)
     }
 
     /// Invert the readout in LLR space: returns three LLR streams of
@@ -129,13 +186,26 @@ impl RateMatcher {
     /// resizes each stream of `out` to length `d` (a no-op once the
     /// buffers have warmed up) and accumulates in place.
     pub fn de_rate_match_into(&self, llrs: &[Llr], rv: usize, out: &mut [Vec<Llr>; 3]) {
+        self.try_de_rate_match_into(llrs, rv, out)
+            .expect("rv in 0..4")
+    }
+
+    /// Non-panicking [`RateMatcher::de_rate_match_into`]: an
+    /// out-of-range redundancy version is an `Err` instead of an
+    /// assert deep in the receive path.
+    pub fn try_de_rate_match_into(
+        &self,
+        llrs: &[Llr],
+        rv: usize,
+        out: &mut [Vec<Llr>; 3],
+    ) -> Result<(), RateMatchError> {
+        let mut k = self.try_k0(rv)?;
         let d = self.d;
         for s in out.iter_mut() {
             s.resize(d, 0);
             s.fill(0);
         }
         let ncb = self.ncb();
-        let mut k = self.k0(rv);
         let mut consumed = 0;
         while consumed < llrs.len() {
             let p = self.wmap[k % ncb];
@@ -146,6 +216,7 @@ impl RateMatcher {
             }
             k += 1;
         }
+        Ok(())
     }
 }
 
@@ -411,6 +482,29 @@ mod tests {
             assert!(w[1] > w[0]);
         }
         assert!(k0s[3] < rm.ncb(), "k0 must stay within the buffer");
+    }
+
+    #[test]
+    fn try_api_rejects_bad_rv_and_stream_lengths() {
+        let d = 44;
+        let rm = RateMatcher::new(d);
+        assert_eq!(rm.try_k0(4), Err(RateMatchError::InvalidRv { rv: 4 }));
+        assert_eq!(
+            rm.try_k0(usize::MAX),
+            Err(RateMatchError::InvalidRv { rv: usize::MAX })
+        );
+        let streams = dstreams(d, 2);
+        assert!(rm.try_rate_match(&streams, 100, 7).is_err());
+        let short = [vec![0u8; d - 1], vec![0u8; d], vec![0u8; d]];
+        assert!(matches!(
+            rm.try_rate_match(&short, 100, 0),
+            Err(RateMatchError::WrongStreamLength { got, .. }) if got == d - 1
+        ));
+        let mut out = [Vec::new(), Vec::new(), Vec::new()];
+        assert!(rm.try_de_rate_match_into(&[0; 16], 9, &mut out).is_err());
+        // Valid inputs still work through the try_ path.
+        let tx = rm.try_rate_match(&streams, 100, 0).unwrap();
+        assert_eq!(tx, rm.rate_match(&streams, 100, 0));
     }
 
     #[test]

@@ -12,6 +12,59 @@ pub const Z_MAX: usize = 6144;
 /// CRC length L attached per code block when C > 1.
 const L: usize = 24;
 
+/// Structural errors from the typed (non-panicking) segmentation API.
+/// The legacy `plan`/`segment`/`desegment` methods keep their original
+/// panic-on-misuse contract by delegating to the `try_` variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegError {
+    /// Zero-length transport block.
+    EmptyBlock,
+    /// `segment` input length differs from the planned B.
+    LengthMismatch {
+        /// Planned B.
+        expected: usize,
+        /// Actual input length.
+        got: usize,
+    },
+    /// `desegment` was handed the wrong number of code blocks.
+    WrongBlockCount {
+        /// Planned C.
+        expected: usize,
+        /// Blocks received.
+        got: usize,
+    },
+    /// A `desegment` code block has the wrong size.
+    WrongBlockSize {
+        /// Which block.
+        index: usize,
+        /// Planned K for that block.
+        expected: usize,
+        /// Actual block length.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for SegError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SegError::EmptyBlock => write!(f, "empty transport block"),
+            SegError::LengthMismatch { expected, got } => {
+                write!(f, "input length {got} != planned B {expected}")
+            }
+            SegError::WrongBlockCount { expected, got } => {
+                write!(f, "{got} code blocks != planned C {expected}")
+            }
+            SegError::WrongBlockSize {
+                index,
+                expected,
+                got,
+            } => write!(f, "block {index} has {got} bits != planned K {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for SegError {}
+
 /// The segmentation plan for a transport block of `b` bits.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Segmentation {
@@ -34,7 +87,15 @@ pub struct Segmentation {
 impl Segmentation {
     /// Compute the spec's segmentation for `b` input bits.
     pub fn plan(b: usize) -> Self {
-        assert!(b > 0, "empty transport block");
+        Self::try_plan(b).expect("empty transport block")
+    }
+
+    /// Non-panicking [`Segmentation::plan`]: rejects an empty transport
+    /// block instead of asserting.
+    pub fn try_plan(b: usize) -> Result<Self, SegError> {
+        if b == 0 {
+            return Err(SegError::EmptyBlock);
+        }
         let (c, b_prime) = if b <= Z_MAX {
             (1, b)
         } else {
@@ -59,7 +120,7 @@ impl Segmentation {
             }
         };
         let f = c_plus * k_plus + c_minus * k_minus - b_prime;
-        Self {
+        Ok(Self {
             b,
             c,
             k_plus,
@@ -67,7 +128,7 @@ impl Segmentation {
             c_minus,
             c_plus,
             f,
-        }
+        })
     }
 
     /// Block size of code block `i` (K− blocks come first, per spec).
@@ -83,7 +144,18 @@ impl Segmentation {
     /// Split `bits` (length B) into code blocks, adding filler and
     /// per-block CRC24B when C > 1.
     pub fn segment(&self, bits: &[u8]) -> Vec<Vec<u8>> {
-        assert_eq!(bits.len(), self.b);
+        self.try_segment(bits).expect("input length matches plan")
+    }
+
+    /// Non-panicking [`Segmentation::segment`]: rejects a bit slice
+    /// whose length differs from the planned B.
+    pub fn try_segment(&self, bits: &[u8]) -> Result<Vec<Vec<u8>>, SegError> {
+        if bits.len() != self.b {
+            return Err(SegError::LengthMismatch {
+                expected: self.b,
+                got: bits.len(),
+            });
+        }
         let mut out = Vec::with_capacity(self.c);
         let mut pos = 0;
         for i in 0..self.c {
@@ -101,22 +173,49 @@ impl Segmentation {
             out.push(blk);
         }
         debug_assert_eq!(pos, self.b);
-        out
+        Ok(out)
     }
 
     /// Reassemble decoded code blocks into the transport-level bit
     /// stream, stripping filler and per-block CRCs; returns `None` if
     /// any per-block CRC fails.
     pub fn desegment(&self, blocks: &[Vec<u8>]) -> Option<Vec<u8>> {
-        assert_eq!(blocks.len(), self.c);
+        self.try_desegment(blocks)
+            .expect("block set matches segmentation plan")
+    }
+
+    /// Non-panicking [`Segmentation::desegment`]: a structurally
+    /// inconsistent block set (wrong count or wrong sizes — e.g. a
+    /// sender lying about its code-block count) is an `Err`; a clean
+    /// structure whose per-block CRC fails is `Ok(None)`.
+    pub fn try_desegment(&self, blocks: &[Vec<u8>]) -> Result<Option<Vec<u8>>, SegError> {
+        if blocks.len() != self.c {
+            return Err(SegError::WrongBlockCount {
+                expected: self.c,
+                got: blocks.len(),
+            });
+        }
         let mut out = Vec::with_capacity(self.b);
         for (i, blk) in blocks.iter().enumerate() {
-            assert_eq!(blk.len(), self.k_of(i));
-            let payload: &[u8] = if self.c > 1 { CRC24B.check(blk)? } else { blk };
+            if blk.len() != self.k_of(i) {
+                return Err(SegError::WrongBlockSize {
+                    index: i,
+                    expected: self.k_of(i),
+                    got: blk.len(),
+                });
+            }
+            let payload: &[u8] = if self.c > 1 {
+                match CRC24B.check(blk) {
+                    Some(p) => p,
+                    None => return Ok(None),
+                }
+            } else {
+                blk
+            };
             let skip = if i == 0 { self.f } else { 0 };
             out.extend_from_slice(&payload[skip..]);
         }
-        Some(out)
+        Ok(Some(out))
     }
 }
 
@@ -193,6 +292,41 @@ mod tests {
         let mut blocks = s.segment(&bits);
         blocks[1][10] ^= 1;
         assert!(s.desegment(&blocks).is_none());
+    }
+
+    #[test]
+    fn try_api_rejects_structural_lies_without_panicking() {
+        assert_eq!(Segmentation::try_plan(0), Err(SegError::EmptyBlock));
+
+        let s = Segmentation::plan(15000);
+        let bits = random_bits(15000, 11);
+        assert!(matches!(
+            s.try_segment(&bits[..100]),
+            Err(SegError::LengthMismatch {
+                expected: 15000,
+                got: 100
+            })
+        ));
+
+        let blocks = s.segment(&bits);
+        // Lie about the block count.
+        assert!(matches!(
+            s.try_desegment(&blocks[..1]),
+            Err(SegError::WrongBlockCount { .. })
+        ));
+        // Lie about a block size.
+        let mut short = blocks.clone();
+        short[1].pop();
+        assert!(matches!(
+            s.try_desegment(&short),
+            Err(SegError::WrongBlockSize { index: 1, .. })
+        ));
+        // A clean structure with a corrupted payload is Ok(None), not Err.
+        let mut corrupt = blocks.clone();
+        corrupt[0][30] ^= 1;
+        assert_eq!(s.try_desegment(&corrupt), Ok(None));
+        // And the honest set round-trips.
+        assert_eq!(s.try_desegment(&blocks).unwrap().unwrap(), bits);
     }
 
     #[test]

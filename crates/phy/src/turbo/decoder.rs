@@ -235,7 +235,27 @@ impl TurboDecoder {
         self.decode_inner(input, Some(crc))
     }
 
+    /// Decode under an externally clamped iteration budget (the
+    /// deadline-degradation hook): runs at most
+    /// `min(cap, max_iterations)` full iterations (floor 1), with
+    /// optional CRC early stopping. Lets a deadline-pressed pipeline
+    /// trade BLER for latency without rebuilding its cached per-K
+    /// decoders.
+    pub fn decode_capped(&self, input: &TurboLlrs, cap: usize, crc: Option<&Crc>) -> DecodeOutcome {
+        let iters = cap.clamp(1, self.max_iterations);
+        self.decode_limited(input, iters, crc)
+    }
+
     fn decode_inner(&self, input: &TurboLlrs, crc: Option<&Crc>) -> DecodeOutcome {
+        self.decode_limited(input, self.max_iterations, crc)
+    }
+
+    fn decode_limited(
+        &self,
+        input: &TurboLlrs,
+        iterations: usize,
+        crc: Option<&Crc>,
+    ) -> DecodeOutcome {
         let k = self.il.k();
         assert_eq!(input.k, k, "input block size mismatch");
         let s = &input.streams;
@@ -246,7 +266,7 @@ impl TurboDecoder {
         let mut iterations_run = 0;
         let mut crc_ok = None;
 
-        for _ in 0..self.max_iterations {
+        for _ in 0..iterations {
             iterations_run += 1;
             let (e1, _) = siso(&s.sys, &s.p1, &la1, &input.tails.sys1, &input.tails.p1);
             let la2: Vec<Llr> = self
@@ -395,6 +415,21 @@ mod tests {
         assert_eq!(g.branch(0, 1), 3);
         assert_eq!(g.branch(1, 0), -3);
         assert_eq!(g.branch(1, 1), -9);
+    }
+
+    #[test]
+    fn capped_decode_respects_budget() {
+        let k = 104;
+        let bits = random_bits(k, 21);
+        let input = make_input(&bits, k, 100, &[]);
+        let dec = TurboDecoder::new(k, 8);
+        // Cap below the configured max limits work done.
+        let out = dec.decode_capped(&input, 2, None);
+        assert_eq!(out.iterations_run, 2);
+        assert_eq!(out.bits, bits, "clean block decodes even when capped");
+        // Cap of 0 floors at one iteration; cap above max clamps down.
+        assert_eq!(dec.decode_capped(&input, 0, None).iterations_run, 1);
+        assert_eq!(dec.decode_capped(&input, 99, None).iterations_run, 8);
     }
 
     #[test]

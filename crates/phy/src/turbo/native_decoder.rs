@@ -260,6 +260,26 @@ impl NativeTurboDecoder {
         scratch: &mut DecodeScratch,
         bits: &mut Vec<u8>,
     ) -> (usize, Option<bool>) {
+        self.decode_streams_capped_into(sys, p1, p2, tails, self.max_iterations, crc, scratch, bits)
+    }
+
+    /// [`NativeTurboDecoder::decode_streams_into`] under an externally
+    /// clamped iteration budget (`min(cap, max_iterations)`, floor 1)
+    /// — the deadline-degradation hook, matching
+    /// [`super::decoder::TurboDecoder::decode_capped`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn decode_streams_capped_into(
+        &self,
+        sys: &[Llr],
+        p1: &[Llr],
+        p2: &[Llr],
+        tails: &TailLlrs,
+        cap: usize,
+        crc: Option<&Crc>,
+        scratch: &mut DecodeScratch,
+        bits: &mut Vec<u8>,
+    ) -> (usize, Option<bool>) {
+        let iterations = cap.clamp(1, self.max_iterations);
         let k = self.il.k();
         assert!(sys.len() == k && p1.len() == k && p2.len() == k);
         assert_eq!(k % STATES, 0, "legal QPP sizes are multiples of 8");
@@ -291,7 +311,7 @@ impl NativeTurboDecoder {
         let mut iterations_run = 0;
         let mut crc_ok = None;
 
-        for it in 0..self.max_iterations {
+        for it in 0..iterations {
             iterations_run += 1;
             siso_into(
                 self.isa,
@@ -331,7 +351,7 @@ impl NativeTurboDecoder {
             // Hard decisions are observable only through the CRC check
             // and the final output, so without a CRC the de-permuting
             // bit pass runs once, after the last iteration.
-            if crc.is_some() || it + 1 == self.max_iterations {
+            if crc.is_some() || it + 1 == iterations {
                 for (b, &p) in bits.iter_mut().zip(pi_inv) {
                     *b = llr_to_bit(unsafe { *post.get_unchecked(p as usize) } as Llr);
                 }
@@ -1106,6 +1126,31 @@ mod tests {
         for isa in DecoderIsa::available() {
             let out = NativeTurboDecoder::with_isa(k, 8, isa).decode_with_crc(&input, &CRC24B);
             assert_eq!(out, reference, "{}", isa.name());
+        }
+    }
+
+    #[test]
+    fn capped_streams_decode_matches_scalar_cap() {
+        let k = 104;
+        let (_, input) = noisy_input(k, 24, 20, 17);
+        let reference = TurboDecoder::new(k, 8).decode_capped(&input, 2, None);
+        for isa in DecoderIsa::available() {
+            let dec = NativeTurboDecoder::with_isa(k, 8, isa);
+            let mut scratch = DecodeScratch::new();
+            let mut bits = Vec::new();
+            let (iters, crc_ok) = dec.decode_streams_capped_into(
+                &input.streams.sys,
+                &input.streams.p1,
+                &input.streams.p2,
+                &input.tails,
+                2,
+                None,
+                &mut scratch,
+                &mut bits,
+            );
+            assert_eq!(iters, 2, "{}", isa.name());
+            assert_eq!(crc_ok, None);
+            assert_eq!(bits, reference.bits, "{}", isa.name());
         }
     }
 

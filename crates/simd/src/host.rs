@@ -49,8 +49,55 @@ impl HostIsa {
     }
 }
 
-/// Whether the running host supports `isa`.
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Process-wide ISA ceiling: `u8::MAX` means "no ceiling", any other
+/// value is the maximum [`HostIsa`] (by declaration order) that
+/// [`has`] may report as available. Exists so robustness tests can
+/// simulate a SIMD-less host on real hardware and exercise scalar
+/// fallback paths end to end.
+static ISA_CEILING: AtomicU8 = AtomicU8::new(u8::MAX);
+
+fn isa_rank(isa: HostIsa) -> u8 {
+    match isa {
+        HostIsa::Scalar => 0,
+        HostIsa::Sse2 => 1,
+        HostIsa::Ssse3 => 2,
+        HostIsa::Avx2 => 3,
+        HostIsa::Avx512bw => 4,
+    }
+}
+
+/// Cap every subsequent [`has`] answer at `ceiling` (`None` removes
+/// the cap). `Scalar` always stays available. Affects the whole
+/// process: dispatchers in `vran-phy` and `vran-arrange` will refuse
+/// ISA levels above the ceiling exactly as if the CPU lacked them.
+///
+/// Intended for fault-injection and fallback tests; production code
+/// should never call this. Tests that use it must not run concurrently
+/// with tests that assume full host capability (use a dedicated
+/// integration-test binary, which cargo runs in its own process).
+pub fn set_isa_ceiling(ceiling: Option<HostIsa>) {
+    let v = ceiling.map_or(u8::MAX, isa_rank);
+    ISA_CEILING.store(v, Ordering::SeqCst);
+}
+
+/// The currently configured ceiling, if any.
+pub fn isa_ceiling() -> Option<HostIsa> {
+    let v = ISA_CEILING.load(Ordering::SeqCst);
+    HostIsa::all().into_iter().find(|&i| isa_rank(i) == v)
+}
+
+/// Whether the running host supports `isa` (and the test ceiling, if
+/// one is set, admits it).
 pub fn has(isa: HostIsa) -> bool {
+    if isa_rank(isa) > ISA_CEILING.load(Ordering::Relaxed) {
+        return false;
+    }
+    detect(isa)
+}
+
+fn detect(isa: HostIsa) -> bool {
     match isa {
         HostIsa::Scalar => true,
         #[cfg(target_arch = "x86_64")]

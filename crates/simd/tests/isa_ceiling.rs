@@ -1,0 +1,32 @@
+//! The ISA-ceiling test hook lives in its own integration binary so
+//! masking host capabilities cannot race the crate's unit tests
+//! (cargo gives each integration test binary its own process).
+
+use vran_simd::host::{self, HostIsa};
+
+#[test]
+fn ceiling_masks_and_restores_host_capabilities() {
+    // Unrestricted baseline.
+    assert!(host::isa_ceiling().is_none());
+    let native_best = host::best();
+
+    // Clamp to scalar: every vector level must vanish.
+    host::set_isa_ceiling(Some(HostIsa::Scalar));
+    assert_eq!(host::isa_ceiling(), Some(HostIsa::Scalar));
+    assert_eq!(host::best(), HostIsa::Scalar);
+    assert_eq!(host::available(), vec![HostIsa::Scalar]);
+    assert!(!host::has(HostIsa::Sse2));
+    assert!(!host::has(HostIsa::Avx512bw));
+    assert!(host::has(HostIsa::Scalar));
+
+    // An intermediate ceiling admits levels up to and including it
+    // (subject to what the CPU really has).
+    host::set_isa_ceiling(Some(HostIsa::Ssse3));
+    assert!(!host::has(HostIsa::Avx2));
+    assert!(host::best() <= HostIsa::Ssse3);
+
+    // Removing the ceiling restores full detection.
+    host::set_isa_ceiling(None);
+    assert!(host::isa_ceiling().is_none());
+    assert_eq!(host::best(), native_best);
+}

@@ -44,7 +44,7 @@ fn main() {
                 }
             })
             .collect();
-        let out = rx.receive(&llrs, rv);
+        let out = rx.receive(&llrs, rv).expect("in-schedule rv is valid");
         println!(
             "attempt {} (rv={rv}): crc {}  accumulated LLR energy {}",
             attempt + 1,

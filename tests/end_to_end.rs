@@ -2,8 +2,9 @@
 //! across mechanisms, widths, modulations and SNR points.
 
 use vran_arrange::{ApcmVariant, Mechanism};
+use vran_net::error::{ErrorCategory, PipelineError};
 use vran_net::packet::{PacketBuilder, Transport};
-use vran_net::pipeline::{PipelineConfig, UplinkPipeline};
+use vran_net::pipeline::{PacketResult, PipelineConfig, UplinkPipeline};
 use vran_net::runner::run_throughput;
 use vran_phy::modulation::Modulation;
 use vran_simd::RegWidth;
@@ -12,7 +13,7 @@ fn process(
     cfg: PipelineConfig,
     transport: Transport,
     size: usize,
-) -> vran_net::pipeline::PacketResult {
+) -> Result<PacketResult, PipelineError> {
     let mut b = PacketBuilder::new(4000, 4001);
     let p = b.build(transport, size).unwrap();
     UplinkPipeline::new(cfg).process(&p)
@@ -32,7 +33,7 @@ fn every_modulation_closes_the_loop_at_adequate_snr() {
             ..Default::default()
         };
         let r = process(cfg, Transport::Udp, 512);
-        assert!(r.ok, "{} at {snr} dB must decode: {r:?}", m.name());
+        assert!(r.is_ok(), "{} at {snr} dB must decode: {r:?}", m.name());
     }
 }
 
@@ -49,7 +50,7 @@ fn snr_waterfall_is_monotone() {
             decoder_iterations: 6,
             ..Default::default()
         };
-        successes.push((snr, process(cfg, Transport::Udp, 256).ok));
+        successes.push((snr, process(cfg, Transport::Udp, 256).is_ok()));
     }
     let first_ok = successes.iter().position(|(_, ok)| *ok);
     assert!(
@@ -80,7 +81,13 @@ fn mechanisms_are_functionally_transparent_at_the_packet_level() {
                 ..Default::default()
             };
             let r = process(cfg, Transport::Udp, 700);
-            let key = (r.ok, r.decoder_iterations);
+            let key = match &r {
+                Ok(p) => (true, p.decoder_iterations),
+                Err(e) => (
+                    false,
+                    e.decode_failure().map_or(0, |f| f.decoder_iterations),
+                ),
+            };
             match &reference {
                 None => reference = Some(key),
                 Some(k) => assert_eq!(&key, k, "{width}/{} diverged", mech.name()),
@@ -98,23 +105,26 @@ fn segmented_transport_blocks_survive() {
     };
     for transport in [Transport::Udp, Transport::Tcp] {
         let r = process(cfg, transport, 1500);
-        assert!(r.ok, "{}: {r:?}", transport.name());
+        let r = r.unwrap_or_else(|e| panic!("{}: {e}", transport.name()));
         assert!(r.code_blocks >= 2);
     }
 }
 
 #[test]
 fn corrupted_channel_is_detected_not_miscorrected() {
-    // At hopeless SNR the CRC must catch the failure (ok == false)
-    // rather than deliver a wrong frame as good.
+    // At hopeless SNR the CRC must catch the failure (a typed decode
+    // error) rather than deliver a wrong frame as good.
     let cfg = PipelineConfig {
         modulation: Modulation::Qam64,
         snr_db: -5.0,
         decoder_iterations: 3,
         ..Default::default()
     };
-    let r = process(cfg, Transport::Udp, 512);
-    assert!(!r.ok);
+    let e = process(cfg, Transport::Udp, 512).expect_err("−5 dB 64-QAM must fail");
+    assert!(matches!(
+        e.category(),
+        ErrorCategory::CrcMismatch | ErrorCategory::DecoderDiverged
+    ));
 }
 
 #[test]
@@ -126,8 +136,7 @@ fn threaded_runner_matches_single_shot_results() {
     let rep = run_throughput(cfg, Transport::Udp, 300, 6);
     assert_eq!(rep.packets, 6);
     assert_eq!(rep.ok_packets, 6);
-    let single = process(cfg, Transport::Udp, 300);
-    assert!(single.ok);
+    assert!(process(cfg, Transport::Udp, 300).is_ok());
 }
 
 #[test]
@@ -144,7 +153,7 @@ fn packet_size_sweep_matches_figure13_grid() {
             let mut b = PacketBuilder::new(1, 2);
             let p = b.build(transport, size).unwrap();
             let r = pipe.process(&p);
-            assert!(r.ok, "{} {size}B: {r:?}", transport.name());
+            assert!(r.is_ok(), "{} {size}B: {r:?}", transport.name());
         }
     }
 }

@@ -1,15 +1,19 @@
 //! `benchgate` — the perf-trajectory regression gate.
 //!
-//! Runs a pinned, deterministic suite — the arrangement kernels,
+//! Runs the pinned, deterministic suites — the arrangement kernels,
 //! original vs APCM, at all three register widths through the
-//! `vran-uarch` simulator, static pipeline invariants, and the
-//! fault-injection classification counts — and two
-//! wall-clock (never gating) suites: a smoke run of the threaded
-//! packet pipeline and the native turbo-decoder fast path (scalar
-//! reference vs each runtime-dispatched ISA level, plus the AVX2
-//! two-block batch). Writes `BENCH_current.json` and, with `--check`,
-//! compares the gated suites against `BENCH_baseline.json`, exiting
-//! non-zero on regression.
+//! `vran-uarch` simulator, static uplink and downlink pipeline
+//! invariants (the latter once per encoder backend, so scalar/packed
+//! bit-equality is itself gated), and the fault-injection
+//! classification counts — and four wall-clock (never gating) suites:
+//! a smoke run of the threaded packet pipeline, the native
+//! turbo-decoder fast path, the packed turbo-encoder fast path
+//! (scalar per-bit reference vs each runtime-dispatched ISA level,
+//! plus the packed-word rate matcher and the combined transmit
+//! chain), and the downlink multi-worker scale-out sweep. Writes
+//! `BENCH_current.json` and, with `--check`, compares the gated
+//! suites against `BENCH_baseline.json`, exiting non-zero on
+//! regression.
 //!
 //! ```text
 //! benchgate [--check] [--write-baseline]
@@ -21,15 +25,19 @@ use std::time::Instant;
 use vran_arrange::{ApcmVariant, ArrangeKernel, Mechanism};
 use vran_bench::gate::{compare, BenchReport, Suite};
 use vran_bench::{interleaved_workload, turbo_workload};
+use vran_net::downlink::{DownlinkConfig, DownlinkPipeline};
 use vran_net::error::ErrorCategory;
 use vran_net::faultinject::{FaultInjector, FaultKind};
 use vran_net::metrics::{PipelineMetrics, RunnerMetrics, Stage, UarchMetrics};
 use vran_net::packet::PacketBuilder;
-use vran_net::pipeline::{DecoderBackend, PipelineConfig, UplinkPipeline};
-use vran_net::runner::{run_throughput_metered, RING_CAPACITY};
+use vran_net::pipeline::{DecoderBackend, EncoderBackend, PipelineConfig, UplinkPipeline};
+use vran_net::runner::{downlink_scaleout_sweep, run_throughput_metered, RING_CAPACITY};
 use vran_net::Transport;
+use vran_phy::bits::{extend_bits_from_words, random_bits};
+use vran_phy::rate_match::{PackedRateMatcher, RateMatcher};
 use vran_phy::turbo::{
-    DecodeScratch, DecoderIsa, NativeBatchTurboDecoder, NativeTurboDecoder, TurboDecoder,
+    DecodeScratch, DecoderIsa, EncodeScratch, EncoderIsa, NativeBatchTurboDecoder,
+    NativeTurboDecoder, PackedTurboEncoder, TurboDecoder, TurboEncoder,
 };
 use vran_simd::RegWidth;
 use vran_uarch::{CoreConfig, CoreSim};
@@ -52,6 +60,14 @@ const FAULT_PACKETS: usize = 240;
 /// Fault-injector seeds (match the fault-soak test family).
 const FAULT_SEED_SCALAR: u64 = 17;
 const FAULT_SEED_NATIVE: u64 = 18;
+/// Timed repetitions per encoder configuration (median taken).
+const ENCODE_REPS: usize = 25;
+/// Packets per worker-count point of the downlink scale-out sweep.
+const SCALEOUT_PACKETS: usize = 12;
+/// Wire bytes per scale-out packet.
+const SCALEOUT_WIRE_LEN: usize = 256;
+/// Largest worker count swept.
+const SCALEOUT_MAX_WORKERS: usize = 4;
 
 struct Args {
     check: bool,
@@ -209,6 +225,141 @@ fn decoder_native_suite() -> Suite {
     suite
 }
 
+/// Ungated: the transmit-side packed encoder fast path — scalar
+/// per-bit reference vs the bitsliced kernels at every ISA level the
+/// host dispatches to, plus the per-bit vs packed-word rate matcher
+/// and the combined encode+rate-match transmit chain, all at the
+/// paper's K = 6144.
+fn encoder_packed_suite() -> Suite {
+    let mut suite = Suite::new("encoder_wallclock", false);
+    let bits = random_bits(SIM_K, SIM_SEED);
+    let per_block_bits = SIM_K as f64;
+    let e = 3 * (SIM_K + 4);
+
+    let scalar_enc = TurboEncoder::new(SIM_K);
+    let scalar_ns = median_ns(ENCODE_REPS, || {
+        std::hint::black_box(scalar_enc.encode(std::hint::black_box(&bits)));
+    });
+    suite.push("encode.scalar.ns_per_block", scalar_ns);
+    suite.push("encode.scalar.bits_per_s", per_block_bits * 1e9 / scalar_ns);
+
+    let mut scratch = EncodeScratch::default();
+    for isa in EncoderIsa::available() {
+        let enc = PackedTurboEncoder::with_isa(SIM_K, isa);
+        let ns = median_ns(ENCODE_REPS, || {
+            enc.encode_dstreams_into(std::hint::black_box(&bits), &mut scratch);
+            std::hint::black_box(&scratch);
+        });
+        let p = format!("encode.{}", isa.name());
+        suite.push(format!("{p}.ns_per_block"), ns);
+        suite.push(format!("{p}.bits_per_s"), per_block_bits * 1e9 / ns);
+        suite.push(format!("{p}.speedup"), scalar_ns / ns);
+    }
+
+    // Rate matcher: per-position circular readout vs the packed-word
+    // funnel-shift copy over the same d-streams.
+    let d = scalar_enc.encode(&bits).to_dstreams();
+    let srm = RateMatcher::new(SIM_K + 4);
+    let scalar_rm_ns = median_ns(ENCODE_REPS, || {
+        std::hint::black_box(srm.rate_match(std::hint::black_box(&d), e, 0));
+    });
+    suite.push("ratematch.scalar.ns_per_block", scalar_rm_ns);
+
+    let prm = PackedRateMatcher::new(SIM_K + 4);
+    let packed_enc = PackedTurboEncoder::new(SIM_K);
+    packed_enc.encode_dstreams_into(&bits, &mut scratch);
+    let mut wbuf = Vec::new();
+    let mut ebuf = Vec::new();
+    let mut out_bits = Vec::new();
+    let packed_rm_ns = median_ns(ENCODE_REPS, || {
+        prm.pack_circular_into(scratch.dstream_words(), &mut wbuf)
+            .expect("streams sized to d");
+        prm.try_rate_match_packed_into(&wbuf, e, 0, &mut ebuf)
+            .expect("rv 0 valid");
+        out_bits.clear();
+        extend_bits_from_words(&ebuf, e, &mut out_bits);
+        std::hint::black_box(&out_bits);
+    });
+    suite.push("ratematch.packed.ns_per_block", packed_rm_ns);
+    suite.push("ratematch.speedup", scalar_rm_ns / packed_rm_ns);
+
+    // Combined transmit chain (encode + rate match), scalar reference
+    // vs the best-dispatched packed path — the pipeline-visible win.
+    let scalar_tx_ns = median_ns(ENCODE_REPS, || {
+        let cw = scalar_enc.encode(std::hint::black_box(&bits));
+        std::hint::black_box(srm.rate_match(&cw.to_dstreams(), e, 0));
+    });
+    let packed_tx_ns = median_ns(ENCODE_REPS, || {
+        packed_enc.encode_dstreams_into(std::hint::black_box(&bits), &mut scratch);
+        prm.pack_circular_into(scratch.dstream_words(), &mut wbuf)
+            .expect("streams sized to d");
+        prm.try_rate_match_packed_into(&wbuf, e, 0, &mut ebuf)
+            .expect("rv 0 valid");
+        out_bits.clear();
+        extend_bits_from_words(&ebuf, e, &mut out_bits);
+        std::hint::black_box(&out_bits);
+    });
+    suite.push("txchain.scalar.ns_per_block", scalar_tx_ns);
+    suite.push("txchain.packed.ns_per_block", packed_tx_ns);
+    suite.push("txchain.speedup", scalar_tx_ns / packed_tx_ns);
+    suite
+}
+
+/// Ungated: downlink multi-worker scale-out — aggregate and per-core
+/// Mbps at every worker count up to [`SCALEOUT_MAX_WORKERS`].
+fn downlink_scaleout_suite() -> Suite {
+    let mut suite = Suite::new("downlink_scaleout", false);
+    let cfg = DownlinkConfig {
+        snr_db: 30.0,
+        ..Default::default()
+    };
+    for pt in downlink_scaleout_sweep(
+        cfg,
+        Transport::Udp,
+        SCALEOUT_WIRE_LEN,
+        SCALEOUT_PACKETS,
+        SCALEOUT_MAX_WORKERS,
+    ) {
+        let p = format!("w{}", pt.workers);
+        suite.push(format!("{p}.mbps"), pt.mbps);
+        suite.push(format!("{p}.mbps_per_core"), pt.mbps_per_core);
+        suite.push(format!("{p}.ok.count"), pt.ok_packets as f64);
+    }
+    suite
+}
+
+/// Gated: host-independent downlink outcomes at pinned seeds and
+/// sizes, once per [`EncoderBackend`] — the two backends must stay
+/// bit-identical (every metric equal between the `scalar.` and
+/// `packed.` prefixes) and must not drift across commits.
+fn downlink_static_suite() -> Suite {
+    let mut suite = Suite::new("downlink_static", true);
+    for (backend, name) in [
+        (EncoderBackend::Scalar, "scalar"),
+        (EncoderBackend::Packed, "packed"),
+    ] {
+        let cfg = DownlinkConfig {
+            snr_db: 30.0,
+            encoder_backend: backend,
+            ..Default::default()
+        };
+        let pipe = DownlinkPipeline::new(cfg);
+        let mut b = PacketBuilder::new(1000, 2000);
+        let (mut ok, mut blocks, mut coded) = (0usize, 0usize, 0usize);
+        for size in [64usize, 300, 900, 1400] {
+            let p = b.build(Transport::Udp, size).expect("valid size");
+            let r = pipe.process(&p);
+            ok += usize::from(r.dci_ok && r.data_ok);
+            blocks += r.code_blocks;
+            coded += r.coded_bits;
+        }
+        suite.push(format!("{name}.ok.count"), ok as f64);
+        suite.push(format!("{name}.code_blocks.count"), blocks as f64);
+        suite.push(format!("{name}.coded_bits.count"), coded as f64);
+    }
+    suite
+}
+
 /// Gated: host-independent outcomes of one pipeline run at a pinned
 /// seed — block structure and decoder effort must not drift.
 fn pipeline_static_suite(metrics: &PipelineMetrics) -> Suite {
@@ -313,9 +464,19 @@ fn build_report() -> BenchReport {
         ("decode_reps".into(), DECODE_REPS.to_string()),
         ("decode_iters".into(), DECODE_ITERS.to_string()),
         ("fault_packets".into(), FAULT_PACKETS.to_string()),
+        ("encode_reps".into(), ENCODE_REPS.to_string()),
+        ("scaleout_packets".into(), SCALEOUT_PACKETS.to_string()),
+        ("scaleout_wire_len".into(), SCALEOUT_WIRE_LEN.to_string()),
+        (
+            "scaleout_max_workers".into(),
+            SCALEOUT_MAX_WORKERS.to_string(),
+        ),
     ];
     report.suites.push(arrange_sim_suite());
     report.suites.push(decoder_native_suite());
+    report.suites.push(encoder_packed_suite());
+    report.suites.push(downlink_static_suite());
+    report.suites.push(downlink_scaleout_suite());
 
     let pm = std::sync::Arc::new(PipelineMetrics::new(true));
     let rm = RunnerMetrics::new(true, RING_CAPACITY);

@@ -8,9 +8,13 @@
 //! version *from the decoded grant*, so a corrupted PDCCH fails the
 //! whole subframe exactly as it would on air.
 
+use crate::metrics::{PipelineMetrics, Stage};
 use crate::packet::Packet;
+use crate::pipeline::{timed, EncoderBackend};
+use std::cell::RefCell;
+use std::sync::Arc;
 use vran_arrange::{ArrangeKernel, Mechanism};
-use vran_phy::bits::{pack_msb, unpack_msb};
+use vran_phy::bits::{extend_bits_from_words, pack_msb, unpack_msb};
 use vran_phy::channel::AwgnChannel;
 use vran_phy::crc::{CRC24A, CRC24B};
 use vran_phy::dci::{conv_encode_streams, llrs_from_streams, viterbi_decode_tb, Dci};
@@ -18,10 +22,10 @@ use vran_phy::equalizer::{Equalizer, FadingChannel};
 use vran_phy::llr::TurboLlrs;
 use vran_phy::modulation::{Cplx, Modulation};
 use vran_phy::rate_match::conv::ConvRateMatcher;
-use vran_phy::rate_match::RateMatcher;
+use vran_phy::rate_match::{PackedRateMatcher, RateMatcher};
 use vran_phy::scrambler::{descramble_llrs, scramble_bits};
 use vran_phy::segmentation::Segmentation;
-use vran_phy::turbo::{TurboDecoder, TurboEncoder};
+use vran_phy::turbo::{EncodeScratch, EncoderIsa, PackedTurboEncoder, TurboDecoder, TurboEncoder};
 use vran_simd::RegWidth;
 
 /// Downlink configuration.
@@ -33,6 +37,9 @@ pub struct DownlinkConfig {
     pub mechanism: Mechanism,
     /// PDSCH modulation (PDCCH is always QPSK).
     pub modulation: Modulation,
+    /// Transmit-side encoder implementation (bit-exact by
+    /// construction; see [`EncoderBackend`]).
+    pub encoder_backend: EncoderBackend,
     /// Es/N0 in dB.
     pub snr_db: f32,
     /// Turbo iteration cap.
@@ -52,6 +59,7 @@ impl Default for DownlinkConfig {
             width: RegWidth::Sse128,
             mechanism: Mechanism::Baseline,
             modulation: Modulation::Qam16,
+            encoder_backend: EncoderBackend::Packed,
             snr_db: 16.0,
             decoder_iterations: 6,
             fading: false,
@@ -96,6 +104,49 @@ fn modulation_to_mcs(m: Modulation) -> u8 {
 pub struct DownlinkPipeline {
     cfg: DownlinkConfig,
     eq: Equalizer,
+    metrics: Option<Arc<PipelineMetrics>>,
+    hot: RefCell<EncodeHot>,
+}
+
+/// Per-pipeline transmit-side hot state: packed encoders and rate
+/// matchers keyed by size, plus reusable word buffers — the
+/// steady-state PDSCH encode loop performs no heap allocation.
+#[derive(Debug, Clone, Default)]
+struct EncodeHot {
+    /// Packed encoders, keyed by block size K.
+    encs: Vec<PackedTurboEncoder>,
+    /// Packed rate matchers, keyed by per-stream length d.
+    rms: Vec<(usize, PackedRateMatcher)>,
+    /// Packed-word encode scratch shared across block sizes.
+    scratch: EncodeScratch,
+    /// Circular-buffer words (rate-matcher input).
+    wbuf: Vec<u64>,
+    /// Rate-matched output words.
+    ebuf: Vec<u64>,
+}
+
+impl EncodeHot {
+    /// Index of the cached packed encoder for block size `k`.
+    fn enc_index(&mut self, k: usize) -> usize {
+        match self.encs.iter().position(|e| e.k() == k) {
+            Some(i) => i,
+            None => {
+                self.encs.push(PackedTurboEncoder::new(k));
+                self.encs.len() - 1
+            }
+        }
+    }
+
+    /// Index of the cached packed rate matcher for stream length `d`.
+    fn rm_index(&mut self, d: usize) -> usize {
+        match self.rms.iter().position(|(rd, _)| *rd == d) {
+            Some(i) => i,
+            None => {
+                self.rms.push((d, PackedRateMatcher::new(d)));
+                self.rms.len() - 1
+            }
+        }
+    }
 }
 
 /// Subcarriers per resource grid (5 MHz).
@@ -107,7 +158,81 @@ impl DownlinkPipeline {
         Self {
             cfg,
             eq: Equalizer::lte(),
+            metrics: None,
+            hot: RefCell::default(),
         }
+    }
+
+    /// New pipeline recording into `metrics`.
+    pub fn with_metrics(cfg: DownlinkConfig, metrics: Arc<PipelineMetrics>) -> Self {
+        Self {
+            metrics: Some(metrics),
+            ..Self::new(cfg)
+        }
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn metrics(&self) -> Option<&PipelineMetrics> {
+        self.metrics.as_deref()
+    }
+
+    /// Turbo-encode + rate-match every code block through the
+    /// configured [`EncoderBackend`]; returns the concatenated coded
+    /// bits and the per-block rate-match lengths.
+    fn encode_blocks(&self, blocks: &[Vec<u8>]) -> (Vec<u8>, Vec<usize>) {
+        let cfg = &self.cfg;
+        let m = self.metrics.as_deref().filter(|m| m.is_enabled());
+        let mut coded = Vec::new();
+        let mut block_e = Vec::with_capacity(blocks.len());
+        let hot = &mut *self.hot.borrow_mut();
+        if let Some(m) = m {
+            if cfg.encoder_backend == EncoderBackend::Packed
+                && EncoderIsa::best() == EncoderIsa::Word64
+            {
+                // Packed was requested but the host (or the test ISA
+                // ceiling) offers no SIMD: the portable u64 kernel
+                // still runs 64 trellis steps per word, but record the
+                // degradation for observability.
+                m.packed_encoder_fallbacks.inc();
+            }
+        }
+        for blk in blocks {
+            let k = blk.len();
+            let e = (2 * k).next_multiple_of(cfg.modulation.bits_per_symbol() * 2);
+            match cfg.encoder_backend {
+                EncoderBackend::Scalar => {
+                    let enc = TurboEncoder::new(k);
+                    let cw = timed(m, Stage::Encode, || enc.encode(blk));
+                    let rm = RateMatcher::new(k + 4);
+                    let d = cw.to_dstreams();
+                    timed(m, Stage::RateMatch, || {
+                        coded.extend(rm.rate_match(&d, e, cfg.rv as usize))
+                    });
+                }
+                EncoderBackend::Packed => {
+                    let ei = hot.enc_index(k);
+                    let rmi = hot.rm_index(k + 4);
+                    timed(m, Stage::Encode, || {
+                        hot.encs[ei].encode_dstreams_into(blk, &mut hot.scratch)
+                    });
+                    timed(m, Stage::RateMatch, || {
+                        let rm = &hot.rms[rmi].1;
+                        rm.pack_circular_into(hot.scratch.dstream_words(), &mut hot.wbuf)
+                            .expect("scratch streams sized to d");
+                        rm.try_rate_match_packed_into(
+                            &hot.wbuf,
+                            e,
+                            cfg.rv as usize & 3,
+                            &mut hot.ebuf,
+                        )
+                        .expect("rv masked to 0..4");
+                        extend_bits_from_words(&hot.ebuf, e, &mut coded);
+                    });
+                }
+            }
+            block_e.push(e);
+        }
+        (coded, block_e)
     }
 
     /// Transmit symbols over the configured channel and return
@@ -161,16 +286,7 @@ impl DownlinkPipeline {
         let tb = CRC24A.attach(&frame_bits);
         let seg = Segmentation::plan(tb.len());
         let blocks = seg.segment(&tb);
-        let mut coded = Vec::new();
-        let mut block_e = Vec::new();
-        for blk in &blocks {
-            let k = blk.len();
-            let cw = TurboEncoder::new(k).encode(blk);
-            let rm = RateMatcher::new(k + 4);
-            let e = (2 * k).next_multiple_of(cfg.modulation.bits_per_symbol() * 2);
-            coded.extend(rm.rate_match(&cw.to_dstreams(), e, cfg.rv as usize));
-            block_e.push(e);
-        }
+        let (coded, block_e) = self.encode_blocks(&blocks);
         let bps = cfg.modulation.bits_per_symbol();
         let padded = coded.len().next_multiple_of(bps);
         let mut tx_bits = coded;
@@ -335,6 +451,52 @@ mod tests {
             outcomes.push((r.dci_ok, r.data_ok, r.code_blocks));
         }
         assert_eq!(outcomes[0], outcomes[1]);
+    }
+
+    #[test]
+    fn packed_and_scalar_downlink_backends_agree() {
+        // Same packet, same channel seed: the packed fast path is
+        // bit-exact, so every observable field matches the scalar
+        // reference — including the noise realization, because the
+        // channel sees identical coded bits.
+        for (size, rv) in [(256usize, 0u8), (700, 2)] {
+            let outcomes: Vec<_> = [EncoderBackend::Scalar, EncoderBackend::Packed]
+                .into_iter()
+                .map(|encoder_backend| {
+                    let cfg = DownlinkConfig {
+                        snr_db: 25.0,
+                        rv,
+                        encoder_backend,
+                        ..Default::default()
+                    };
+                    let r = DownlinkPipeline::new(cfg).process(&packet(size));
+                    (r.dci_ok, r.data_ok, r.code_blocks, r.coded_bits)
+                })
+                .collect();
+            assert_eq!(outcomes[0], outcomes[1], "size={size} rv={rv}");
+            assert!(outcomes[0].1, "size={size} rv={rv}: {outcomes:?}");
+        }
+    }
+
+    #[test]
+    fn downlink_hot_loop_reuses_encode_scratch() {
+        let cfg = DownlinkConfig {
+            snr_db: 25.0,
+            ..Default::default()
+        };
+        let pipe = DownlinkPipeline::new(cfg);
+        let p = packet(256);
+        for _ in 0..4 {
+            assert!(pipe.process(&p).data_ok);
+        }
+        let hot = pipe.hot.borrow();
+        assert!(hot.scratch.allocations() > 0);
+        assert!(
+            hot.scratch.reuses() >= 3,
+            "steady-state encodes must reuse scratch: allocs={} reuses={}",
+            hot.scratch.allocations(),
+            hot.scratch.reuses()
+        );
     }
 
     #[test]

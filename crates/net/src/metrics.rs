@@ -259,6 +259,10 @@ pub struct PipelineMetrics {
     /// Packets that requested the Native backend but ran the scalar
     /// SISO kernel because no SIMD ISA level was available.
     pub native_simd_fallbacks: Counter,
+    /// Packets that requested the Packed encoder backend but ran the
+    /// portable `u64` kernel because no SIMD ISA level was available
+    /// (transmit-side counterpart of `native_simd_fallbacks`).
+    pub packed_encoder_fallbacks: Counter,
 }
 
 impl Default for PipelineMetrics {
@@ -284,6 +288,7 @@ impl PipelineMetrics {
             backend_degradations: Counter::new(),
             backend_restorations: Counter::new(),
             native_simd_fallbacks: Counter::new(),
+            packed_encoder_fallbacks: Counter::new(),
         }
     }
 
@@ -381,6 +386,10 @@ impl PipelineMetrics {
         out.push((
             "native_simd_fallbacks".into(),
             self.native_simd_fallbacks.get() as f64,
+        ));
+        out.push((
+            "packed_encoder_fallbacks".into(),
+            self.packed_encoder_fallbacks.get() as f64,
         ));
         out
     }

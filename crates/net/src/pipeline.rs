@@ -50,16 +50,19 @@ use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::Instant;
 use vran_arrange::{ArrangeKernel, Mechanism};
-use vran_phy::bits::{pack_msb, unpack_msb};
+use vran_phy::bits::{extend_bits_from_words, pack_msb, unpack_msb};
 use vran_phy::channel::AwgnChannel;
 use vran_phy::crc::{CRC24A, CRC24B};
 use vran_phy::llr::{InterleavedLlrs, Llr, SoftStreams, TailLlrs, TurboLlrs};
 use vran_phy::modulation::Modulation;
 use vran_phy::ofdm::OfdmConfig;
-use vran_phy::rate_match::RateMatcher;
+use vran_phy::rate_match::{PackedRateMatcher, RateMatcher};
 use vran_phy::scrambler::{descramble_llrs, scramble_bits, GoldSequence};
 use vran_phy::segmentation::Segmentation;
-use vran_phy::turbo::{DecodeScratch, DecoderIsa, NativeTurboDecoder, TurboDecoder, TurboEncoder};
+use vran_phy::turbo::{
+    DecodeScratch, DecoderIsa, EncodeScratch, EncoderIsa, NativeTurboDecoder, PackedTurboEncoder,
+    TurboDecoder, TurboEncoder,
+};
 use vran_simd::RegWidth;
 
 /// Maximum code blocks per transport block the receive path accepts;
@@ -94,6 +97,26 @@ pub enum DecoderBackend {
     Native,
 }
 
+/// Which transmit-side turbo encoder + rate matcher the pipelines run.
+///
+/// Both backends are bit-exact by construction — the packed path
+/// exploits the encoder's GF(2) linearity, which cannot change WHAT is
+/// encoded, only how many bits advance per instruction (enforced by
+/// `vran-phy`'s property tests across all 188 QPP sizes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum EncoderBackend {
+    /// Per-bit trellis walk and per-position rate-match readout — the
+    /// reference path.
+    Scalar,
+    /// Bitsliced fast path: [`PackedTurboEncoder`] (64 trellis steps
+    /// per `u64`, 128/256 per register under SSE2/AVX2) plus the
+    /// word-at-a-time [`PackedRateMatcher`], with per-pipeline
+    /// [`EncodeScratch`] reuse (allocation-free per code block after
+    /// warm-up).
+    #[default]
+    Packed,
+}
+
 /// Pipeline configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct PipelineConfig {
@@ -103,6 +126,8 @@ pub struct PipelineConfig {
     pub mechanism: Mechanism,
     /// Receive-side decoder implementation.
     pub backend: DecoderBackend,
+    /// Transmit-side encoder implementation.
+    pub encoder_backend: EncoderBackend,
     /// Data-channel modulation.
     pub modulation: Modulation,
     /// Channel Es/N0 in dB.
@@ -132,6 +157,7 @@ impl Default for PipelineConfig {
             width: RegWidth::Sse128,
             mechanism: Mechanism::Baseline,
             backend: DecoderBackend::Native,
+            encoder_backend: EncoderBackend::Packed,
             modulation: Modulation::Qam16,
             snr_db: 14.0,
             decoder_iterations: 6,
@@ -198,6 +224,16 @@ struct HotState {
     scalars: Vec<(usize, TurboDecoder)>,
     /// Rate matchers, keyed by per-stream length `d = K + 4`.
     rms: Vec<(usize, RateMatcher)>,
+    /// Packed-word encoders, keyed by block size K (transmit side).
+    packed_encs: Vec<PackedTurboEncoder>,
+    /// Packed rate matchers, keyed by per-stream length `d = K + 4`.
+    packed_rms: Vec<(usize, PackedRateMatcher)>,
+    /// Packed-encoder working buffers (transmit side).
+    enc_scratch: EncodeScratch,
+    /// Compacted circular-buffer staging for the packed rate matcher.
+    wbuf: Vec<u64>,
+    /// Rate-matched readout staging (packed words).
+    ebuf: Vec<u64>,
     /// De-rate-matcher output staging (`d⁽⁰⁾ d⁽¹⁾ d⁽²⁾`, length K+4).
     dllr: [Vec<Llr>; 3],
     /// Interleaved-triple staging for the arrangement step (3K LLRs).
@@ -250,6 +286,28 @@ impl HotState {
             }
         }
     }
+
+    /// Index of the cached packed encoder for block size `k`.
+    fn packed_enc_index(&mut self, k: usize) -> usize {
+        match self.packed_encs.iter().position(|e| e.k() == k) {
+            Some(i) => i,
+            None => {
+                self.packed_encs.push(PackedTurboEncoder::new(k));
+                self.packed_encs.len() - 1
+            }
+        }
+    }
+
+    /// Index of the cached packed rate matcher for stream length `d`.
+    fn packed_rm_index(&mut self, d: usize) -> usize {
+        match self.packed_rms.iter().position(|(rd, _)| *rd == d) {
+            Some(i) => i,
+            None => {
+                self.packed_rms.push((d, PackedRateMatcher::new(d)));
+                self.packed_rms.len() - 1
+            }
+        }
+    }
 }
 
 /// The uplink pipeline (shared by the downlink driver — the PHY chain
@@ -269,7 +327,7 @@ pub struct UplinkPipeline {
 /// registry is attached. The `None` arm compiles to a plain call — no
 /// clock reads when metrics are off.
 #[inline]
-fn timed<T>(m: Option<&PipelineMetrics>, stage: Stage, f: impl FnOnce() -> T) -> T {
+pub(crate) fn timed<T>(m: Option<&PipelineMetrics>, stage: Stage, f: impl FnOnce() -> T) -> T {
     match m {
         Some(m) => {
             let t = Instant::now();
@@ -456,19 +514,53 @@ impl UplinkPipeline {
         let blocks = timed(m, Stage::Segment, || seg.try_segment(&tb))?;
         let mut coded = Vec::new();
         let mut block_e = Vec::with_capacity(blocks.len());
-        for blk in &blocks {
-            let k = blk.len();
-            let enc = TurboEncoder::new(k);
-            let cw = timed(m, Stage::Encode, || enc.encode(blk));
-            let rm = RateMatcher::new(k + 4);
-            let e = ((k as u64 * cfg.rate_x1024 as u64 / 1024) as usize)
-                .next_multiple_of(cfg.modulation.bits_per_symbol() * 2)
-                .min(3 * (k + 4) * 2); // cap repetition at 2×
-            let d = cw.to_dstreams();
-            timed(m, Stage::RateMatch, || {
-                coded.extend(rm.rate_match(&d, e, 0))
-            });
-            block_e.push(e);
+        {
+            let hot = &mut *self.hot.borrow_mut();
+            if let Some(m) = m {
+                if cfg.encoder_backend == EncoderBackend::Packed
+                    && EncoderIsa::best() == EncoderIsa::Word64
+                {
+                    // The packed fast path is selected but the host (or
+                    // the test ISA ceiling) offers no SIMD: encoding
+                    // runs the portable u64 kernel. Same observability
+                    // story as native_simd_fallbacks on the receive
+                    // side.
+                    m.packed_encoder_fallbacks.inc();
+                }
+            }
+            for blk in &blocks {
+                let k = blk.len();
+                let e = ((k as u64 * cfg.rate_x1024 as u64 / 1024) as usize)
+                    .next_multiple_of(cfg.modulation.bits_per_symbol() * 2)
+                    .min(3 * (k + 4) * 2); // cap repetition at 2×
+                match cfg.encoder_backend {
+                    EncoderBackend::Scalar => {
+                        let enc = TurboEncoder::new(k);
+                        let cw = timed(m, Stage::Encode, || enc.encode(blk));
+                        let rm = RateMatcher::new(k + 4);
+                        let d = cw.to_dstreams();
+                        timed(m, Stage::RateMatch, || {
+                            coded.extend(rm.rate_match(&d, e, 0))
+                        });
+                    }
+                    EncoderBackend::Packed => {
+                        let ei = hot.packed_enc_index(k);
+                        let rmi = hot.packed_rm_index(k + 4);
+                        timed(m, Stage::Encode, || {
+                            hot.packed_encs[ei].encode_dstreams_into(blk, &mut hot.enc_scratch)
+                        });
+                        timed(m, Stage::RateMatch, || {
+                            let rm = &hot.packed_rms[rmi].1;
+                            rm.pack_circular_into(hot.enc_scratch.dstream_words(), &mut hot.wbuf)
+                                .expect("scratch streams sized to d");
+                            rm.try_rate_match_packed_into(&hot.wbuf, e, 0, &mut hot.ebuf)
+                                .expect("rv 0 always valid");
+                            extend_bits_from_words(&hot.ebuf, e, &mut coded);
+                        });
+                    }
+                }
+                block_e.push(e);
+            }
         }
         nanos.encode = t0.elapsed().as_nanos() as u64;
 
@@ -904,6 +996,55 @@ mod tests {
                 assert_eq!(s.coded_bits, n.coded_bits, "{size} B at {snr} dB");
             }
         }
+    }
+
+    #[test]
+    fn packed_and_scalar_encoder_backends_agree() {
+        // The transmit fast path's bit-exactness contract, observed end
+        // to end: identical outcomes, iteration counts and coded-bit
+        // volumes — the channel sees the exact same bits, so even the
+        // noise realization is shared.
+        for (size, snr) in [(64usize, 30.0f32), (512, 8.0), (1500, 30.0)] {
+            let results: Vec<Result<PacketResult, PipelineError>> =
+                [EncoderBackend::Scalar, EncoderBackend::Packed]
+                    .into_iter()
+                    .map(|encoder_backend| {
+                        run(
+                            PipelineConfig {
+                                encoder_backend,
+                                modulation: Modulation::Qpsk,
+                                snr_db: snr,
+                                ..Default::default()
+                            },
+                            size,
+                        )
+                    })
+                    .collect();
+            let (s, p) = (&results[0], &results[1]);
+            assert_eq!(signature(s), signature(p), "{size} B at {snr} dB diverged");
+            if let (Ok(s), Ok(p)) = (s, p) {
+                assert_eq!(s.coded_bits, p.coded_bits, "{size} B at {snr} dB");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_encoder_hot_loop_reuses_scratch() {
+        // Second identical packet must not grow the encode scratch.
+        let cfg = PipelineConfig {
+            snr_db: 30.0,
+            ..Default::default()
+        };
+        let pipe = UplinkPipeline::new(cfg);
+        let mut b = PacketBuilder::new(1000, 2000);
+        let p = b.build(Transport::Udp, 1500).unwrap();
+        assert!(pipe.process(&p).is_ok());
+        let allocs_warm = pipe.hot.borrow().enc_scratch.allocations();
+        assert!(allocs_warm > 0, "first packet must warm the scratch up");
+        assert!(pipe.process(&p).is_ok());
+        let hot = pipe.hot.borrow();
+        assert_eq!(hot.enc_scratch.allocations(), allocs_warm);
+        assert!(hot.enc_scratch.reuses() > 0);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! backs off exponentially, and keeps draining its ring. One poisoned
 //! packet therefore costs one packet, not a core.
 
+use crate::downlink::{DownlinkConfig, DownlinkPipeline};
 use crate::error::PipelineError;
 use crate::faultinject::{FaultInjector, FaultMix};
 use crate::metrics::{PipelineMetrics, RunnerMetrics};
@@ -330,6 +331,122 @@ pub fn run_multicore_metered(
     }
 }
 
+/// One measurement of the downlink scale-out sweep: sustained
+/// throughput at a given worker count, plus the per-core efficiency
+/// figure the paper's Figure 16 "cores required" analysis turns on.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleoutPoint {
+    /// PHY worker threads driven in parallel.
+    pub workers: usize,
+    /// Aggregate goodput in Mbps over wire bytes.
+    pub mbps: f64,
+    /// `mbps / workers` — flat until the host runs out of cores.
+    pub mbps_per_core: f64,
+    /// Packets completed.
+    pub packets: usize,
+    /// Packets whose DCI and data channel both decoded.
+    pub ok_packets: usize,
+}
+
+/// Multi-core downlink driver: distribute subframes round-robin across
+/// `workers` transmit pipelines (one SPSC ring each), mirroring
+/// [`run_multicore`] on the eNB transmit side. Each worker owns a
+/// [`DownlinkPipeline`], so the packed encoder's hot state (encoders,
+/// rate matchers, scratch words) is per-core and contention-free.
+pub fn run_downlink_multicore(
+    cfg: DownlinkConfig,
+    transport: Transport,
+    wire_len: usize,
+    n_packets: usize,
+    workers: usize,
+) -> ThroughputReport {
+    assert!(workers >= 1);
+    let mut producers = Vec::new();
+    let mut consumers = Vec::new();
+    for _ in 0..workers {
+        let (p, c) = SpscRing::with_capacity::<Packet>(RING_CAPACITY);
+        producers.push(p);
+        consumers.push(c);
+    }
+    let counts: Vec<usize> = (0..workers)
+        .map(|w| n_packets / workers + usize::from(w < n_packets % workers))
+        .collect();
+    let results = Mutex::new(Vec::with_capacity(n_packets));
+
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            let mut producers = producers;
+            let mut b = PacketBuilder::new(8000, 8001);
+            for i in 0..n_packets {
+                let mut item = b.build(transport, wire_len).expect("valid size");
+                let w = i % workers;
+                loop {
+                    match producers[w].push(item) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            item = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        });
+        for (mut rx, quota) in consumers.into_iter().zip(counts) {
+            let results = &results;
+            s.spawn(move || {
+                let pipe = DownlinkPipeline::new(cfg);
+                let mut done = 0;
+                while done < quota {
+                    match rx.pop() {
+                        Some(p) => {
+                            let r = pipe.process(&p);
+                            results.lock().unwrap().push(r);
+                            done += 1;
+                        }
+                        None => std::hint::spin_loop(),
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let results = results.into_inner().unwrap();
+    let ok = results.iter().filter(|r| r.dci_ok && r.data_ok).count();
+    let wire_bytes = wire_len * results.len();
+    ThroughputReport {
+        packets: results.len(),
+        ok_packets: ok,
+        wire_bytes,
+        elapsed_s: elapsed,
+        mbps: wire_bytes as f64 * 8.0 / elapsed / 1e6,
+        worker_restarts: 0,
+    }
+}
+
+/// Sweep the downlink driver over 1..=`max_workers` worker counts and
+/// report aggregate and per-core throughput at each point.
+pub fn downlink_scaleout_sweep(
+    cfg: DownlinkConfig,
+    transport: Transport,
+    wire_len: usize,
+    n_packets: usize,
+    max_workers: usize,
+) -> Vec<ScaleoutPoint> {
+    (1..=max_workers)
+        .map(|w| {
+            let rep = run_downlink_multicore(cfg, transport, wire_len, n_packets, w);
+            ScaleoutPoint {
+                workers: w,
+                mbps: rep.mbps,
+                mbps_per_core: rep.mbps / w as f64,
+                packets: rep.packets,
+                ok_packets: rep.ok_packets,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,6 +531,38 @@ mod tests {
                 one.mbps,
                 two.mbps
             );
+        }
+    }
+
+    #[test]
+    fn downlink_multicore_distributes_and_loses_nothing() {
+        let cfg = DownlinkConfig {
+            snr_db: 28.0,
+            ..Default::default()
+        };
+        for workers in [1usize, 2, 3] {
+            let rep = run_downlink_multicore(cfg, Transport::Udp, 200, 9, workers);
+            assert_eq!(rep.packets, 9, "workers={workers}");
+            assert_eq!(rep.ok_packets, 9, "workers={workers}");
+            assert!(rep.mbps > 0.0, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn downlink_sweep_covers_every_worker_count() {
+        let cfg = DownlinkConfig {
+            snr_db: 28.0,
+            ..Default::default()
+        };
+        let sweep = downlink_scaleout_sweep(cfg, Transport::Udp, 200, 6, 3);
+        assert_eq!(sweep.len(), 3);
+        for (i, pt) in sweep.iter().enumerate() {
+            assert_eq!(pt.workers, i + 1);
+            assert_eq!(pt.packets, 6);
+            assert_eq!(pt.ok_packets, 6, "clean channel at every width");
+            assert!(pt.mbps > 0.0);
+            let per_core = pt.mbps / pt.workers as f64;
+            assert!((pt.mbps_per_core - per_core).abs() < 1e-9);
         }
     }
 

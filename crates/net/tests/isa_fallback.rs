@@ -1,20 +1,29 @@
 //! Scalar-fallback coverage: simulate a SIMD-less host via the
-//! `vran-simd` ISA ceiling and prove the Native pipeline still decodes
-//! bit-exactly — while flagging the lost speedup as a
-//! `native_simd_fallbacks` metrics event.
+//! `vran-simd` ISA ceiling and prove both directions survive it —
+//! the Native uplink pipeline still decodes bit-exactly, and the
+//! Packed downlink encoder still encodes bit-exactly — while flagging
+//! the lost speedup as `native_simd_fallbacks` /
+//! `packed_encoder_fallbacks` metrics events.
 //!
 //! Lives in its own integration-test binary (= its own process)
 //! because the ceiling is process-global: unit tests elsewhere assume
-//! the host's full capability set.
+//! the host's full capability set. Within this binary the tests
+//! serialize on [`CEILING_LOCK`] for the same reason.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use vran_net::downlink::{DownlinkConfig, DownlinkPipeline};
 use vran_net::metrics::PipelineMetrics;
 use vran_net::packet::{PacketBuilder, Transport};
-use vran_net::pipeline::{DecoderBackend, PipelineConfig, UplinkPipeline};
+use vran_net::pipeline::{DecoderBackend, EncoderBackend, PipelineConfig, UplinkPipeline};
 use vran_simd::host::{set_isa_ceiling, HostIsa};
+
+/// The ISA ceiling is process-global; tests in this binary must not
+/// overlap their masked regions.
+static CEILING_LOCK: Mutex<()> = Mutex::new(());
 
 #[test]
 fn native_backend_degrades_to_scalar_kernels_without_simd() {
+    let _guard = CEILING_LOCK.lock().unwrap();
     let cfg = PipelineConfig {
         backend: DecoderBackend::Native,
         snr_db: 12.0,
@@ -50,6 +59,49 @@ fn native_backend_degrades_to_scalar_kernels_without_simd() {
     assert_eq!(
         snap.iter()
             .find(|(name, _)| name == "native_simd_fallbacks")
+            .map(|(_, v)| *v),
+        Some(1.0),
+        "fallback events must appear in snapshots: {snap:?}"
+    );
+}
+
+#[test]
+fn packed_encoder_degrades_to_word64_kernel_without_simd() {
+    let _guard = CEILING_LOCK.lock().unwrap();
+    let cfg = DownlinkConfig {
+        encoder_backend: EncoderBackend::Packed,
+        snr_db: 25.0,
+        ..Default::default()
+    };
+    let mut b = PacketBuilder::new(1000, 2000);
+    let p = b.build(Transport::Udp, 300).unwrap();
+
+    // Reference outcome with the host's real capabilities.
+    let native = DownlinkPipeline::new(cfg).process(&p);
+    assert!(native.dci_ok && native.data_ok, "{native:?}");
+
+    // Mask every SIMD tier: the packed encoder must fall back to the
+    // portable u64 kernel, stay bit-exact, and report the degradation.
+    set_isa_ceiling(Some(HostIsa::Scalar));
+    let metrics = Arc::new(PipelineMetrics::new(true));
+    let masked_pipe = DownlinkPipeline::with_metrics(cfg, metrics.clone());
+    let masked = masked_pipe.process(&p);
+    set_isa_ceiling(None);
+
+    assert_eq!(masked.dci_ok, native.dci_ok);
+    assert_eq!(masked.data_ok, native.data_ok);
+    assert_eq!(masked.code_blocks, native.code_blocks);
+    assert_eq!(masked.coded_bits, native.coded_bits);
+    assert!(masked.data_ok, "u64 fallback must stay bit-exact");
+    assert_eq!(
+        metrics.packed_encoder_fallbacks.get(),
+        1,
+        "the lost SIMD speedup must be observable"
+    );
+    let snap = metrics.snapshot();
+    assert_eq!(
+        snap.iter()
+            .find(|(name, _)| name == "packed_encoder_fallbacks")
             .map(|(_, v)| *v),
         Some(1.0),
         "fallback events must appear in snapshots: {snap:?}"

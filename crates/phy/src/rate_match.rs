@@ -220,6 +220,359 @@ impl RateMatcher {
     }
 }
 
+/// Largest per-stream length the packed matcher supports: the largest
+/// turbo block `K = 6144` plus 4 tail bits (sizes its stack scratch).
+const MAX_D: usize = 6148;
+/// Rows of the sub-block interleaver matrix at [`MAX_D`].
+const MAX_ROWS: usize = MAX_D.div_ceil(NCOLS);
+/// Words per packed interleaver column at [`MAX_ROWS`].
+const MAX_COLW: usize = MAX_ROWS.div_ceil(64);
+
+/// Word-at-a-time rate matcher over packed bit streams — the transmit
+/// fast path paired with
+/// [`PackedTurboEncoder`](crate::turbo::PackedTurboEncoder).
+///
+/// The per-bit readout loop in [`RateMatcher::rate_match`] walks the
+/// circular buffer one position at a time, testing every slot for
+/// `<NULL>` — scalar-port work proportional to `Ncb`, re-done on every
+/// wrap. This matcher hoists all of that out of the hot loop:
+///
+/// * `<NULL>` slots are pure padding, so the *compacted* circular
+///   buffer has exactly `3d` bits. `k0_real` maps each redundancy
+///   version's `k0` to its compacted offset, so the e-bit readout is
+///   just a circular copy.
+/// * [`Self::pack_circular_into`] builds the compacted buffer from
+///   the packed d-streams with a 64×64 bit-matrix transpose (once per
+///   code block) — see its doc for the layout argument.
+/// * [`Self::try_rate_match_packed_into`] reads `e` bits out 64 at a
+///   time with funnel shifts — mask/merge over packed words replacing
+///   per-bit selection, including across wraps (repetition).
+#[derive(Debug, Clone)]
+pub struct PackedRateMatcher {
+    d: usize,
+    /// Transmittable (non-`<NULL>`) circular-buffer bits: always `3d`.
+    n: usize,
+    /// Compacted readout start for each redundancy version: how many
+    /// real bits precede `k0(rv)` in the raw buffer.
+    k0_real: [usize; 4],
+}
+
+impl PackedRateMatcher {
+    /// For per-stream length `d = K + 4`.
+    pub fn new(d: usize) -> Self {
+        assert!(
+            d <= MAX_D,
+            "PackedRateMatcher supports turbo stream lengths only (d ≤ {MAX_D}, got {d})"
+        );
+        let wmap = circular_buffer_map(d);
+        let n = wmap.iter().filter(|&&p| p != usize::MAX).count();
+        debug_assert_eq!(n, 3 * d);
+        let rows = d.div_ceil(NCOLS);
+        let ncb = wmap.len();
+        let k0_real = core::array::from_fn(|rv| {
+            let k0 = rows * (2 * ncb.div_ceil(8 * rows) * rv + 2);
+            wmap[..k0].iter().filter(|&&p| p != usize::MAX).count()
+        });
+        Self { d, n, k0_real }
+    }
+
+    /// Per-stream length `d`.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Number of transmittable (non-`<NULL>`) bits in the circular
+    /// buffer: always `3d`.
+    pub fn n_real(&self) -> usize {
+        self.n
+    }
+
+    /// Words each packed d-stream must span: `(d).div_ceil(64)`.
+    pub fn stream_words(&self) -> usize {
+        self.d.div_ceil(64)
+    }
+
+    /// Gather the compacted circular buffer from three packed
+    /// d-streams (LSB-first, [`Self::stream_words`] words each) into
+    /// `w`. Done once per code block; every subsequent readout is pure
+    /// word copies.
+    ///
+    /// The sub-block interleaver reads columns of an `R × 32` bit
+    /// matrix, so this never touches individual bits: each padded
+    /// stream is bit-transposed 64 rows at a time (the classic
+    /// XOR-swap halving network), after which every permuted column is
+    /// `R` *contiguous* bits appended with funnel shifts, the `d⁽¹⁾`/
+    /// `d⁽²⁾` interlace is a Morton bit-spread of two column words,
+    /// and the `<NULL>` padding — confined to row 0 (plus `d⁽²⁾`'s
+    /// single wrapped position) — is skipped by starting each column
+    /// copy one bit in.
+    pub fn pack_circular_into(
+        &self,
+        d_words: [&[u64]; 3],
+        w: &mut Vec<u64>,
+    ) -> Result<(), RateMatchError> {
+        let need = self.stream_words();
+        for s in d_words {
+            if s.len() != need {
+                return Err(RateMatchError::WrongStreamLength {
+                    expected: need,
+                    got: s.len(),
+                });
+            }
+        }
+        let d = self.d;
+        let rows = d.div_ceil(NCOLS);
+        let nd = rows * NCOLS - d; // leading <NULL> count, < 32
+        let colw = rows.div_ceil(64);
+        w.clear();
+        w.reserve(self.n.div_ceil(64));
+
+        // Transpose each padded stream into its 32 packed columns.
+        let mut cols = [[0u64; NCOLS * MAX_COLW]; 3];
+        for (s, colbuf) in d_words.iter().zip(cols.iter_mut()) {
+            transpose_stream(s, rows, nd, colw, colbuf);
+        }
+
+        let mut dlen = 0usize;
+        // v0: permuted columns of d⁽⁰⁾; columns c < nd carry their
+        // <NULL> in row 0 — start those one bit in.
+        for &c in COL_PERM.iter() {
+            let col = &cols[0][c * colw..(c + 1) * colw];
+            let skip = usize::from(c < nd);
+            append_bits(w, &mut dlen, col, skip, rows - skip);
+        }
+        // Interlaced v1/v2: raw order alternates d⁽¹⁾ then d⁽²⁾ per
+        // row, column-major in permuted order. v2 reads with a +1 bit
+        // shift (π(k) = P(c) + 32r + 1 mod Kp): column P(c)+1, except
+        // P(c) = 31 where the rows advance by one and the final
+        // readout position wraps to raw bit 0.
+        let mut tmp = [0u64; MAX_COLW];
+        for &c in COL_PERM.iter() {
+            let a_col = &cols[1][c * colw..(c + 1) * colw];
+            let keep_a0 = c >= nd;
+            let (b_col, keep_b0, len_b): (&[u64], bool, usize) = if c + 1 < NCOLS {
+                (&cols[2][(c + 1) * colw..(c + 2) * colw], c + 1 >= nd, rows)
+            } else {
+                let col0 = &cols[2][..colw];
+                for (i, t) in tmp[..colw].iter_mut().enumerate() {
+                    *t = (col0[i] >> 1) | (col0.get(i + 1).copied().unwrap_or(0) << 63);
+                }
+                // The wrapped bit (raw position 0) is <NULL> unless the
+                // matrix has no padding at all.
+                let len_b = if nd == 0 {
+                    let r = rows - 1;
+                    tmp[r >> 6] |= (col0[0] & 1) << (r & 63);
+                    rows
+                } else {
+                    rows - 1
+                };
+                (&tmp[..colw], true, len_b)
+            };
+            // Row 0, with its possible <NULL>s, then strict A/B
+            // alternation from row 1 up.
+            if keep_a0 {
+                push_bits(w, &mut dlen, a_col[0] & 1, 1);
+            }
+            if keep_b0 {
+                push_bits(w, &mut dlen, b_col[0] & 1, 1);
+            }
+            let m = (rows - 1) + (len_b - 1);
+            let mut emitted = 0usize;
+            let mut k32 = 0usize;
+            while emitted < m {
+                let x = read_bits_or_zero(a_col, 1 + 32 * k32, 32) as u32;
+                let y = read_bits_or_zero(b_col, 1 + 32 * k32, 32) as u32;
+                let mut word = spread_even(x) | (spread_even(y) << 1);
+                let len = (m - emitted).min(64) as u32;
+                if len < 64 {
+                    word &= (1u64 << len) - 1;
+                }
+                push_bits(w, &mut dlen, word, len);
+                emitted += len as usize;
+                k32 += 1;
+            }
+        }
+        debug_assert_eq!(dlen, self.n);
+        debug_assert_eq!(w.len(), self.n.div_ceil(64));
+        Ok(())
+    }
+
+    /// Read `e` bits from the compacted circular buffer `w` (built by
+    /// [`Self::pack_circular_into`]) starting at redundancy version
+    /// `rv`, 64 bits per step, into packed words in `out`.
+    pub fn try_rate_match_packed_into(
+        &self,
+        w: &[u64],
+        e: usize,
+        rv: usize,
+        out: &mut Vec<u64>,
+    ) -> Result<(), RateMatchError> {
+        if rv >= 4 {
+            return Err(RateMatchError::InvalidRv { rv });
+        }
+        let n = self.n;
+        if w.len() != n.div_ceil(64) {
+            return Err(RateMatchError::WrongStreamLength {
+                expected: n.div_ceil(64),
+                got: w.len(),
+            });
+        }
+        out.clear();
+        out.reserve(e.div_ceil(64));
+        // if every real bit precedes k0 the readout wraps immediately
+        let mut q = self.k0_real[rv] % n;
+        let mut produced = 0usize;
+        while produced < e {
+            let len = (e - produced).min(64) as u32;
+            // n = 3d ≥ 132 > 64, so a word wraps at most once
+            let head = ((n - q) as u32).min(len);
+            let mut word = read_bits(w, q, head);
+            if head < len {
+                word |= read_bits(w, 0, len - head) << head;
+            }
+            out.push(word);
+            produced += len as usize;
+            q += len as usize;
+            if q >= n {
+                q -= n;
+            }
+        }
+        Ok(())
+    }
+
+    /// One-shot packed rate match producing plain bits (tests,
+    /// examples; the pipelines keep the buffers across blocks).
+    pub fn rate_match_packed(&self, d_words: [&[u64]; 3], e: usize, rv: usize) -> Vec<u8> {
+        let mut w = Vec::new();
+        let mut out = Vec::new();
+        self.pack_circular_into(d_words, &mut w)
+            .expect("streams sized to d");
+        self.try_rate_match_packed_into(&w, e, rv, &mut out)
+            .expect("rv in 0..4");
+        crate::bits::unpack_lsb_words(&out, e)
+    }
+}
+
+/// Bits `q .. q+len` (LSB-first, `1 ≤ len ≤ 64`, in-range) of a packed
+/// word buffer, as the low bits of a `u64`.
+#[inline]
+fn read_bits(w: &[u64], q: usize, len: u32) -> u64 {
+    let idx = q >> 6;
+    let sh = (q & 63) as u32;
+    let mut v = w[idx] >> sh;
+    if sh != 0 && len > 64 - sh {
+        v |= w[idx + 1] << (64 - sh);
+    }
+    if len < 64 {
+        v &= (1u64 << len) - 1;
+    }
+    v
+}
+
+/// [`read_bits`] tolerating out-of-range positions, which read as 0.
+#[inline]
+fn read_bits_or_zero(w: &[u64], q: usize, len: u32) -> u64 {
+    let idx = q >> 6;
+    let sh = (q & 63) as u32;
+    let mut v = w.get(idx).copied().unwrap_or(0) >> sh;
+    if sh != 0 && len > 64 - sh {
+        v |= w.get(idx + 1).copied().unwrap_or(0) << (64 - sh);
+    }
+    if len < 64 {
+        v &= (1u64 << len) - 1;
+    }
+    v
+}
+
+/// Append the low `len` bits of `word` (already masked, `1 ≤ len ≤
+/// 64`) to a growing packed bit buffer of current length `*dlen`.
+#[inline]
+fn push_bits(dst: &mut Vec<u64>, dlen: &mut usize, word: u64, len: u32) {
+    debug_assert!(len >= 1 && (len == 64 || word >> len == 0));
+    let sh = (*dlen & 63) as u32;
+    if sh == 0 {
+        dst.push(word);
+    } else {
+        *dst.last_mut().expect("bit cursor mid-word") |= word << sh;
+        if len > 64 - sh {
+            dst.push(word >> (64 - sh));
+        }
+    }
+    *dlen += len as usize;
+}
+
+/// Append `n` bits of `src` starting at bit `start`, 64 at a time.
+#[inline]
+fn append_bits(dst: &mut Vec<u64>, dlen: &mut usize, src: &[u64], start: usize, n: usize) {
+    let mut done = 0;
+    while done < n {
+        let len = (n - done).min(64) as u32;
+        push_bits(dst, dlen, read_bits_or_zero(src, start + done, len), len);
+        done += len as usize;
+    }
+}
+
+/// Spread the 32 bits of `x` to the even bit positions of a `u64`
+/// (bit `i` → bit `2i`): one half of a Morton interleave.
+#[inline]
+fn spread_even(x: u32) -> u64 {
+    let mut v = x as u64;
+    v = (v | (v << 16)) & 0x0000_FFFF_0000_FFFF;
+    v = (v | (v << 8)) & 0x00FF_00FF_00FF_00FF;
+    v = (v | (v << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    v = (v | (v << 2)) & 0x3333_3333_3333_3333;
+    v = (v | (v << 1)) & 0x5555_5555_5555_5555;
+    v
+}
+
+/// In-place 64×64 bit-matrix transpose (LSB-first rows): after the
+/// call, `a[c]` bit `r` equals the old `a[r]` bit `c`. The standard
+/// recursive block-swap network — log₂ 64 rounds of masked XOR swaps.
+fn transpose64(a: &mut [u64; 64]) {
+    let mut j = 32u32;
+    let mut m: u64 = 0x0000_0000_FFFF_FFFF;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 64 {
+            if k & j as usize == 0 {
+                let t = ((a[k] >> j) ^ a[k + j as usize]) & m;
+                a[k] ^= t << j;
+                a[k + j as usize] ^= t;
+            }
+            k += 1;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
+/// Bit-transpose one packed d-stream into its 32 sub-block interleaver
+/// columns: `out[c·colw + b]` holds rows `64b..64b+63` of column `c`,
+/// where column `c` bit `r` is padded-stream bit `32r + c` and the
+/// padded stream is `nd` zeros followed by the `d` data bits.
+fn transpose_stream(s: &[u64], rows: usize, nd: usize, colw: usize, out: &mut [u64]) {
+    let row_bits = |r: usize| -> u64 {
+        let start = 32 * r;
+        if start >= nd {
+            read_bits_or_zero(s, start - nd, 32)
+        } else {
+            // row 0 with padding: nd < 32 data-shifted zeros in front
+            read_bits_or_zero(s, 0, (32 - nd) as u32) << nd
+        }
+    };
+    let mut a = [0u64; 64];
+    for b in 0..rows.div_ceil(64) {
+        for (j, aj) in a.iter_mut().enumerate() {
+            let r = 64 * b + j;
+            *aj = if r < rows { row_bits(r) } else { 0 };
+        }
+        transpose64(&mut a);
+        for c in 0..NCOLS {
+            out[c * colw + b] = a[c];
+        }
+    }
+}
+
 /// TS 36.212 §5.1.4.2 rate matching for *convolutionally* coded
 /// channels (PDCCH/DCI, PBCH): same 32-column sub-block interleaver
 /// with a different column permutation, sequential (not interlaced)
@@ -515,5 +868,74 @@ mod tests {
         let a = rm.rate_match(&streams, 150, 0);
         let b = rm.rate_match(&streams, 150, 2);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn packed_matcher_matches_scalar_readout() {
+        use crate::bits::packed_lsb_words;
+        // puncturing, exact coverage, repetition with multiple wraps —
+        // at sub-word, word-boundary and multi-word stream lengths
+        for d in [44usize, 64, 108, 2052, 6148] {
+            let streams = dstreams(d, d as u64);
+            let words = streams.clone().map(|s| packed_lsb_words(&s));
+            let scalar = RateMatcher::new(d);
+            let packed = PackedRateMatcher::new(d);
+            assert_eq!(packed.n_real(), 3 * d);
+            for rv in 0..4 {
+                for e in [1usize, 63, 64, 65, d, 3 * d, 3 * d + 17, 7 * d] {
+                    let want = scalar.rate_match(&streams, e, rv);
+                    let got = packed.rate_match_packed([&words[0], &words[1], &words[2]], e, rv);
+                    assert_eq!(got, want, "d={d} e={e} rv={rv}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_matcher_rejects_bad_rv_and_stream_lengths() {
+        use crate::bits::packed_lsb_words;
+        let d = 44;
+        let packed = PackedRateMatcher::new(d);
+        let words = dstreams(d, 2).map(|s| packed_lsb_words(&s));
+        let short = vec![0u64; packed.stream_words() - 1];
+        let mut w = Vec::new();
+        assert!(matches!(
+            packed.pack_circular_into([&short, &words[1], &words[2]], &mut w),
+            Err(RateMatchError::WrongStreamLength { .. })
+        ));
+        packed
+            .pack_circular_into([&words[0], &words[1], &words[2]], &mut w)
+            .unwrap();
+        let mut out = Vec::new();
+        assert_eq!(
+            packed.try_rate_match_packed_into(&w, 100, 4, &mut out),
+            Err(RateMatchError::InvalidRv { rv: 4 })
+        );
+        assert!(matches!(
+            packed.try_rate_match_packed_into(&w[..1], 100, 0, &mut out),
+            Err(RateMatchError::WrongStreamLength { .. })
+        ));
+    }
+
+    #[test]
+    fn packed_matcher_from_packed_encoder_streams() {
+        // end-to-end transmit fast path: packed encoder d-streams feed
+        // the packed matcher, output equals the all-scalar chain
+        use crate::turbo::{EncodeScratch, PackedTurboEncoder, TurboEncoder};
+        let k = 1504;
+        let bits = crate::bits::random_bits(k, 77);
+        let scalar_d = TurboEncoder::new(k).encode(&bits).to_dstreams();
+        let enc = PackedTurboEncoder::new(k);
+        let mut scratch = EncodeScratch::new();
+        enc.encode_dstreams_into(&bits, &mut scratch);
+        let scalar_rm = RateMatcher::new(k + 4);
+        let packed_rm = PackedRateMatcher::new(k + 4);
+        for (e, rv) in [(3008, 0), (1800, 2), (9100, 3)] {
+            assert_eq!(
+                packed_rm.rate_match_packed(scratch.dstream_words(), e, rv),
+                scalar_rm.rate_match(&scalar_d, e, rv),
+                "e={e} rv={rv}"
+            );
+        }
     }
 }

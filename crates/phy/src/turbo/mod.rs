@@ -20,12 +20,17 @@
 //! * [`native_decoder`] — the same arithmetic as real `std::arch`
 //!   intrinsics with runtime ISA dispatch: the wall-clock fast path
 //!   used by the uplink pipeline.
+//! * [`packed_encoder`] — bitsliced packed-word encoder exploiting the
+//!   code's GF(2) linearity: 64 trellis steps per `u64` (128/256 per
+//!   register under SSE2/AVX2), the transmit-side fast path used by
+//!   the downlink pipeline.
 
 pub mod batch_decoder;
 pub mod decoder;
 pub mod encoder;
 pub mod native_batch;
 pub mod native_decoder;
+pub mod packed_encoder;
 pub mod simd_decoder;
 pub mod trellis;
 
@@ -33,3 +38,4 @@ pub use decoder::{DecodeOutcome, TurboDecoder};
 pub use encoder::{TurboCodeword, TurboEncoder};
 pub use native_batch::NativeBatchTurboDecoder;
 pub use native_decoder::{DecodeScratch, DecoderIsa, NativeTurboDecoder};
+pub use packed_encoder::{EncodeScratch, EncoderIsa, PackedTurboEncoder};

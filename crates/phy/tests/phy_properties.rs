@@ -8,7 +8,7 @@ use vran_phy::interleaver::{QppInterleaver, QPP_TABLE};
 use vran_phy::llr::{bit_to_llr, llr_to_bit, InterleavedLlrs, SoftStreams, TurboLlrs};
 use vran_phy::modulation::Modulation;
 use vran_phy::ofdm::fft;
-use vran_phy::rate_match::RateMatcher;
+use vran_phy::rate_match::{PackedRateMatcher, RateMatcher};
 use vran_phy::scrambler::{descramble_llrs, scramble_bits, GoldSequence};
 use vran_phy::segmentation::Segmentation;
 use vran_phy::turbo::{TurboDecoder, TurboEncoder};
@@ -283,6 +283,43 @@ proptest! {
         let out = viterbi_decode_tb(&llrs, n);
         prop_assert_eq!(out.len(), n);
         prop_assert!(out.iter().all(|&b| b <= 1));
+    }
+
+    #[test]
+    fn packed_encoder_matches_scalar_oracle_every_k(k_idx in 0usize..188, seed in any::<u64>()) {
+        // The packed-word encoder must be bit-exact with the per-bit
+        // trellis walk for every legal QPP size at every ISA level the
+        // host dispatches to (word64 always; SSE2/AVX2 where present).
+        use vran_phy::turbo::{EncoderIsa, PackedTurboEncoder};
+        let k = QPP_TABLE[k_idx].k as usize;
+        let bits = random_bits(k, seed);
+        let oracle = TurboEncoder::new(k).encode(&bits);
+        for isa in EncoderIsa::available() {
+            let got = PackedTurboEncoder::with_isa(k, isa).encode(&bits);
+            prop_assert_eq!(&got, &oracle, "ISA {} diverged at K={}", isa.name(), k);
+        }
+    }
+
+    #[test]
+    fn packed_rate_match_matches_scalar_every_k(
+        k_idx in 0usize..188,
+        seed in any::<u64>(),
+        e_sel in 0usize..4,
+        rv in 0usize..4,
+    ) {
+        // The word-at-a-time readout must reproduce the per-bit
+        // selection loop across puncturing, exact coverage and
+        // multi-wrap repetition at every redundancy version.
+        use vran_phy::bits::packed_lsb_words;
+        let k = QPP_TABLE[k_idx].k as usize;
+        let d = k + 4;
+        let streams = [random_bits(d, seed), random_bits(d, seed ^ 1), random_bits(d, seed ^ 2)];
+        let words = streams.clone().map(|s| packed_lsb_words(&s));
+        let e = [k / 2 + 1, k, 3 * d, 3 * d + 65][e_sel];
+        let want = RateMatcher::new(d).rate_match(&streams, e, rv);
+        let got = PackedRateMatcher::new(d)
+            .rate_match_packed([&words[0], &words[1], &words[2]], e, rv);
+        prop_assert_eq!(got, want, "d={} e={} rv={}", d, e, rv);
     }
 
     #[test]

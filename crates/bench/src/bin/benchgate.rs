@@ -10,7 +10,8 @@
 //! turbo-decoder fast path, the packed turbo-encoder fast path
 //! (scalar per-bit reference vs each runtime-dispatched ISA level,
 //! plus the packed-word rate matcher and the combined transmit
-//! chain), and the downlink multi-worker scale-out sweep. Writes
+//! chain), and the downlink and uplink multi-worker scale-out
+//! sweeps. Writes
 //! `BENCH_current.json` and, with `--check`, compares the gated
 //! suites against `BENCH_baseline.json`, exiting non-zero on
 //! regression.
@@ -31,7 +32,9 @@ use vran_net::faultinject::{FaultInjector, FaultKind};
 use vran_net::metrics::{PipelineMetrics, RunnerMetrics, Stage, UarchMetrics};
 use vran_net::packet::PacketBuilder;
 use vran_net::pipeline::{DecoderBackend, EncoderBackend, PipelineConfig, UplinkPipeline};
-use vran_net::runner::{downlink_scaleout_sweep, run_throughput_metered, RING_CAPACITY};
+use vran_net::runner::{
+    downlink_scaleout_sweep, run_throughput_metered, uplink_scaleout_sweep, RING_CAPACITY,
+};
 use vran_net::Transport;
 use vran_phy::bits::{extend_bits_from_words, random_bits};
 use vran_phy::rate_match::{PackedRateMatcher, RateMatcher};
@@ -172,7 +175,8 @@ fn median_ns(reps: usize, mut f: impl FnMut()) -> f64 {
 
 /// Ungated: the turbo-decoder fast path — scalar reference vs the
 /// native kernels at every ISA level the host dispatches to, plus the
-/// AVX2 two-block batch, all on the pinned K = 6144 workload.
+/// AVX2 two-block and AVX-512BW four-block batches, all on the pinned
+/// K = 6144 workload.
 fn decoder_native_suite() -> Suite {
     let mut suite = Suite::new("decoder_native", false);
     let (_, input) = turbo_workload(SIM_K, SIM_SEED);
@@ -222,6 +226,17 @@ fn decoder_native_suite() -> Suite {
         f64::from(NativeBatchTurboDecoder::is_accelerated()),
     );
     suite.push("batch2.speedup", scalar_ns / (pair_ns / 2.0));
+
+    let quad: [_; 4] = std::array::from_fn(|g| turbo_workload(SIM_K, SIM_SEED + g as u64).1);
+    let quad_ns = median_ns(DECODE_REPS, || {
+        std::hint::black_box(batch.decode_quad(std::hint::black_box(&quad)));
+    });
+    suite.push("batch4.ns_per_block", quad_ns / 4.0);
+    suite.push(
+        "batch4.accelerated",
+        f64::from(NativeBatchTurboDecoder::is_zmm_accelerated()),
+    );
+    suite.push("batch4.speedup", scalar_ns / (quad_ns / 4.0));
     suite
 }
 
@@ -314,6 +329,32 @@ fn downlink_scaleout_suite() -> Suite {
         ..Default::default()
     };
     for pt in downlink_scaleout_sweep(
+        cfg,
+        Transport::Udp,
+        SCALEOUT_WIRE_LEN,
+        SCALEOUT_PACKETS,
+        SCALEOUT_MAX_WORKERS,
+    ) {
+        let p = format!("w{}", pt.workers);
+        suite.push(format!("{p}.mbps"), pt.mbps);
+        suite.push(format!("{p}.mbps_per_core"), pt.mbps_per_core);
+        suite.push(format!("{p}.ok.count"), pt.ok_packets as f64);
+    }
+    suite
+}
+
+/// Ungated: uplink multi-worker scale-out — aggregate and per-core
+/// Mbps at every worker count up to [`SCALEOUT_MAX_WORKERS`], with the
+/// batched native decode path (quad-in-zmm where the host has it)
+/// enabled so the sweep exercises the widest receive chain.
+fn uplink_scaleout_suite() -> Suite {
+    let mut suite = Suite::new("uplink_scaleout", false);
+    let cfg = PipelineConfig {
+        snr_db: 30.0,
+        batch_decode: true,
+        ..Default::default()
+    };
+    for pt in uplink_scaleout_sweep(
         cfg,
         Transport::Udp,
         SCALEOUT_WIRE_LEN,
@@ -477,6 +518,7 @@ fn build_report() -> BenchReport {
     report.suites.push(encoder_packed_suite());
     report.suites.push(downlink_static_suite());
     report.suites.push(downlink_scaleout_suite());
+    report.suites.push(uplink_scaleout_suite());
 
     let pm = std::sync::Arc::new(PipelineMetrics::new(true));
     let rm = RunnerMetrics::new(true, RING_CAPACITY);

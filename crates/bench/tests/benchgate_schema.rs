@@ -75,4 +75,24 @@ fn baseline_has_native_decoder_suite() {
         "recorded native fast path must beat the scalar decoder ({best})"
     );
     assert!(dn.get("batch2.ns_per_block").is_some());
+    assert!(dn.get("batch4.ns_per_block").is_some());
+    assert!(dn.get("batch4.accelerated").is_some());
+}
+
+#[test]
+fn baseline_has_scaleout_suites() {
+    let b = baseline();
+    for name in ["downlink_scaleout", "uplink_scaleout"] {
+        let s = b.suite(name).expect(name);
+        assert!(!s.gated, "{name}: scale-out numbers must never gate CI");
+        assert!(s.get("w1.mbps").unwrap_or(0.0) > 0.0, "{name} lost w1.mbps");
+        assert!(
+            s.get("w1.mbps_per_core").is_some(),
+            "{name} lost per-core figure"
+        );
+        assert!(
+            s.get("w1.ok.count").unwrap_or(0.0) > 0.0,
+            "{name}: the clean-channel sweep must decode"
+        );
+    }
 }

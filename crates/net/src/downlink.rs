@@ -186,14 +186,19 @@ impl DownlinkPipeline {
         let mut block_e = Vec::with_capacity(blocks.len());
         let hot = &mut *self.hot.borrow_mut();
         if let Some(m) = m {
-            if cfg.encoder_backend == EncoderBackend::Packed
-                && EncoderIsa::best() == EncoderIsa::Word64
-            {
-                // Packed was requested but the host (or the test ISA
-                // ceiling) offers no SIMD: the portable u64 kernel
-                // still runs 64 trellis steps per word, but record the
-                // degradation for observability.
-                m.packed_encoder_fallbacks.inc();
+            if cfg.encoder_backend == EncoderBackend::Packed {
+                if EncoderIsa::best() == EncoderIsa::Word64 {
+                    // Packed was requested but the host (or the test
+                    // ISA ceiling) offers no SIMD: the portable u64
+                    // kernel still runs 64 trellis steps per word, but
+                    // record the degradation for observability.
+                    m.packed_encoder_fallbacks.inc();
+                }
+                if EncoderIsa::best() < EncoderIsa::Avx512 {
+                    // Encoding runs below the widest (zmm) tier — the
+                    // deployment lost its 512-bit throughput.
+                    m.zmm_encoder_fallbacks.inc();
+                }
             }
         }
         for blk in blocks {

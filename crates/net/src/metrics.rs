@@ -263,6 +263,14 @@ pub struct PipelineMetrics {
     /// portable `u64` kernel because no SIMD ISA level was available
     /// (transmit-side counterpart of `native_simd_fallbacks`).
     pub packed_encoder_fallbacks: Counter,
+    /// Packets that requested batched Native decoding but ran the
+    /// narrower pair/single kernels because the host (or the test ISA
+    /// ceiling) lacks AVX-512BW — the quad-in-zmm tier degraded.
+    pub batch_simd_fallbacks: Counter,
+    /// Packets that requested the Packed encoder backend but ran a
+    /// sub-512-bit kernel because the host (or the test ISA ceiling)
+    /// lacks AVX-512BW — the zmm encoder tier degraded.
+    pub zmm_encoder_fallbacks: Counter,
 }
 
 impl Default for PipelineMetrics {
@@ -289,6 +297,8 @@ impl PipelineMetrics {
             backend_restorations: Counter::new(),
             native_simd_fallbacks: Counter::new(),
             packed_encoder_fallbacks: Counter::new(),
+            batch_simd_fallbacks: Counter::new(),
+            zmm_encoder_fallbacks: Counter::new(),
         }
     }
 
@@ -390,6 +400,14 @@ impl PipelineMetrics {
         out.push((
             "packed_encoder_fallbacks".into(),
             self.packed_encoder_fallbacks.get() as f64,
+        ));
+        out.push((
+            "batch_simd_fallbacks".into(),
+            self.batch_simd_fallbacks.get() as f64,
+        ));
+        out.push((
+            "zmm_encoder_fallbacks".into(),
+            self.zmm_encoder_fallbacks.get() as f64,
         ));
         out
     }

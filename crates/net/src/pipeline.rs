@@ -59,9 +59,10 @@ use vran_phy::ofdm::OfdmConfig;
 use vran_phy::rate_match::{PackedRateMatcher, RateMatcher};
 use vran_phy::scrambler::{descramble_llrs, scramble_bits, GoldSequence};
 use vran_phy::segmentation::Segmentation;
+use vran_phy::turbo::native_batch::{BATCH, QUAD};
 use vran_phy::turbo::{
-    DecodeScratch, DecoderIsa, EncodeScratch, EncoderIsa, NativeTurboDecoder, PackedTurboEncoder,
-    TurboDecoder, TurboEncoder,
+    DecodeScratch, DecoderIsa, EncodeScratch, EncoderIsa, NativeBatchTurboDecoder,
+    NativeTurboDecoder, PackedTurboEncoder, TurboDecoder, TurboEncoder,
 };
 use vran_simd::RegWidth;
 
@@ -149,6 +150,15 @@ pub struct PipelineConfig {
     /// a `deadline_clamps` metrics event); once the budget is exhausted
     /// the packet aborts with [`PipelineError::DeadlineExceeded`].
     pub deadline_ns: Option<u64>,
+    /// Decode a transport block's equal-K code blocks through the
+    /// multi-block-per-register [`NativeBatchTurboDecoder`] — four per
+    /// zmm on AVX-512BW hosts, two per ymm on AVX2, bit-exact narrower
+    /// fallbacks below that. Only meaningful under
+    /// [`DecoderBackend::Native`]. Off by default because batched
+    /// decoding runs a fixed iteration count (no per-block CRC early
+    /// stop), which changes the reported `decoder_iterations` — the
+    /// decoded bits stay oracle-exact.
+    pub batch_decode: bool,
 }
 
 impl Default for PipelineConfig {
@@ -165,6 +175,7 @@ impl Default for PipelineConfig {
             fading: false,
             seed: 1,
             deadline_ns: None,
+            batch_decode: false,
         }
     }
 }
@@ -220,6 +231,9 @@ pub struct PacketResult {
 struct HotState {
     /// Native decoders, keyed by block size K.
     natives: Vec<NativeTurboDecoder>,
+    /// Batched native decoders, keyed by block size K (iteration count
+    /// recorded alongside — deadline clamping can change it).
+    batches: Vec<(usize, NativeBatchTurboDecoder)>,
     /// Scalar decoders, keyed by block size K.
     scalars: Vec<(usize, TurboDecoder)>,
     /// Rate matchers, keyed by per-stream length `d = K + 4`.
@@ -261,6 +275,25 @@ impl HotState {
             None => {
                 self.natives.push(NativeTurboDecoder::new(k, iterations));
                 self.natives.len() - 1
+            }
+        }
+    }
+
+    /// Index of the cached batch decoder for block size `k` running
+    /// exactly `iterations` iterations (stale-iteration entries for
+    /// the same K are evicted — only deadline clamping creates them).
+    fn batch_index(&mut self, k: usize, iterations: usize) -> usize {
+        match self
+            .batches
+            .iter()
+            .position(|(it, d)| d.k() == k && *it == iterations)
+        {
+            Some(i) => i,
+            None => {
+                self.batches.retain(|(_, d)| d.k() != k);
+                self.batches
+                    .push((iterations, NativeBatchTurboDecoder::new(k, iterations)));
+                self.batches.len() - 1
             }
         }
     }
@@ -517,15 +550,20 @@ impl UplinkPipeline {
         {
             let hot = &mut *self.hot.borrow_mut();
             if let Some(m) = m {
-                if cfg.encoder_backend == EncoderBackend::Packed
-                    && EncoderIsa::best() == EncoderIsa::Word64
-                {
-                    // The packed fast path is selected but the host (or
-                    // the test ISA ceiling) offers no SIMD: encoding
-                    // runs the portable u64 kernel. Same observability
-                    // story as native_simd_fallbacks on the receive
-                    // side.
-                    m.packed_encoder_fallbacks.inc();
+                if cfg.encoder_backend == EncoderBackend::Packed {
+                    if EncoderIsa::best() == EncoderIsa::Word64 {
+                        // The packed fast path is selected but the host
+                        // (or the test ISA ceiling) offers no SIMD:
+                        // encoding runs the portable u64 kernel. Same
+                        // observability story as native_simd_fallbacks
+                        // on the receive side.
+                        m.packed_encoder_fallbacks.inc();
+                    }
+                    if EncoderIsa::best() < EncoderIsa::Avx512 {
+                        // Encoding runs below the widest (zmm) tier —
+                        // the deployment lost its 512-bit throughput.
+                        m.zmm_encoder_fallbacks.inc();
+                    }
                 }
             }
             for blk in &blocks {
@@ -612,6 +650,7 @@ impl UplinkPipeline {
         } else {
             cfg.backend
         };
+        let batching = cfg.batch_decode && backend == DecoderBackend::Native;
         if let Some(m) = m {
             if backend == DecoderBackend::Native && DecoderIsa::best() == DecoderIsa::Scalar {
                 // The fast path is selected but the host (or the test
@@ -619,6 +658,12 @@ impl UplinkPipeline {
                 // its scalar kernels. Worth observing — it means the
                 // deployment lost its SIMD speedup.
                 m.native_simd_fallbacks.inc();
+            }
+            if batching && !NativeBatchTurboDecoder::is_zmm_accelerated() {
+                // Batched decode is selected but the host (or the test
+                // ISA ceiling) lacks AVX-512BW: blocks decode through
+                // the narrower pair/single kernels, bit-exactly.
+                m.batch_simd_fallbacks.inc();
             }
         }
         let scratch_allocs0 = hot.scratch.allocations();
@@ -629,6 +674,7 @@ impl UplinkPipeline {
         let mut iterations = 0;
         let mut pos = 0;
         let mut failed_blocks = 0usize;
+        let mut batch_inputs: Vec<TurboLlrs> = Vec::new();
         for (i, blk) in blocks.iter().enumerate() {
             let k = blk.len();
             let e = block_e[i];
@@ -645,19 +691,23 @@ impl UplinkPipeline {
 
             // Deadline gate before the expensive decode: abort when the
             // budget is gone, halve the iteration cap when half is.
+            // (In batch mode the decode happens after this loop, so a
+            // single gate guards the batched phase instead.)
             let mut iter_cap = cfg.decoder_iterations;
-            if let Some(budget) = cfg.deadline_ns {
-                let elapsed = start.elapsed().as_nanos() as u64;
-                if elapsed >= budget {
-                    return Err(PipelineError::DeadlineExceeded {
-                        budget_ns: budget,
-                        elapsed_ns: elapsed,
-                    });
-                }
-                if elapsed.saturating_mul(2) >= budget {
-                    iter_cap = (cfg.decoder_iterations / 2).max(1);
-                    if let Some(m) = m {
-                        m.deadline_clamps.inc();
+            if !batching {
+                if let Some(budget) = cfg.deadline_ns {
+                    let elapsed = start.elapsed().as_nanos() as u64;
+                    if elapsed >= budget {
+                        return Err(PipelineError::DeadlineExceeded {
+                            budget_ns: budget,
+                            elapsed_ns: elapsed,
+                        });
+                    }
+                    if elapsed.saturating_mul(2) >= budget {
+                        iter_cap = (cfg.decoder_iterations / 2).max(1);
+                        if let Some(m) = m {
+                            m.deadline_clamps.inc();
+                        }
                     }
                 }
             }
@@ -688,6 +738,21 @@ impl UplinkPipeline {
                         );
                     });
                     nanos.arrangement += t0.elapsed().as_nanos() as u64;
+
+                    if batching {
+                        // Stage this block for the grouped quad/pair
+                        // decode after the loop.
+                        batch_inputs.push(TurboLlrs {
+                            k,
+                            streams: SoftStreams {
+                                sys: hot.arranged.sys.clone(),
+                                p1: hot.arranged.p1.clone(),
+                                p2: hot.arranged.p2.clone(),
+                            },
+                            tails,
+                        });
+                        continue;
+                    }
 
                     let t0 = Instant::now();
                     let di = hot.native_index(k, cfg.decoder_iterations);
@@ -744,6 +809,92 @@ impl UplinkPipeline {
                     hot.bits_pool[i] = out.bits;
                 }
             }
+        }
+
+        if batching && !batch_inputs.is_empty() {
+            // One deadline gate for the whole batched decode phase.
+            let mut iter_cap = cfg.decoder_iterations;
+            if let Some(budget) = cfg.deadline_ns {
+                let elapsed = start.elapsed().as_nanos() as u64;
+                if elapsed >= budget {
+                    return Err(PipelineError::DeadlineExceeded {
+                        budget_ns: budget,
+                        elapsed_ns: elapsed,
+                    });
+                }
+                if elapsed.saturating_mul(2) >= budget {
+                    iter_cap = (cfg.decoder_iterations / 2).max(1);
+                    if let Some(m) = m {
+                        m.deadline_clamps.inc();
+                    }
+                }
+            }
+            let t0 = Instant::now();
+            timed(m, Stage::Decode, || {
+                // Decode runs of equal-K blocks in quads, then pairs,
+                // then a single leftover — the batch decoder itself
+                // degrades quad→pair→single below AVX-512BW, so every
+                // grouping is bit-exact with serial native decodes.
+                let mut idx = 0;
+                while idx < batch_inputs.len() {
+                    let k = batch_inputs[idx].k;
+                    let mut end = idx + 1;
+                    while end < batch_inputs.len() && batch_inputs[end].k == k {
+                        end += 1;
+                    }
+                    let bi = hot.batch_index(k, iter_cap);
+                    let mut j = idx;
+                    while j + QUAD <= end {
+                        let quad: &[TurboLlrs; QUAD] =
+                            batch_inputs[j..j + QUAD].try_into().expect("quad run");
+                        for (o, out) in hot.batches[bi].1.decode_quad(quad).into_iter().enumerate()
+                        {
+                            iterations += out.iterations_run;
+                            hot.bits_pool[j + o] = out.bits;
+                        }
+                        j += QUAD;
+                    }
+                    while j + BATCH <= end {
+                        let pair: &[TurboLlrs; BATCH] =
+                            batch_inputs[j..j + BATCH].try_into().expect("pair run");
+                        for (o, out) in hot.batches[bi].1.decode_pair(pair).into_iter().enumerate()
+                        {
+                            iterations += out.iterations_run;
+                            hot.bits_pool[j + o] = out.bits;
+                        }
+                        j += BATCH;
+                    }
+                    if j < end {
+                        // Single leftover: same fixed-iteration,
+                        // no-early-stop semantics as the batch members.
+                        let input = &batch_inputs[j];
+                        let di = hot.native_index(k, cfg.decoder_iterations);
+                        let (iters, _) = hot.natives[di].decode_streams_capped_into(
+                            &input.streams.sys,
+                            &input.streams.p1,
+                            &input.streams.p2,
+                            &input.tails,
+                            iter_cap,
+                            None,
+                            &mut hot.scratch,
+                            &mut hot.bits_pool[j],
+                        );
+                        iterations += iters;
+                    }
+                    idx = end;
+                }
+            });
+            // The batch kernels have no in-loop CRC early stop; check
+            // each block afterwards so failures classify exactly like
+            // the serial path's.
+            if blocks.len() > 1 {
+                for bits in hot.bits_pool[..blocks.len()].iter() {
+                    if CRC24B.check(bits).is_none() {
+                        failed_blocks += 1;
+                    }
+                }
+            }
+            nanos.decode += t0.elapsed().as_nanos() as u64;
         }
 
         if let Some(m) = m {
@@ -995,6 +1146,45 @@ mod tests {
             if let (Ok(s), Ok(n)) = (s, n) {
                 assert_eq!(s.coded_bits, n.coded_bits, "{size} B at {snr} dB");
             }
+        }
+    }
+
+    #[test]
+    fn batch_decode_round_trips_and_matches_serial_bits() {
+        // The opt-in batched decode path (quad-in-zmm where the host
+        // has AVX-512BW, pair/single otherwise) must recover the exact
+        // same transport blocks as the serial native path. Iteration
+        // counts differ by design — batch decode runs a fixed schedule
+        // with no CRC early stop — so only bit-level outcomes and
+        // volumes are compared.
+        for size in [64usize, 512, 1500] {
+            let serial = run(
+                PipelineConfig {
+                    snr_db: 30.0,
+                    ..Default::default()
+                },
+                size,
+            )
+            .expect("serial native path must decode a clean channel");
+            let batched = run(
+                PipelineConfig {
+                    snr_db: 30.0,
+                    batch_decode: true,
+                    ..Default::default()
+                },
+                size,
+            )
+            .expect("batched native path must decode a clean channel");
+            assert_eq!(serial.tb_bits, batched.tb_bits, "{size} B");
+            assert_eq!(serial.code_blocks, batched.code_blocks, "{size} B");
+            assert_eq!(serial.coded_bits, batched.coded_bits, "{size} B");
+            // Fixed schedule: every block runs the full iteration cap.
+            let cfg = PipelineConfig::default();
+            assert_eq!(
+                batched.decoder_iterations,
+                batched.code_blocks * cfg.decoder_iterations,
+                "{size} B: batch decode runs the full iteration budget"
+            );
         }
     }
 

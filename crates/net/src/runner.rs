@@ -424,6 +424,110 @@ pub fn run_downlink_multicore(
     }
 }
 
+/// Multi-core uplink driver: distribute received subframes round-robin
+/// across `workers` receive pipelines (one SPSC ring each). The
+/// counterpart of [`run_downlink_multicore`] on the eNB receive side:
+/// each worker owns an [`UplinkPipeline`], so the native decoder's hot
+/// state (SISO scratch, batch decoders, arranged-LLR buffers) is
+/// per-core and contention-free. Unlike [`run_multicore_metered`] this
+/// driver does not panic-isolate — it exists to measure clean-channel
+/// scaling, not fault absorption.
+pub fn run_uplink_multicore(
+    cfg: PipelineConfig,
+    transport: Transport,
+    wire_len: usize,
+    n_packets: usize,
+    workers: usize,
+) -> ThroughputReport {
+    assert!(workers >= 1);
+    let mut producers = Vec::new();
+    let mut consumers = Vec::new();
+    for _ in 0..workers {
+        let (p, c) = SpscRing::with_capacity::<Packet>(RING_CAPACITY);
+        producers.push(p);
+        consumers.push(c);
+    }
+    let counts: Vec<usize> = (0..workers)
+        .map(|w| n_packets / workers + usize::from(w < n_packets % workers))
+        .collect();
+    let results = Mutex::new(Vec::with_capacity(n_packets));
+
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            let mut producers = producers;
+            let mut b = PacketBuilder::new(9000, 9001);
+            for i in 0..n_packets {
+                let mut item = b.build(transport, wire_len).expect("valid size");
+                let w = i % workers;
+                loop {
+                    match producers[w].push(item) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            item = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        });
+        for (mut rx, quota) in consumers.into_iter().zip(counts) {
+            let results = &results;
+            s.spawn(move || {
+                let pipe = UplinkPipeline::new(cfg);
+                let mut done = 0;
+                while done < quota {
+                    match rx.pop() {
+                        Some(p) => {
+                            let r = pipe.process(&p);
+                            results.lock().unwrap().push(r);
+                            done += 1;
+                        }
+                        None => std::hint::spin_loop(),
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let results = results.into_inner().unwrap();
+    let ok = results.iter().filter(|r| r.is_ok()).count();
+    let wire_bytes = wire_len * results.len();
+    ThroughputReport {
+        packets: results.len(),
+        ok_packets: ok,
+        wire_bytes,
+        elapsed_s: elapsed,
+        mbps: wire_bytes as f64 * 8.0 / elapsed / 1e6,
+        worker_restarts: 0,
+    }
+}
+
+/// Sweep the uplink driver over 1..=`max_workers` worker counts and
+/// report aggregate and per-core throughput at each point — the
+/// receive-side twin of [`downlink_scaleout_sweep`], feeding the
+/// `uplink_scaleout` benchgate suite.
+pub fn uplink_scaleout_sweep(
+    cfg: PipelineConfig,
+    transport: Transport,
+    wire_len: usize,
+    n_packets: usize,
+    max_workers: usize,
+) -> Vec<ScaleoutPoint> {
+    (1..=max_workers)
+        .map(|w| {
+            let rep = run_uplink_multicore(cfg, transport, wire_len, n_packets, w);
+            ScaleoutPoint {
+                workers: w,
+                mbps: rep.mbps,
+                mbps_per_core: rep.mbps / w as f64,
+                packets: rep.packets,
+                ok_packets: rep.ok_packets,
+            }
+        })
+        .collect()
+}
+
 /// Sweep the downlink driver over 1..=`max_workers` worker counts and
 /// report aggregate and per-core throughput at each point.
 pub fn downlink_scaleout_sweep(
@@ -555,6 +659,40 @@ mod tests {
             ..Default::default()
         };
         let sweep = downlink_scaleout_sweep(cfg, Transport::Udp, 200, 6, 3);
+        assert_eq!(sweep.len(), 3);
+        for (i, pt) in sweep.iter().enumerate() {
+            assert_eq!(pt.workers, i + 1);
+            assert_eq!(pt.packets, 6);
+            assert_eq!(pt.ok_packets, 6, "clean channel at every width");
+            assert!(pt.mbps > 0.0);
+            let per_core = pt.mbps / pt.workers as f64;
+            assert!((pt.mbps_per_core - per_core).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn uplink_multicore_distributes_and_loses_nothing() {
+        let cfg = PipelineConfig {
+            snr_db: 30.0,
+            batch_decode: true,
+            ..Default::default()
+        };
+        for workers in [1usize, 2, 3] {
+            let rep = run_uplink_multicore(cfg, Transport::Udp, 200, 9, workers);
+            assert_eq!(rep.packets, 9, "workers={workers}");
+            assert_eq!(rep.ok_packets, 9, "workers={workers}");
+            assert!(rep.mbps > 0.0, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn uplink_sweep_covers_every_worker_count() {
+        let cfg = PipelineConfig {
+            snr_db: 30.0,
+            batch_decode: true,
+            ..Default::default()
+        };
+        let sweep = uplink_scaleout_sweep(cfg, Transport::Udp, 200, 6, 3);
         assert_eq!(sweep.len(), 3);
         for (i, pt) in sweep.iter().enumerate() {
             assert_eq!(pt.workers, i + 1);

@@ -3,7 +3,11 @@
 //! the Native uplink pipeline still decodes bit-exactly, and the
 //! Packed downlink encoder still encodes bit-exactly — while flagging
 //! the lost speedup as `native_simd_fallbacks` /
-//! `packed_encoder_fallbacks` metrics events.
+//! `packed_encoder_fallbacks` metrics events. The zmm tiers get the
+//! same treatment one rung up: under an AVX2 ceiling the quad-in-zmm
+//! batch decoder and the 512-bit packed encoder must degrade to their
+//! narrower kernels bit-exactly, flagged as `batch_simd_fallbacks` /
+//! `zmm_encoder_fallbacks`.
 //!
 //! Lives in its own integration-test binary (= its own process)
 //! because the ceiling is process-global: unit tests elsewhere assume
@@ -59,6 +63,103 @@ fn native_backend_degrades_to_scalar_kernels_without_simd() {
     assert_eq!(
         snap.iter()
             .find(|(name, _)| name == "native_simd_fallbacks")
+            .map(|(_, v)| *v),
+        Some(1.0),
+        "fallback events must appear in snapshots: {snap:?}"
+    );
+}
+
+#[test]
+fn batched_decode_degrades_below_avx512_ceiling() {
+    let _guard = CEILING_LOCK.lock().unwrap();
+    let cfg = PipelineConfig {
+        backend: DecoderBackend::Native,
+        batch_decode: true,
+        snr_db: 12.0,
+        ..Default::default()
+    };
+    let mut b = PacketBuilder::new(1000, 2000);
+    // 1500 B segments into several code blocks, so the batch path
+    // actually forms quads/pairs rather than a single leftover.
+    let p = b.build(Transport::Udp, 1500).unwrap();
+
+    // Reference outcome with the host's real capabilities (quad-in-zmm
+    // where available, pair/single otherwise).
+    let full = UplinkPipeline::new(cfg).process(&p).expect("12 dB decodes");
+
+    // Cap the ISA at AVX2: the quad kernel is off the table, the batch
+    // path must split into ymm pairs bit-exactly and flag the loss.
+    set_isa_ceiling(Some(HostIsa::Avx2));
+    let metrics = Arc::new(PipelineMetrics::new(true));
+    let masked_pipe = UplinkPipeline::with_metrics(cfg, metrics.clone());
+    let masked = masked_pipe.process(&p).expect("pair fallback decodes");
+    set_isa_ceiling(None);
+
+    assert_eq!(masked.tb_bits, full.tb_bits);
+    assert_eq!(masked.code_blocks, full.code_blocks);
+    assert_eq!(masked.coded_bits, full.coded_bits);
+    assert_eq!(
+        masked.decoder_iterations, full.decoder_iterations,
+        "pair-split batch decode must be bit-exact with the quad kernel"
+    );
+    assert_eq!(
+        metrics.batch_simd_fallbacks.get(),
+        1,
+        "the lost zmm speedup must be observable"
+    );
+    let snap = metrics.snapshot();
+    assert_eq!(
+        snap.iter()
+            .find(|(name, _)| name == "batch_simd_fallbacks")
+            .map(|(_, v)| *v),
+        Some(1.0),
+        "fallback events must appear in snapshots: {snap:?}"
+    );
+}
+
+#[test]
+fn packed_encoder_degrades_below_avx512_ceiling() {
+    let _guard = CEILING_LOCK.lock().unwrap();
+    let cfg = DownlinkConfig {
+        encoder_backend: EncoderBackend::Packed,
+        snr_db: 25.0,
+        ..Default::default()
+    };
+    let mut b = PacketBuilder::new(1000, 2000);
+    let p = b.build(Transport::Udp, 300).unwrap();
+
+    // Reference outcome with the host's real capabilities.
+    let full = DownlinkPipeline::new(cfg).process(&p);
+    assert!(full.dci_ok && full.data_ok, "{full:?}");
+
+    // Cap the ISA at AVX2: the packed encoder must drop from the
+    // 512-bit kernel to the 256-bit one, stay bit-exact, and report
+    // the zmm-tier degradation (but NOT the full word64 fallback).
+    set_isa_ceiling(Some(HostIsa::Avx2));
+    let metrics = Arc::new(PipelineMetrics::new(true));
+    let masked_pipe = DownlinkPipeline::with_metrics(cfg, metrics.clone());
+    let masked = masked_pipe.process(&p);
+    set_isa_ceiling(None);
+
+    assert_eq!(masked.dci_ok, full.dci_ok);
+    assert_eq!(masked.data_ok, full.data_ok);
+    assert_eq!(masked.code_blocks, full.code_blocks);
+    assert_eq!(masked.coded_bits, full.coded_bits);
+    assert!(masked.data_ok, "256-bit fallback must stay bit-exact");
+    assert_eq!(
+        metrics.zmm_encoder_fallbacks.get(),
+        1,
+        "the lost zmm speedup must be observable"
+    );
+    assert_eq!(
+        metrics.packed_encoder_fallbacks.get(),
+        0,
+        "AVX2 is still a SIMD tier, not the word64 floor"
+    );
+    let snap = metrics.snapshot();
+    assert_eq!(
+        snap.iter()
+            .find(|(name, _)| name == "zmm_encoder_fallbacks")
             .map(|(_, v)| *v),
         Some(1.0),
         "fallback events must appear in snapshots: {snap:?}"

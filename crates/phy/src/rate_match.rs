@@ -546,6 +546,77 @@ fn transpose64(a: &mut [u64; 64]) {
     }
 }
 
+/// [`transpose64`] with the matrix held in eight zmm registers: the
+/// three wide rounds (row distance 32/16/8) become plain vector XOR
+/// swaps between register pairs, and the three narrow rounds (4/2/1)
+/// swap qword lanes in-register via `vpermq` plus lane-masked XORs.
+/// Same swap network, same order — bit-exact with the scalar walk.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn transpose64_avx512(a: &mut [u64; 64]) {
+    use core::arch::x86_64::*;
+    let p = a.as_mut_ptr();
+    let mut v: [__m512i; 8] = core::array::from_fn(|i| _mm512_loadu_si512(p.add(8 * i).cast()));
+    // Rows k and k+j live 8j qwords apart — in different registers.
+    macro_rules! wide {
+        ($j:literal, $m:expr) => {
+            let m = _mm512_set1_epi64($m);
+            let d = $j / 8;
+            for i in 0..8 {
+                if i & d == 0 {
+                    let t = _mm512_and_si512(
+                        _mm512_xor_si512(_mm512_srli_epi64::<$j>(v[i]), v[i + d]),
+                        m,
+                    );
+                    v[i] = _mm512_xor_si512(v[i], _mm512_slli_epi64::<$j>(t));
+                    v[i + d] = _mm512_xor_si512(v[i + d], t);
+                }
+            }
+        };
+    }
+    wide!(32, 0x0000_0000_FFFF_FFFFu64 as i64);
+    wide!(16, 0x0000_FFFF_0000_FFFFu64 as i64);
+    wide!(8, 0x00FF_00FF_00FF_00FFu64 as i64);
+    // Rows k and k+j share a register: partner lane is l ^ j, the
+    // low-lane (k & j == 0) and high-lane halves get their respective
+    // sides of the swap via lane-masked XORs.
+    macro_rules! narrow {
+        ($j:literal, $m:expr, $lo:literal) => {
+            let m = _mm512_set1_epi64($m);
+            let idx = _mm512_xor_si512(
+                _mm512_set_epi64(7, 6, 5, 4, 3, 2, 1, 0),
+                _mm512_set1_epi64($j),
+            );
+            for r in v.iter_mut() {
+                let w = _mm512_permutexvar_epi64(idx, *r);
+                let tl = _mm512_and_si512(_mm512_xor_si512(_mm512_srli_epi64::<$j>(*r), w), m);
+                let th = _mm512_and_si512(_mm512_xor_si512(_mm512_srli_epi64::<$j>(w), *r), m);
+                *r = _mm512_mask_xor_epi64(*r, $lo, *r, _mm512_slli_epi64::<$j>(tl));
+                *r = _mm512_mask_xor_epi64(*r, !$lo, *r, th);
+            }
+        };
+    }
+    narrow!(4, 0x0F0F_0F0F_0F0F_0F0Fu64 as i64, 0x0Fu8);
+    narrow!(2, 0x3333_3333_3333_3333u64 as i64, 0x33u8);
+    narrow!(1, 0x5555_5555_5555_5555u64 as i64, 0x55u8);
+    for (i, r) in v.into_iter().enumerate() {
+        _mm512_storeu_si512(p.add(8 * i).cast(), r);
+    }
+}
+
+/// Runtime-dispatched transpose: the zmm network where the host (and
+/// test ceiling) allow AVX-512, the scalar swap network elsewhere.
+#[inline]
+fn transpose64_dispatch(a: &mut [u64; 64]) {
+    #[cfg(target_arch = "x86_64")]
+    if vran_simd::host::has(vran_simd::host::HostIsa::Avx512bw) {
+        // SAFETY: `has` verified avx512f+avx512bw on this CPU.
+        unsafe { transpose64_avx512(a) };
+        return;
+    }
+    transpose64(a);
+}
+
 /// Bit-transpose one packed d-stream into its 32 sub-block interleaver
 /// columns: `out[c·colw + b]` holds rows `64b..64b+63` of column `c`,
 /// where column `c` bit `r` is padded-stream bit `32r + c` and the
@@ -566,7 +637,7 @@ fn transpose_stream(s: &[u64], rows: usize, nd: usize, colw: usize, out: &mut [u
             let r = 64 * b + j;
             *aj = if r < rows { row_bits(r) } else { 0 };
         }
-        transpose64(&mut a);
+        transpose64_dispatch(&mut a);
         for c in 0..NCOLS {
             out[c * colw + b] = a[c];
         }
@@ -740,6 +811,35 @@ mod tests {
             random_bits(d, seed + 1),
             random_bits(d, seed + 2),
         ]
+    }
+
+    #[test]
+    fn transpose_is_an_involution_and_matches_reference() {
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        let mut rnd = || {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        for _ in 0..16 {
+            let a: [u64; 64] = core::array::from_fn(|_| rnd());
+            // Element-wise reference: out[c] bit r = in[r] bit c.
+            let reference: [u64; 64] = core::array::from_fn(|c| {
+                (0..64).fold(0u64, |acc, r| acc | (((a[r] >> c) & 1) << r))
+            });
+            let mut scalar = a;
+            transpose64(&mut scalar);
+            assert_eq!(scalar, reference);
+            let mut dispatched = a;
+            transpose64_dispatch(&mut dispatched);
+            assert_eq!(
+                dispatched, reference,
+                "dispatched transpose diverged from the bit-level reference"
+            );
+            transpose64_dispatch(&mut dispatched);
+            assert_eq!(dispatched, a, "transpose must be an involution");
+        }
     }
 
     #[test]

@@ -52,6 +52,11 @@ pub enum EncoderIsa {
     /// 256-bit kernel: `(1 + p³²)(1 + p⁶⁴)` doubling steps, lane moves
     /// via `vpermq` (AVX2's byte shifts do not cross 128-bit lanes).
     Avx2,
+    /// 512-bit kernel: one more `(1 + p¹²⁸)` doubling factor for 512
+    /// trellis steps per register; whole-register qword moves via
+    /// `valignq` against zero (which, unlike the byte shifts, crosses
+    /// every lane).
+    Avx512,
 }
 
 impl EncoderIsa {
@@ -61,6 +66,7 @@ impl EncoderIsa {
             EncoderIsa::Word64 => "word64",
             EncoderIsa::Sse2 => "sse2",
             EncoderIsa::Avx2 => "avx2",
+            EncoderIsa::Avx512 => "avx512",
         }
     }
 
@@ -70,15 +76,21 @@ impl EncoderIsa {
             EncoderIsa::Word64 => HostIsa::Scalar,
             EncoderIsa::Sse2 => HostIsa::Sse2,
             EncoderIsa::Avx2 => HostIsa::Avx2,
+            EncoderIsa::Avx512 => HostIsa::Avx512bw,
         }
     }
 
     /// Levels usable on this host, ascending; `Word64` always first.
     pub fn available() -> Vec<EncoderIsa> {
-        [EncoderIsa::Word64, EncoderIsa::Sse2, EncoderIsa::Avx2]
-            .into_iter()
-            .filter(|isa| host::has(isa.required_isa()))
-            .collect()
+        [
+            EncoderIsa::Word64,
+            EncoderIsa::Sse2,
+            EncoderIsa::Avx2,
+            EncoderIsa::Avx512,
+        ]
+        .into_iter()
+        .filter(|isa| host::has(isa.required_isa()))
+        .collect()
     }
 
     /// The most capable level the host supports.
@@ -314,6 +326,9 @@ fn rsc_packed(isa: EncoderIsa, u: &[u64], nbits: usize, a: &mut [u64], z: &mut [
         #[cfg(target_arch = "x86_64")]
         // SAFETY: as above.
         EncoderIsa::Avx2 => unsafe { rsc_words_avx2(u, a, z) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        EncoderIsa::Avx512 => unsafe { rsc_words_avx512(u, a, z) },
         #[cfg(not(target_arch = "x86_64"))]
         _ => rsc_words_u64(u, a, z),
     }
@@ -463,6 +478,66 @@ unsafe fn rsc_words_avx2(u: &[u64], a: &mut [u64], z: &mut [u64]) {
     }
 }
 
+/// AVX-512 kernel: 512 trellis steps per register, eight doubling
+/// steps. Unlike SSE2/AVX2, whole-register qword moves are a single
+/// `valignq` against zero — no lane-boundary patch-up — so the extra
+/// `(1 + p¹²⁸)` factor (`D²⁵⁶ + D³⁸⁴`) costs just two shift-XORs. Only
+/// AVX-512F ops are needed, but dispatch gates on the host ladder's
+/// `Avx512bw` level (which probes `avx512f` too).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn rsc_words_avx512(u: &[u64], a: &mut [u64], z: &mut [u64]) {
+    use core::arch::x86_64::*;
+    // whole-register shift up by $q qwords (64·$q bits), zero-filled:
+    // valignq picks qwords $q .. $q+7 of zero:x
+    macro_rules! up {
+        ($x:expr, $q:literal) => {
+            _mm512_alignr_epi64::<{ 8 - $q }>($x, _mm512_setzero_si512())
+        };
+    }
+    // full-register left shift by 0 < n < 64
+    macro_rules! shl {
+        ($x:expr, $n:literal) => {{
+            let x = $x;
+            _mm512_or_si512(
+                _mm512_slli_epi64::<$n>(x),
+                _mm512_srli_epi64::<{ 64 - $n }>(up!(x, 1)),
+            )
+        }};
+    }
+    let mut prev_hi = 0u64;
+    let mut i = 0;
+    while i + 8 <= u.len() {
+        let lo = u[i] ^ (prev_hi >> 62) ^ (prev_hi >> 61);
+        let fix = _mm512_set_epi64(0, 0, 0, 0, 0, 0, 0, (lo ^ u[i]) as i64);
+        let mut t = _mm512_xor_si512(_mm512_loadu_si512(u.as_ptr().add(i).cast()), fix);
+        t = _mm512_xor_si512(t, _mm512_xor_si512(shl!(t, 2), shl!(t, 3)));
+        t = _mm512_xor_si512(t, _mm512_xor_si512(shl!(t, 4), shl!(t, 6)));
+        t = _mm512_xor_si512(t, _mm512_xor_si512(shl!(t, 8), shl!(t, 12)));
+        t = _mm512_xor_si512(t, _mm512_xor_si512(shl!(t, 16), shl!(t, 24)));
+        t = _mm512_xor_si512(t, _mm512_xor_si512(shl!(t, 32), shl!(t, 48)));
+        let t64 = up!(t, 1); // × (1 + p³²): D⁶⁴ + D⁹⁶
+        t = _mm512_xor_si512(t, _mm512_xor_si512(t64, shl!(t64, 32)));
+        // × (1 + p⁶⁴): D¹²⁸ + D¹⁹²
+        t = _mm512_xor_si512(t, _mm512_xor_si512(up!(t, 2), up!(t, 3)));
+        // × (1 + p¹²⁸): D²⁵⁶ + D³⁸⁴
+        t = _mm512_xor_si512(t, _mm512_xor_si512(up!(t, 4), up!(t, 6)));
+        _mm512_storeu_si512(a.as_mut_ptr().add(i).cast(), t);
+        let zz = _mm512_xor_si512(t, _mm512_xor_si512(shl!(t, 1), shl!(t, 3)));
+        _mm512_storeu_si512(z.as_mut_ptr().add(i).cast(), zz);
+        z[i] ^= (prev_hi >> 63) ^ (prev_hi >> 61);
+        prev_hi = a[i + 7];
+        i += 8;
+    }
+    while i < u.len() {
+        let (an, zn) = rsc_word(u[i], prev_hi);
+        a[i] = an;
+        z[i] = zn;
+        prev_hi = an;
+        i += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -561,5 +636,52 @@ mod tests {
     #[should_panic(expected = "exactly K")]
     fn wrong_block_size_panics() {
         PackedTurboEncoder::new(40).encode(&[0; 39]);
+    }
+
+    #[test]
+    fn avx512_encoder_beats_avx2_at_max_k() {
+        // The acceptance bar for the 512-bit tier: at K=6144 the zmm
+        // kernel must out-encode the ymm kernel in wall-clock. Skipped
+        // (not failed) where the host lacks AVX-512BW — exactness is
+        // covered unconditionally by the oracle tests.
+        use vran_simd::host::{self, HostIsa};
+        if !host::has(HostIsa::Avx512bw) {
+            eprintln!("avx512_encoder_beats_avx2_at_max_k: SKIPPED (no avx512bw)");
+            return;
+        }
+        let k = 6144;
+        let bits = random_bits(k, 42);
+        let time_isa = |isa: EncoderIsa| -> u128 {
+            let enc = PackedTurboEncoder::with_isa(k, isa);
+            let mut scratch = EncodeScratch::new();
+            enc.encode_dstreams_into(&bits, &mut scratch); // warm-up
+                                                           // Median of several reps, each averaging a burst, so a
+                                                           // scheduler blip cannot fail the build.
+            let reps = 9;
+            let burst = 64;
+            let mut samples: Vec<u128> = (0..reps)
+                .map(|_| {
+                    let t = std::time::Instant::now();
+                    for _ in 0..burst {
+                        enc.encode_dstreams_into(std::hint::black_box(&bits), &mut scratch);
+                    }
+                    t.elapsed().as_nanos() / burst
+                })
+                .collect();
+            samples.sort_unstable();
+            samples[samples.len() / 2]
+        };
+        let ymm = time_isa(EncoderIsa::Avx2);
+        let zmm = time_isa(EncoderIsa::Avx512);
+        let speedup = ymm as f64 / zmm as f64;
+        assert!(
+            speedup > 1.0,
+            "512-bit encode must beat 256-bit at K={k}: {speedup:.2}× \
+             ({ymm} ns avx2 vs {zmm} ns avx512)"
+        );
+        assert!(
+            speedup < 3.0,
+            "speedup cannot wildly exceed the width advantage: {speedup:.2}×"
+        );
     }
 }

@@ -269,6 +269,38 @@ proptest! {
     }
 
     #[test]
+    fn native_quad_batch_matches_scalar_every_k(k_idx in 0usize..188, seed in any::<u64>()) {
+        // The four-block quad-in-zmm kernel (pair/single split where
+        // the host lacks AVX-512BW) decodes every lane bit-exactly
+        // against the scalar oracle for every legal QPP size.
+        use vran_phy::turbo::native_batch::{NativeBatchTurboDecoder, QUAD};
+        let k = QPP_TABLE[k_idx].k as usize;
+        let mk = |s: u64| -> Vec<i16> {
+            let mut x = s | 1;
+            (0..k)
+                .map(|_| {
+                    x ^= x >> 12;
+                    x ^= x << 25;
+                    x ^= x >> 27;
+                    (x >> 48) as i16
+                })
+                .collect()
+        };
+        let block = |s: u64| TurboLlrs {
+            k,
+            streams: SoftStreams { sys: mk(s), p1: mk(s ^ 3), p2: mk(s ^ 7) },
+            tails: Default::default(),
+        };
+        let quad: [TurboLlrs; QUAD] =
+            core::array::from_fn(|g| block(seed ^ (0x9E37 * g as u64)));
+        let dec = TurboDecoder::new(k, 2);
+        let got = NativeBatchTurboDecoder::new(k, 2).decode_quad(&quad);
+        for (g, input) in got.iter().zip(&quad) {
+            prop_assert_eq!(&g.bits, &dec.decode(input).bits, "K={} diverged", k);
+        }
+    }
+
+    #[test]
     fn viterbi_never_panics_on_garbage(seed in any::<u64>(), n in 8usize..64) {
         use vran_phy::dci::viterbi_decode_tb;
         let mut x = seed | 1;
@@ -289,7 +321,8 @@ proptest! {
     fn packed_encoder_matches_scalar_oracle_every_k(k_idx in 0usize..188, seed in any::<u64>()) {
         // The packed-word encoder must be bit-exact with the per-bit
         // trellis walk for every legal QPP size at every ISA level the
-        // host dispatches to (word64 always; SSE2/AVX2 where present).
+        // host dispatches to (word64 always; SSE2/AVX2/AVX-512 where
+        // present).
         use vran_phy::turbo::{EncoderIsa, PackedTurboEncoder};
         let k = QPP_TABLE[k_idx].k as usize;
         let bits = random_bits(k, seed);

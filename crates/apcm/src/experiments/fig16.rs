@@ -11,7 +11,7 @@ use vran_net::latency::LatencyModel;
 use vran_simd::RegWidth;
 use vran_uarch::CoreConfig;
 
-/// Target station bandwidth (Mbps) per the paper's reference [19].
+/// Target station bandwidth (Mbps) per the paper's reference \[19\].
 pub const TARGET_MBPS: f64 = 300.0;
 
 /// Run the experiment.

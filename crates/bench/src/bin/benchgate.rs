@@ -5,25 +5,33 @@
 //! `vran-uarch` simulator, static uplink and downlink pipeline
 //! invariants (the latter once per encoder backend, so scalar/packed
 //! bit-equality is itself gated), and the fault-injection
-//! classification counts — and four wall-clock (never gating) suites:
+//! classification counts, plus the deterministic cell-scale smoke
+//! preset with its p50/p95/p99 tail-latency percentiles — and five
+//! informational (never gating) suites:
 //! a smoke run of the threaded packet pipeline, the native
 //! turbo-decoder fast path, the packed turbo-encoder fast path
 //! (scalar per-bit reference vs each runtime-dispatched ISA level,
 //! plus the packed-word rate matcher and the combined transmit
-//! chain), and the downlink and uplink multi-worker scale-out
-//! sweeps. Writes
+//! chain), the downlink and uplink multi-worker scale-out
+//! sweeps, and the full cell-scale diurnal sweep with its
+//! cores-per-(cells × 300 Mbps) capacity figures. Writes
 //! `BENCH_current.json` and, with `--check`, compares the gated
 //! suites against `BENCH_baseline.json`, exiting non-zero on
-//! regression.
+//! regression. `--only suite,…` restricts both the run and the gate
+//! to the named suites (the CI smoke job runs
+//! `--only cell_scale_smoke`); `--summary <path>` writes a markdown
+//! p50/p95/p99 table for `$GITHUB_STEP_SUMMARY`.
 //!
 //! ```text
 //! benchgate [--check] [--write-baseline]
 //!           [--baseline <path>] [--out <path>] [--quiet]
+//!           [--only <suite,...>] [--summary <path>]
 //! ```
 
 use std::process::ExitCode;
 use std::time::Instant;
 use vran_arrange::{ApcmVariant, ArrangeKernel, Mechanism};
+use vran_bench::cellscale::{cell_scale_full_suite, cell_scale_smoke_suite};
 use vran_bench::gate::{compare, BenchReport, Suite};
 use vran_bench::{interleaved_workload, turbo_workload};
 use vran_net::downlink::{DownlinkConfig, DownlinkPipeline};
@@ -78,6 +86,10 @@ struct Args {
     baseline: String,
     out: String,
     quiet: bool,
+    /// Restrict the run (and the gate) to these suites; empty = all.
+    only: Vec<String>,
+    /// Write a markdown p50/p95/p99 summary here (for CI step summaries).
+    summary: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -87,6 +99,8 @@ fn parse_args() -> Result<Args, String> {
         baseline: "BENCH_baseline.json".into(),
         out: "BENCH_current.json".into(),
         quiet: false,
+        only: Vec::new(),
+        summary: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -96,9 +110,16 @@ fn parse_args() -> Result<Args, String> {
             "--baseline" => args.baseline = it.next().ok_or("--baseline needs a path")?,
             "--out" => args.out = it.next().ok_or("--out needs a path")?,
             "--quiet" => args.quiet = true,
+            "--only" => {
+                let list = it.next().ok_or("--only needs a comma-separated list")?;
+                args.only
+                    .extend(list.split(',').map(|s| s.trim().to_string()));
+            }
+            "--summary" => args.summary = Some(it.next().ok_or("--summary needs a path")?),
             "--help" | "-h" => {
                 return Err("usage: benchgate [--check] [--write-baseline] \
-                            [--baseline <path>] [--out <path>] [--quiet]"
+                            [--baseline <path>] [--out <path>] [--quiet] \
+                            [--only <suite,...>] [--summary <path>]"
                     .into())
             }
             other => return Err(format!("unknown argument: {other}")),
@@ -405,8 +426,8 @@ fn downlink_static_suite() -> Suite {
 /// seed — block structure and decoder effort must not drift.
 fn pipeline_static_suite(metrics: &PipelineMetrics) -> Suite {
     let mut suite = Suite::new("pipeline_static", true);
-    suite.push("packets", metrics.packets.get() as f64);
-    suite.push("ok_packets", metrics.ok_packets.get() as f64);
+    suite.push("packets.count", metrics.packets.get() as f64);
+    suite.push("ok_packets.count", metrics.ok_packets.get() as f64);
     suite.push("code_blocks", metrics.code_blocks.get() as f64);
     suite.push(
         "decoder_iterations",
@@ -494,7 +515,31 @@ fn pipeline_wallclock_suite(
     suite
 }
 
-fn build_report() -> BenchReport {
+/// Suite names `--only` accepts (also the build order).
+const SUITES: [&str; 11] = [
+    "arrange_sim",
+    "decoder_native",
+    "encoder_wallclock",
+    "downlink_static",
+    "downlink_scaleout",
+    "uplink_scaleout",
+    "cell_scale_smoke",
+    "cell_scale_full",
+    "pipeline_static",
+    "pipeline_faults",
+    "pipeline_wallclock",
+];
+
+fn build_report(only: &[String]) -> Result<BenchReport, String> {
+    for name in only {
+        if !SUITES.contains(&name.as_str()) {
+            return Err(format!(
+                "unknown suite {name:?}; known: {}",
+                SUITES.join(", ")
+            ));
+        }
+    }
+    let want = |name: &str| only.is_empty() || only.iter().any(|o| o == name);
     let mut report = BenchReport::new(git_sha());
     report.config = vec![
         ("core".into(), "beefy+warmed".into()),
@@ -513,31 +558,60 @@ fn build_report() -> BenchReport {
             SCALEOUT_MAX_WORKERS.to_string(),
         ),
     ];
-    report.suites.push(arrange_sim_suite());
-    report.suites.push(decoder_native_suite());
-    report.suites.push(encoder_packed_suite());
-    report.suites.push(downlink_static_suite());
-    report.suites.push(downlink_scaleout_suite());
-    report.suites.push(uplink_scaleout_suite());
+    if want("arrange_sim") {
+        report.suites.push(arrange_sim_suite());
+    }
+    if want("decoder_native") {
+        report.suites.push(decoder_native_suite());
+    }
+    if want("encoder_wallclock") {
+        report.suites.push(encoder_packed_suite());
+    }
+    if want("downlink_static") {
+        report.suites.push(downlink_static_suite());
+    }
+    if want("downlink_scaleout") {
+        report.suites.push(downlink_scaleout_suite());
+    }
+    if want("uplink_scaleout") {
+        report.suites.push(uplink_scaleout_suite());
+    }
+    if want("cell_scale_smoke") {
+        report.suites.push(cell_scale_smoke_suite());
+    }
+    if want("cell_scale_full") {
+        report.suites.push(cell_scale_full_suite());
+    }
 
-    let pm = std::sync::Arc::new(PipelineMetrics::new(true));
-    let rm = RunnerMetrics::new(true, RING_CAPACITY);
-    let cfg = PipelineConfig {
-        snr_db: 30.0,
-        ..Default::default()
-    };
-    let tp = run_throughput_metered(
-        cfg,
-        Transport::Udp,
-        SMOKE_WIRE_LEN,
-        SMOKE_PACKETS,
-        &rm,
-        Some(pm.clone()),
-    );
-    report.suites.push(pipeline_static_suite(&pm));
-    report.suites.push(pipeline_faults_suite());
-    report.suites.push(pipeline_wallclock_suite(&tp, &pm, &rm));
-    report
+    // The static and wall-clock pipeline suites share one metered run.
+    if want("pipeline_static") || want("pipeline_wallclock") {
+        let pm = std::sync::Arc::new(PipelineMetrics::new(true));
+        let rm = RunnerMetrics::new(true, RING_CAPACITY);
+        let cfg = PipelineConfig {
+            snr_db: 30.0,
+            ..Default::default()
+        };
+        let tp = run_throughput_metered(
+            cfg,
+            Transport::Udp,
+            SMOKE_WIRE_LEN,
+            SMOKE_PACKETS,
+            &rm,
+            Some(pm.clone()),
+        );
+        if want("pipeline_static") {
+            report.suites.push(pipeline_static_suite(&pm));
+        }
+        if want("pipeline_faults") {
+            report.suites.push(pipeline_faults_suite());
+        }
+        if want("pipeline_wallclock") {
+            report.suites.push(pipeline_wallclock_suite(&tp, &pm, &rm));
+        }
+    } else if want("pipeline_faults") {
+        report.suites.push(pipeline_faults_suite());
+    }
+    Ok(report)
 }
 
 fn main() -> ExitCode {
@@ -549,7 +623,13 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = build_report();
+    let report = match build_report(&args.only) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("benchgate: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let json = report.to_json();
     if let Err(e) = std::fs::write(&args.out, &json) {
         eprintln!("benchgate: cannot write {}: {e}", args.out);
@@ -562,6 +642,17 @@ fn main() -> ExitCode {
             report.suites.len(),
             report.git_sha
         );
+    }
+
+    if let Some(path) = &args.summary {
+        let md = vran_bench::summary::render_markdown(&report);
+        if let Err(e) = std::fs::write(path, md) {
+            eprintln!("benchgate: cannot write summary {path}: {e}");
+            return ExitCode::from(2);
+        }
+        if !args.quiet {
+            println!("benchgate: summary written to {path}");
+        }
     }
 
     if args.write_baseline {
@@ -582,7 +673,7 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let Some(baseline) = BenchReport::from_json(&baseline_text) else {
+        let Some(mut baseline) = BenchReport::from_json(&baseline_text) else {
             eprintln!(
                 "benchgate: {} is not a {} document",
                 args.baseline,
@@ -590,6 +681,12 @@ fn main() -> ExitCode {
             );
             return ExitCode::from(2);
         };
+        // Under --only, gate only the suites that were actually run.
+        if !args.only.is_empty() {
+            baseline
+                .suites
+                .retain(|s| args.only.iter().any(|o| o == &s.name));
+        }
         let regressions = compare(&baseline, &report);
         if regressions.is_empty() {
             if !args.quiet {

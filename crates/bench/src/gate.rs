@@ -169,15 +169,35 @@ pub struct Tolerance {
     pub abs: f64,
 }
 
-impl Tolerance {
-    /// The band for a metric, by naming convention:
-    ///
-    /// * `*.cycles`, `*.uops`, counts — simulator-exact integers; only
-    ///   float round-off is allowed.
-    /// * `*.upc`, `*.pressure`, ratios — derived from exact counts;
-    ///   a 0.1 % band absorbs division round-off.
-    /// * everything else — 2 %.
-    pub fn for_metric(metric: &str) -> Tolerance {
+/// The closed set of tolerance classes, dispatched on metric-name
+/// suffix. A gated metric whose name matches **no** class is a gate
+/// violation in its own right — an unrecognized name must never
+/// silently inherit a band (it used to fall through to 2 %, which
+/// would wave a mistyped `.cylces` metric past any regression).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ToleranceClass {
+    /// Simulator-exact integers (`.cycles`, `.uops`, `.instructions`,
+    /// `_bits`, `_blocks`, `_iterations`, `.count`, `.accelerated`):
+    /// only float round-off is allowed.
+    Exact,
+    /// Ratios derived from exact counts (`.upc`, `.pressure`,
+    /// `.speedup`, `.ratio`): a 0.1 % band absorbs division round-off.
+    Ratio,
+    /// Latency percentiles read off fixed power-of-two histogram
+    /// buckets (`.p50_ns`, `.p90_ns`, `.p95_ns`, `.p99_ns`): quantiles
+    /// snap to bucket upper edges, so any real regression shows as a
+    /// ×2 edge jump — a 25 % band passes identical values (and
+    /// round-off) while failing every bucket jump.
+    Percentile,
+    /// Wall-clock-shaped quantities (`mbps`, `.mbps_per_core`,
+    /// `.ns_per_block`, `.bits_per_s`, `.mean_ns`, `elapsed_s`): 2 %.
+    Banded,
+}
+
+impl ToleranceClass {
+    /// Resolve a metric name to its class, or `None` when the name
+    /// matches no known suffix.
+    pub fn for_metric(metric: &str) -> Option<ToleranceClass> {
         if metric.ends_with(".cycles")
             || metric.ends_with(".uops")
             || metric.ends_with(".instructions")
@@ -185,22 +205,72 @@ impl Tolerance {
             || metric.ends_with("_blocks")
             || metric.ends_with("_iterations")
             || metric.ends_with(".count")
+            || metric.ends_with(".accelerated")
         {
-            Tolerance { rel: 0.0, abs: 0.5 }
+            Some(ToleranceClass::Exact)
         } else if metric.ends_with(".upc")
             || metric.ends_with(".pressure")
             || metric.ends_with(".speedup")
+            || metric.ends_with(".ratio")
         {
-            Tolerance {
+            Some(ToleranceClass::Ratio)
+        } else if metric.ends_with(".p50_ns")
+            || metric.ends_with(".p90_ns")
+            || metric.ends_with(".p95_ns")
+            || metric.ends_with(".p99_ns")
+        {
+            Some(ToleranceClass::Percentile)
+        } else if metric == "mbps"
+            || metric.ends_with(".mbps")
+            || metric.ends_with(".mbps_per_core")
+            || metric.ends_with(".ns_per_block")
+            || metric.ends_with(".bits_per_s")
+            || metric.ends_with(".mean_ns")
+            || metric == "elapsed_s"
+            || metric.ends_with(".elapsed_s")
+        {
+            Some(ToleranceClass::Banded)
+        } else {
+            None
+        }
+    }
+
+    /// The band this class allows.
+    pub fn tolerance(self) -> Tolerance {
+        match self {
+            ToleranceClass::Exact => Tolerance { rel: 0.0, abs: 0.5 },
+            ToleranceClass::Ratio => Tolerance {
                 rel: 1e-3,
                 abs: 1e-9,
-            }
-        } else {
-            Tolerance {
+            },
+            ToleranceClass::Percentile => Tolerance {
+                rel: 0.25,
+                abs: 0.5,
+            },
+            ToleranceClass::Banded => Tolerance {
                 rel: 0.02,
                 abs: 1e-9,
-            }
+            },
         }
+    }
+
+    /// Class name for gate output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ToleranceClass::Exact => "exact",
+            ToleranceClass::Ratio => "ratio",
+            ToleranceClass::Percentile => "percentile",
+            ToleranceClass::Banded => "banded",
+        }
+    }
+}
+
+impl Tolerance {
+    /// The band for a metric by naming convention (see
+    /// [`ToleranceClass`]), or `None` when no class matches — gated
+    /// comparisons treat that as a violation rather than guessing.
+    pub fn for_metric(metric: &str) -> Option<Tolerance> {
+        ToleranceClass::for_metric(metric).map(ToleranceClass::tolerance)
     }
 
     /// Whether `current` sits inside the band around `baseline`.
@@ -220,30 +290,36 @@ pub struct Regression {
     pub baseline: Option<f64>,
     /// Current value (`None` when the metric vanished).
     pub current: Option<f64>,
-    /// The band that was applied.
-    pub tolerance: Tolerance,
+    /// The band that was applied; `None` when the metric name resolves
+    /// to no [`ToleranceClass`] (itself the violation).
+    pub tolerance: Option<Tolerance>,
 }
 
 impl Regression {
     /// One-line description for gate output.
     pub fn describe(&self) -> String {
-        match (self.baseline, self.current) {
-            (Some(b), Some(c)) => format!(
+        match (self.baseline, self.current, self.tolerance) {
+            (Some(b), _, None) => format!(
+                "{}/{}: no tolerance class matches this metric name \
+                 (baseline {b}) — rename it to a classed suffix",
+                self.suite, self.metric
+            ),
+            (Some(b), Some(c), Some(t)) => format!(
                 "{}/{}: {} -> {} (tolerance rel {:.1}% abs {})",
                 self.suite,
                 self.metric,
                 b,
                 c,
-                self.tolerance.rel * 100.0,
-                self.tolerance.abs
+                t.rel * 100.0,
+                t.abs
             ),
-            (Some(b), None) => {
+            (Some(b), None, Some(_)) => {
                 format!(
                     "{}/{}: metric disappeared (baseline {})",
                     self.suite, self.metric, b
                 )
             }
-            (None, Some(_)) | (None, None) => {
+            (None, _, _) => {
                 format!(
                     "{}/{}: gated suite missing from current run",
                     self.suite, self.metric
@@ -254,9 +330,12 @@ impl Regression {
 }
 
 /// Compare a current report against the baseline: every metric of
-/// every **gated** baseline suite must be present and inside its
-/// tolerance band. Metrics added since the baseline pass (they gate
-/// only after a baseline refresh); ungated suites never fail.
+/// every **gated** baseline suite must resolve to a known
+/// [`ToleranceClass`], be present in the current run, and sit inside
+/// its band. A baseline entry with an unrecognized class is a
+/// violation (it can never be meaningfully compared). Metrics added
+/// since the baseline pass (they gate only after a baseline refresh);
+/// ungated suites never fail.
 pub fn compare(baseline: &BenchReport, current: &BenchReport) -> Vec<Regression> {
     let mut out = Vec::new();
     for base_suite in baseline.suites.iter().filter(|s| s.gated) {
@@ -266,12 +345,21 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport) -> Vec<Regression>
                 metric: "*".into(),
                 baseline: None,
                 current: None,
-                tolerance: Tolerance { rel: 0.0, abs: 0.0 },
+                tolerance: None,
             });
             continue;
         };
         for (metric, base_v) in &base_suite.metrics {
-            let tolerance = Tolerance::for_metric(metric);
+            let Some(tolerance) = Tolerance::for_metric(metric) else {
+                out.push(Regression {
+                    suite: base_suite.name.clone(),
+                    metric: metric.clone(),
+                    baseline: Some(*base_v),
+                    current: cur_suite.get(metric),
+                    tolerance: None,
+                });
+                continue;
+            };
             match cur_suite.get(metric) {
                 Some(cur_v) if tolerance.accepts(*base_v, cur_v) => {}
                 Some(cur_v) => out.push(Regression {
@@ -279,14 +367,14 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport) -> Vec<Regression>
                     metric: metric.clone(),
                     baseline: Some(*base_v),
                     current: Some(cur_v),
-                    tolerance,
+                    tolerance: Some(tolerance),
                 }),
                 None => out.push(Regression {
                     suite: base_suite.name.clone(),
                     metric: metric.clone(),
                     baseline: Some(*base_v),
                     current: None,
-                    tolerance,
+                    tolerance: Some(tolerance),
                 }),
             }
         }
@@ -380,26 +468,91 @@ mod tests {
     #[test]
     fn tolerance_classes_by_name() {
         assert_eq!(
-            Tolerance::for_metric("x.cycles"),
-            Tolerance { rel: 0.0, abs: 0.5 }
+            ToleranceClass::for_metric("x.cycles"),
+            Some(ToleranceClass::Exact)
+        );
+        assert_eq!(
+            ToleranceClass::for_metric("tb_bits"),
+            Some(ToleranceClass::Exact)
+        );
+        assert_eq!(
+            ToleranceClass::for_metric("x.upc"),
+            Some(ToleranceClass::Ratio)
+        );
+        assert_eq!(
+            ToleranceClass::for_metric("ue.fairness.ratio"),
+            Some(ToleranceClass::Ratio)
+        );
+        assert_eq!(
+            ToleranceClass::for_metric("latency.total.p99_ns"),
+            Some(ToleranceClass::Percentile)
+        );
+        assert_eq!(
+            ToleranceClass::for_metric("w2.mbps"),
+            Some(ToleranceClass::Banded)
         );
         assert_eq!(
             Tolerance::for_metric("x.upc"),
-            Tolerance {
+            Some(Tolerance {
                 rel: 1e-3,
                 abs: 1e-9
-            }
+            })
         );
-        assert_eq!(
-            Tolerance::for_metric("tb_bits"),
-            Tolerance { rel: 0.0, abs: 0.5 }
+        // No silent fall-through: an unrecognized name has NO class.
+        assert_eq!(ToleranceClass::for_metric("something"), None);
+        assert_eq!(Tolerance::for_metric("ok_packets"), None);
+    }
+
+    #[test]
+    fn percentile_band_accepts_round_off_but_not_bucket_jumps() {
+        let t = ToleranceClass::Percentile.tolerance();
+        // Identical bucket edge: pass.
+        assert!(t.accepts(1_048_576.0, 1_048_576.0));
+        // One power-of-two bucket jump in either direction: fail.
+        assert!(!t.accepts(1_048_576.0, 2_097_152.0));
+        assert!(!t.accepts(2_097_152.0, 1_048_576.0));
+    }
+
+    #[test]
+    fn unknown_class_in_gated_baseline_fails_the_gate() {
+        let mut base = report();
+        base.suites[0].push("mystery_metric", 7.0);
+        let mut cur = base.clone();
+        // Even a bit-identical current value cannot excuse a metric the
+        // gate has no class for.
+        let regs = compare(&base, &cur);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "mystery_metric");
+        assert_eq!(regs[0].tolerance, None);
+        assert!(
+            regs[0].describe().contains("no tolerance class"),
+            "{}",
+            regs[0].describe()
         );
+        // Unknown classes in *ungated* suites stay informational.
+        cur.suites[1].push("also_mystery", 1.0);
+        let mut base2 = report();
+        base2.suites[1].push("also_mystery", 1.0);
+        assert_eq!(compare(&base2, &base2).len(), 0);
+    }
+
+    #[test]
+    fn percentile_regression_fails_the_gate() {
+        let mut base = report();
+        let mut s = Suite::new("cell_scale_smoke", true);
+        s.push("latency.total.p99_ns", 16_777_216.0);
+        base.suites.push(s);
+        let mut cur = base.clone();
+        assert!(compare(&base, &cur).is_empty());
+        // p99 slides one histogram bucket up: the gate must trip.
+        let idx = cur.suites.len() - 1;
+        cur.suites[idx].metrics[0].1 *= 2.0;
+        let regs = compare(&base, &cur);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "latency.total.p99_ns");
         assert_eq!(
-            Tolerance::for_metric("something"),
-            Tolerance {
-                rel: 0.02,
-                abs: 1e-9
-            }
+            regs[0].tolerance,
+            Some(ToleranceClass::Percentile.tolerance())
         );
     }
 }

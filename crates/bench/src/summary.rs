@@ -1,0 +1,147 @@
+//! Markdown rendering of a [`BenchReport`] for CI step summaries.
+//!
+//! Produces the compact table `benchgate --summary` writes into
+//! `$GITHUB_STEP_SUMMARY`: one row per latency-percentile metric group
+//! (p50/p95/p99 side by side), plus the cell-scale capacity figures —
+//! the per-PR perf trajectory at a glance, no local checkout needed.
+
+use crate::gate::BenchReport;
+
+/// Human-readable nanosecond value (`ns`, `µs`, `ms`, `s`).
+fn fmt_ns(ns: f64) -> String {
+    if !ns.is_finite() || ns >= u64::MAX as f64 {
+        return "overflow".into();
+    }
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.1} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.1} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Render the step-summary markdown for a report.
+pub fn render_markdown(report: &BenchReport) -> String {
+    let mut out = String::new();
+    out.push_str("## benchgate summary\n\n");
+    out.push_str(&format!("commit `{}`\n\n", report.git_sha));
+
+    // Latency percentile groups: any metric family exposing
+    // `<prefix>.p50_ns` / `.p95_ns` / `.p99_ns`.
+    let mut rows: Vec<(String, [Option<f64>; 3])> = Vec::new();
+    for suite in &report.suites {
+        for (metric, value) in &suite.metrics {
+            let Some((prefix, pct)) = metric.rsplit_once('.') else {
+                continue;
+            };
+            let col = match pct {
+                "p50_ns" => 0,
+                "p95_ns" => 1,
+                "p99_ns" => 2,
+                _ => continue,
+            };
+            let key = format!(
+                "{}{} / {prefix}",
+                suite.name,
+                if suite.gated { " (gated)" } else { "" }
+            );
+            match rows.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, cells)) => cells[col] = Some(*value),
+                None => {
+                    let mut cells = [None; 3];
+                    cells[col] = Some(*value);
+                    rows.push((key, cells));
+                }
+            }
+        }
+    }
+    if !rows.is_empty() {
+        out.push_str("| metric | p50 | p95 | p99 |\n|---|---|---|---|\n");
+        for (key, cells) in &rows {
+            out.push_str(&format!("| {key} |"));
+            for c in cells {
+                match c {
+                    Some(v) => out.push_str(&format!(" {} |", fmt_ns(*v))),
+                    None => out.push_str(" — |"),
+                }
+            }
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+
+    // Capacity figures from the full cell-scale sweep, when present.
+    if let Some(full) = report.suite("cell_scale_full") {
+        let mut lines = Vec::new();
+        for (metric, value) in &full.metrics {
+            if let Some(prefix) = metric.strip_suffix(".cores_for_300mbps") {
+                let cells: String = prefix.chars().skip(1).collect();
+                let served = full
+                    .get(&format!("{prefix}.served.mbps"))
+                    .unwrap_or(f64::NAN);
+                lines.push(format!("| {cells} | {served:.0} | {value:.2} |",));
+            }
+        }
+        if !lines.is_empty() {
+            out.push_str("### cores per cells × 300 Mbps\n\n");
+            out.push_str("| cells | served Mbps | cores |\n|---|---|---|\n");
+            for l in lines {
+                out.push_str(&l);
+                out.push('\n');
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Suite;
+
+    #[test]
+    fn nanosecond_formatting_scales_units() {
+        assert_eq!(fmt_ns(512.0), "512 ns");
+        assert_eq!(fmt_ns(2048.0), "2.0 µs");
+        assert_eq!(fmt_ns(16_777_216.0), "16.8 ms");
+        assert_eq!(fmt_ns(2.5e9), "2.50 s");
+        assert_eq!(fmt_ns(u64::MAX as f64), "overflow");
+    }
+
+    #[test]
+    fn percentile_groups_render_as_rows() {
+        let mut r = BenchReport::new("deadbeef");
+        let mut s = Suite::new("cell_scale_smoke", true);
+        s.push("latency.total.p50_ns", 65536.0);
+        s.push("latency.total.p95_ns", 1_048_576.0);
+        s.push("latency.total.p99_ns", 16_777_216.0);
+        s.push("latency.queue.p99_ns", 8_388_608.0);
+        r.suites.push(s);
+        let md = render_markdown(&r);
+        assert!(md.contains("| p50 | p95 | p99 |"), "{md}");
+        assert!(
+            md.contains(
+                "| cell_scale_smoke (gated) / latency.total | 65.5 µs | 1.0 ms | 16.8 ms |"
+            ),
+            "{md}"
+        );
+        // queue has only a p99: the other columns render as dashes.
+        assert!(md.contains("/ latency.queue | — | — | 8.4 ms |"), "{md}");
+    }
+
+    #[test]
+    fn capacity_table_renders_when_full_suite_present() {
+        let mut r = BenchReport::new("deadbeef");
+        let mut s = Suite::new("cell_scale_full", false);
+        s.push("c2.served.mbps", 41.0);
+        s.push("c2.cores_for_300mbps", 3.75);
+        r.suites.push(s);
+        let md = render_markdown(&r);
+        assert!(md.contains("cores per cells × 300 Mbps"), "{md}");
+        assert!(md.contains("| 2 | 41 | 3.75 |"), "{md}");
+    }
+}

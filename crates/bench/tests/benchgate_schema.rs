@@ -2,7 +2,7 @@
 //! the metrics CI gates on — a stale or hand-mangled baseline should
 //! fail here, not mysteriously inside `benchgate --check`.
 
-use vran_bench::gate::{compare, BenchReport};
+use vran_bench::gate::{compare, BenchReport, ToleranceClass};
 
 fn baseline() -> BenchReport {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_baseline.json");
@@ -37,7 +37,7 @@ fn baseline_has_pipeline_suites() {
     let b = baseline();
     let stat = b.suite("pipeline_static").expect("pipeline_static suite");
     assert!(stat.gated);
-    assert!(stat.get("ok_packets").unwrap_or(0.0) > 0.0);
+    assert!(stat.get("ok_packets.count").unwrap_or(0.0) > 0.0);
     let wall = b
         .suite("pipeline_wallclock")
         .expect("pipeline_wallclock suite");
@@ -77,6 +77,46 @@ fn baseline_has_native_decoder_suite() {
     assert!(dn.get("batch2.ns_per_block").is_some());
     assert!(dn.get("batch4.ns_per_block").is_some());
     assert!(dn.get("batch4.accelerated").is_some());
+}
+
+#[test]
+fn baseline_has_cell_scale_suites() {
+    let b = baseline();
+    let smoke = b.suite("cell_scale_smoke").expect("cell_scale_smoke suite");
+    assert!(smoke.gated, "the smoke preset is the tail-latency gate");
+    for metric in [
+        "offered.count",
+        "served.count",
+        "harq_retx.count",
+        "latency.total.p50_ns",
+        "latency.total.p95_ns",
+        "latency.total.p99_ns",
+        "latency.queue.p99_ns",
+        "ue.fairness.ratio",
+    ] {
+        assert!(smoke.get(metric).is_some(), "baseline lost {metric}");
+    }
+    assert!(smoke.get("served.count").unwrap() > 0.0);
+    let full = b.suite("cell_scale_full").expect("cell_scale_full suite");
+    assert!(!full.gated, "the full sweep is informational");
+    assert!(full.get("c1.cores_for_300mbps").unwrap_or(0.0) > 0.0);
+}
+
+#[test]
+fn every_gated_baseline_metric_has_a_tolerance_class() {
+    // The gate refuses unknown classes; a baseline that sneaks one in
+    // would fail every CI run — catch it here with a useful message.
+    let b = baseline();
+    for suite in b.suites.iter().filter(|s| s.gated) {
+        for (metric, _) in &suite.metrics {
+            assert!(
+                ToleranceClass::for_metric(metric).is_some(),
+                "{}/{}: gated metric has no tolerance class",
+                suite.name,
+                metric
+            );
+        }
+    }
 }
 
 #[test]

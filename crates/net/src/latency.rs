@@ -196,7 +196,7 @@ impl LatencyModel {
     }
 
     /// Cores needed to sustain `target_mbps` (Figure 16 right axis;
-    /// paper uses 300 Mbps for an eNodeB [19]).
+    /// paper uses 300 Mbps for an eNodeB \[19\]).
     pub fn cores_for(&mut self, width: RegWidth, mech: Mechanism, target_mbps: f64) -> usize {
         (target_mbps / self.mbps_per_core(width, mech)).ceil() as usize
     }

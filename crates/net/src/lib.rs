@@ -19,6 +19,9 @@
 //!   that turn `vran-uarch` cycle counts into Figure 13/14/16 numbers.
 //! * [`runner`] — a threaded source→PHY→sink driver for sustained
 //!   throughput measurements, with panic-isolated multicore workers.
+//! * [`cellsim`] — cell-scale workload generation: M cells × many UEs,
+//!   per-TTI scheduling, bursty/diurnal arrivals, HARQ storms, and
+//!   per-packet tail-latency accounting.
 //! * [`error`] — the typed fault taxonomy ([`error::PipelineError`])
 //!   every receive-path failure classifies into.
 //! * [`faultinject`] — deterministic, seeded fault injection for soak
@@ -39,6 +42,7 @@
 //! ```
 
 pub mod amc;
+pub mod cellsim;
 pub mod downlink;
 pub mod error;
 pub mod faultinject;

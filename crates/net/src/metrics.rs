@@ -97,6 +97,14 @@ impl Histogram {
         Self::new((8..24).map(|p| 1u64 << p).collect())
     }
 
+    /// Extended latency grid for cell-scale per-packet latency: powers
+    /// of two from 256 ns to ~1.07 s. Queueing delay under bursty load
+    /// spans whole TTIs (1 ms each) and HARQ round trips (8 ms each),
+    /// far past the per-stage grid's ceiling.
+    pub fn latency_wide_ns() -> Self {
+        Self::new((8..31).map(|p| 1u64 << p).collect())
+    }
+
     /// Occupancy grid for a ring of `capacity` slots: one bucket per
     /// power of two up to the capacity.
     pub fn occupancy(capacity: usize) -> Self {

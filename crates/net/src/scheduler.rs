@@ -77,6 +77,9 @@ pub struct CellScheduler {
     rr_next: usize,
     /// PF averaging window (subframes).
     window: f64,
+    /// Outer-loop link-adaptation offset applied to the instantaneous
+    /// SNR before MCS selection (see [`crate::amc::OuterLoop`]).
+    snr_offset_db: f32,
 }
 
 impl CellScheduler {
@@ -89,12 +92,22 @@ impl CellScheduler {
             rng: SmallRng::seed_from_u64(seed),
             rr_next: 0,
             window: 100.0,
+            snr_offset_db: 0.0,
         }
     }
 
     /// The UE table.
     pub fn ues(&self) -> &[UeContext] {
         &self.ues
+    }
+
+    /// Set the outer-loop link-adaptation offset (dB) applied to every
+    /// UE's instantaneous SNR before MCS selection. Fed by
+    /// [`crate::amc::OuterLoop`] from decode outcomes: sustained HARQ
+    /// failures push it negative, backing the cell off to more robust
+    /// operating points.
+    pub fn set_snr_offset_db(&mut self, offset_db: f32) {
+        self.snr_offset_db = offset_db;
     }
 
     /// Rayleigh-ish instantaneous SNR draw around the UE's mean
@@ -118,43 +131,63 @@ impl CellScheduler {
 
     /// Run one subframe: draw channels, pick a winner, serve it.
     pub fn tick(&mut self) -> SubframeResult {
+        let all = vec![true; self.ues.len()];
+        self.tick_filtered(&all).expect("all UEs eligible")
+    }
+
+    /// [`tick`](Self::tick) restricted to eligible UEs — the cell-scale
+    /// workload marks only backlogged UEs eligible, as an operational
+    /// scheduler would. Channel draws happen for every UE regardless
+    /// (the RNG stream does not depend on eligibility), PF averages
+    /// decay for every UE, and `None` is returned when no UE is
+    /// eligible (an idle subframe).
+    pub fn tick_filtered(&mut self, eligible: &[bool]) -> Option<SubframeResult> {
         let n = self.ues.len();
-        let snrs: Vec<f32> = (0..n).map(|u| self.instantaneous_snr(u)).collect();
+        assert_eq!(eligible.len(), n, "one eligibility flag per UE");
+        let snrs: Vec<f32> = (0..n)
+            .map(|u| self.instantaneous_snr(u) + self.snr_offset_db)
+            .collect();
         let rates: Vec<u64> = snrs.iter().map(|&s| Self::rate_at(s).1).collect();
 
         let winner = match self.policy {
             Policy::RoundRobin => {
-                let w = self.rr_next;
-                self.rr_next = (self.rr_next + 1) % n;
+                let w = (0..n)
+                    .map(|i| (self.rr_next + i) % n)
+                    .find(|&u| eligible[u]);
+                if let Some(w) = w {
+                    self.rr_next = (w + 1) % n;
+                }
                 w
             }
-            Policy::MaxCi => (0..n).max_by_key(|&u| rates[u]).expect("non-empty"),
-            Policy::ProportionalFair => (0..n)
-                .max_by(|&a, &b| {
-                    let ma = rates[a] as f64 / self.ues[a].avg_rate.max(1.0);
-                    let mb = rates[b] as f64 / self.ues[b].avg_rate.max(1.0);
-                    ma.partial_cmp(&mb).expect("finite")
-                })
-                .expect("non-empty"),
+            Policy::MaxCi => (0..n).filter(|&u| eligible[u]).max_by_key(|&u| rates[u]),
+            Policy::ProportionalFair => (0..n).filter(|&u| eligible[u]).max_by(|&a, &b| {
+                let ma = rates[a] as f64 / self.ues[a].avg_rate.max(1.0);
+                let mb = rates[b] as f64 / self.ues[b].avg_rate.max(1.0);
+                ma.partial_cmp(&mb).expect("finite")
+            }),
         };
 
-        let (mcs, bits) = Self::rate_at(snrs[winner]);
+        let (mcs, bits) = match winner {
+            Some(w) => Self::rate_at(snrs[w]),
+            None => (None, 0),
+        };
         // PF exponential averaging: every UE's average decays; the
         // winner's includes its service.
         for (u, ue) in self.ues.iter_mut().enumerate() {
-            let served = if u == winner { bits as f64 } else { 0.0 };
+            let served = if Some(u) == winner { bits as f64 } else { 0.0 };
             ue.avg_rate += (served - ue.avg_rate) / self.window;
         }
-        let ue = &mut self.ues[winner];
+        let w = winner?;
+        let ue = &mut self.ues[w];
         ue.served_bits += bits;
         if bits > 0 {
             ue.scheduled_count += 1;
         }
-        SubframeResult {
+        Some(SubframeResult {
             ue: ue.id,
             mcs,
             bits,
-        }
+        })
     }
 
     /// Run `n` subframes and return (cell throughput in Mbps, Jain
@@ -238,6 +271,63 @@ mod tests {
         let a = cell(Policy::ProportionalFair).run(500);
         let b = cell(Policy::ProportionalFair).run(500);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tick_filtered_respects_eligibility() {
+        let mut c = cell(Policy::ProportionalFair);
+        // Only the cell-edge UE is backlogged: it must win every round
+        // despite its poor channel.
+        for _ in 0..50 {
+            let r = c.tick_filtered(&[false, false, true]);
+            if let Some(r) = r {
+                assert_eq!(r.ue, 2, "only the eligible UE may win");
+            }
+        }
+        assert!(c.ues()[2].scheduled_count > 0);
+        assert_eq!(c.ues()[0].scheduled_count, 0);
+        // Nobody eligible → idle subframe.
+        assert!(c.tick_filtered(&[false, false, false]).is_none());
+        // Averages still decay on idle subframes.
+        let before: Vec<f64> = c.ues().iter().map(|u| u.avg_rate).collect();
+        c.tick_filtered(&[false, false, false]);
+        for (b, u) in before.iter().zip(c.ues()) {
+            assert!(u.avg_rate < *b, "PF averages must decay while idle");
+        }
+    }
+
+    #[test]
+    fn tick_filtered_rng_stream_is_eligibility_independent() {
+        // Same seed, different eligibility masks up front: once the
+        // masks re-align, the channel draws (and hence outcomes) must
+        // match a scheduler that was never masked.
+        let mut a = cell(Policy::RoundRobin);
+        let mut b = cell(Policy::RoundRobin);
+        a.tick_filtered(&[true, false, true]);
+        b.tick_filtered(&[true, true, true]);
+        let ra = a.tick_filtered(&[true, true, true]).expect("eligible");
+        let rb = b.tick_filtered(&[true, true, true]).expect("eligible");
+        assert_eq!(ra.bits, rb.bits, "channel draws must not depend on masks");
+    }
+
+    #[test]
+    fn snr_offset_backs_off_the_operating_point() {
+        let served = |offset: f32| {
+            let mut c = CellScheduler::new(vec![UeContext::new(0, 10.0)], Policy::RoundRobin, 7);
+            c.set_snr_offset_db(offset);
+            let mut bits = 0u64;
+            for _ in 0..500 {
+                bits += c.tick().bits;
+            }
+            bits
+        };
+        let nominal = served(0.0);
+        let backed_off = served(-6.0);
+        let boosted = served(6.0);
+        assert!(
+            backed_off < nominal && nominal < boosted,
+            "served bits must be monotone in the offset: {backed_off} < {nominal} < {boosted}"
+        );
     }
 
     #[test]

@@ -120,7 +120,7 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// L1 hit rate in [0,1]; 1.0 for an idle cache.
+    /// L1 hit rate in `[0,1]`; 1.0 for an idle cache.
     pub fn l1_hit_rate(&self) -> f64 {
         if self.accesses == 0 {
             1.0

@@ -11,7 +11,7 @@
 //!   figure exports and the `BENCH_*.json` perf trajectory.
 //! * [`pad`] — [`pad::CachePadded`], alignment padding for the SPSC
 //!   ring's head/tail counters.
-//! * [`proptest`] — a compact property-testing harness exposing the
+//! * [`mod@proptest`] — a compact property-testing harness exposing the
 //!   `proptest!`/strategy subset the workspace's model-based tests use.
 
 pub mod json;

@@ -1,0 +1,93 @@
+//! Cell-scale load harness: a multi-cell eNB serving many UEs per
+//! TTI through the MAC scheduler, with bursty paper-sweep traffic and
+//! a mid-run HARQ retransmission storm — the deterministic smoke
+//! preset that CI gates on p50/p95/p99 tail latency, run once with the
+//! storm and once without to show what retransmissions do to the tail.
+//!
+//! ```text
+//! cargo run --release -p apcm --example cell_scale
+//! ```
+
+use vran_net::cellsim::{run_cell_sim, CellSimConfig, CellSimReport};
+
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns} ns"),
+        10_000..=9_999_999 => format!("{:.1} µs", ns as f64 / 1e3),
+        10_000_000..=9_999_999_999 => format!("{:.1} ms", ns as f64 / 1e6),
+        _ => format!("{:.2} s", ns as f64 / 1e9),
+    }
+}
+
+fn print_report(r: &CellSimReport) {
+    println!(
+        "  {} cells × {} UEs × {} TTIs: offered {} pkts ({:.2} Mbps), \
+         served {} ({:.2} Mbps), dropped {}, backlog {}, {} HARQ retx",
+        r.cells,
+        r.ues_per_cell,
+        r.ttis,
+        r.offered_packets,
+        r.offered_mbps(),
+        r.served_packets,
+        r.served_mbps(),
+        r.dropped_packets,
+        r.backlog_packets,
+        r.harq_retransmissions,
+    );
+    println!(
+        "  UE fairness (Jain) {:.3}, core-equivalents {:.3}, \
+         cores for 300 Mbps of this mix: {:.1}",
+        r.ue_fairness,
+        r.core_equivalents(),
+        r.cores_for(300.0),
+    );
+    println!(
+        "  {:<10} {:>10} {:>10} {:>10}",
+        "stage", "p50", "p95", "p99"
+    );
+    for (name, h) in [
+        ("total", &r.latency.total),
+        ("queue", &r.latency.queue),
+        ("harq", &r.latency.harq),
+        ("proc", &r.latency.proc),
+        ("arrange", &r.latency.arrange),
+        ("calc", &r.latency.calc),
+    ] {
+        println!(
+            "  {:<10} {:>10} {:>10} {:>10}",
+            name,
+            fmt_ns(h.quantile_upper(0.50)),
+            fmt_ns(h.quantile_upper(0.95)),
+            fmt_ns(h.quantile_upper(0.99)),
+        );
+    }
+}
+
+fn main() {
+    let seed = 0xCE11;
+
+    println!("== smoke preset, with HARQ storm (the CI-gated workload) ==");
+    let stormy = run_cell_sim(CellSimConfig::smoke(seed));
+    print_report(&stormy);
+
+    println!("\n== same cells, same seed, storm removed ==");
+    let mut calm_cfg = CellSimConfig::smoke(seed);
+    calm_cfg.storm = None;
+    let calm = run_cell_sim(calm_cfg);
+    print_report(&calm);
+
+    let stormy_p99 = stormy.latency.harq.quantile_upper(0.99);
+    let calm_p99 = calm.latency.harq.quantile_upper(0.99);
+    println!(
+        "\nHARQ-stage p99, storm vs calm: {} vs {} — the end-to-end \
+         tail is queue-dominated under this loaded preset, but the \
+         storm adds {} retransmissions ({:.0} % more processing) and \
+         a whole retransmission tail of its own. The per-stage \
+         breakdown is what localizes it, and the percentile gate is \
+         what keeps it from regressing silently.",
+        fmt_ns(stormy_p99),
+        fmt_ns(calm_p99),
+        stormy.harq_retransmissions - calm.harq_retransmissions,
+        (stormy.core_equivalents() / calm.core_equivalents() - 1.0) * 100.0,
+    );
+}

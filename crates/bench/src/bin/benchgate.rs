@@ -4,16 +4,20 @@
 //! original vs APCM, at all three register widths through the
 //! `vran-uarch` simulator, static uplink and downlink pipeline
 //! invariants (the latter once per encoder backend, so scalar/packed
-//! bit-equality is itself gated), and the fault-injection
-//! classification counts, plus the deterministic cell-scale smoke
-//! preset with its p50/p95/p99 tail-latency percentiles — and five
-//! informational (never gating) suites:
+//! bit-equality is itself gated), the fault-injection
+//! classification counts, the out-of-order stage-graph runtime's
+//! deterministic outcome and batch-formation counters (quad / pair /
+//! single launches, flush reasons, zmm lane occupancy), plus the
+//! deterministic cell-scale smoke preset with its p50/p95/p99
+//! tail-latency percentiles — and six informational (never gating)
+//! suites:
 //! a smoke run of the threaded packet pipeline, the native
 //! turbo-decoder fast path, the packed turbo-encoder fast path
 //! (scalar per-bit reference vs each runtime-dispatched ISA level,
 //! plus the packed-word rate matcher and the combined transmit
 //! chain), the downlink and uplink multi-worker scale-out
-//! sweeps, and the full cell-scale diurnal sweep with its
+//! sweeps, the stage-graph vs per-packet serial wall-clock
+//! throughput comparison, and the full cell-scale diurnal sweep with its
 //! cores-per-(cells × 300 Mbps) capacity figures. Writes
 //! `BENCH_current.json` and, with `--check`, compares the gated
 //! suites against `BENCH_baseline.json`, exiting non-zero on
@@ -37,13 +41,15 @@ use vran_bench::{interleaved_workload, turbo_workload};
 use vran_net::downlink::{DownlinkConfig, DownlinkPipeline};
 use vran_net::error::ErrorCategory;
 use vran_net::faultinject::{FaultInjector, FaultKind};
+use vran_net::metrics::StageGraphMetrics;
 use vran_net::metrics::{PipelineMetrics, RunnerMetrics, Stage, UarchMetrics};
 use vran_net::packet::PacketBuilder;
 use vran_net::pipeline::{DecoderBackend, EncoderBackend, PipelineConfig, UplinkPipeline};
 use vran_net::runner::{
-    downlink_scaleout_sweep, run_throughput_metered, uplink_scaleout_sweep, RING_CAPACITY,
+    downlink_scaleout_sweep, run_throughput_metered, run_uplink_serial_mixed,
+    run_uplink_stagegraph_metered, uplink_scaleout_sweep, RING_CAPACITY,
 };
-use vran_net::Transport;
+use vran_net::{StageGraphConfig, Transport};
 use vran_phy::bits::{extend_bits_from_words, random_bits};
 use vran_phy::rate_match::{PackedRateMatcher, RateMatcher};
 use vran_phy::turbo::{
@@ -79,6 +85,11 @@ const SCALEOUT_PACKETS: usize = 12;
 const SCALEOUT_WIRE_LEN: usize = 256;
 /// Largest worker count swept.
 const SCALEOUT_MAX_WORKERS: usize = 4;
+/// Packets per configuration of the gated stage-graph suite — twelve
+/// full rounds of the 14 paper-sweep classes.
+const STAGEGRAPH_PACKETS: usize = 168;
+/// Packets per run of the ungated stage-graph wall-clock comparison.
+const STAGEGRAPH_WALLCLOCK_PACKETS: usize = 420;
 
 struct Args {
     check: bool,
@@ -390,6 +401,130 @@ fn uplink_scaleout_suite() -> Suite {
     suite
 }
 
+/// Both transports at every paper-sweep size — the mixed-K workload
+/// the stage-graph suites (and the acceptance occupancy target) use.
+fn paper_sweep_classes() -> Vec<(Transport, usize)> {
+    [Transport::Udp, Transport::Tcp]
+        .into_iter()
+        .flat_map(|t| {
+            [64usize, 128, 300, 600, 900, 1200, 1400]
+                .into_iter()
+                .map(move |s| (t, s))
+        })
+        .collect()
+}
+
+/// Gated: deterministic outcomes and batch-formation shape of the
+/// out-of-order stage-graph runtime on the paper-sweep round-robin
+/// workload at one and two workers. Packet/ok counts and every
+/// quad/pair/single/flush counter gate exactly; zmm lane occupancy
+/// gates as a ratio. No `deadline_ns` is set, so flushes are purely
+/// tick-driven and the whole suite is host-independent.
+fn uplink_stagegraph_suite() -> Suite {
+    let mut suite = Suite::new("uplink_stagegraph", true);
+    let classes = paper_sweep_classes();
+    for workers in [1usize, 2] {
+        let sg = std::sync::Arc::new(StageGraphMetrics::default());
+        let cfg = PipelineConfig {
+            snr_db: 30.0,
+            ..Default::default()
+        };
+        let rep = run_uplink_stagegraph_metered(
+            cfg,
+            &classes,
+            STAGEGRAPH_PACKETS,
+            workers,
+            StageGraphConfig::default(),
+            &RunnerMetrics::new(false, RING_CAPACITY),
+            Some(sg.clone()),
+            None,
+        );
+        let p = format!("w{workers}");
+        suite.push(format!("{p}.packets.count"), rep.packets as f64);
+        suite.push(format!("{p}.ok.count"), rep.ok_packets as f64);
+        suite.push(
+            format!("{p}.batch.lane_occupancy.ratio"),
+            sg.lane_occupancy(),
+        );
+        suite.push(
+            format!("{p}.batch.quad_blocks.count"),
+            sg.quad_blocks.get() as f64,
+        );
+        suite.push(
+            format!("{p}.batch.pair_blocks.count"),
+            sg.pair_blocks.get() as f64,
+        );
+        suite.push(
+            format!("{p}.batch.single_blocks.count"),
+            sg.single_blocks.get() as f64,
+        );
+        suite.push(
+            format!("{p}.batch.flush.lanes_full.count"),
+            sg.flush_lanes_full.get() as f64,
+        );
+        suite.push(
+            format!("{p}.batch.flush.deadline.count"),
+            sg.flush_deadline.get() as f64,
+        );
+        suite.push(
+            format!("{p}.batch.flush.drain.count"),
+            sg.flush_drain.get() as f64,
+        );
+    }
+    suite
+}
+
+/// Ungated: wall-clock throughput of the stage-graph runtime vs the
+/// per-packet serial path on the same mixed-K traffic — once against
+/// the fixed-iteration batch semantics the stage graph shares (the
+/// apples-to-apples speedup) and once against the CRC-early-stop
+/// serial default (quantifying the early-stop trade-off the batch
+/// lanes give up).
+fn uplink_stagegraph_wallclock_suite() -> Suite {
+    let mut suite = Suite::new("uplink_stagegraph_wallclock", false);
+    let classes = paper_sweep_classes();
+    let workers = 2;
+    let cfg = PipelineConfig {
+        snr_db: 30.0,
+        ..Default::default()
+    };
+    let batch_cfg = PipelineConfig {
+        batch_decode: true,
+        ..cfg
+    };
+    let earlystop = run_uplink_serial_mixed(cfg, &classes, STAGEGRAPH_WALLCLOCK_PACKETS, workers);
+    let serial_batch =
+        run_uplink_serial_mixed(batch_cfg, &classes, STAGEGRAPH_WALLCLOCK_PACKETS, workers);
+    let sg = std::sync::Arc::new(StageGraphMetrics::default());
+    let graph = run_uplink_stagegraph_metered(
+        cfg,
+        &classes,
+        STAGEGRAPH_WALLCLOCK_PACKETS,
+        workers,
+        StageGraphConfig::default(),
+        &RunnerMetrics::new(false, RING_CAPACITY),
+        Some(sg.clone()),
+        None,
+    );
+    suite.push("serial_earlystop.mbps", earlystop.mbps);
+    suite.push("serial_batch.mbps", serial_batch.mbps);
+    suite.push("stagegraph.mbps", graph.mbps);
+    suite.push(
+        "stagegraph.vs_serial_batch.speedup",
+        graph.mbps / serial_batch.mbps,
+    );
+    suite.push(
+        "stagegraph.vs_serial_earlystop.speedup",
+        graph.mbps / earlystop.mbps,
+    );
+    suite.push("batch.lane_occupancy.ratio", sg.lane_occupancy());
+    suite.push(
+        "batch4.accelerated",
+        f64::from(NativeBatchTurboDecoder::is_zmm_accelerated()),
+    );
+    suite
+}
+
 /// Gated: host-independent downlink outcomes at pinned seeds and
 /// sizes, once per [`EncoderBackend`] — the two backends must stay
 /// bit-identical (every metric equal between the `scalar.` and
@@ -516,13 +651,15 @@ fn pipeline_wallclock_suite(
 }
 
 /// Suite names `--only` accepts (also the build order).
-const SUITES: [&str; 11] = [
+const SUITES: [&str; 13] = [
     "arrange_sim",
     "decoder_native",
     "encoder_wallclock",
     "downlink_static",
     "downlink_scaleout",
     "uplink_scaleout",
+    "uplink_stagegraph",
+    "uplink_stagegraph_wallclock",
     "cell_scale_smoke",
     "cell_scale_full",
     "pipeline_static",
@@ -557,6 +694,11 @@ fn build_report(only: &[String]) -> Result<BenchReport, String> {
             "scaleout_max_workers".into(),
             SCALEOUT_MAX_WORKERS.to_string(),
         ),
+        ("stagegraph_packets".into(), STAGEGRAPH_PACKETS.to_string()),
+        (
+            "stagegraph_wallclock_packets".into(),
+            STAGEGRAPH_WALLCLOCK_PACKETS.to_string(),
+        ),
     ];
     if want("arrange_sim") {
         report.suites.push(arrange_sim_suite());
@@ -575,6 +717,12 @@ fn build_report(only: &[String]) -> Result<BenchReport, String> {
     }
     if want("uplink_scaleout") {
         report.suites.push(uplink_scaleout_suite());
+    }
+    if want("uplink_stagegraph") {
+        report.suites.push(uplink_stagegraph_suite());
+    }
+    if want("uplink_stagegraph_wallclock") {
+        report.suites.push(uplink_stagegraph_wallclock_suite());
     }
     if want("cell_scale_smoke") {
         report.suites.push(cell_scale_smoke_suite());

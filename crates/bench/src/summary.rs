@@ -2,8 +2,10 @@
 //!
 //! Produces the compact table `benchgate --summary` writes into
 //! `$GITHUB_STEP_SUMMARY`: one row per latency-percentile metric group
-//! (p50/p95/p99 side by side), plus the cell-scale capacity figures —
-//! the per-PR perf trajectory at a glance, no local checkout needed.
+//! (p50/p95/p99 side by side), the stage-graph batch-formation figures
+//! (zmm lane occupancy and quad/pair/single launch counts per suite),
+//! plus the cell-scale capacity figures — the per-PR perf trajectory
+//! at a glance, no local checkout needed.
 
 use crate::gate::BenchReport;
 
@@ -73,6 +75,43 @@ pub fn render_markdown(report: &BenchReport) -> String {
         out.push('\n');
     }
 
+    // Batch lane occupancy: any suite exposing
+    // `<prefix>.lane_occupancy.ratio`, with its sibling quad / pair /
+    // single block counts when present.
+    let mut occ_rows = Vec::new();
+    for suite in &report.suites {
+        for (metric, value) in &suite.metrics {
+            let Some(prefix) = metric.strip_suffix("lane_occupancy.ratio") else {
+                continue;
+            };
+            let count = |name: &str| {
+                suite
+                    .get(&format!("{prefix}{name}.count"))
+                    .map(|v| format!("{v:.0}"))
+                    .unwrap_or_else(|| "—".into())
+            };
+            occ_rows.push(format!(
+                "| {}{} / {} | {:.1}% | {} | {} | {} |",
+                suite.name,
+                if suite.gated { " (gated)" } else { "" },
+                metric.trim_end_matches(".lane_occupancy.ratio"),
+                value * 100.0,
+                count("quad_blocks"),
+                count("pair_blocks"),
+                count("single_blocks"),
+            ));
+        }
+    }
+    if !occ_rows.is_empty() {
+        out.push_str("### batch lane occupancy\n\n");
+        out.push_str("| metric | occupancy | quads | pairs | singles |\n|---|---|---|---|---|\n");
+        for l in occ_rows {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+
     // Capacity figures from the full cell-scale sweep, when present.
     if let Some(full) = report.suite("cell_scale_full") {
         let mut lines = Vec::new();
@@ -131,6 +170,23 @@ mod tests {
         );
         // queue has only a p99: the other columns render as dashes.
         assert!(md.contains("/ latency.queue | — | — | 8.4 ms |"), "{md}");
+    }
+
+    #[test]
+    fn lane_occupancy_table_renders_with_launch_counts() {
+        let mut r = BenchReport::new("deadbeef");
+        let mut s = Suite::new("uplink_stagegraph", true);
+        s.push("w1.batch.lane_occupancy.ratio", 0.925);
+        s.push("w1.batch.quad_blocks.count", 148.0);
+        s.push("w1.batch.pair_blocks.count", 8.0);
+        s.push("w1.batch.single_blocks.count", 4.0);
+        r.suites.push(s);
+        let md = render_markdown(&r);
+        assert!(md.contains("batch lane occupancy"), "{md}");
+        assert!(
+            md.contains("| uplink_stagegraph (gated) / w1.batch | 92.5% | 148 | 8 | 4 |"),
+            "{md}"
+        );
     }
 
     #[test]

@@ -103,6 +103,51 @@ fn baseline_has_cell_scale_suites() {
 }
 
 #[test]
+fn baseline_has_stagegraph_suites() {
+    let b = baseline();
+    let sg = b.suite("uplink_stagegraph").expect("uplink_stagegraph");
+    assert!(
+        sg.gated,
+        "the deterministic stage-graph sweep is the occupancy gate"
+    );
+    for workers in ["w1", "w2"] {
+        for metric in [
+            "packets.count",
+            "ok.count",
+            "batch.lane_occupancy.ratio",
+            "batch.quad_blocks.count",
+            "batch.pair_blocks.count",
+            "batch.single_blocks.count",
+            "batch.flush.lanes_full.count",
+            "batch.flush.deadline.count",
+            "batch.flush.drain.count",
+        ] {
+            let name = format!("{workers}.{metric}");
+            assert!(sg.get(&name).is_some(), "baseline lost {name}");
+        }
+        let occ = sg
+            .get(&format!("{workers}.batch.lane_occupancy.ratio"))
+            .unwrap();
+        assert!(
+            occ >= 0.9,
+            "{workers}: recorded occupancy {occ} below the ISSUE's 0.9 target"
+        );
+    }
+    let wall = b
+        .suite("uplink_stagegraph_wallclock")
+        .expect("uplink_stagegraph_wallclock");
+    assert!(!wall.gated, "wall-clock comparisons must never gate CI");
+    assert!(
+        wall.get("stagegraph.vs_serial_batch.speedup")
+            .unwrap_or(0.0)
+            > 0.0,
+        "baseline lost the matched-semantics speedup"
+    );
+    assert!(wall.get("stagegraph.vs_serial_earlystop.speedup").is_some());
+    assert!(wall.get("batch.lane_occupancy.ratio").is_some());
+}
+
+#[test]
 fn every_gated_baseline_metric_has_a_tolerance_class() {
     // The gate refuses unknown classes; a baseline that sneaks one in
     // would fail every CI run — catch it here with a useful message.

@@ -48,6 +48,7 @@ use vran_arrange::Mechanism;
 use vran_phy::bits::random_bits;
 use vran_phy::crc::CRC24B;
 use vran_phy::llr::Llr;
+use vran_phy::segmentation::Segmentation;
 use vran_phy::turbo::TurboEncoder;
 use vran_simd::RegWidth;
 use vran_uarch::CoreConfig;
@@ -55,6 +56,19 @@ use vran_util::rng::SmallRng;
 
 /// One LTE TTI (subframe) in nanoseconds.
 pub const TTI_NS: u64 = 1_000_000;
+
+/// TTIs a staged decode task may wait in a batch pool before its pool
+/// is deadline-flushed (the modeled twin of the stage-graph runtime's
+/// age bound — see [`crate::stagegraph::StageGraphConfig::flush_age`]).
+pub const BATCH_DEADLINE_TTIS: u64 = 4;
+
+/// Modeled calculation-time speedup of a full quad-in-zmm launch over
+/// a serial per-block decode (the measured quad-vs-serial figure of
+/// the native batch decoder on AVX-512BW).
+const QUAD_CALC_SPEEDUP: f64 = 1.6;
+
+/// Modeled calculation-time speedup of a pair-in-ymm launch.
+const PAIR_CALC_SPEEDUP: f64 = 1.3;
 
 /// Synchronous HARQ round-trip time in TTIs (LTE FDD: 8 ms between an
 /// attempt and its retransmission).
@@ -453,6 +467,13 @@ pub struct CellSimConfig {
     pub mechanism: Mechanism,
     /// Turbo iterations per code block in the processing-time model.
     pub decoder_iterations: usize,
+    /// Model the out-of-order stage-graph runtime: served packets'
+    /// code blocks pool by K across packets (and cells — one eNB PHY
+    /// worker), launch as quad/pair batches with the measured
+    /// calculation-time speedups, and record their latency when the
+    /// last block launches (adding the batch-formation wait to the
+    /// total). Off reproduces the per-packet serial model.
+    pub stage_graph: bool,
     /// Master seed; all randomness derives from it.
     pub seed: u64,
 }
@@ -483,6 +504,7 @@ impl CellSimConfig {
             width: RegWidth::Avx512,
             mechanism: Mechanism::Apcm(vran_arrange::ApcmVariant::Shuffle),
             decoder_iterations: 5,
+            stage_graph: true,
             seed,
         }
     }
@@ -516,6 +538,7 @@ impl CellSimConfig {
             width: RegWidth::Avx512,
             mechanism: Mechanism::Apcm(vran_arrange::ApcmVariant::Shuffle),
             decoder_iterations: 5,
+            stage_graph: true,
             seed,
         }
     }
@@ -541,6 +564,11 @@ pub struct LatencyBreakdown {
     pub calc: Histogram,
     /// Processing share: scalar pipeline stages.
     pub other: Histogram,
+    /// Batch-formation wait: service completion → last decode-block
+    /// launch under the stage-graph model (always zero when
+    /// [`CellSimConfig::stage_graph`] is off). Wide grid: pools flush
+    /// within [`BATCH_DEADLINE_TTIS`] TTIs.
+    pub batch: Histogram,
 }
 
 impl LatencyBreakdown {
@@ -553,6 +581,7 @@ impl LatencyBreakdown {
             arrange: Histogram::latency_ns(),
             calc: Histogram::latency_ns(),
             other: Histogram::latency_ns(),
+            batch: Histogram::latency_wide_ns(),
         }
     }
 }
@@ -590,6 +619,19 @@ pub struct CellSimReport {
     pub proc_ns_total: u64,
     /// Jain fairness index over per-UE scheduler-served bits.
     pub ue_fairness: f64,
+    /// Code blocks that launched in a full quad-in-zmm batch.
+    pub batch_quad_blocks: u64,
+    /// Code blocks that launched in a pair-in-ymm batch.
+    pub batch_pair_blocks: u64,
+    /// Code blocks that launched alone.
+    pub batch_single_blocks: u64,
+    /// Pool flushes because four same-K blocks filled the lanes.
+    pub batch_flush_lanes_full: u64,
+    /// Pool flushes because the oldest block aged past
+    /// [`BATCH_DEADLINE_TTIS`].
+    pub batch_flush_deadline: u64,
+    /// Pool flushes at end-of-run drain.
+    pub batch_flush_drain: u64,
     /// Latency histograms.
     pub latency: LatencyBreakdown,
 }
@@ -628,6 +670,19 @@ impl CellSimReport {
         self.core_equivalents() * target_mbps / served
     }
 
+    /// Fraction of decode blocks that launched in a full quad — the
+    /// modeled zmm lane-occupancy figure. 0.0 when nothing decoded
+    /// (or the stage-graph model is off).
+    pub fn batch_lane_occupancy(&self) -> f64 {
+        let quad = self.batch_quad_blocks as f64;
+        let total = quad + self.batch_pair_blocks as f64 + self.batch_single_blocks as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            quad / total
+        }
+    }
+
     /// Flat, insertion-ordered metric snapshot with benchgate-ready
     /// names: counts (`.count` / `_bits`, exact tolerance), latency
     /// percentiles (`.p50_ns`/`.p95_ns`/`.p99_ns`, percentile
@@ -644,6 +699,34 @@ impl CellSimReport {
             ("served_bits".into(), self.served_bits as f64),
             ("offered_bits".into(), self.offered_bits as f64),
             ("ue.fairness.ratio".into(), self.ue_fairness),
+            (
+                "batch.lane_occupancy.ratio".into(),
+                self.batch_lane_occupancy(),
+            ),
+            (
+                "batch.quad_blocks.count".into(),
+                self.batch_quad_blocks as f64,
+            ),
+            (
+                "batch.pair_blocks.count".into(),
+                self.batch_pair_blocks as f64,
+            ),
+            (
+                "batch.single_blocks.count".into(),
+                self.batch_single_blocks as f64,
+            ),
+            (
+                "batch.flush.lanes_full.count".into(),
+                self.batch_flush_lanes_full as f64,
+            ),
+            (
+                "batch.flush.deadline.count".into(),
+                self.batch_flush_deadline as f64,
+            ),
+            (
+                "batch.flush.drain.count".into(),
+                self.batch_flush_drain as f64,
+            ),
         ];
         for (prefix, h) in [
             ("latency.total", &self.latency.total),
@@ -652,6 +735,7 @@ impl CellSimReport {
             ("latency.proc", &self.latency.proc),
             ("latency.arrange", &self.latency.arrange),
             ("latency.calc", &self.latency.calc),
+            ("latency.batch", &self.latency.batch),
         ] {
             out.push((format!("{prefix}.p50_ns"), h.quantile_upper(0.50) as f64));
             out.push((format!("{prefix}.p95_ns"), h.quantile_upper(0.95) as f64));
@@ -688,6 +772,40 @@ struct Cell {
     eligible: Vec<bool>,
 }
 
+/// A served packet whose latency record is deferred until its last
+/// decode block launches from a batch pool (stage-graph model).
+#[derive(Debug)]
+struct PendingDecode {
+    queue_ns: u64,
+    harq_ns: u64,
+    arr_ns: u64,
+    other_ns: u64,
+    /// Accumulated as blocks launch (per-block calc share divided by
+    /// the launch group's speedup).
+    calc_ns: u64,
+    /// Blocks still waiting in some pool.
+    remaining: usize,
+    /// TTI the packet finished serving (batch wait baseline).
+    complete_tti: u64,
+}
+
+/// One staged decode block in the modeled batch former.
+#[derive(Debug)]
+struct ModelTask {
+    owner: u64,
+    /// Serial per-block calculation-time share (before speedup).
+    calc_share_ns: u64,
+    staged_tti: u64,
+}
+
+/// A same-K pool of the modeled batch former (insertion-ordered across
+/// Ks for determinism).
+#[derive(Debug)]
+struct ModelPool {
+    k: usize,
+    tasks: Vec<ModelTask>,
+}
+
 /// The cell-scale simulator.
 pub struct CellSim {
     cfg: CellSimConfig,
@@ -697,6 +815,15 @@ pub struct CellSim {
     /// `(transport, wire_len) → (proc_ns, arrange_ns, calc_ns,
     /// other_ns)` per attempt, memoized from the latency model.
     proc_cache: HashMap<(bool, usize), (u64, u64, u64, u64)>,
+    /// `wire_len → code-block K list`, memoized from the segmentation
+    /// plan (stage-graph model).
+    seg_cache: HashMap<usize, Vec<usize>>,
+    /// Served packets awaiting decode-block launches, by id.
+    pending: HashMap<u64, PendingDecode>,
+    next_pending: u64,
+    /// The modeled batch former: one pool per K, shared across cells
+    /// (one eNB PHY worker pools all of its cells' blocks).
+    pools: Vec<ModelPool>,
 }
 
 impl CellSim {
@@ -734,6 +861,10 @@ impl CellSim {
             model,
             oracle: HarqOracle::new(),
             proc_cache: HashMap::new(),
+            seg_cache: HashMap::new(),
+            pending: HashMap::new(),
+            next_pending: 0,
+            pools: Vec::new(),
         }
     }
 
@@ -761,6 +892,109 @@ impl CellSim {
         v
     }
 
+    /// Code-block sizes (K) a packet of `wire_len` bytes segments
+    /// into, mirroring the real pipeline's transport-block build
+    /// (L2 overhead + CRC24A, then the 3GPP segmentation plan).
+    fn block_ks(&mut self, wire_len: usize) -> &[usize] {
+        self.seg_cache.entry(wire_len).or_insert_with(|| {
+            let bits = (wire_len + crate::l2::L2_OVERHEAD) * 8 + 24;
+            let seg = Segmentation::plan(bits);
+            (0..seg.c).map(|i| seg.k_of(i)).collect()
+        })
+    }
+
+    /// Stage one decode block into its K pool; a filled pool launches
+    /// a quad immediately.
+    fn stage_block(
+        &mut self,
+        k: usize,
+        owner: u64,
+        calc_share_ns: u64,
+        tti: u64,
+        report: &mut CellSimReport,
+    ) {
+        let pi = match self.pools.iter().position(|p| p.k == k) {
+            Some(i) => i,
+            None => {
+                self.pools.push(ModelPool {
+                    k,
+                    tasks: Vec::with_capacity(4),
+                });
+                self.pools.len() - 1
+            }
+        };
+        self.pools[pi].tasks.push(ModelTask {
+            owner,
+            calc_share_ns,
+            staged_tti: tti,
+        });
+        if self.pools[pi].tasks.len() >= 4 {
+            report.batch_flush_lanes_full += 1;
+            self.launch_pool(pi, tti, report);
+        }
+    }
+
+    /// Launch everything in pool `pi` (quads, then a pair, then a
+    /// single), crediting each block's calculation time at its launch
+    /// group's speedup, and recording the deferred latency of every
+    /// packet whose last block this launch decoded.
+    fn launch_pool(&mut self, pi: usize, tti: u64, report: &mut CellSimReport) {
+        let tasks = std::mem::take(&mut self.pools[pi].tasks);
+        let n = tasks.len();
+        for (j, t) in tasks.into_iter().enumerate() {
+            // Position j's launch group under quad-then-pair-then-
+            // single chunking of n tasks.
+            let left_after_quads = n - (n / 4) * 4;
+            let speedup = if j < (n / 4) * 4 {
+                report.batch_quad_blocks += 1;
+                QUAD_CALC_SPEEDUP
+            } else if left_after_quads >= 2 && j < n - (left_after_quads % 2) {
+                report.batch_pair_blocks += 1;
+                PAIR_CALC_SPEEDUP
+            } else {
+                report.batch_single_blocks += 1;
+                1.0
+            };
+            let calc = (t.calc_share_ns as f64 / speedup) as u64;
+            report.proc_ns_total += calc;
+            let done = {
+                let p = self.pending.get_mut(&t.owner).expect("owner pending");
+                p.calc_ns += calc;
+                p.remaining -= 1;
+                p.remaining == 0
+            };
+            if done {
+                let p = self.pending.remove(&t.owner).expect("present");
+                let wait_ns = tti.saturating_sub(p.complete_tti) * TTI_NS;
+                let proc_ns = p.arr_ns + p.other_ns + p.calc_ns;
+                let lat = &report.latency;
+                lat.queue.record(p.queue_ns);
+                lat.harq.record(p.harq_ns);
+                lat.proc.record(proc_ns);
+                lat.arrange.record(p.arr_ns);
+                lat.calc.record(p.calc_ns);
+                lat.other.record(p.other_ns);
+                lat.batch.record(wait_ns);
+                lat.total.record(p.queue_ns + p.harq_ns + proc_ns + wait_ns);
+            }
+        }
+    }
+
+    /// Deadline-flush pools whose oldest block aged past
+    /// [`BATCH_DEADLINE_TTIS`] (called once per TTI).
+    fn flush_aged_pools(&mut self, tti: u64, report: &mut CellSimReport) {
+        for pi in 0..self.pools.len() {
+            let due = self.pools[pi]
+                .tasks
+                .first()
+                .is_some_and(|t| tti.saturating_sub(t.staged_tti) >= BATCH_DEADLINE_TTIS);
+            if due {
+                report.batch_flush_deadline += 1;
+                self.launch_pool(pi, tti, report);
+            }
+        }
+    }
+
     /// Run the configured number of TTIs and produce the report.
     pub fn run(mut self) -> CellSimReport {
         let mut report = CellSimReport {
@@ -779,6 +1013,12 @@ impl CellSim {
             idle_ttis: 0,
             proc_ns_total: 0,
             ue_fairness: 0.0,
+            batch_quad_blocks: 0,
+            batch_pair_blocks: 0,
+            batch_single_blocks: 0,
+            batch_flush_lanes_full: 0,
+            batch_flush_deadline: 0,
+            batch_flush_drain: 0,
             latency: LatencyBreakdown::new(),
         };
 
@@ -786,6 +1026,21 @@ impl CellSim {
             for c in 0..self.cells.len() {
                 self.tick_cell(c, tti, &mut report);
             }
+            if self.cfg.stage_graph {
+                self.flush_aged_pools(tti, &mut report);
+            }
+        }
+
+        // End-of-run drain: launch every partial pool so all served
+        // packets record their latency.
+        if self.cfg.stage_graph {
+            for pi in 0..self.pools.len() {
+                if !self.pools[pi].tasks.is_empty() {
+                    report.batch_flush_drain += 1;
+                    self.launch_pool(pi, self.cfg.ttis, &mut report);
+                }
+            }
+            debug_assert!(self.pending.is_empty(), "drain retires everything");
         }
 
         // Backlog: whatever is still queued.
@@ -901,19 +1156,50 @@ impl CellSim {
             report.served_packets += 1;
             report.served_bits += pkt.wire_len as u64 * 8;
             report.harq_retransmissions += retx;
-            report.proc_ns_total += proc1 * attempts as u64;
 
             let queue_ns = (tti - pkt.arrival_tti) * TTI_NS;
             let harq_ns = retx * HARQ_RTT_TTIS * TTI_NS;
-            let proc_ns = proc1 * attempts as u64;
-            let lat = &report.latency;
-            lat.queue.record(queue_ns);
-            lat.harq.record(harq_ns);
-            lat.proc.record(proc_ns);
-            lat.arrange.record(arr1 * attempts as u64);
-            lat.calc.record(calc1 * attempts as u64);
-            lat.other.record(other1 * attempts as u64);
-            lat.total.record(queue_ns + harq_ns + proc_ns);
+            if self.cfg.stage_graph {
+                // Stage-graph model: non-calc stages are charged now;
+                // each code block's calculation share is charged when
+                // its batch launches (at that group's speedup), and
+                // the latency record is deferred until the last block
+                // launches.
+                let ks: Vec<usize> = self.block_ks(pkt.wire_len).to_vec();
+                let arr_ns = arr1 * attempts as u64;
+                let other_ns = other1 * attempts as u64;
+                let calc_share = calc1 * attempts as u64 / ks.len() as u64;
+                report.proc_ns_total += arr_ns + other_ns;
+                let id = self.next_pending;
+                self.next_pending += 1;
+                self.pending.insert(
+                    id,
+                    PendingDecode {
+                        queue_ns,
+                        harq_ns,
+                        arr_ns,
+                        other_ns,
+                        calc_ns: 0,
+                        remaining: ks.len(),
+                        complete_tti: tti,
+                    },
+                );
+                for k in ks {
+                    self.stage_block(k, id, calc_share, tti, report);
+                }
+            } else {
+                report.proc_ns_total += proc1 * attempts as u64;
+                let proc_ns = proc1 * attempts as u64;
+                let lat = &report.latency;
+                lat.queue.record(queue_ns);
+                lat.harq.record(harq_ns);
+                lat.proc.record(proc_ns);
+                lat.arrange.record(arr1 * attempts as u64);
+                lat.calc.record(calc1 * attempts as u64);
+                lat.other.record(other1 * attempts as u64);
+                lat.batch.record(0);
+                lat.total.record(queue_ns + harq_ns + proc_ns);
+            }
         }
     }
 }
@@ -1056,6 +1342,77 @@ mod tests {
         let cached = o.cached();
         o.attempts(5, 0);
         assert_eq!(o.cached(), cached);
+    }
+
+    #[test]
+    fn stage_graph_model_conserves_packets_and_fills_lanes() {
+        let r = run_cell_sim(CellSimConfig::smoke(1));
+        // Every served packet records exactly one latency sample even
+        // though recording is deferred to its last block's launch.
+        assert_eq!(r.latency.total.count(), r.served_packets);
+        assert_eq!(r.latency.batch.count(), r.served_packets);
+        let blocks = r.batch_quad_blocks + r.batch_pair_blocks + r.batch_single_blocks;
+        assert!(blocks > 0, "served traffic must stage decode blocks");
+        assert!(r.batch_quad_blocks > 0, "some quads must form");
+        assert!(r.batch_flush_lanes_full > 0);
+    }
+
+    #[test]
+    fn lane_occupancy_rises_with_offered_load() {
+        // At the smoke preset's light load (~3 packets/TTI over 7 K
+        // profiles) pools often age out before filling; under heavy
+        // load the same deadline leaves mostly full quads.
+        let light = run_cell_sim(CellSimConfig::smoke(3));
+        let mut heavy_cfg = CellSimConfig::smoke(3);
+        heavy_cfg.arrivals = ArrivalProcess::Constant { mean_per_tti: 8.0 };
+        let heavy = run_cell_sim(heavy_cfg);
+        assert!(
+            heavy.batch_lane_occupancy() > light.batch_lane_occupancy(),
+            "occupancy must rise with load: light={:.2} heavy={:.2}",
+            light.batch_lane_occupancy(),
+            heavy.batch_lane_occupancy()
+        );
+        assert!(
+            heavy.batch_lane_occupancy() > 0.6,
+            "heavy load should mostly fill lanes: {:.2}",
+            heavy.batch_lane_occupancy()
+        );
+    }
+
+    #[test]
+    fn stage_graph_model_speeds_up_processing() {
+        let mut serial_cfg = CellSimConfig::smoke(2);
+        serial_cfg.stage_graph = false;
+        let serial = run_cell_sim(serial_cfg);
+        let graph = run_cell_sim(CellSimConfig::smoke(2));
+        // Identical seed → identical traffic; batching only changes
+        // decode cost and adds a bounded formation wait.
+        assert_eq!(serial.served_packets, graph.served_packets);
+        assert_eq!(serial.served_bits, graph.served_bits);
+        assert!(
+            graph.proc_ns_total < serial.proc_ns_total,
+            "batched calc must cost less: {} vs {}",
+            graph.proc_ns_total,
+            serial.proc_ns_total
+        );
+        assert!(
+            graph.cores_for(300.0) < serial.cores_for(300.0),
+            "fewer cores for the same served Mbps"
+        );
+        assert_eq!(serial.batch_quad_blocks, 0, "serial model never batches");
+        assert_eq!(serial.latency.batch.count(), serial.served_packets);
+    }
+
+    #[test]
+    fn batch_wait_is_bounded_by_the_deadline_flush() {
+        let r = run_cell_sim(CellSimConfig::smoke(5));
+        // Aged pools flush after BATCH_DEADLINE_TTIS, so no packet
+        // (except end-of-run drains) waits much longer than that.
+        let p99 = r.latency.batch.quantile_upper(0.99);
+        assert!(
+            p99 <= 2 * BATCH_DEADLINE_TTIS * TTI_NS,
+            "batch-formation wait must stay bounded: p99={p99}ns"
+        );
     }
 
     #[test]

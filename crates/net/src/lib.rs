@@ -22,6 +22,10 @@
 //! * [`cellsim`] — cell-scale workload generation: M cells × many UEs,
 //!   per-TTI scheduling, bursty/diurnal arrivals, HARQ storms, and
 //!   per-packet tail-latency accounting.
+//! * [`stagegraph`] — the out-of-order stage-graph runtime: decode
+//!   tasks from different packets pool by K and launch as quad-in-zmm /
+//!   pair-in-ymm batches, retiring through a ROB with per-UE in-order
+//!   delivery. The default uplink path in [`runner`].
 //! * [`error`] — the typed fault taxonomy ([`error::PipelineError`])
 //!   every receive-path failure classifies into.
 //! * [`faultinject`] — deterministic, seeded fault injection for soak
@@ -55,8 +59,10 @@ pub mod pipeline;
 pub mod ring;
 pub mod runner;
 pub mod scheduler;
+pub mod stagegraph;
 
 pub use error::{ErrorCategory, PipelineError};
 pub use packet::{Packet, Transport};
 pub use pipeline::{PipelineConfig, UplinkPipeline};
 pub use ring::SpscRing;
+pub use stagegraph::{FlushReason, StageGraph, StageGraphConfig};

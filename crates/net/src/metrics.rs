@@ -15,6 +15,9 @@
 //!   [`crate::pipeline::UplinkPipeline`].
 //! * [`RunnerMetrics`] — ring occupancy and producer/consumer stall
 //!   spins from [`crate::runner`]'s threaded drivers.
+//! * [`StageGraphMetrics`] — batch-formation counters (quad/pair/single
+//!   launches, flush reasons, zmm lane occupancy) from the out-of-order
+//!   stage-graph runtime in [`crate::stagegraph`].
 //! * [`UarchMetrics`] — cycle, µop and per-port pressure counters
 //!   accumulated from `vran-uarch` [`SimReport`]s, so simulator runs
 //!   land in the same snapshot namespace as wall-clock metrics.
@@ -539,6 +542,132 @@ impl RunnerMetrics {
             ("wire_bytes".into(), self.wire_bytes.get() as f64),
             ("worker_restarts".into(), self.worker_restarts.get() as f64),
             ("quarantined".into(), self.quarantined.get() as f64),
+        ]
+    }
+
+    /// Snapshot as a JSON object.
+    pub fn to_json(&self) -> Json {
+        snapshot_json(self.snapshot())
+    }
+}
+
+/// Batch-formation counters for the out-of-order stage-graph runtime
+/// ([`crate::stagegraph::StageGraph`]): how decode tasks actually
+/// launched (quad-in-zmm / pair-in-ymm / single leftover) and why each
+/// pool flushed. The headline figure is [`Self::lane_occupancy`] — the
+/// fraction of code blocks that rode a full quad launch, i.e. how often
+/// the AVX-512BW lanes were actually full.
+#[derive(Debug)]
+pub struct StageGraphMetrics {
+    enabled: bool,
+    /// Code blocks decoded as part of a full quad-in-zmm launch.
+    pub quad_blocks: Counter,
+    /// Code blocks decoded as part of a pair-in-ymm launch.
+    pub pair_blocks: Counter,
+    /// Code blocks decoded alone (pool remainder below pair width).
+    pub single_blocks: Counter,
+    /// Pool flushes because four same-K tasks filled the zmm lanes.
+    pub flush_lanes_full: Counter,
+    /// Pool flushes because a member packet's deadline (or age bound)
+    /// neared — partial launch rather than a blown budget.
+    pub flush_deadline: Counter,
+    /// Pool flushes at end-of-run drain (no more admissions coming).
+    pub flush_drain: Counter,
+}
+
+impl Default for StageGraphMetrics {
+    fn default() -> Self {
+        Self::new(true)
+    }
+}
+
+impl StageGraphMetrics {
+    /// New registry.
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            enabled,
+            quad_blocks: Counter::new(),
+            pair_blocks: Counter::new(),
+            single_blocks: Counter::new(),
+            flush_lanes_full: Counter::new(),
+            flush_deadline: Counter::new(),
+            flush_drain: Counter::new(),
+        }
+    }
+
+    /// Whether recording is live.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one batch launch of `blocks` equal-K tasks (4 = quad,
+    /// 2 = pair, 1 = single). No-op when disabled.
+    #[inline]
+    pub fn record_launch(&self, blocks: usize) {
+        if self.enabled {
+            match blocks {
+                4 => self.quad_blocks.add(4),
+                2 => self.pair_blocks.add(2),
+                _ => self.single_blocks.add(blocks as u64),
+            }
+        }
+    }
+
+    /// Record one pool flush with its reason. No-op when disabled.
+    #[inline]
+    pub fn record_flush(&self, reason: crate::stagegraph::FlushReason) {
+        if self.enabled {
+            match reason {
+                crate::stagegraph::FlushReason::LanesFull => self.flush_lanes_full.inc(),
+                crate::stagegraph::FlushReason::Deadline => self.flush_deadline.inc(),
+                crate::stagegraph::FlushReason::Drain => self.flush_drain.inc(),
+            }
+        }
+    }
+
+    /// Fraction of decoded code blocks that launched in a full quad —
+    /// the zmm lane-occupancy figure the stage graph exists to raise.
+    /// `NaN`-free: returns 0.0 before any block decodes.
+    pub fn lane_occupancy(&self) -> f64 {
+        let quad = self.quad_blocks.get() as f64;
+        let total = quad + self.pair_blocks.get() as f64 + self.single_blocks.get() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            quad / total
+        }
+    }
+
+    /// Flat snapshot (benchgate schema: `.ratio` ⇒ ratio tolerance,
+    /// `.count` ⇒ exact).
+    pub fn snapshot(&self) -> Vec<(String, f64)> {
+        vec![
+            ("batch.lane_occupancy.ratio".into(), self.lane_occupancy()),
+            (
+                "batch.quad_blocks.count".into(),
+                self.quad_blocks.get() as f64,
+            ),
+            (
+                "batch.pair_blocks.count".into(),
+                self.pair_blocks.get() as f64,
+            ),
+            (
+                "batch.single_blocks.count".into(),
+                self.single_blocks.get() as f64,
+            ),
+            (
+                "batch.flush.lanes_full.count".into(),
+                self.flush_lanes_full.get() as f64,
+            ),
+            (
+                "batch.flush.deadline.count".into(),
+                self.flush_deadline.get() as f64,
+            ),
+            (
+                "batch.flush.drain.count".into(),
+                self.flush_drain.get() as f64,
+            ),
         ]
     }
 

@@ -154,10 +154,19 @@ pub struct PipelineConfig {
     /// multi-block-per-register [`NativeBatchTurboDecoder`] — four per
     /// zmm on AVX-512BW hosts, two per ymm on AVX2, bit-exact narrower
     /// fallbacks below that. Only meaningful under
-    /// [`DecoderBackend::Native`]. Off by default because batched
-    /// decoding runs a fixed iteration count (no per-block CRC early
-    /// stop), which changes the reported `decoder_iterations` — the
-    /// decoded bits stay oracle-exact.
+    /// [`DecoderBackend::Native`].
+    ///
+    /// **Deprecated as an opt-in**: the stage-graph runtime
+    /// ([`crate::stagegraph::StageGraph`], the default uplink path in
+    /// [`crate::runner::run_uplink_multicore`]) always decodes in batch
+    /// semantics — [`UplinkPipeline::prepare`] stages every code block
+    /// for cross-packet pooling regardless of this flag, so under the
+    /// stage graph the effective default is *on*. The flag now only
+    /// governs the direct [`UplinkPipeline::process`] call, where it
+    /// stays off by default because batched decoding runs a fixed
+    /// iteration count (no per-block CRC early stop), which changes the
+    /// reported `decoder_iterations` — the decoded bits stay
+    /// oracle-exact either way.
     pub batch_decode: bool,
 }
 
@@ -200,6 +209,76 @@ impl StageNanos {
     pub fn total(&self) -> u64 {
         self.encode + self.transport + self.demap + self.arrangement + self.decode
     }
+}
+
+/// A packet whose receive path ran up to (but not including) turbo
+/// decode: ingress, encode, channel, demap, de-rate-match and
+/// arrangement are done, and each code block is staged as a
+/// [`TurboLlrs`] decode task ready for cross-packet batch pooling.
+///
+/// Produced by [`UplinkPipeline::prepare`], consumed by
+/// [`UplinkPipeline::complete`] once the stage-graph runtime has
+/// decoded the tasks (in whatever quad/pair/single grouping lane
+/// occupancy allowed). Everything the completion half needs — the
+/// segmentation plan, the original frame for the delivery check, the
+/// fault drawn for this packet, partial stage timings — rides along so
+/// the packet can retire out of order, long after the source `Packet`
+/// is gone.
+#[derive(Debug)]
+pub struct PreparedUplink {
+    pub(crate) start: Instant,
+    pub(crate) fault: FaultKind,
+    pub(crate) frame: Vec<u8>,
+    pub(crate) tb_bits: usize,
+    pub(crate) seg: Segmentation,
+    pub(crate) coded_bits: usize,
+    pub(crate) nanos: StageNanos,
+    pub(crate) iter_cap: usize,
+    pub(crate) tasks: Vec<TurboLlrs>,
+}
+
+impl PreparedUplink {
+    /// Number of staged decode tasks (one per code block).
+    pub fn code_blocks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Decoder iteration cap the staged tasks must run with (already
+    /// deadline-clamped when the packet spent half its budget before
+    /// staging).
+    pub fn iter_cap(&self) -> usize {
+        self.iter_cap
+    }
+
+    /// When the packet's processing deadline expires, if one is
+    /// configured — the stage-graph runtime flushes partial batches
+    /// before this instant passes.
+    pub fn deadline(&self, budget_ns: Option<u64>) -> Option<Instant> {
+        budget_ns.map(|b| self.start + std::time::Duration::from_nanos(b))
+    }
+}
+
+/// Outcome of [`UplinkPipeline::prepare`]: either decode tasks to pool
+/// (the common Native-backend case) or a packet the serial path already
+/// finished end to end.
+#[derive(Debug)]
+pub enum Admission {
+    /// Code blocks staged for pooled batch decode; hand the
+    /// [`PreparedUplink`] back to [`UplinkPipeline::complete`] with the
+    /// decoded bits to finish the packet.
+    Staged(PreparedUplink),
+    /// The packet already completed serially — because the Scalar
+    /// backend (configured or via the degradation ladder) decodes
+    /// inline, or because it failed before reaching decode. Metrics and
+    /// the degradation ladder are already settled.
+    Ready(Result<PacketResult, PipelineError>),
+}
+
+/// Internal outcome of the shared pipeline body: completed inline, or
+/// staged for pooled decode.
+enum Phase {
+    Complete(PacketResult),
+    Staged(Box<PreparedUplink>),
 }
 
 /// Result of pushing one packet through the loop. Produced only when
@@ -440,7 +519,90 @@ impl UplinkPipeline {
             Some(f) => f.next_kind(),
             None => FaultKind::Clean,
         };
-        let result = self.process_with_fault(packet, fault, m);
+        let result = self
+            .process_inner(packet, fault, m, false)
+            .map(|ph| match ph {
+                Phase::Complete(r) => r,
+                Phase::Staged(_) => unreachable!("stage=false never stages"),
+            });
+        self.settle(&result, m);
+        result
+    }
+
+    /// Run a packet's receive path up to the decode stage and stage its
+    /// code blocks as pooled decode tasks (the stage-graph runtime's
+    /// admission half).
+    ///
+    /// Batch-decode semantics are always on here regardless of
+    /// [`PipelineConfig::batch_decode`] — cross-packet pooling is the
+    /// point. The Scalar/serial fallback ladder stays intact: when the
+    /// configured backend is `Scalar`, or the degradation ladder has
+    /// demoted a `Native` pipeline, the packet is processed serially to
+    /// completion and returned as [`Admission::Ready`] (already
+    /// settled). Pre-decode failures (malformed frames, segmentation
+    /// overflows, blown deadlines) also come back `Ready`.
+    pub fn prepare(&self, packet: &Packet) -> Admission {
+        let m = self.metrics.as_deref().filter(|m| m.is_enabled());
+        let fault = match self.faults.borrow_mut().as_mut() {
+            Some(f) => f.next_kind(),
+            None => FaultKind::Clean,
+        };
+        match self.process_inner(packet, fault, m, true) {
+            Ok(Phase::Staged(p)) => Admission::Staged(*p),
+            Ok(Phase::Complete(r)) => {
+                let r = Ok(r);
+                self.settle(&r, m);
+                Admission::Ready(r)
+            }
+            Err(e) => {
+                let r = Err(e);
+                self.settle(&r, m);
+                Admission::Ready(r)
+            }
+        }
+    }
+
+    /// Finish a packet staged by [`Self::prepare`]: post-hoc per-block
+    /// CRC24B classification (the batch kernels have no in-loop early
+    /// stop), desegmentation, CRC24A and the L2 delivery check —
+    /// exactly the serial batch path's tail — then metrics and
+    /// degradation-ladder settlement.
+    ///
+    /// `decoded` holds one bit buffer per staged task, in task order;
+    /// `iterations` is the decoder-iteration total across the packet's
+    /// blocks; `decode_ns` is the wall-clock decode share attributed to
+    /// this packet by the batch launches it rode.
+    pub fn complete(
+        &self,
+        prep: PreparedUplink,
+        decoded: &[Vec<u8>],
+        iterations: usize,
+        decode_ns: u64,
+    ) -> Result<PacketResult, PipelineError> {
+        let m = self.metrics.as_deref().filter(|m| m.is_enabled());
+        debug_assert_eq!(decoded.len(), prep.seg.c, "one bit buffer per block");
+        let mut nanos = prep.nanos;
+        nanos.decode += decode_ns;
+        let mut failed_blocks = 0usize;
+        if decoded.len() > 1 {
+            for bits in decoded {
+                if CRC24B.check(bits).is_none() {
+                    failed_blocks += 1;
+                }
+            }
+        }
+        let result = self.finish(
+            m,
+            prep.fault,
+            &prep.frame,
+            &prep.seg,
+            decoded,
+            failed_blocks,
+            prep.tb_bits,
+            prep.coded_bits,
+            iterations,
+            nanos,
+        );
         self.settle(&result, m);
         result
     }
@@ -496,12 +658,19 @@ impl UplinkPipeline {
         }
     }
 
-    fn process_with_fault(
+    /// The shared pipeline body behind [`Self::process`] and
+    /// [`Self::prepare`]. With `stage` set, the Native backend's code
+    /// blocks are arranged and then *staged* (batch semantics forced —
+    /// see [`PipelineConfig::batch_decode`]) instead of decoded
+    /// inline; the Scalar backend (configured or ladder-degraded)
+    /// still completes serially.
+    fn process_inner(
         &self,
         packet: &Packet,
         fault: FaultKind,
         m: Option<&PipelineMetrics>,
-    ) -> Result<PacketResult, PipelineError> {
+        stage: bool,
+    ) -> Result<Phase, PipelineError> {
         let cfg = &self.cfg;
         let start = Instant::now();
         let mut nanos = StageNanos::default();
@@ -650,7 +819,7 @@ impl UplinkPipeline {
         } else {
             cfg.backend
         };
-        let batching = cfg.batch_decode && backend == DecoderBackend::Native;
+        let batching = (cfg.batch_decode || stage) && backend == DecoderBackend::Native;
         if let Some(m) = m {
             if backend == DecoderBackend::Native && DecoderIsa::best() == DecoderIsa::Scalar {
                 // The fast path is selected but the host (or the test
@@ -811,6 +980,46 @@ impl UplinkPipeline {
             }
         }
 
+        if stage && batching {
+            // One deadline gate before staging, mirroring the serial
+            // batch path's single pre-decode gate. The clamped cap
+            // rides into the pool so the launch honours it.
+            let mut iter_cap = cfg.decoder_iterations;
+            if let Some(budget) = cfg.deadline_ns {
+                let elapsed = start.elapsed().as_nanos() as u64;
+                if elapsed >= budget {
+                    return Err(PipelineError::DeadlineExceeded {
+                        budget_ns: budget,
+                        elapsed_ns: elapsed,
+                    });
+                }
+                if elapsed.saturating_mul(2) >= budget {
+                    iter_cap = (cfg.decoder_iterations / 2).max(1);
+                    if let Some(m) = m {
+                        m.deadline_clamps.inc();
+                    }
+                }
+            }
+            if let Some(m) = m {
+                m.record_scratch(
+                    hot.scratch.allocations() - scratch_allocs0,
+                    hot.scratch.reuses() - scratch_reuses0,
+                );
+            }
+            let frame = mutated.unwrap_or_else(|| packet.frame.clone());
+            return Ok(Phase::Staged(Box::new(PreparedUplink {
+                start,
+                fault,
+                frame,
+                tb_bits: tb.len(),
+                seg,
+                coded_bits: pos,
+                nanos,
+                iter_cap,
+                tasks: batch_inputs,
+            })));
+        }
+
         if batching && !batch_inputs.is_empty() {
             // One deadline gate for the whole batched decode phase.
             let mut iter_cap = cfg.decoder_iterations;
@@ -904,20 +1113,52 @@ impl UplinkPipeline {
             );
         }
 
-        // ---- reassemble, de-encapsulate & verify ----
-        let decoded = &hot.bits_pool[..blocks.len()];
+        self.finish(
+            m,
+            fault,
+            frame,
+            &seg,
+            &hot.bits_pool[..blocks.len()],
+            failed_blocks,
+            tb.len(),
+            pos,
+            iterations,
+            nanos,
+        )
+        .map(Phase::Complete)
+    }
+
+    /// Reassemble, de-encapsulate & verify: the tail shared by the
+    /// inline path ([`Self::process_inner`]) and out-of-order batch
+    /// completion ([`Self::complete`]). Classification is identical in
+    /// both — the stage graph changes *when* decode runs, never what a
+    /// packet's outcome is.
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &self,
+        m: Option<&PipelineMetrics>,
+        fault: FaultKind,
+        frame: &[u8],
+        seg: &Segmentation,
+        decoded: &[Vec<u8>],
+        failed_blocks: usize,
+        tb_bits: usize,
+        coded_bits: usize,
+        iterations: usize,
+        nanos: StageNanos,
+    ) -> Result<PacketResult, PipelineError> {
         let presented: &[Vec<u8>] = if fault == FaultKind::CodeBlockCountLie {
             // Hand desegmentation a block count that contradicts the
             // plan — must classify, not panic or mis-assemble.
-            &decoded[..blocks.len() - 1]
+            &decoded[..decoded.len() - 1]
         } else {
             decoded
         };
         let rx_tb = timed(m, Stage::Segment, || seg.try_desegment(presented))?;
 
         let failure = DecodeFailure {
-            tb_bits: tb.len(),
-            code_blocks: blocks.len(),
+            tb_bits,
+            code_blocks: decoded.len(),
             failed_blocks,
             decoder_iterations: iterations,
         };
@@ -941,9 +1182,9 @@ impl UplinkPipeline {
         }
 
         Ok(PacketResult {
-            tb_bits: tb.len(),
-            code_blocks: blocks.len(),
-            coded_bits: pos,
+            tb_bits,
+            code_blocks: decoded.len(),
+            coded_bits,
             decoder_iterations: iterations,
             nanos,
         })

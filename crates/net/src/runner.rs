@@ -8,14 +8,22 @@
 //! its (possibly inconsistent) pipeline state, rebuilds a fresh one,
 //! backs off exponentially, and keeps draining its ring. One poisoned
 //! packet therefore costs one packet, not a core.
+//!
+//! The uplink drivers run the out-of-order stage-graph runtime
+//! ([`crate::stagegraph`]) by default: each worker pools decode tasks
+//! by K across the packets in its ring and launches them as
+//! quad-in-zmm / pair-in-ymm batches, keeping the SIMD lanes full
+//! under mixed-K traffic. [`run_uplink_serial`] keeps the old
+//! per-packet model as the measured baseline.
 
 use crate::downlink::{DownlinkConfig, DownlinkPipeline};
 use crate::error::PipelineError;
 use crate::faultinject::{FaultInjector, FaultMix};
-use crate::metrics::{PipelineMetrics, RunnerMetrics};
+use crate::metrics::{PipelineMetrics, RunnerMetrics, StageGraphMetrics};
 use crate::packet::{Packet, PacketBuilder, Transport};
 use crate::pipeline::{PacketResult, PipelineConfig, UplinkPipeline};
 use crate::ring::SpscRing;
+use crate::stagegraph::{StageGraph, StageGraphConfig};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -426,12 +434,15 @@ pub fn run_downlink_multicore(
 
 /// Multi-core uplink driver: distribute received subframes round-robin
 /// across `workers` receive pipelines (one SPSC ring each). The
-/// counterpart of [`run_downlink_multicore`] on the eNB receive side:
-/// each worker owns an [`UplinkPipeline`], so the native decoder's hot
-/// state (SISO scratch, batch decoders, arranged-LLR buffers) is
-/// per-core and contention-free. Unlike [`run_multicore_metered`] this
-/// driver does not panic-isolate — it exists to measure clean-channel
-/// scaling, not fault absorption.
+/// counterpart of [`run_downlink_multicore`] on the eNB receive side.
+///
+/// Since the stage-graph runtime landed this is a thin wrapper over
+/// [`run_uplink_stagegraph_metered`] with a single traffic class:
+/// every worker owns a [`StageGraph`] that pools decode tasks across
+/// the packets in its ring and launches them as quad-in-zmm /
+/// pair-in-ymm batches — batch SIMD is the default uplink path. For
+/// the old per-packet serial model (the comparison baseline), see
+/// [`run_uplink_serial`].
 pub fn run_uplink_multicore(
     cfg: PipelineConfig,
     transport: Transport,
@@ -439,7 +450,45 @@ pub fn run_uplink_multicore(
     n_packets: usize,
     workers: usize,
 ) -> ThroughputReport {
+    run_uplink_stagegraph_metered(
+        cfg,
+        &[(transport, wire_len)],
+        n_packets,
+        workers,
+        StageGraphConfig::default(),
+        &RunnerMetrics::new(false, RING_CAPACITY),
+        None,
+        None,
+    )
+}
+
+/// The pre-stage-graph uplink driver: one packet fully processed at a
+/// time per worker ([`UplinkPipeline::process`]), no cross-packet
+/// batch formation. Kept as the measured baseline the stage-graph
+/// runtime is gated against (`uplink_stagegraph` benchgate suite); not
+/// panic-isolated.
+pub fn run_uplink_serial(
+    cfg: PipelineConfig,
+    transport: Transport,
+    wire_len: usize,
+    n_packets: usize,
+    workers: usize,
+) -> ThroughputReport {
+    run_uplink_serial_mixed(cfg, &[(transport, wire_len)], n_packets, workers)
+}
+
+/// [`run_uplink_serial`] over a mixed workload: packet `i` draws
+/// `(transport, wire_len)` from `classes[i % classes.len()]` — the
+/// same round-robin schedule as [`run_uplink_stagegraph_metered`], so
+/// serial and stage-graph runs see byte-identical traffic.
+pub fn run_uplink_serial_mixed(
+    cfg: PipelineConfig,
+    classes: &[(Transport, usize)],
+    n_packets: usize,
+    workers: usize,
+) -> ThroughputReport {
     assert!(workers >= 1);
+    assert!(!classes.is_empty());
     let mut producers = Vec::new();
     let mut consumers = Vec::new();
     for _ in 0..workers {
@@ -451,6 +500,7 @@ pub fn run_uplink_multicore(
         .map(|w| n_packets / workers + usize::from(w < n_packets % workers))
         .collect();
     let results = Mutex::new(Vec::with_capacity(n_packets));
+    let wire_bytes = AtomicUsize::new(0);
 
     let start = Instant::now();
     std::thread::scope(|s| {
@@ -458,6 +508,7 @@ pub fn run_uplink_multicore(
             let mut producers = producers;
             let mut b = PacketBuilder::new(9000, 9001);
             for i in 0..n_packets {
+                let (transport, wire_len) = classes[i % classes.len()];
                 let mut item = b.build(transport, wire_len).expect("valid size");
                 let w = i % workers;
                 loop {
@@ -471,14 +522,19 @@ pub fn run_uplink_multicore(
                 }
             }
         });
-        for (mut rx, quota) in consumers.into_iter().zip(counts) {
+        for (w, (mut rx, quota)) in consumers.into_iter().zip(counts).enumerate() {
             let results = &results;
+            let wire_bytes = &wire_bytes;
             s.spawn(move || {
                 let pipe = UplinkPipeline::new(cfg);
                 let mut done = 0;
                 while done < quota {
                     match rx.pop() {
                         Some(p) => {
+                            // Worker w's j-th packet is global packet
+                            // w + j·workers (round-robin source).
+                            let i = w + done * workers;
+                            wire_bytes.fetch_add(classes[i % classes.len()].1, Ordering::Relaxed);
                             let r = pipe.process(&p);
                             results.lock().unwrap().push(r);
                             done += 1;
@@ -492,7 +548,7 @@ pub fn run_uplink_multicore(
     let elapsed = start.elapsed().as_secs_f64();
     let results = results.into_inner().unwrap();
     let ok = results.iter().filter(|r| r.is_ok()).count();
-    let wire_bytes = wire_len * results.len();
+    let wire_bytes = wire_bytes.into_inner();
     ThroughputReport {
         packets: results.len(),
         ok_packets: ok,
@@ -500,6 +556,160 @@ pub fn run_uplink_multicore(
         elapsed_s: elapsed,
         mbps: wire_bytes as f64 * 8.0 / elapsed / 1e6,
         worker_restarts: 0,
+    }
+}
+
+/// The stage-graph uplink driver: each worker owns a [`StageGraph`]
+/// that decomposes its packets into stage tasks, pools decode tasks by
+/// K **across packets**, launches quad/pair batches as lanes fill (or
+/// deadlines near), and retires completions out of order through the
+/// ROB with per-UE in-order delivery. Packet `i` carries traffic class
+/// `classes[i % classes.len()]`; the class index doubles as the UE id,
+/// so each class's packets are delivered in admission order.
+///
+/// Workers are panic-isolated like [`run_multicore_metered`]: a panic
+/// during admission (real or injected
+/// [`crate::faultinject::FaultKind::WorkerPanic`]) quarantines only
+/// the worker's *pipeline* — the graph's ROB, pools and sequence state
+/// survive, so packets staged before the panic still retire and the
+/// `packets + worker_restarts == n` invariant holds.
+#[allow(clippy::too_many_arguments)]
+pub fn run_uplink_stagegraph_metered(
+    cfg: PipelineConfig,
+    classes: &[(Transport, usize)],
+    n_packets: usize,
+    workers: usize,
+    sg_cfg: StageGraphConfig,
+    metrics: &RunnerMetrics,
+    sg_metrics: Option<Arc<StageGraphMetrics>>,
+    faults: Option<FaultPlan>,
+) -> ThroughputReport {
+    assert!(workers >= 1);
+    assert!(!classes.is_empty());
+    let mut producers = Vec::new();
+    let mut consumers = Vec::new();
+    for _ in 0..workers {
+        let (p, c) = SpscRing::with_capacity::<Packet>(RING_CAPACITY);
+        producers.push(p);
+        consumers.push(c);
+    }
+    let counts: Vec<usize> = (0..workers)
+        .map(|w| n_packets / workers + usize::from(w < n_packets % workers))
+        .collect();
+    let results = Mutex::new(Vec::with_capacity(n_packets));
+    let wire_bytes = AtomicUsize::new(0);
+    let restarts = AtomicUsize::new(0);
+
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            let mut producers = producers;
+            let mut b = PacketBuilder::new(9000, 9001);
+            for i in 0..n_packets {
+                let (transport, wire_len) = classes[i % classes.len()];
+                let mut item = b.build(transport, wire_len).expect("valid size");
+                let w = i % workers;
+                loop {
+                    match producers[w].push(item) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            item = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        });
+        for (w, (mut rx, quota)) in consumers.into_iter().zip(counts).enumerate() {
+            let results = &results;
+            let wire_bytes = &wire_bytes;
+            let restarts = &restarts;
+            let sg_metrics = sg_metrics.clone();
+            s.spawn(move || {
+                let build = |generation: u64| -> UplinkPipeline {
+                    match faults {
+                        Some(plan) => UplinkPipeline::with_faults(
+                            cfg,
+                            // Re-seed per generation so a rebuilt worker
+                            // does not replay the fault that killed it
+                            // in lock-step.
+                            FaultInjector::with_mix(
+                                plan.seed
+                                    .wrapping_add(w as u64)
+                                    .wrapping_add(generation.wrapping_mul(0x9e37_79b9)),
+                                plan.mix,
+                            ),
+                        ),
+                        None => UplinkPipeline::new(cfg),
+                    }
+                };
+                let mut graph = StageGraph::new(build(0), sg_cfg);
+                if let Some(m) = sg_metrics {
+                    graph.set_metrics(m);
+                }
+                let mut generation = 0u64;
+                let mut consecutive_panics = 0u32;
+                let mut done = 0;
+                let collect = |graph: &mut StageGraph| {
+                    while let Some((ue, r)) = graph.pop_completed() {
+                        let wl = classes[ue as usize].1;
+                        wire_bytes.fetch_add(wl, Ordering::Relaxed);
+                        metrics.record_packet(wl);
+                        results.lock().unwrap().push(r);
+                    }
+                };
+                while done < quota {
+                    match rx.pop() {
+                        Some(p) => {
+                            metrics.record_occupancy(rx.len());
+                            let i = w + done * workers;
+                            let ue = (i % classes.len()) as u64;
+                            match catch_unwind(AssertUnwindSafe(|| graph.admit(ue, &p))) {
+                                Ok(()) => consecutive_panics = 0,
+                                Err(_) => {
+                                    // Quarantine the pipeline only: the
+                                    // panic unwound out of `prepare`
+                                    // before anything was staged, so the
+                                    // graph's ROB/pools/sequences are
+                                    // intact and in-flight packets still
+                                    // retire.
+                                    metrics.record_quarantine();
+                                    metrics.record_worker_restart();
+                                    restarts.fetch_add(1, Ordering::Relaxed);
+                                    generation += 1;
+                                    graph.replace_pipeline(build(generation));
+                                    let backoff = BACKOFF_BASE
+                                        .saturating_mul(1 << consecutive_panics.min(6))
+                                        .min(BACKOFF_CAP);
+                                    consecutive_panics += 1;
+                                    std::thread::sleep(backoff);
+                                }
+                            }
+                            collect(&mut graph);
+                            done += 1;
+                        }
+                        None => {
+                            metrics.record_pop_stall();
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+                graph.drain();
+                collect(&mut graph);
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let results = results.into_inner().unwrap();
+    let ok = results.iter().filter(|r| r.is_ok()).count();
+    let wire_bytes = wire_bytes.into_inner();
+    ThroughputReport {
+        packets: results.len(),
+        ok_packets: ok,
+        wire_bytes,
+        elapsed_s: elapsed,
+        mbps: wire_bytes as f64 * 8.0 / elapsed / 1e6,
+        worker_restarts: restarts.into_inner(),
     }
 }
 
@@ -702,6 +912,97 @@ mod tests {
             let per_core = pt.mbps / pt.workers as f64;
             assert!((pt.mbps_per_core - per_core).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn uplink_serial_baseline_still_flows() {
+        let cfg = PipelineConfig {
+            snr_db: 30.0,
+            ..Default::default()
+        };
+        let rep = run_uplink_serial(cfg, Transport::Udp, 200, 9, 2);
+        assert_eq!(rep.packets, 9);
+        assert_eq!(rep.ok_packets, 9);
+        assert_eq!(rep.wire_bytes, 9 * 200);
+    }
+
+    #[test]
+    fn stagegraph_mixed_classes_lose_nothing_and_fill_lanes() {
+        let cfg = PipelineConfig {
+            snr_db: 30.0,
+            ..Default::default()
+        };
+        // paper_sweep-style mixed-K workload: 2 transports × sizes.
+        let classes: Vec<(Transport, usize)> = [64usize, 300, 900, 1400]
+            .into_iter()
+            .flat_map(|s| [(Transport::Udp, s), (Transport::Tcp, s)])
+            .collect();
+        let sg = Arc::new(crate::metrics::StageGraphMetrics::default());
+        let rm = RunnerMetrics::new(true, RING_CAPACITY);
+        let n = classes.len() * 8;
+        let rep = run_uplink_stagegraph_metered(
+            cfg,
+            &classes,
+            n,
+            2,
+            StageGraphConfig::default(),
+            &rm,
+            Some(sg.clone()),
+            None,
+        );
+        assert_eq!(rep.packets, n);
+        assert_eq!(rep.ok_packets, n, "clean channel must decode everything");
+        let expect_bytes: usize = classes.iter().map(|(_, l)| l * 8).sum();
+        assert_eq!(rep.wire_bytes, expect_bytes);
+        assert_eq!(rm.packets.get(), n as u64);
+        // Same-K tasks recur every `classes.len()/2` admissions per
+        // worker — far under the age bound, so quads dominate.
+        assert!(
+            sg.lane_occupancy() > 0.5,
+            "round-robin mixed-K should mostly fill lanes: {:.2} (quad {} pair {} single {})",
+            sg.lane_occupancy(),
+            sg.quad_blocks.get(),
+            sg.pair_blocks.get(),
+            sg.single_blocks.get(),
+        );
+    }
+
+    #[test]
+    fn stagegraph_survives_injected_worker_panics() {
+        // Same invariant as the serial multicore driver: a panicking
+        // admission costs exactly one packet, and everything staged
+        // before the panic still retires through the ROB.
+        let cfg = PipelineConfig {
+            snr_db: 30.0,
+            ..Default::default()
+        };
+        let plan = FaultPlan {
+            seed: 99,
+            mix: FaultMix::only(FaultKind::Clean)
+                .with_weight(FaultKind::WorkerPanic, 1)
+                .with_weight(FaultKind::Clean, 7),
+        };
+        let rm = RunnerMetrics::new(true, RING_CAPACITY);
+        let n = 48;
+        let rep = run_uplink_stagegraph_metered(
+            cfg,
+            &[(Transport::Udp, 128), (Transport::Udp, 600)],
+            n,
+            2,
+            StageGraphConfig::default(),
+            &rm,
+            None,
+            Some(plan),
+        );
+        assert!(rep.worker_restarts > 0, "the plan must have fired: {rep:?}");
+        assert_eq!(
+            rep.packets + rep.worker_restarts,
+            n,
+            "every packet either completes or is accounted to a panic"
+        );
+        assert_eq!(rep.ok_packets, rep.packets, "survivors are clean traffic");
+        assert_eq!(rm.worker_restarts.get(), rep.worker_restarts as u64);
+        assert_eq!(rm.quarantined.get(), rep.worker_restarts as u64);
     }
 
     #[test]

@@ -1,0 +1,737 @@
+//! Out-of-order stage-graph runtime with cross-packet batch formation.
+//!
+//! The quad-in-zmm decoder (`vran-phy`'s [`NativeBatchTurboDecoder`])
+//! only pays off when all four lanes hold a code block of the *same* K
+//! — and a single transport block rarely carries four. Under mixed-K
+//! traffic the per-packet serial model leaves the zmm lanes mostly
+//! idle. This module restructures the dataflow instead of widening the
+//! kernels: uplink work decomposes into stage tasks, and **decode tasks
+//! from different packets** are pooled by `(K, iteration cap)`, then
+//! launched as quad-in-zmm / pair-in-ymm batches the moment lanes fill
+//! — or earlier, when a member packet's deadline (or an age bound)
+//! nears.
+//!
+//! ```text
+//!          admit(ue, pkt)                    pools (one per K, cap)
+//! ┌─────────────────────────────┐    ┌───────┐
+//! │ demod → de-rate-match →     │ K₁ │ ▓▓▓░  │── lanes full ──┐
+//! │ arrange  (UplinkPipeline::  │───▶├───────┤                ▼
+//! │ prepare, per packet)        │ K₂ │ ▓░░░  │── deadline ─▶ quad /
+//! └─────────────────────────────┘    └───────┘    flush      pair /
+//!        │ staged tasks                                      single
+//!        ▼                                                     │
+//! ┌──────────────┐   all blocks decoded    ┌────────────────┐  │
+//! │ ROB slots +  │◀────────────────────────│ scatter bits,  │◀─┘
+//! │ free list    │                         │ iters, decode  │
+//! └──────────────┘                         │ ns to slots    │
+//!        │ retire (out of order)           └────────────────┘
+//!        ▼
+//! per-UE reorder (seq) → in-order delivery, CRC check, L2 verify
+//! ```
+//!
+//! # What is preserved
+//!
+//! * **Bit-exact outcomes.** The batch kernels run the same saturating
+//!   i16 ops in the same order as the serial native decoder at a fixed
+//!   iteration count, for every quad/pair/single grouping — so *when*
+//!   a block decodes and *who* it shares a register with cannot change
+//!   its bits. Completion runs the exact serial tail
+//!   ([`UplinkPipeline::complete`]): per-block CRC24B, desegment,
+//!   CRC24A, L2 delivery check.
+//! * **Error taxonomy and the degradation ladder.** `prepare` fails
+//!   with the same typed [`PipelineError`]s at the same points; the
+//!   Scalar backend (configured or ladder-degraded) completes serially
+//!   inside `prepare` and retires through the same reorder stage. The
+//!   ladder settles at completion, exactly as in `process`.
+//! * **In-order per-UE delivery.** Packets retire from the ROB out of
+//!   order, but each UE's results are resequenced by admission number
+//!   before [`StageGraph::pop_completed`] surfaces them.
+//!
+//! # ROB / free-list idiom
+//!
+//! In-flight packets live in a fixed array of slots linked through
+//! `next_free` indices — allocation is "pop the free head", release is
+//! "push onto the free head", no heap traffic in steady state. A slot
+//! retires when its last staged block decodes. If admission ever finds
+//! the free list empty, every pool is flushed (reason `Drain`), which
+//! completes all in-flight packets and refills the list.
+//!
+//! # Flush policy
+//!
+//! * `LanesFull` — a pool reached four tasks: launch a quad now.
+//! * `Deadline` — the pool's oldest task aged past
+//!   [`StageGraphConfig::flush_age`] admissions, or its packet spent
+//!   3/4 of its [`PipelineConfig::deadline_ns`] budget: launch what's
+//!   there (pair + single) rather than blow the budget waiting for a
+//!   fourth.
+//! * `Drain` — end of run (or ROB pressure): flush everything.
+
+use crate::error::PipelineError;
+use crate::metrics::{Stage, StageGraphMetrics};
+use crate::packet::Packet;
+use crate::pipeline::{Admission, PacketResult, PipelineConfig, PreparedUplink, UplinkPipeline};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use vran_phy::llr::TurboLlrs;
+use vran_phy::turbo::native_batch::{BATCH, QUAD};
+use vran_phy::turbo::{DecodeScratch, NativeBatchTurboDecoder, NativeTurboDecoder};
+
+/// Why a decode pool launched before (or at) lane width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushReason {
+    /// Four same-K tasks filled the zmm lanes — the happy path.
+    LanesFull,
+    /// A member task's packet deadline or age bound neared; partial
+    /// launch (pair/single) beats a blown budget.
+    Deadline,
+    /// End-of-run drain or ROB pressure: no more admissions are coming
+    /// to fill the lanes.
+    Drain,
+}
+
+/// Stage-graph tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct StageGraphConfig {
+    /// ROB capacity: maximum packets in flight (staged but not yet
+    /// retired). The free list spans exactly this many slots.
+    pub rob_slots: usize,
+    /// Age bound, in admissions: a pool whose oldest task has waited
+    /// this many `admit` calls is deadline-flushed. Under the mixed-K
+    /// `paper_sweep` round-robin the same-K re-arrival distance is
+    /// well under this, so the bound only fires on rare stragglers.
+    pub flush_age: u64,
+}
+
+impl Default for StageGraphConfig {
+    fn default() -> Self {
+        Self {
+            rob_slots: 64,
+            flush_age: 64,
+        }
+    }
+}
+
+/// One in-flight packet: everything needed to finish it once its
+/// blocks decode.
+#[derive(Debug)]
+struct InFlight {
+    ue: u64,
+    seq: u64,
+    prep: PreparedUplink,
+    /// Decoded bits, one buffer per code block, scattered in by
+    /// launches as they complete.
+    bits: Vec<Vec<u8>>,
+    /// Blocks still waiting in some pool.
+    remaining: usize,
+    /// Decoder iterations accumulated across the packet's blocks.
+    iterations: usize,
+    /// Wall-clock decode share attributed by the launches it rode.
+    decode_ns: u64,
+}
+
+/// A ROB slot: either a link in the free list or an in-flight packet.
+#[derive(Debug)]
+struct RobSlot {
+    /// Next free slot index when this slot is free (`u32::MAX` ends
+    /// the list); meaningless while occupied.
+    next_free: u32,
+    entry: Option<InFlight>,
+}
+
+const FREE_END: u32 = u32::MAX;
+
+/// One staged decode task waiting in a pool.
+#[derive(Debug)]
+struct PoolTask {
+    slot: u32,
+    block: usize,
+    task: TurboLlrs,
+    /// Admission tick when staged (age-bound flush).
+    staged_at: u64,
+    /// Wall-clock point past which waiting risks the packet's budget
+    /// (3/4 of `deadline_ns` from its start), when one is configured.
+    flush_at: Option<Instant>,
+}
+
+/// Same-`(K, iter_cap)` decode pool with its cached batch decoder.
+#[derive(Debug)]
+struct Pool {
+    k: usize,
+    iter_cap: usize,
+    tasks: Vec<PoolTask>,
+    dec: NativeBatchTurboDecoder,
+}
+
+/// The out-of-order stage-graph runtime. One instance per worker
+/// thread (single-threaded interior, like [`UplinkPipeline`] itself).
+///
+/// Drive it with [`Self::admit`] per packet, [`Self::drain`] at end of
+/// stream, and [`Self::pop_completed`] to collect per-UE in-order
+/// results.
+#[derive(Debug)]
+pub struct StageGraph {
+    pipe: UplinkPipeline,
+    cfg: StageGraphConfig,
+    metrics: Option<Arc<StageGraphMetrics>>,
+    slots: Vec<RobSlot>,
+    free_head: u32,
+    /// In-flight packet count (occupied ROB slots).
+    in_flight: usize,
+    pools: Vec<Pool>,
+    /// Cached serial decoders for single-leftover launches, keyed by K
+    /// (same max-iteration construction as the pipeline's own cache).
+    singles: Vec<NativeTurboDecoder>,
+    scratch: DecodeScratch,
+    /// Admission counter (the age clock).
+    tick: u64,
+    /// Per-UE: next sequence number to assign at admission.
+    next_seq: HashMap<u64, u64>,
+    /// Per-UE: next sequence number eligible for delivery.
+    next_deliver: HashMap<u64, u64>,
+    /// Retired results waiting for earlier same-UE packets.
+    held: HashMap<u64, BTreeMap<u64, Result<PacketResult, PipelineError>>>,
+    /// In-order delivery queue.
+    completed: VecDeque<(u64, Result<PacketResult, PipelineError>)>,
+}
+
+impl StageGraph {
+    /// New runtime around an existing pipeline (carries its config,
+    /// metrics and fault injector).
+    pub fn new(pipe: UplinkPipeline, cfg: StageGraphConfig) -> Self {
+        let rob = cfg.rob_slots.max(1);
+        let slots = (0..rob)
+            .map(|i| RobSlot {
+                next_free: if i + 1 < rob {
+                    (i + 1) as u32
+                } else {
+                    FREE_END
+                },
+                entry: None,
+            })
+            .collect();
+        Self {
+            pipe,
+            cfg,
+            metrics: None,
+            slots,
+            free_head: 0,
+            in_flight: 0,
+            pools: Vec::new(),
+            singles: Vec::new(),
+            scratch: DecodeScratch::default(),
+            tick: 0,
+            next_seq: HashMap::new(),
+            next_deliver: HashMap::new(),
+            held: HashMap::new(),
+            completed: VecDeque::new(),
+        }
+    }
+
+    /// Convenience: build the pipeline from a config.
+    pub fn with_config(pipe_cfg: PipelineConfig, cfg: StageGraphConfig) -> Self {
+        Self::new(UplinkPipeline::new(pipe_cfg), cfg)
+    }
+
+    /// Attach a batch-formation metrics registry.
+    pub fn set_metrics(&mut self, m: Arc<StageGraphMetrics>) {
+        self.metrics = Some(m);
+    }
+
+    /// The wrapped pipeline.
+    pub fn pipeline(&self) -> &UplinkPipeline {
+        &self.pipe
+    }
+
+    /// Swap in a fresh pipeline after an isolated worker panic,
+    /// *keeping* the ROB, pools and per-UE sequence state — in-flight
+    /// packets staged before the panic still retire, and delivery
+    /// order is unbroken. (Prepare stages nothing before it returns,
+    /// so a panicking packet leaves no orphaned tasks behind.)
+    pub fn replace_pipeline(&mut self, pipe: UplinkPipeline) {
+        self.pipe = pipe;
+    }
+
+    /// Packets staged but not yet retired.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Admit one packet for UE `ue`. Runs the receive path up to the
+    /// decode stage, pools the code blocks, and launches any batch
+    /// whose lanes filled or whose deadline neared. Completed packets
+    /// (this one or earlier ones its launches finished) become
+    /// available via [`Self::pop_completed`].
+    ///
+    /// Panic-safe for worker isolation: a panic inside the pipeline
+    /// (e.g. injected [`crate::faultinject::FaultKind::WorkerPanic`])
+    /// unwinds out *before* a sequence number is consumed or anything
+    /// is staged, so the graph stays consistent — swap in a fresh
+    /// pipeline with [`Self::replace_pipeline`] and keep admitting.
+    pub fn admit(&mut self, ue: u64, packet: &Packet) {
+        self.tick += 1;
+        let admission = self.pipe.prepare(packet);
+        let seq = {
+            let s = self.next_seq.entry(ue).or_insert(0);
+            let v = *s;
+            *s += 1;
+            v
+        };
+        match admission {
+            Admission::Ready(result) => {
+                // Completed serially (Scalar backend, degraded ladder,
+                // or a pre-decode failure) — but an earlier same-UE
+                // packet may still be in flight, so it joins the
+                // reorder stage like everyone else.
+                self.retire(ue, seq, result);
+            }
+            Admission::Staged(mut prep) => {
+                let slot = self.alloc_slot();
+                let tasks = std::mem::take(&mut prep.tasks);
+                let budget = self.pipe.config().deadline_ns;
+                let flush_at = budget.map(|b| prep.start + Duration::from_nanos(b * 3 / 4));
+                let iter_cap = prep.iter_cap();
+                let n = tasks.len();
+                self.slots[slot as usize].entry = Some(InFlight {
+                    ue,
+                    seq,
+                    prep,
+                    bits: vec![Vec::new(); n],
+                    remaining: n,
+                    iterations: 0,
+                    decode_ns: 0,
+                });
+                self.in_flight += 1;
+                for (block, task) in tasks.into_iter().enumerate() {
+                    self.stage_task(slot, block, task, iter_cap, flush_at);
+                }
+            }
+        }
+        self.flush_aged();
+    }
+
+    /// Flush every pool (end of stream): remaining tasks launch as
+    /// pairs and singles, and all in-flight packets retire.
+    pub fn drain(&mut self) {
+        for pi in 0..self.pools.len() {
+            if !self.pools[pi].tasks.is_empty() {
+                self.flush_pool(pi, FlushReason::Drain);
+            }
+        }
+        debug_assert_eq!(self.in_flight, 0, "drain retires everything");
+    }
+
+    /// Next in-order completed packet: `(ue, result)`. Per-UE order is
+    /// admission order; across UEs, retirement order.
+    pub fn pop_completed(&mut self) -> Option<(u64, Result<PacketResult, PipelineError>)> {
+        self.completed.pop_front()
+    }
+
+    // ---- internals ----
+
+    /// Pop a free ROB slot, flushing all pools first if none is free
+    /// (flushing retires every in-flight packet, so the list refills).
+    fn alloc_slot(&mut self) -> u32 {
+        if self.free_head == FREE_END {
+            for pi in 0..self.pools.len() {
+                if !self.pools[pi].tasks.is_empty() {
+                    self.flush_pool(pi, FlushReason::Drain);
+                }
+            }
+            debug_assert_ne!(self.free_head, FREE_END, "flush-all frees slots");
+        }
+        let slot = self.free_head;
+        self.free_head = self.slots[slot as usize].next_free;
+        slot
+    }
+
+    /// Push a retired slot back onto the free list.
+    fn release_slot(&mut self, slot: u32) {
+        self.slots[slot as usize].entry = None;
+        self.slots[slot as usize].next_free = self.free_head;
+        self.free_head = slot;
+    }
+
+    /// Stage one decode task into its `(K, iter_cap)` pool, launching
+    /// a quad immediately when the lanes fill.
+    fn stage_task(
+        &mut self,
+        slot: u32,
+        block: usize,
+        task: TurboLlrs,
+        iter_cap: usize,
+        flush_at: Option<Instant>,
+    ) {
+        let k = task.k;
+        let pi = match self
+            .pools
+            .iter()
+            .position(|p| p.k == k && p.iter_cap == iter_cap)
+        {
+            Some(i) => i,
+            None => {
+                self.pools.push(Pool {
+                    k,
+                    iter_cap,
+                    tasks: Vec::with_capacity(QUAD),
+                    dec: NativeBatchTurboDecoder::new(k, iter_cap),
+                });
+                self.pools.len() - 1
+            }
+        };
+        self.pools[pi].tasks.push(PoolTask {
+            slot,
+            block,
+            task,
+            staged_at: self.tick,
+            flush_at,
+        });
+        if self.pools[pi].tasks.len() >= QUAD {
+            self.flush_pool(pi, FlushReason::LanesFull);
+        }
+    }
+
+    /// Deadline-driven partial flush: launch any pool whose oldest
+    /// task aged past the bound or whose packet spent 3/4 of its
+    /// budget. Oldest-first order within a pool makes the front task
+    /// the binding one.
+    fn flush_aged(&mut self) {
+        let now = self
+            .pools
+            .iter()
+            .any(|p| p.tasks.first().is_some_and(|t| t.flush_at.is_some()))
+            .then(Instant::now);
+        for pi in 0..self.pools.len() {
+            let due = match self.pools[pi].tasks.first() {
+                Some(t) => {
+                    self.tick.saturating_sub(t.staged_at) >= self.cfg.flush_age
+                        || t.flush_at.zip(now).is_some_and(|(at, now)| now >= at)
+                }
+                None => false,
+            };
+            if due {
+                self.flush_pool(pi, FlushReason::Deadline);
+            }
+        }
+    }
+
+    /// Launch everything in pool `pi`: quads while four remain, then a
+    /// pair, then a single leftover. Scatters bits / iterations /
+    /// decode-time shares to the owning ROB slots and retires any slot
+    /// whose last block this launch decoded.
+    fn flush_pool(&mut self, pi: usize, reason: FlushReason) {
+        let pool = &mut self.pools[pi];
+        if pool.tasks.is_empty() {
+            return;
+        }
+        if let Some(m) = &self.metrics {
+            m.record_flush(reason);
+        }
+        let tasks = std::mem::take(&mut pool.tasks);
+        let iter_cap = pool.iter_cap;
+        let k = pool.k;
+        let n = tasks.len();
+        let mut outcomes = Vec::with_capacity(n);
+        let mut j = 0;
+        let mut total_decode_ns = 0u64;
+        while j + QUAD <= n {
+            let t0 = Instant::now();
+            let outs = self.pools[pi].dec.decode_quad_refs([
+                &tasks[j].task,
+                &tasks[j + 1].task,
+                &tasks[j + 2].task,
+                &tasks[j + 3].task,
+            ]);
+            let ns = t0.elapsed().as_nanos() as u64;
+            total_decode_ns += ns;
+            if let Some(m) = &self.metrics {
+                m.record_launch(QUAD);
+            }
+            for out in outs {
+                outcomes.push((out, ns / QUAD as u64));
+            }
+            j += QUAD;
+        }
+        while j + BATCH <= n {
+            let t0 = Instant::now();
+            let outs = self.pools[pi]
+                .dec
+                .decode_pair_refs([&tasks[j].task, &tasks[j + 1].task]);
+            let ns = t0.elapsed().as_nanos() as u64;
+            total_decode_ns += ns;
+            if let Some(m) = &self.metrics {
+                m.record_launch(BATCH);
+            }
+            for out in outs {
+                outcomes.push((out, ns / BATCH as u64));
+            }
+            j += BATCH;
+        }
+        if j < n {
+            // Single leftover: same fixed-iteration, no-early-stop
+            // semantics as the batch members (bit-exact with them).
+            let si = match self.singles.iter().position(|d| d.k() == k) {
+                Some(i) => i,
+                None => {
+                    let max_iters = self.pipe.config().decoder_iterations;
+                    self.singles.push(NativeTurboDecoder::new(k, max_iters));
+                    self.singles.len() - 1
+                }
+            };
+            let input = &tasks[j].task;
+            let mut bits = Vec::new();
+            let t0 = Instant::now();
+            let (iters, _) = self.singles[si].decode_streams_capped_into(
+                &input.streams.sys,
+                &input.streams.p1,
+                &input.streams.p2,
+                &input.tails,
+                iter_cap,
+                None,
+                &mut self.scratch,
+                &mut bits,
+            );
+            let ns = t0.elapsed().as_nanos() as u64;
+            total_decode_ns += ns;
+            if let Some(m) = &self.metrics {
+                m.record_launch(1);
+            }
+            outcomes.push((
+                vran_phy::turbo::DecodeOutcome {
+                    bits,
+                    iterations_run: iters,
+                    crc_ok: None,
+                },
+                ns,
+            ));
+        }
+        if let Some(pm) = self.pipe.metrics().filter(|m| m.is_enabled()) {
+            pm.record_stage(Stage::Decode, total_decode_ns);
+        }
+
+        // Scatter outcomes to slots; retire slots whose last block
+        // just decoded.
+        for (t, (out, share_ns)) in tasks.iter().zip(outcomes) {
+            let entry = self.slots[t.slot as usize]
+                .entry
+                .as_mut()
+                .expect("pool task points at an occupied slot");
+            entry.bits[t.block] = out.bits;
+            entry.iterations += out.iterations_run;
+            entry.decode_ns += share_ns;
+            entry.remaining -= 1;
+            if entry.remaining == 0 {
+                let done = self.slots[t.slot as usize].entry.take().expect("occupied");
+                self.release_slot(t.slot);
+                self.in_flight -= 1;
+                let result =
+                    self.pipe
+                        .complete(done.prep, &done.bits, done.iterations, done.decode_ns);
+                self.retire(done.ue, done.seq, result);
+            }
+        }
+    }
+
+    /// Feed one retired packet into the per-UE resequencer and move
+    /// every now-deliverable result to the completion queue.
+    fn retire(&mut self, ue: u64, seq: u64, result: Result<PacketResult, PipelineError>) {
+        self.held.entry(ue).or_default().insert(seq, result);
+        let next = self.next_deliver.entry(ue).or_insert(0);
+        let pending = self.held.get_mut(&ue).expect("just inserted");
+        while let Some(r) = pending.remove(next) {
+            self.completed.push_back((ue, r));
+            *next += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{PacketBuilder, Transport};
+    use crate::pipeline::DecoderBackend;
+
+    fn cfg() -> PipelineConfig {
+        PipelineConfig {
+            snr_db: 30.0,
+            ..Default::default()
+        }
+    }
+
+    /// Comparable outcome signature across Ok/Err results.
+    fn signature(r: &Result<PacketResult, PipelineError>) -> (bool, usize, usize, usize) {
+        match r {
+            Ok(p) => (true, p.tb_bits, p.code_blocks, p.decoder_iterations),
+            Err(e) => {
+                let f = e.decode_failure().copied().unwrap_or_default();
+                (false, f.tb_bits, f.code_blocks, f.decoder_iterations)
+            }
+        }
+    }
+
+    #[test]
+    fn staged_results_match_serial_process() {
+        let sizes = [64usize, 128, 300, 600, 900, 1200, 1400];
+        let mut bs = PacketBuilder::new(1000, 2000);
+        let mut bg = PacketBuilder::new(1000, 2000);
+        // Batch semantics run a fixed iteration count (no CRC early
+        // stop), so the iteration-for-iteration oracle is the serial
+        // *batch* path, which existing pipeline tests pin bit-exact
+        // against the plain serial path.
+        let serial = UplinkPipeline::new(PipelineConfig {
+            batch_decode: true,
+            ..cfg()
+        });
+        let mut graph = StageGraph::with_config(cfg(), StageGraphConfig::default());
+        let mut expect = Vec::new();
+        for (i, &sz) in sizes.iter().cycle().take(40).enumerate() {
+            let ps = bs.build(Transport::Udp, sz).unwrap();
+            let pg = bg.build(Transport::Udp, sz).unwrap();
+            assert_eq!(ps.frame, pg.frame, "builders in lockstep");
+            expect.push(signature(&serial.process(&ps)));
+            graph.admit((i % 5) as u64, &pg);
+        }
+        graph.drain();
+        let mut got: Vec<(u64, (bool, usize, usize, usize))> = Vec::new();
+        while let Some((ue, r)) = graph.pop_completed() {
+            got.push((ue, signature(&r)));
+        }
+        assert_eq!(got.len(), expect.len());
+        // Same multiset of outcome signatures; per-UE admission order.
+        for ue in 0..5u64 {
+            let per_ue: Vec<_> = got
+                .iter()
+                .filter(|(u, _)| *u == ue)
+                .map(|(_, s)| *s)
+                .collect();
+            let want: Vec<_> = expect
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (*i % 5) as u64 == ue)
+                .map(|(_, s)| *s)
+                .collect();
+            assert_eq!(per_ue, want, "UE {ue} signatures in admission order");
+        }
+    }
+
+    #[test]
+    fn lanes_fill_under_uniform_k() {
+        let m = Arc::new(StageGraphMetrics::default());
+        let mut graph = StageGraph::with_config(cfg(), StageGraphConfig::default());
+        graph.set_metrics(m.clone());
+        let mut b = PacketBuilder::new(1000, 2000);
+        // 8 equal-size single-block packets → two full quads.
+        for i in 0..8 {
+            let p = b.build(Transport::Udp, 64).unwrap();
+            graph.admit(i, &p);
+        }
+        graph.drain();
+        assert_eq!(m.quad_blocks.get(), 8);
+        assert_eq!(m.flush_lanes_full.get(), 2);
+        assert_eq!(m.lane_occupancy(), 1.0);
+        assert_eq!(graph.in_flight(), 0);
+    }
+
+    #[test]
+    fn drain_flushes_partial_pools() {
+        let m = Arc::new(StageGraphMetrics::default());
+        let mut graph = StageGraph::with_config(cfg(), StageGraphConfig::default());
+        graph.set_metrics(m.clone());
+        let mut b = PacketBuilder::new(1000, 2000);
+        for i in 0..3 {
+            let p = b.build(Transport::Udp, 64).unwrap();
+            graph.admit(i, &p);
+        }
+        assert_eq!(graph.in_flight(), 3, "three staged, lanes not full");
+        graph.drain();
+        assert_eq!(m.flush_drain.get(), 1);
+        assert_eq!(m.pair_blocks.get(), 2);
+        assert_eq!(m.single_blocks.get(), 1);
+        let mut n = 0;
+        while let Some((_, r)) = graph.pop_completed() {
+            assert!(r.is_ok());
+            n += 1;
+        }
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn age_bound_flushes_stragglers() {
+        let m = Arc::new(StageGraphMetrics::default());
+        let mut graph = StageGraph::with_config(
+            cfg(),
+            StageGraphConfig {
+                flush_age: 4,
+                ..Default::default()
+            },
+        );
+        graph.set_metrics(m.clone());
+        let mut b = PacketBuilder::new(1000, 2000);
+        // One 64 B packet, then a stream of 600 B packets: the 64 B
+        // pool can never fill its lanes and must age out.
+        let p = b.build(Transport::Udp, 64).unwrap();
+        graph.admit(0, &p);
+        for i in 0..6 {
+            let p = b.build(Transport::Udp, 600).unwrap();
+            graph.admit(1 + i, &p);
+        }
+        assert!(m.flush_deadline.get() >= 1, "straggler aged out");
+        graph.drain();
+        let mut seen = 0;
+        while graph.pop_completed().is_some() {
+            seen += 1;
+        }
+        assert_eq!(seen, 7);
+    }
+
+    #[test]
+    fn scalar_backend_retires_through_reorder_stage() {
+        let mut graph = StageGraph::with_config(
+            PipelineConfig {
+                backend: DecoderBackend::Scalar,
+                snr_db: 30.0,
+                ..Default::default()
+            },
+            StageGraphConfig::default(),
+        );
+        let mut b = PacketBuilder::new(1000, 2000);
+        for _ in 0..4 {
+            let p = b.build(Transport::Udp, 128).unwrap();
+            graph.admit(7, &p);
+        }
+        graph.drain();
+        let mut n = 0;
+        while let Some((ue, r)) = graph.pop_completed() {
+            assert_eq!(ue, 7);
+            assert!(r.is_ok());
+            n += 1;
+        }
+        assert_eq!(n, 4, "serial fallback still delivers every packet");
+    }
+
+    #[test]
+    fn rob_pressure_flushes_instead_of_failing() {
+        let mut graph = StageGraph::with_config(
+            cfg(),
+            StageGraphConfig {
+                rob_slots: 2,
+                flush_age: u64::MAX / 2,
+            },
+        );
+        let mut b = PacketBuilder::new(1000, 2000);
+        // Alternate sizes so no pool ever fills its lanes: ROB (2
+        // slots) runs out and must flush-all to keep admitting.
+        for i in 0..10 {
+            let sz = if i % 2 == 0 { 64 } else { 600 };
+            let p = b.build(Transport::Udp, sz).unwrap();
+            graph.admit(i, &p);
+        }
+        graph.drain();
+        let mut n = 0;
+        while let Some((_, r)) = graph.pop_completed() {
+            assert!(r.is_ok());
+            n += 1;
+        }
+        assert_eq!(n, 10);
+    }
+}

@@ -1,0 +1,243 @@
+//! Property tests for the out-of-order stage-graph runtime: per-UE
+//! in-order delivery and outcome equivalence with the serial path under
+//! random K mixes, fault-injection storms, worker panics, and multiple
+//! worker counts — plus the lane-occupancy target on the paper-sweep
+//! round-robin workload.
+//!
+//! The always-on tests stay small enough for debug builds; the
+//! `#[ignore]`d throughput gate runs in release via CI (the stage graph
+//! must be *at least* as fast as the serial per-packet path on
+//! AVX-512BW hosts).
+
+use std::sync::Arc;
+use vran_net::error::PipelineError;
+use vran_net::faultinject::{FaultInjector, FaultKind, FaultMix};
+use vran_net::metrics::{RunnerMetrics, StageGraphMetrics};
+use vran_net::packet::{PacketBuilder, Transport};
+use vran_net::pipeline::{PacketResult, PipelineConfig, UplinkPipeline};
+use vran_net::runner::{
+    run_uplink_serial_mixed, run_uplink_stagegraph_metered, FaultPlan, RING_CAPACITY,
+};
+use vran_net::{StageGraph, StageGraphConfig};
+use vran_util::rng::SmallRng;
+
+const SIZES: [usize; 7] = [64, 128, 300, 600, 900, 1200, 1400];
+
+fn cfg() -> PipelineConfig {
+    PipelineConfig {
+        snr_db: 30.0,
+        ..Default::default()
+    }
+}
+
+/// Comparable outcome signature across Ok/Err results. Bit-exactness
+/// of the decoded payload is enforced *inside* completion (the L2
+/// delivery check fails the packet if the decapsulated payload differs
+/// from the sent frame), so an `Ok` here certifies exact bits.
+fn signature(r: &Result<PacketResult, PipelineError>) -> (bool, usize, usize, usize) {
+    match r {
+        Ok(p) => (true, p.tb_bits, p.code_blocks, p.decoder_iterations),
+        Err(e) => {
+            let f = e.decode_failure().copied().unwrap_or_default();
+            (false, f.tb_bits, f.code_blocks, f.decoder_iterations)
+        }
+    }
+}
+
+/// Random packet-size / UE schedule for one seed, admitted to a stage
+/// graph and to the serial batch-semantics oracle in lockstep; per-UE
+/// delivery order must equal per-UE admission order with identical
+/// outcome signatures.
+fn check_random_mix(seed: u64, n: usize, ues: u64, inject: bool) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut bs = PacketBuilder::new(1000, 2000);
+    let mut bg = PacketBuilder::new(1000, 2000);
+    // Batch lanes run a fixed iteration count (no CRC early stop), so
+    // the iteration-exact oracle is the serial *batch* path.
+    let mut serial = UplinkPipeline::new(PipelineConfig {
+        batch_decode: true,
+        ..cfg()
+    });
+    let mut graph = StageGraph::with_config(cfg(), StageGraphConfig::default());
+    if inject {
+        // Same seed on both sides: prepare draws one fault per packet
+        // in the same order process does, so the storms are identical.
+        serial.set_fault_injector(FaultInjector::new(seed));
+        let mut pipe = UplinkPipeline::new(cfg());
+        pipe.set_fault_injector(FaultInjector::new(seed));
+        graph = StageGraph::new(pipe, StageGraphConfig::default());
+    }
+
+    let mut admitted: Vec<u64> = Vec::new(); // UE per admission index
+    let mut expect: Vec<(bool, usize, usize, usize)> = Vec::new();
+    for _ in 0..n {
+        let sz = SIZES[rng.gen_range_usize(0, SIZES.len())];
+        let ue = rng.next_u64() % ues;
+        let transport = if rng.next_u64().is_multiple_of(2) {
+            Transport::Udp
+        } else {
+            Transport::Tcp
+        };
+        let ps = bs.build(transport, sz).unwrap();
+        let pg = bg.build(transport, sz).unwrap();
+        assert_eq!(ps.frame, pg.frame, "builders in lockstep");
+        expect.push(signature(&serial.process(&ps)));
+        admitted.push(ue);
+        graph.admit(ue, &pg);
+    }
+    graph.drain();
+
+    let mut got: Vec<(u64, (bool, usize, usize, usize))> = Vec::new();
+    while let Some((ue, r)) = graph.pop_completed() {
+        got.push((ue, signature(&r)));
+    }
+    assert_eq!(got.len(), n, "seed {seed}: every admission delivers");
+    for ue in 0..ues {
+        let delivered: Vec<_> = got
+            .iter()
+            .filter(|(u, _)| *u == ue)
+            .map(|(_, s)| *s)
+            .collect();
+        let want: Vec<_> = expect
+            .iter()
+            .zip(&admitted)
+            .filter(|(_, u)| **u == ue)
+            .map(|(s, _)| *s)
+            .collect();
+        assert_eq!(
+            delivered, want,
+            "seed {seed} UE {ue}: delivery must be admission-ordered and serial-equivalent"
+        );
+    }
+}
+
+#[test]
+fn random_k_mixes_deliver_in_order_and_match_serial() {
+    for seed in [11, 22, 33] {
+        check_random_mix(seed, 48, 6, false);
+    }
+}
+
+#[test]
+fn fault_storms_preserve_order_and_equivalence() {
+    // The default injector mix covers frame corruption, truncation,
+    // LLR sabotage and block-count lies — every taxonomy path that
+    // does not panic the worker.
+    for seed in [17, 18] {
+        check_random_mix(seed, 48, 4, true);
+    }
+}
+
+#[test]
+fn worker_panic_storm_conserves_packets() {
+    let plan = FaultPlan {
+        seed: 5,
+        mix: FaultMix::only(FaultKind::Clean)
+            .with_weight(FaultKind::Clean, 7)
+            .with_weight(FaultKind::WorkerPanic, 1),
+    };
+    let rm = RunnerMetrics::new(true, RING_CAPACITY);
+    let n = 64;
+    let rep = run_uplink_stagegraph_metered(
+        cfg(),
+        &[(Transport::Udp, 128), (Transport::Tcp, 300)],
+        n,
+        2,
+        StageGraphConfig::default(),
+        &rm,
+        None,
+        Some(plan),
+    );
+    assert!(rep.worker_restarts > 0, "panics must have fired: {rep:?}");
+    assert_eq!(
+        rep.packets + rep.worker_restarts,
+        n,
+        "a panic consumes exactly its own packet: {rep:?}"
+    );
+    assert_eq!(rm.worker_restarts.get(), rep.worker_restarts as u64);
+    assert_eq!(rm.quarantined.get(), rep.worker_restarts as u64);
+    assert!(rep.ok_packets > 0, "survivors decode: {rep:?}");
+}
+
+#[test]
+fn paper_sweep_round_robin_hits_occupancy_target() {
+    // The acceptance workload: both transports at every paper sweep
+    // size, round-robin. Same-K tasks re-arrive well inside the age
+    // bound, so quads dominate — the ISSUE's ≳90 % zmm lane occupancy.
+    let classes: Vec<(Transport, usize)> = [Transport::Udp, Transport::Tcp]
+        .into_iter()
+        .flat_map(|t| SIZES.iter().map(move |&s| (t, s)))
+        .collect();
+    for workers in [1, 2] {
+        let sg = Arc::new(StageGraphMetrics::default());
+        let rep = run_uplink_stagegraph_metered(
+            cfg(),
+            &classes,
+            280,
+            workers,
+            StageGraphConfig::default(),
+            &RunnerMetrics::new(false, RING_CAPACITY),
+            Some(sg.clone()),
+            None,
+        );
+        assert_eq!(rep.packets, 280);
+        assert!(
+            sg.lane_occupancy() >= 0.9,
+            "{workers} workers: occupancy {:.3} below the 0.9 target \
+             (quad={} pair={} single={})",
+            sg.lane_occupancy(),
+            sg.quad_blocks.get(),
+            sg.pair_blocks.get(),
+            sg.single_blocks.get()
+        );
+    }
+}
+
+#[test]
+#[ignore = "release-mode perf gate; run via CI on AVX-512BW hosts"]
+fn stagegraph_throughput_beats_serial_on_wide_hosts() {
+    if !vran_phy::turbo::NativeBatchTurboDecoder::is_zmm_accelerated() {
+        eprintln!("skipping: no AVX-512BW quad path on this host");
+        return;
+    }
+    let classes: Vec<(Transport, usize)> = [Transport::Udp, Transport::Tcp]
+        .into_iter()
+        .flat_map(|t| SIZES.iter().map(move |&s| (t, s)))
+        .collect();
+    let n = 1400;
+    let workers = 2;
+    // The serial baseline runs the same fixed-iteration batch decode
+    // semantics the stage graph uses (the pre-existing per-packet
+    // `batch_decode` path), isolating what cross-packet formation
+    // adds. Serial CRC early stop is an orthogonal trade-off the
+    // batch lanes give up by design — EXPERIMENTS.md quantifies it.
+    let serial_cfg = PipelineConfig {
+        batch_decode: true,
+        ..cfg()
+    };
+    // Median of 5 paired runs rides out scheduler noise.
+    let mut ratios: Vec<f64> = (0..5)
+        .map(|_| {
+            let serial = run_uplink_serial_mixed(serial_cfg, &classes, n, workers);
+            let graph = run_uplink_stagegraph_metered(
+                cfg(),
+                &classes,
+                n,
+                workers,
+                StageGraphConfig::default(),
+                &RunnerMetrics::new(false, RING_CAPACITY),
+                None,
+                None,
+            );
+            assert_eq!(graph.packets, serial.packets);
+            graph.mbps / serial.mbps
+        })
+        .collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = ratios[ratios.len() / 2];
+    assert!(
+        median >= 1.0,
+        "stage graph must not lose to the serial path on zmm hosts: \
+         median speedup {median:.3} (all: {ratios:?})"
+    );
+}

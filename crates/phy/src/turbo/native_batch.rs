@@ -77,6 +77,15 @@ impl NativeBatchTurboDecoder {
     /// Decode two blocks; runs all configured iterations (no CRC early
     /// stop, matching [`super::batch_decoder::BatchTurboDecoder`]).
     pub fn decode_pair(&self, inputs: &[TurboLlrs; BATCH]) -> [DecodeOutcome; BATCH] {
+        self.decode_pair_refs([&inputs[0], &inputs[1]])
+    }
+
+    /// [`Self::decode_pair`] over borrowed, non-contiguous blocks — the
+    /// entry point cross-packet batch pools use: pooled decode tasks
+    /// live in separate reorder-buffer slots, so a launch hands the
+    /// kernel four scattered references instead of cloning them into a
+    /// contiguous array.
+    pub fn decode_pair_refs(&self, inputs: [&TurboLlrs; BATCH]) -> [DecodeOutcome; BATCH] {
         let k = self.il.k();
         for input in inputs.iter() {
             assert_eq!(input.k, k, "both blocks in a batch share K");
@@ -85,7 +94,7 @@ impl NativeBatchTurboDecoder {
             // Portable path: two single-block native decodes have
             // identical semantics (fixed iterations, no CRC).
             let single = super::native_decoder::NativeTurboDecoder::new(k, self.max_iterations);
-            return [single.decode(&inputs[0]), single.decode(&inputs[1])];
+            return [single.decode(inputs[0]), single.decode(inputs[1])];
         }
         #[cfg(target_arch = "x86_64")]
         {
@@ -101,15 +110,19 @@ impl NativeBatchTurboDecoder {
     /// single-block decodes without AVX2) — identical outputs on every
     /// tier by same-op/same-order construction.
     pub fn decode_quad(&self, inputs: &[TurboLlrs; QUAD]) -> [DecodeOutcome; QUAD] {
+        self.decode_quad_refs([&inputs[0], &inputs[1], &inputs[2], &inputs[3]])
+    }
+
+    /// [`Self::decode_quad`] over borrowed, non-contiguous blocks (see
+    /// [`Self::decode_pair_refs`]).
+    pub fn decode_quad_refs(&self, inputs: [&TurboLlrs; QUAD]) -> [DecodeOutcome; QUAD] {
         let k = self.il.k();
         for input in inputs.iter() {
             assert_eq!(input.k, k, "all blocks in a batch share K");
         }
         if !self.use_avx512 {
-            let lo: &[TurboLlrs; BATCH] = inputs[..BATCH].try_into().expect("pair slice");
-            let hi: &[TurboLlrs; BATCH] = inputs[BATCH..].try_into().expect("pair slice");
-            let [a, b] = self.decode_pair(lo);
-            let [c, d] = self.decode_pair(hi);
+            let [a, b] = self.decode_pair_refs([inputs[0], inputs[1]]);
+            let [c, d] = self.decode_pair_refs([inputs[2], inputs[3]]);
             return [a, b, c, d];
         }
         #[cfg(target_arch = "x86_64")]
@@ -121,14 +134,14 @@ impl NativeBatchTurboDecoder {
     }
 
     #[cfg(target_arch = "x86_64")]
-    fn decode_quad_avx512(&self, inputs: &[TurboLlrs; QUAD]) -> [DecodeOutcome; QUAD] {
+    fn decode_quad_avx512(&self, inputs: [&TurboLlrs; QUAD]) -> [DecodeOutcome; QUAD] {
         let k = self.il.k();
         let n = QUAD * k;
 
         // Block-major staging: `[g*k .. (g+1)*k)` = block g.
         let stage = |f: fn(&TurboLlrs) -> &[Llr]| -> Vec<Llr> {
             let mut v = Vec::with_capacity(n);
-            for input in inputs.iter() {
+            for &input in inputs.iter() {
                 v.extend_from_slice(f(input));
             }
             v
@@ -144,7 +157,7 @@ impl NativeBatchTurboDecoder {
         }
         let binit = |second: bool| -> [Llr; QUAD * STATES] {
             let mut b = [0 as Llr; QUAD * STATES];
-            for (g, input) in inputs.iter().enumerate() {
+            for (g, &input) in inputs.iter().enumerate() {
                 let (ts, tp) = if second {
                     (&input.tails.sys2, &input.tails.p2)
                 } else {
@@ -207,15 +220,15 @@ impl NativeBatchTurboDecoder {
     }
 
     #[cfg(target_arch = "x86_64")]
-    fn decode_pair_avx2(&self, inputs: &[TurboLlrs; BATCH]) -> [DecodeOutcome; BATCH] {
+    fn decode_pair_avx2(&self, inputs: [&TurboLlrs; BATCH]) -> [DecodeOutcome; BATCH] {
         let k = self.il.k();
         let n = BATCH * k;
 
         // Block-major staging: [0..k) = block 0, [k..2k) = block 1.
         let stage = |f: fn(&TurboLlrs) -> &[Llr]| -> Vec<Llr> {
             let mut v = Vec::with_capacity(n);
-            v.extend_from_slice(f(&inputs[0]));
-            v.extend_from_slice(f(&inputs[1]));
+            v.extend_from_slice(f(inputs[0]));
+            v.extend_from_slice(f(inputs[1]));
             v
         };
         let sys = stage(|i| &i.streams.sys);

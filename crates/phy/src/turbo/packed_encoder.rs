@@ -651,28 +651,38 @@ mod tests {
         }
         let k = 6144;
         let bits = random_bits(k, 42);
-        let time_isa = |isa: EncoderIsa| -> u128 {
-            let enc = PackedTurboEncoder::with_isa(k, isa);
-            let mut scratch = EncodeScratch::new();
-            enc.encode_dstreams_into(&bits, &mut scratch); // warm-up
-                                                           // Median of several reps, each averaging a burst, so a
-                                                           // scheduler blip cannot fail the build.
-            let reps = 9;
+        let burst_ns = |enc: &PackedTurboEncoder, scratch: &mut EncodeScratch| -> u128 {
             let burst = 64;
-            let mut samples: Vec<u128> = (0..reps)
-                .map(|_| {
-                    let t = std::time::Instant::now();
-                    for _ in 0..burst {
-                        enc.encode_dstreams_into(std::hint::black_box(&bits), &mut scratch);
-                    }
-                    t.elapsed().as_nanos() / burst
-                })
-                .collect();
-            samples.sort_unstable();
-            samples[samples.len() / 2]
+            let t = std::time::Instant::now();
+            for _ in 0..burst {
+                enc.encode_dstreams_into(std::hint::black_box(&bits), scratch);
+            }
+            t.elapsed().as_nanos() / burst
         };
-        let ymm = time_isa(EncoderIsa::Avx2);
-        let zmm = time_isa(EncoderIsa::Avx512);
+        let ymm_enc = PackedTurboEncoder::with_isa(k, EncoderIsa::Avx2);
+        let zmm_enc = PackedTurboEncoder::with_isa(k, EncoderIsa::Avx512);
+        let mut scratch = EncodeScratch::new();
+        ymm_enc.encode_dstreams_into(&bits, &mut scratch); // warm-up
+        zmm_enc.encode_dstreams_into(&bits, &mut scratch);
+        // Median of *paired* ratios (both ISAs timed back-to-back per
+        // rep): a scheduler blip hits both sides of a pair, so it
+        // cannot flip the comparison the way two separate timing
+        // windows can.
+        let reps = 9;
+        let mut pairs: Vec<(u128, u128)> = (0..reps)
+            .map(|_| {
+                (
+                    burst_ns(&ymm_enc, &mut scratch),
+                    burst_ns(&zmm_enc, &mut scratch),
+                )
+            })
+            .collect();
+        pairs.sort_by(|a, b| {
+            let ra = a.0 as f64 / a.1 as f64;
+            let rb = b.0 as f64 / b.1 as f64;
+            ra.partial_cmp(&rb).unwrap()
+        });
+        let (ymm, zmm) = pairs[pairs.len() / 2];
         let speedup = ymm as f64 / zmm as f64;
         assert!(
             speedup > 1.0,

@@ -9,27 +9,34 @@
 //! deterministic outcome and batch-formation counters (quad / pair /
 //! single launches, flush reasons, zmm lane occupancy), plus the
 //! deterministic cell-scale smoke preset with its p50/p95/p99
-//! tail-latency percentiles — and six informational (never gating)
-//! suites:
+//! tail-latency percentiles, and the chaos-recovery suite (the phased
+//! storm schedules of `vran_net::chaos`, pinning the measured
+//! time-to-recover, breaker trip/reset counts, worker restarts, and
+//! the flight-recorder's <2 % overhead boolean) — and seven
+//! informational (never gating) suites:
 //! a smoke run of the threaded packet pipeline, the native
 //! turbo-decoder fast path, the packed turbo-encoder fast path
 //! (scalar per-bit reference vs each runtime-dispatched ISA level,
 //! plus the packed-word rate matcher and the combined transmit
 //! chain), the downlink and uplink multi-worker scale-out
 //! sweeps, the stage-graph vs per-packet serial wall-clock
-//! throughput comparison, and the full cell-scale diurnal sweep with its
-//! cores-per-(cells × 300 Mbps) capacity figures. Writes
+//! throughput comparison, the full cell-scale diurnal sweep with its
+//! cores-per-(cells × 300 Mbps) capacity figures, and the raw
+//! flight-recorder overhead timings behind the gated boolean. Writes
 //! `BENCH_current.json` and, with `--check`, compares the gated
 //! suites against `BENCH_baseline.json`, exiting non-zero on
 //! regression. `--only suite,…` restricts both the run and the gate
 //! to the named suites (the CI smoke job runs
 //! `--only cell_scale_smoke`); `--summary <path>` writes a markdown
-//! p50/p95/p99 table for `$GITHUB_STEP_SUMMARY`.
+//! p50/p95/p99 table for `$GITHUB_STEP_SUMMARY`; `--flight-dump
+//! <path>` writes the chaos run's last flight-recorder events as JSON
+//! (the CI failure artifact).
 //!
 //! ```text
 //! benchgate [--check] [--write-baseline]
 //!           [--baseline <path>] [--out <path>] [--quiet]
 //!           [--only <suite,...>] [--summary <path>]
+//!           [--flight-dump <path>]
 //! ```
 
 use std::process::ExitCode;
@@ -38,11 +45,13 @@ use vran_arrange::{ApcmVariant, ArrangeKernel, Mechanism};
 use vran_bench::cellscale::{cell_scale_full_suite, cell_scale_smoke_suite};
 use vran_bench::gate::{compare, BenchReport, Suite};
 use vran_bench::{interleaved_workload, turbo_workload};
+use vran_net::chaos::{run_cell_chaos, run_runner_chaos, CellChaosConfig, RunnerChaosConfig};
 use vran_net::downlink::{DownlinkConfig, DownlinkPipeline};
 use vran_net::error::ErrorCategory;
 use vran_net::faultinject::{FaultInjector, FaultKind};
 use vran_net::metrics::StageGraphMetrics;
 use vran_net::metrics::{PipelineMetrics, RunnerMetrics, Stage, UarchMetrics};
+use vran_net::observe::FlightRecorder;
 use vran_net::packet::PacketBuilder;
 use vran_net::pipeline::{DecoderBackend, EncoderBackend, PipelineConfig, UplinkPipeline};
 use vran_net::runner::{
@@ -90,6 +99,13 @@ const SCALEOUT_MAX_WORKERS: usize = 4;
 const STAGEGRAPH_PACKETS: usize = 168;
 /// Packets per run of the ungated stage-graph wall-clock comparison.
 const STAGEGRAPH_WALLCLOCK_PACKETS: usize = 420;
+/// Seed for both chaos storm schedules (cell-scale and runner).
+const CHAOS_SEED: u64 = 7;
+/// Paired repetitions of the flight-recorder overhead measurement
+/// (minimum of each side taken).
+const OVERHEAD_RUNS: usize = 7;
+/// Flight-recorder events dumped for the CI artifact.
+const FLIGHT_DUMP_EVENTS: usize = 256;
 
 struct Args {
     check: bool,
@@ -101,6 +117,8 @@ struct Args {
     only: Vec<String>,
     /// Write a markdown p50/p95/p99 summary here (for CI step summaries).
     summary: Option<String>,
+    /// Write the chaos run's flight-recorder dump here (CI artifact).
+    flight_dump: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -112,6 +130,7 @@ fn parse_args() -> Result<Args, String> {
         quiet: false,
         only: Vec::new(),
         summary: None,
+        flight_dump: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -127,10 +146,14 @@ fn parse_args() -> Result<Args, String> {
                     .extend(list.split(',').map(|s| s.trim().to_string()));
             }
             "--summary" => args.summary = Some(it.next().ok_or("--summary needs a path")?),
+            "--flight-dump" => {
+                args.flight_dump = Some(it.next().ok_or("--flight-dump needs a path")?)
+            }
             "--help" | "-h" => {
                 return Err("usage: benchgate [--check] [--write-baseline] \
                             [--baseline <path>] [--out <path>] [--quiet] \
-                            [--only <suite,...>] [--summary <path>]"
+                            [--only <suite,...>] [--summary <path>] \
+                            [--flight-dump <path>]"
                     .into())
             }
             other => return Err(format!("unknown argument: {other}")),
@@ -438,6 +461,8 @@ fn uplink_stagegraph_suite() -> Suite {
             &RunnerMetrics::new(false, RING_CAPACITY),
             Some(sg.clone()),
             None,
+            None,
+            None,
         );
         let p = format!("w{workers}");
         suite.push(format!("{p}.packets.count"), rep.packets as f64);
@@ -504,6 +529,8 @@ fn uplink_stagegraph_wallclock_suite() -> Suite {
         StageGraphConfig::default(),
         &RunnerMetrics::new(false, RING_CAPACITY),
         Some(sg.clone()),
+        None,
+        None,
         None,
     );
     suite.push("serial_earlystop.mbps", earlystop.mbps);
@@ -650,8 +677,82 @@ fn pipeline_wallclock_suite(
     suite
 }
 
+/// Flight-recorder overhead on the stage-graph wall-clock workload:
+/// minimum elapsed seconds on each side plus their ratio. The runs
+/// interleave (base, recorder, base, recorder, …) so slow thermal or
+/// scheduler drift hits both sides equally, and the min-of-N on each
+/// side is the noise-floor estimator the <2 % gate judges. The
+/// workload runs on a single stage-graph worker: the recorder's
+/// per-event cost is identical at any worker count, but multi-worker
+/// scheduling jitter on a sub-second run is several percent — far
+/// louder than the effect being measured.
+fn measure_observe_overhead() -> (f64, f64, f64) {
+    let classes = paper_sweep_classes();
+    let cfg = PipelineConfig {
+        snr_db: 30.0,
+        ..Default::default()
+    };
+    let one = |recorder: Option<std::sync::Arc<FlightRecorder>>| -> f64 {
+        run_uplink_stagegraph_metered(
+            cfg,
+            &classes,
+            STAGEGRAPH_WALLCLOCK_PACKETS,
+            1,
+            StageGraphConfig::default(),
+            &RunnerMetrics::new(false, RING_CAPACITY),
+            None,
+            None,
+            recorder,
+            None,
+        )
+        .elapsed_s
+    };
+    let (mut base_s, mut rec_s) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..OVERHEAD_RUNS {
+        base_s = base_s.min(one(None));
+        rec_s = rec_s.min(one(Some(std::sync::Arc::new(
+            FlightRecorder::with_capacity(4096),
+        ))));
+    }
+    (base_s, rec_s, rec_s / base_s)
+}
+
+/// Gated: both chaos storm schedules — the cell-scale windowed storm
+/// with its recovery clock and the six-phase runner storm with armed
+/// breakers — plus the flight-recorder overhead boolean. Every count
+/// is deterministic from [`CHAOS_SEED`]; the recovery time is pinned
+/// exactly. Returns the suite and the flight-recorder JSON dump for
+/// the `--flight-dump` CI artifact.
+fn chaos_recovery_suite(overhead_within_2pct: bool) -> (Suite, String) {
+    let mut suite = Suite::new("chaos_recovery", true);
+    let cell = run_cell_chaos(CellChaosConfig::smoke(CHAOS_SEED));
+    for (k, v) in cell.snapshot() {
+        suite.push(format!("cell.{k}"), v);
+    }
+    let runner = run_runner_chaos(RunnerChaosConfig::smoke(CHAOS_SEED));
+    for (k, v) in runner.snapshot() {
+        suite.push(format!("runner.{k}"), v);
+    }
+    suite.push(
+        "flight_recorder.overhead_within_2pct.count",
+        f64::from(overhead_within_2pct),
+    );
+    let dump = runner.recorder.dump_json(FLIGHT_DUMP_EVENTS).to_string();
+    (suite, dump)
+}
+
+/// Ungated: the raw timings behind the gated overhead boolean —
+/// recorded for trajectory plots.
+fn observe_overhead_suite(base_s: f64, rec_s: f64, min_ratio: f64) -> Suite {
+    let mut suite = Suite::new("observe_overhead", false);
+    suite.push("baseline.elapsed_s", base_s);
+    suite.push("recorder.elapsed_s", rec_s);
+    suite.push("overhead.min.frac", min_ratio - 1.0);
+    suite
+}
+
 /// Suite names `--only` accepts (also the build order).
-const SUITES: [&str; 13] = [
+const SUITES: [&str; 15] = [
     "arrange_sim",
     "decoder_native",
     "encoder_wallclock",
@@ -665,9 +766,13 @@ const SUITES: [&str; 13] = [
     "pipeline_static",
     "pipeline_faults",
     "pipeline_wallclock",
+    "chaos_recovery",
+    "observe_overhead",
 ];
 
-fn build_report(only: &[String]) -> Result<BenchReport, String> {
+/// Build the report; also returns the chaos run's flight-recorder
+/// dump when that suite ran (for `--flight-dump`).
+fn build_report(only: &[String]) -> Result<(BenchReport, Option<String>), String> {
     for name in only {
         if !SUITES.contains(&name.as_str()) {
             return Err(format!(
@@ -699,6 +804,8 @@ fn build_report(only: &[String]) -> Result<BenchReport, String> {
             "stagegraph_wallclock_packets".into(),
             STAGEGRAPH_WALLCLOCK_PACKETS.to_string(),
         ),
+        ("chaos_seed".into(), CHAOS_SEED.to_string()),
+        ("overhead_runs".into(), OVERHEAD_RUNS.to_string()),
     ];
     if want("arrange_sim") {
         report.suites.push(arrange_sim_suite());
@@ -759,7 +866,24 @@ fn build_report(only: &[String]) -> Result<BenchReport, String> {
     } else if want("pipeline_faults") {
         report.suites.push(pipeline_faults_suite());
     }
-    Ok(report)
+
+    // The gated overhead boolean and the ungated raw timings share one
+    // paired measurement.
+    let mut flight_dump = None;
+    if want("chaos_recovery") || want("observe_overhead") {
+        let (base_s, rec_s, min_ratio) = measure_observe_overhead();
+        if want("chaos_recovery") {
+            let (suite, dump) = chaos_recovery_suite(min_ratio <= 1.02);
+            report.suites.push(suite);
+            flight_dump = Some(dump);
+        }
+        if want("observe_overhead") {
+            report
+                .suites
+                .push(observe_overhead_suite(base_s, rec_s, min_ratio));
+        }
+    }
+    Ok((report, flight_dump))
 }
 
 fn main() -> ExitCode {
@@ -771,7 +895,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = match build_report(&args.only) {
+    let (report, flight_dump) = match build_report(&args.only) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("benchgate: {e}");
@@ -790,6 +914,24 @@ fn main() -> ExitCode {
             report.suites.len(),
             report.git_sha
         );
+    }
+
+    if let Some(path) = &args.flight_dump {
+        match &flight_dump {
+            Some(dump) => {
+                if let Err(e) = std::fs::write(path, dump) {
+                    eprintln!("benchgate: cannot write flight dump {path}: {e}");
+                    return ExitCode::from(2);
+                }
+                if !args.quiet {
+                    println!("benchgate: flight-recorder dump written to {path}");
+                }
+            }
+            None => {
+                eprintln!("benchgate: --flight-dump needs the chaos_recovery suite to run");
+                return ExitCode::from(2);
+            }
+        }
     }
 
     if let Some(path) = &args.summary {

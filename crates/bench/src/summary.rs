@@ -4,10 +4,16 @@
 //! `$GITHUB_STEP_SUMMARY`: one row per latency-percentile metric group
 //! (p50/p95/p99 side by side), the stage-graph batch-formation figures
 //! (zmm lane occupancy and quad/pair/single launch counts per suite),
-//! plus the cell-scale capacity figures — the per-PR perf trajectory
-//! at a glance, no local checkout needed.
+//! the chaos-recovery figures (time-to-recover, storm peak, breaker
+//! activity), plus the cell-scale capacity figures — the per-PR perf
+//! trajectory at a glance, no local checkout needed.
+//!
+//! [`render_snapshot_markdown`] renders a live
+//! [`vran_net::observe::MetricsSnapshot`] the same way, for mid-run
+//! polling output.
 
 use crate::gate::BenchReport;
+use vran_net::observe::MetricsSnapshot;
 
 /// Human-readable nanosecond value (`ns`, `µs`, `ms`, `s`).
 fn fmt_ns(ns: f64) -> String {
@@ -112,6 +118,53 @@ pub fn render_markdown(report: &BenchReport) -> String {
         out.push('\n');
     }
 
+    // Chaos recovery figures, when the gated storm suite ran.
+    if let Some(chaos) = report.suite("chaos_recovery") {
+        let get = |name: &str| chaos.get(name);
+        out.push_str("### chaos recovery\n\n");
+        out.push_str("| figure | value |\n|---|---|\n");
+        if let Some(v) = get("cell.recovered.count") {
+            out.push_str(&format!(
+                "| cell storm recovered | {} |\n",
+                if v > 0.0 { "yes" } else { "**no**" }
+            ));
+        }
+        if let Some(v) = get("cell.recovery.ttis.count") {
+            out.push_str(&format!("| time-to-recover | {v:.0} TTIs |\n"));
+        }
+        if let (Some(base), Some(peak)) =
+            (get("cell.baseline.p99_ns"), get("cell.storm.peak.p99_ns"))
+        {
+            out.push_str(&format!(
+                "| p99 baseline → storm peak | {} → {} |\n",
+                fmt_ns(base),
+                fmt_ns(peak)
+            ));
+        }
+        if let Some(v) = get("cell.dropped.count") {
+            out.push_str(&format!("| storm packet cost | {v:.0} dropped |\n"));
+        }
+        // Breaker activity summed across the runner storm phases.
+        let total = |suffix: &str| -> f64 {
+            chaos
+                .metrics
+                .iter()
+                .filter(|(m, _)| m.starts_with("runner.") && m.ends_with(suffix))
+                .map(|(_, v)| *v)
+                .sum()
+        };
+        out.push_str(&format!(
+            "| breaker trips / resets / fast-fails | {:.0} / {:.0} / {:.0} |\n",
+            total(".breaker_trips.count"),
+            total(".breaker_resets.count"),
+            total(".breaker_fastfails.count"),
+        ));
+        if let Some(v) = get("runner.flight.recorded.count") {
+            out.push_str(&format!("| flight-recorder events | {v:.0} |\n"));
+        }
+        out.push('\n');
+    }
+
     // Capacity figures from the full cell-scale sweep, when present.
     if let Some(full) = report.suite("cell_scale_full") {
         let mut lines = Vec::new();
@@ -133,6 +186,39 @@ pub fn render_markdown(report: &BenchReport) -> String {
             }
             out.push('\n');
         }
+    }
+    out
+}
+
+/// Render a [`MetricsSnapshot`] as step-summary markdown: non-zero
+/// counters in one table, histograms (count / mean / p50 / p99) in
+/// another. Zero counters are elided — a snapshot carries every
+/// registered counter, most of which are silent in any one run.
+pub fn render_snapshot_markdown(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("## metrics snapshot\n\n");
+    let live: Vec<_> = snap.counters.iter().filter(|(_, v)| *v != 0.0).collect();
+    if !live.is_empty() {
+        out.push_str("| counter | value |\n|---|---|\n");
+        for (name, value) in live {
+            out.push_str(&format!("| {name} | {value:.0} |\n"));
+        }
+        out.push('\n');
+    }
+    let live_hists: Vec<_> = snap.histograms.iter().filter(|h| h.count > 0).collect();
+    if !live_hists.is_empty() {
+        out.push_str("| histogram | count | mean | p50 | p99 |\n|---|---|---|---|---|\n");
+        for h in live_hists {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} |\n",
+                h.name,
+                h.count,
+                fmt_ns(h.mean()),
+                fmt_ns(h.quantile_upper(0.50) as f64),
+                fmt_ns(h.quantile_upper(0.99) as f64),
+            ));
+        }
+        out.push('\n');
     }
     out
 }
@@ -187,6 +273,71 @@ mod tests {
             md.contains("| uplink_stagegraph (gated) / w1.batch | 92.5% | 148 | 8 | 4 |"),
             "{md}"
         );
+    }
+
+    #[test]
+    fn chaos_recovery_section_renders_recovery_figures() {
+        let mut r = BenchReport::new("deadbeef");
+        let mut s = Suite::new("chaos_recovery", true);
+        s.push("cell.recovered.count", 1.0);
+        s.push("cell.recovery.ttis.count", 300.0);
+        s.push("cell.baseline.p99_ns", 16_777_216.0);
+        s.push("cell.storm.peak.p99_ns", 268_435_456.0);
+        s.push("cell.dropped.count", 42.0);
+        s.push("runner.flap.breaker_trips.count", 5.0);
+        s.push("runner.deadline_squeeze.breaker_trips.count", 2.0);
+        s.push("runner.flap.breaker_resets.count", 3.0);
+        s.push("runner.flap.breaker_fastfails.count", 11.0);
+        s.push("runner.flight.recorded.count", 640.0);
+        r.suites.push(s);
+        let md = render_markdown(&r);
+        assert!(md.contains("chaos recovery"), "{md}");
+        assert!(md.contains("| cell storm recovered | yes |"), "{md}");
+        assert!(md.contains("| time-to-recover | 300 TTIs |"), "{md}");
+        assert!(
+            md.contains("| p99 baseline → storm peak | 16.8 ms → 268.4 ms |"),
+            "{md}"
+        );
+        assert!(
+            md.contains("| breaker trips / resets / fast-fails | 7 / 3 / 11 |"),
+            "{md}"
+        );
+        assert!(md.contains("| flight-recorder events | 640 |"), "{md}");
+    }
+
+    #[test]
+    fn snapshot_renderer_elides_silent_series() {
+        use vran_net::observe::{HistogramSnapshot, MetricsSnapshot};
+        let snap = MetricsSnapshot {
+            counters: vec![
+                ("pipeline.packets".into(), 48.0),
+                ("pipeline.breaker_trips".into(), 0.0),
+            ],
+            histograms: vec![
+                HistogramSnapshot {
+                    name: "pipeline.stage.decode".into(),
+                    edges: vec![1_000, 1_000_000],
+                    buckets: vec![3, 1, 0],
+                    count: 4,
+                    sum: 40_000,
+                },
+                HistogramSnapshot {
+                    name: "pipeline.stage.equalize".into(),
+                    edges: vec![1_000],
+                    buckets: vec![0, 0],
+                    count: 0,
+                    sum: 0,
+                },
+            ],
+        };
+        let md = render_snapshot_markdown(&snap);
+        assert!(md.contains("| pipeline.packets | 48 |"), "{md}");
+        assert!(!md.contains("breaker_trips"), "zero counters elided: {md}");
+        assert!(
+            md.contains("| pipeline.stage.decode | 4 | 10.0 µs | 1.0 µs | 1.0 ms |"),
+            "{md}"
+        );
+        assert!(!md.contains("stage.equalize"), "empty hists elided: {md}");
     }
 
     #[test]

@@ -37,7 +37,7 @@
 //!   SIMD calculation / scalar stages / transport), scaled by attempt
 //!   count.
 
-use crate::amc::OuterLoop;
+use crate::amc::DivergenceGuard;
 use crate::harq::{HarqReceiver, HarqTransmitter};
 use crate::latency::LatencyModel;
 use crate::metrics::Histogram;
@@ -632,6 +632,9 @@ pub struct CellSimReport {
     pub batch_flush_deadline: u64,
     /// Pool flushes at end-of-run drain.
     pub batch_flush_drain: u64,
+    /// Divergence-guard MCS step-downs across all cells
+    /// ([`crate::amc::DivergenceGuard`]).
+    pub amc_stepdowns: u64,
     /// Latency histograms.
     pub latency: LatencyBreakdown,
 }
@@ -727,6 +730,7 @@ impl CellSimReport {
                 "batch.flush.drain.count".into(),
                 self.batch_flush_drain as f64,
             ),
+            ("amc_stepdowns.count".into(), self.amc_stepdowns as f64),
         ];
         for (prefix, h) in [
             ("latency.total", &self.latency.total),
@@ -768,7 +772,10 @@ struct Cell {
     queues: Vec<UeQueue>,
     arrivals: ArrivalGen,
     traffic_rng: SmallRng,
-    outer_loop: OuterLoop,
+    /// Outer-loop link adaptation wrapped in the divergence guard:
+    /// sustained decode failure steps the effective MCS down a table
+    /// row at a time (the AMC half of the degradation ladder).
+    outer_loop: DivergenceGuard,
     eligible: Vec<bool>,
 }
 
@@ -824,6 +831,9 @@ pub struct CellSim {
     /// The modeled batch former: one pool per K, shared across cells
     /// (one eNB PHY worker pools all of its cells' blocks).
     pools: Vec<ModelPool>,
+    /// Chaos hook: extra dB subtracted from every cell's scheduler SNR
+    /// offset (models a fleet-wide channel collapse mid-run).
+    chaos_snr_offset_db: f32,
 }
 
 impl CellSim {
@@ -849,7 +859,7 @@ impl CellSim {
                     queues: (0..cfg.ues_per_cell).map(|_| UeQueue::default()).collect(),
                     arrivals: ArrivalGen::new(cfg.arrivals, cell_seed ^ 0xa44),
                     traffic_rng: SmallRng::seed_from_u64(cell_seed ^ 0x7aff1c),
-                    outer_loop: OuterLoop::default(),
+                    outer_loop: DivergenceGuard::default(),
                     eligible: vec![false; cfg.ues_per_cell],
                 }
             })
@@ -865,12 +875,32 @@ impl CellSim {
             pending: HashMap::new(),
             next_pending: 0,
             pools: Vec::new(),
+            chaos_snr_offset_db: 0.0,
         }
     }
 
     /// The configuration.
     pub fn config(&self) -> &CellSimConfig {
         &self.cfg
+    }
+
+    /// Chaos hook: replace the HARQ storm window mid-run (the chaos
+    /// scheduler phases storms in and out of a stepped simulation).
+    pub fn set_storm(&mut self, storm: Option<HarqStorm>) {
+        self.cfg.storm = storm;
+    }
+
+    /// Chaos hook: add `db` (typically negative) to every cell's
+    /// scheduler SNR offset from the next TTI on — a fleet-wide SNR
+    /// collapse. The AMC outer loop and divergence guard see its
+    /// decode consequences and adapt on their own.
+    pub fn set_chaos_snr_offset_db(&mut self, db: f32) {
+        self.chaos_snr_offset_db = db;
+    }
+
+    /// Total divergence-guard MCS step-downs across all cells so far.
+    pub fn amc_stepdowns(&self) -> u64 {
+        self.cells.iter().map(|c| c.outer_loop.stepdowns()).sum()
     }
 
     /// Modeled per-attempt processing decomposition in nanoseconds.
@@ -997,7 +1027,24 @@ impl CellSim {
 
     /// Run the configured number of TTIs and produce the report.
     pub fn run(mut self) -> CellSimReport {
-        let mut report = CellSimReport {
+        let mut report = self.begin_report();
+        for tti in 0..self.cfg.ttis {
+            self.step(tti, &mut report);
+        }
+        self.finish_report(&mut report);
+        report
+    }
+
+    /// Fresh zeroed report carrying this simulation's shape. The
+    /// stepped API (`begin_report` / [`Self::step`] /
+    /// [`Self::finish_report`]) lets a driver interleave measurement
+    /// windows and mid-run reconfiguration ([`Self::set_storm`],
+    /// [`Self::set_chaos_snr_offset_db`]) — the chaos scheduler's
+    /// recovery clock is built on it. `run()` composes exactly these
+    /// three calls, so a stepped run with one report is byte-identical
+    /// to `run()`.
+    pub fn begin_report(&self) -> CellSimReport {
+        CellSimReport {
             name: self.cfg.name,
             cells: self.cfg.cells,
             ues_per_cell: self.cfg.ues_per_cell,
@@ -1019,25 +1066,35 @@ impl CellSim {
             batch_flush_lanes_full: 0,
             batch_flush_deadline: 0,
             batch_flush_drain: 0,
+            amc_stepdowns: 0,
             latency: LatencyBreakdown::new(),
-        };
-
-        for tti in 0..self.cfg.ttis {
-            for c in 0..self.cells.len() {
-                self.tick_cell(c, tti, &mut report);
-            }
-            if self.cfg.stage_graph {
-                self.flush_aged_pools(tti, &mut report);
-            }
         }
+    }
 
+    /// Simulate one TTI, recording into `report` (which need not be
+    /// the same report across steps — a windowed driver hands a fresh
+    /// one per measurement window).
+    pub fn step(&mut self, tti: u64, report: &mut CellSimReport) {
+        for c in 0..self.cells.len() {
+            self.tick_cell(c, tti, report);
+        }
+        if self.cfg.stage_graph {
+            self.flush_aged_pools(tti, report);
+        }
+    }
+
+    /// End-of-run accounting: drain partial pools, count the backlog,
+    /// compute fairness, harvest AMC step-downs. `end_tti` is the TTI
+    /// the drain is charged to ([`Self::run`] uses `cfg.ttis`).
+    pub fn finish_report(&mut self, report: &mut CellSimReport) {
+        let end_tti = self.cfg.ttis;
         // End-of-run drain: launch every partial pool so all served
         // packets record their latency.
         if self.cfg.stage_graph {
             for pi in 0..self.pools.len() {
                 if !self.pools[pi].tasks.is_empty() {
                     report.batch_flush_drain += 1;
-                    self.launch_pool(pi, self.cfg.ttis, &mut report);
+                    self.launch_pool(pi, end_tti, report);
                 }
             }
             debug_assert!(self.pending.is_empty(), "drain retires everything");
@@ -1065,7 +1122,7 @@ impl CellSim {
         } else {
             0.0
         };
-        report
+        report.amc_stepdowns = self.amc_stepdowns();
     }
 
     /// One cell's subframe: arrivals, a scheduling round, service of
@@ -1090,7 +1147,7 @@ impl CellSim {
         // Link adaptation feedback, then the scheduling round over
         // backlogged UEs only.
         let cell = &mut self.cells[c];
-        let offset = cell.outer_loop.offset_db();
+        let offset = cell.outer_loop.offset_db() + self.chaos_snr_offset_db;
         cell.sched.set_snr_offset_db(offset);
         for (e, q) in cell.eligible.iter_mut().zip(&cell.queues) {
             *e = !q.q.is_empty();

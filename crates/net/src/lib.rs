@@ -30,6 +30,11 @@
 //!   every receive-path failure classifies into.
 //! * [`faultinject`] — deterministic, seeded fault injection for soak
 //!   testing the above.
+//! * [`observe`] — flight-recorder observability: a lock-free
+//!   per-packet trace ring, consistent metrics snapshots, and the
+//!   per-stage circuit breakers of the degradation ladder.
+//! * [`chaos`] — a deterministic chaos scheduler (phased storms over
+//!   [`cellsim`] and [`runner`]) with a CI-gated time-to-recover.
 //!
 //! # Example
 //!
@@ -47,6 +52,7 @@
 
 pub mod amc;
 pub mod cellsim;
+pub mod chaos;
 pub mod downlink;
 pub mod error;
 pub mod faultinject;
@@ -54,6 +60,7 @@ pub mod harq;
 pub mod l2;
 pub mod latency;
 pub mod metrics;
+pub mod observe;
 pub mod packet;
 pub mod pipeline;
 pub mod ring;
@@ -62,6 +69,7 @@ pub mod scheduler;
 pub mod stagegraph;
 
 pub use error::{ErrorCategory, PipelineError};
+pub use observe::{FlightRecorder, MetricsSnapshot, TraceEvent};
 pub use packet::{Packet, Transport};
 pub use pipeline::{PipelineConfig, UplinkPipeline};
 pub use ring::SpscRing;

@@ -122,12 +122,19 @@ impl Histogram {
     }
 
     /// Record one observation.
+    ///
+    /// Ordering contract (the [`Self::snapshot_consistent`] invariant):
+    /// the count and sum are bumped **before** the bucket, and the
+    /// bucket store is `Release`. A snapshot that reads buckets first
+    /// (with `Acquire`) therefore observes, for every bucket increment
+    /// it sees, the matching count increment — so an observed bucket
+    /// sum can never exceed the observed count, even mid-run.
     #[inline]
     pub fn record(&self, v: u64) {
         let i = self.edges.partition_point(|&e| e < v);
-        self.buckets[i].fetch_add(1, Ordering::Relaxed);
         self.count.inc();
         self.sum.add(v);
+        self.buckets[i].fetch_add(1, Ordering::Release);
     }
 
     /// Bucket upper bounds (the overflow bucket has no bound).
@@ -140,8 +147,21 @@ impl Histogram {
     pub fn bucket_counts(&self) -> Vec<u64> {
         self.buckets
             .iter()
-            .map(|b| b.load(Ordering::Relaxed))
+            .map(|b| b.load(Ordering::Acquire))
             .collect()
+    }
+
+    /// Consistent point-in-time copy of `(buckets, count, sum)` safe to
+    /// take while writers are recording: buckets are read first (with
+    /// `Acquire`, pairing with [`Self::record`]'s `Release` bucket
+    /// store), then count, then sum — guaranteeing `buckets.sum() <=
+    /// count <= sum-observations` for any interleaving, and making two
+    /// sequential snapshots monotone in every field.
+    pub fn snapshot_consistent(&self) -> (Vec<u64>, u64, u64) {
+        let buckets = self.bucket_counts();
+        let count = self.count();
+        let sum = self.sum();
+        (buckets, count, sum)
     }
 
     /// Observations recorded.
@@ -282,6 +302,18 @@ pub struct PipelineMetrics {
     /// sub-512-bit kernel because the host (or the test ISA ceiling)
     /// lacks AVX-512BW — the zmm encoder tier degraded.
     pub zmm_encoder_fallbacks: Counter,
+    /// Circuit-breaker trips (a protected stage opened after
+    /// consecutive errors, or a half-open probe failed).
+    pub breaker_trips: Counter,
+    /// Circuit-breaker resets (a half-open probe succeeded and closed
+    /// the breaker).
+    pub breaker_resets: Counter,
+    /// Packets fast-failed by an open breaker without running the
+    /// protected stages.
+    pub breaker_fastfails: Counter,
+    /// AMC divergence-guard MCS step-downs under sustained decode
+    /// failure (see [`crate::amc::DivergenceGuard`]).
+    pub amc_stepdowns: Counter,
 }
 
 impl Default for PipelineMetrics {
@@ -310,6 +342,10 @@ impl PipelineMetrics {
             packed_encoder_fallbacks: Counter::new(),
             batch_simd_fallbacks: Counter::new(),
             zmm_encoder_fallbacks: Counter::new(),
+            breaker_trips: Counter::new(),
+            breaker_resets: Counter::new(),
+            breaker_fastfails: Counter::new(),
+            amc_stepdowns: Counter::new(),
         }
     }
 
@@ -420,6 +456,13 @@ impl PipelineMetrics {
             "zmm_encoder_fallbacks".into(),
             self.zmm_encoder_fallbacks.get() as f64,
         ));
+        out.push(("breaker_trips".into(), self.breaker_trips.get() as f64));
+        out.push(("breaker_resets".into(), self.breaker_resets.get() as f64));
+        out.push((
+            "breaker_fastfails".into(),
+            self.breaker_fastfails.get() as f64,
+        ));
+        out.push(("amc_stepdowns".into(), self.amc_stepdowns.get() as f64));
         out
     }
 

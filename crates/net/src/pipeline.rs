@@ -45,8 +45,11 @@
 use crate::error::{DecodeFailure, ErrorCategory, FrameFault, PipelineError, SegFault};
 use crate::faultinject::{FaultInjector, FaultKind};
 use crate::metrics::{PipelineMetrics, Stage};
+use crate::observe::{
+    BreakerConfig, BreakerStage, BreakerState, CircuitBreaker, FlightRecorder, TraceEvent,
+};
 use crate::packet::{Packet, ParsedPacket};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 use std::time::Instant;
 use vran_arrange::{ArrangeKernel, Mechanism};
@@ -168,6 +171,14 @@ pub struct PipelineConfig {
     /// reported `decoder_iterations` — the decoded bits stay
     /// oracle-exact either way.
     pub batch_decode: bool,
+    /// Per-stage circuit breakers (equalizer / demapper / decoder).
+    /// `None` (the default) disables them — fault-injection soaks and
+    /// the gated benchgate suites predate breakers and pin exact error
+    /// counts, so the gate is strictly opt-in. `Some(cfg)` arms all
+    /// three breakers with the given trip/cooldown tuning; trips,
+    /// resets and fast-fails are observable in
+    /// [`crate::metrics::PipelineMetrics`].
+    pub breakers: Option<BreakerConfig>,
 }
 
 impl Default for PipelineConfig {
@@ -185,6 +196,7 @@ impl Default for PipelineConfig {
             seed: 1,
             deadline_ns: None,
             batch_decode: false,
+            breakers: None,
         }
     }
 }
@@ -433,6 +445,18 @@ pub struct UplinkPipeline {
     metrics: Option<Arc<PipelineMetrics>>,
     hot: RefCell<HotState>,
     faults: RefCell<Option<FaultInjector>>,
+    /// Flight recorder receiving one trace event per settled packet.
+    recorder: Option<Arc<FlightRecorder>>,
+    /// Armed circuit breakers (when `cfg.breakers` is set), indexed by
+    /// [`BreakerStage`] discriminant.
+    breakers: RefCell<Option<[CircuitBreaker; BreakerStage::COUNT]>>,
+    /// Trace context: UE id of the packet being processed (set by the
+    /// stage-graph/runner drivers; 0 for direct `process` callers).
+    trace_ue: Cell<u64>,
+    /// Trace context: per-pipeline packet ordinal.
+    trace_seq: Cell<u64>,
+    /// Trace context: first code-block K of the packet in flight.
+    trace_k: Cell<u16>,
 }
 
 /// Run `f`, recording its latency under `stage` when a live metrics
@@ -461,6 +485,14 @@ impl UplinkPipeline {
             metrics: None,
             hot: RefCell::new(HotState::default()),
             faults: RefCell::new(None),
+            recorder: None,
+            breakers: RefCell::new(
+                cfg.breakers
+                    .map(|b| std::array::from_fn(|_| CircuitBreaker::new(b))),
+            ),
+            trace_ue: Cell::new(0),
+            trace_seq: Cell::new(0),
+            trace_k: Cell::new(0),
         }
     }
 
@@ -497,6 +529,99 @@ impl UplinkPipeline {
         self.hot.borrow().degraded
     }
 
+    /// Attach a flight recorder: every settled packet (and breaker
+    /// fast-fail) records one [`TraceEvent`].
+    pub fn set_recorder(&mut self, recorder: Arc<FlightRecorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// Set the UE id stamped on subsequent trace events (the
+    /// stage-graph and runner drivers call this per admission).
+    #[inline]
+    pub fn set_trace_ue(&self, ue: u64) {
+        self.trace_ue.set(ue);
+    }
+
+    /// Current state of one circuit breaker; `None` when breakers are
+    /// not armed ([`PipelineConfig::breakers`]).
+    pub fn breaker_state(&self, stage: BreakerStage) -> Option<BreakerState> {
+        self.breakers
+            .borrow()
+            .as_ref()
+            .map(|b| b[stage as usize].state())
+    }
+
+    /// `(trips, resets)` totals for one circuit breaker; `None` when
+    /// breakers are not armed.
+    pub fn breaker_counts(&self, stage: BreakerStage) -> Option<(u64, u64)> {
+        self.breakers
+            .borrow()
+            .as_ref()
+            .map(|b| (b[stage as usize].trips(), b[stage as usize].resets()))
+    }
+
+    /// Admission gate: when a breaker is open, consume one cooldown
+    /// tick and fast-fail the packet with a synthesized error of the
+    /// breaker's category — the protected stages never run, metrics
+    /// and the trace record the packet, but the degradation ladder and
+    /// the breakers themselves see nothing (a fast-fail carries no
+    /// information about stage health).
+    fn breaker_fastfail(&self, m: Option<&PipelineMetrics>) -> Option<PipelineError> {
+        let mut guard = self.breakers.borrow_mut();
+        let breakers = guard.as_mut()?;
+        let stage = BreakerStage::ALL
+            .into_iter()
+            .find(|&s| breakers[s as usize].should_fast_fail())?;
+        let err = match stage {
+            BreakerStage::Equalizer => PipelineError::DeadlineExceeded {
+                budget_ns: self.cfg.deadline_ns.unwrap_or(0),
+                elapsed_ns: 0,
+            },
+            BreakerStage::Demapper => PipelineError::MalformedFrame {
+                reason: FrameFault::Empty,
+            },
+            BreakerStage::Decoder => PipelineError::DecoderDiverged(DecodeFailure::default()),
+        };
+        drop(guard);
+        if let Some(m) = m {
+            m.record_error(err.category());
+            m.record_packet(false, 0, 0);
+            m.breaker_fastfails.inc();
+        }
+        if let Some(rec) = &self.recorder {
+            let seq = self.trace_seq.get();
+            self.trace_seq.set(seq + 1);
+            rec.record(TraceEvent::packet(
+                self.trace_ue.get(),
+                seq,
+                0,
+                self.backend_byte(),
+                Some(err.category()),
+                0,
+                0,
+                0,
+            ));
+        }
+        Some(err)
+    }
+
+    /// Compact backend discriminant for trace events: 0 = native,
+    /// 1 = scalar (configured), 2 = native degraded to scalar.
+    fn backend_byte(&self) -> u8 {
+        if self.cfg.backend == DecoderBackend::Scalar {
+            1
+        } else if self.hot.borrow().degraded {
+            2
+        } else {
+            0
+        }
+    }
+
     /// The attached metrics registry, if any.
     pub fn metrics(&self) -> Option<&Arc<PipelineMetrics>> {
         self.metrics.as_ref()
@@ -515,6 +640,9 @@ impl UplinkPipeline {
     /// that).
     pub fn process(&self, packet: &Packet) -> Result<PacketResult, PipelineError> {
         let m = self.metrics.as_deref().filter(|m| m.is_enabled());
+        if let Some(e) = self.breaker_fastfail(m) {
+            return Err(e);
+        }
         let fault = match self.faults.borrow_mut().as_mut() {
             Some(f) => f.next_kind(),
             None => FaultKind::Clean,
@@ -543,6 +671,9 @@ impl UplinkPipeline {
     /// overflows, blown deadlines) also come back `Ready`.
     pub fn prepare(&self, packet: &Packet) -> Admission {
         let m = self.metrics.as_deref().filter(|m| m.is_enabled());
+        if let Some(e) = self.breaker_fastfail(m) {
+            return Admission::Ready(Err(e));
+        }
         let fault = match self.faults.borrow_mut().as_mut() {
             Some(f) => f.next_kind(),
             None => FaultKind::Clean,
@@ -607,9 +738,56 @@ impl UplinkPipeline {
         result
     }
 
-    /// Post-packet bookkeeping: metrics counters and the degradation
-    /// ladder.
+    /// Post-packet bookkeeping: metrics counters, the degradation
+    /// ladder, circuit-breaker feedback and the flight-recorder trace.
     fn settle(&self, result: &Result<PacketResult, PipelineError>, m: Option<&PipelineMetrics>) {
+        let backend = self.backend_byte();
+        if let Some(breakers) = self.breakers.borrow_mut().as_mut() {
+            match result {
+                Ok(_) => {
+                    // A full success clears every stage's error streak
+                    // (the whole receive path ran).
+                    for s in BreakerStage::ALL {
+                        if breakers[s as usize].on_outcome(true) {
+                            if let Some(m) = m {
+                                m.breaker_resets.inc();
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    let s = BreakerStage::for_category(e.category());
+                    if breakers[s as usize].on_outcome(false) {
+                        if let Some(m) = m {
+                            m.breaker_trips.inc();
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(rec) = &self.recorder {
+            let seq = self.trace_seq.get();
+            self.trace_seq.set(seq + 1);
+            let (category, prepare_ns, decode_ns, total_ns) = match result {
+                Ok(r) => (
+                    None,
+                    r.nanos.encode + r.nanos.transport + r.nanos.demap + r.nanos.arrangement,
+                    r.nanos.decode,
+                    r.nanos.total(),
+                ),
+                Err(e) => (Some(e.category()), 0, 0, 0),
+            };
+            rec.record(TraceEvent::packet(
+                self.trace_ue.get(),
+                seq,
+                self.trace_k.get() as usize,
+                backend,
+                category,
+                prepare_ns,
+                decode_ns,
+                total_ns,
+            ));
+        }
         let hot = &mut *self.hot.borrow_mut();
         match result {
             Ok(r) => {
@@ -674,6 +852,7 @@ impl UplinkPipeline {
         let cfg = &self.cfg;
         let start = Instant::now();
         let mut nanos = StageNanos::default();
+        self.trace_k.set(0); // until segmentation fixes the real K
 
         if fault == FaultKind::WorkerPanic {
             // Deliberately violent: exercises the runner's per-worker
@@ -705,6 +884,7 @@ impl UplinkPipeline {
         let frame_bits = unpack_msb(&pdu, pdu.len() * 8);
         let tb = timed(m, Stage::Crc, || CRC24A.attach(&frame_bits));
         let seg = timed(m, Stage::Segment, || Segmentation::try_plan(tb.len()))?;
+        self.trace_k.set(seg.k_of(0) as u16);
         if seg.c > MAX_CODE_BLOCKS {
             return Err(PipelineError::SegmentationOverflow {
                 detail: SegFault::TooManyBlocks {

@@ -20,6 +20,7 @@ use crate::downlink::{DownlinkConfig, DownlinkPipeline};
 use crate::error::PipelineError;
 use crate::faultinject::{FaultInjector, FaultMix};
 use crate::metrics::{PipelineMetrics, RunnerMetrics, StageGraphMetrics};
+use crate::observe::{FlightRecorder, TraceEvent};
 use crate::packet::{Packet, PacketBuilder, Transport};
 use crate::pipeline::{PacketResult, PipelineConfig, UplinkPipeline};
 use crate::ring::SpscRing;
@@ -459,6 +460,8 @@ pub fn run_uplink_multicore(
         &RunnerMetrics::new(false, RING_CAPACITY),
         None,
         None,
+        None,
+        None,
     )
 }
 
@@ -583,6 +586,8 @@ pub fn run_uplink_stagegraph_metered(
     metrics: &RunnerMetrics,
     sg_metrics: Option<Arc<StageGraphMetrics>>,
     faults: Option<FaultPlan>,
+    recorder: Option<Arc<FlightRecorder>>,
+    pipe_metrics: Option<Arc<PipelineMetrics>>,
 ) -> ThroughputReport {
     assert!(workers >= 1);
     assert!(!classes.is_empty());
@@ -625,27 +630,33 @@ pub fn run_uplink_stagegraph_metered(
             let wire_bytes = &wire_bytes;
             let restarts = &restarts;
             let sg_metrics = sg_metrics.clone();
+            let recorder = recorder.clone();
+            let pipe_metrics = pipe_metrics.clone();
             s.spawn(move || {
-                let build = |generation: u64| -> UplinkPipeline {
-                    match faults {
-                        Some(plan) => UplinkPipeline::with_faults(
-                            cfg,
-                            // Re-seed per generation so a rebuilt worker
-                            // does not replay the fault that killed it
-                            // in lock-step.
-                            FaultInjector::with_mix(
-                                plan.seed
-                                    .wrapping_add(w as u64)
-                                    .wrapping_add(generation.wrapping_mul(0x9e37_79b9)),
-                                plan.mix,
-                            ),
-                        ),
+                let build = move |generation: u64| -> UplinkPipeline {
+                    let mut pipe = match &pipe_metrics {
+                        Some(m) => UplinkPipeline::with_metrics(cfg, m.clone()),
                         None => UplinkPipeline::new(cfg),
+                    };
+                    if let Some(plan) = faults {
+                        // Re-seed per generation so a rebuilt worker
+                        // does not replay the fault that killed it in
+                        // lock-step.
+                        pipe.set_fault_injector(FaultInjector::with_mix(
+                            plan.seed
+                                .wrapping_add(w as u64)
+                                .wrapping_add(generation.wrapping_mul(0x9e37_79b9)),
+                            plan.mix,
+                        ));
                     }
+                    pipe
                 };
                 let mut graph = StageGraph::new(build(0), sg_cfg);
                 if let Some(m) = sg_metrics {
                     graph.set_metrics(m);
+                }
+                if let Some(rec) = &recorder {
+                    graph.set_recorder(rec.clone());
                 }
                 let mut generation = 0u64;
                 let mut consecutive_panics = 0u32;
@@ -677,6 +688,9 @@ pub fn run_uplink_stagegraph_metered(
                                     metrics.record_worker_restart();
                                     restarts.fetch_add(1, Ordering::Relaxed);
                                     generation += 1;
+                                    if let Some(rec) = &recorder {
+                                        rec.record(TraceEvent::restart(w, generation));
+                                    }
                                     graph.replace_pipeline(build(generation));
                                     let backoff = BACKOFF_BASE
                                         .saturating_mul(1 << consecutive_panics.min(6))
@@ -949,6 +963,8 @@ mod tests {
             &rm,
             Some(sg.clone()),
             None,
+            None,
+            None,
         );
         assert_eq!(rep.packets, n);
         assert_eq!(rep.ok_packets, n, "clean channel must decode everything");
@@ -993,6 +1009,8 @@ mod tests {
             &rm,
             None,
             Some(plan),
+            None,
+            None,
         );
         assert!(rep.worker_restarts > 0, "the plan must have fired: {rep:?}");
         assert_eq!(

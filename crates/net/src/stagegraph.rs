@@ -68,6 +68,7 @@
 
 use crate::error::PipelineError;
 use crate::metrics::{Stage, StageGraphMetrics};
+use crate::observe::{FlightRecorder, TraceEvent};
 use crate::packet::Packet;
 use crate::pipeline::{Admission, PacketResult, PipelineConfig, PreparedUplink, UplinkPipeline};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -174,6 +175,11 @@ pub struct StageGraph {
     pipe: UplinkPipeline,
     cfg: StageGraphConfig,
     metrics: Option<Arc<StageGraphMetrics>>,
+    /// Flight recorder receiving one [`TraceEvent`] per pool flush
+    /// (also re-attached to replacement pipelines).
+    recorder: Option<Arc<FlightRecorder>>,
+    /// Monotone pool-launch ordinal stamped on flush trace events.
+    batch_seq: u64,
     slots: Vec<RobSlot>,
     free_head: u32,
     /// In-flight packet count (occupied ROB slots).
@@ -214,6 +220,8 @@ impl StageGraph {
             pipe,
             cfg,
             metrics: None,
+            recorder: None,
+            batch_seq: 0,
             slots,
             free_head: 0,
             in_flight: 0,
@@ -238,6 +246,14 @@ impl StageGraph {
         self.metrics = Some(m);
     }
 
+    /// Attach a flight recorder: one [`TraceEvent`] per pool flush
+    /// from the graph, plus per-packet events from the wrapped
+    /// pipeline. Survives [`Self::replace_pipeline`].
+    pub fn set_recorder(&mut self, recorder: Arc<FlightRecorder>) {
+        self.pipe.set_recorder(recorder.clone());
+        self.recorder = Some(recorder);
+    }
+
     /// The wrapped pipeline.
     pub fn pipeline(&self) -> &UplinkPipeline {
         &self.pipe
@@ -248,7 +264,10 @@ impl StageGraph {
     /// packets staged before the panic still retire, and delivery
     /// order is unbroken. (Prepare stages nothing before it returns,
     /// so a panicking packet leaves no orphaned tasks behind.)
-    pub fn replace_pipeline(&mut self, pipe: UplinkPipeline) {
+    pub fn replace_pipeline(&mut self, mut pipe: UplinkPipeline) {
+        if let Some(rec) = &self.recorder {
+            pipe.set_recorder(rec.clone());
+        }
         self.pipe = pipe;
     }
 
@@ -270,6 +289,7 @@ impl StageGraph {
     /// pipeline with [`Self::replace_pipeline`] and keep admitting.
     pub fn admit(&mut self, ue: u64, packet: &Packet) {
         self.tick += 1;
+        self.pipe.set_trace_ue(ue);
         let admission = self.pipe.prepare(packet);
         let seq = {
             let s = self.next_seq.entry(ue).or_insert(0);
@@ -427,6 +447,15 @@ impl StageGraph {
         if let Some(m) = &self.metrics {
             m.record_flush(reason);
         }
+        if let Some(rec) = &self.recorder {
+            rec.record(TraceEvent::flush(
+                self.batch_seq,
+                pool.k,
+                pool.tasks.len(),
+                reason,
+            ));
+        }
+        self.batch_seq += 1;
         let tasks = std::mem::take(&mut pool.tasks);
         let iter_cap = pool.iter_cap;
         let k = pool.k;
@@ -524,6 +553,7 @@ impl StageGraph {
                 let done = self.slots[t.slot as usize].entry.take().expect("occupied");
                 self.release_slot(t.slot);
                 self.in_flight -= 1;
+                self.pipe.set_trace_ue(done.ue);
                 let result =
                     self.pipe
                         .complete(done.prep, &done.bits, done.iterations, done.decode_ns);

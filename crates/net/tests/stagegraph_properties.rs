@@ -10,9 +10,10 @@
 //! AVX-512BW hosts).
 
 use std::sync::Arc;
-use vran_net::error::PipelineError;
+use vran_net::error::{ErrorCategory, PipelineError};
 use vran_net::faultinject::{FaultInjector, FaultKind, FaultMix};
-use vran_net::metrics::{RunnerMetrics, StageGraphMetrics};
+use vran_net::metrics::{PipelineMetrics, RunnerMetrics, StageGraphMetrics};
+use vran_net::observe::{BreakerConfig, BreakerStage};
 use vran_net::packet::{PacketBuilder, Transport};
 use vran_net::pipeline::{PacketResult, PipelineConfig, UplinkPipeline};
 use vran_net::runner::{
@@ -147,6 +148,8 @@ fn worker_panic_storm_conserves_packets() {
         &rm,
         None,
         Some(plan),
+        None,
+        None,
     );
     assert!(rep.worker_restarts > 0, "panics must have fired: {rep:?}");
     assert_eq!(
@@ -179,6 +182,8 @@ fn paper_sweep_round_robin_hits_occupancy_target() {
             &RunnerMetrics::new(false, RING_CAPACITY),
             Some(sg.clone()),
             None,
+            None,
+            None,
         );
         assert_eq!(rep.packets, 280);
         assert!(
@@ -191,6 +196,119 @@ fn paper_sweep_round_robin_hits_occupancy_target() {
             sg.single_blocks.get()
         );
     }
+}
+
+#[test]
+fn resequencer_holds_per_ue_order_while_breakers_trip() {
+    // Direct single-threaded graph, decoder breaker armed, under an
+    // LLR-sabotage storm dense enough to trip it repeatedly. Each UE
+    // admits strictly growing payload sizes, so the tb_bits of its
+    // delivered Ok packets must come back strictly increasing — any
+    // ROB misordering under the breaker's fast-fail churn would break
+    // the monotone subsequence.
+    let cfg = PipelineConfig {
+        snr_db: 30.0,
+        breakers: Some(BreakerConfig {
+            trip_after: 3,
+            cooldown_packets: 4,
+        }),
+        ..Default::default()
+    };
+    let mut pipe = UplinkPipeline::new(cfg);
+    pipe.set_fault_injector(FaultInjector::with_mix(
+        41,
+        FaultMix::only(FaultKind::Clean).with_weight(FaultKind::SaturateLlrs, 2),
+    ));
+    let mut graph = StageGraph::new(pipe, StageGraphConfig::default());
+    let sizes = [64usize, 150, 300, 450, 600, 800, 1000, 1200, 1400];
+    let ues = 4u64;
+    let mut b = PacketBuilder::new(1000, 2000);
+    for &sz in &sizes {
+        for ue in 0..ues {
+            let p = b.build(Transport::Udp, sz).unwrap();
+            graph.admit(ue, &p);
+        }
+    }
+    graph.drain();
+
+    let mut per_ue: Vec<Vec<Result<usize, ()>>> = vec![Vec::new(); ues as usize];
+    while let Some((ue, r)) = graph.pop_completed() {
+        per_ue[ue as usize].push(r.map(|p| p.tb_bits).map_err(|_| ()));
+    }
+    let (trips, _) = graph
+        .pipeline()
+        .breaker_counts(BreakerStage::Decoder)
+        .expect("breakers armed");
+    assert!(trips > 0, "the storm must trip the decoder breaker");
+    let mut total_ok = 0;
+    for (ue, results) in per_ue.iter().enumerate() {
+        assert_eq!(results.len(), sizes.len(), "UE {ue}: nothing lost");
+        let oks: Vec<usize> = results.iter().filter_map(|r| r.ok()).collect();
+        total_ok += oks.len();
+        assert!(
+            oks.windows(2).all(|w| w[0] < w[1]),
+            "UE {ue}: Ok deliveries out of admission order: {oks:?}"
+        );
+    }
+    assert!(total_ok > 0, "clean packets survive the storm");
+}
+
+#[test]
+fn chaos_storm_conserves_packets_with_breakers_armed() {
+    // Deadline squeeze + worker-kill wave with the equalizer breaker
+    // armed: every admission must be accounted for as a delivery or a
+    // restart, with the breaker tripping on the sustained
+    // DeadlineExceeded aborts and fast-fails bypassing the protected
+    // stages.
+    let cfg = PipelineConfig {
+        snr_db: 30.0,
+        deadline_ns: Some(1),
+        breakers: Some(BreakerConfig {
+            trip_after: 4,
+            cooldown_packets: 8,
+        }),
+        ..Default::default()
+    };
+    let plan = FaultPlan {
+        seed: 9,
+        mix: FaultMix::only(FaultKind::Clean)
+            .with_weight(FaultKind::Clean, 6)
+            .with_weight(FaultKind::WorkerPanic, 1),
+    };
+    let pm = Arc::new(PipelineMetrics::new(true));
+    let rm = RunnerMetrics::new(true, RING_CAPACITY);
+    let n = 96;
+    let rep = run_uplink_stagegraph_metered(
+        cfg,
+        &[(Transport::Udp, 128), (Transport::Tcp, 300)],
+        n,
+        2,
+        StageGraphConfig::default(),
+        &rm,
+        None,
+        Some(plan),
+        None,
+        Some(pm.clone()),
+    );
+    assert!(rep.worker_restarts > 0, "panics must have fired: {rep:?}");
+    assert_eq!(
+        rep.packets + rep.worker_restarts,
+        n,
+        "every admission is a delivery or a restart: {rep:?}"
+    );
+    assert!(
+        pm.error_count(ErrorCategory::DeadlineExceeded) > 0,
+        "the 1 ns budget must abort surviving packets"
+    );
+    assert!(
+        pm.breaker_trips.get() > 0,
+        "sustained deadline aborts must trip the equalizer breaker"
+    );
+    assert!(
+        pm.breaker_fastfails.get() > 0,
+        "open breakers must fast-fail admissions during cooldown"
+    );
+    assert_eq!(rep.ok_packets, 0, "nothing beats a 1 ns deadline");
 }
 
 #[test]
@@ -226,6 +344,8 @@ fn stagegraph_throughput_beats_serial_on_wide_hosts() {
                 workers,
                 StageGraphConfig::default(),
                 &RunnerMetrics::new(false, RING_CAPACITY),
+                None,
+                None,
                 None,
                 None,
             );

@@ -11,9 +11,19 @@
 //! orders of magnitude cheaper than a full decode, while LLR-level
 //! faults necessarily pay the whole pipeline before the CRC can refuse
 //! the block.
+//!
+//! The final section drives a decoder-divergence storm with the
+//! decoder circuit breaker armed and a flight recorder attached, then
+//! prints the consistent [`MetricsSnapshot`] and the recorder's last
+//! trace events — the post-incident view `docs/ROBUSTNESS.md`
+//! describes.
 
+use std::sync::Arc;
 use std::time::Instant;
+use vran_net::error::ErrorCategory;
 use vran_net::faultinject::{FaultInjector, FaultKind, FaultMix};
+use vran_net::metrics::PipelineMetrics;
+use vran_net::observe::{BreakerConfig, BreakerStage, FlightRecorder, MetricsSnapshot};
 use vran_net::packet::{PacketBuilder, Transport};
 use vran_net::pipeline::{PipelineConfig, UplinkPipeline};
 
@@ -90,4 +100,60 @@ fn main() {
         "deadline_exceeded (1 ns)",
         dl / clean
     );
+
+    // Observability under a divergence storm: collapse the SNR so
+    // multi-block packets fail in the decoder, arm the decoder
+    // breaker, and attach a flight recorder. The snapshot and the
+    // dump are the two artifacts an operator would pull after the
+    // incident.
+    let pm = Arc::new(PipelineMetrics::new(true));
+    let mut storm_pipe = UplinkPipeline::with_metrics(
+        PipelineConfig {
+            snr_db: -10.0,
+            breakers: Some(BreakerConfig {
+                trip_after: 4,
+                cooldown_packets: 8,
+            }),
+            ..cfg
+        },
+        pm.clone(),
+    );
+    let recorder = Arc::new(FlightRecorder::with_capacity(64));
+    storm_pipe.set_recorder(recorder.clone());
+    let big = b.build(Transport::Udp, 600).unwrap();
+    for _ in 0..24 {
+        let _ = storm_pipe.process(&big);
+    }
+
+    println!("\n--- divergence storm: 24 packets at -10 dB, breaker armed ---");
+    let snap = MetricsSnapshot::capture(Some(&pm), None, None);
+    let count = |key: &str| snap.get(key).unwrap_or(0.0);
+    println!(
+        "snapshot: packets={} diverged={} crc_mismatch={} \
+         breaker_trips={} breaker_fastfails={}",
+        count("pipeline.packets"),
+        count(&format!(
+            "pipeline.error.{}",
+            ErrorCategory::DecoderDiverged.name()
+        )),
+        count(&format!(
+            "pipeline.error.{}",
+            ErrorCategory::CrcMismatch.name()
+        )),
+        count("pipeline.breaker_trips"),
+        count("pipeline.breaker_fastfails"),
+    );
+    if let Some((trips, resets)) = storm_pipe.breaker_counts(BreakerStage::Decoder) {
+        println!(
+            "decoder breaker: state={:?} trips={trips} resets={resets}",
+            storm_pipe.breaker_state(BreakerStage::Decoder).unwrap()
+        );
+    }
+    println!(
+        "flight recorder: {} events recorded, last 4:",
+        recorder.recorded()
+    );
+    for ev in recorder.dump_last(4) {
+        println!("  {}", ev.to_json());
+    }
 }

@@ -22,7 +22,11 @@ pub fn run() -> Figure {
     let sim = CoreSim::new(CoreConfig::beefy().warmed());
     let input = synthetic_interleaved(K, 11);
     for width in RegWidth::ALL {
-        for mech in [Mechanism::Baseline, Mechanism::Apcm(ApcmVariant::Shuffle)] {
+        for mech in [
+            Mechanism::Baseline,
+            Mechanism::Apcm(ApcmVariant::Shuffle),
+            Mechanism::Apcm(ApcmVariant::MaskMerge),
+        ] {
             let (_, trace) = ArrangeKernel::new(width, mech).arrange(&input, true);
             let r = sim.run(&trace.expect("tracing"));
             f.push(Row::new(
@@ -78,6 +82,70 @@ mod tests {
         let apcm = f.value("SSE128/apcm", "retiring").unwrap();
         assert!(orig < 0.7, "original retiring ≈55 %, got {orig:.2}");
         assert!(apcm > 0.7, "APCM retiring ≈97 %, got {apcm:.2}");
+    }
+
+    #[test]
+    fn fused_ingest_keeps_the_apcm_microarchitecture_shape() {
+        // The uplink hot path's fused mask/merge ingest must not give
+        // back the paper's win: backend bound stays collapsed and IPC
+        // stays in the APCM band at every width.
+        let f = run();
+        for w in ["SSE128", "AVX256", "AVX512"] {
+            let orig_be = f.value(&format!("{w}/original"), "backend").unwrap();
+            let fused_be = f.value(&format!("{w}/apcm-fused"), "backend").unwrap();
+            assert!(
+                fused_be < 0.25,
+                "{w}: fused backend must collapse, got {fused_be:.2}"
+            );
+            assert!(
+                fused_be < orig_be / 2.0,
+                "{w}: {orig_be:.2} → {fused_be:.2}"
+            );
+            let ipc = f.value(&format!("{w}/apcm-fused"), "IPC").unwrap();
+            assert!(ipc > 2.4, "{w}: fused IPC in the APCM band, got {ipc:.2}");
+            let ret = f.value(&format!("{w}/apcm-fused"), "retiring").unwrap();
+            assert!(ret > 0.7, "{w}: fused retiring ≈95 %, got {ret:.2}");
+        }
+    }
+
+    #[test]
+    fn fused_ingest_congregates_on_the_alu_ports() {
+        // Port-pressure shape of the fused zmm kernel: the vpand/vpor
+        // congregation lands on the vector-ALU ports P0-P2, store
+        // traffic drops to whole-register writes on P6/P7, and the
+        // class mix is ALU-dominated — the Figure 2 consciousness the
+        // paper's mechanism is named for.
+        let sim = CoreSim::new(CoreConfig::beefy().warmed());
+        let input = synthetic_interleaved(K, 11);
+        let trace = |mech| {
+            let (_, t) = ArrangeKernel::new(RegWidth::Avx512, mech).arrange(&input, true);
+            t.expect("tracing")
+        };
+        let fused = sim.run(&trace(Mechanism::Apcm(ApcmVariant::MaskMerge)));
+        let orig = sim.run(&trace(Mechanism::Baseline));
+        let alu = |r: &vran_uarch::SimReport| r.port_util[0] + r.port_util[1] + r.port_util[2];
+        let stores = |r: &vran_uarch::SimReport| r.port_util[6] + r.port_util[7];
+        assert!(
+            alu(&fused) > stores(&fused),
+            "fused work lives on the ALU ports: alu {:.2} vs stores {:.2}",
+            alu(&fused),
+            stores(&fused)
+        );
+        assert!(
+            stores(&fused) < stores(&orig) / 2.0,
+            "whole-register stores relieve P6/P7: {:.2} vs {:.2}",
+            stores(&fused),
+            stores(&orig)
+        );
+        assert!(
+            fused.class_hist.vec_alu > fused.class_hist.store,
+            "ALU-dominated class mix: {:?}",
+            fused.class_hist
+        );
+        assert_eq!(
+            orig.class_hist.vec_alu, 0,
+            "original issues no vector ALU work"
+        );
     }
 
     #[test]

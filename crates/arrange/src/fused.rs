@@ -1,0 +1,332 @@
+//! Fused APCM ingest: mask/merge congregation straight into the
+//! decoder's staging buffers.
+//!
+//! [`crate::native`]'s APCM kernels segregate the interleaved
+//! `[S1 YP1 YP2]` triples with full 16-bit permutes — `vpermi2w` at
+//! 512 bits costs two port-5 µops per cluster (six per 3-register
+//! group). This module is the paper's §5.1 mask/merge/shifted-reload
+//! formulation instead: each cluster is congregated with `vpand`
+//! residue masks and `vpor` merges, which issue on the plentiful
+//! vector-ALU ports (p0/p1/p5), leaving exactly **one** permute per
+//! output register to undo the fixed lane rotation the merge produces.
+//! Per 96-element zmm group that is 9 `vpand` + 6 `vpor` + 3 `vpermw`
+//! — half the port-5 shuffle traffic of the permute-only kernel, with
+//! the congregation work spread across the ALU ports the decoder's
+//! max-log-MAP loop leaves idle (Figs 13–16 shape).
+//!
+//! Why the merge works: a W-lane register holds positions
+//! `Wj .. Wj+W` of the triple stream, so cluster `c`'s elements sit in
+//! lanes `l ≡ c − Wj (mod 3)`. With `W ∈ {8, 32}` (both `≡ 2 mod 3`)
+//! the residue class rotates by one per register, the three masked
+//! registers are lane-disjoint, and their OR packs all `W` cluster
+//! elements into one register — element `i` in lane `(3i + c) mod W`,
+//! a fixed permutation because `gcd(3, W) = 1`. One `vpermw`
+//! (`pshufb` at 128 bits) restores natural order.
+//!
+//! The "shifted reload" is the three group loads at element offsets
+//! `+0 / +W / +2W`: every cluster re-reads the same three registers,
+//! so the loads amortize over all three merges.
+//!
+//! Unlike [`crate::native::deinterleave_into`], the entry point here
+//! writes three **caller-owned slices** — the uplink pipeline points
+//! them at pooled per-block stream buffers so demapper output lands
+//! directly in the layout the quad-in-zmm batch decoder reads, with no
+//! intermediate copy.
+//!
+//! AVX2 is deliberately absent, as in [`crate::native`]: 256-bit x86
+//! has no cross-lane 16-bit permute, so the restore step would decay
+//! into the §5.2 extract ladder. 128 and 512 bits are the clean
+//! points; AVX2-only hosts take the SSSE3 tier.
+
+use vran_phy::llr::Llr;
+use vran_simd::host::{self, HostIsa};
+
+/// Available fused-ingest implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusedImpl {
+    /// Portable scalar loop (always available; the oracle).
+    Scalar,
+    /// Mask/merge at 128 bits: 9 `pand` + 6 `por` + 3 `pshufb` per
+    /// 24-element group.
+    MaskMergeSsse3,
+    /// Mask/merge at 512 bits: 9 `vpand` + 6 `vpor` + 3 `vpermw` per
+    /// 96-element group.
+    MaskMergeAvx512,
+}
+
+impl FusedImpl {
+    /// Bench label.
+    pub fn name(self) -> &'static str {
+        match self {
+            FusedImpl::Scalar => "fused-scalar",
+            FusedImpl::MaskMergeSsse3 => "fused-maskmerge-ssse3",
+            FusedImpl::MaskMergeAvx512 => "fused-maskmerge-avx512",
+        }
+    }
+
+    /// The [`HostIsa`] level this implementation requires.
+    pub fn required_isa(self) -> HostIsa {
+        match self {
+            FusedImpl::Scalar => HostIsa::Scalar,
+            FusedImpl::MaskMergeSsse3 => HostIsa::Ssse3,
+            FusedImpl::MaskMergeAvx512 => HostIsa::Avx512bw,
+        }
+    }
+}
+
+/// The fused implementations usable on this host, scalar first.
+pub fn available_fused() -> Vec<FusedImpl> {
+    [
+        FusedImpl::Scalar,
+        FusedImpl::MaskMergeSsse3,
+        FusedImpl::MaskMergeAvx512,
+    ]
+    .into_iter()
+    .filter(|imp| host::has(imp.required_isa()))
+    .collect()
+}
+
+/// The fastest fused-ingest implementation the host supports.
+pub fn best_fused() -> FusedImpl {
+    if host::has(HostIsa::Avx512bw) {
+        FusedImpl::MaskMergeAvx512
+    } else if host::has(HostIsa::Ssse3) {
+        FusedImpl::MaskMergeSsse3
+    } else {
+        FusedImpl::Scalar
+    }
+}
+
+/// De-interleave the first `3k` LLRs of `input` into three caller-owned
+/// `k`-element slices with the chosen implementation. `input` may be
+/// longer than `3k` (the de-rate-matcher's triple-interleaved buffer
+/// carries the four tail triples after position `3k`); the excess is
+/// ignored. Panics if the host lacks the required feature (check
+/// [`available_fused`] first).
+pub fn fused_ingest_into(
+    imp: FusedImpl,
+    input: &[Llr],
+    k: usize,
+    sys: &mut [Llr],
+    p1: &mut [Llr],
+    p2: &mut [Llr],
+) {
+    assert!(input.len() >= 3 * k, "need 3k interleaved LLRs");
+    assert!(sys.len() == k && p1.len() == k && p2.len() == k);
+    match imp {
+        FusedImpl::Scalar => scalar(input, 0, k, sys, p1, p2),
+        #[cfg(target_arch = "x86_64")]
+        FusedImpl::MaskMergeSsse3 => unsafe { x86::mask_merge_ssse3(input, k, sys, p1, p2) },
+        #[cfg(target_arch = "x86_64")]
+        FusedImpl::MaskMergeAvx512 => unsafe { x86::mask_merge_avx512(input, k, sys, p1, p2) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar(input, 0, k, sys, p1, p2),
+    }
+}
+
+/// Scalar reference / tail shared by the vector kernels.
+fn scalar(input: &[Llr], from: usize, k: usize, sys: &mut [Llr], p1: &mut [Llr], p2: &mut [Llr]) {
+    for t in from..k {
+        sys[t] = input[3 * t];
+        p1[t] = input[3 * t + 1];
+        p2[t] = input[3 * t + 2];
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::*;
+    use std::arch::x86_64::*;
+
+    /// Residue-class lane mask for source register `j` of a group,
+    /// cluster `c`, at `W` lanes: lane `l` is kept iff
+    /// `(W·j + l) ≡ c (mod 3)`.
+    fn lane_mask<const W: usize>(j: usize, c: usize) -> [i16; W] {
+        core::array::from_fn(|l| if (W * j + l) % 3 == c % 3 { -1 } else { 0 })
+    }
+
+    /// Restore permutation for cluster `c` at `W` lanes: after the OR
+    /// merge, element `i` sits in lane `(3i + c) mod W`; the permute
+    /// index for destination lane `i` is exactly that source lane.
+    fn restore_idx<const W: usize>(c: usize) -> [i16; W] {
+        core::array::from_fn(|i| ((3 * i + c) % W) as i16)
+    }
+
+    #[target_feature(enable = "ssse3")]
+    pub unsafe fn mask_merge_ssse3(
+        input: &[Llr],
+        k: usize,
+        sys: &mut [Llr],
+        p1: &mut [Llr],
+        p2: &mut [Llr],
+    ) {
+        const W: usize = 8;
+        let groups = k / W;
+        // per (cluster, source register) residue masks…
+        let mut masks = [[_mm_setzero_si128(); 3]; 3];
+        // …and the per-cluster pshufb restore control (word permute as
+        // byte pairs).
+        let mut restore = [_mm_setzero_si128(); 3];
+        for c in 0..3 {
+            for (j, m) in masks[c].iter_mut().enumerate() {
+                *m = _mm_loadu_si128(lane_mask::<W>(j, c).as_ptr() as *const __m128i);
+            }
+            let idx = restore_idx::<W>(c);
+            let mut ctl = [0i8; 16];
+            for (i, &s) in idx.iter().enumerate() {
+                ctl[2 * i] = (2 * s) as i8;
+                ctl[2 * i + 1] = (2 * s + 1) as i8;
+            }
+            restore[c] = _mm_loadu_si128(ctl.as_ptr() as *const __m128i);
+        }
+        let streams: [*mut i16; 3] = [sys.as_mut_ptr(), p1.as_mut_ptr(), p2.as_mut_ptr()];
+        for g in 0..groups {
+            let gbase = g * 3 * W;
+            // The shifted reloads: same group, three W-element offsets.
+            let r0 = _mm_loadu_si128(input.as_ptr().add(gbase) as *const __m128i);
+            let r1 = _mm_loadu_si128(input.as_ptr().add(gbase + W) as *const __m128i);
+            let r2 = _mm_loadu_si128(input.as_ptr().add(gbase + 2 * W) as *const __m128i);
+            for (c, stream) in streams.iter().enumerate() {
+                let a = _mm_and_si128(r0, masks[c][0]);
+                let b = _mm_and_si128(r1, masks[c][1]);
+                let d = _mm_and_si128(r2, masks[c][2]);
+                let merged = _mm_or_si128(_mm_or_si128(a, b), d);
+                let o = _mm_shuffle_epi8(merged, restore[c]);
+                _mm_storeu_si128(stream.add(g * W) as *mut __m128i, o);
+            }
+        }
+        scalar(input, groups * W, k, sys, p1, p2);
+    }
+
+    #[target_feature(enable = "avx512bw", enable = "avx512f")]
+    pub unsafe fn mask_merge_avx512(
+        input: &[Llr],
+        k: usize,
+        sys: &mut [Llr],
+        p1: &mut [Llr],
+        p2: &mut [Llr],
+    ) {
+        const W: usize = 32;
+        let groups = k / W;
+        let mut masks = [[_mm512_setzero_si512(); 3]; 3];
+        let mut restore = [_mm512_setzero_si512(); 3];
+        for c in 0..3 {
+            for (j, m) in masks[c].iter_mut().enumerate() {
+                *m = _mm512_loadu_si512(lane_mask::<W>(j, c).as_ptr() as *const _);
+            }
+            restore[c] = _mm512_loadu_si512(restore_idx::<W>(c).as_ptr() as *const _);
+        }
+        let streams: [*mut i16; 3] = [sys.as_mut_ptr(), p1.as_mut_ptr(), p2.as_mut_ptr()];
+        for g in 0..groups {
+            let gbase = g * 3 * W;
+            let r0 = _mm512_loadu_si512(input.as_ptr().add(gbase) as *const _);
+            let r1 = _mm512_loadu_si512(input.as_ptr().add(gbase + W) as *const _);
+            let r2 = _mm512_loadu_si512(input.as_ptr().add(gbase + 2 * W) as *const _);
+            for (c, stream) in streams.iter().enumerate() {
+                let a = _mm512_and_si512(r0, masks[c][0]);
+                let b = _mm512_and_si512(r1, masks[c][1]);
+                let d = _mm512_and_si512(r2, masks[c][2]);
+                let merged = _mm512_or_si512(_mm512_or_si512(a, b), d);
+                let o = _mm512_permutexvar_epi16(restore[c], merged);
+                _mm512_storeu_si512(stream.add(g * W) as *mut _, o);
+            }
+        }
+        scalar(input, groups * W, k, sys, p1, p2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Vec<Llr> {
+        (0..n)
+            .map(|i| ((i as i64 * 31337 + 11) % 5000 - 2500) as i16)
+            .collect()
+    }
+
+    fn run(imp: FusedImpl, input: &[Llr], k: usize) -> [Vec<Llr>; 3] {
+        let mut sys = vec![0; k];
+        let mut p1 = vec![0; k];
+        let mut p2 = vec![0; k];
+        fused_ingest_into(imp, input, k, &mut sys, &mut p1, &mut p2);
+        [sys, p1, p2]
+    }
+
+    #[test]
+    fn scalar_reference_is_a_deinterleave() {
+        let k = 50;
+        let input = sample(3 * k);
+        let [sys, p1, p2] = run(FusedImpl::Scalar, &input, k);
+        for t in 0..k {
+            assert_eq!(sys[t], input[3 * t]);
+            assert_eq!(p1[t], input[3 * t + 1]);
+            assert_eq!(p2[t], input[3 * t + 2]);
+        }
+    }
+
+    #[test]
+    fn every_available_impl_matches_scalar() {
+        // Group-multiple, off-group and tiny K at both vector widths.
+        for k in [8usize, 32, 40, 96, 104, 999, 6144] {
+            let input = sample(3 * k);
+            let expect = run(FusedImpl::Scalar, &input, k);
+            for imp in available_fused() {
+                assert_eq!(run(imp, &input, k), expect, "{} K={k}", imp.name());
+            }
+        }
+    }
+
+    #[test]
+    fn excess_input_beyond_3k_is_ignored() {
+        // The de-rate-matcher's interleaved buffer is 3(K+4) long; the
+        // kernels must only read the first 3K.
+        let k = 96;
+        let mut input = sample(3 * (k + 4));
+        let expect = run(FusedImpl::Scalar, &input, k);
+        for imp in available_fused() {
+            assert_eq!(run(imp, &input, k), expect, "{}", imp.name());
+        }
+        // Mutating the tail region changes nothing.
+        for v in input[3 * k..].iter_mut() {
+            *v = i16::MAX;
+        }
+        for imp in available_fused() {
+            assert_eq!(run(imp, &input, k), expect, "{} tail bleed", imp.name());
+        }
+    }
+
+    #[test]
+    fn matches_native_deinterleave() {
+        use crate::native;
+        let k = 6144;
+        let input = sample(3 * k);
+        let native_out = native::deinterleave(native::NativeImpl::Scalar, &input, k);
+        for imp in available_fused() {
+            let [sys, p1, p2] = run(imp, &input, k);
+            assert_eq!(sys, native_out.sys, "{}", imp.name());
+            assert_eq!(p1, native_out.p1, "{}", imp.name());
+            assert_eq!(p2, native_out.p2, "{}", imp.name());
+        }
+    }
+
+    #[test]
+    fn best_fused_is_available() {
+        assert!(available_fused().contains(&best_fused()));
+    }
+
+    #[test]
+    fn available_always_contains_scalar_first() {
+        assert_eq!(available_fused()[0], FusedImpl::Scalar);
+    }
+
+    #[test]
+    fn names_and_isa_levels_are_consistent() {
+        let names: std::collections::HashSet<_> =
+            available_fused().iter().map(|i| i.name()).collect();
+        assert_eq!(names.len(), available_fused().len());
+        for imp in available_fused() {
+            assert!(host::has(imp.required_isa()), "{}", imp.name());
+        }
+    }
+}

@@ -18,6 +18,15 @@ pub enum ApcmVariant {
     /// (9) plus `vpor` combination (6) — 15 vector-ALU instructions per
     /// group, output directly consumable by the decoder.
     Shuffle,
+    /// Fused-ingest formulation (the native hot path's
+    /// `vran_arrange::fused_ingest_into`): `vpand` filtering (9) and
+    /// `vpor` congregation (6) exactly as MaskRotate, then ONE restore
+    /// `vpermw` per output register (3) instead of the rotation +
+    /// group-wise depermute — 18 vector-ALU instructions per group,
+    /// output directly consumable by the decoder. Trades MaskRotate's
+    /// deferred permutation for Shuffle's natural order while keeping
+    /// two thirds of the lane-crossing traffic off the shuffle unit.
+    MaskMerge,
 }
 
 /// The arrangement mechanism under test.
@@ -37,6 +46,7 @@ impl Mechanism {
             Mechanism::Baseline => "original",
             Mechanism::Apcm(ApcmVariant::MaskRotate) => "apcm-maskrotate",
             Mechanism::Apcm(ApcmVariant::Shuffle) => "apcm",
+            Mechanism::Apcm(ApcmVariant::MaskMerge) => "apcm-fused",
         }
     }
 }
@@ -224,6 +234,34 @@ impl ArrangeKernel {
                     }
                 }
             }
+            ApcmVariant::MaskMerge => {
+                // The fused-ingest mix: masks loaded once, then per
+                // group 9 vpand + 6 vpor + 3 restore vpermw + 3 stores.
+                let masks: Vec<Vec<_>> = (0..3)
+                    .map(|c| {
+                        (0..3)
+                            .map(|j| vm.const_vec(tables::cluster_mask(w, j, c)))
+                            .collect()
+                    })
+                    .collect();
+                let restores: Vec<Vec<Option<u8>>> =
+                    (0..3).map(|c| tables::fused_restore(w, c)).collect();
+                for g in 0..groups {
+                    let gbase = g * 3 * l;
+                    let regs: Vec<_> = (0..3)
+                        .map(|j| vm.load(w, input.slice(gbase + j * l, l)))
+                        .collect();
+                    for (c, dst) in outs.iter().enumerate() {
+                        let m0 = vm.and(regs[0], masks[c][0]);
+                        let m1 = vm.and(regs[1], masks[c][1]);
+                        let m2 = vm.and(regs[2], masks[c][2]);
+                        let o01 = vm.or(m0, m1);
+                        let cong = vm.or(o01, m2);
+                        let natural = vm.shuffle(cong, &restores[c]);
+                        vm.store(natural, dst.slice(g * l, l));
+                    }
+                }
+            }
         }
     }
 
@@ -305,6 +343,7 @@ mod tests {
                 Mechanism::Baseline,
                 Mechanism::Apcm(ApcmVariant::Shuffle),
                 Mechanism::Apcm(ApcmVariant::MaskRotate),
+                Mechanism::Apcm(ApcmVariant::MaskMerge),
             ] {
                 v.push(ArrangeKernel::new(w, m));
             }
@@ -372,6 +411,55 @@ mod tests {
         assert_eq!(shufs, 2);
         let stores = t.ops.iter().filter(|o| o.kind == OpKind::VStore).count();
         assert_eq!(stores, 3);
+    }
+
+    #[test]
+    fn fused_instruction_counts_per_group() {
+        // One full xmm group under the fused-ingest formulation:
+        // 9 vpand + 6 vpor + 3 restore vpermw, plus 3 loads and 3
+        // stores. Two thirds fewer shuffle µops than the Shuffle
+        // variant's 9, and no deferred depermute like MaskRotate.
+        let input = sample(8);
+        let (_, t) = ArrangeKernel::new(RegWidth::Sse128, Mechanism::Apcm(ApcmVariant::MaskMerge))
+            .arrange(&input, true);
+        let t = t.unwrap();
+        let count = |k: OpKind| t.ops.iter().filter(|o| o.kind == k).count();
+        assert_eq!(count(OpKind::VAnd), 9);
+        assert_eq!(count(OpKind::VOr), 6);
+        assert_eq!(count(OpKind::VShuffle), 3);
+        assert_eq!(count(OpKind::VStore), 3);
+    }
+
+    #[test]
+    fn fused_needs_no_depermute() {
+        // Unlike MaskRotate, the fused variant's output is already in
+        // natural decoder order — depermute must be the identity path.
+        let input = sample(64);
+        let kern = ArrangeKernel::new(RegWidth::Avx512, Mechanism::Apcm(ApcmVariant::MaskMerge));
+        let (got, _) = kern.arrange(&input, false);
+        assert_eq!(got, input.deinterleave_scalar());
+    }
+
+    #[test]
+    fn fused_shuffle_traffic_is_a_third_of_the_shuffle_variant() {
+        // Same 96 triples: the Shuffle variant crosses lanes once per
+        // source register (9/group), the fused variant once per output
+        // register (3/group). The vpand/vpor make-up work lands on the
+        // three ALU ports instead of the shuffle unit.
+        let input = sample(96);
+        let shufs = |v| {
+            let (_, t) =
+                ArrangeKernel::new(RegWidth::Avx512, Mechanism::Apcm(v)).arrange(&input, true);
+            t.unwrap()
+                .ops
+                .iter()
+                .filter(|o| o.kind == OpKind::VShuffle)
+                .count()
+        };
+        assert_eq!(
+            shufs(ApcmVariant::MaskMerge) * 3,
+            shufs(ApcmVariant::Shuffle)
+        );
     }
 
     #[test]

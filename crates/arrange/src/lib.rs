@@ -20,7 +20,11 @@
 //!   per 3-register group, Figure 10/11) whose output is group-wise
 //!   permuted; [`kernel::ApcmVariant::Shuffle`] spends 15 shuffle/OR
 //!   instructions to produce natural element order directly, which is
-//!   what the decoder pipeline consumes.
+//!   what the decoder pipeline consumes;
+//!   [`kernel::ApcmVariant::MaskMerge`] models the fused uplink ingest
+//!   ([`fused_ingest_into`]) — mask/OR congregation plus one restore
+//!   `vpermw` per output register (18 ALU instructions per group),
+//!   natural order with a third of Shuffle's lane-crossing traffic.
 //!
 //! Both mechanisms are validated against the scalar oracle
 //! (`InterleavedLlrs::deinterleave_scalar`) and against each other, and
@@ -54,10 +58,12 @@
 //! assert!(hb.vec_alu > hb.store); // APCM: vector-ALU batching
 //! ```
 
+pub mod fused;
 pub mod kernel;
 pub mod native;
 pub mod stride;
 pub mod tables;
 
+pub use fused::{available_fused, best_fused, fused_ingest_into, FusedImpl};
 pub use kernel::{ApcmVariant, ArrangeKernel, Mechanism, OutRegions};
 pub use stride::StrideKernel;

@@ -55,6 +55,21 @@ pub fn group_permutation(width: RegWidth) -> Vec<usize> {
     congregated_order(width, 0)
 }
 
+/// Restore permutation for the fused mask/merge ingest: `table[t]`
+/// selects the congregated lane holding triple `t`'s cluster element,
+/// i.e. the inverse of [`congregated_order`]. One `vpermw` with this
+/// control per output register turns the mask/OR congregation into
+/// natural decoder order — the fused kernel's replacement for the
+/// paper-literal rotation + group depermute.
+pub fn fused_restore(width: RegWidth, cluster: usize) -> Vec<Option<u8>> {
+    let order = congregated_order(width, cluster);
+    let mut table = vec![None; width.lanes()];
+    for (lane, &t) in order.iter().enumerate() {
+        table[t] = Some(lane as u8);
+    }
+    table
+}
+
 /// Shuffle table for the natural-order APCM variant: for output
 /// register of `cluster` and source register `j`, `table[i]` selects
 /// the source lane holding triple `i`'s cluster element, or `None`
@@ -130,6 +145,23 @@ mod tests {
             for &t in &p {
                 assert!(!seen[t]);
                 seen[t] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn fused_restore_inverts_the_congregated_order() {
+        for w in RegWidth::ALL {
+            for c in 0..3 {
+                let order = congregated_order(w, c);
+                let restore = fused_restore(w, c);
+                for (t, entry) in restore.iter().enumerate() {
+                    let lane = entry.expect("congregation fills every lane") as usize;
+                    assert_eq!(
+                        order[lane], t,
+                        "{w} cluster {c}: lane {lane} holds triple {t}"
+                    );
+                }
             }
         }
     }

@@ -1,0 +1,102 @@
+//! The `fused_exactness` sweep: fused APCM ingest vs the scalar
+//! reference across **all 188** TS 36.212 block sizes and **every**
+//! host-ISA tier.
+//!
+//! The uplink pipeline makes `fused_ingest_into` the default native
+//! ingest path on the strength of this sweep (see
+//! `PipelineConfig::fused_ingest`): whatever K the segmenter picks and
+//! whatever tier the dispatcher lands on — AVX-512BW zmm, SSSE3 xmm or
+//! the scalar floor — the fused kernel must reproduce the scalar
+//! deinterleave bit for bit, including the ragged scalar tail and the
+//! four tail triples that ride beyond `3K` in the de-rate-matcher's
+//! interleaved buffer.
+//!
+//! Lives in its own integration-test binary because the ISA ceiling is
+//! process-global; the sweep loops the tiers inside one `#[test]` so
+//! masked regions never overlap.
+
+use vran_arrange::{available_fused, best_fused, fused_ingest_into, FusedImpl};
+use vran_phy::interleaver::QPP_TABLE;
+use vran_phy::llr::Llr;
+use vran_simd::host::{set_isa_ceiling, HostIsa};
+
+/// Deterministic non-trivial LLRs; tail region beyond `3k` poisoned to
+/// catch any kernel reading past the K-th triple.
+fn interleaved(k: usize) -> Vec<Llr> {
+    let mut v: Vec<Llr> = (0..3 * k)
+        .map(|i| ((i as i64 * 2654435761 + k as i64 * 97) % 5003 - 2501) as i16)
+        .collect();
+    v.extend(std::iter::repeat_n(i16::MAX, 12)); // 4 tail triples
+    v
+}
+
+fn run(imp: FusedImpl, input: &[Llr], k: usize) -> [Vec<Llr>; 3] {
+    let mut sys = vec![0; k];
+    let mut p1 = vec![0; k];
+    let mut p2 = vec![0; k];
+    fused_ingest_into(imp, input, k, &mut sys, &mut p1, &mut p2);
+    [sys, p1, p2]
+}
+
+/// The dispatch tier `best_fused` must pick under each ceiling (when
+/// the host itself is capable enough to reach it).
+fn expected_best(ceiling: HostIsa) -> FusedImpl {
+    match ceiling {
+        HostIsa::Scalar | HostIsa::Sse2 => FusedImpl::Scalar,
+        HostIsa::Ssse3 | HostIsa::Avx2 => FusedImpl::MaskMergeSsse3,
+        HostIsa::Avx512bw => FusedImpl::MaskMergeAvx512,
+    }
+}
+
+#[test]
+fn all_188_block_sizes_bit_exact_at_every_isa_tier() {
+    // Reference outputs computed once, at full host capability, with
+    // the always-available scalar implementation.
+    let cases: Vec<(usize, Vec<Llr>)> = QPP_TABLE
+        .iter()
+        .map(|row| {
+            let k = row.k as usize;
+            (k, interleaved(k))
+        })
+        .collect();
+    assert_eq!(cases.len(), 188, "the registry drives the sweep");
+
+    for ceiling in HostIsa::all() {
+        set_isa_ceiling(Some(ceiling));
+        let best = best_fused();
+        // On a fully-capable host the ceiling alone decides the tier;
+        // on a weaker host the pick degrades further, which
+        // `available_fused` containment below still validates.
+        if vran_simd::host::has(expected_best(ceiling).required_isa()) {
+            assert_eq!(best, expected_best(ceiling), "ceiling {}", ceiling.name());
+        }
+        assert!(available_fused().contains(&best));
+
+        for (k, input) in &cases {
+            let expect = run(FusedImpl::Scalar, input, *k);
+            for imp in available_fused() {
+                assert_eq!(
+                    run(imp, input, *k),
+                    expect,
+                    "K={k} {} under {} ceiling",
+                    imp.name(),
+                    ceiling.name()
+                );
+            }
+        }
+    }
+    set_isa_ceiling(None);
+}
+
+#[test]
+fn sweep_covers_both_vector_group_shapes() {
+    // Sanity on the registry itself: every TS 36.212 K is a multiple
+    // of 8 (whole xmm groups, never a ragged 128-bit tail), but the
+    // zmm kernel sees both whole-group K and K with a 8/16/24-element
+    // scalar tail — so the sweep above exercises every code path that
+    // exists on real block sizes.
+    let ks: Vec<usize> = QPP_TABLE.iter().map(|r| r.k as usize).collect();
+    assert!(ks.iter().all(|k| k % 8 == 0), "standard K are xmm-whole");
+    assert!(ks.iter().any(|k| k % 32 == 0), "whole zmm groups");
+    assert!(ks.iter().any(|k| k % 32 != 0), "zmm scalar tails");
+}

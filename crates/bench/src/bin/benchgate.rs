@@ -41,7 +41,7 @@
 
 use std::process::ExitCode;
 use std::time::Instant;
-use vran_arrange::{ApcmVariant, ArrangeKernel, Mechanism};
+use vran_arrange::{best_fused, ApcmVariant, ArrangeKernel, FusedImpl, Mechanism};
 use vran_bench::cellscale::{cell_scale_full_suite, cell_scale_smoke_suite};
 use vran_bench::gate::{compare, BenchReport, Suite};
 use vran_bench::{interleaved_workload, turbo_workload};
@@ -101,6 +101,12 @@ const STAGEGRAPH_PACKETS: usize = 168;
 const STAGEGRAPH_WALLCLOCK_PACKETS: usize = 420;
 /// Seed for both chaos storm schedules (cell-scale and runner).
 const CHAOS_SEED: u64 = 7;
+/// Wire sizes cycled by the fused-ingest A/B runs (one TB per size,
+/// spanning single-block and multi-block K).
+const FUSED_SIZES: [usize; 4] = [64, 300, 900, 1400];
+/// Measured repetitions of the fused-ingest size cycle per side (one
+/// extra warm-up cycle fills the pools first).
+const FUSED_REPS: usize = 40;
 /// Paired repetitions of the flight-recorder overhead measurement
 /// (minimum of each side taken).
 const OVERHEAD_RUNS: usize = 7;
@@ -552,6 +558,149 @@ fn uplink_stagegraph_wallclock_suite() -> Suite {
     suite
 }
 
+/// One side of the fused-ingest A/B: per-packet outcome signatures
+/// (bit-exactness evidence), wall-clock, and the staging counters.
+struct FusedIngestRun {
+    sigs: Vec<(usize, usize, usize, usize)>,
+    ok_packets: u64,
+    code_blocks: u64,
+    fused_blocks: u64,
+    fused_fallbacks: u64,
+    steady_allocs: u64,
+    arrange_mean_ns: f64,
+    mbps: f64,
+}
+
+fn fused_ingest_run(fused: bool) -> FusedIngestRun {
+    let pm = std::sync::Arc::new(PipelineMetrics::new(true));
+    let cfg = PipelineConfig {
+        snr_db: 30.0,
+        batch_decode: true,
+        fused_ingest: fused,
+        ..Default::default()
+    };
+    let pipe = UplinkPipeline::with_metrics(cfg, pm.clone());
+    let mut b = PacketBuilder::new(1000, 2000);
+    // Warm-up cycle: decoder caches build, stream pools fill.
+    for &size in &FUSED_SIZES {
+        let p = b.build(Transport::Udp, size).expect("valid size");
+        pipe.process(&p).expect("30 dB decodes");
+    }
+    let allocs0 = pm.staging_allocs.get() + pm.staging_reallocs.get();
+    let mut sigs = Vec::new();
+    let mut payload_bits = 0usize;
+    let t = Instant::now();
+    for _ in 0..FUSED_REPS {
+        for &size in &FUSED_SIZES {
+            let p = b.build(Transport::Udp, size).expect("valid size");
+            let r = pipe.process(&p).expect("30 dB decodes");
+            payload_bits += r.tb_bits;
+            sigs.push((r.tb_bits, r.code_blocks, r.coded_bits, r.decoder_iterations));
+        }
+    }
+    let elapsed_s = t.elapsed().as_secs_f64();
+    let arrange_mean_ns = if fused {
+        pm.arrange_fused().mean()
+    } else {
+        pm.stage(Stage::Arrange).mean()
+    };
+    FusedIngestRun {
+        sigs,
+        ok_packets: pm.ok_packets.get(),
+        code_blocks: pm.code_blocks.get(),
+        fused_blocks: pm.fused_ingest_blocks.get(),
+        fused_fallbacks: pm.fused_ingest_fallbacks.get(),
+        steady_allocs: pm.staging_allocs.get() + pm.staging_reallocs.get() - allocs0,
+        arrange_mean_ns,
+        mbps: payload_bits as f64 / elapsed_s / 1e6,
+    }
+}
+
+/// Gated `uplink_fused_ingest` plus its ungated wall-clock companion,
+/// sharing one A/B measurement. The gated side carries only exact
+/// metrics: outcome counts (fused and unfused must both stay pinned),
+/// the fused/unfused bit-equality boolean, the AVX-512BW tier pin, the
+/// zero-steady-state-allocation count, and two wall-clock-derived
+/// booleans with wide margins — arrangement-stage ≥1.3× faster fused
+/// than unfused, and end-to-end throughput within 5 % of the unfused
+/// path. The raw nanoseconds and Mbps live in the ungated companion so
+/// host noise never gates CI.
+fn uplink_fused_ingest_suites() -> (Suite, Suite) {
+    let mut gated = Suite::new("uplink_fused_ingest", true);
+    let mut wall = Suite::new("uplink_fused_ingest_wallclock", false);
+    let fused = fused_ingest_run(true);
+    let unfused = fused_ingest_run(false);
+
+    gated.push(
+        "avx512bw.accelerated",
+        f64::from(best_fused() == FusedImpl::MaskMergeAvx512),
+    );
+    gated.push("fused.ok.count", fused.ok_packets as f64);
+    gated.push("unfused.ok.count", unfused.ok_packets as f64);
+    gated.push("fused.code_blocks", fused.code_blocks as f64);
+    gated.push("fused.ingest_blocks.count", fused.fused_blocks as f64);
+    gated.push("fused.fallbacks.count", fused.fused_fallbacks as f64);
+    gated.push("bitexact.count", f64::from(fused.sigs == unfused.sigs));
+    gated.push(
+        "staging.steady_state_allocs.count",
+        (fused.steady_allocs + unfused.steady_allocs) as f64,
+    );
+    let arrange_speedup = unfused.arrange_mean_ns / fused.arrange_mean_ns;
+    gated.push(
+        "arrange.speedup_ge_1p3.count",
+        f64::from(arrange_speedup >= 1.3),
+    );
+    gated.push(
+        "e2e.fused_within_5pct.count",
+        f64::from(fused.mbps >= 0.95 * unfused.mbps),
+    );
+
+    wall.push("arrange.unfused.mean_ns", unfused.arrange_mean_ns);
+    wall.push("arrange.fused.mean_ns", fused.arrange_mean_ns);
+    wall.push("arrange.speedup", arrange_speedup);
+    wall.push("e2e.unfused.mbps", unfused.mbps);
+    wall.push("e2e.fused.mbps", fused.mbps);
+    wall.push("e2e.speedup", fused.mbps / unfused.mbps);
+    (gated, wall)
+}
+
+/// Ungated: the fused mask/merge ingest kernel through the port-level
+/// simulator next to the permute-only APCM variant and the original
+/// mechanism — the backend-bound/port-pressure profile behind the
+/// gated booleans (the hard assertions live in the fig15 tests).
+fn fused_ingest_uarch_suite() -> Suite {
+    let mut suite = Suite::new("fused_ingest_uarch", false);
+    let input = interleaved_workload(SIM_K, SIM_SEED);
+    let sim = CoreSim::new(CoreConfig::beefy().warmed());
+    for width in RegWidth::ALL {
+        for mech in [
+            Mechanism::Baseline,
+            Mechanism::Apcm(ApcmVariant::Shuffle),
+            Mechanism::Apcm(ApcmVariant::MaskMerge),
+        ] {
+            let (_, trace) = ArrangeKernel::new(width, mech).arrange(&input, true);
+            let trace = trace.expect("trace requested");
+            let shuffles = trace
+                .ops
+                .iter()
+                .filter(|o| o.kind == vran_simd::OpKind::VShuffle)
+                .count();
+            let r = sim.run(&trace);
+            let prefix = format!("{}.{}", width.name(), mech.name());
+            suite.push(format!("{prefix}.cycles"), r.cycles as f64);
+            suite.push(format!("{prefix}.ipc"), r.ipc);
+            suite.push(format!("{prefix}.backend.frac"), r.topdown.backend());
+            suite.push(format!("{prefix}.retiring.frac"), r.topdown.retiring);
+            suite.push(format!("{prefix}.shuffle_uops.count"), shuffles as f64);
+            let alu: f64 = r.port_util[..3].iter().sum();
+            let store: f64 = r.port_util[6..].iter().sum();
+            suite.push(format!("{prefix}.ports.alu.util"), alu);
+            suite.push(format!("{prefix}.ports.store.util"), store);
+        }
+    }
+    suite
+}
+
 /// Gated: host-independent downlink outcomes at pinned seeds and
 /// sizes, once per [`EncoderBackend`] — the two backends must stay
 /// bit-identical (every metric equal between the `scalar.` and
@@ -752,13 +901,16 @@ fn observe_overhead_suite(base_s: f64, rec_s: f64, min_ratio: f64) -> Suite {
 }
 
 /// Suite names `--only` accepts (also the build order).
-const SUITES: [&str; 15] = [
+const SUITES: [&str; 18] = [
     "arrange_sim",
+    "fused_ingest_uarch",
     "decoder_native",
     "encoder_wallclock",
     "downlink_static",
     "downlink_scaleout",
     "uplink_scaleout",
+    "uplink_fused_ingest",
+    "uplink_fused_ingest_wallclock",
     "uplink_stagegraph",
     "uplink_stagegraph_wallclock",
     "cell_scale_smoke",
@@ -806,9 +958,17 @@ fn build_report(only: &[String]) -> Result<(BenchReport, Option<String>), String
         ),
         ("chaos_seed".into(), CHAOS_SEED.to_string()),
         ("overhead_runs".into(), OVERHEAD_RUNS.to_string()),
+        (
+            "fused_sizes".into(),
+            FUSED_SIZES.map(|s| s.to_string()).join("/"),
+        ),
+        ("fused_reps".into(), FUSED_REPS.to_string()),
     ];
     if want("arrange_sim") {
         report.suites.push(arrange_sim_suite());
+    }
+    if want("fused_ingest_uarch") {
+        report.suites.push(fused_ingest_uarch_suite());
     }
     if want("decoder_native") {
         report.suites.push(decoder_native_suite());
@@ -824,6 +984,15 @@ fn build_report(only: &[String]) -> Result<(BenchReport, Option<String>), String
     }
     if want("uplink_scaleout") {
         report.suites.push(uplink_scaleout_suite());
+    }
+    if want("uplink_fused_ingest") || want("uplink_fused_ingest_wallclock") {
+        let (gated, wallclock) = uplink_fused_ingest_suites();
+        if want("uplink_fused_ingest") {
+            report.suites.push(gated);
+        }
+        if want("uplink_fused_ingest_wallclock") {
+            report.suites.push(wallclock);
+        }
     }
     if want("uplink_stagegraph") {
         report.suites.push(uplink_stagegraph_suite());

@@ -262,6 +262,11 @@ impl Stage {
 pub struct PipelineMetrics {
     enabled: bool,
     stages: [Histogram; Stage::COUNT],
+    /// Arrangement-stage latency when the fused APCM ingest ran —
+    /// recorded *in addition to* [`Stage::Arrange`] so dashboards keep
+    /// one continuous arrange series while the fused-vs-unfused split
+    /// stays visible.
+    arrange_fused: Histogram,
     /// Packets processed.
     pub packets: Counter,
     /// Packets that round-tripped bit-exactly.
@@ -314,6 +319,21 @@ pub struct PipelineMetrics {
     /// AMC divergence-guard MCS step-downs under sustained decode
     /// failure (see [`crate::amc::DivergenceGuard`]).
     pub amc_stepdowns: Counter,
+    /// LLR staging buffers acquired by allocating fresh `SoftStreams`
+    /// (the pool was empty — expected only during warm-up).
+    pub staging_allocs: Counter,
+    /// LLR staging buffers served from the pool with retained capacity
+    /// (zero heap traffic — the steady state).
+    pub staging_reuses: Counter,
+    /// Pooled LLR staging buffers whose capacity had to grow for a new
+    /// block size K (a heap reallocation despite pooling).
+    pub staging_reallocs: Counter,
+    /// Code blocks staged through the fused demap→zmm APCM ingest
+    /// (de-rate-match straight into decoder-layout streams).
+    pub fused_ingest_blocks: Counter,
+    /// Code blocks that requested fused ingest but fell back to the
+    /// unfused demap → de-rate-match → deinterleave chain.
+    pub fused_ingest_fallbacks: Counter,
 }
 
 impl Default for PipelineMetrics {
@@ -328,6 +348,7 @@ impl PipelineMetrics {
         Self {
             enabled,
             stages: std::array::from_fn(|_| Histogram::latency_ns()),
+            arrange_fused: Histogram::latency_ns(),
             packets: Counter::new(),
             ok_packets: Counter::new(),
             decoder_iterations: Counter::new(),
@@ -346,6 +367,11 @@ impl PipelineMetrics {
             breaker_resets: Counter::new(),
             breaker_fastfails: Counter::new(),
             amc_stepdowns: Counter::new(),
+            staging_allocs: Counter::new(),
+            staging_reuses: Counter::new(),
+            staging_reallocs: Counter::new(),
+            fused_ingest_blocks: Counter::new(),
+            fused_ingest_fallbacks: Counter::new(),
         }
     }
 
@@ -405,6 +431,23 @@ impl PipelineMetrics {
         &self.stages[stage as usize]
     }
 
+    /// The fused-ingest arrangement histogram (recorded alongside
+    /// [`Stage::Arrange`] when the fused path ran).
+    pub fn arrange_fused(&self) -> &Histogram {
+        &self.arrange_fused
+    }
+
+    /// Record one fused-ingest arrangement latency: lands in both the
+    /// [`Stage::Arrange`] series and the fused-only histogram (no-op
+    /// when disabled).
+    #[inline]
+    pub fn record_arrange_fused(&self, nanos: u64) {
+        if self.enabled {
+            self.stages[Stage::Arrange as usize].record(nanos);
+            self.arrange_fused.record(nanos);
+        }
+    }
+
     /// Flat snapshot: stage means/p90s plus counters.
     pub fn snapshot(&self) -> Vec<(String, f64)> {
         let mut out = Vec::new();
@@ -413,6 +456,14 @@ impl PipelineMetrics {
             out.push((format!("stage.{}.mean_ns", s.name()), h.mean()));
             out.push((format!("stage.{}.count", s.name()), h.count() as f64));
         }
+        out.push((
+            "stage.arrange_fused.mean_ns".into(),
+            self.arrange_fused.mean(),
+        ));
+        out.push((
+            "stage.arrange_fused.count".into(),
+            self.arrange_fused.count() as f64,
+        ));
         out.push(("packets".into(), self.packets.get() as f64));
         out.push(("ok_packets".into(), self.ok_packets.get() as f64));
         out.push(("code_blocks".into(), self.code_blocks.get() as f64));
@@ -463,6 +514,20 @@ impl PipelineMetrics {
             self.breaker_fastfails.get() as f64,
         ));
         out.push(("amc_stepdowns".into(), self.amc_stepdowns.get() as f64));
+        out.push(("staging_allocs".into(), self.staging_allocs.get() as f64));
+        out.push(("staging_reuses".into(), self.staging_reuses.get() as f64));
+        out.push((
+            "staging_reallocs".into(),
+            self.staging_reallocs.get() as f64,
+        ));
+        out.push((
+            "fused_ingest_blocks".into(),
+            self.fused_ingest_blocks.get() as f64,
+        ));
+        out.push((
+            "fused_ingest_fallbacks".into(),
+            self.fused_ingest_fallbacks.get() as f64,
+        ));
         out
     }
 

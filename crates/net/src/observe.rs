@@ -660,6 +660,13 @@ impl MetricsSnapshot {
                     p.stage(s),
                 ));
             }
+            // The fused-ingest share of the arrangement stage gets its
+            // own histogram (the `arrange` stage histogram covers both
+            // fused and unfused blocks).
+            histograms.push(HistogramSnapshot::capture(
+                "pipeline.stage.arrange_fused",
+                p.arrange_fused(),
+            ));
         }
         if let Some(r) = runner {
             for (k, v) in r.snapshot() {
@@ -882,6 +889,7 @@ mod tests {
     fn snapshot_captures_counters_and_histograms() {
         let p = PipelineMetrics::new(true);
         p.record_stage(Stage::Decode, 512);
+        p.record_arrange_fused(128);
         p.record_packet(true, 2, 8);
         let r = RunnerMetrics::new(true, 16);
         r.record_occupancy(3);
@@ -896,6 +904,17 @@ mod tests {
         assert_eq!(h.count, 1);
         assert_eq!(h.bucket_sum(), 1);
         assert!(h.bucket_sum() <= h.count);
+        // The fused-ingest share of arrangement rides as its own
+        // histogram alongside the per-stage set.
+        let f = snap
+            .histogram("pipeline.stage.arrange_fused")
+            .expect("fused histogram captured");
+        assert_eq!(f.count, 1);
+        assert!(
+            snap.histogram("pipeline.stage.arrange")
+                .is_some_and(|h| h.count == 1),
+            "fused recording also lands in the arrange stage histogram"
+        );
         // JSON flattens into the benchgate namespace.
         let flat = snap.to_json().flatten_numbers();
         assert_eq!(flat.get("counters.pipeline.packets"), Some(&1.0));

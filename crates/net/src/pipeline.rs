@@ -52,7 +52,7 @@ use crate::packet::{Packet, ParsedPacket};
 use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 use std::time::Instant;
-use vran_arrange::{ArrangeKernel, Mechanism};
+use vran_arrange::{best_fused, fused_ingest_into, ArrangeKernel, Mechanism};
 use vran_phy::bits::{extend_bits_from_words, pack_msb, unpack_msb};
 use vran_phy::channel::AwgnChannel;
 use vran_phy::crc::{CRC24A, CRC24B};
@@ -64,8 +64,8 @@ use vran_phy::scrambler::{descramble_llrs, scramble_bits, GoldSequence};
 use vran_phy::segmentation::Segmentation;
 use vran_phy::turbo::native_batch::{BATCH, QUAD};
 use vran_phy::turbo::{
-    DecodeScratch, DecoderIsa, EncodeScratch, EncoderIsa, NativeBatchTurboDecoder,
-    NativeTurboDecoder, PackedTurboEncoder, TurboDecoder, TurboEncoder,
+    BatchScratch, BlockLlrs, DecodeScratch, DecoderIsa, EncodeScratch, EncoderIsa,
+    NativeBatchTurboDecoder, NativeTurboDecoder, PackedTurboEncoder, TurboDecoder, TurboEncoder,
 };
 use vran_simd::RegWidth;
 
@@ -171,6 +171,17 @@ pub struct PipelineConfig {
     /// reported `decoder_iterations` — the decoded bits stay
     /// oracle-exact either way.
     pub batch_decode: bool,
+    /// Fused APCM ingest (the default): under [`DecoderBackend::Native`]
+    /// the de-rate-matcher writes triple-interleaved clusters and one
+    /// mask/merge pass ([`vran_arrange::fused_ingest_into`]) segregates
+    /// them straight into pooled per-block stream buffers — replacing
+    /// the de-rate-match copy → stream multiplex → APCM de-interleave →
+    /// per-block clone chain with a single pass and zero intermediate
+    /// full-buffer copies. Bit-exact with the unfused chain (enforced
+    /// across all 188 QPP sizes and every ISA tier by the
+    /// `fused_exactness` sweep); `false` keeps the unfused chain for
+    /// A/B comparison.
+    pub fused_ingest: bool,
     /// Per-stage circuit breakers (equalizer / demapper / decoder).
     /// `None` (the default) disables them — fault-injection soaks and
     /// the gated benchgate suites predate breakers and pin exact error
@@ -196,6 +207,7 @@ impl Default for PipelineConfig {
             seed: 1,
             deadline_ns: None,
             batch_decode: false,
+            fused_ingest: true,
             breakers: None,
         }
     }
@@ -343,8 +355,16 @@ struct HotState {
     dllr: [Vec<Llr>; 3],
     /// Interleaved-triple staging for the arrangement step (3K LLRs).
     inter: Vec<Llr>,
-    /// Arranged streams the native decoder reads.
+    /// Arranged streams the native decoder reads (unfused serial path).
     arranged: SoftStreams,
+    /// Free list of per-block stream buffers for staged decode tasks:
+    /// the ingest step pops one (retaining its capacity), the decode
+    /// consumer pushes it back ([`UplinkPipeline::recycle_streams`]),
+    /// so batching performs no steady-state allocation — replacing the
+    /// per-block `SoftStreams` clones staging used to take.
+    llr_pool: Vec<SoftStreams>,
+    /// Staged-batch-decoder working buffers (quad/pair kernels).
+    batch_scratch: BatchScratch,
     /// Native-decoder working buffers.
     scratch: DecodeScratch,
     /// Decoded-bit buffers, one per code-block index, reused across
@@ -432,7 +452,43 @@ impl HotState {
             }
         }
     }
+
+    /// Pop a `k`-element stream buffer off the free list (or allocate a
+    /// fresh one when the pool is dry). Counted per the staging metrics
+    /// taxonomy: `staging_allocs` for a dry pool, `staging_reuses` when
+    /// the recycled buffer's capacity already covered `k`,
+    /// `staging_reallocs` when the resize had to grow it (a K upswitch
+    /// beyond anything the pool has seen).
+    fn acquire_streams(&mut self, k: usize, m: Option<&PipelineMetrics>) -> SoftStreams {
+        match self.llr_pool.pop() {
+            Some(mut s) => {
+                let grew = s.sys.capacity() < k || s.p1.capacity() < k || s.p2.capacity() < k;
+                s.sys.resize(k, 0);
+                s.p1.resize(k, 0);
+                s.p2.resize(k, 0);
+                if let Some(m) = m {
+                    if grew {
+                        m.staging_reallocs.inc();
+                    } else {
+                        m.staging_reuses.inc();
+                    }
+                }
+                s
+            }
+            None => {
+                if let Some(m) = m {
+                    m.staging_allocs.inc();
+                }
+                SoftStreams::zeros(k)
+            }
+        }
+    }
 }
+
+/// Free-list cap: `MAX_CODE_BLOCKS` packets can be in flight per lane
+/// in the stage graph's pools; beyond this the buffers are dropped
+/// rather than hoarded.
+const LLR_POOL_CAP: usize = 4 * MAX_CODE_BLOCKS;
 
 /// The uplink pipeline (shared by the downlink driver — the PHY chain
 /// is symmetric for our purposes; only the traffic direction and DCI
@@ -625,6 +681,17 @@ impl UplinkPipeline {
     /// The attached metrics registry, if any.
     pub fn metrics(&self) -> Option<&Arc<PipelineMetrics>> {
         self.metrics.as_ref()
+    }
+
+    /// Return a staged task's stream buffers to the free list so the
+    /// next ingest reuses their capacity instead of allocating. The
+    /// stage-graph runtime calls this after a batch launch scatters its
+    /// decoded bits; the serial batch path recycles inline.
+    pub(crate) fn recycle_streams(&self, streams: SoftStreams) {
+        let hot = &mut *self.hot.borrow_mut();
+        if hot.llr_pool.len() < LLR_POOL_CAP {
+            hot.llr_pool.push(streams);
+        }
     }
 
     /// The configuration.
@@ -1024,18 +1091,42 @@ impl UplinkPipeline {
         let mut pos = 0;
         let mut failed_blocks = 0usize;
         let mut batch_inputs: Vec<TurboLlrs> = Vec::new();
+        // Fused APCM ingest applies only to the Native backend; when
+        // the degradation ladder demotes a fused-configured pipeline to
+        // Scalar, the blocks run the unfused chain (counted below).
+        let fused = cfg.fused_ingest && backend == DecoderBackend::Native;
         for (i, blk) in blocks.iter().enumerate() {
             let k = blk.len();
             let e = block_e[i];
             let rmi = hot.rm_index(k + 4);
+            if let Some(m) = m {
+                if cfg.fused_ingest && !fused && cfg.backend == DecoderBackend::Native {
+                    m.fused_ingest_fallbacks.inc();
+                }
+            }
             let t0 = Instant::now();
-            timed(m, Stage::RateMatch, || {
-                hot.rms[rmi]
-                    .1
-                    .try_de_rate_match_into(&llrs[pos..pos + e], 0, &mut hot.dllr)
-            })?;
+            let tails = if fused {
+                // The fused chain's only staging write: the
+                // de-rate-matcher accumulates straight into the
+                // triple-interleaved cluster layout (Fig 8a), so no
+                // separate multiplex pass runs before arrangement.
+                timed(m, Stage::RateMatch, || {
+                    hot.rms[rmi].1.try_de_rate_match_interleaved_into(
+                        &llrs[pos..pos + e],
+                        0,
+                        &mut hot.inter,
+                    )
+                })?;
+                TailLlrs::from_interleaved(&hot.inter, k)
+            } else {
+                timed(m, Stage::RateMatch, || {
+                    hot.rms[rmi]
+                        .1
+                        .try_de_rate_match_into(&llrs[pos..pos + e], 0, &mut hot.dllr)
+                })?;
+                TailLlrs::from_dstreams(&hot.dllr, k)
+            };
             pos += e;
-            let tails = TailLlrs::from_dstreams(&hot.dllr, k);
             nanos.demap += t0.elapsed().as_nanos() as u64;
 
             // Deadline gate before the expensive decode: abort when the
@@ -1062,13 +1153,93 @@ impl UplinkPipeline {
             }
 
             match backend {
+                DecoderBackend::Native if fused => {
+                    // The data arrangement process under test, fused
+                    // flavor: the de-rate-matcher already wrote the
+                    // interleaved clusters, so one mask/merge pass
+                    // segregates them straight into a pooled per-block
+                    // stream buffer — the layout the quad-in-zmm batch
+                    // decoder reads in place. No multiplex copy, no
+                    // shared staging buffer, no per-block clone.
+                    let t0 = Instant::now();
+                    let mut streams = hot.acquire_streams(k, m);
+                    let tf = m.map(|_| Instant::now());
+                    fused_ingest_into(
+                        best_fused(),
+                        &hot.inter,
+                        k,
+                        &mut streams.sys,
+                        &mut streams.p1,
+                        &mut streams.p2,
+                    );
+                    if let (Some(m), Some(tf)) = (m, tf) {
+                        m.record_arrange_fused(tf.elapsed().as_nanos() as u64);
+                        m.fused_ingest_blocks.inc();
+                    }
+                    nanos.arrangement += t0.elapsed().as_nanos() as u64;
+
+                    if batching {
+                        // Stage this block for the grouped quad/pair
+                        // decode after the loop — the pooled buffer
+                        // rides inside the task, zero-copy.
+                        batch_inputs.push(TurboLlrs { k, streams, tails });
+                        continue;
+                    }
+
+                    let t0 = Instant::now();
+                    let di = hot.native_index(k, cfg.decoder_iterations);
+                    let crc = (blocks.len() > 1).then_some(&CRC24B);
+                    let (iters, crc_ok) = timed(m, Stage::Decode, || {
+                        hot.natives[di].decode_streams_capped_into(
+                            &streams.sys,
+                            &streams.p1,
+                            &streams.p2,
+                            &tails,
+                            iter_cap,
+                            crc,
+                            &mut hot.scratch,
+                            &mut hot.bits_pool[i],
+                        )
+                    });
+                    iterations += iters;
+                    nanos.decode += t0.elapsed().as_nanos() as u64;
+                    if hot.llr_pool.len() < LLR_POOL_CAP {
+                        hot.llr_pool.push(streams);
+                    }
+                    if crc_ok == Some(false) {
+                        failed_blocks += 1;
+                    }
+                }
                 DecoderBackend::Native => {
-                    // The data arrangement process under test, native
-                    // flavor: multiplex the streams into the triples
+                    // The data arrangement process under test, unfused
+                    // native flavor (kept for A/B against the fused
+                    // ingest): multiplex the streams into the triples
                     // the de-rate-matcher hands the decoder (Fig 8a),
                     // then segregate them with the best real-intrinsics
                     // APCM kernel the host supports.
                     let t0 = Instant::now();
+                    if batching {
+                        // Segregate straight into a pooled buffer and
+                        // stage it — no per-block clone here either.
+                        let mut streams = hot.acquire_streams(k, m);
+                        timed(m, Stage::Arrange, || {
+                            hot.inter.resize(3 * k, 0);
+                            for j in 0..k {
+                                hot.inter[3 * j] = hot.dllr[0][j];
+                                hot.inter[3 * j + 1] = hot.dllr[1][j];
+                                hot.inter[3 * j + 2] = hot.dllr[2][j];
+                            }
+                            vran_arrange::native::deinterleave_into(
+                                vran_arrange::native::best_apcm(),
+                                &hot.inter,
+                                k,
+                                &mut streams,
+                            );
+                        });
+                        nanos.arrangement += t0.elapsed().as_nanos() as u64;
+                        batch_inputs.push(TurboLlrs { k, streams, tails });
+                        continue;
+                    }
                     timed(m, Stage::Arrange, || {
                         hot.inter.resize(3 * k, 0);
                         for j in 0..k {
@@ -1087,21 +1258,6 @@ impl UplinkPipeline {
                         );
                     });
                     nanos.arrangement += t0.elapsed().as_nanos() as u64;
-
-                    if batching {
-                        // Stage this block for the grouped quad/pair
-                        // decode after the loop.
-                        batch_inputs.push(TurboLlrs {
-                            k,
-                            streams: SoftStreams {
-                                sys: hot.arranged.sys.clone(),
-                                p1: hot.arranged.p1.clone(),
-                                p2: hot.arranged.p2.clone(),
-                            },
-                            tails,
-                        });
-                        continue;
-                    }
 
                     let t0 = Instant::now();
                     let di = hot.native_index(k, cfg.decoder_iterations);
@@ -1234,23 +1390,35 @@ impl UplinkPipeline {
                     let bi = hot.batch_index(k, iter_cap);
                     let mut j = idx;
                     while j + QUAD <= end {
-                        let quad: &[TurboLlrs; QUAD] =
-                            batch_inputs[j..j + QUAD].try_into().expect("quad run");
-                        for (o, out) in hot.batches[bi].1.decode_quad(quad).into_iter().enumerate()
-                        {
-                            iterations += out.iterations_run;
-                            hot.bits_pool[j + o] = out.bits;
-                        }
+                        // Staged entry point: the kernels read the
+                        // pooled task buffers in place (no internal
+                        // re-interleave copy) and write bits into the
+                        // reused bit pool.
+                        let inputs: [BlockLlrs<'_>; QUAD] =
+                            core::array::from_fn(|g| BlockLlrs::from_turbo(&batch_inputs[j + g]));
+                        let bits: &mut [Vec<u8>; QUAD] = (&mut hot.bits_pool[j..j + QUAD])
+                            .try_into()
+                            .expect("quad run");
+                        let iters = hot.batches[bi].1.decode_quad_staged_into(
+                            inputs,
+                            &mut hot.batch_scratch,
+                            bits,
+                        );
+                        iterations += QUAD * iters;
                         j += QUAD;
                     }
                     while j + BATCH <= end {
-                        let pair: &[TurboLlrs; BATCH] =
-                            batch_inputs[j..j + BATCH].try_into().expect("pair run");
-                        for (o, out) in hot.batches[bi].1.decode_pair(pair).into_iter().enumerate()
-                        {
-                            iterations += out.iterations_run;
-                            hot.bits_pool[j + o] = out.bits;
-                        }
+                        let inputs: [BlockLlrs<'_>; BATCH] =
+                            core::array::from_fn(|g| BlockLlrs::from_turbo(&batch_inputs[j + g]));
+                        let bits: &mut [Vec<u8>; BATCH] = (&mut hot.bits_pool[j..j + BATCH])
+                            .try_into()
+                            .expect("pair run");
+                        let iters = hot.batches[bi].1.decode_pair_staged_into(
+                            inputs,
+                            &mut hot.batch_scratch,
+                            bits,
+                        );
+                        iterations += BATCH * iters;
                         j += BATCH;
                     }
                     if j < end {
@@ -1284,6 +1452,13 @@ impl UplinkPipeline {
                 }
             }
             nanos.decode += t0.elapsed().as_nanos() as u64;
+            // Decode is done reading the pooled task buffers — return
+            // them to the free list for the next packet's ingest.
+            for t in batch_inputs.drain(..) {
+                if hot.llr_pool.len() < LLR_POOL_CAP {
+                    hot.llr_pool.push(t.streams);
+                }
+            }
         }
 
         if let Some(m) = m {
@@ -1684,6 +1859,142 @@ mod tests {
         assert!(
             metrics.decode_scratch_reuses.get() > 0,
             "warm packet must reuse retained scratch capacity"
+        );
+    }
+
+    #[test]
+    fn fused_ingest_matches_unfused_chain() {
+        // The fused mask/merge ingest replaces de-rate-match copy →
+        // multiplex → APCM de-interleave with one pass; outcomes
+        // (including iteration counts) must be identical, serial and
+        // batched, mono- and multi-block.
+        for batch in [false, true] {
+            for size in [64, 300, 900, 1400] {
+                let fused = run(
+                    PipelineConfig {
+                        batch_decode: batch,
+                        snr_db: 12.0,
+                        ..Default::default()
+                    },
+                    size,
+                );
+                let unfused = run(
+                    PipelineConfig {
+                        batch_decode: batch,
+                        fused_ingest: false,
+                        snr_db: 12.0,
+                        ..Default::default()
+                    },
+                    size,
+                );
+                assert_eq!(
+                    signature(&fused),
+                    signature(&unfused),
+                    "fused vs unfused at size {size}, batch {batch}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_batching_reaches_zero_steady_state_allocation() {
+        // The per-block `SoftStreams` clones are gone: after warm-up,
+        // staging buffers come off the free list (capacity retained)
+        // and no steady-state allocation remains.
+        let metrics = std::sync::Arc::new(crate::metrics::PipelineMetrics::new(true));
+        let cfg = PipelineConfig {
+            batch_decode: true,
+            snr_db: 30.0,
+            ..Default::default()
+        };
+        let pipe = UplinkPipeline::with_metrics(cfg, metrics.clone());
+        let mut b = PacketBuilder::new(1000, 2000);
+        for _ in 0..2 {
+            let p = b.build(Transport::Udp, 1400).unwrap();
+            assert!(pipe.process(&p).is_ok());
+        }
+        let allocs_warm = metrics.staging_allocs.get();
+        let reallocs_warm = metrics.staging_reallocs.get();
+        assert!(allocs_warm > 0, "warm-up must populate the free list");
+        for _ in 0..4 {
+            let p = b.build(Transport::Udp, 1400).unwrap();
+            assert!(pipe.process(&p).is_ok());
+        }
+        assert_eq!(
+            metrics.staging_allocs.get(),
+            allocs_warm,
+            "steady state allocated a fresh stream buffer"
+        );
+        assert_eq!(
+            metrics.staging_reallocs.get(),
+            reallocs_warm,
+            "steady state grew a recycled stream buffer"
+        );
+        assert!(
+            metrics.staging_reuses.get() > 0,
+            "steady state must serve staging from the free list"
+        );
+        assert!(metrics.fused_ingest_blocks.get() > 0);
+        assert!(
+            metrics.arrange_fused().count() > 0,
+            "fused ingest must record its own arrangement histogram"
+        );
+    }
+
+    #[test]
+    fn staging_pool_survives_k_changes_without_fresh_allocation() {
+        // Alternating packet sizes change K per packet; recycled
+        // buffers resize in place. A growth shows up as a
+        // staging_realloc (not a fresh alloc), and once the pool has
+        // seen the largest K, even those stop.
+        let metrics = std::sync::Arc::new(crate::metrics::PipelineMetrics::new(true));
+        let cfg = PipelineConfig {
+            batch_decode: true,
+            snr_db: 30.0,
+            ..Default::default()
+        };
+        let pipe = UplinkPipeline::with_metrics(cfg, metrics.clone());
+        let mut b = PacketBuilder::new(1000, 2000);
+        let sizes = [64usize, 900, 300, 1400];
+        for &s in sizes.iter().cycle().take(8) {
+            let p = b.build(Transport::Udp, s).unwrap();
+            assert!(pipe.process(&p).is_ok());
+        }
+        let allocs_warm = metrics.staging_allocs.get();
+        let reallocs_warm = metrics.staging_reallocs.get();
+        for &s in sizes.iter().cycle().take(8) {
+            let p = b.build(Transport::Udp, s).unwrap();
+            assert!(pipe.process(&p).is_ok());
+        }
+        assert_eq!(metrics.staging_allocs.get(), allocs_warm);
+        assert_eq!(
+            metrics.staging_reallocs.get(),
+            reallocs_warm,
+            "pool capacity must cover every K after one full cycle"
+        );
+    }
+
+    #[test]
+    fn degraded_pipeline_counts_fused_fallbacks() {
+        // When the ladder demotes Native → Scalar, requested fused
+        // ingest cannot run; the fallback counter says so.
+        let metrics = std::sync::Arc::new(crate::metrics::PipelineMetrics::new(true));
+        let cfg = PipelineConfig {
+            modulation: Modulation::Qam64,
+            snr_db: -10.0,
+            decoder_iterations: 2,
+            ..Default::default()
+        };
+        let pipe = UplinkPipeline::with_metrics(cfg, metrics.clone());
+        let mut b = PacketBuilder::new(1000, 2000);
+        for _ in 0..DEGRADE_AFTER + 2 {
+            let p = b.build(Transport::Udp, 128).unwrap();
+            let _ = pipe.process(&p);
+        }
+        assert!(pipe.is_degraded(), "hopeless SNR must degrade the ladder");
+        assert!(
+            metrics.fused_ingest_fallbacks.get() > 0,
+            "degraded blocks must count as fused-ingest fallbacks"
         );
     }
 

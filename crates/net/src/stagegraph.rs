@@ -76,7 +76,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vran_phy::llr::TurboLlrs;
 use vran_phy::turbo::native_batch::{BATCH, QUAD};
-use vran_phy::turbo::{DecodeScratch, NativeBatchTurboDecoder, NativeTurboDecoder};
+use vran_phy::turbo::{
+    BatchScratch, BlockLlrs, DecodeScratch, NativeBatchTurboDecoder, NativeTurboDecoder,
+};
 
 /// Why a decode pool launched before (or at) lane width.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -189,6 +191,15 @@ pub struct StageGraph {
     /// (same max-iteration construction as the pipeline's own cache).
     singles: Vec<NativeTurboDecoder>,
     scratch: DecodeScratch,
+    /// Staged-batch-decoder working buffers, shared across pools and
+    /// launches (capacity retained — the quad/pair kernels read the
+    /// pooled task buffers in place, so this is the only decode-side
+    /// staging left).
+    batch_scratch: BatchScratch,
+    /// Per-lane decoded-bit landing buffers, reused across launches;
+    /// the scatter step copies each lane's `K` bytes into the owning
+    /// ROB slot (bits are small — the zero-copy claim is the LLRs).
+    lane_bits: [Vec<u8>; QUAD],
     /// Admission counter (the age clock).
     tick: u64,
     /// Per-UE: next sequence number to assign at admission.
@@ -228,6 +239,8 @@ impl StageGraph {
             pools: Vec::new(),
             singles: Vec::new(),
             scratch: DecodeScratch::default(),
+            batch_scratch: BatchScratch::default(),
+            lane_bits: Default::default(),
             tick: 0,
             next_seq: HashMap::new(),
             next_deliver: HashMap::new(),
@@ -460,40 +473,45 @@ impl StageGraph {
         let iter_cap = pool.iter_cap;
         let k = pool.k;
         let n = tasks.len();
-        let mut outcomes = Vec::with_capacity(n);
         let mut j = 0;
         let mut total_decode_ns = 0u64;
         while j + QUAD <= n {
+            // Staged launch: the quad kernel reads the pooled task
+            // stream buffers in place — no per-launch re-staging copy —
+            // and lands bits in the reused lane buffers.
             let t0 = Instant::now();
-            let outs = self.pools[pi].dec.decode_quad_refs([
-                &tasks[j].task,
-                &tasks[j + 1].task,
-                &tasks[j + 2].task,
-                &tasks[j + 3].task,
-            ]);
+            let inputs: [BlockLlrs<'_>; QUAD] =
+                std::array::from_fn(|g| BlockLlrs::from_turbo(&tasks[j + g].task));
+            let iters = self.pools[pi].dec.decode_quad_staged_into(
+                inputs,
+                &mut self.batch_scratch,
+                &mut self.lane_bits,
+            );
             let ns = t0.elapsed().as_nanos() as u64;
             total_decode_ns += ns;
             if let Some(m) = &self.metrics {
                 m.record_launch(QUAD);
             }
-            for out in outs {
-                outcomes.push((out, ns / QUAD as u64));
-            }
+            self.scatter(&tasks[j..j + QUAD], iters, ns / QUAD as u64);
             j += QUAD;
         }
         while j + BATCH <= n {
             let t0 = Instant::now();
-            let outs = self.pools[pi]
-                .dec
-                .decode_pair_refs([&tasks[j].task, &tasks[j + 1].task]);
+            let inputs: [BlockLlrs<'_>; BATCH] =
+                std::array::from_fn(|g| BlockLlrs::from_turbo(&tasks[j + g].task));
+            let bits: &mut [Vec<u8>; BATCH] = (&mut self.lane_bits[..BATCH])
+                .try_into()
+                .expect("pair lanes");
+            let iters =
+                self.pools[pi]
+                    .dec
+                    .decode_pair_staged_into(inputs, &mut self.batch_scratch, bits);
             let ns = t0.elapsed().as_nanos() as u64;
             total_decode_ns += ns;
             if let Some(m) = &self.metrics {
                 m.record_launch(BATCH);
             }
-            for out in outs {
-                outcomes.push((out, ns / BATCH as u64));
-            }
+            self.scatter(&tasks[j..j + BATCH], iters, ns / BATCH as u64);
             j += BATCH;
         }
         if j < n {
@@ -508,7 +526,6 @@ impl StageGraph {
                 }
             };
             let input = &tasks[j].task;
-            let mut bits = Vec::new();
             let t0 = Instant::now();
             let (iters, _) = self.singles[si].decode_streams_capped_into(
                 &input.streams.sys,
@@ -518,47 +535,57 @@ impl StageGraph {
                 iter_cap,
                 None,
                 &mut self.scratch,
-                &mut bits,
+                &mut self.lane_bits[0],
             );
             let ns = t0.elapsed().as_nanos() as u64;
             total_decode_ns += ns;
             if let Some(m) = &self.metrics {
                 m.record_launch(1);
             }
-            outcomes.push((
-                vran_phy::turbo::DecodeOutcome {
-                    bits,
-                    iterations_run: iters,
-                    crc_ok: None,
-                },
-                ns,
-            ));
+            self.scatter(&tasks[j..j + 1], iters, ns);
         }
         if let Some(pm) = self.pipe.metrics().filter(|m| m.is_enabled()) {
             pm.record_stage(Stage::Decode, total_decode_ns);
         }
 
-        // Scatter outcomes to slots; retire slots whose last block
-        // just decoded.
-        for (t, (out, share_ns)) in tasks.iter().zip(outcomes) {
+        // Retire slots whose last block this flush decoded, then hand
+        // the task stream buffers back to the pipeline's free list so
+        // the next admissions' ingest reuses their capacity.
+        for t in &tasks {
+            let done = match &self.slots[t.slot as usize].entry {
+                Some(e) if e.remaining == 0 => {
+                    self.slots[t.slot as usize].entry.take().expect("occupied")
+                }
+                _ => continue,
+            };
+            self.release_slot(t.slot);
+            self.in_flight -= 1;
+            self.pipe.set_trace_ue(done.ue);
+            let result = self
+                .pipe
+                .complete(done.prep, &done.bits, done.iterations, done.decode_ns);
+            self.retire(done.ue, done.seq, result);
+        }
+        for t in tasks {
+            self.pipe.recycle_streams(t.task.streams);
+        }
+    }
+
+    /// Copy each lane's decoded bits into the owning ROB slot and
+    /// credit the launch's iterations and wall-clock share. `run`
+    /// aligns with `lane_bits[..run.len()]`.
+    fn scatter(&mut self, run: &[PoolTask], iters: usize, share_ns: u64) {
+        for (lane, t) in run.iter().enumerate() {
             let entry = self.slots[t.slot as usize]
                 .entry
                 .as_mut()
                 .expect("pool task points at an occupied slot");
-            entry.bits[t.block] = out.bits;
-            entry.iterations += out.iterations_run;
+            let dst = &mut entry.bits[t.block];
+            dst.clear();
+            dst.extend_from_slice(&self.lane_bits[lane]);
+            entry.iterations += iters;
             entry.decode_ns += share_ns;
             entry.remaining -= 1;
-            if entry.remaining == 0 {
-                let done = self.slots[t.slot as usize].entry.take().expect("occupied");
-                self.release_slot(t.slot);
-                self.in_flight -= 1;
-                self.pipe.set_trace_ue(done.ue);
-                let result =
-                    self.pipe
-                        .complete(done.prep, &done.bits, done.iterations, done.decode_ns);
-                self.retire(done.ue, done.seq, result);
-            }
         }
     }
 

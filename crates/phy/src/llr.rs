@@ -109,6 +109,22 @@ impl TailLlrs {
             p2: [d1[k + 2], d0[k + 3], d2[k + 3]],
         }
     }
+
+    /// [`TailLlrs::from_dstreams`] over the triple-interleaved layout
+    /// instead: `inter` holds `[d⁽⁰⁾ⱼ d⁽¹⁾ⱼ d⁽²⁾ⱼ]` triples for
+    /// `j = 0..K+4` (the fused-ingest de-rate-match output,
+    /// `RateMatcher::try_de_rate_match_interleaved_into`), so stream
+    /// `s` position `j` is `inter[3j + s]`.
+    pub fn from_interleaved(inter: &[Llr], k: usize) -> Self {
+        assert!(inter.len() >= 3 * (k + 4), "need K+4 interleaved triples");
+        let at = |s: usize, j: usize| inter[3 * j + s];
+        Self {
+            sys1: [at(0, k), at(2, k), at(1, k + 1)],
+            p1: [at(1, k), at(0, k + 1), at(2, k + 1)],
+            sys2: [at(0, k + 2), at(2, k + 2), at(1, k + 3)],
+            p2: [at(1, k + 2), at(0, k + 3), at(2, k + 3)],
+        }
+    }
 }
 
 /// Complete decoder input for one code block.

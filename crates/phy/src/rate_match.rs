@@ -109,14 +109,30 @@ fn circular_buffer_map(d: usize) -> Vec<usize> {
 pub struct RateMatcher {
     d: usize,
     wmap: Vec<usize>,
+    /// `wmap` retargeted at the triple-interleaved output layout:
+    /// flat position `p` of `[d0|d1|d2]` becomes `3·(p mod d) + p/d`
+    /// (hoisting the div/mod out of the per-LLR accumulation loop).
+    wmap_inter: Vec<usize>,
 }
 
 impl RateMatcher {
     /// For per-stream length `d = K + 4`.
     pub fn new(d: usize) -> Self {
+        let wmap = circular_buffer_map(d);
+        let wmap_inter = wmap
+            .iter()
+            .map(|&p| {
+                if p == usize::MAX {
+                    usize::MAX
+                } else {
+                    3 * (p % d) + p / d
+                }
+            })
+            .collect();
         Self {
             d,
-            wmap: circular_buffer_map(d),
+            wmap,
+            wmap_inter,
         }
     }
 
@@ -211,6 +227,38 @@ impl RateMatcher {
             let p = self.wmap[k % ncb];
             if p != usize::MAX {
                 let slot = &mut out[p / d][p % d];
+                *slot = adds16(*slot, llrs[consumed]);
+                consumed += 1;
+            }
+            k += 1;
+        }
+        Ok(())
+    }
+
+    /// Triple-interleaved variant of
+    /// [`RateMatcher::try_de_rate_match_into`]: accumulates straight
+    /// into a single `3d` buffer holding `[d⁽⁰⁾ⱼ d⁽¹⁾ⱼ d⁽²⁾ⱼ]` triples —
+    /// the demapper-output cluster layout (paper Fig 8a) the fused
+    /// APCM ingest kernels consume. Positions `3K..` carry the four
+    /// tail triples, so [`crate::llr::TailLlrs::from_interleaved`]
+    /// reads terminations from the same buffer. Chase combining and
+    /// puncture-as-zero semantics are identical to the per-stream
+    /// variant.
+    pub fn try_de_rate_match_interleaved_into(
+        &self,
+        llrs: &[Llr],
+        rv: usize,
+        out: &mut Vec<Llr>,
+    ) -> Result<(), RateMatchError> {
+        let mut k = self.try_k0(rv)?;
+        out.resize(3 * self.d, 0);
+        out.fill(0);
+        let ncb = self.ncb();
+        let mut consumed = 0;
+        while consumed < llrs.len() {
+            let p = self.wmap_inter[k % ncb];
+            if p != usize::MAX {
+                let slot = &mut out[p];
                 *slot = adds16(*slot, llrs[consumed]);
                 consumed += 1;
             }
@@ -925,6 +973,56 @@ mod tests {
                 assert_eq!(l.abs(), 100, "each position combined twice: {l}");
             }
         }
+    }
+
+    #[test]
+    fn interleaved_de_rate_match_matches_per_stream_variant() {
+        // The fused-ingest input layout must be a pure re-indexing of
+        // the per-stream de-rate-match: identical chase combining,
+        // identical punctures, and the tails readable in place.
+        use crate::llr::TailLlrs;
+        for d in [44usize, 108, 2052] {
+            let rm = RateMatcher::new(d);
+            let streams = dstreams(d, d as u64 + 13);
+            for rv in 0..4 {
+                for e in [100usize, 3 * d, 3 * d * 2 + 7] {
+                    let tx = rm.rate_match(&streams, e, rv);
+                    let llrs: Vec<Llr> =
+                        tx.iter().map(|&b| if b == 0 { 60 } else { -60 }).collect();
+                    let mut per_stream = [Vec::new(), Vec::new(), Vec::new()];
+                    rm.try_de_rate_match_into(&llrs, rv, &mut per_stream)
+                        .unwrap();
+                    let mut inter = Vec::new();
+                    rm.try_de_rate_match_interleaved_into(&llrs, rv, &mut inter)
+                        .unwrap();
+                    assert_eq!(inter.len(), 3 * d);
+                    for j in 0..d {
+                        for s in 0..3 {
+                            assert_eq!(
+                                inter[3 * j + s],
+                                per_stream[s][j],
+                                "d={d} rv={rv} e={e} stream {s} pos {j}"
+                            );
+                        }
+                    }
+                    let k = d - 4;
+                    assert_eq!(
+                        TailLlrs::from_interleaved(&inter, k),
+                        TailLlrs::from_dstreams(&per_stream, k),
+                        "d={d} rv={rv} e={e} tails"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_de_rate_match_rejects_bad_rv() {
+        let rm = RateMatcher::new(44);
+        let mut out = Vec::new();
+        assert!(rm
+            .try_de_rate_match_interleaved_into(&[0; 16], 4, &mut out)
+            .is_err());
     }
 
     #[test]

@@ -36,6 +36,6 @@ pub mod trellis;
 
 pub use decoder::{DecodeOutcome, TurboDecoder};
 pub use encoder::{TurboCodeword, TurboEncoder};
-pub use native_batch::NativeBatchTurboDecoder;
+pub use native_batch::{BatchScratch, BlockLlrs, NativeBatchTurboDecoder};
 pub use native_decoder::{DecodeScratch, DecoderIsa, NativeTurboDecoder};
 pub use packed_encoder::{EncodeScratch, EncoderIsa, PackedTurboEncoder};

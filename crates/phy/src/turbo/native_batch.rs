@@ -19,9 +19,10 @@
 //! CRC early stop (`crc_ok: None`).
 
 use super::decoder::{beta_init_from_tails, scale_extrinsic, DecodeOutcome, NEG_INF};
+use super::native_decoder::{DecodeScratch, NativeTurboDecoder};
 use super::trellis::STATES;
 use crate::interleaver::QppInterleaver;
-use crate::llr::{llr_to_bit, Llr, TurboLlrs};
+use crate::llr::{llr_to_bit, Llr, SoftStreams, TailLlrs, TurboLlrs};
 use vran_simd::host::{self, HostIsa};
 
 /// Number of blocks decoded per ymm pass.
@@ -29,6 +30,113 @@ pub const BATCH: usize = 2;
 
 /// Number of blocks decoded per zmm pass.
 pub const QUAD: usize = 4;
+
+/// Borrowed per-block decoder input for the staged (zero-copy) batch
+/// entry points: the three arranged streams live wherever the caller
+/// staged them — pooled [`SoftStreams`], fused-ingest buffers — and
+/// the kernel reads them in place, with no block-major gather copy.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockLlrs<'a> {
+    /// Systematic LLRs, length K.
+    pub sys: &'a [Llr],
+    /// First parity LLRs, length K.
+    pub p1: &'a [Llr],
+    /// Second parity LLRs, length K.
+    pub p2: &'a [Llr],
+    /// Termination LLRs.
+    pub tails: TailLlrs,
+}
+
+impl<'a> BlockLlrs<'a> {
+    /// Borrow a [`TurboLlrs`]'s streams in place.
+    pub fn from_turbo(t: &'a TurboLlrs) -> Self {
+        Self {
+            sys: &t.streams.sys,
+            p1: &t.streams.p1,
+            p2: &t.streams.p2,
+            tails: t.tails,
+        }
+    }
+
+    /// Borrow staged [`SoftStreams`] with their termination LLRs.
+    pub fn from_streams(s: &'a SoftStreams, tails: TailLlrs) -> Self {
+        Self {
+            sys: &s.sys,
+            p1: &s.p1,
+            p2: &s.p2,
+            tails,
+        }
+    }
+}
+
+/// Reusable batch-decode working memory — the [`DecodeScratch`] idiom
+/// widened to N blocks: the interleaved branch metrics, the α trellis,
+/// extrinsic/a-priori buffers and the permuted-systematic staging.
+/// Owned by long-lived callers (stage-graph batch pools, the uplink
+/// pipeline) so steady-state batch decodes perform no heap allocation;
+/// the counters make that claim checkable.
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    sys_pi: Vec<Llr>,
+    g0: Vec<Llr>,
+    gp: Vec<Llr>,
+    alpha: Vec<Llr>,
+    ext: Vec<Llr>,
+    post: Vec<i32>,
+    la1: Vec<Llr>,
+    la2: Vec<Llr>,
+    /// Degradation-tier scratch for the single-block decodes the pair
+    /// path falls back to without AVX2.
+    single: DecodeScratch,
+    allocations: u64,
+    reuses: u64,
+}
+
+impl BatchScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Size every buffer for `blocks` blocks of length `k`, growing
+    /// only when the retained capacity is insufficient.
+    #[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
+    fn ensure(&mut self, k: usize, blocks: usize) {
+        let n = blocks * k;
+        let mut grew = false;
+        {
+            let mut fit = |v: &mut Vec<Llr>, len: usize| {
+                grew |= v.capacity() < len;
+                v.resize(len, 0);
+            };
+            fit(&mut self.sys_pi, n);
+            fit(&mut self.g0, n);
+            fit(&mut self.gp, n);
+            fit(&mut self.alpha, (k + 1) * blocks * STATES);
+            fit(&mut self.ext, n);
+            fit(&mut self.la1, n);
+            fit(&mut self.la2, n);
+        }
+        grew |= self.post.capacity() < n;
+        self.post.resize(n, 0);
+        if grew {
+            self.allocations += 1;
+        } else {
+            self.reuses += 1;
+        }
+    }
+
+    /// Times `ensure` had to grow at least one buffer.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Times `ensure` was served entirely from retained capacity
+    /// (i.e. heap allocations avoided).
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+}
 
 /// Batched decoder: two equal-size blocks per ymm pass on AVX2
 /// hardware, four per zmm pass on AVX-512BW, falling back to
@@ -90,15 +198,63 @@ impl NativeBatchTurboDecoder {
         for input in inputs.iter() {
             assert_eq!(input.k, k, "both blocks in a batch share K");
         }
+        let mut scratch = BatchScratch::new();
+        let mut bits: [Vec<u8>; BATCH] = core::array::from_fn(|_| Vec::new());
+        let iterations_run = self.decode_pair_staged_into(
+            inputs.map(BlockLlrs::from_turbo),
+            &mut scratch,
+            &mut bits,
+        );
+        bits.map(|b| DecodeOutcome {
+            bits: b,
+            iterations_run,
+            crc_ok: None,
+        })
+    }
+
+    /// Zero-copy pair decode: the kernel reads the arranged streams in
+    /// place from wherever the caller staged them and writes the hard
+    /// decisions into caller-owned bit buffers, allocation-free once
+    /// `scratch` and `bits` have warmed to this block size. Runs all
+    /// configured iterations (no CRC early stop) and returns the count.
+    /// Without AVX2 it degrades to two single-block native decodes —
+    /// identical outputs by same-op/same-order construction.
+    pub fn decode_pair_staged_into(
+        &self,
+        inputs: [BlockLlrs<'_>; BATCH],
+        scratch: &mut BatchScratch,
+        bits: &mut [Vec<u8>; BATCH],
+    ) -> usize {
+        let k = self.il.k();
+        for b in inputs.iter() {
+            assert!(
+                b.sys.len() == k && b.p1.len() == k && b.p2.len() == k,
+                "both blocks in a batch share K"
+            );
+        }
         if !self.use_avx2 {
             // Portable path: two single-block native decodes have
             // identical semantics (fixed iterations, no CRC).
-            let single = super::native_decoder::NativeTurboDecoder::new(k, self.max_iterations);
-            return [single.decode(inputs[0]), single.decode(inputs[1])];
+            let single = NativeTurboDecoder::new(k, self.max_iterations);
+            let mut iterations_run = 0;
+            for (out, input) in bits.iter_mut().zip(inputs) {
+                let (it, _) = single.decode_streams_capped_into(
+                    input.sys,
+                    input.p1,
+                    input.p2,
+                    &input.tails,
+                    self.max_iterations,
+                    None,
+                    &mut scratch.single,
+                    out,
+                );
+                iterations_run = it;
+            }
+            return iterations_run;
         }
         #[cfg(target_arch = "x86_64")]
         {
-            self.decode_pair_avx2(inputs)
+            self.decode_pair_staged_avx2(inputs, scratch, bits)
         }
         #[cfg(not(target_arch = "x86_64"))]
         unreachable!("use_avx2 implies x86_64")
@@ -120,44 +276,87 @@ impl NativeBatchTurboDecoder {
         for input in inputs.iter() {
             assert_eq!(input.k, k, "all blocks in a batch share K");
         }
+        let mut scratch = BatchScratch::new();
+        let mut bits: [Vec<u8>; QUAD] = core::array::from_fn(|_| Vec::new());
+        let iterations_run = self.decode_quad_staged_into(
+            inputs.map(BlockLlrs::from_turbo),
+            &mut scratch,
+            &mut bits,
+        );
+        bits.map(|b| DecodeOutcome {
+            bits: b,
+            iterations_run,
+            crc_ok: None,
+        })
+    }
+
+    /// Zero-copy quad decode (see [`Self::decode_pair_staged_into`]):
+    /// reads four staged blocks in place, writes hard decisions into
+    /// caller-owned bit buffers, allocation-free after warm-up. Without
+    /// AVX-512BW this degrades to two staged pair decodes (which
+    /// themselves degrade to four single-block decodes without AVX2) —
+    /// identical outputs on every tier.
+    pub fn decode_quad_staged_into(
+        &self,
+        inputs: [BlockLlrs<'_>; QUAD],
+        scratch: &mut BatchScratch,
+        bits: &mut [Vec<u8>; QUAD],
+    ) -> usize {
+        let k = self.il.k();
+        for b in inputs.iter() {
+            assert!(
+                b.sys.len() == k && b.p1.len() == k && b.p2.len() == k,
+                "all blocks in a batch share K"
+            );
+        }
         if !self.use_avx512 {
-            let [a, b] = self.decode_pair_refs([inputs[0], inputs[1]]);
-            let [c, d] = self.decode_pair_refs([inputs[2], inputs[3]]);
-            return [a, b, c, d];
+            let [i0, i1, i2, i3] = inputs;
+            let (lo, hi) = bits.split_at_mut(BATCH);
+            let lo: &mut [Vec<u8>; BATCH] = lo.try_into().unwrap();
+            let hi: &mut [Vec<u8>; BATCH] = hi.try_into().unwrap();
+            let iterations_run = self.decode_pair_staged_into([i0, i1], scratch, lo);
+            let hi_run = self.decode_pair_staged_into([i2, i3], scratch, hi);
+            debug_assert_eq!(iterations_run, hi_run);
+            return iterations_run;
         }
         #[cfg(target_arch = "x86_64")]
         {
-            self.decode_quad_avx512(inputs)
+            self.decode_quad_staged_avx512(inputs, scratch, bits)
         }
         #[cfg(not(target_arch = "x86_64"))]
         unreachable!("use_avx512 implies x86_64")
     }
 
     #[cfg(target_arch = "x86_64")]
-    fn decode_quad_avx512(&self, inputs: [&TurboLlrs; QUAD]) -> [DecodeOutcome; QUAD] {
+    fn decode_quad_staged_avx512(
+        &self,
+        inputs: [BlockLlrs<'_>; QUAD],
+        scratch: &mut BatchScratch,
+        bits: &mut [Vec<u8>; QUAD],
+    ) -> usize {
         let k = self.il.k();
-        let n = QUAD * k;
-
-        // Block-major staging: `[g*k .. (g+1)*k)` = block g.
-        let stage = |f: fn(&TurboLlrs) -> &[Llr]| -> Vec<Llr> {
-            let mut v = Vec::with_capacity(n);
-            for &input in inputs.iter() {
-                v.extend_from_slice(f(input));
-            }
-            v
-        };
-        let sys = stage(|i| &i.streams.sys);
-        let p1 = stage(|i| &i.streams.p1);
-        let p2 = stage(|i| &i.streams.p2);
-        let mut sys_pi = vec![0 as Llr; n];
+        scratch.ensure(k, QUAD);
+        let BatchScratch {
+            sys_pi,
+            g0,
+            gp,
+            alpha,
+            ext,
+            post,
+            la1,
+            la2,
+            ..
+        } = scratch;
+        // Only the permuted systematic needs staging — the kernel
+        // reads `sys`/`p1`/`p2` in place from the caller's buffers.
         for (g, input) in inputs.iter().enumerate() {
             for j in 0..k {
-                sys_pi[g * k + j] = input.streams.sys[self.il.pi(j)];
+                sys_pi[g * k + j] = input.sys[self.il.pi(j)];
             }
         }
         let binit = |second: bool| -> [Llr; QUAD * STATES] {
             let mut b = [0 as Llr; QUAD * STATES];
-            for (g, &input) in inputs.iter().enumerate() {
+            for (g, input) in inputs.iter().enumerate() {
                 let (ts, tp) = if second {
                     (&input.tails.sys2, &input.tails.p2)
                 } else {
@@ -169,27 +368,24 @@ impl NativeBatchTurboDecoder {
         };
         let binit1 = binit(false);
         let binit2 = binit(true);
-
-        // `g0`/`gp`/`ext` are *quad-interleaved* (`[4*step + block]`)
-        // so the kernel can broadcast all four blocks' branch metric
-        // with one qword load; `post` is dword-stride like the pair
-        // kernel's (low 16 bits per entry are the payload).
-        let mut g0 = vec![0 as Llr; n];
-        let mut gp = vec![0 as Llr; n];
-        let mut alpha = vec![0 as Llr; (k + 1) * QUAD * STATES];
-        let mut ext = vec![0 as Llr; n];
-        let mut post = vec![0i32; n];
-        let mut la1 = vec![0 as Llr; n];
-        let mut la2 = vec![0 as Llr; n];
-        let mut bits: [Vec<u8>; QUAD] = core::array::from_fn(|_| vec![0u8; k]);
+        la1.fill(0);
+        for out in bits.iter_mut() {
+            out.resize(k, 0);
+        }
+        // Block-major scratch (`la1`/`la2`/`sys_pi`) splits into the
+        // same per-block slice quads the caller's buffers arrive as.
+        fn parts<const N: usize>(v: &[Llr], k: usize) -> [&[Llr]; N] {
+            core::array::from_fn(|g| &v[g * k..(g + 1) * k])
+        }
+        let sys: [&[Llr]; QUAD] = core::array::from_fn(|g| inputs[g].sys);
+        let p1: [&[Llr]; QUAD] = core::array::from_fn(|g| inputs[g].p1);
+        let p2: [&[Llr]; QUAD] = core::array::from_fn(|g| inputs[g].p2);
 
         let mut iterations_run = 0;
         for _ in 0..self.max_iterations {
             iterations_run += 1;
             unsafe {
-                x86::siso_quad_avx512(
-                    &sys, &p1, &la1, &binit1, &mut g0, &mut gp, &mut alpha, &mut ext, &mut post,
-                );
+                x86::siso_quad_avx512(sys, p1, parts(la1, k), &binit1, g0, gp, alpha, ext, post);
             }
             for g in 0..QUAD {
                 for j in 0..k {
@@ -198,7 +394,15 @@ impl NativeBatchTurboDecoder {
             }
             unsafe {
                 x86::siso_quad_avx512(
-                    &sys_pi, &p2, &la2, &binit2, &mut g0, &mut gp, &mut alpha, &mut ext, &mut post,
+                    parts(sys_pi, k),
+                    p2,
+                    parts(la2, k),
+                    &binit2,
+                    g0,
+                    gp,
+                    alpha,
+                    ext,
+                    post,
                 );
             }
             for g in 0..QUAD {
@@ -212,32 +416,34 @@ impl NativeBatchTurboDecoder {
                 }
             }
         }
-        bits.map(|b| DecodeOutcome {
-            bits: b,
-            iterations_run,
-            crc_ok: None,
-        })
+        iterations_run
     }
 
     #[cfg(target_arch = "x86_64")]
-    fn decode_pair_avx2(&self, inputs: [&TurboLlrs; BATCH]) -> [DecodeOutcome; BATCH] {
+    fn decode_pair_staged_avx2(
+        &self,
+        inputs: [BlockLlrs<'_>; BATCH],
+        scratch: &mut BatchScratch,
+        bits: &mut [Vec<u8>; BATCH],
+    ) -> usize {
         let k = self.il.k();
-        let n = BATCH * k;
-
-        // Block-major staging: [0..k) = block 0, [k..2k) = block 1.
-        let stage = |f: fn(&TurboLlrs) -> &[Llr]| -> Vec<Llr> {
-            let mut v = Vec::with_capacity(n);
-            v.extend_from_slice(f(inputs[0]));
-            v.extend_from_slice(f(inputs[1]));
-            v
-        };
-        let sys = stage(|i| &i.streams.sys);
-        let p1 = stage(|i| &i.streams.p1);
-        let p2 = stage(|i| &i.streams.p2);
-        let mut sys_pi = vec![0 as Llr; n];
+        scratch.ensure(k, BATCH);
+        let BatchScratch {
+            sys_pi,
+            g0,
+            gp,
+            alpha,
+            ext,
+            post,
+            la1,
+            la2,
+            ..
+        } = scratch;
+        // Only the permuted systematic needs staging — the kernel
+        // reads `sys`/`p1`/`p2` in place from the caller's buffers.
         for (g, input) in inputs.iter().enumerate() {
             for j in 0..k {
-                sys_pi[g * k + j] = input.streams.sys[self.il.pi(j)];
+                sys_pi[g * k + j] = input.sys[self.il.pi(j)];
             }
         }
         let binit = |second: bool| -> [Llr; BATCH * STATES] {
@@ -254,27 +460,22 @@ impl NativeBatchTurboDecoder {
         };
         let binit1 = binit(false);
         let binit2 = binit(true);
-
-        // `g0`/`gp`/`ext` are *pair-interleaved* (`[2*step + block]`)
-        // so the kernel can broadcast both blocks' branch metric with
-        // one dword load; `post` is dword-stride like the single-block
-        // kernel's (low 16 bits per entry are the payload).
-        let mut g0 = vec![0 as Llr; n];
-        let mut gp = vec![0 as Llr; n];
-        let mut alpha = vec![0 as Llr; (k + 1) * BATCH * STATES];
-        let mut ext = vec![0 as Llr; n];
-        let mut post = vec![0i32; n];
-        let mut la1 = vec![0 as Llr; n];
-        let mut la2 = vec![0 as Llr; n];
-        let mut bits = [vec![0u8; k], vec![0u8; k]];
+        la1.fill(0);
+        for out in bits.iter_mut() {
+            out.resize(k, 0);
+        }
+        fn parts<const N: usize>(v: &[Llr], k: usize) -> [&[Llr]; N] {
+            core::array::from_fn(|g| &v[g * k..(g + 1) * k])
+        }
+        let sys: [&[Llr]; BATCH] = core::array::from_fn(|g| inputs[g].sys);
+        let p1: [&[Llr]; BATCH] = core::array::from_fn(|g| inputs[g].p1);
+        let p2: [&[Llr]; BATCH] = core::array::from_fn(|g| inputs[g].p2);
 
         let mut iterations_run = 0;
         for _ in 0..self.max_iterations {
             iterations_run += 1;
             unsafe {
-                x86::siso_pair_avx2(
-                    &sys, &p1, &la1, &binit1, &mut g0, &mut gp, &mut alpha, &mut ext, &mut post,
-                );
+                x86::siso_pair_avx2(sys, p1, parts(la1, k), &binit1, g0, gp, alpha, ext, post);
             }
             for g in 0..BATCH {
                 for j in 0..k {
@@ -283,7 +484,15 @@ impl NativeBatchTurboDecoder {
             }
             unsafe {
                 x86::siso_pair_avx2(
-                    &sys_pi, &p2, &la2, &binit2, &mut g0, &mut gp, &mut alpha, &mut ext, &mut post,
+                    parts(sys_pi, k),
+                    p2,
+                    parts(la2, k),
+                    &binit2,
+                    g0,
+                    gp,
+                    alpha,
+                    ext,
+                    post,
                 );
             }
             for g in 0..BATCH {
@@ -297,19 +506,7 @@ impl NativeBatchTurboDecoder {
                 }
             }
         }
-        let [b0, b1] = bits;
-        [
-            DecodeOutcome {
-                bits: b0,
-                iterations_run,
-                crc_ok: None,
-            },
-            DecodeOutcome {
-                bits: b1,
-                iterations_run,
-                crc_ok: None,
-            },
-        ]
+        iterations_run
     }
 }
 
@@ -421,16 +618,17 @@ mod x86 {
     }
 
     /// One fused SISO pass over two blocks. `sys`/`par`/`apriori` are
-    /// block-major (`[0..k)` = block 0, `[k..2k)` = block 1); `g0`,
-    /// `gp` and `ext` are written pair-interleaved (`[2*step+block]`),
-    /// `post` is dword-stride pair-interleaved; `alpha` holds
-    /// `(K+1) × 16` lanes, `binit` the two blocks' β terminations.
+    /// per-block slices read in place (no block-major staging copy);
+    /// `g0`, `gp` and `ext` are written pair-interleaved
+    /// (`[2*step+block]`), `post` is dword-stride pair-interleaved;
+    /// `alpha` holds `(K+1) × 16` lanes, `binit` the two blocks' β
+    /// terminations.
     #[allow(clippy::too_many_arguments)]
     #[target_feature(enable = "avx2")]
     pub unsafe fn siso_pair_avx2(
-        sys: &[Llr],
-        par: &[Llr],
-        apriori: &[Llr],
+        sys: [&[Llr]; BATCH],
+        par: [&[Llr]; BATCH],
+        apriori: [&[Llr]; BATCH],
         binit: &[Llr; BATCH * STATES],
         g0: &mut [Llr],
         gp: &mut [Llr],
@@ -438,9 +636,12 @@ mod x86 {
         ext: &mut [Llr],
         post: &mut [i32],
     ) {
-        let n = sys.len();
-        let k = n / BATCH;
-        debug_assert!(k.is_multiple_of(STATES) && par.len() == n && apriori.len() == n);
+        let k = sys[0].len();
+        let n = BATCH * k;
+        debug_assert!(k.is_multiple_of(STATES));
+        debug_assert!(sys.iter().all(|s| s.len() == k));
+        debug_assert!(par.iter().all(|s| s.len() == k));
+        debug_assert!(apriori.iter().all(|s| s.len() == k));
         debug_assert!(g0.len() == n && gp.len() == n);
         debug_assert!(ext.len() == n && post.len() == n);
         debug_assert!(alpha.len() == (k + 1) * BATCH * STATES);
@@ -452,10 +653,10 @@ mod x86 {
         // load.
         let mut i = 0;
         while i < k {
-            let pair = |buf: &[Llr]| {
+            let pair = |bufs: [&[Llr]; BATCH]| {
                 (
-                    _mm_loadu_si128(buf.as_ptr().add(i) as *const __m128i),
-                    _mm_loadu_si128(buf.as_ptr().add(k + i) as *const __m128i),
+                    _mm_loadu_si128(bufs[0].as_ptr().add(i) as *const __m128i),
+                    _mm_loadu_si128(bufs[1].as_ptr().add(i) as *const __m128i),
                 )
             };
             let (ls0, ls1) = pair(sys);
@@ -632,16 +833,17 @@ mod x86 {
     /// One fused SISO pass over four blocks: the zmm widening of
     /// [`siso_pair_avx2`], each 128-bit lane running the identical
     /// instruction sequence on its own block. `sys`/`par`/`apriori`
-    /// are block-major; `g0`, `gp` and `ext` are written
-    /// quad-interleaved (`[4*step+block]`), `post` is dword-stride
-    /// quad-interleaved; `alpha` holds `(K+1) × 32` lanes, `binit` the
-    /// four blocks' β terminations.
+    /// are per-block slices read in place (no block-major staging
+    /// copy); `g0`, `gp` and `ext` are written quad-interleaved
+    /// (`[4*step+block]`), `post` is dword-stride quad-interleaved;
+    /// `alpha` holds `(K+1) × 32` lanes, `binit` the four blocks' β
+    /// terminations.
     #[allow(clippy::too_many_arguments)]
     #[target_feature(enable = "avx512f,avx512bw")]
     pub unsafe fn siso_quad_avx512(
-        sys: &[Llr],
-        par: &[Llr],
-        apriori: &[Llr],
+        sys: [&[Llr]; QUAD],
+        par: [&[Llr]; QUAD],
+        apriori: [&[Llr]; QUAD],
         binit: &[Llr; QUAD * STATES],
         g0: &mut [Llr],
         gp: &mut [Llr],
@@ -649,9 +851,12 @@ mod x86 {
         ext: &mut [Llr],
         post: &mut [i32],
     ) {
-        let n = sys.len();
-        let k = n / QUAD;
-        debug_assert!(k.is_multiple_of(STATES) && par.len() == n && apriori.len() == n);
+        let k = sys[0].len();
+        let n = QUAD * k;
+        debug_assert!(k.is_multiple_of(STATES));
+        debug_assert!(sys.iter().all(|s| s.len() == k));
+        debug_assert!(par.iter().all(|s| s.len() == k));
+        debug_assert!(apriori.iter().all(|s| s.len() == k));
         debug_assert!(g0.len() == n && gp.len() == n);
         debug_assert!(ext.len() == n && post.len() == n);
         debug_assert!(alpha.len() == (k + 1) * QUAD * STATES);
@@ -663,10 +868,8 @@ mod x86 {
         // broadcast a step's quad with one qword load.
         let mut i = 0;
         while i < k {
-            let quad = |buf: &[Llr]| -> [__m128i; QUAD] {
-                core::array::from_fn(|g| {
-                    _mm_loadu_si128(buf.as_ptr().add(g * k + i) as *const __m128i)
-                })
+            let quad = |bufs: [&[Llr]; QUAD]| -> [__m128i; QUAD] {
+                core::array::from_fn(|g| _mm_loadu_si128(bufs[g].as_ptr().add(i) as *const __m128i))
             };
             let ls = quad(sys);
             let la = quad(apriori);
@@ -878,6 +1081,78 @@ mod tests {
             in_a,
             in_b,
         ]);
+    }
+
+    #[test]
+    fn staged_quad_matches_refs_and_reuses_scratch() {
+        for k in [40usize, 512] {
+            let inputs: [TurboLlrs; QUAD] =
+                core::array::from_fn(|g| make_input(k, 900 + g as u64 + k as u64).1);
+            let batch = NativeBatchTurboDecoder::new(k, 3);
+            let expect = batch.decode_quad(&inputs);
+            let mut scratch = BatchScratch::new();
+            let mut bits: [Vec<u8>; QUAD] = core::array::from_fn(|_| Vec::new());
+            let refs: [&TurboLlrs; QUAD] = core::array::from_fn(|g| &inputs[g]);
+            for round in 0..3 {
+                let iters = batch.decode_quad_staged_into(
+                    refs.map(BlockLlrs::from_turbo),
+                    &mut scratch,
+                    &mut bits,
+                );
+                assert_eq!(iters, 3);
+                for g in 0..QUAD {
+                    assert_eq!(bits[g], expect[g].bits, "K={k} block {g} round {round}");
+                }
+            }
+            if NativeBatchTurboDecoder::is_zmm_accelerated() {
+                assert_eq!(scratch.allocations(), 1, "warm scratch must not grow");
+                assert_eq!(scratch.reuses(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn staged_pair_matches_pair_refs() {
+        let k = 256;
+        let inputs: [TurboLlrs; BATCH] = core::array::from_fn(|g| make_input(k, 70 + g as u64).1);
+        let batch = NativeBatchTurboDecoder::new(k, 2);
+        let expect = batch.decode_pair(&inputs);
+        let mut scratch = BatchScratch::new();
+        let mut bits: [Vec<u8>; BATCH] = core::array::from_fn(|_| Vec::new());
+        let iters = batch.decode_pair_staged_into(
+            [
+                BlockLlrs::from_turbo(&inputs[0]),
+                BlockLlrs::from_turbo(&inputs[1]),
+            ],
+            &mut scratch,
+            &mut bits,
+        );
+        assert_eq!(iters, 2);
+        assert_eq!(bits[0], expect[0].bits);
+        assert_eq!(bits[1], expect[1].bits);
+    }
+
+    #[test]
+    fn staged_decode_reads_detached_stream_buffers() {
+        // The fused-ingest contract: blocks staged in pooled
+        // `SoftStreams` (not inside a `TurboLlrs`) decode identically.
+        let k = 104;
+        let inputs: [TurboLlrs; QUAD] = core::array::from_fn(|g| make_input(k, 40 + g as u64).1);
+        let expect = NativeBatchTurboDecoder::new(k, 2).decode_quad(&inputs);
+        let pooled: Vec<SoftStreams> = inputs.iter().map(|i| i.streams.clone()).collect();
+        let staged: [BlockLlrs<'_>; QUAD] =
+            core::array::from_fn(|g| BlockLlrs::from_streams(&pooled[g], inputs[g].tails));
+        let mut scratch = BatchScratch::new();
+        let mut bits: [Vec<u8>; QUAD] = core::array::from_fn(|_| Vec::new());
+        let iters = NativeBatchTurboDecoder::new(k, 2).decode_quad_staged_into(
+            staged,
+            &mut scratch,
+            &mut bits,
+        );
+        assert_eq!(iters, 2);
+        for g in 0..QUAD {
+            assert_eq!(bits[g], expect[g].bits, "block {g}");
+        }
     }
 
     #[test]

@@ -60,7 +60,10 @@ use vran_net::runner::{
 };
 use vran_net::{StageGraphConfig, Transport};
 use vran_phy::bits::{extend_bits_from_words, random_bits};
+use vran_phy::crc::{best_crc, CrcImpl};
+use vran_phy::demap::{best_demap, DemapImpl};
 use vran_phy::rate_match::{PackedRateMatcher, RateMatcher};
+use vran_phy::scrambler::{best_descramble, DescrambleImpl};
 use vran_phy::turbo::{
     DecodeScratch, DecoderIsa, EncodeScratch, EncoderIsa, NativeBatchTurboDecoder,
     NativeTurboDecoder, PackedTurboEncoder, TurboDecoder, TurboEncoder,
@@ -664,6 +667,126 @@ fn uplink_fused_ingest_suites() -> (Suite, Suite) {
     (gated, wall)
 }
 
+/// One side of the front-end A/B: per-packet outcome signatures
+/// (decoded payloads must match between arms — iteration counts may
+/// differ because the fixed-point demapper quantizes LLRs), per-stage
+/// wall-clock, and the front-end counters.
+struct FrontendRun {
+    sigs: Vec<(usize, usize, usize)>,
+    ok_packets: u64,
+    frontend_packets: u64,
+    frontend_fallbacks: u64,
+    demap_mean_ns: f64,
+    crc_mean_ns: f64,
+    kernel_demap_ns: f64,
+    kernel_descramble_ns: f64,
+    kernel_crc_ns: f64,
+    mbps: f64,
+}
+
+fn frontend_run(simd: bool) -> FrontendRun {
+    let pm = std::sync::Arc::new(PipelineMetrics::new(true));
+    let cfg = PipelineConfig {
+        snr_db: 30.0,
+        frontend_simd: simd,
+        ..Default::default()
+    };
+    let pipe = UplinkPipeline::with_metrics(cfg, pm.clone());
+    let mut b = PacketBuilder::new(1000, 2000);
+    // Warm-up cycle: decoder caches build, stream pools fill.
+    for &size in &FUSED_SIZES {
+        let p = b.build(Transport::Udp, size).expect("valid size");
+        pipe.process(&p).expect("30 dB decodes");
+    }
+    let mut sigs = Vec::new();
+    let mut payload_bits = 0usize;
+    let t = Instant::now();
+    for _ in 0..FUSED_REPS {
+        for &size in &FUSED_SIZES {
+            let p = b.build(Transport::Udp, size).expect("valid size");
+            let r = pipe.process(&p).expect("30 dB decodes");
+            payload_bits += r.tb_bits;
+            sigs.push((r.tb_bits, r.code_blocks, r.coded_bits));
+        }
+    }
+    let elapsed_s = t.elapsed().as_secs_f64();
+    FrontendRun {
+        sigs,
+        ok_packets: pm.ok_packets.get(),
+        frontend_packets: pm.frontend_packets.get(),
+        frontend_fallbacks: pm.frontend_fallbacks.get(),
+        demap_mean_ns: pm.stage(Stage::Demap).mean(),
+        crc_mean_ns: pm.stage(Stage::Crc).mean(),
+        kernel_demap_ns: pm.frontend_demap().mean(),
+        kernel_descramble_ns: pm.frontend_descramble().mean(),
+        kernel_crc_ns: pm.frontend_crc().mean(),
+        mbps: payload_bits as f64 / elapsed_s / 1e6,
+    }
+}
+
+/// Gated `uplink_frontend` plus its ungated wall-clock companion,
+/// sharing one A/B measurement. The gated side carries only exact
+/// metrics: outcome counts and the cross-arm outcome-signature
+/// equality (same payloads decoded, independent of LLR quantization),
+/// the AVX-512BW/clmul tier pins, the zero-fallback count, and two
+/// wall-clock-derived booleans with wide margins — the demap stage
+/// (fixed-point demap + word-parallel descramble) ≥3× faster than the
+/// f32 + bit-serial arm, and end-to-end throughput within 5 % of the
+/// scalar front end. The raw nanoseconds and Mbps live in the ungated
+/// companion so host noise never gates CI.
+fn uplink_frontend_suites() -> (Suite, Suite) {
+    let mut gated = Suite::new("uplink_frontend", true);
+    let mut wall = Suite::new("uplink_frontend_wallclock", false);
+    let simd = frontend_run(true);
+    let scalar = frontend_run(false);
+
+    gated.push(
+        "avx512bw.accelerated",
+        f64::from(
+            best_demap() == DemapImpl::Avx512bw && best_descramble() == DescrambleImpl::Avx512bw,
+        ),
+    );
+    gated.push(
+        "crc.clmul.accelerated",
+        f64::from(best_crc() == CrcImpl::ClmulFold),
+    );
+    gated.push("simd.ok.count", simd.ok_packets as f64);
+    gated.push("scalar.ok.count", scalar.ok_packets as f64);
+    gated.push("simd.frontend_packets.count", simd.frontend_packets as f64);
+    gated.push(
+        "scalar.frontend_packets.count",
+        scalar.frontend_packets as f64,
+    );
+    gated.push("simd.fallbacks.count", simd.frontend_fallbacks as f64);
+    gated.push(
+        "outcomes.bitexact.count",
+        f64::from(simd.sigs == scalar.sigs),
+    );
+    let demap_speedup = scalar.demap_mean_ns / simd.demap_mean_ns;
+    gated.push(
+        "demap_descramble.speedup_ge_3x.count",
+        f64::from(demap_speedup >= 3.0),
+    );
+    gated.push(
+        "e2e.simd_within_5pct.count",
+        f64::from(simd.mbps >= 0.95 * scalar.mbps),
+    );
+
+    wall.push("demap.scalar.mean_ns", scalar.demap_mean_ns);
+    wall.push("demap.simd.mean_ns", simd.demap_mean_ns);
+    wall.push("demap.speedup", demap_speedup);
+    wall.push("crc.scalar.mean_ns", scalar.crc_mean_ns);
+    wall.push("crc.simd.mean_ns", simd.crc_mean_ns);
+    wall.push("crc.speedup", scalar.crc_mean_ns / simd.crc_mean_ns);
+    wall.push("kernel.demap.mean_ns", simd.kernel_demap_ns);
+    wall.push("kernel.descramble.mean_ns", simd.kernel_descramble_ns);
+    wall.push("kernel.crc.mean_ns", simd.kernel_crc_ns);
+    wall.push("e2e.scalar.mbps", scalar.mbps);
+    wall.push("e2e.simd.mbps", simd.mbps);
+    wall.push("e2e.speedup", simd.mbps / scalar.mbps);
+    (gated, wall)
+}
+
 /// Ungated: the fused mask/merge ingest kernel through the port-level
 /// simulator next to the permute-only APCM variant and the original
 /// mechanism — the backend-bound/port-pressure profile behind the
@@ -901,7 +1024,7 @@ fn observe_overhead_suite(base_s: f64, rec_s: f64, min_ratio: f64) -> Suite {
 }
 
 /// Suite names `--only` accepts (also the build order).
-const SUITES: [&str; 18] = [
+const SUITES: [&str; 20] = [
     "arrange_sim",
     "fused_ingest_uarch",
     "decoder_native",
@@ -911,6 +1034,8 @@ const SUITES: [&str; 18] = [
     "uplink_scaleout",
     "uplink_fused_ingest",
     "uplink_fused_ingest_wallclock",
+    "uplink_frontend",
+    "uplink_frontend_wallclock",
     "uplink_stagegraph",
     "uplink_stagegraph_wallclock",
     "cell_scale_smoke",
@@ -991,6 +1116,15 @@ fn build_report(only: &[String]) -> Result<(BenchReport, Option<String>), String
             report.suites.push(gated);
         }
         if want("uplink_fused_ingest_wallclock") {
+            report.suites.push(wallclock);
+        }
+    }
+    if want("uplink_frontend") || want("uplink_frontend_wallclock") {
+        let (gated, wallclock) = uplink_frontend_suites();
+        if want("uplink_frontend") {
+            report.suites.push(gated);
+        }
+        if want("uplink_frontend_wallclock") {
             report.suites.push(wallclock);
         }
     }

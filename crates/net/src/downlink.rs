@@ -16,14 +16,17 @@ use std::sync::Arc;
 use vran_arrange::{ArrangeKernel, Mechanism};
 use vran_phy::bits::{extend_bits_from_words, pack_msb, unpack_msb};
 use vran_phy::channel::AwgnChannel;
-use vran_phy::crc::{CRC24A, CRC24B};
+use vran_phy::crc::{best_crc, CrcImpl, CRC24A, CRC24B};
 use vran_phy::dci::{conv_encode_streams, llrs_from_streams, viterbi_decode_tb, Dci};
+use vran_phy::demap::{best_demap, demap_with};
 use vran_phy::equalizer::{Equalizer, FadingChannel};
 use vran_phy::llr::TurboLlrs;
 use vran_phy::modulation::{Cplx, Modulation};
 use vran_phy::rate_match::conv::ConvRateMatcher;
 use vran_phy::rate_match::{PackedRateMatcher, RateMatcher};
-use vran_phy::scrambler::{descramble_llrs, scramble_bits};
+use vran_phy::scrambler::{
+    best_descramble, descramble_llrs, descramble_llrs_with, scramble_bits, scramble_bits_serial,
+};
 use vran_phy::segmentation::Segmentation;
 use vran_phy::turbo::{EncodeScratch, EncoderIsa, PackedTurboEncoder, TurboDecoder, TurboEncoder};
 use vran_simd::RegWidth;
@@ -51,6 +54,11 @@ pub struct DownlinkConfig {
     pub rv: u8,
     /// Channel seed.
     pub seed: u64,
+    /// Native SIMD front end (the default): fixed-point max-log
+    /// demapping, word-parallel Gold scrambling/descrambling and
+    /// table/clmul CRC — same A/B contrast as
+    /// [`PipelineConfig::frontend_simd`](crate::pipeline::PipelineConfig::frontend_simd).
+    pub frontend_simd: bool,
 }
 
 impl Default for DownlinkConfig {
@@ -65,6 +73,7 @@ impl Default for DownlinkConfig {
             fading: false,
             rv: 0,
             seed: 1,
+            frontend_simd: true,
         }
     }
 }
@@ -287,8 +296,13 @@ impl DownlinkPipeline {
         let pdcch_syms = Modulation::Qpsk.modulate(&dci_coded);
 
         // ---- eNB: PDSCH ----
+        let crc_imp = if cfg.frontend_simd {
+            best_crc()
+        } else {
+            CrcImpl::BitSerial
+        };
         let frame_bits = unpack_msb(&packet.frame, packet.frame.len() * 8);
-        let tb = CRC24A.attach(&frame_bits);
+        let tb = CRC24A.attach_with(crc_imp, &frame_bits);
         let seg = Segmentation::plan(tb.len());
         let blocks = seg.segment(&tb);
         let (coded, block_e) = self.encode_blocks(&blocks);
@@ -296,7 +310,11 @@ impl DownlinkPipeline {
         let padded = coded.len().next_multiple_of(bps);
         let mut tx_bits = coded;
         tx_bits.resize(padded, 0);
-        scramble_bits(&mut tx_bits, 0xC0FFEE & 0x7FFF_FFFF);
+        if cfg.frontend_simd {
+            scramble_bits(&mut tx_bits, 0xC0FFEE & 0x7FFF_FFFF);
+        } else {
+            scramble_bits_serial(&mut tx_bits, 0xC0FFEE & 0x7FFF_FFFF);
+        }
         let pdsch_syms = cfg.modulation.modulate(&tx_bits);
 
         // ---- channel (control then data, separate passes) ----
@@ -305,7 +323,11 @@ impl DownlinkPipeline {
 
         // ---- UE: decode the grant first (de-rate-match, then the
         // tail-biting Viterbi; the 144→66 repetition combines) ----
-        let dci_llrs = Modulation::Qpsk.demodulate(&rx_pdcch, ctrl_scale);
+        let dci_llrs = if cfg.frontend_simd {
+            demap_with(best_demap(), Modulation::Qpsk, &rx_pdcch, ctrl_scale)
+        } else {
+            Modulation::Qpsk.demodulate(&rx_pdcch, ctrl_scale)
+        };
         let dci_d = crm.de_rate_match(&dci_llrs[..PDCCH_E]);
         let rx_bits = viterbi_decode_tb(&llrs_from_streams(&dci_d), Dci::BITS);
         let rx_grant = Dci::from_bits(&rx_bits);
@@ -322,9 +344,17 @@ impl DownlinkPipeline {
         // ---- UE: PDSCH with parameters FROM THE GRANT ----
         let ue_mod = mcs_to_modulation(rx_grant.mcs);
         let ue_rv = rx_grant.rv as usize;
-        let mut llrs = ue_mod.demodulate(&rx_pdsch, data_scale);
+        let mut llrs = if cfg.frontend_simd {
+            demap_with(best_demap(), ue_mod, &rx_pdsch, data_scale)
+        } else {
+            ue_mod.demodulate(&rx_pdsch, data_scale)
+        };
         llrs.truncate(padded);
-        descramble_llrs(&mut llrs, 0xC0FFEE & 0x7FFF_FFFF);
+        if cfg.frontend_simd {
+            descramble_llrs_with(best_descramble(), &mut llrs, 0xC0FFEE & 0x7FFF_FFFF);
+        } else {
+            descramble_llrs(&mut llrs, 0xC0FFEE & 0x7FFF_FFFF);
+        }
 
         let mut decoded = Vec::new();
         let mut pos = 0;
@@ -368,7 +398,7 @@ impl DownlinkPipeline {
                 .desegment(&decoded)
                 .and_then(|tb_bits| {
                     CRC24A
-                        .check(&tb_bits)
+                        .check_with(crc_imp, &tb_bits)
                         .map(|p| pack_msb(p) == packet.frame.to_vec())
                 })
                 .unwrap_or(false);

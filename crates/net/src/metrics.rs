@@ -216,10 +216,14 @@ pub enum Stage {
     Encode,
     /// Rate matching (tx) and de-rate-matching (rx).
     RateMatch,
-    /// Scrambling + symbol mapping (tx), soft demap + descramble (rx).
+    /// Scrambling + symbol mapping (tx only).
     Modulate,
     /// OFDM modulation/demodulation and the channel model.
     Ofdm,
+    /// Soft demapping + LLR descrambling (rx front end) — kept
+    /// distinct from [`Stage::Modulate`] so the flight recorder never
+    /// conflates tx modulation with rx demap.
+    Demap,
     /// The data-arrangement process (the paper's subject).
     Arrange,
     /// Turbo decoding.
@@ -228,7 +232,7 @@ pub enum Stage {
 
 impl Stage {
     /// Number of stages.
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
     /// All stages in pipeline order.
     pub const ALL: [Stage; Stage::COUNT] = [
         Stage::Crc,
@@ -237,6 +241,7 @@ impl Stage {
         Stage::RateMatch,
         Stage::Modulate,
         Stage::Ofdm,
+        Stage::Demap,
         Stage::Arrange,
         Stage::Decode,
     ];
@@ -250,6 +255,7 @@ impl Stage {
             Stage::RateMatch => "rate_match",
             Stage::Modulate => "modulate",
             Stage::Ofdm => "ofdm",
+            Stage::Demap => "demap",
             Stage::Arrange => "arrange",
             Stage::Decode => "decode",
         }
@@ -267,6 +273,15 @@ pub struct PipelineMetrics {
     /// one continuous arrange series while the fused-vs-unfused split
     /// stays visible.
     arrange_fused: Histogram,
+    /// Demap share of [`Stage::Demap`] when the native SIMD front end
+    /// ran (fixed-point kernel time only, excluding descramble).
+    frontend_demap: Histogram,
+    /// Descramble share of [`Stage::Demap`] when the native SIMD
+    /// front end ran (word-parallel Gold + sign-select time).
+    frontend_descramble: Histogram,
+    /// Per-packet CRC kernel time when the table/clmul front end ran
+    /// (recorded alongside [`Stage::Crc`]).
+    frontend_crc: Histogram,
     /// Packets processed.
     pub packets: Counter,
     /// Packets that round-tripped bit-exactly.
@@ -334,6 +349,13 @@ pub struct PipelineMetrics {
     /// Code blocks that requested fused ingest but fell back to the
     /// unfused demap → de-rate-match → deinterleave chain.
     pub fused_ingest_fallbacks: Counter,
+    /// Packets that ran the native SIMD front end (fixed-point demap +
+    /// word-parallel descramble + table/clmul CRC).
+    pub frontend_packets: Counter,
+    /// Packets that requested the SIMD front end but ran one or more
+    /// scalar front-end kernels because no vector ISA level was
+    /// available (the front-end tier degraded).
+    pub frontend_fallbacks: Counter,
 }
 
 impl Default for PipelineMetrics {
@@ -349,6 +371,9 @@ impl PipelineMetrics {
             enabled,
             stages: std::array::from_fn(|_| Histogram::latency_ns()),
             arrange_fused: Histogram::latency_ns(),
+            frontend_demap: Histogram::latency_ns(),
+            frontend_descramble: Histogram::latency_ns(),
+            frontend_crc: Histogram::latency_ns(),
             packets: Counter::new(),
             ok_packets: Counter::new(),
             decoder_iterations: Counter::new(),
@@ -372,6 +397,8 @@ impl PipelineMetrics {
             staging_reallocs: Counter::new(),
             fused_ingest_blocks: Counter::new(),
             fused_ingest_fallbacks: Counter::new(),
+            frontend_packets: Counter::new(),
+            frontend_fallbacks: Counter::new(),
         }
     }
 
@@ -448,6 +475,44 @@ impl PipelineMetrics {
         }
     }
 
+    /// The SIMD-front-end demap histogram (the demap share of
+    /// [`Stage::Demap`] when the native tier ran).
+    pub fn frontend_demap(&self) -> &Histogram {
+        &self.frontend_demap
+    }
+
+    /// The SIMD-front-end descramble histogram.
+    pub fn frontend_descramble(&self) -> &Histogram {
+        &self.frontend_descramble
+    }
+
+    /// The SIMD-front-end CRC histogram.
+    pub fn frontend_crc(&self) -> &Histogram {
+        &self.frontend_crc
+    }
+
+    /// Record one SIMD-front-end demap+descramble split (no-op when
+    /// disabled). The combined total also lands in [`Stage::Demap`]
+    /// via the pipeline's stage timer, mirroring the `arrange_fused`
+    /// convention of per-tier histograms riding alongside the stage
+    /// series.
+    #[inline]
+    pub fn record_frontend_demap(&self, demap_ns: u64, descramble_ns: u64) {
+        if self.enabled {
+            self.frontend_demap.record(demap_ns);
+            self.frontend_descramble.record(descramble_ns);
+        }
+    }
+
+    /// Record one SIMD-front-end CRC kernel latency (no-op when
+    /// disabled).
+    #[inline]
+    pub fn record_frontend_crc(&self, nanos: u64) {
+        if self.enabled {
+            self.frontend_crc.record(nanos);
+        }
+    }
+
     /// Flat snapshot: stage means/p90s plus counters.
     pub fn snapshot(&self) -> Vec<(String, f64)> {
         let mut out = Vec::new();
@@ -464,6 +529,14 @@ impl PipelineMetrics {
             "stage.arrange_fused.count".into(),
             self.arrange_fused.count() as f64,
         ));
+        for (name, h) in [
+            ("frontend_demap", &self.frontend_demap),
+            ("frontend_descramble", &self.frontend_descramble),
+            ("frontend_crc", &self.frontend_crc),
+        ] {
+            out.push((format!("stage.{name}.mean_ns"), h.mean()));
+            out.push((format!("stage.{name}.count"), h.count() as f64));
+        }
         out.push(("packets".into(), self.packets.get() as f64));
         out.push(("ok_packets".into(), self.ok_packets.get() as f64));
         out.push(("code_blocks".into(), self.code_blocks.get() as f64));
@@ -527,6 +600,14 @@ impl PipelineMetrics {
         out.push((
             "fused_ingest_fallbacks".into(),
             self.fused_ingest_fallbacks.get() as f64,
+        ));
+        out.push((
+            "frontend_packets".into(),
+            self.frontend_packets.get() as f64,
+        ));
+        out.push((
+            "frontend_fallbacks".into(),
+            self.frontend_fallbacks.get() as f64,
         ));
         out
     }

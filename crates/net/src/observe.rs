@@ -667,6 +667,21 @@ impl MetricsSnapshot {
                 "pipeline.stage.arrange_fused",
                 p.arrange_fused(),
             ));
+            // Likewise the SIMD front-end kernels: the `demap` stage
+            // histogram covers the combined demap+descramble wall time
+            // while these break out the per-kernel shares.
+            histograms.push(HistogramSnapshot::capture(
+                "pipeline.stage.frontend_demap",
+                p.frontend_demap(),
+            ));
+            histograms.push(HistogramSnapshot::capture(
+                "pipeline.stage.frontend_descramble",
+                p.frontend_descramble(),
+            ));
+            histograms.push(HistogramSnapshot::capture(
+                "pipeline.stage.frontend_crc",
+                p.frontend_crc(),
+            ));
         }
         if let Some(r) = runner {
             for (k, v) in r.snapshot() {

@@ -55,12 +55,16 @@ use std::time::Instant;
 use vran_arrange::{best_fused, fused_ingest_into, ArrangeKernel, Mechanism};
 use vran_phy::bits::{extend_bits_from_words, pack_msb, unpack_msb};
 use vran_phy::channel::AwgnChannel;
-use vran_phy::crc::{CRC24A, CRC24B};
+use vran_phy::crc::{best_crc, CrcImpl, CRC24A, CRC24B};
+use vran_phy::demap::{best_demap, demap_into, DemapImpl};
 use vran_phy::llr::{InterleavedLlrs, Llr, SoftStreams, TailLlrs, TurboLlrs};
 use vran_phy::modulation::Modulation;
 use vran_phy::ofdm::OfdmConfig;
 use vran_phy::rate_match::{PackedRateMatcher, RateMatcher};
-use vran_phy::scrambler::{descramble_llrs, scramble_bits, GoldSequence};
+use vran_phy::scrambler::{
+    best_descramble, descramble_llrs, descramble_llrs_with, scramble_bits, DescrambleImpl,
+    GoldSequence,
+};
 use vran_phy::segmentation::Segmentation;
 use vran_phy::turbo::native_batch::{BATCH, QUAD};
 use vran_phy::turbo::{
@@ -182,6 +186,19 @@ pub struct PipelineConfig {
     /// `fused_exactness` sweep); `false` keeps the unfused chain for
     /// A/B comparison.
     pub fused_ingest: bool,
+    /// Native SIMD front end (the default): soft demapping runs the
+    /// Q11 fixed-point max-log kernels ([`vran_phy::demap`]) at the
+    /// best available ISA tier, LLR descrambling runs the
+    /// word-parallel Gold generator with SIMD sign-select, and CRC
+    /// attach/check run the table/clmul kernels — each bit-exact with
+    /// its scalar oracle (enforced by the `frontend_exactness` sweep).
+    /// `false` keeps the f32 reference demapper, bit-serial
+    /// descrambler and bit-serial CRC for A/B comparison. Note the
+    /// fixed-point demapper's LLRs differ from the f32 reference's by
+    /// quantization (≤ a couple of LSBs), so decode iteration counts
+    /// can shift between the two settings; decoded bits are unaffected
+    /// at operating SNR.
+    pub frontend_simd: bool,
     /// Per-stage circuit breakers (equalizer / demapper / decoder).
     /// `None` (the default) disables them — fault-injection soaks and
     /// the gated benchgate suites predate breakers and pin exact error
@@ -208,6 +225,7 @@ impl Default for PipelineConfig {
             deadline_ns: None,
             batch_decode: false,
             fused_ingest: true,
+            frontend_simd: true,
             breakers: None,
         }
     }
@@ -783,8 +801,13 @@ impl UplinkPipeline {
         nanos.decode += decode_ns;
         let mut failed_blocks = 0usize;
         if decoded.len() > 1 {
+            let crc_imp = if self.cfg.frontend_simd {
+                best_crc()
+            } else {
+                CrcImpl::BitSerial
+            };
             for bits in decoded {
-                if CRC24B.check(bits).is_none() {
+                if CRC24B.check_with(crc_imp, bits).is_none() {
                     failed_blocks += 1;
                 }
             }
@@ -949,7 +972,18 @@ impl UplinkPipeline {
             .encapsulate(frame, frame.len() + crate::l2::L2_OVERHEAD)
             .expect("TB sized to fit");
         let frame_bits = unpack_msb(&pdu, pdu.len() * 8);
-        let tb = timed(m, Stage::Crc, || CRC24A.attach(&frame_bits));
+        let tb = timed(m, Stage::Crc, || {
+            if cfg.frontend_simd {
+                let t = Instant::now();
+                let tb = CRC24A.attach_with(best_crc(), &frame_bits);
+                if let Some(m) = m {
+                    m.record_frontend_crc(t.elapsed().as_nanos() as u64);
+                }
+                tb
+            } else {
+                CRC24A.attach_with(CrcImpl::BitSerial, &frame_bits)
+            }
+        });
         let seg = timed(m, Stage::Segment, || Segmentation::try_plan(tb.len()))?;
         self.trace_k.set(seg.k_of(0) as u16);
         if seg.c > MAX_CODE_BLOCKS {
@@ -1026,7 +1060,11 @@ impl UplinkPipeline {
         let padded_len = tx_bits.len().next_multiple_of(bps);
         tx_bits.resize(padded_len, 0);
         let symbols = timed(m, Stage::Modulate, || {
-            scramble_bits(&mut tx_bits, self.c_init);
+            if cfg.frontend_simd {
+                scramble_bits(&mut tx_bits, self.c_init);
+            } else {
+                vran_phy::scrambler::scramble_bits_serial(&mut tx_bits, self.c_init);
+            }
             cfg.modulation.modulate(&tx_bits)
         });
         let (rx_symbols, scale) = timed(m, Stage::Ofdm, || {
@@ -1044,11 +1082,38 @@ impl UplinkPipeline {
 
         // ---- demap, descramble, de-rate-match ----
         let t0 = Instant::now();
-        let mut llrs = timed(m, Stage::Modulate, || {
-            let mut llrs = cfg.modulation.demodulate(&rx_symbols, scale);
-            llrs.truncate(padded_len);
-            descramble_llrs(&mut llrs, self.c_init);
-            llrs
+        if let Some(m) = m {
+            if cfg.frontend_simd {
+                m.frontend_packets.inc();
+                if best_demap() == DemapImpl::Scalar
+                    || best_descramble() == DescrambleImpl::ScalarWord
+                {
+                    // The SIMD front end is requested but the host (or
+                    // the test ISA ceiling) runs a scalar kernel: the
+                    // deployment lost its front-end speedup.
+                    m.frontend_fallbacks.inc();
+                }
+            }
+        }
+        let mut llrs = timed(m, Stage::Demap, || {
+            if cfg.frontend_simd {
+                let t_demap = Instant::now();
+                let mut llrs = Vec::new();
+                demap_into(best_demap(), cfg.modulation, &rx_symbols, scale, &mut llrs);
+                llrs.truncate(padded_len);
+                let demap_ns = t_demap.elapsed().as_nanos() as u64;
+                let t_descramble = Instant::now();
+                descramble_llrs_with(best_descramble(), &mut llrs, self.c_init);
+                if let Some(m) = m {
+                    m.record_frontend_demap(demap_ns, t_descramble.elapsed().as_nanos() as u64);
+                }
+                llrs
+            } else {
+                let mut llrs = cfg.modulation.demodulate(&rx_symbols, scale);
+                llrs.truncate(padded_len);
+                descramble_llrs(&mut llrs, self.c_init);
+                llrs
+            }
         });
         nanos.demap = t0.elapsed().as_nanos() as u64;
 
@@ -1445,8 +1510,13 @@ impl UplinkPipeline {
             // each block afterwards so failures classify exactly like
             // the serial path's.
             if blocks.len() > 1 {
+                let crc_imp = if cfg.frontend_simd {
+                    best_crc()
+                } else {
+                    CrcImpl::BitSerial
+                };
                 for bits in hot.bits_pool[..blocks.len()].iter() {
-                    if CRC24B.check(bits).is_none() {
+                    if CRC24B.check_with(crc_imp, bits).is_none() {
                         failed_blocks += 1;
                     }
                 }
@@ -1524,7 +1594,18 @@ impl UplinkPipeline {
             Some(t) => t,
             None => return Err(PipelineError::CrcMismatch(failure)),
         };
-        let payload = match timed(m, Stage::Crc, || CRC24A.check(&rx_tb)) {
+        let payload = match timed(m, Stage::Crc, || {
+            if self.cfg.frontend_simd {
+                let t = Instant::now();
+                let p = CRC24A.check_with(best_crc(), &rx_tb);
+                if let Some(m) = m {
+                    m.record_frontend_crc(t.elapsed().as_nanos() as u64);
+                }
+                p
+            } else {
+                CRC24A.check_with(CrcImpl::BitSerial, &rx_tb)
+            }
+        }) {
             Some(p) => p,
             None => return Err(PipelineError::CrcMismatch(failure)),
         };

@@ -52,6 +52,7 @@ pub mod bits;
 pub mod channel;
 pub mod crc;
 pub mod dci;
+pub mod demap;
 pub mod equalizer;
 pub mod interleaver;
 pub mod llr;

@@ -6,6 +6,7 @@
 
 /// A complex baseband sample.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct Cplx {
     /// In-phase component.
     pub re: f32,
@@ -85,7 +86,7 @@ impl Modulation {
     }
 
     /// Per-axis amplitude normalizer (unit average symbol energy).
-    fn norm(self) -> f32 {
+    pub(crate) fn norm(self) -> f32 {
         match self {
             Modulation::Qpsk => 1.0 / std::f32::consts::SQRT_2,
             Modulation::Qam16 => 1.0 / 10.0f32.sqrt(),

@@ -3,9 +3,119 @@
 //! The length-31 Gold sequence `c(n) = x1(n+Nc) ⊕ x2(n+Nc)` with
 //! `Nc = 1600`, `x1` seeded to `1`, and `x2` seeded from the scrambling
 //! identity `c_init` (built from RNTI/cell id/slot per §6.3.1).
+//!
+//! Two performance tiers live here alongside the bit-serial reference:
+//!
+//! * **Word-parallel generation** — both 31-bit Fibonacci LFSRs extend
+//!   their state window inside a `u64` (two shift/XOR passes produce
+//!   33 future bits from the 31 live ones), emitting 32 scrambling
+//!   bits per iteration instead of one ([`GoldSequence::next_word`]).
+//!   The `Nc = 1600` warmup is a GF(2)-linear map, so it is jumped in
+//!   O(31) with compile-time `M^1600` parity masks ([`leap_masks`]) —
+//!   constructing a generator takes **zero** serial warmup steps
+//!   (pinned by [`bit_serial_warmup_steps`] in tests).
+//! * **SIMD sign-select descrambling** — LLR sign flips under the mask
+//!   words as saturating `0 − x` selects (`vpsubsw` + mask/blend),
+//!   with the established AVX-512BW → AVX2 → SSE2 → scalar-word
+//!   runtime dispatch ([`DescrambleImpl`]); every tier reproduces the
+//!   bit-serial [`descramble_llrs`] reference exactly, including its
+//!   `saturating_neg` edge at `i16::MIN`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use vran_simd::host::{self, HostIsa};
 
 /// Offset into the m-sequences (spec constant).
 const NC: usize = 1600;
+
+/// Feedback tap masks (bit `i` set ⇔ `x(n+i)` feeds `x(n+31)`).
+const X1_TAPS: u32 = 0b1001; // x1(n+31) = x1(n+3) ⊕ x1(n)
+const X2_TAPS: u32 = 0b1111; // x2(n+31) = x2(n+3) ⊕ x2(n+2) ⊕ x2(n+1) ⊕ x2(n)
+
+/// Serial warmup steps taken process-wide by [`GoldSequence::new_bit_serial`].
+/// The leap-based [`GoldSequence::new`] never increments it; tests pin
+/// the steady-state delta to zero.
+static BIT_SERIAL_WARMUP_STEPS: AtomicU64 = AtomicU64::new(0);
+
+/// Total serial warmup steps taken since process start (reference
+/// constructor only — the production leap path contributes none).
+pub fn bit_serial_warmup_steps() -> u64 {
+    BIT_SERIAL_WARMUP_STEPS.load(Ordering::Relaxed)
+}
+
+/// Parity masks for `steps` applications of the 31-bit LFSR with the
+/// given feedback `taps`: bit `i` of the post-leap state is the parity
+/// of `masks[i] & state`. Evaluated at compile time (the warmup leap
+/// is `M^1600` over GF(2)).
+const fn leap_masks(taps: u32, steps: usize) -> [u32; 31] {
+    let mut m = [0u32; 31];
+    let mut i = 0;
+    while i < 31 {
+        m[i] = 1 << i;
+        i += 1;
+    }
+    let mut s = 0;
+    while s < steps {
+        let mut nm = [0u32; 31];
+        let mut j = 0;
+        while j < 30 {
+            nm[j] = m[j + 1];
+            j += 1;
+        }
+        let mut t = 0u32;
+        let mut b = 0;
+        while b < 31 {
+            if (taps >> b) & 1 == 1 {
+                t ^= m[b];
+            }
+            b += 1;
+        }
+        nm[30] = t;
+        m = nm;
+        s += 1;
+    }
+    m
+}
+
+const X1_LEAP: [u32; 31] = leap_masks(X1_TAPS, NC);
+const X2_LEAP: [u32; 31] = leap_masks(X2_TAPS, NC);
+
+/// Apply a leap (31 parity masks) to a state word.
+const fn apply_leap(masks: &[u32; 31], state: u32) -> u32 {
+    let mut out = 0u32;
+    let mut i = 0;
+    while i < 31 {
+        out |= ((masks[i] & state).count_ones() & 1) << i;
+        i += 1;
+    }
+    out
+}
+
+/// `x1` after the `Nc` warmup — a constant, since `x1` always seeds to 1.
+const X1_POST_NC: u32 = apply_leap(&X1_LEAP, 1);
+
+/// Advance the `x1` register 32 steps: returns `(next 32 output bits
+/// LSB-first, new state)`. The `u64` window holds `x(n..n+31)`; two
+/// shifted-XOR passes extend it to `x(n..n+63)` (the first computes
+/// bits 31..58 from live bits, the second bits 59..63 from the fresh
+/// ones), then bits 32..62 become the new state.
+#[inline]
+fn x1_word(x: u32) -> (u32, u32) {
+    let mut e = x as u64;
+    e |= (((e >> 3) ^ e) & 0x0FFF_FFFF) << 31;
+    e |= (((e >> 31) ^ (e >> 28)) & 0x1F) << 59;
+    (e as u32, ((e >> 32) & 0x7FFF_FFFF) as u32)
+}
+
+/// Advance the `x2` register 32 steps (same window-extension scheme,
+/// four-tap feedback).
+#[inline]
+fn x2_word(x: u32) -> (u32, u32) {
+    let mut e = x as u64;
+    e |= ((e ^ (e >> 1) ^ (e >> 2) ^ (e >> 3)) & 0x0FFF_FFFF) << 31;
+    e |= (((e >> 28) ^ (e >> 29) ^ (e >> 30) ^ (e >> 31)) & 0x1F) << 59;
+    (e as u32, ((e >> 32) & 0x7FFF_FFFF) as u32)
+}
 
 /// Gold-sequence generator producing scrambling bits.
 #[derive(Debug, Clone)]
@@ -15,8 +125,20 @@ pub struct GoldSequence {
 }
 
 impl GoldSequence {
-    /// Initialize from `c_init` and fast-forward past the `Nc` warmup.
+    /// Initialize from `c_init`, jumping the `Nc` warmup in O(31) via
+    /// the compile-time `M^1600` parity masks (zero serial steps).
     pub fn new(c_init: u32) -> Self {
+        Self {
+            x1: X1_POST_NC,
+            x2: apply_leap(&X2_LEAP, c_init & 0x7FFF_FFFF),
+        }
+    }
+
+    /// Bit-serial reference constructor: steps both registers through
+    /// the full `Nc = 1600` warmup one bit at a time. Kept as the
+    /// oracle for the leap and for the steady-state "zero warmup
+    /// steps" counter test.
+    pub fn new_bit_serial(c_init: u32) -> Self {
         let mut g = Self {
             x1: 1,
             x2: c_init & 0x7FFF_FFFF,
@@ -24,6 +146,7 @@ impl GoldSequence {
         for _ in 0..NC {
             g.step();
         }
+        BIT_SERIAL_WARMUP_STEPS.fetch_add(NC as u64, Ordering::Relaxed);
         g
     }
 
@@ -48,14 +171,87 @@ impl GoldSequence {
         out
     }
 
+    /// Produce the next 32 scrambling bits as one word, LSB-first
+    /// (bit `i` of the word is `c(n+i)`), advancing 32 steps.
+    #[inline]
+    pub fn next_word(&mut self) -> u32 {
+        let (w1, n1) = x1_word(self.x1);
+        let (w2, n2) = x2_word(self.x2);
+        self.x1 = n1;
+        self.x2 = n2;
+        w1 ^ w2
+    }
+
     /// Produce the next `n` scrambling bits.
     pub fn take(&mut self, n: usize) -> Vec<u8> {
         (0..n).map(|_| self.step()).collect()
     }
 }
 
+/// 8-bit → 8-byte expansion, one `{0,1}` byte per bit, LSB-first.
+const fn bit_expand_lut() -> [u64; 256] {
+    let mut lut = [0u64; 256];
+    let mut b = 0;
+    while b < 256 {
+        let mut k = 0;
+        let mut v = 0u64;
+        while k < 8 {
+            v |= (((b >> k) & 1) as u64) << (8 * k);
+            k += 1;
+        }
+        lut[b] = v;
+        b += 1;
+    }
+    lut
+}
+
+/// 8-bit → 8-byte mask expansion, one `0x00`/`0xFF` byte per bit,
+/// LSB-first (feeds the SSE2/AVX2 lane-mask widening).
+const fn byte_mask_lut() -> [u64; 256] {
+    let mut lut = [0u64; 256];
+    let mut b = 0;
+    while b < 256 {
+        let mut k = 0;
+        let mut v = 0u64;
+        while k < 8 {
+            if (b >> k) & 1 == 1 {
+                v |= 0xFFu64 << (8 * k);
+            }
+            k += 1;
+        }
+        lut[b] = v;
+        b += 1;
+    }
+    lut
+}
+
+const BIT_EXPAND: [u64; 256] = bit_expand_lut();
+const BYTE_MASK: [u64; 256] = byte_mask_lut();
+
 /// Scramble a bit sequence in place: `b̃(i) = b(i) ⊕ c(i)`.
+///
+/// Word-parallel: 32 Gold bits per generator iteration, applied to the
+/// bit-per-byte buffer as four packed 8-byte XORs via [`BIT_EXPAND`].
+/// Bit-exact with [`scramble_bits_serial`] (property-tested).
 pub fn scramble_bits(bits: &mut [u8], c_init: u32) {
+    let mut g = GoldSequence::new(c_init);
+    let mut chunks = bits.chunks_exact_mut(32);
+    for chunk in &mut chunks {
+        let w = g.next_word();
+        for (k, oct) in chunk.chunks_exact_mut(8).enumerate() {
+            let cur = u64::from_le_bytes(oct.try_into().unwrap());
+            let v = cur ^ BIT_EXPAND[((w >> (8 * k)) & 0xFF) as usize];
+            oct.copy_from_slice(&v.to_le_bytes());
+        }
+    }
+    for b in chunks.into_remainder() {
+        *b ^= g.step();
+    }
+}
+
+/// Bit-serial reference scrambler (one Gold step per bit); the oracle
+/// for [`scramble_bits`].
+pub fn scramble_bits_serial(bits: &mut [u8], c_init: u32) {
     let mut g = GoldSequence::new(c_init);
     for b in bits.iter_mut() {
         *b ^= g.step();
@@ -63,13 +259,183 @@ pub fn scramble_bits(bits: &mut [u8], c_init: u32) {
 }
 
 /// Descramble soft values: flip LLR signs where the scrambling bit is 1
-/// (XOR with bit 1 swaps the 0/1 hypotheses).
+/// (XOR with bit 1 swaps the 0/1 hypotheses). Bit-serial reference —
+/// the oracle for [`descramble_llrs_with`].
 pub fn descramble_llrs(llrs: &mut [i16], c_init: u32) {
     let mut g = GoldSequence::new(c_init);
     for l in llrs.iter_mut() {
         if g.step() == 1 {
             *l = l.saturating_neg();
         }
+    }
+}
+
+/// Native LLR-descramble kernel tiers, least to most capable. Every
+/// tier flips signs as a *saturating* negate under the Gold mask, so
+/// all of them match the scalar [`descramble_llrs`] bit for bit
+/// (including `i16::MIN → i16::MAX`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DescrambleImpl {
+    /// Word-parallel Gold, scalar sign-select — the dispatch floor.
+    ScalarWord,
+    /// 8 LLRs per step: LUT byte-mask widen + `psubsw` and/andnot/or.
+    Sse2,
+    /// 16 LLRs per step: sign-extended byte masks + `vpblendvb`.
+    Avx2,
+    /// 32 LLRs per step: the Gold word *is* the `__mmask32` for a
+    /// masked `vpsubsw`.
+    Avx512bw,
+}
+
+impl DescrambleImpl {
+    /// Stable label for metrics and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            DescrambleImpl::ScalarWord => "scalar",
+            DescrambleImpl::Sse2 => "sse2",
+            DescrambleImpl::Avx2 => "avx2",
+            DescrambleImpl::Avx512bw => "avx512bw",
+        }
+    }
+
+    /// Minimum host ISA level this tier needs.
+    pub fn required_isa(self) -> HostIsa {
+        match self {
+            DescrambleImpl::ScalarWord => HostIsa::Scalar,
+            DescrambleImpl::Sse2 => HostIsa::Sse2,
+            DescrambleImpl::Avx2 => HostIsa::Avx2,
+            DescrambleImpl::Avx512bw => HostIsa::Avx512bw,
+        }
+    }
+
+    /// All tiers, ascending.
+    pub fn all() -> [DescrambleImpl; 4] {
+        [
+            DescrambleImpl::ScalarWord,
+            DescrambleImpl::Sse2,
+            DescrambleImpl::Avx2,
+            DescrambleImpl::Avx512bw,
+        ]
+    }
+}
+
+/// The descramble tiers usable on this host (ceiling-aware), ascending.
+pub fn available_descramble() -> Vec<DescrambleImpl> {
+    DescrambleImpl::all()
+        .into_iter()
+        .filter(|i| host::has(i.required_isa()))
+        .collect()
+}
+
+/// The most capable descramble tier on this host.
+pub fn best_descramble() -> DescrambleImpl {
+    *available_descramble()
+        .last()
+        .expect("scalar tier is always available")
+}
+
+/// Descramble LLRs with an explicit kernel tier. All tiers are
+/// bit-exact with [`descramble_llrs`].
+pub fn descramble_llrs_with(imp: DescrambleImpl, llrs: &mut [i16], c_init: u32) {
+    let mut g = GoldSequence::new(c_init);
+    let mut rest = llrs;
+    while rest.len() >= 32 {
+        let (head, tail) = rest.split_at_mut(32);
+        let w = g.next_word();
+        match imp {
+            DescrambleImpl::ScalarWord => descramble_word_scalar(head, w),
+            #[cfg(target_arch = "x86_64")]
+            DescrambleImpl::Sse2 => unsafe { x86::descramble_word_sse2(head, w) },
+            #[cfg(target_arch = "x86_64")]
+            DescrambleImpl::Avx2 => unsafe { x86::descramble_word_avx2(head, w) },
+            #[cfg(target_arch = "x86_64")]
+            DescrambleImpl::Avx512bw => unsafe { x86::descramble_word_avx512(head, w) },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => descramble_word_scalar(head, w),
+        }
+        rest = tail;
+    }
+    // shared scalar tail, identical to the bit-serial reference
+    for l in rest.iter_mut() {
+        if g.step() == 1 {
+            *l = l.saturating_neg();
+        }
+    }
+}
+
+/// Descramble LLRs on the best tier this host offers.
+pub fn descramble_llrs_fast(llrs: &mut [i16], c_init: u32) {
+    descramble_llrs_with(best_descramble(), llrs, c_init);
+}
+
+/// One 32-LLR block, scalar sign-select from the mask word.
+fn descramble_word_scalar(llrs: &mut [i16], w: u32) {
+    for (k, l) in llrs.iter_mut().enumerate() {
+        if (w >> k) & 1 == 1 {
+            *l = l.saturating_neg();
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::BYTE_MASK;
+    #[allow(clippy::wildcard_imports)]
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    /// Caller guarantees SSE2 and `llrs.len() == 32`.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn descramble_word_sse2(llrs: &mut [i16], w: u32) {
+        debug_assert_eq!(llrs.len(), 32);
+        let zero = _mm_setzero_si128();
+        for k in 0..4 {
+            let p = llrs.as_mut_ptr().add(8 * k).cast::<__m128i>();
+            let v = _mm_loadu_si128(p);
+            // widen the 8 mask bits to 0x0000/0xFFFF 16-bit lanes:
+            // LUT gives one 0x00/0xFF byte per bit, unpacklo(m, m)
+            // duplicates each into a full lane.
+            let m8 = _mm_set_epi64x(0, BYTE_MASK[((w >> (8 * k)) & 0xFF) as usize] as i64);
+            let m = _mm_unpacklo_epi8(m8, m8);
+            let neg = _mm_subs_epi16(zero, v); // saturating 0 − x
+            let out = _mm_or_si128(_mm_and_si128(m, neg), _mm_andnot_si128(m, v));
+            _mm_storeu_si128(p, out);
+        }
+    }
+
+    /// # Safety
+    /// Caller guarantees AVX2 and `llrs.len() == 32`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn descramble_word_avx2(llrs: &mut [i16], w: u32) {
+        debug_assert_eq!(llrs.len(), 32);
+        let zero = _mm256_setzero_si256();
+        for k in 0..2 {
+            let p = llrs.as_mut_ptr().add(16 * k).cast::<__m256i>();
+            let v = _mm256_loadu_si256(p);
+            let half = (w >> (16 * k)) as u16;
+            let m8 = _mm_set_epi64x(
+                BYTE_MASK[(half >> 8) as usize] as i64,
+                BYTE_MASK[(half & 0xFF) as usize] as i64,
+            );
+            // sign-extend 0x00/0xFF bytes to 0x0000/0xFFFF lanes
+            let m = _mm256_cvtepi8_epi16(m8);
+            let neg = _mm256_subs_epi16(zero, v); // saturating 0 − x
+            let out = _mm256_blendv_epi8(v, neg, m);
+            _mm256_storeu_si256(p, out);
+        }
+    }
+
+    /// # Safety
+    /// Caller guarantees AVX-512BW+F and `llrs.len() == 32`.
+    #[target_feature(enable = "avx512bw", enable = "avx512f")]
+    pub unsafe fn descramble_word_avx512(llrs: &mut [i16], w: u32) {
+        debug_assert_eq!(llrs.len(), 32);
+        let p = llrs.as_mut_ptr().cast::<__m512i>();
+        let v = _mm512_loadu_si512(p.cast());
+        // the Gold word is the lane mask: flipped lanes take the
+        // saturating 0 − x, the rest pass through.
+        let out = _mm512_mask_subs_epi16(v, w, _mm512_setzero_si512(), v);
+        _mm512_storeu_si512(p.cast(), out);
     }
 }
 
@@ -82,7 +448,9 @@ pub fn descramble_llrs(llrs: &mut [i16], c_init: u32) {
 /// Matches [`descramble_llrs`] except on `i16::MIN` inputs, where the
 /// branchless form wraps to `i16::MIN` (as the real `pxor`/`psubw`
 /// code does) while the scalar reference saturates — demappers never
-/// emit `i16::MIN`, and the tests pin both behaviours.
+/// emit `i16::MIN`, and the tests pin both behaviours. The *native*
+/// tiers ([`descramble_llrs_with`]) instead use a saturating negate
+/// select, so they have no such edge.
 pub fn descramble_llrs_simd(
     vm: &mut vran_simd::Vm,
     llrs: vran_simd::MemRef,
@@ -122,6 +490,7 @@ pub fn descramble_llrs_simd(
 mod tests {
     use super::*;
     use crate::bits::random_bits;
+    use vran_util::rng::SmallRng;
 
     #[test]
     fn scramble_is_an_involution() {
@@ -131,6 +500,126 @@ mod tests {
         assert_ne!(b, orig, "scrambling must change the sequence");
         scramble_bits(&mut b, 0x0001_2345);
         assert_eq!(b, orig);
+    }
+
+    #[test]
+    fn leap_warmup_matches_bit_serial_warmup() {
+        let mut rng = SmallRng::seed_from_u64(0xD1CE);
+        for _ in 0..64 {
+            let c_init = (rng.next_u64() as u32) & 0x7FFF_FFFF;
+            let fast = GoldSequence::new(c_init);
+            let slow = GoldSequence::new_bit_serial(c_init);
+            assert_eq!((fast.x1, fast.x2), (slow.x1, slow.x2), "c_init {c_init:#x}");
+        }
+        // degenerate seeds too
+        for c_init in [0u32, 1, 0x7FFF_FFFF] {
+            let fast = GoldSequence::new(c_init);
+            let slow = GoldSequence::new_bit_serial(c_init);
+            assert_eq!((fast.x1, fast.x2), (slow.x1, slow.x2));
+        }
+    }
+
+    #[test]
+    fn production_constructor_takes_zero_serial_warmup_steps() {
+        let before = bit_serial_warmup_steps();
+        for c_init in [7u32, 0x1234, 0x7FFF_FFFF] {
+            let g = GoldSequence::new(c_init);
+            let _ = g.clone().take(32);
+            let mut s = g.clone();
+            let _ = s.next_word();
+        }
+        assert_eq!(
+            bit_serial_warmup_steps() - before,
+            0,
+            "leap-based construction must not step the warmup serially"
+        );
+        let _ = GoldSequence::new_bit_serial(5);
+        assert_eq!(
+            bit_serial_warmup_steps() - before,
+            1600,
+            "the reference constructor is the only serial-warmup user"
+        );
+    }
+
+    #[test]
+    fn word_generator_matches_bit_serial_stepping() {
+        let mut rng = SmallRng::seed_from_u64(0x601D);
+        for _ in 0..16 {
+            let c_init = (rng.next_u64() as u32) & 0x7FFF_FFFF;
+            let mut serial = GoldSequence::new(c_init);
+            let mut word = GoldSequence::new(c_init);
+            // long stream: 320 words = 10240 bits
+            for i in 0..320 {
+                let w = word.next_word();
+                for k in 0..32 {
+                    assert_eq!(
+                        (w >> k) & 1,
+                        serial.step() as u32,
+                        "c_init {c_init:#x} word {i} bit {k}"
+                    );
+                }
+            }
+            // word/step interleave stays coherent
+            assert_eq!(word.take(7), serial.take(7));
+        }
+    }
+
+    #[test]
+    fn word_scramble_matches_bit_serial_reference() {
+        for (len, seed) in [
+            (0usize, 1u64),
+            (31, 2),
+            (32, 3),
+            (33, 4),
+            (257, 5),
+            (1440, 6),
+        ] {
+            let orig = random_bits(len, seed);
+            let mut fast = orig.clone();
+            let mut slow = orig.clone();
+            scramble_bits(&mut fast, 0x00AB_CDEF);
+            scramble_bits_serial(&mut slow, 0x00AB_CDEF);
+            assert_eq!(fast, slow, "len {len}");
+        }
+    }
+
+    #[test]
+    fn native_descramble_tiers_match_scalar_reference() {
+        let mut rng = SmallRng::seed_from_u64(0xDE5C);
+        for len in [0usize, 5, 31, 32, 33, 64, 203, 1024, 2049] {
+            let orig: Vec<i16> = (0..len).map(|_| rng.next_u64() as i16).collect();
+            let c_init = (rng.next_u64() as u32) & 0x7FFF_FFFF;
+            let mut expect = orig.clone();
+            descramble_llrs(&mut expect, c_init);
+            for imp in available_descramble() {
+                let mut got = orig.clone();
+                descramble_llrs_with(imp, &mut got, c_init);
+                assert_eq!(got, expect, "{} len {len}", imp.name());
+            }
+        }
+    }
+
+    #[test]
+    fn native_descramble_saturates_i16_min_like_the_reference() {
+        // unlike the VM pxor/psubw form, every native tier uses a
+        // saturating negate, so i16::MIN flips to i16::MAX exactly as
+        // the scalar reference does.
+        let orig = vec![i16::MIN; 96];
+        let mut expect = orig.clone();
+        descramble_llrs(&mut expect, 1);
+        assert!(expect.contains(&i16::MAX), "some Gold bits must be 1");
+        for imp in available_descramble() {
+            let mut got = orig.clone();
+            descramble_llrs_with(imp, &mut got, 1);
+            assert_eq!(got, expect, "{}", imp.name());
+        }
+    }
+
+    #[test]
+    fn best_descramble_is_last_available() {
+        let avail = available_descramble();
+        assert_eq!(avail[0], DescrambleImpl::ScalarWord);
+        assert_eq!(best_descramble(), *avail.last().unwrap());
     }
 
     #[test]
